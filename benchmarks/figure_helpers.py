@@ -1,0 +1,65 @@
+"""Shared assertions/rendering for the per-strategy figure benchmarks (7-12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.attacks.base import AttackSource
+from repro.evaluation.reporting import (
+    render_per_strategy_detection,
+    render_per_strategy_localization,
+)
+from repro.evaluation.runner import (
+    BASELINE1_NAME,
+    BASELINE2_NAME,
+    CLAP_NAME,
+    ExperimentResults,
+)
+
+
+def check_detection_figure(results: ExperimentResults, source: AttackSource, output_name: str) -> None:
+    """Regenerate a Figure 7/8/9 series and assert its qualitative shape."""
+    text = render_per_strategy_detection(results, source)
+    write_result(output_name, text)
+
+    clap = results[CLAP_NAME]
+    baseline1 = results[BASELINE1_NAME]
+    baseline2 = results[BASELINE2_NAME]
+    names = [r.strategy_name for r in clap.by_source(source)]
+    assert names, f"no strategies evaluated for {source}"
+
+    clap_aucs = np.array([clap.per_strategy[n].auc for n in names])
+    baseline1_aucs = np.array([baseline1.per_strategy[n].auc for n in names])
+    baseline2_aucs = np.array([baseline2.per_strategy[n].auc for n in names])
+
+    # Per-source shape of Figures 7-9: CLAP's mean AUC is at least on par with
+    # Baseline #1 (the synthetic benign corpus makes Baseline #1 stronger than
+    # in the paper; see EXPERIMENTS.md), clearly beats the Kitsune-style
+    # baseline which hovers around 0.5, and CLAP detects the large majority of
+    # strategies well (AUC > 0.75), as in the paper's per-strategy plots.
+    assert clap_aucs.mean() > baseline1_aucs.mean() - 0.05
+    assert clap_aucs.mean() > baseline2_aucs.mean() + 0.2
+    assert 0.3 <= baseline2_aucs.mean() <= 0.7
+    assert np.mean(clap_aucs > 0.75) >= 0.6
+
+
+def check_localization_figure(results: ExperimentResults, source: AttackSource, output_name: str) -> None:
+    """Regenerate a Figure 10/11/12 series and assert its qualitative shape."""
+    text = render_per_strategy_localization(results, source)
+    write_result(output_name, text)
+
+    clap = results[CLAP_NAME]
+    entries = [r.localization for r in clap.by_source(source) if r.localization is not None]
+    assert entries, f"no localization results for {source}"
+
+    top5 = np.array([e.top5 for e in entries])
+    top3 = np.array([e.top3 for e in entries])
+    top1 = np.array([e.top1 for e in entries])
+
+    # The Top-5 >= Top-3 >= Top-1 hierarchy of Figures 10-12, with useful
+    # absolute localisation accuracy (paper: 94.6% / 91.0% / 76.8% on average).
+    assert np.all(top5 >= top3 - 1e-9)
+    assert np.all(top3 >= top1 - 1e-9)
+    assert top5.mean() > 0.6
+    assert top5.mean() >= top1.mean()

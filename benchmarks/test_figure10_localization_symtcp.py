@@ -1,0 +1,13 @@
+"""Figure 10: per-strategy Top-5/3/1 localisation accuracy for SymTCP [23]."""
+
+from benchmarks.figure_helpers import check_localization_figure
+from repro.attacks.base import AttackSource
+from repro.evaluation.runner import CLAP_NAME
+
+
+def test_figure10_localization_symtcp(experiment, benchmark):
+    clap = experiment.results[CLAP_NAME]
+    benchmark(lambda: [r.localization.top5 for r in clap.by_source(AttackSource.SYMTCP)])
+    check_localization_figure(
+        experiment.results, AttackSource.SYMTCP, "figure10_localization_symtcp.txt"
+    )

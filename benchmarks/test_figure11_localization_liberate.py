@@ -1,0 +1,13 @@
+"""Figure 11: per-strategy Top-5/3/1 localisation accuracy for lib-erate [10]."""
+
+from benchmarks.figure_helpers import check_localization_figure
+from repro.attacks.base import AttackSource
+from repro.evaluation.runner import CLAP_NAME
+
+
+def test_figure11_localization_liberate(experiment, benchmark):
+    clap = experiment.results[CLAP_NAME]
+    benchmark(lambda: [r.localization.top5 for r in clap.by_source(AttackSource.LIBERATE)])
+    check_localization_figure(
+        experiment.results, AttackSource.LIBERATE, "figure11_localization_liberate.txt"
+    )

@@ -1,0 +1,25 @@
+"""Figure 12: per-strategy Top-5/3/1 localisation accuracy for Geneva [4]."""
+
+from benchmarks.figure_helpers import check_localization_figure
+from repro.attacks.base import AttackSource
+from repro.evaluation.runner import CLAP_NAME
+
+
+def test_figure12_localization_geneva(experiment, benchmark):
+    clap = experiment.results[CLAP_NAME]
+    benchmark(lambda: [r.localization.top5 for r in clap.by_source(AttackSource.GENEVA)])
+    check_localization_figure(
+        experiment.results, AttackSource.GENEVA, "figure12_localization_geneva.txt"
+    )
+
+
+def test_overall_localization_summary(experiment, benchmark):
+    """Headline localisation numbers (paper: Top-5 94.6%, Top-3 91.0%, Top-1 76.8%)."""
+    from benchmarks.conftest import write_result
+    from repro.evaluation.reporting import overall_summary
+
+    summary = benchmark(lambda: overall_summary(experiment.results))
+    lines = [f"{key}: {value:.3f}" for key, value in summary.items()]
+    write_result("overall_summary.txt", "\n".join(lines))
+    assert summary["CLAP mean Top-5"] >= summary["CLAP mean Top-3"] >= summary["CLAP mean Top-1"]
+    assert summary["CLAP mean Top-5"] > 0.6

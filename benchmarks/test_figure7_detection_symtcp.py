@@ -1,0 +1,13 @@
+"""Figure 7: per-strategy detection AUC-ROC for the SymTCP [23] strategies."""
+
+from benchmarks.figure_helpers import check_detection_figure
+from repro.attacks.base import AttackSource
+from repro.evaluation.runner import CLAP_NAME
+
+
+def test_figure7_detection_symtcp(experiment, benchmark):
+    clap = experiment.results[CLAP_NAME]
+    benchmark(lambda: [r.auc for r in clap.by_source(AttackSource.SYMTCP)])
+    check_detection_figure(
+        experiment.results, AttackSource.SYMTCP, "figure7_detection_symtcp.txt"
+    )

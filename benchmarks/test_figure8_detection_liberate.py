@@ -1,0 +1,24 @@
+"""Figure 8: per-strategy detection AUC-ROC for the lib-erate [10] strategies
+(Min and Max matching-packet variants)."""
+
+from benchmarks.figure_helpers import check_detection_figure
+from repro.attacks.base import AttackSource
+from repro.evaluation.runner import CLAP_NAME
+
+
+def test_figure8_detection_liberate(experiment, benchmark):
+    clap = experiment.results[CLAP_NAME]
+    benchmark(lambda: [r.auc for r in clap.by_source(AttackSource.LIBERATE)])
+    check_detection_figure(
+        experiment.results, AttackSource.LIBERATE, "figure8_detection_liberate.txt"
+    )
+
+
+def test_figure8_min_and_max_variants_are_both_covered(experiment, benchmark):
+    """Both extremes of the matching-packet count are evaluated per strategy."""
+    clap = experiment.results[CLAP_NAME]
+    names = benchmark(lambda: [r.strategy_name for r in clap.by_source(AttackSource.LIBERATE)])
+    minimums = {n for n in names if n.endswith("(Min)")}
+    maximums = {n for n in names if n.endswith("(Max)")}
+    assert len(minimums) >= 10
+    assert len(maximums) >= 10

@@ -1,0 +1,22 @@
+"""Figure 9: per-strategy detection AUC-ROC for the Geneva [4] strategies."""
+
+from benchmarks.figure_helpers import check_detection_figure
+from repro.attacks.base import AttackSource
+from repro.evaluation.runner import CLAP_NAME
+
+
+def test_figure9_detection_geneva(experiment, benchmark):
+    clap = experiment.results[CLAP_NAME]
+    benchmark(lambda: [r.auc for r in clap.by_source(AttackSource.GENEVA)])
+    check_detection_figure(
+        experiment.results, AttackSource.GENEVA, "figure9_detection_geneva.txt"
+    )
+
+
+def test_figure9_geneva_is_the_easiest_source_for_clap(experiment, benchmark):
+    """Paper shape: blind Geneva tampering is detected best (0.988 mean AUC),
+    because every data packet of the connection is altered."""
+    clap = experiment.results[CLAP_NAME]
+    geneva = benchmark(lambda: clap.mean_auc_by_source(AttackSource.GENEVA))
+    assert geneva > 0.9
+    assert geneva >= clap.mean_auc_by_source(AttackSource.SYMTCP) - 0.05

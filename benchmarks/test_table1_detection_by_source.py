@@ -1,0 +1,46 @@
+"""Table 1: mean detection AUC-ROC / EER per source paper, per detector.
+
+Paper values (Table 1): CLAP 0.953/0.072 [23], 0.952/0.082 [10], 0.988/0.024
+[4]; Baseline #1 trails by 6-15% AUC; Baseline #2 sits at ~0.5 AUC (random).
+The benchmark regenerates the same rows and asserts the ordering.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.attacks.base import AttackSource
+from repro.evaluation.reporting import render_table1
+from repro.evaluation.runner import BASELINE1_NAME, BASELINE2_NAME, CLAP_NAME
+
+
+def test_table1_detection_by_source(experiment, benchmark):
+    results = experiment.results
+    clap_detector = experiment.runner.detectors[CLAP_NAME]
+    sample = experiment.runner.test_connections[:5]
+    benchmark(lambda: clap_detector.score_connections(sample))
+
+    text = render_table1(results)
+    write_result("table1_detection_by_source.txt", text)
+
+    clap = results[CLAP_NAME]
+    baseline1 = results[BASELINE1_NAME]
+    baseline2 = results[BASELINE2_NAME]
+
+    for source in AttackSource:
+        clap_auc = clap.mean_auc_by_source(source)
+        baseline1_auc = baseline1.mean_auc_by_source(source)
+        baseline2_auc = baseline2.mean_auc_by_source(source)
+        # Shape of Table 1: CLAP at least on par with Baseline #1 per source
+        # (the synthetic corpus narrows the paper's gap; see EXPERIMENTS.md)
+        # and far above the near-random Baseline #2.
+        assert clap_auc > baseline1_auc - 0.05, source
+        assert clap_auc > baseline2_auc + 0.2, source
+        assert 0.3 <= baseline2_auc <= 0.7, source
+        assert clap.mean_eer_by_source(source) < baseline2.mean_eer_by_source(source)
+
+    # Headline numbers (paper: 0.963 AUC / 0.061 EER overall for CLAP).
+    assert clap.mean_auc() > 0.85
+    assert clap.mean_eer() < 0.25
+    assert clap.mean_auc() >= baseline1.mean_auc() - 0.02
+    assert clap.mean_eer() <= baseline1.mean_eer() + 0.02
+    assert np.isfinite(clap.mean_auc())

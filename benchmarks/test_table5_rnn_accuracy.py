@@ -1,0 +1,41 @@
+"""Table 5: per-label accuracy of the Stage-(a) RNN state classifier.
+
+The paper reports an overall test accuracy of 0.995 with near-perfect
+per-label accuracy on the in-window classes (the out-of-window classes are
+rare and noisier).  The benchmark regenerates the per-label breakdown on the
+benign test split and asserts high overall accuracy on the populated labels.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.evaluation.reporting import render_table
+from repro.evaluation.runner import CLAP_NAME
+
+
+def test_table5_rnn_per_label_accuracy(experiment, benchmark):
+    clap = experiment.runner.detectors[CLAP_NAME]
+    rnn_stage = clap.rnn_stage
+    test_connections = experiment.runner.test_connections
+
+    overall = benchmark(lambda: rnn_stage.evaluate(test_connections))
+
+    breakdown = rnn_stage.per_label_accuracy(test_connections)
+    rows = [
+        [name, f"{accuracy:.4f}" if np.isfinite(accuracy) else "n/a", str(count)]
+        for name, (accuracy, count) in breakdown.items()
+        if count > 0
+    ]
+    rows.append(["OVERALL (test split)", f"{overall:.4f}", str(sum(int(r[2]) for r in rows))])
+    text = render_table(["Label", "Accuracy", "# Packets"], rows)
+    write_result("table5_rnn_accuracy.txt", text)
+
+    # Overall accuracy: the paper reports 0.995 at full scale; the reduced
+    # corpus here must still be clearly above the majority-class baseline.
+    assert overall > 0.85
+
+    # The dominant in-window labels must be populated and accurately predicted.
+    populated = {name: (acc, count) for name, (acc, count) in breakdown.items() if count > 0}
+    assert "ESTABLISHED/IN" in populated
+    assert populated["ESTABLISHED/IN"][0] > 0.85
+    assert len(populated) >= 6  # several distinct connection states observed

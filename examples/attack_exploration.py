@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Explore the 73-strategy attack catalogue and the DPI/endhost discrepancy.
+
+For each source paper (SymTCP, lib-erate, Geneva) this example applies one
+representative strategy to a benign connection and shows, packet by packet,
+how the reference endhost state machine reacts — making the evasion mechanism
+(accepted by a lax DPI, dropped by the rigorous endhost) visible.
+
+Run with:  python examples/attack_exploration.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import AttackInjector, all_strategies, get_strategy
+from repro.attacks import AttackSource, strategies_by_source
+from repro.tcpstate import ConnectionLabeler
+from repro.traffic import TrafficGenerator
+
+REPRESENTATIVES = {
+    AttackSource.SYMTCP: "GFW: Injected RST Bad Timestamp",
+    AttackSource.LIBERATE: "Invalid IP Version (Min)",
+    AttackSource.GENEVA: "Invalid Data-Offset / Bad TCP Checksum",
+}
+
+
+def show_catalogue() -> None:
+    print("=== attack catalogue ===")
+    print(f"total strategies: {len(all_strategies())}")
+    for source in AttackSource:
+        strategies = strategies_by_source(source)
+        categories = Counter(s.category.name for s in strategies)
+        print(f"  {source.value}: {len(strategies)} strategies "
+              f"({dict(categories)})")
+    print()
+
+
+def trace_attack(strategy_name: str) -> None:
+    print(f"--- {strategy_name} ---")
+    strategy = get_strategy(strategy_name)
+    print(f"description: {strategy.description}")
+    connection = TrafficGenerator(seed=77).generate_connection("web_request")
+    adversarial = AttackInjector(seed=2).attack_connection(strategy, connection)
+
+    labeler = ConnectionLabeler()
+    observations = labeler.observe_connection(adversarial.connection.packets)
+    print(f"{'idx':>4} {'endhost state':>14} {'accepted':>9} {'injected':>9}  packet")
+    for index, (packet, observation) in enumerate(
+        zip(adversarial.connection.packets, observations)
+    ):
+        highlight = "*" if packet.injected else " "
+        print(f"{index:>4} {observation.state_after.name:>14} "
+              f"{str(observation.accepted):>9} {str(packet.injected):>9} {highlight} "
+              f"{packet.summary()}")
+    dropped = [i for i, o in enumerate(observations) if not o.accepted]
+    print(f"packets dropped by the rigorous endhost: {dropped}")
+    print(f"attack packets (ground truth):           {adversarial.injected_indices}\n")
+
+
+def main() -> None:
+    show_catalogue()
+    for source, name in REPRESENTATIVES.items():
+        print(f"=== representative strategy from {source.value} ===")
+        trace_attack(name)
+
+
+if __name__ == "__main__":
+    main()

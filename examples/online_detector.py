@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Online deployment: persist a trained model and monitor a traffic stream.
+
+This example mirrors the deployment story of Figure 3 in the paper: the
+operator trains CLAP offline, persists the model tuple {RNN, autoencoder,
+threshold}, and a (simulated) middlebox process later loads it to classify
+connections as they complete, choosing the operating threshold from the
+desired false-positive budget.
+
+Run with:  python examples/online_detector.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import AttackInjector, BenignDataset, Clap, ClapConfig, all_strategies
+from repro.evaluation import roc_curve, true_false_positive_counts
+
+
+def train_and_persist(model_dir: Path) -> BenignDataset:
+    dataset = BenignDataset.synthesize(connection_count=140, seed=33)
+    config = ClapConfig.fast()
+    config.rnn.epochs = 15
+    config.autoencoder.epochs = 80
+    clap = Clap(config)
+    clap.fit(dataset.train)
+    clap.save(model_dir)
+    print(f"model persisted to {model_dir}")
+    return dataset
+
+
+def simulate_stream(dataset: BenignDataset, attack_every: int = 4):
+    """Yield (connection, is_attack) pairs simulating live traffic."""
+    rng = np.random.default_rng(5)
+    injector = AttackInjector(seed=9)
+    strategies = all_strategies()
+    eligible = [c for c in dataset.test if len(c) >= 5]
+    for index, connection in enumerate(eligible):
+        if index % attack_every == attack_every - 1:
+            strategy = strategies[int(rng.integers(0, len(strategies)))]
+            yield injector.attack_connection(strategy, connection).connection, True, strategy.name
+        else:
+            yield connection, False, ""
+
+
+def main() -> None:
+    print("=== CLAP online detector ===")
+    with tempfile.TemporaryDirectory() as workdir:
+        model_dir = Path(workdir) / "clap-model"
+        dataset = train_and_persist(model_dir)
+
+        # A separate "middlebox" process would simply do:
+        detector = Clap.load(model_dir)
+        print(f"model loaded; default threshold {detector.threshold:.4f}\n")
+
+        benign_scores, attack_scores = [], []
+        print(f"{'verdict':>8}  {'score':>8}  attack strategy")
+        for connection, is_attack, strategy_name in simulate_stream(dataset):
+            verdict = detector.verdict(connection)
+            (attack_scores if is_attack else benign_scores).append(verdict.adversarial_score)
+            label = "ALERT" if verdict.is_adversarial else "ok"
+            note = strategy_name if is_attack else ""
+            print(f"{label:>8}  {verdict.adversarial_score:8.4f}  {note}")
+
+        print("\n--- operating point selection (the deployer's trade-off) ---")
+        curve = roc_curve(attack_scores, benign_scores)
+        print(f"stream AUC-ROC: {curve.auc:.3f}   EER: {curve.eer:.3f}")
+        for target_fpr in (0.0, 0.1, 0.25):
+            candidates = [
+                (fpr, tpr, thr)
+                for fpr, tpr, thr in zip(
+                    curve.false_positive_rates, curve.true_positive_rates, curve.thresholds
+                )
+                if fpr <= target_fpr
+            ]
+            fpr, tpr, threshold = candidates[-1]
+            counts = true_false_positive_counts(attack_scores, benign_scores, threshold)
+            print(f"threshold {threshold:8.4f}: TPR={tpr:.2f} FPR={fpr:.2f}  counts={counts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Simulator for the 73 DPI evasion strategies from SymTCP, lib-erate and Geneva."""
+
+from repro.attacks.base import (
+    AttackSource,
+    AttackStrategy,
+    ContextCategory,
+    all_strategies,
+    get_strategy,
+    strategies_by_category,
+    strategies_by_source,
+    strategy_names,
+)
+from repro.attacks.injector import (
+    AdversarialConnection,
+    AttackDataset,
+    AttackInjector,
+    attack_success_check,
+)
+from repro.attacks.taxonomy import (
+    DEFAULT_INTER_THRESHOLD,
+    TaxonomyEntry,
+    categorize_from_auc,
+    declared_taxonomy,
+    taxonomy_counts,
+)
+
+__all__ = [
+    "AdversarialConnection",
+    "AttackDataset",
+    "AttackInjector",
+    "AttackSource",
+    "AttackStrategy",
+    "ContextCategory",
+    "DEFAULT_INTER_THRESHOLD",
+    "TaxonomyEntry",
+    "all_strategies",
+    "attack_success_check",
+    "categorize_from_auc",
+    "declared_taxonomy",
+    "get_strategy",
+    "strategies_by_category",
+    "strategies_by_source",
+    "strategy_names",
+    "taxonomy_counts",
+]

@@ -1,0 +1,140 @@
+"""Attack-strategy framework: sources, categories, registry.
+
+Every one of the 73 evaluated DPI evasion strategies is modelled as an
+:class:`AttackStrategy`: a named transformation that takes a *benign*
+connection and returns an adversarial copy in which one or more packets have
+been injected or modified (and flagged ``injected=True`` so that evaluation
+code knows the localisation ground truth).
+
+Strategies are registered into a global registry keyed by name; the three
+source modules (:mod:`repro.attacks.symtcp`, :mod:`repro.attacks.liberate`,
+:mod:`repro.attacks.geneva`) populate it at import time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.netstack.flow import Connection
+
+
+class AttackSource(enum.Enum):
+    """Which prior work a strategy was taken from (paper references)."""
+
+    SYMTCP = "SymTCP [23]"
+    LIBERATE = "lib-erate [10]"
+    GENEVA = "Geneva [4]"
+
+    @property
+    def citation(self) -> str:
+        return self.value.split(" ")[-1]
+
+
+class ContextCategory(enum.Enum):
+    """Which packet context a strategy primarily violates (Table 8)."""
+
+    INTER_PACKET = "Inter-packet Context Violation"
+    INTRA_PACKET = "Intra-packet Context Violation"
+
+
+ApplyFunction = Callable[[Connection, np.random.Generator], Connection]
+
+
+@dataclass(frozen=True)
+class AttackStrategy:
+    """One DPI evasion strategy."""
+
+    name: str
+    source: AttackSource
+    category: ContextCategory
+    apply_function: ApplyFunction = field(repr=False)
+    description: str = ""
+    target_dpi: str = ""
+
+    def apply(self, connection: Connection, rng: np.random.Generator) -> Connection:
+        """Apply the strategy to a *copy* of ``connection``.
+
+        The input connection is never mutated; the returned connection has at
+        least one packet flagged ``injected``.
+        """
+        adversarial = self.apply_function(connection.copy(), rng)
+        adversarial.sort_by_time()
+        return adversarial
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.source.citation})"
+
+
+_REGISTRY: Dict[str, AttackStrategy] = {}
+
+
+def register_strategy(strategy: AttackStrategy) -> AttackStrategy:
+    """Add ``strategy`` to the global registry (name must be unique)."""
+    if strategy.name in _REGISTRY:
+        raise ValueError(f"duplicate attack strategy name: {strategy.name!r}")
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def strategy(
+    name: str,
+    source: AttackSource,
+    category: ContextCategory,
+    *,
+    description: str = "",
+    target_dpi: str = "",
+):
+    """Decorator form of :func:`register_strategy` for plain functions."""
+
+    def decorator(function: ApplyFunction) -> AttackStrategy:
+        return register_strategy(
+            AttackStrategy(
+                name=name,
+                source=source,
+                category=category,
+                apply_function=function,
+                description=description or (function.__doc__ or "").strip(),
+                target_dpi=target_dpi,
+            )
+        )
+
+    return decorator
+
+
+def _ensure_catalog_loaded() -> None:
+    """Import the three strategy modules so the registry is populated."""
+    # Imported lazily to avoid circular imports at package-import time.
+    from repro.attacks import geneva, liberate, symtcp  # noqa: F401
+
+
+def all_strategies() -> List[AttackStrategy]:
+    """Every registered strategy, sorted by (source, name)."""
+    _ensure_catalog_loaded()
+    return sorted(_REGISTRY.values(), key=lambda s: (s.source.value, s.name))
+
+
+def strategies_by_source(source: AttackSource) -> List[AttackStrategy]:
+    """All strategies taken from ``source``."""
+    return [s for s in all_strategies() if s.source is source]
+
+
+def strategies_by_category(category: ContextCategory) -> List[AttackStrategy]:
+    """All strategies whose primary violation is ``category``."""
+    return [s for s in all_strategies() if s.category is category]
+
+
+def get_strategy(name: str) -> AttackStrategy:
+    """Look a strategy up by its exact name."""
+    _ensure_catalog_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown attack strategy {name!r}") from None
+
+
+def strategy_names() -> List[str]:
+    return [s.name for s in all_strategies()]

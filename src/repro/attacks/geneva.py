@@ -1,0 +1,249 @@
+"""The 20 Geneva [4] evasion strategies.
+
+Geneva (Bock et al., CCS 2019) evolves censorship-evasion strategies with a
+genetic algorithm.  The strategies evaluated by the paper share two traits:
+
+* they are applied *blindly* — every data packet of the connection is altered
+  (or shadowed by an injected packet), not just one carefully chosen packet;
+* a strategy combines up to **two** modifications (the paper labels them
+  "first / second modification", with "/" meaning a single modification).
+
+Strategy names follow the paper's "<modification 1> / <modification 2>"
+labelling from Figures 9/12 and Table 8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackSource, AttackStrategy, ContextCategory, register_strategy
+from repro.attacks.primitives import (
+    bad_ack,
+    bad_ip_length,
+    bad_md5_option,
+    bad_payload_length,
+    bad_uto_option,
+    craft_packet,
+    data_packet_indices,
+    garble_tcp_checksum,
+    handshake_completion_index,
+    insert_packet,
+    invalid_data_offset,
+    invalid_flags,
+    invalid_wscale_option,
+    low_ttl,
+    mark,
+)
+from repro.netstack.flow import Connection
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags
+
+Corruption = Callable[[Packet, np.random.Generator], Packet]
+
+
+def _tamper_all_data_packets(corruptions: Sequence[Corruption]):
+    """Apply every corruption to every client data packet (blind tampering)."""
+
+    def apply(connection: Connection, rng: np.random.Generator) -> Connection:
+        indices = data_packet_indices(connection, Direction.CLIENT_TO_SERVER)
+        if not indices:
+            indices = data_packet_indices(connection, None)
+        if not indices:
+            indices = [min(handshake_completion_index(connection), len(connection.packets) - 1)]
+        for index in indices:
+            packet = connection.packets[index]
+            for corruption in corruptions:
+                corruption(packet, rng)
+            mark(packet)
+        return connection
+
+    return apply
+
+
+def _inject_before_data_packets(flags: int, corruptions: Sequence[Corruption]):
+    """Inject one corrupted packet of ``flags`` before every client data packet."""
+
+    def apply(connection: Connection, rng: np.random.Generator) -> Connection:
+        targets = data_packet_indices(connection, Direction.CLIENT_TO_SERVER)
+        if not targets:
+            targets = [handshake_completion_index(connection) + 1]
+        inserted = 0
+        for target in targets:
+            position = target + inserted
+            packet = craft_packet(connection, max(position - 1, 0), Direction.CLIENT_TO_SERVER, flags)
+            for corruption in corruptions:
+                corruption(packet, rng)
+            insert_packet(connection, position, packet)
+            inserted += 1
+        return connection
+
+    return apply
+
+
+def _register(
+    name: str,
+    category: ContextCategory,
+    apply_function,
+    description: str,
+) -> AttackStrategy:
+    return register_strategy(
+        AttackStrategy(
+            name=name,
+            source=AttackSource.GENEVA,
+            category=category,
+            apply_function=apply_function,
+            description=description,
+            target_dpi="GFW",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tampering strategies (intra-packet context violations)
+# ---------------------------------------------------------------------------
+
+_register(
+    "Invalid Data-Offset / Bad TCP Checksum",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([invalid_data_offset, garble_tcp_checksum]),
+    "Every data packet carries a bogus data offset and a garbled checksum.",
+)
+
+_register(
+    "Invalid Data-Offset / Low TTL",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([invalid_data_offset, low_ttl]),
+    "Every data packet carries a bogus data offset and a TTL too low to arrive.",
+)
+
+_register(
+    "Invalid Data-Offset / Bad ACK Num",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([invalid_data_offset, bad_ack]),
+    "Every data packet carries a bogus data offset and an invalid ACK number.",
+)
+
+_register(
+    "Invalid Flags #1 / Bad TCP Checksum",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([lambda p, r: invalid_flags(p, r, variant=0), garble_tcp_checksum]),
+    "Every data packet gets SYN+FIN flags and a garbled checksum.",
+)
+
+_register(
+    "Invalid Flags #2 / Low TTL",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([lambda p, r: invalid_flags(p, r, variant=2), low_ttl]),
+    "Every data packet gets an all-on flag combination and a low TTL.",
+)
+
+_register(
+    "Invalid Flags #2 / Bad TCP MD5-Option",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([lambda p, r: invalid_flags(p, r, variant=2), bad_md5_option]),
+    "Every data packet gets an all-on flag combination and a failing MD5 option.",
+)
+
+_register(
+    "Bad TCP UTO-Option / Bad TCP MD5-Option",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([bad_uto_option, bad_md5_option]),
+    "Every data packet carries an absurd User Timeout option and a failing MD5 option.",
+)
+
+_register(
+    "Invalid TCP WScale-Option / Invalid Data-Offset",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([invalid_wscale_option, invalid_data_offset]),
+    "Every data packet carries an out-of-spec window-scale option and a bogus data offset.",
+)
+
+_register(
+    "Bad Payload Length / Bad TCP Checksum",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([bad_payload_length, garble_tcp_checksum]),
+    "Every data packet breaks the payload-length identity and its checksum.",
+)
+
+_register(
+    "Bad Payload Length / Low TTL",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([bad_payload_length, low_ttl]),
+    "Every data packet breaks the payload-length identity and has a low TTL.",
+)
+
+_register(
+    "Bad Payload Length / Bad ACK Num",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([bad_payload_length, bad_ack]),
+    "Every data packet breaks the payload-length identity and its ACK number.",
+)
+
+_register(
+    "Bad Payload Length",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([bad_payload_length]),
+    "Every data packet declares an IP total length inconsistent with its payload.",
+)
+
+_register(
+    "Bad IP Length",
+    ContextCategory.INTRA_PACKET,
+    _tamper_all_data_packets([lambda p, r: bad_ip_length(p, r, too_long=True)]),
+    "Every data packet declares an IP total length longer than the real packet.",
+)
+
+_register(
+    "Bad TCP MD5-Option / Injected RST",
+    ContextCategory.INTRA_PACKET,
+    _inject_before_data_packets(TcpFlags.RST, [bad_md5_option]),
+    "An RST with a failing MD5 option is injected before every data packet.",
+)
+
+# ---------------------------------------------------------------------------
+# Injection strategies (inter-packet context violations)
+# ---------------------------------------------------------------------------
+
+_register(
+    "Injected RST / Low TTL",
+    ContextCategory.INTER_PACKET,
+    _inject_before_data_packets(TcpFlags.RST, [low_ttl]),
+    "An RST with a low TTL is injected before every data packet.",
+)
+
+_register(
+    "Injected RST / Bad IP Length",
+    ContextCategory.INTRA_PACKET,
+    _inject_before_data_packets(TcpFlags.RST, [lambda p, r: bad_ip_length(p, r, too_long=True)]),
+    "An RST with a bogus IP total length is injected before every data packet.",
+)
+
+_register(
+    "Injected RST / Bad TCP Checksum",
+    ContextCategory.INTRA_PACKET,
+    _inject_before_data_packets(TcpFlags.RST, [garble_tcp_checksum]),
+    "An RST with a garbled checksum is injected before every data packet.",
+)
+
+_register(
+    "Injected RST-ACK / Bad TCP Checksum",
+    ContextCategory.INTER_PACKET,
+    _inject_before_data_packets(TcpFlags.RST | TcpFlags.ACK, [garble_tcp_checksum]),
+    "An RST-ACK with a garbled checksum is injected before every data packet.",
+)
+
+_register(
+    "Injected RST-ACK / Low TTL",
+    ContextCategory.INTER_PACKET,
+    _inject_before_data_packets(TcpFlags.RST | TcpFlags.ACK, [low_ttl]),
+    "An RST-ACK with a low TTL is injected before every data packet.",
+)
+
+_register(
+    "Injected SYN-ACK / Bad TCP MD5-Option",
+    ContextCategory.INTER_PACKET,
+    _inject_before_data_packets(TcpFlags.SYN | TcpFlags.ACK, [bad_md5_option]),
+    "A SYN-ACK with a failing MD5 option is injected before every data packet.",
+)

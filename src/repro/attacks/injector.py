@@ -1,0 +1,103 @@
+"""Attack injection into benign test traffic.
+
+The evaluation methodology of the paper (Section 4.2) takes the benign test
+split, and for every strategy produces an adversarial counterpart of each
+connection; CLAP and the baselines then score both populations and the ROC is
+computed over the two sets of adversarial scores.  :class:`AttackInjector`
+produces those adversarial populations and keeps the localisation ground truth
+(which packet indices belong to the attack vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackStrategy, all_strategies
+from repro.netstack.flow import Connection
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class AdversarialConnection:
+    """One attacked connection plus its ground truth."""
+
+    connection: Connection
+    strategy_name: str
+    injected_indices: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.injected_indices:
+            self.injected_indices = self.connection.injected_indices()
+
+
+@dataclass
+class AttackDataset:
+    """Benign and adversarial connections for one strategy."""
+
+    strategy: AttackStrategy
+    benign: List[Connection]
+    adversarial: List[AdversarialConnection]
+
+    @property
+    def adversarial_connections(self) -> List[Connection]:
+        return [item.connection for item in self.adversarial]
+
+
+class AttackInjector:
+    """Apply attack strategies to benign connections."""
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self.rng = ensure_rng(seed)
+
+    def attack_connection(self, strategy: AttackStrategy, connection: Connection) -> AdversarialConnection:
+        """Produce the adversarial counterpart of one benign connection."""
+        adversarial = strategy.apply(connection, self.rng)
+        return AdversarialConnection(
+            connection=adversarial,
+            strategy_name=strategy.name,
+            injected_indices=adversarial.injected_indices(),
+        )
+
+    def attack_connections(
+        self, strategy: AttackStrategy, connections: Sequence[Connection]
+    ) -> List[AdversarialConnection]:
+        """Adversarial counterparts for a list of benign connections."""
+        return [self.attack_connection(strategy, connection) for connection in connections]
+
+    def build_dataset(
+        self,
+        strategy: AttackStrategy,
+        benign_connections: Sequence[Connection],
+        *,
+        max_connections: Optional[int] = None,
+    ) -> AttackDataset:
+        """Build the benign/adversarial pair of populations for one strategy."""
+        benign = list(benign_connections)
+        if max_connections is not None:
+            benign = benign[:max_connections]
+        adversarial = self.attack_connections(strategy, benign)
+        return AttackDataset(strategy=strategy, benign=benign, adversarial=adversarial)
+
+    def build_all_datasets(
+        self,
+        benign_connections: Sequence[Connection],
+        *,
+        strategies: Optional[Sequence[AttackStrategy]] = None,
+        max_connections: Optional[int] = None,
+    ) -> Dict[str, AttackDataset]:
+        """Datasets for every (or a chosen subset of) registered strategy."""
+        strategies = list(strategies) if strategies is not None else all_strategies()
+        return {
+            strategy.name: self.build_dataset(
+                strategy, benign_connections, max_connections=max_connections
+            )
+            for strategy in strategies
+        }
+
+
+def attack_success_check(adversarial: AdversarialConnection) -> bool:
+    """Sanity check used in tests: the attack actually changed the connection."""
+    return len(adversarial.injected_indices) > 0

@@ -1,0 +1,214 @@
+"""The 23 lib-erate [10] evasion strategies.
+
+lib-erate (Li et al., IMC 2017) evades DPI-based *traffic classifiers* by
+inserting crafted "evasion" packets in front of the *matching packets* — the
+data packets the classifier inspects after the TCP handshake.  Because the
+number of matching packets a classifier needs is unknown, the paper simulates
+two extremes per strategy: a single matching packet (``Min``) and five
+matching packets (``Max``), i.e. one or five evasion packets are inserted.
+
+Each evasion packet is a "shadow" of the data packet it precedes: same
+direction, same expected sequence position, but carrying one manipulation that
+makes the endhost drop it while the DPI accepts it (invalid IP version, bogus
+data offset, low TTL, garbled checksum, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackSource, AttackStrategy, ContextCategory, register_strategy
+from repro.attacks.primitives import (
+    bad_ip_length,
+    bad_seq,
+    craft_packet,
+    garble_tcp_checksum,
+    insert_packet,
+    invalid_data_offset,
+    invalid_flags,
+    invalid_ip_header_length,
+    invalid_ip_version,
+    low_ttl,
+    matching_packet_indices,
+    strip_ack_flag,
+)
+from repro.netstack.flow import Connection
+from repro.netstack.packet import Packet
+from repro.netstack.tcp import TcpFlags
+
+Corruption = Callable[[Packet, np.random.Generator], Packet]
+
+MIN_MATCHING_PACKETS = 1
+MAX_MATCHING_PACKETS = 5
+
+
+def _shadow_injection(corruptions: Sequence[Corruption], matching_count: int, *, flags: int = None,
+                      payload_length: int = 8):
+    """Insert one corrupted shadow packet in front of each matching packet."""
+
+    def apply(connection: Connection, rng: np.random.Generator) -> Connection:
+        # Work on a stable snapshot of target indices; every insertion shifts
+        # the positions of later targets by one.
+        targets = matching_packet_indices(connection, matching_count)
+        inserted = 0
+        for target in targets:
+            position = target + inserted
+            reference = connection.packets[min(position, len(connection.packets) - 1)]
+            shadow_flags = flags if flags is not None else reference.tcp.flags
+            payload = bytes(int(b) for b in rng.integers(32, 127, size=payload_length))
+            shadow = craft_packet(
+                connection,
+                max(position - 1, 0),
+                reference.direction,
+                shadow_flags,
+                payload=payload if shadow_flags & (TcpFlags.RST | TcpFlags.SYN) == 0 else b"",
+                seq=reference.tcp.seq,
+                ack=reference.tcp.ack,
+            )
+            for corruption in corruptions:
+                corruption(shadow, rng)
+            insert_packet(connection, position, shadow)
+            inserted += 1
+        return connection
+
+    return apply
+
+
+def _register_pair(
+    base_name: str,
+    corruptions: Sequence[Corruption],
+    *,
+    category_min: ContextCategory,
+    category_max: ContextCategory,
+    description: str,
+    flags: int = None,
+    variants: Sequence[str] = ("Min", "Max"),
+) -> None:
+    """Register the Min/Max pair (or a single variant) of a strategy."""
+    for variant in variants:
+        count = MIN_MATCHING_PACKETS if variant == "Min" else MAX_MATCHING_PACKETS
+        category = category_min if variant == "Min" else category_max
+        register_strategy(
+            AttackStrategy(
+                name=f"{base_name} ({variant})",
+                source=AttackSource.LIBERATE,
+                category=category,
+                apply_function=_shadow_injection(corruptions, count, flags=flags),
+                description=f"{description} ({count} matching packet(s)).",
+                target_dpi="traffic classifier",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# IP-layer manipulations
+# ---------------------------------------------------------------------------
+
+_register_pair(
+    "Invalid IP Header Length",
+    [invalid_ip_header_length],
+    category_min=ContextCategory.INTRA_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow packet whose IHL is inconsistent with the real header",
+)
+
+_register_pair(
+    "Invalid IP Version",
+    [invalid_ip_version],
+    category_min=ContextCategory.INTRA_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow packet declaring a non-existent IP version",
+    variants=("Min",),
+)
+
+_register_pair(
+    "Bad IP Length (Too Long)",
+    [lambda p, r: bad_ip_length(p, r, too_long=True)],
+    category_min=ContextCategory.INTER_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow packet declaring an IP total length longer than reality",
+)
+
+_register_pair(
+    "Bad IP Length (Too Short)",
+    [lambda p, r: bad_ip_length(p, r, too_long=False)],
+    category_min=ContextCategory.INTER_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow packet declaring an IP total length shorter than reality",
+)
+
+_register_pair(
+    "Low TTL",
+    [low_ttl],
+    category_min=ContextCategory.INTER_PACKET,
+    category_max=ContextCategory.INTER_PACKET,
+    description="Shadow packet whose TTL expires before reaching the server",
+)
+
+# ---------------------------------------------------------------------------
+# RST-based insertions
+# ---------------------------------------------------------------------------
+
+_register_pair(
+    "RST w/ Low TTL #1",
+    [low_ttl],
+    category_min=ContextCategory.INTER_PACKET,
+    category_max=ContextCategory.INTER_PACKET,
+    description="RST with a low TTL inserted before the matching packets",
+    flags=TcpFlags.RST,
+)
+
+_register_pair(
+    "RST w/ Low TTL #2",
+    [low_ttl],
+    category_min=ContextCategory.INTER_PACKET,
+    category_max=ContextCategory.INTER_PACKET,
+    description="RST-ACK with a low TTL inserted before the matching packets",
+    flags=TcpFlags.RST | TcpFlags.ACK,
+)
+
+# ---------------------------------------------------------------------------
+# TCP-layer manipulations
+# ---------------------------------------------------------------------------
+
+_register_pair(
+    "Data Packet wo/ ACK Flag",
+    [strip_ack_flag],
+    category_min=ContextCategory.INTRA_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow data packet sent without the ACK flag",
+)
+
+_register_pair(
+    "Invalid Data-Offset",
+    [invalid_data_offset],
+    category_min=ContextCategory.INTRA_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow packet with a data offset inconsistent with its header",
+)
+
+_register_pair(
+    "Invalid Flags",
+    [lambda p, r: invalid_flags(p, r, variant=0)],
+    category_min=ContextCategory.INTRA_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow packet with a nonsensical flag combination",
+)
+
+_register_pair(
+    "Bad TCP Checksum",
+    [garble_tcp_checksum],
+    category_min=ContextCategory.INTER_PACKET,
+    category_max=ContextCategory.INTRA_PACKET,
+    description="Shadow packet with a garbled TCP checksum",
+)
+
+_register_pair(
+    "Bad SEQ",
+    [bad_seq],
+    category_min=ContextCategory.INTER_PACKET,
+    category_max=ContextCategory.INTER_PACKET,
+    description="Shadow packet with a sequence number far outside the window",
+)

@@ -1,0 +1,393 @@
+"""The 30 SymTCP [23] evasion strategies.
+
+SymTCP (Wang et al., NDSS 2020) discovers discrepancies between endhost TCP
+stacks and the simplified implementations inside Zeek, Snort and the GFW via
+symbolic execution.  Its strategies fall into three families:
+
+* modifying an existing **data packet** so the DPI accepts it but the endhost
+  drops it (or vice versa),
+* **injecting** a crafted FIN / RST / SYN that desynchronises the DPI's state
+  machine while being ignored by the endhost, and
+* abusing the **SYN** phase (payload on SYN, multiple SYNs).
+
+Each strategy targets the connection position the original attack requires
+(e.g. "RST with bad timestamp" fires while the connection is in SYN_RECV).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackSource, AttackStrategy, ContextCategory, register_strategy
+from repro.attacks.primitives import (
+    add_payload,
+    bad_ack,
+    bad_md5_option,
+    bad_seq,
+    bad_timestamp,
+    craft_packet,
+    data_packet_indices,
+    garble_tcp_checksum,
+    handshake_completion_index,
+    insert_packet,
+    mark,
+    set_urgent_pointer,
+    strip_ack_flag,
+    synack_index,
+    underflow_seq,
+)
+from repro.netstack.flow import Connection
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags
+
+Corruption = Callable[[Packet, np.random.Generator], Packet]
+
+
+# ---------------------------------------------------------------------------
+# Factory helpers
+# ---------------------------------------------------------------------------
+
+
+def _first_client_data_index(connection: Connection) -> Optional[int]:
+    indices = data_packet_indices(connection, Direction.CLIENT_TO_SERVER)
+    if indices:
+        return indices[0]
+    indices = data_packet_indices(connection, None)
+    return indices[0] if indices else None
+
+
+def _modify_data_packet(corruptions: Sequence[Corruption]):
+    """Apply ``corruptions`` to the first client data packet of the connection."""
+
+    def apply(connection: Connection, rng: np.random.Generator) -> Connection:
+        index = _first_client_data_index(connection)
+        if index is None:
+            index = min(handshake_completion_index(connection), len(connection.packets) - 1)
+        packet = connection.packets[index]
+        for corruption in corruptions:
+            corruption(packet, rng)
+        mark(packet)
+        return connection
+
+    return apply
+
+
+def _inject_packet(
+    flags: int,
+    corruptions: Sequence[Corruption],
+    *,
+    when: str = "established",
+    payload_length: int = 0,
+):
+    """Inject a crafted client packet at a chosen point of the connection.
+
+    ``when`` selects the TCP state the original attack requires:
+    ``"syn_sent"`` (right after the client SYN), ``"syn_recv"`` (right after
+    the server SYN-ACK) or ``"established"`` (right after the handshake
+    completes).
+    """
+
+    def apply(connection: Connection, rng: np.random.Generator) -> Connection:
+        if when == "syn_sent":
+            position = 1
+        elif when == "syn_recv":
+            ack_index = synack_index(connection)
+            position = (ack_index + 1) if ack_index is not None else 1
+        else:
+            position = handshake_completion_index(connection) + 1
+        payload = bytes(int(b) for b in rng.integers(32, 127, size=payload_length))
+        packet = craft_packet(
+            connection,
+            max(position - 1, 0),
+            Direction.CLIENT_TO_SERVER,
+            flags,
+            payload=payload,
+        )
+        for corruption in corruptions:
+            corruption(packet, rng)
+        insert_packet(connection, position, packet)
+        return connection
+
+    return apply
+
+
+def _register(
+    name: str,
+    category: ContextCategory,
+    apply_function,
+    description: str,
+    target_dpi: str,
+) -> AttackStrategy:
+    return register_strategy(
+        AttackStrategy(
+            name=name,
+            source=AttackSource.SYMTCP,
+            category=category,
+            apply_function=apply_function,
+            description=description,
+            target_dpi=target_dpi,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Data-packet modification strategies
+# ---------------------------------------------------------------------------
+
+_register(
+    "Zeek: Data Packet (ACK) Bad SEQ",
+    ContextCategory.INTER_PACKET,
+    _modify_data_packet([bad_seq]),
+    "First client data packet carries a sequence number far outside the window.",
+    "Zeek",
+)
+
+_register(
+    "GFW: Data Packet (ACK) wo/ ACK Flag",
+    ContextCategory.INTER_PACKET,
+    _modify_data_packet([strip_ack_flag]),
+    "Established-state data packet sent without the mandatory ACK flag.",
+    "GFW",
+)
+
+_register(
+    "Zeek: Data Packet (ACK) wo/ ACK Flag",
+    ContextCategory.INTER_PACKET,
+    _modify_data_packet([strip_ack_flag]),
+    "Established-state data packet sent without the mandatory ACK flag.",
+    "Zeek",
+)
+
+_register(
+    "Zeek: Data Packet (ACK) Bad ACK Num",
+    ContextCategory.INTER_PACKET,
+    _modify_data_packet([bad_ack]),
+    "Data packet acknowledging bytes the server never sent.",
+    "Zeek",
+)
+
+_register(
+    "Zeek: Data Packet (ACK) Overlapping",
+    ContextCategory.INTER_PACKET,
+    _modify_data_packet([lambda p, r: underflow_seq(p, r, amount=max(len(p.payload) // 2, 1))]),
+    "Data packet whose sequence range partially overlaps already-delivered data.",
+    "Zeek",
+)
+
+_register(
+    "GFW: Data Packet (ACK) Bad TCP-Checksum/MD5-Option",
+    ContextCategory.INTER_PACKET,
+    _modify_data_packet([garble_tcp_checksum, bad_md5_option]),
+    "Data packet with a garbled checksum and a failing MD5 option.",
+    "GFW",
+)
+
+_register(
+    "GFW: Data Packet (ACK) Underflow SEQ",
+    ContextCategory.INTRA_PACKET,
+    _modify_data_packet([lambda p, r: underflow_seq(p, r, amount=2)]),
+    "Data packet whose sequence number is nudged a few bytes backwards.",
+    "GFW",
+)
+
+_register(
+    "Zeek: Data Packet (ACK) Underflow SEQ",
+    ContextCategory.INTRA_PACKET,
+    _modify_data_packet([lambda p, r: underflow_seq(p, r, amount=2)]),
+    "Data packet whose sequence number is nudged a few bytes backwards.",
+    "Zeek",
+)
+
+_register(
+    "Snort: Data Packet (ACK) w/ Urgent Pointer",
+    ContextCategory.INTRA_PACKET,
+    _modify_data_packet([set_urgent_pointer]),
+    "Data packet with URG set and a non-zero urgent pointer.",
+    "Snort",
+)
+
+# ---------------------------------------------------------------------------
+# Injected FIN strategies
+# ---------------------------------------------------------------------------
+
+_register(
+    "GFW: Injected FIN-ACK Bad ACK Num",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.FIN | TcpFlags.ACK, [bad_ack]),
+    "FIN-ACK with an invalid acknowledgement number injected after the handshake.",
+    "GFW",
+)
+
+_register(
+    "Snort: Injected FIN-ACK Bad ACK Num",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.FIN | TcpFlags.ACK, [bad_ack]),
+    "FIN-ACK with an invalid acknowledgement number injected after the handshake.",
+    "Snort",
+)
+
+_register(
+    "GFW: Injected FIN-ACK Bad TCP-Checksum/MD5-Option",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.FIN | TcpFlags.ACK, [garble_tcp_checksum, bad_md5_option]),
+    "FIN-ACK with a garbled checksum and failing MD5 option.",
+    "GFW",
+)
+
+_register(
+    "Snort: Injected FIN-ACK Bad TCP MD5-Option",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.FIN | TcpFlags.ACK, [bad_md5_option]),
+    "FIN-ACK carrying an MD5 signature option that does not verify.",
+    "Snort",
+)
+
+_register(
+    "GFW: Injected FIN w/ Payload",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.FIN | TcpFlags.ACK, [], payload_length=16),
+    "FIN carrying payload bytes, injected after the handshake.",
+    "GFW",
+)
+
+_register(
+    "Snort: Injected FIN Pure",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.FIN, []),
+    "Bare FIN (no ACK) injected right after the handshake completes.",
+    "Snort",
+)
+
+_register(
+    "Zeek: Injected FIN Pure",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.FIN, []),
+    "Bare FIN (no ACK) injected right after the handshake completes.",
+    "Zeek",
+)
+
+# ---------------------------------------------------------------------------
+# Injected RST strategies
+# ---------------------------------------------------------------------------
+
+_register(
+    "GFW: Injected RST Bad Timestamp",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST, [bad_timestamp], when="syn_recv"),
+    "RST with a PAWS-failing timestamp injected while the connection is in SYN_RECV.",
+    "GFW",
+)
+
+_register(
+    "Snort: Injected RST Bad Timestamp",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST, [bad_timestamp], when="syn_recv"),
+    "RST with a PAWS-failing timestamp injected while the connection is in SYN_RECV.",
+    "Snort",
+)
+
+_register(
+    "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST, [garble_tcp_checksum, bad_md5_option]),
+    "RST with a garbled checksum and failing MD5 option injected after the handshake.",
+    "GFW",
+)
+
+_register(
+    "Snort: Injected RST Pure",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST, []),
+    "Plain RST injected after the handshake (endhost keeps the connection alive).",
+    "Snort",
+)
+
+_register(
+    "Snort: Injected RST Partial In-Window",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(
+        TcpFlags.RST,
+        [lambda p, r: bad_seq(p, r, offset_range=(200, 4_000))],
+        when="established",
+    ),
+    "RST whose sequence number lands inside, but not at the left edge of, the window.",
+    "Snort",
+)
+
+_register(
+    "Snort: Injected RST Bad TCP MD5-Option",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST, [bad_md5_option]),
+    "RST carrying a failing MD5 signature option.",
+    "Snort",
+)
+
+_register(
+    "GFW: Injected RST-ACK Bad ACK Num",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST | TcpFlags.ACK, [bad_ack]),
+    "RST-ACK with an invalid acknowledgement number.",
+    "GFW",
+)
+
+_register(
+    "Snort: Injected RST-ACK Bad ACK Num",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST | TcpFlags.ACK, [bad_ack]),
+    "RST-ACK with an invalid acknowledgement number.",
+    "Snort",
+)
+
+_register(
+    "Zeek: Injected RST/FIN-ACK Bad SEQ",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.RST | TcpFlags.ACK, [bad_seq]),
+    "RST (or FIN-ACK) whose sequence number is far outside the window.",
+    "Zeek",
+)
+
+# ---------------------------------------------------------------------------
+# SYN-phase strategies
+# ---------------------------------------------------------------------------
+
+_register(
+    "Zeek: SYN w/ Payload",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.SYN, [add_payload], when="established"),
+    "SYN carrying payload injected into an already-established connection.",
+    "Zeek",
+)
+
+_register(
+    "GFW #1: SYN w/ Payload & Bad SEQ",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.SYN, [add_payload, bad_seq], when="established"),
+    "SYN with payload and an out-of-window sequence number, injected mid-connection.",
+    "GFW",
+)
+
+_register(
+    "GFW #2: SYN w/ Payload & Bad SEQ",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.SYN, [add_payload, bad_seq], when="syn_recv"),
+    "SYN with payload and a bad sequence number, injected while in SYN_RECV.",
+    "GFW",
+)
+
+_register(
+    "Snort: SYN Multiple (SYN)",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.SYN, [bad_seq], when="syn_sent"),
+    "A second SYN with a different sequence number injected during SYN_SENT.",
+    "Snort",
+)
+
+_register(
+    "Zeek: SYN Multiple (SYN)",
+    ContextCategory.INTER_PACKET,
+    _inject_packet(TcpFlags.SYN, [bad_seq], when="syn_sent"),
+    "A second SYN with a different sequence number injected during SYN_SENT.",
+    "Zeek",
+)

@@ -1,0 +1,24 @@
+"""The two baselines of the paper's evaluation."""
+
+from repro.baselines.afterimage import IncStat, IncStatCov, StreamStatistics
+from repro.baselines.intra_only import IntraPacketBaseline, baseline1_config
+from repro.baselines.kitsune import (
+    FeatureMapper,
+    FeatureMapping,
+    KitsuneDetector,
+    KitsuneFeatureExtractor,
+    NUM_KITSUNE_FEATURES,
+)
+
+__all__ = [
+    "FeatureMapper",
+    "FeatureMapping",
+    "IncStat",
+    "IncStatCov",
+    "IntraPacketBaseline",
+    "KitsuneDetector",
+    "KitsuneFeatureExtractor",
+    "NUM_KITSUNE_FEATURES",
+    "StreamStatistics",
+    "baseline1_config",
+]

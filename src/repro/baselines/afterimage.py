@@ -1,0 +1,149 @@
+"""Damped incremental statistics ("AfterImage") for the Kitsune baseline.
+
+Kitsune (Mirsky et al., NDSS 2018) describes every packet by incremental
+statistics of the traffic streams it belongs to (per source address, per
+channel, per socket), maintained with exponential time decay so the statistics
+follow the recent behaviour of each stream.  This module re-implements that
+bookkeeping: one-dimensional damped statistics (weight, mean, standard
+deviation) and two-dimensional statistics (magnitude, radius, covariance,
+correlation coefficient) over pairs of streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class IncStat:
+    """One-dimensional damped incremental statistic."""
+
+    decay: float
+    weight: float = 0.0
+    linear_sum: float = 0.0
+    squared_sum: float = 0.0
+    last_time: float = 0.0
+
+    def _apply_decay(self, timestamp: float) -> None:
+        if self.weight == 0.0:
+            self.last_time = timestamp
+            return
+        delta = max(timestamp - self.last_time, 0.0)
+        factor = math.pow(2.0, -self.decay * delta)
+        self.weight *= factor
+        self.linear_sum *= factor
+        self.squared_sum *= factor
+        self.last_time = timestamp
+
+    def insert(self, value: float, timestamp: float) -> None:
+        """Record ``value`` observed at ``timestamp``."""
+        self._apply_decay(timestamp)
+        self.weight += 1.0
+        self.linear_sum += value
+        self.squared_sum += value * value
+
+    @property
+    def mean(self) -> float:
+        return self.linear_sum / self.weight if self.weight > 0 else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.weight <= 0:
+            return 0.0
+        return max(self.squared_sum / self.weight - self.mean**2, 0.0)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def stats(self) -> Tuple[float, float, float]:
+        """(weight, mean, std) — the 1D feature triple."""
+        return self.weight, self.mean, self.std
+
+
+@dataclass
+class IncStatCov:
+    """Two-dimensional damped statistics over a pair of directional streams."""
+
+    decay: float
+    stream_a: IncStat = field(init=False)
+    stream_b: IncStat = field(init=False)
+    product_sum: float = 0.0
+    weight: float = 0.0
+    last_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.stream_a = IncStat(self.decay)
+        self.stream_b = IncStat(self.decay)
+
+    def _apply_decay(self, timestamp: float) -> None:
+        if self.weight == 0.0:
+            self.last_time = timestamp
+            return
+        delta = max(timestamp - self.last_time, 0.0)
+        factor = math.pow(2.0, -self.decay * delta)
+        self.product_sum *= factor
+        self.weight *= factor
+        self.last_time = timestamp
+
+    def insert(self, value: float, timestamp: float, *, first_stream: bool) -> None:
+        """Record ``value`` on one of the two directional streams."""
+        self._apply_decay(timestamp)
+        if first_stream:
+            self.stream_a.insert(value, timestamp)
+        else:
+            self.stream_b.insert(value, timestamp)
+        residual_a = value - self.stream_a.mean if first_stream else 0.0
+        residual_b = value - self.stream_b.mean if not first_stream else 0.0
+        self.product_sum += residual_a * residual_b
+        self.weight += 1.0
+
+    @property
+    def magnitude(self) -> float:
+        return math.sqrt(self.stream_a.mean**2 + self.stream_b.mean**2)
+
+    @property
+    def radius(self) -> float:
+        return math.sqrt(self.stream_a.variance**2 + self.stream_b.variance**2)
+
+    @property
+    def covariance(self) -> float:
+        return self.product_sum / self.weight if self.weight > 0 else 0.0
+
+    @property
+    def correlation(self) -> float:
+        denominator = self.stream_a.std * self.stream_b.std
+        if denominator <= 0:
+            return 0.0
+        return self.covariance / denominator
+
+    def stats_2d(self) -> Tuple[float, float, float, float]:
+        """(magnitude, radius, covariance, correlation) — the 2D feature tuple."""
+        return self.magnitude, self.radius, self.covariance, self.correlation
+
+
+class StreamStatistics:
+    """Registry of damped statistics keyed by (entity, decay)."""
+
+    def __init__(self, decays: Tuple[float, ...]) -> None:
+        self.decays = decays
+        self._one_dimensional: Dict[Tuple[str, float], IncStat] = {}
+        self._two_dimensional: Dict[Tuple[str, float], IncStatCov] = {}
+
+    def one_dimensional(self, key: str, decay: float) -> IncStat:
+        registry_key = (key, decay)
+        if registry_key not in self._one_dimensional:
+            self._one_dimensional[registry_key] = IncStat(decay)
+        return self._one_dimensional[registry_key]
+
+    def two_dimensional(self, key: str, decay: float) -> IncStatCov:
+        registry_key = (key, decay)
+        if registry_key not in self._two_dimensional:
+            self._two_dimensional[registry_key] = IncStatCov(decay)
+        return self._two_dimensional[registry_key]
+
+    def reset(self) -> None:
+        self._one_dimensional.clear()
+        self._two_dimensional.clear()

@@ -1,0 +1,38 @@
+"""Baseline #1: the temporal-context-agnostic variant of CLAP.
+
+As described in Section 4.1 of the paper, Baseline #1 reuses CLAP's pipeline
+but (1) removes all gate-weight features from the context profiles and
+(2) limits profiles to a single packet (no stacking).  Only intra-packet
+context remains, which is exactly what makes it blind to inter-packet
+violations such as injected pure RSTs.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.core.config import ClapConfig
+from repro.core.pipeline import Clap
+
+
+def baseline1_config(base: Optional[ClapConfig] = None) -> ClapConfig:
+    """Derive the Baseline #1 configuration from a CLAP configuration.
+
+    The input configuration is never mutated; a deep copy is returned.
+    """
+    config = copy.deepcopy(base) if base is not None else ClapConfig()
+    config.detector.include_gate_weights = False
+    config.detector.stack_length = 1
+    # Table 6: Baseline #1 uses a 3-layer autoencoder with a bottleneck of 5
+    # over the 51-dimensional single-packet profile.
+    config.autoencoder.depth = 3
+    config.autoencoder.bottleneck_size = 5
+    return config
+
+
+class IntraPacketBaseline(Clap):
+    """Baseline #1: single-packet, gate-weight-free autoencoder pipeline."""
+
+    def __init__(self, config: Optional[ClapConfig] = None) -> None:
+        super().__init__(baseline1_config(config))

@@ -1,0 +1,195 @@
+"""Command-line interface for the CLAP reproduction.
+
+The CLI covers the operational workflow of the paper end-to-end without
+writing any Python:
+
+* ``repro-clap generate``  — synthesise a benign traffic capture (MAWI stand-in);
+* ``repro-clap attack``    — inject one of the 73 evasion strategies into a capture;
+* ``repro-clap train``     — train CLAP on a benign capture and persist the model;
+* ``repro-clap score``     — score a capture with a persisted model (forensic mode);
+* ``repro-clap strategies``— list the attack catalogue.
+
+Every subcommand works on ordinary ``.pcap`` files, so captures produced by
+other tools can be analysed as well (TCP/IPv4 only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.attacks.base import all_strategies, get_strategy
+from repro.attacks.injector import AttackInjector
+from repro.core.config import ClapConfig
+from repro.core.pipeline import Clap
+from repro.netstack.flow import assemble_connections
+from repro.netstack.pcap import read_pcap, write_pcap
+from repro.traffic.dataset import BenignDataset
+from repro.traffic.generator import TrafficGenerator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-clap",
+        description="CLAP: detect DPI evasion attacks with context learning",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesise a benign traffic capture")
+    generate.add_argument("output", type=Path, help="output .pcap path")
+    generate.add_argument("--connections", type=int, default=200, help="number of connections")
+    generate.add_argument("--seed", type=int, default=0, help="random seed")
+
+    attack = subparsers.add_parser("attack", help="inject an evasion strategy into a capture")
+    attack.add_argument("input", type=Path, help="benign input .pcap")
+    attack.add_argument("output", type=Path, help="adversarial output .pcap")
+    attack.add_argument("--strategy", required=True, help="exact strategy name (see `strategies`)")
+    attack.add_argument("--seed", type=int, default=0, help="random seed")
+    attack.add_argument(
+        "--fraction", type=float, default=1.0,
+        help="fraction of connections to attack (default: all)",
+    )
+
+    train = subparsers.add_parser("train", help="train CLAP on benign traffic and persist the model")
+    train.add_argument("model", type=Path, help="directory to write the trained model into")
+    train.add_argument("--pcap", type=Path, default=None, help="benign training capture (.pcap)")
+    train.add_argument("--connections", type=int, default=200,
+                       help="synthesise this many connections when no --pcap is given")
+    train.add_argument("--seed", type=int, default=0, help="random seed")
+    train.add_argument("--fast", action="store_true", help="use the reduced training budget")
+    train.add_argument("--rnn-epochs", type=int, default=None, help="override RNN epochs")
+    train.add_argument("--ae-epochs", type=int, default=None, help="override autoencoder epochs")
+
+    score = subparsers.add_parser("score", help="score a capture with a persisted model")
+    score.add_argument("model", type=Path, help="directory containing the trained model")
+    score.add_argument("pcap", type=Path, help="capture to analyse")
+    score.add_argument("--threshold", type=float, default=None,
+                       help="override the persisted adversarial-score threshold")
+    score.add_argument("--top", type=int, default=0,
+                       help="only print the N highest-scoring connections")
+
+    strategies = subparsers.add_parser("strategies", help="list the 73 evasion strategies")
+    strategies.add_argument("--source", default=None,
+                            help="filter by source: symtcp, liberate or geneva")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations (each returns a process exit code)
+# ---------------------------------------------------------------------------
+
+
+def command_generate(args: argparse.Namespace) -> int:
+    generator = TrafficGenerator(seed=args.seed)
+    packets = generator.generate_packets(args.connections)
+    count = write_pcap(args.output, packets)
+    print(f"wrote {count} packets ({args.connections} connections) to {args.output}")
+    return 0
+
+
+def command_attack(args: argparse.Namespace) -> int:
+    try:
+        strategy = get_strategy(args.strategy)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    connections = assemble_connections(read_pcap(args.input))
+    if not connections:
+        print(f"error: no TCP connections found in {args.input}", file=sys.stderr)
+        return 2
+    injector = AttackInjector(seed=args.seed)
+    attack_count = max(int(round(len(connections) * args.fraction)), 1)
+    attacked = []
+    for index, connection in enumerate(connections):
+        if index < attack_count:
+            attacked.append(injector.attack_connection(strategy, connection).connection)
+        else:
+            attacked.append(connection)
+    packets = sorted((p for c in attacked for p in c.packets), key=lambda p: p.timestamp)
+    write_pcap(args.output, packets)
+    print(f"attacked {attack_count}/{len(connections)} connections with "
+          f"'{strategy.name}' and wrote {len(packets)} packets to {args.output}")
+    return 0
+
+
+def _training_config(args: argparse.Namespace) -> ClapConfig:
+    config = ClapConfig.fast() if args.fast else ClapConfig()
+    if args.rnn_epochs is not None:
+        config.rnn.epochs = args.rnn_epochs
+    if args.ae_epochs is not None:
+        config.autoencoder.epochs = args.ae_epochs
+    return config
+
+
+def command_train(args: argparse.Namespace) -> int:
+    if args.pcap is not None:
+        dataset = BenignDataset.from_pcap(args.pcap, seed=args.seed)
+        train_connections = dataset.train + dataset.test
+        print(f"loaded {len(train_connections)} connections from {args.pcap}")
+    else:
+        train_connections = TrafficGenerator(seed=args.seed).generate_connections(args.connections)
+        print(f"synthesised {len(train_connections)} benign connections (seed={args.seed})")
+    clap = Clap(_training_config(args))
+    report = clap.fit(train_connections)
+    path = clap.save(args.model)
+    print(f"RNN state-prediction accuracy: {report.rnn.training_accuracy:.3f}")
+    print(f"autoencoder final loss:        {report.autoencoder_loss_history[-1]:.5f}")
+    print(f"benign-score threshold:        {clap.threshold:.5f}")
+    print(f"model written to {path}")
+    return 0
+
+
+def command_score(args: argparse.Namespace) -> int:
+    clap = Clap.load(args.model)
+    threshold = args.threshold if args.threshold is not None else clap.threshold
+    connections = assemble_connections(read_pcap(args.pcap))
+    if not connections:
+        print(f"error: no TCP connections found in {args.pcap}", file=sys.stderr)
+        return 2
+    verdicts = []
+    for connection in connections:
+        verdict = clap.verdict(connection, threshold=threshold)
+        verdicts.append((verdict.adversarial_score, verdict, connection))
+    verdicts.sort(key=lambda item: item[0], reverse=True)
+    if args.top:
+        verdicts = verdicts[: args.top]
+    flagged = sum(1 for _, verdict, _ in verdicts if verdict.is_adversarial)
+    print(f"{'score':>10}  {'verdict':>8}  {'suspect pkt':>11}  connection")
+    for score, verdict, connection in verdicts:
+        label = "ATTACK" if verdict.is_adversarial else "benign"
+        print(f"{score:10.5f}  {label:>8}  {verdict.localized_packet:>11}  {connection.key}")
+    print(f"\n{flagged}/{len(connections)} connections exceed threshold {threshold:.5f}")
+    return 0
+
+
+def command_strategies(args: argparse.Namespace) -> int:
+    wanted = (args.source or "").strip().lower()
+    for strategy in all_strategies():
+        source_token = strategy.source.name.lower()
+        if wanted and wanted not in source_token:
+            continue
+        print(f"{strategy.source.citation:>5}  {strategy.category.name:<12}  {strategy.name}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": command_generate,
+    "attack": command_attack,
+    "train": command_train,
+    "score": command_score,
+    "strategies": command_strategies,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""CLAP core: configuration, training stages, detection and localisation."""
+
+from repro.core.config import AutoencoderConfig, ClapConfig, DetectorConfig, RnnConfig
+from repro.core.detector import (
+    ConnectionVerdict,
+    Verdicts,
+    adversarial_score,
+    localization_hit,
+    localize_window,
+    localized_packets,
+    window_center_packet,
+)
+from repro.core.pipeline import Clap, ClapTrainingReport
+from repro.core.rnn_stage import RnnStage, RnnTrainingReport, SequenceBatch, pad_sequences
+
+__all__ = [
+    "AutoencoderConfig",
+    "Clap",
+    "ClapConfig",
+    "ClapTrainingReport",
+    "ConnectionVerdict",
+    "DetectorConfig",
+    "RnnConfig",
+    "RnnStage",
+    "RnnTrainingReport",
+    "SequenceBatch",
+    "Verdicts",
+    "adversarial_score",
+    "localization_hit",
+    "localize_window",
+    "localized_packets",
+    "pad_sequences",
+    "window_center_packet",
+]

@@ -1,0 +1,131 @@
+"""Stage (d): scoring, detection and localisation.
+
+Given the per-window reconstruction errors of a connection (produced by the
+Stage-(c) autoencoder over the sliding stacked profiles), this module computes:
+
+* the **adversarial score** via the paper's "localize-and-estimate" approach —
+  locate the window with the maximum reconstruction error, then average the
+  errors over a ``score_window``-wide neighbourhood centred there;
+* the **localisation** of the most suspicious packet(s) — the packet position
+  implied by the highest-error window; and
+* the boolean **detection** decision given a deployer-chosen threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConnectionVerdict:
+    """Everything Stage (d) reports about one connection."""
+
+    adversarial_score: float
+    window_errors: np.ndarray
+    localized_window: int
+    localized_packet: int
+    is_adversarial: bool
+
+
+def adversarial_score(window_errors: np.ndarray, score_window: int = 5) -> float:
+    """The localize-and-estimate score of a sequence of reconstruction errors.
+
+    The window with the maximum error is located, and the mean error over the
+    ``score_window`` profiles centred on it (clipped to the sequence bounds) is
+    returned.  For empty inputs the score is 0.0.
+    """
+    if window_errors.size == 0:
+        return 0.0
+    center = int(np.argmax(window_errors))
+    half = max(score_window // 2, 0)
+    # Keep the averaging window a constant width whenever the sequence allows
+    # it: near the boundaries the window is shifted inwards rather than
+    # truncated, so connections whose maximum falls on the first or last
+    # profile are scored on the same footing as the others.
+    width = min(score_window, window_errors.size)
+    start = min(max(center - half, 0), window_errors.size - width)
+    stop = start + width
+    return float(np.mean(window_errors[start:stop]))
+
+
+def localize_window(window_errors: np.ndarray) -> int:
+    """Index of the stacked-profile window with the maximum error (-1 if empty)."""
+    if window_errors.size == 0:
+        return -1
+    return int(np.argmax(window_errors))
+
+
+def window_center_packet(window_index: int, stack_length: int, packet_count: int) -> int:
+    """Map a stacked-window index to its most representative packet index.
+
+    A stacked window starting at packet ``i`` covers packets ``i .. i+stack-1``;
+    its centre packet is the natural single-packet localisation.
+    """
+    if window_index < 0 or packet_count == 0:
+        return -1
+    center = window_index + stack_length // 2
+    return min(center, packet_count - 1)
+
+
+def localized_packets(
+    window_errors: np.ndarray, stack_length: int, packet_count: int, top_n: int = 1
+) -> List[int]:
+    """Packet indices implied by the ``top_n`` highest-error windows."""
+    if window_errors.size == 0 or packet_count == 0:
+        return []
+    order = np.argsort(window_errors)[::-1][:top_n]
+    packets = []
+    for window_index in order:
+        packet = window_center_packet(int(window_index), stack_length, packet_count)
+        if packet not in packets:
+            packets.append(packet)
+    return packets
+
+
+def localization_hit(
+    window_errors: np.ndarray,
+    injected_indices: Sequence[int],
+    *,
+    stack_length: int,
+    packet_count: int,
+    tolerance_window: int = 5,
+) -> bool:
+    """Top-N hit criterion of the paper's localisation evaluation.
+
+    The single localised packet (centre of the maximum-error window) counts as
+    a hit when a truly injected/modified packet lies within a
+    ``tolerance_window``-packet window centred on it: Top-5 means within two
+    packets either side, Top-3 within one, Top-1 exact.
+    """
+    if not injected_indices:
+        return False
+    window_index = localize_window(window_errors)
+    packet = window_center_packet(window_index, stack_length, packet_count)
+    if packet < 0:
+        return False
+    half = max((tolerance_window - 1) // 2, 0)
+    return any(abs(packet - int(index)) <= half for index in injected_indices)
+
+
+class Verdicts:
+    """Helper producing :class:`ConnectionVerdict` objects from errors."""
+
+    def __init__(self, stack_length: int, score_window: int, threshold: float) -> None:
+        self.stack_length = stack_length
+        self.score_window = score_window
+        self.threshold = threshold
+
+    def verdict(self, window_errors: np.ndarray, packet_count: int) -> ConnectionVerdict:
+        score = adversarial_score(window_errors, self.score_window)
+        window_index = localize_window(window_errors)
+        packet = window_center_packet(window_index, self.stack_length, packet_count)
+        return ConnectionVerdict(
+            adversarial_score=score,
+            window_errors=window_errors,
+            localized_window=window_index,
+            localized_packet=packet,
+            is_adversarial=score > self.threshold,
+        )

@@ -1,0 +1,260 @@
+"""The end-to-end CLAP pipeline (Figures 2 and 3 of the paper).
+
+Training phase (:meth:`Clap.fit`):
+
+(a) train the GRU state classifier on benign connections labelled by the
+    reference conntrack implementation;
+(b) fuse packet features (raw + amplification) with the GRU gate activations
+    into context profiles, stacked over a sliding window;
+(c) train the autoencoder on the benign stacked profiles.
+
+Testing phase (:meth:`Clap.score_connection` / :meth:`Clap.verdict`):
+
+(d) compute per-window reconstruction errors for an unseen connection,
+    summarise them with the localize-and-estimate adversarial score, compare
+    against a threshold and, if desired, localise the most suspicious packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import ClapConfig
+from repro.core.detector import (
+    ConnectionVerdict,
+    Verdicts,
+    adversarial_score,
+    localized_packets,
+)
+from repro.core.rnn_stage import RnnStage, RnnTrainingReport
+from repro.features.amplification import FeatureRanges
+from repro.features.profile import ContextProfileBuilder
+from repro.features.scaling import FeatureScaler
+from repro.netstack.flow import Connection
+from repro.nn.autoencoder import Autoencoder
+from repro.nn.gru import GRUSequenceClassifier
+from repro.nn.serialization import load_state, save_state
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class ClapTrainingReport:
+    """Summary of a full CLAP training run."""
+
+    rnn: Optional[RnnTrainingReport]
+    autoencoder_loss_history: List[float]
+    profile_size: int
+    stacked_profile_size: int
+    training_profiles: int
+    threshold: float
+
+
+class Clap:
+    """Context Learning based Adversarial Protection.
+
+    ``include_gate_weights=False`` together with ``stack_length=1`` in the
+    detector configuration turns this pipeline into the paper's Baseline #1
+    (no RNN is trained in that case); the dedicated constructor lives in
+    :mod:`repro.baselines.intra_only`.
+    """
+
+    def __init__(self, config: Optional[ClapConfig] = None) -> None:
+        self.config = config or ClapConfig()
+        self.rnn_stage: Optional[RnnStage] = None
+        self.autoencoder: Optional[Autoencoder] = None
+        self.builder: Optional[ContextProfileBuilder] = None
+        self.threshold: float = 0.0
+        self.report: Optional[ClapTrainingReport] = None
+
+    # -------------------------------------------------------------- training
+    def fit(
+        self,
+        train_connections: Sequence[Connection],
+        *,
+        verbose: bool = False,
+        threshold_percentile: float = 95.0,
+    ) -> ClapTrainingReport:
+        """Train the full pipeline on benign connections only."""
+        detector_config = self.config.detector
+        rnn_report: Optional[RnnTrainingReport] = None
+        rnn_model: Optional[GRUSequenceClassifier] = None
+
+        if detector_config.include_gate_weights:
+            self.rnn_stage = RnnStage(self.config.rnn)
+            rnn_report = self.rnn_stage.fit(train_connections, verbose=verbose)
+            rnn_model = self.rnn_stage.model
+            scaler = self.rnn_stage.scaler
+            raw_arrays, _ = self.rnn_stage.prepare(train_connections)
+        else:
+            stage = RnnStage(self.config.rnn)
+            raw_arrays, _ = stage.prepare(train_connections)
+            scaler = FeatureScaler.fit(raw_arrays)
+
+        ranges = FeatureRanges.fit(raw_arrays)
+        self.builder = ContextProfileBuilder(
+            rnn_model,
+            scaler,
+            ranges,
+            stack_length=detector_config.stack_length,
+            include_gate_weights=detector_config.include_gate_weights,
+            include_amplification=detector_config.include_amplification,
+        )
+
+        training_matrix = self.builder.training_matrix(train_connections)
+        autoencoder_config = self.config.autoencoder
+        self.autoencoder = Autoencoder(
+            input_size=self.builder.stacked_profile_size,
+            bottleneck_size=autoencoder_config.bottleneck_size,
+            depth=autoencoder_config.depth,
+            hidden_activation=autoencoder_config.hidden_activation,
+            learning_rate=autoencoder_config.learning_rate,
+            seed=autoencoder_config.seed,
+        )
+        loss_history = self.autoencoder.fit(
+            training_matrix,
+            epochs=autoencoder_config.epochs,
+            batch_size=autoencoder_config.batch_size,
+            rng=ensure_rng(autoencoder_config.seed),
+            verbose=verbose,
+        )
+
+        self.threshold = self._calibrate_threshold(train_connections, threshold_percentile)
+        self.report = ClapTrainingReport(
+            rnn=rnn_report,
+            autoencoder_loss_history=loss_history,
+            profile_size=self.builder.profile_size,
+            stacked_profile_size=self.builder.stacked_profile_size,
+            training_profiles=training_matrix.shape[0],
+            threshold=self.threshold,
+        )
+        return self.report
+
+    def _calibrate_threshold(
+        self, connections: Sequence[Connection], percentile: float
+    ) -> float:
+        """Default decision threshold: a high percentile of benign scores.
+
+        The paper leaves the threshold to the deployer; this calibration gives
+        example scripts and the online-detector example a sensible default.
+        """
+        scores = self.score_connections(connections)
+        if scores.size == 0:
+            return 0.0
+        return float(np.percentile(scores, percentile))
+
+    # --------------------------------------------------------------- scoring
+    def _require_fitted(self) -> None:
+        if self.autoencoder is None or self.builder is None:
+            raise RuntimeError("Clap.fit (or Clap.load) must be called before scoring")
+
+    def window_errors(self, connection: Connection) -> np.ndarray:
+        """Per-sliding-window reconstruction errors for one connection."""
+        self._require_fitted()
+        stacked = self.builder.stacked_profiles(connection)
+        if stacked.shape[0] == 0:
+            return np.zeros(0)
+        return self.autoencoder.reconstruction_error(stacked)
+
+    def score_connection(self, connection: Connection) -> float:
+        """The adversarial score of one connection (higher = more suspicious)."""
+        return adversarial_score(
+            self.window_errors(connection), self.config.detector.score_window
+        )
+
+    def score_connections(self, connections: Sequence[Connection]) -> np.ndarray:
+        """Adversarial scores for many connections."""
+        return np.array([self.score_connection(connection) for connection in connections])
+
+    def verdict(self, connection: Connection, threshold: Optional[float] = None) -> ConnectionVerdict:
+        """Full Stage-(d) output: score, boolean decision and localisation."""
+        self._require_fitted()
+        errors = self.window_errors(connection)
+        verdicts = Verdicts(
+            stack_length=self.config.detector.stack_length,
+            score_window=self.config.detector.score_window,
+            threshold=self.threshold if threshold is None else threshold,
+        )
+        return verdicts.verdict(errors, packet_count=len(connection))
+
+    def localize(self, connection: Connection, top_n: int = 1) -> List[int]:
+        """Packet indices of the ``top_n`` most suspicious positions."""
+        errors = self.window_errors(connection)
+        return localized_packets(
+            errors,
+            stack_length=self.config.detector.stack_length,
+            packet_count=len(connection),
+            top_n=top_n,
+        )
+
+    def is_adversarial(self, connection: Connection, threshold: Optional[float] = None) -> bool:
+        """Boolean detection decision for one connection."""
+        limit = self.threshold if threshold is None else threshold
+        return self.score_connection(connection) > limit
+
+    # ------------------------------------------------------------ persistence
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Persist the trained pipeline (RNN, autoencoder, scaler, threshold)."""
+        self._require_fitted()
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        state: Dict[str, np.ndarray] = {}
+        if self.builder.rnn is not None:
+            for key, value in self.builder.rnn.state_dict().items():
+                state[f"rnn/{key}"] = value
+        for key, value in self.autoencoder.state_dict().items():
+            state[f"ae/{key}"] = value
+        for key, value in self.builder.scaler.to_arrays().items():
+            state[f"scaler/{key}"] = value
+        for key, value in self.builder.ranges.to_arrays().items():
+            state[f"ranges/{key}"] = value
+        state["detector/threshold"] = np.array([self.threshold])
+        state["detector/stack_length"] = np.array([self.config.detector.stack_length])
+        state["detector/score_window"] = np.array([self.config.detector.score_window])
+        state["detector/include_gate_weights"] = np.array(
+            [1 if self.config.detector.include_gate_weights else 0]
+        )
+        state["detector/include_amplification"] = np.array(
+            [1 if self.config.detector.include_amplification else 0]
+        )
+        return save_state(directory / "clap_model", state)
+
+    @classmethod
+    def load(cls, path: Union[str, Path], config: Optional[ClapConfig] = None) -> "Clap":
+        """Load a pipeline persisted with :meth:`save`."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / "clap_model.npz"
+        state = load_state(path)
+        config = config or ClapConfig()
+        config.detector.stack_length = int(state["detector/stack_length"][0])
+        config.detector.score_window = int(state["detector/score_window"][0])
+        config.detector.include_gate_weights = bool(int(state["detector/include_gate_weights"][0]))
+        config.detector.include_amplification = bool(int(state["detector/include_amplification"][0]))
+        instance = cls(config)
+
+        rnn_state = {
+            key[len("rnn/") :]: value for key, value in state.items() if key.startswith("rnn/")
+        }
+        rnn_model = GRUSequenceClassifier.from_state_dict(rnn_state) if rnn_state else None
+        ae_state = {key[len("ae/") :]: value for key, value in state.items() if key.startswith("ae/")}
+        scaler = FeatureScaler.from_arrays(
+            {key[len("scaler/") :]: value for key, value in state.items() if key.startswith("scaler/")}
+        )
+        ranges = FeatureRanges.from_arrays(
+            {key[len("ranges/") :]: value for key, value in state.items() if key.startswith("ranges/")}
+        )
+        instance.builder = ContextProfileBuilder(
+            rnn_model,
+            scaler,
+            ranges,
+            stack_length=config.detector.stack_length,
+            include_gate_weights=config.detector.include_gate_weights,
+            include_amplification=config.detector.include_amplification,
+        )
+        instance.autoencoder = Autoencoder.from_state_dict(ae_state)
+        instance.threshold = float(state["detector/threshold"][0])
+        return instance

@@ -1,0 +1,174 @@
+"""Stage (a): learning the inter-packet context.
+
+A GRU-based sequence classifier is trained to predict, for each packet of a
+benign connection, the reference connection state (master TCP state plus
+in-/out-of-window verdict, 22 classes).  The classifier itself is a means to
+an end: after training, its per-packet gate activations encode how much each
+prediction depends on the preceding packets — the inter-packet context that is
+fused into the context profiles in Stage (b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import RnnConfig
+from repro.features.fields import RawFeatureExtractor
+from repro.features.scaling import FeatureScaler
+from repro.netstack.flow import Connection
+from repro.nn.gru import GRUSequenceClassifier
+from repro.tcpstate.conntrack import ConnectionLabeler
+from repro.tcpstate.states import NUM_LABEL_CLASSES, StateLabel, label_names
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class SequenceBatch:
+    """A padded batch of per-connection feature sequences and labels."""
+
+    inputs: np.ndarray  # (batch, time, features)
+    targets: np.ndarray  # (batch, time)
+    mask: np.ndarray  # (batch, time), 1.0 for real packets
+
+
+@dataclass
+class RnnTrainingReport:
+    """Summary of a Stage-(a) training run."""
+
+    epochs: int
+    final_loss: float
+    loss_history: List[float]
+    training_accuracy: float
+
+
+def pad_sequences(
+    feature_arrays: Sequence[np.ndarray], label_arrays: Sequence[np.ndarray]
+) -> SequenceBatch:
+    """Zero-pad variable-length sequences into one batch with a mask."""
+    batch = len(feature_arrays)
+    max_time = max((array.shape[0] for array in feature_arrays), default=1)
+    width = feature_arrays[0].shape[1] if feature_arrays else 0
+    inputs = np.zeros((batch, max_time, width), dtype=np.float64)
+    targets = np.zeros((batch, max_time), dtype=np.int64)
+    mask = np.zeros((batch, max_time), dtype=np.float64)
+    for row, (features, labels) in enumerate(zip(feature_arrays, label_arrays)):
+        length = features.shape[0]
+        inputs[row, :length] = features
+        targets[row, :length] = labels
+        mask[row, :length] = 1.0
+    return SequenceBatch(inputs=inputs, targets=targets, mask=mask)
+
+
+class RnnStage:
+    """Train and evaluate the Stage-(a) GRU on labelled benign connections."""
+
+    def __init__(self, config: Optional[RnnConfig] = None) -> None:
+        self.config = config or RnnConfig()
+        self.extractor = RawFeatureExtractor()
+        self.labeler = ConnectionLabeler()
+        self.scaler: Optional[FeatureScaler] = None
+        self.model: Optional[GRUSequenceClassifier] = None
+        self.report: Optional[RnnTrainingReport] = None
+
+    # ----------------------------------------------------------- preparation
+    def prepare(
+        self, connections: Sequence[Connection]
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Raw features and label indices per connection (labels via conntrack)."""
+        feature_arrays: List[np.ndarray] = []
+        label_arrays: List[np.ndarray] = []
+        for connection in connections:
+            if len(connection) == 0:
+                continue
+            features = self.extractor.extract_connection(connection)
+            labels = np.array(self.labeler.label_class_indices(connection.packets), dtype=np.int64)
+            feature_arrays.append(features)
+            label_arrays.append(labels)
+        return feature_arrays, label_arrays
+
+    # -------------------------------------------------------------- training
+    def fit(self, connections: Sequence[Connection], *, verbose: bool = False) -> RnnTrainingReport:
+        """Train the GRU classifier on benign ``connections``."""
+        feature_arrays, label_arrays = self.prepare(connections)
+        if not feature_arrays:
+            raise ValueError("cannot train the RNN stage on an empty corpus")
+        self.scaler = FeatureScaler.fit(feature_arrays)
+        scaled_arrays = self.scaler.transform_all(feature_arrays)
+
+        self.model = GRUSequenceClassifier(
+            input_size=self.config.input_size,
+            hidden_size=self.config.hidden_size,
+            num_classes=self.config.num_classes,
+            seed=self.config.seed,
+            learning_rate=self.config.learning_rate,
+            gradient_clip=self.config.gradient_clip,
+        )
+        rng = ensure_rng(self.config.seed)
+        order = np.arange(len(scaled_arrays))
+        loss_history: List[float] = []
+        for epoch in range(self.config.epochs):
+            rng.shuffle(order)
+            epoch_losses: List[float] = []
+            for start in range(0, len(order), self.config.batch_size):
+                chosen = order[start : start + self.config.batch_size]
+                batch = pad_sequences(
+                    [scaled_arrays[i] for i in chosen], [label_arrays[i] for i in chosen]
+                )
+                epoch_losses.append(self.model.train_batch(batch.inputs, batch.targets, batch.mask))
+            loss_history.append(float(np.mean(epoch_losses)))
+            if verbose:
+                print(f"rnn epoch {epoch + 1}/{self.config.epochs}: loss={loss_history[-1]:.4f}")
+
+        accuracy = self.evaluate(connections)
+        self.report = RnnTrainingReport(
+            epochs=self.config.epochs,
+            final_loss=loss_history[-1],
+            loss_history=loss_history,
+            training_accuracy=accuracy,
+        )
+        return self.report
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, connections: Sequence[Connection]) -> float:
+        """Overall per-packet state-prediction accuracy."""
+        correct, total = self._count_correct(connections)
+        return correct / total if total else 0.0
+
+    def per_label_accuracy(self, connections: Sequence[Connection]) -> Dict[str, Tuple[float, int]]:
+        """Accuracy and sample count per label name (the Table-5 breakdown)."""
+        if self.model is None or self.scaler is None:
+            raise RuntimeError("RnnStage.fit must be called before evaluation")
+        names = label_names()
+        counts = np.zeros(NUM_LABEL_CLASSES, dtype=np.int64)
+        hits = np.zeros(NUM_LABEL_CLASSES, dtype=np.int64)
+        for connection in connections:
+            if len(connection) == 0:
+                continue
+            features = self.scaler.transform(self.extractor.extract_connection(connection))
+            labels = np.array(self.labeler.label_class_indices(connection.packets), dtype=np.int64)
+            predictions = self.model.predict_classes(features[None, :, :])[0]
+            for label, prediction in zip(labels, predictions):
+                counts[label] += 1
+                hits[label] += int(label == prediction)
+        return {
+            names[index]: (float(hits[index] / counts[index]) if counts[index] else float("nan"), int(counts[index]))
+            for index in range(NUM_LABEL_CLASSES)
+        }
+
+    def _count_correct(self, connections: Sequence[Connection]) -> Tuple[int, int]:
+        if self.model is None or self.scaler is None:
+            raise RuntimeError("RnnStage.fit must be called before evaluation")
+        correct = 0
+        total = 0
+        for connection in connections:
+            if len(connection) == 0:
+                continue
+            features = self.scaler.transform(self.extractor.extract_connection(connection))
+            labels = np.array(self.labeler.label_class_indices(connection.packets), dtype=np.int64)
+            predictions = self.model.predict_classes(features[None, :, :])[0]
+            correct += int(np.sum(predictions[: labels.size] == labels))
+            total += labels.size
+        return correct, total

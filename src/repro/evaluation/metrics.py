@@ -1,0 +1,139 @@
+"""Detection and localisation metrics (Section 4.2 of the paper).
+
+* **AUC-ROC** -- area under the ROC curve over adversarial (positive) versus
+  benign (negative) adversarial scores;
+* **EER** -- the equal error rate, i.e. the operating point where the false
+  positive rate equals the false negative rate;
+* **Top-N hit rate** -- localisation accuracy: how often the packet pinpointed
+  by the maximum-reconstruction-error window lies within an N-packet window of
+  a truly injected/modified packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A ROC curve with its summary statistics."""
+
+    false_positive_rates: np.ndarray
+    true_positive_rates: np.ndarray
+    thresholds: np.ndarray
+    auc: float
+    eer: float
+    eer_threshold: float
+
+
+def roc_curve(positive_scores: Sequence[float], negative_scores: Sequence[float]) -> RocCurve:
+    """Compute the ROC curve for scores where higher means "more adversarial"."""
+    positives = np.asarray(positive_scores, dtype=np.float64)
+    negatives = np.asarray(negative_scores, dtype=np.float64)
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("both positive and negative score sets must be non-empty")
+
+    scores = np.concatenate([positives, negatives])
+    labels = np.concatenate([np.ones(positives.size), np.zeros(negatives.size)])
+    order = np.argsort(-scores, kind="mergesort")
+    scores = scores[order]
+    labels = labels[order]
+
+    true_positives = np.cumsum(labels)
+    false_positives = np.cumsum(1.0 - labels)
+    tpr = true_positives / positives.size
+    fpr = false_positives / negatives.size
+
+    # Collapse ties so each distinct threshold appears once.
+    distinct = np.where(np.diff(scores, append=scores[-1] - 1.0) != 0.0)[0]
+    tpr = np.concatenate([[0.0], tpr[distinct]])
+    fpr = np.concatenate([[0.0], fpr[distinct]])
+    thresholds = np.concatenate([[np.inf], scores[distinct]])
+
+    auc = float(np.trapezoid(tpr, fpr))
+    eer_value, eer_threshold = _equal_error_rate(fpr, tpr, thresholds)
+    return RocCurve(
+        false_positive_rates=fpr,
+        true_positive_rates=tpr,
+        thresholds=thresholds,
+        auc=auc,
+        eer=eer_value,
+        eer_threshold=eer_threshold,
+    )
+
+
+def _equal_error_rate(
+    fpr: np.ndarray, tpr: np.ndarray, thresholds: np.ndarray
+) -> Tuple[float, float]:
+    """The point on the ROC where FPR == FNR (linearly interpolated)."""
+    fnr = 1.0 - tpr
+    differences = fpr - fnr
+    crossing = np.where(np.diff(np.sign(differences)) != 0)[0]
+    if crossing.size == 0:
+        index = int(np.argmin(np.abs(differences)))
+        return float((fpr[index] + fnr[index]) / 2.0), float(thresholds[index])
+    index = int(crossing[0])
+    # Linear interpolation between index and index + 1.
+    d0, d1 = differences[index], differences[index + 1]
+    weight = 0.0 if d1 == d0 else -d0 / (d1 - d0)
+    eer = float(fpr[index] + weight * (fpr[index + 1] - fpr[index]))
+    threshold = float(thresholds[index] + weight * (thresholds[index + 1] - thresholds[index]))
+    return eer, threshold
+
+
+def auc_roc(positive_scores: Sequence[float], negative_scores: Sequence[float]) -> float:
+    """AUC-ROC via the rank statistic (exactly handles ties)."""
+    positives = np.asarray(positive_scores, dtype=np.float64)
+    negatives = np.asarray(negative_scores, dtype=np.float64)
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("both positive and negative score sets must be non-empty")
+    combined = np.concatenate([positives, negatives])
+    ranks = _rank_with_ties(combined)
+    positive_rank_sum = ranks[: positives.size].sum()
+    u_statistic = positive_rank_sum - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))
+
+
+def _rank_with_ties(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty_like(values)
+    sorted_values = values[order]
+    position = 0
+    while position < len(sorted_values):
+        stop = position
+        while stop + 1 < len(sorted_values) and sorted_values[stop + 1] == sorted_values[position]:
+            stop += 1
+        average_rank = (position + stop) / 2.0 + 1.0
+        ranks[order[position : stop + 1]] = average_rank
+        position = stop + 1
+    return ranks
+
+
+def equal_error_rate(positive_scores: Sequence[float], negative_scores: Sequence[float]) -> float:
+    """Convenience wrapper returning only the EER."""
+    return roc_curve(positive_scores, negative_scores).eer
+
+
+def top_n_hit_rate(hits: Sequence[bool]) -> float:
+    """Fraction of connections whose localisation was a hit."""
+    values = list(hits)
+    if not values:
+        return 0.0
+    return float(np.mean([1.0 if hit else 0.0 for hit in values]))
+
+
+def true_false_positive_counts(
+    positive_scores: Sequence[float], negative_scores: Sequence[float], threshold: float
+) -> dict:
+    """Confusion counts at a fixed threshold (used by the online-detector example)."""
+    positives = np.asarray(positive_scores, dtype=np.float64)
+    negatives = np.asarray(negative_scores, dtype=np.float64)
+    return {
+        "true_positives": int(np.sum(positives > threshold)),
+        "false_negatives": int(np.sum(positives <= threshold)),
+        "false_positives": int(np.sum(negatives > threshold)),
+        "true_negatives": int(np.sum(negatives <= threshold)),
+    }

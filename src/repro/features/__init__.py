@@ -1,0 +1,56 @@
+"""Feature extraction: Table 7 features, amplification and context profiles."""
+
+from repro.features.amplification import AmplificationFeatureExtractor, FeatureRanges
+from repro.features.fields import RawFeatureExtractor, extract_raw_features
+from repro.features.profile import (
+    ConnectionProfiles,
+    ContextProfileBuilder,
+    stack_profiles,
+    window_to_packet_indices,
+)
+from repro.features.scaling import FeatureScaler, signed_log1p
+from repro.features.schema import (
+    CONTEXT_PROFILE_SIZE,
+    HIDDEN_SIZE,
+    NUM_AMPLIFICATION_FEATURES,
+    NUM_GATE_FEATURES,
+    NUM_PACKET_FEATURES,
+    NUM_RAW_FEATURES,
+    NUMERIC_INDICES,
+    FeatureGroup,
+    FeatureSpec,
+    FeatureType,
+    all_feature_specs,
+    amplification_feature_specs,
+    feature_name,
+    gate_feature_specs,
+    raw_feature_specs,
+)
+
+__all__ = [
+    "AmplificationFeatureExtractor",
+    "CONTEXT_PROFILE_SIZE",
+    "ConnectionProfiles",
+    "ContextProfileBuilder",
+    "FeatureGroup",
+    "FeatureRanges",
+    "FeatureScaler",
+    "FeatureSpec",
+    "FeatureType",
+    "HIDDEN_SIZE",
+    "NUMERIC_INDICES",
+    "NUM_AMPLIFICATION_FEATURES",
+    "NUM_GATE_FEATURES",
+    "NUM_PACKET_FEATURES",
+    "NUM_RAW_FEATURES",
+    "RawFeatureExtractor",
+    "all_feature_specs",
+    "amplification_feature_specs",
+    "extract_raw_features",
+    "feature_name",
+    "gate_feature_specs",
+    "raw_feature_specs",
+    "signed_log1p",
+    "stack_profiles",
+    "window_to_packet_indices",
+]

@@ -1,0 +1,99 @@
+"""Amplification features (features #33-#51 of Table 7).
+
+Some evasion strategies perturb a header field by an amount that is numerically
+tiny after scaling (e.g. IP version 4 -> 5, a TTL of 2, a data offset of 4) and
+would barely move the autoencoder's reconstruction error.  The paper therefore
+augments the packet features with two kinds of hand-crafted *amplification
+features*:
+
+* **out-of-range indicators** -- one binary flag per numeric header feature,
+  set when the value falls outside the range observed in benign training
+  traffic;
+* an **equivalence-relation feature** -- whether the expected identity
+  ``TCP payload length = IP total length - IP header length - TCP data offset``
+  holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.schema import (
+    NUM_AMPLIFICATION_FEATURES,
+    NUM_RAW_FEATURES,
+    NUMERIC_INDICES,
+)
+
+
+@dataclass
+class FeatureRanges:
+    """Per-feature [min, max] ranges observed on benign training traffic."""
+
+    minimums: np.ndarray
+    maximums: np.ndarray
+
+    @classmethod
+    def fit(cls, feature_arrays: Sequence[np.ndarray]) -> "FeatureRanges":
+        """Fit ranges over a list of per-connection raw feature arrays."""
+        stacked = np.vstack([array for array in feature_arrays if array.size > 0])
+        if stacked.shape[1] != NUM_RAW_FEATURES:
+            raise ValueError(
+                f"expected {NUM_RAW_FEATURES} raw features, got {stacked.shape[1]}"
+            )
+        return cls(minimums=stacked.min(axis=0), maximums=stacked.max(axis=0))
+
+    def out_of_range(self, features: np.ndarray, column: int) -> np.ndarray:
+        """Binary out-of-range indicator for ``column`` of ``features``."""
+        low = self.minimums[column]
+        high = self.maximums[column]
+        values = features[:, column]
+        return ((values < low) | (values > high)).astype(np.float64)
+
+    def to_arrays(self) -> dict:
+        return {"minimums": self.minimums, "maximums": self.maximums}
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "FeatureRanges":
+        return cls(minimums=np.asarray(arrays["minimums"]), maximums=np.asarray(arrays["maximums"]))
+
+
+class AmplificationFeatureExtractor:
+    """Compute the 19 amplification features from raw features and ranges."""
+
+    feature_count = NUM_AMPLIFICATION_FEATURES
+
+    def __init__(self, ranges: FeatureRanges) -> None:
+        self.ranges = ranges
+
+    def extract(self, raw_features: np.ndarray) -> np.ndarray:
+        """Return an array of shape ``(n_packets, 19)``.
+
+        ``raw_features`` is the output of
+        :class:`~repro.features.fields.RawFeatureExtractor` for one connection.
+        """
+        count = raw_features.shape[0]
+        output = np.zeros((count, NUM_AMPLIFICATION_FEATURES), dtype=np.float64)
+        if count == 0:
+            return output
+        for position, column in enumerate(NUMERIC_INDICES):
+            output[:, position] = self.ranges.out_of_range(raw_features, column)
+        output[:, -1] = self._payload_length_violation(raw_features)
+        return output
+
+    @staticmethod
+    def _payload_length_violation(raw_features: np.ndarray) -> np.ndarray:
+        """1.0 where the payload-length equivalence relation is broken.
+
+        The relation (paper Table 7, feature #51):
+        ``payload length == IP total length - IP header length - TCP data offset``
+        with the data offset converted from 32-bit words to bytes.
+        """
+        payload_length = raw_features[:, 16]
+        ip_total_length = raw_features[:, 25]
+        ip_header_length = raw_features[:, 27]
+        data_offset_bytes = raw_features[:, 3] * 4.0
+        expected = ip_total_length - ip_header_length - data_offset_bytes
+        return (np.abs(expected - payload_length) > 0.5).astype(np.float64)

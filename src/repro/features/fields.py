@@ -1,0 +1,147 @@
+"""Raw header-field feature extraction (features #1-#32 of Table 7).
+
+The paper's guiding principle is to use header fields "in the raw form to the
+extent possible", with only minimal preprocessing: sequence/acknowledgement
+numbers are made incremental (relative to the connection's initial sequence
+numbers), checksums are turned into validity bits, and timestamps are made
+relative to the connection start.  Everything else is the literal field value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.schema import NUM_RAW_FEATURES
+from repro.netstack.flow import Connection
+from repro.netstack.options import OptionKind
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags
+from repro.tcpstate.window import seq_diff
+
+_FLAG_ORDER = (
+    TcpFlags.FIN,
+    TcpFlags.SYN,
+    TcpFlags.RST,
+    TcpFlags.PSH,
+    TcpFlags.ACK,
+    TcpFlags.URG,
+    TcpFlags.ECE,
+    TcpFlags.CWR,
+    TcpFlags.NS,
+)
+
+
+@dataclass
+class _ConnectionContext:
+    """Per-connection reference values needed to make fields incremental."""
+
+    client_isn: Optional[int] = None
+    server_isn: Optional[int] = None
+    start_time: Optional[float] = None
+    previous_tsval: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.previous_tsval is None:
+            self.previous_tsval = {}
+
+
+class RawFeatureExtractor:
+    """Extract the 32 raw IP/TCP features for every packet of a connection."""
+
+    feature_count = NUM_RAW_FEATURES
+
+    def extract_connection(self, connection: Connection) -> np.ndarray:
+        """Return an array of shape ``(len(connection), 32)``."""
+        return self.extract_packets(connection.packets)
+
+    def extract_packets(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Extract features for an ordered packet train of one connection."""
+        context = self._build_context(packets)
+        rows = [self._extract_packet(packet, context) for packet in packets]
+        if not rows:
+            return np.zeros((0, NUM_RAW_FEATURES), dtype=np.float64)
+        return np.vstack(rows)
+
+    # ------------------------------------------------------------------ private
+    def _build_context(self, packets: Sequence[Packet]) -> _ConnectionContext:
+        context = _ConnectionContext()
+        for packet in packets:
+            if context.start_time is None:
+                context.start_time = packet.timestamp
+            if packet.direction is Direction.CLIENT_TO_SERVER and context.client_isn is None:
+                context.client_isn = packet.tcp.seq
+            if packet.direction is Direction.SERVER_TO_CLIENT and context.server_isn is None:
+                context.server_isn = packet.tcp.seq
+        if context.start_time is None:
+            context.start_time = 0.0
+        return context
+
+    @staticmethod
+    def _relative_seq(value: int, base: Optional[int]) -> float:
+        if base is None:
+            return 0.0
+        return float(seq_diff(value, base))
+
+    def _extract_packet(self, packet: Packet, context: _ConnectionContext) -> np.ndarray:
+        features = np.zeros(NUM_RAW_FEATURES, dtype=np.float64)
+        tcp = packet.tcp
+        ip = packet.ip
+
+        is_client = packet.direction is Direction.CLIENT_TO_SERVER
+        own_isn = context.client_isn if is_client else context.server_isn
+        peer_isn = context.server_isn if is_client else context.client_isn
+
+        # --- TCP layer (1..25) ------------------------------------------------
+        features[0] = 0.0 if is_client else 1.0
+        features[1] = self._relative_seq(tcp.seq, own_isn)
+        features[2] = self._relative_seq(tcp.ack, peer_isn) if tcp.has_flag(TcpFlags.ACK) else 0.0
+        features[3] = float(tcp.effective_data_offset())
+        for position, flag in enumerate(_FLAG_ORDER):
+            features[4 + position] = 1.0 if tcp.has_flag(flag) else 0.0
+        features[13] = float(tcp.window)
+        features[14] = 1.0 if packet.tcp_checksum_ok() else 0.0
+        features[15] = float(tcp.urgent_pointer)
+        features[16] = float(len(packet.payload))
+
+        mss = tcp.mss_option()
+        features[17] = float(mss.value) if mss is not None else 0.0
+        timestamp_option = tcp.timestamp_option()
+        if timestamp_option is not None:
+            features[18] = float(timestamp_option.tsval % 2**31)
+            features[19] = float(timestamp_option.tsecr % 2**31)
+        window_scale = tcp.window_scale_option()
+        features[20] = float(window_scale.shift) if window_scale is not None else 0.0
+        user_timeout = tcp.user_timeout_option()
+        features[21] = float(user_timeout.timeout) if user_timeout is not None else 0.0
+        md5 = tcp.md5_option()
+        features[22] = 1.0 if (md5 is None or md5.valid) else 0.0
+
+        # #24: TCP timestamp delta relative to the previous packet of the same
+        # direction (0 when the option is absent or on the first packet).
+        if timestamp_option is not None:
+            previous = context.previous_tsval.get(packet.direction)
+            if previous is not None:
+                features[23] = float(seq_diff(timestamp_option.tsval, previous))
+            context.previous_tsval[packet.direction] = timestamp_option.tsval
+        # #25: frame timestamp relative to the first packet, in milliseconds.
+        features[24] = (packet.timestamp - (context.start_time or 0.0)) * 1000.0
+
+        # --- IP layer (26..32) ------------------------------------------------
+        tcp_segment_length = tcp.header_length + len(packet.payload)
+        features[25] = float(ip.effective_total_length(tcp_segment_length))
+        features[26] = float(ip.ttl)
+        features[27] = float(ip.effective_ihl() * 4)
+        features[28] = 1.0 if packet.ip_checksum_ok() else 0.0
+        features[29] = float(ip.version)
+        features[30] = float(ip.tos)
+        features[31] = 1.0 if len(ip.options) > 0 else 0.0
+        return features
+
+
+def extract_raw_features(connections: Sequence[Connection]) -> List[np.ndarray]:
+    """Extract raw features for a list of connections (one array each)."""
+    extractor = RawFeatureExtractor()
+    return [extractor.extract_connection(connection) for connection in connections]

@@ -1,0 +1,161 @@
+"""Context-profile construction and stacking (Stage (b) of CLAP).
+
+A *context profile* fuses, for each packet:
+
+* the scaled raw header features (#1-#32),
+* the amplification features (#33-#51), and
+* the GRU update/reset gate activations for that packet (#52-#115),
+
+giving a 115-dimensional vector (Equation 2 of the paper).  Profiles of
+``stack_length`` consecutive packets are then concatenated in a sliding window
+to form *stacked profiles* (345 dimensions for the default stack of 3), which
+are what the Stage-(c) autoencoder consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.amplification import AmplificationFeatureExtractor, FeatureRanges
+from repro.features.fields import RawFeatureExtractor
+from repro.features.scaling import FeatureScaler
+from repro.features.schema import CONTEXT_PROFILE_SIZE, NUM_PACKET_FEATURES
+from repro.netstack.flow import Connection
+from repro.nn.gru import GRUSequenceClassifier
+
+
+@dataclass
+class ConnectionProfiles:
+    """All per-packet artefacts of one connection."""
+
+    raw_features: np.ndarray  # (n, 32), unscaled
+    scaled_features: np.ndarray  # (n, 32)
+    amplification: np.ndarray  # (n, 19)
+    update_gates: np.ndarray  # (n, hidden)
+    reset_gates: np.ndarray  # (n, hidden)
+    profiles: np.ndarray  # (n, 115)
+
+    def __len__(self) -> int:
+        return self.profiles.shape[0]
+
+
+def stack_profiles(profiles: np.ndarray, stack_length: int) -> np.ndarray:
+    """Concatenate consecutive profiles in a sliding window.
+
+    For ``n`` profiles and a stack of ``t`` the result has shape
+    ``(max(n - t + 1, 1), t * width)``; connections shorter than the stack are
+    zero-padded on the right so that even 1-2 packet connections produce one
+    stacked profile.
+    """
+    if stack_length < 1:
+        raise ValueError(f"stack_length must be >= 1, got {stack_length}")
+    count, width = profiles.shape
+    if count == 0:
+        return np.zeros((0, stack_length * width), dtype=np.float64)
+    if count < stack_length:
+        padded = np.zeros((stack_length, width), dtype=np.float64)
+        padded[:count] = profiles
+        return padded.reshape(1, stack_length * width)
+    windows = count - stack_length + 1
+    stacked = np.zeros((windows, stack_length * width), dtype=np.float64)
+    for offset in range(stack_length):
+        stacked[:, offset * width : (offset + 1) * width] = profiles[offset : offset + windows]
+    return stacked
+
+
+def window_to_packet_indices(window_index: int, stack_length: int, packet_count: int) -> List[int]:
+    """Packet indices covered by stacked-profile window ``window_index``."""
+    last = min(window_index + stack_length, packet_count)
+    return list(range(window_index, last))
+
+
+class ContextProfileBuilder:
+    """Build (stacked) context profiles for connections.
+
+    The builder owns the fitted scaler, the benign feature ranges and a
+    reference to the trained Stage-(a) RNN, i.e. everything needed to map a
+    connection to the autoencoder's input space.  Setting
+    ``include_gate_weights=False`` and ``stack_length=1`` reproduces
+    Baseline #1 (the context-agnostic variant).
+    """
+
+    def __init__(
+        self,
+        rnn: Optional[GRUSequenceClassifier],
+        scaler: FeatureScaler,
+        ranges: FeatureRanges,
+        *,
+        stack_length: int = 3,
+        include_gate_weights: bool = True,
+        include_amplification: bool = True,
+    ) -> None:
+        if include_gate_weights and rnn is None:
+            raise ValueError("a trained RNN is required when gate weights are included")
+        self.rnn = rnn
+        self.scaler = scaler
+        self.ranges = ranges
+        self.stack_length = stack_length
+        self.include_gate_weights = include_gate_weights
+        self.include_amplification = include_amplification
+        self.raw_extractor = RawFeatureExtractor()
+        self.amplification_extractor = AmplificationFeatureExtractor(ranges)
+
+    # -------------------------------------------------------------- dimensions
+    @property
+    def profile_size(self) -> int:
+        """Width of a single-packet context profile."""
+        size = self.scaler.minimums.shape[0]
+        if self.include_amplification:
+            size += self.amplification_extractor.feature_count
+        if self.include_gate_weights and self.rnn is not None:
+            size += 2 * self.rnn.hidden_size
+        return size
+
+    @property
+    def stacked_profile_size(self) -> int:
+        """Width of a stacked profile (the autoencoder input size)."""
+        return self.profile_size * self.stack_length
+
+    # -------------------------------------------------------------- profiles
+    def connection_profiles(self, connection: Connection) -> ConnectionProfiles:
+        """Per-packet context profiles for one connection."""
+        raw = self.raw_extractor.extract_connection(connection)
+        scaled = self.scaler.transform(raw)
+        amplification = self.amplification_extractor.extract(raw)
+        parts = [scaled]
+        if self.include_amplification:
+            parts.append(amplification)
+        if self.include_gate_weights and self.rnn is not None and raw.shape[0] > 0:
+            update_gates, reset_gates = self.rnn.gate_activations(scaled)
+            parts.extend([update_gates, reset_gates])
+        else:
+            hidden = self.rnn.hidden_size if self.rnn is not None else 0
+            update_gates = np.zeros((raw.shape[0], hidden))
+            reset_gates = np.zeros((raw.shape[0], hidden))
+            if self.include_gate_weights and self.rnn is not None:
+                parts.extend([update_gates, reset_gates])
+        profiles = np.hstack(parts) if raw.shape[0] > 0 else np.zeros((0, self.profile_size))
+        return ConnectionProfiles(
+            raw_features=raw,
+            scaled_features=scaled,
+            amplification=amplification,
+            update_gates=update_gates,
+            reset_gates=reset_gates,
+            profiles=profiles,
+        )
+
+    def stacked_profiles(self, connection: Connection) -> np.ndarray:
+        """Sliding-window stacked profiles for one connection."""
+        profiles = self.connection_profiles(connection).profiles
+        return stack_profiles(profiles, self.stack_length)
+
+    def training_matrix(self, connections: Sequence[Connection]) -> np.ndarray:
+        """Stacked profiles of many connections, vertically concatenated."""
+        blocks = [self.stacked_profiles(connection) for connection in connections]
+        blocks = [block for block in blocks if block.shape[0] > 0]
+        if not blocks:
+            return np.zeros((0, self.stacked_profile_size))
+        return np.vstack(blocks)

@@ -1,0 +1,99 @@
+"""Feature scaling for the neural models.
+
+Raw header fields span wildly different magnitudes (flags in {0,1}, sequence
+deltas in the millions).  Both the RNN and the autoencoder need bounded inputs
+to train stably, so numeric columns are passed through a signed ``log1p`` and
+then min-max normalised to [0, 1] using statistics from the *benign training
+corpus only* (the scaler is part of the learned model, never refit on test
+traffic).  Binary and categorical columns pass through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.features.schema import NUM_RAW_FEATURES, NUMERIC_INDICES
+
+
+def signed_log1p(values: np.ndarray) -> np.ndarray:
+    """``sign(x) * log1p(|x|)`` — compresses heavy-tailed counters."""
+    return np.sign(values) * np.log1p(np.abs(values))
+
+
+@dataclass
+class FeatureScaler:
+    """Column-wise signed-log + min-max scaler fitted on benign traffic."""
+
+    minimums: np.ndarray
+    maximums: np.ndarray
+    log_columns: np.ndarray  # boolean mask of columns that get signed_log1p
+    clip: float = 3.0
+
+    # -------------------------------------------------------------------- fit
+    @classmethod
+    def fit(
+        cls,
+        feature_arrays: Sequence[np.ndarray],
+        *,
+        log_columns: Optional[Sequence[int]] = None,
+        clip: float = 3.0,
+    ) -> "FeatureScaler":
+        """Fit on a list of per-connection feature arrays."""
+        stacked = np.vstack([array for array in feature_arrays if array.size > 0])
+        width = stacked.shape[1]
+        if log_columns is None and width == NUM_RAW_FEATURES:
+            log_columns = NUMERIC_INDICES
+        mask = np.zeros(width, dtype=bool)
+        if log_columns is not None:
+            mask[list(log_columns)] = True
+        transformed = stacked.astype(np.float64).copy()
+        transformed[:, mask] = signed_log1p(transformed[:, mask])
+        return cls(
+            minimums=transformed.min(axis=0),
+            maximums=transformed.max(axis=0),
+            log_columns=mask,
+            clip=clip,
+        )
+
+    # -------------------------------------------------------------- transform
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Scale ``features`` (n, width) to roughly [0, 1].
+
+        Values outside the training range map outside [0, 1] (clipped at
+        ``±clip``) — that headroom is what lets anomalous values stand out to
+        the autoencoder while keeping activations bounded.
+        """
+        if features.size == 0:
+            return features.astype(np.float64).copy()
+        transformed = features.astype(np.float64).copy()
+        transformed[:, self.log_columns] = signed_log1p(transformed[:, self.log_columns])
+        span = self.maximums - self.minimums
+        # Columns constant in training keep their offset-from-minimum so a
+        # deviating test value still registers (e.g. IP version 4 -> 5).
+        safe_span = np.where(span > 0, span, 1.0)
+        scaled = (transformed - self.minimums) / safe_span
+        return np.clip(scaled, -self.clip, self.clip)
+
+    def transform_all(self, feature_arrays: Sequence[np.ndarray]) -> list:
+        return [self.transform(array) for array in feature_arrays]
+
+    # ------------------------------------------------------------ persistence
+    def to_arrays(self) -> dict:
+        return {
+            "minimums": self.minimums,
+            "maximums": self.maximums,
+            "log_columns": self.log_columns.astype(np.int64),
+            "clip": np.array([self.clip]),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "FeatureScaler":
+        return cls(
+            minimums=np.asarray(arrays["minimums"], dtype=np.float64),
+            maximums=np.asarray(arrays["maximums"], dtype=np.float64),
+            log_columns=np.asarray(arrays["log_columns"]).astype(bool),
+            clip=float(np.asarray(arrays["clip"]).reshape(-1)[0]),
+        )

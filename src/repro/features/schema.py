@@ -1,0 +1,166 @@
+"""The context-profile feature schema (Table 7 of the paper).
+
+Every feature of the 115-dimensional context profile is registered here with
+its index, type and semantics, so the rest of the pipeline (extraction,
+amplification, fusion, the Table-7 benchmark dump) shares one source of truth.
+
+Layout (1-based indices as printed in the paper; arrays in code are 0-based):
+
+* ``1..25``  TCP-layer features
+* ``26..32`` IP-layer features
+* ``33..51`` amplification features (not fed to the RNN)
+* ``52..83`` GRU update-gate activations
+* ``84..115`` GRU reset-gate activations
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class FeatureType(enum.Enum):
+    BINARY = "Binary"
+    INTEGER = "Integer"
+    CATEGORICAL = "Categorical"
+    FLOAT = "Float"
+
+
+class FeatureGroup(enum.Enum):
+    TCP = "TCP Layer Features"
+    IP = "IP Layer Features"
+    AMPLIFICATION = "Amplification Features"
+    GATE = "Gate Weights from GRU"
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """One row of Table 7."""
+
+    index: int  # 1-based, as in the paper
+    name: str
+    feature_type: FeatureType
+    group: FeatureGroup
+    numeric: bool = False  # True when an out-of-range amplification indicator exists
+
+
+# --------------------------------------------------------------------------
+# Raw header features (1..32); this is the RNN's input feature set.
+# --------------------------------------------------------------------------
+
+_RAW_SPECS: List[FeatureSpec] = [
+    FeatureSpec(1, "Packet direction", FeatureType.BINARY, FeatureGroup.TCP),
+    FeatureSpec(2, "SEQ number (incremental)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(3, "ACK number (incremental)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(4, "Data Offset", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(5, "Flag: FIN", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(6, "Flag: SYN", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(7, "Flag: RST", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(8, "Flag: PSH", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(9, "Flag: ACK", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(10, "Flag: URG", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(11, "Flag: ECE", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(12, "Flag: CWR", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(13, "Flag: NS", FeatureType.CATEGORICAL, FeatureGroup.TCP),
+    FeatureSpec(14, "Window Size", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(15, "Checksum validity", FeatureType.BINARY, FeatureGroup.TCP),
+    FeatureSpec(16, "Urgent Pointer", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(17, "Payload Length", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(18, "Option: Maximum Segment Size", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(19, "Option: Timestamp Value (TSVal)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(20, "Option: Timestamp Echo Reply (TSecr)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(21, "Option: Window Scale", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(22, "Option: User Timeout", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(23, "Option: MD5 Header Validity", FeatureType.BINARY, FeatureGroup.TCP),
+    FeatureSpec(24, "TCP Timestamp (delta)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(25, "Frame Timestamp (relative)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
+    FeatureSpec(26, "IP Length", FeatureType.INTEGER, FeatureGroup.IP, numeric=True),
+    FeatureSpec(27, "IP Time-To-Live", FeatureType.INTEGER, FeatureGroup.IP, numeric=True),
+    FeatureSpec(28, "IP Header Length", FeatureType.INTEGER, FeatureGroup.IP, numeric=True),
+    FeatureSpec(29, "IP Checksum validity", FeatureType.BINARY, FeatureGroup.IP),
+    FeatureSpec(30, "IP Version", FeatureType.INTEGER, FeatureGroup.IP, numeric=True),
+    FeatureSpec(31, "IP Type of Service", FeatureType.INTEGER, FeatureGroup.IP, numeric=True),
+    FeatureSpec(32, "Existence of non-standard IP options", FeatureType.BINARY, FeatureGroup.IP),
+]
+
+NUM_RAW_FEATURES = len(_RAW_SPECS)  # 32, the RNN input size (Table 6)
+
+# Numeric feature indices (0-based) that receive out-of-range amplification
+# indicators; 13 TCP + 5 IP = 18, plus the payload-length equivalence check
+# gives the 19 amplification features at indices 33..51 of Table 7.
+NUMERIC_TCP_INDICES: Tuple[int, ...] = tuple(
+    spec.index - 1 for spec in _RAW_SPECS if spec.numeric and spec.group is FeatureGroup.TCP
+)
+NUMERIC_IP_INDICES: Tuple[int, ...] = tuple(
+    spec.index - 1 for spec in _RAW_SPECS if spec.numeric and spec.group is FeatureGroup.IP
+)
+NUMERIC_INDICES: Tuple[int, ...] = NUMERIC_TCP_INDICES + NUMERIC_IP_INDICES
+
+_AMPLIFICATION_SPECS: List[FeatureSpec] = [
+    FeatureSpec(
+        33 + position,
+        f"Out-of-range indicator for TCP feature #{index + 1}",
+        FeatureType.BINARY,
+        FeatureGroup.AMPLIFICATION,
+    )
+    for position, index in enumerate(NUMERIC_TCP_INDICES)
+] + [
+    FeatureSpec(
+        33 + len(NUMERIC_TCP_INDICES) + position,
+        f"Out-of-range indicator for IP feature #{index + 1}",
+        FeatureType.BINARY,
+        FeatureGroup.AMPLIFICATION,
+    )
+    for position, index in enumerate(NUMERIC_IP_INDICES)
+] + [
+    FeatureSpec(
+        33 + len(NUMERIC_INDICES),
+        "TCP Payload Length correctness (#17 = #26 - #28 - #4)",
+        FeatureType.BINARY,
+        FeatureGroup.AMPLIFICATION,
+    )
+]
+
+NUM_AMPLIFICATION_FEATURES = len(_AMPLIFICATION_SPECS)  # 19
+NUM_PACKET_FEATURES = NUM_RAW_FEATURES + NUM_AMPLIFICATION_FEATURES  # 51
+
+HIDDEN_SIZE = 32  # GRU hidden/gate size (Table 6)
+
+_GATE_SPECS: List[FeatureSpec] = [
+    FeatureSpec(52 + i, f"Update gate activation [{i}]", FeatureType.FLOAT, FeatureGroup.GATE)
+    for i in range(HIDDEN_SIZE)
+] + [
+    FeatureSpec(84 + i, f"Reset gate activation [{i}]", FeatureType.FLOAT, FeatureGroup.GATE)
+    for i in range(HIDDEN_SIZE)
+]
+
+NUM_GATE_FEATURES = len(_GATE_SPECS)  # 64
+CONTEXT_PROFILE_SIZE = NUM_PACKET_FEATURES + NUM_GATE_FEATURES  # 115
+
+ALL_SPECS: List[FeatureSpec] = _RAW_SPECS + _AMPLIFICATION_SPECS + _GATE_SPECS
+
+
+def raw_feature_specs() -> List[FeatureSpec]:
+    """Specs for the 32 raw header features (the RNN input)."""
+    return list(_RAW_SPECS)
+
+
+def amplification_feature_specs() -> List[FeatureSpec]:
+    """Specs for the 19 amplification features."""
+    return list(_AMPLIFICATION_SPECS)
+
+
+def gate_feature_specs() -> List[FeatureSpec]:
+    """Specs for the 64 gate-weight features."""
+    return list(_GATE_SPECS)
+
+
+def all_feature_specs() -> List[FeatureSpec]:
+    """The full 115-entry context-profile schema, ordered by index."""
+    return list(ALL_SPECS)
+
+
+def feature_name(index: int) -> str:
+    """Name of the 1-based feature ``index`` (paper numbering)."""
+    return ALL_SPECS[index - 1].name

@@ -1,0 +1,83 @@
+"""Packet substrate: IPv4/TCP headers, checksums, PCAP I/O and flow assembly.
+
+This package stands in for scapy in the original CLAP implementation.  It
+provides byte-accurate wire formats so that captures can be written, re-read
+and mutated by the attack simulator without losing any of the header fields
+the detector relies on.
+"""
+
+from repro.netstack.addresses import int_to_ip, ip_to_int, is_private
+from repro.netstack.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header,
+    tcp_checksum,
+    verify_checksum,
+    verify_tcp_checksum,
+)
+from repro.netstack.flow import (
+    Connection,
+    ConnectionAssembler,
+    FlowKey,
+    assemble_connections,
+    split_connections,
+)
+from repro.netstack.ip import Ipv4Header
+from repro.netstack.options import (
+    EndOfOptions,
+    MaximumSegmentSize,
+    Md5Signature,
+    NoOperation,
+    OptionKind,
+    RawOption,
+    SackPermitted,
+    Timestamp,
+    UserTimeout,
+    WindowScale,
+    decode_options,
+    encode_options,
+    find_option,
+)
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.pcap import PcapReader, PcapRecord, PcapWriter, read_pcap, write_pcap
+from repro.netstack.tcp import TcpFlags, TcpHeader
+
+__all__ = [
+    "Connection",
+    "ConnectionAssembler",
+    "Direction",
+    "EndOfOptions",
+    "FlowKey",
+    "Ipv4Header",
+    "MaximumSegmentSize",
+    "Md5Signature",
+    "NoOperation",
+    "OptionKind",
+    "Packet",
+    "PcapReader",
+    "PcapRecord",
+    "PcapWriter",
+    "RawOption",
+    "SackPermitted",
+    "TcpFlags",
+    "TcpHeader",
+    "Timestamp",
+    "UserTimeout",
+    "WindowScale",
+    "assemble_connections",
+    "decode_options",
+    "encode_options",
+    "find_option",
+    "int_to_ip",
+    "internet_checksum",
+    "ip_to_int",
+    "is_private",
+    "ones_complement_sum",
+    "pseudo_header",
+    "read_pcap",
+    "split_connections",
+    "tcp_checksum",
+    "verify_checksum",
+    "verify_tcp_checksum",
+    "write_pcap",
+]

@@ -1,0 +1,42 @@
+"""IPv4 address helpers.
+
+Addresses are carried through the library as plain 32-bit integers (the form
+in which they appear on the wire and in flow keys); these helpers convert to
+and from dotted-quad strings for display, traffic generation and tests.
+"""
+
+from __future__ import annotations
+
+
+def ip_to_int(address: str) -> int:
+    """Convert a dotted-quad string (``"10.0.0.1"``) to a 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet {part!r} in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_private(value: int) -> bool:
+    """Return ``True`` for RFC 1918 private addresses (given as integers)."""
+    first = (value >> 24) & 0xFF
+    second = (value >> 16) & 0xFF
+    if first == 10:
+        return True
+    if first == 172 and 16 <= second <= 31:
+        return True
+    if first == 192 and second == 168:
+        return True
+    return False

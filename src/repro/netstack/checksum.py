@@ -1,0 +1,58 @@
+"""Internet checksum (RFC 1071) used by both the IPv4 and TCP headers.
+
+TCP additionally covers a pseudo-header built from the IP source/destination
+addresses, the protocol number and the TCP segment length; helpers for both
+are provided here so the header classes stay free of checksum arithmetic.
+"""
+
+from __future__ import annotations
+
+import struct
+
+TCP_PROTOCOL_NUMBER = 6
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """Return the 16-bit one's-complement sum of ``data``.
+
+    Data of odd length is padded with a trailing zero byte, as required by
+    RFC 1071.
+    """
+    if len(data) % 2 == 1:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return total & 0xFFFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """Return the RFC 1071 internet checksum of ``data`` as a 16-bit integer."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return ``True`` if ``data`` (checksum field included) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def pseudo_header(src_ip: int, dst_ip: int, protocol: int, segment_length: int) -> bytes:
+    """Build the 12-byte IPv4 pseudo-header used for TCP/UDP checksums."""
+    return struct.pack("!IIBBH", src_ip & 0xFFFFFFFF, dst_ip & 0xFFFFFFFF, 0, protocol & 0xFF, segment_length & 0xFFFF)
+
+
+def tcp_checksum(src_ip: int, dst_ip: int, segment: bytes) -> int:
+    """Compute the TCP checksum for ``segment`` (header + payload).
+
+    The checksum field inside ``segment`` must already be zeroed by the caller;
+    :func:`verify_tcp_checksum` is the counterpart used on received segments.
+    """
+    pseudo = pseudo_header(src_ip, dst_ip, TCP_PROTOCOL_NUMBER, len(segment))
+    return internet_checksum(pseudo + segment)
+
+
+def verify_tcp_checksum(src_ip: int, dst_ip: int, segment: bytes) -> bool:
+    """Return ``True`` if a received TCP ``segment`` carries a valid checksum."""
+    pseudo = pseudo_header(src_ip, dst_ip, TCP_PROTOCOL_NUMBER, len(segment))
+    return internet_checksum(pseudo + segment) == 0

@@ -1,0 +1,174 @@
+"""Flow keys and connection assembly.
+
+The CLAP pipeline is connection-oriented: detection scores, localisation and
+labelling all operate on one TCP connection at a time.  This module groups a
+stream of packets (e.g. read from a capture) into :class:`Connection` objects
+keyed by the canonical 5-tuple, and assigns each packet its logical direction
+relative to the connection originator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.netstack.addresses import int_to_ip
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Canonical bidirectional 5-tuple (protocol fixed to TCP).
+
+    The key is normalised so that both directions of the same connection map
+    to the same value: the (address, port) pair that sorts lower is stored
+    first.
+    """
+
+    ip_a: int
+    port_a: int
+    ip_b: int
+    port_b: int
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "FlowKey":
+        src = (packet.ip.src, packet.tcp.src_port)
+        dst = (packet.ip.dst, packet.tcp.dst_port)
+        first, second = (src, dst) if src <= dst else (dst, src)
+        return cls(ip_a=first[0], port_a=first[1], ip_b=second[0], port_b=second[1])
+
+    def __str__(self) -> str:
+        return (
+            f"{int_to_ip(self.ip_a)}:{self.port_a} <-> "
+            f"{int_to_ip(self.ip_b)}:{self.port_b}"
+        )
+
+
+@dataclass
+class Connection:
+    """An ordered train of packets belonging to one TCP connection."""
+
+    key: FlowKey
+    packets: List[Packet] = field(default_factory=list)
+    # The connection originator (client); set from the first packet seen.
+    client_ip: Optional[int] = None
+    client_port: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    def append(self, packet: Packet) -> None:
+        """Append ``packet``, assigning its direction relative to the client."""
+        if self.client_ip is None:
+            self.client_ip = packet.ip.src
+            self.client_port = packet.tcp.src_port
+        if packet.ip.src == self.client_ip and packet.tcp.src_port == self.client_port:
+            packet.direction = Direction.CLIENT_TO_SERVER
+        else:
+            packet.direction = Direction.SERVER_TO_CLIENT
+        self.packets.append(packet)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last packet (0.0 for single packets)."""
+        if len(self.packets) < 2:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    @property
+    def has_handshake(self) -> bool:
+        """True if the connection contains a SYN followed by a SYN-ACK."""
+        saw_syn = False
+        for packet in self.packets:
+            if packet.tcp.is_syn and not packet.tcp.is_ack:
+                saw_syn = True
+            elif saw_syn and packet.tcp.is_syn and packet.tcp.is_ack:
+                return True
+        return False
+
+    def client_packets(self) -> List[Packet]:
+        return [p for p in self.packets if p.direction is Direction.CLIENT_TO_SERVER]
+
+    def server_packets(self) -> List[Packet]:
+        return [p for p in self.packets if p.direction is Direction.SERVER_TO_CLIENT]
+
+    def injected_indices(self) -> List[int]:
+        """Indices of packets flagged as injected/modified by an attack."""
+        return [index for index, packet in enumerate(self.packets) if packet.injected]
+
+    def copy(self) -> "Connection":
+        """Deep-enough copy: packets (and their headers) are duplicated."""
+        clone = Connection(key=self.key, client_ip=self.client_ip, client_port=self.client_port)
+        clone.packets = [packet.copy() for packet in self.packets]
+        return clone
+
+    def sort_by_time(self) -> None:
+        """Stable-sort packets by capture timestamp."""
+        self.packets.sort(key=lambda packet: packet.timestamp)
+
+
+class ConnectionAssembler:
+    """Group an arbitrary packet stream into connections.
+
+    A new connection is opened for a flow key when either the key has not been
+    seen before or the previous connection on that key was closed by RST/FIN
+    exchange and the new packet is a fresh SYN.
+    """
+
+    def __init__(self) -> None:
+        self._active: Dict[FlowKey, Connection] = {}
+        self._finished: List[Connection] = []
+
+    def add(self, packet: Packet) -> Connection:
+        """Route ``packet`` to its connection, creating one if needed."""
+        key = FlowKey.from_packet(packet)
+        connection = self._active.get(key)
+        starts_new = packet.tcp.is_syn and not packet.tcp.is_ack
+        if connection is None or (starts_new and self._looks_closed(connection)):
+            if connection is not None:
+                self._finished.append(connection)
+            connection = Connection(key=key)
+            self._active[key] = connection
+        connection.append(packet)
+        return connection
+
+    def add_all(self, packets: Iterable[Packet]) -> None:
+        for packet in packets:
+            self.add(packet)
+
+    @staticmethod
+    def _looks_closed(connection: Connection) -> bool:
+        if not connection.packets:
+            return False
+        tail = connection.packets[-3:]
+        return any(p.tcp.is_rst or p.tcp.is_fin for p in tail)
+
+    def connections(self) -> List[Connection]:
+        """All connections assembled so far, in order of first packet."""
+        everything = self._finished + list(self._active.values())
+        everything.sort(key=lambda conn: conn.packets[0].timestamp if conn.packets else 0.0)
+        return everything
+
+
+def assemble_connections(packets: Iterable[Packet]) -> List[Connection]:
+    """Convenience wrapper: assemble ``packets`` and return the connections."""
+    assembler = ConnectionAssembler()
+    assembler.add_all(packets)
+    return assembler.connections()
+
+
+def split_connections(
+    connections: List[Connection], train_fraction: float, rng
+) -> Tuple[List[Connection], List[Connection]]:
+    """Randomly split connections into train/test according to ``train_fraction``."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    order = rng.permutation(len(connections))
+    cut = int(round(len(connections) * train_fraction))
+    train = [connections[i] for i in order[:cut]]
+    test = [connections[i] for i in order[cut:]]
+    return train, test

@@ -1,0 +1,180 @@
+"""IPv4 header model.
+
+The header is a mutable dataclass so attack strategies can overwrite individual
+fields (an invalid version, a wrong total length, a zeroed TTL, a garbled
+checksum) before the packet is re-serialised or fed to feature extraction.
+Fields that are normally derived (header length, total length, checksum) accept
+``None`` to mean "compute the correct value for me"; an explicit integer is
+always honoured verbatim, even if it is wrong — that is precisely what the
+evasion strategies rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.netstack.addresses import int_to_ip, ip_to_int
+from repro.netstack.checksum import internet_checksum
+
+IPV4_BASE_HEADER_LENGTH = 20
+IP_PROTOCOL_TCP = 6
+
+
+@dataclass
+class Ipv4Header:
+    """A structured IPv4 header.
+
+    Attributes mirror RFC 791 field names.  ``src`` / ``dst`` are 32-bit
+    integers (see :mod:`repro.netstack.addresses`).  ``ihl``, ``total_length``
+    and ``checksum`` may be ``None``, meaning they are derived at serialisation
+    time from the actual header/payload sizes.
+    """
+
+    src: int
+    dst: int
+    version: int = 4
+    ihl: Optional[int] = None
+    tos: int = 0
+    total_length: Optional[int] = None
+    identification: int = 0
+    dont_fragment: bool = True
+    more_fragments: bool = False
+    fragment_offset: int = 0
+    ttl: int = 64
+    protocol: int = IP_PROTOCOL_TCP
+    checksum: Optional[int] = None
+    options: bytes = b""
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def header_length(self) -> int:
+        """Actual header length in bytes (base header plus padded options)."""
+        options = self.options
+        padding = (4 - len(options) % 4) % 4
+        return IPV4_BASE_HEADER_LENGTH + len(options) + padding
+
+    def effective_ihl(self) -> int:
+        """The IHL value that will appear on the wire (in 32-bit words)."""
+        if self.ihl is not None:
+            return self.ihl
+        return self.header_length // 4
+
+    def effective_total_length(self, payload_length: int) -> int:
+        """The total-length value that will appear on the wire."""
+        if self.total_length is not None:
+            return self.total_length
+        return self.header_length + payload_length
+
+    # ------------------------------------------------------------ conversions
+    @property
+    def src_address(self) -> str:
+        return int_to_ip(self.src)
+
+    @property
+    def dst_address(self) -> str:
+        return int_to_ip(self.dst)
+
+    @classmethod
+    def for_addresses(cls, src: str, dst: str, **kwargs) -> "Ipv4Header":
+        """Build a header from dotted-quad source/destination strings."""
+        return cls(src=ip_to_int(src), dst=ip_to_int(dst), **kwargs)
+
+    def copy(self, **overrides) -> "Ipv4Header":
+        """Return a field-for-field copy, optionally overriding attributes."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------- wire format
+    def to_bytes(self, payload_length: int = 0) -> bytes:
+        """Serialise the header for a payload of ``payload_length`` bytes.
+
+        When ``checksum`` is ``None`` the correct checksum is computed over the
+        serialised header; otherwise the stored (possibly bogus) value is
+        emitted untouched.
+        """
+        options = self.options
+        padding = (4 - len(options) % 4) % 4
+        options = options + b"\x00" * padding
+
+        version_ihl = ((self.version & 0xF) << 4) | (self.effective_ihl() & 0xF)
+        flags = (int(self.dont_fragment) << 1) | int(self.more_fragments)
+        flags_fragment = ((flags & 0x7) << 13) | (self.fragment_offset & 0x1FFF)
+        checksum = self.checksum if self.checksum is not None else 0
+        header = struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            self.tos & 0xFF,
+            self.effective_total_length(payload_length) & 0xFFFF,
+            self.identification & 0xFFFF,
+            flags_fragment,
+            self.ttl & 0xFF,
+            self.protocol & 0xFF,
+            checksum & 0xFFFF,
+            self.src & 0xFFFFFFFF,
+            self.dst & 0xFFFFFFFF,
+        )
+        header += options
+        if self.checksum is None:
+            computed = internet_checksum(header)
+            header = header[:10] + struct.pack("!H", computed) + header[12:]
+        return header
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Header":
+        """Parse an IPv4 header from the start of ``data``.
+
+        The parsed object stores the on-wire IHL / total length / checksum
+        explicitly, so re-serialising it reproduces the original bytes even if
+        they were inconsistent.
+        """
+        if len(data) < IPV4_BASE_HEADER_LENGTH:
+            raise ValueError(f"truncated IPv4 header: {len(data)} bytes")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack("!BBHHHBBHII", data[:IPV4_BASE_HEADER_LENGTH])
+        version = version_ihl >> 4
+        ihl = version_ihl & 0xF
+        claimed_header_length = ihl * 4
+        options = b""
+        if claimed_header_length > IPV4_BASE_HEADER_LENGTH and len(data) >= claimed_header_length:
+            options = data[IPV4_BASE_HEADER_LENGTH:claimed_header_length]
+        flags = (flags_fragment >> 13) & 0x7
+        return cls(
+            src=src,
+            dst=dst,
+            version=version,
+            ihl=ihl,
+            tos=tos,
+            total_length=total_length,
+            identification=identification,
+            dont_fragment=bool(flags & 0x2),
+            more_fragments=bool(flags & 0x1),
+            fragment_offset=flags_fragment & 0x1FFF,
+            ttl=ttl,
+            protocol=protocol,
+            checksum=checksum,
+            options=options,
+        )
+
+    # ---------------------------------------------------------------- validity
+    def has_correct_checksum(self, payload_length: int = 0) -> bool:
+        """Return ``True`` if the stored checksum matches the header contents.
+
+        A header with ``checksum=None`` is valid by construction (the correct
+        value is filled in during serialisation).
+        """
+        if self.checksum is None:
+            return True
+        auto = self.copy(checksum=None).to_bytes(payload_length)
+        correct = struct.unpack("!H", auto[10:12])[0]
+        return (self.checksum & 0xFFFF) == correct

@@ -1,0 +1,142 @@
+"""The :class:`Packet` abstraction: one captured TCP/IPv4 packet.
+
+A packet couples an :class:`~repro.netstack.ip.Ipv4Header`, a
+:class:`~repro.netstack.tcp.TcpHeader`, an opaque payload, a capture timestamp
+and a logical direction within its connection.  Packets are the unit every
+other subsystem operates on: the traffic generator emits them, the attack
+simulator mutates/injects them, the conntrack labeller replays them and the
+feature extractor reads them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netstack.ip import Ipv4Header
+from repro.netstack.tcp import TcpFlags, TcpHeader
+
+
+class Direction(enum.IntEnum):
+    """Logical direction of a packet within its connection.
+
+    ``CLIENT_TO_SERVER`` is the direction of the connection originator (the
+    side that sent the first SYN).
+    """
+
+    CLIENT_TO_SERVER = 0
+    SERVER_TO_CLIENT = 1
+
+    def flipped(self) -> "Direction":
+        return Direction.SERVER_TO_CLIENT if self is Direction.CLIENT_TO_SERVER else Direction.CLIENT_TO_SERVER
+
+
+@dataclass
+class Packet:
+    """One TCP/IPv4 packet with capture metadata."""
+
+    ip: Ipv4Header
+    tcp: TcpHeader
+    payload: bytes = b""
+    timestamp: float = 0.0
+    direction: Direction = Direction.CLIENT_TO_SERVER
+    # Set by the attack injector so that evaluation code can compute
+    # localisation ground truth; benign packets leave it False.
+    injected: bool = False
+
+    # ------------------------------------------------------------- properties
+    @property
+    def payload_length(self) -> int:
+        return len(self.payload)
+
+    @property
+    def flags(self) -> int:
+        return self.tcp.flags
+
+    @property
+    def flag_names(self) -> list:
+        return self.tcp.flag_names
+
+    @property
+    def seq(self) -> int:
+        return self.tcp.seq
+
+    @property
+    def ack(self) -> int:
+        return self.tcp.ack
+
+    def sequence_span(self) -> int:
+        """Sequence-number space consumed by this packet (payload + SYN/FIN)."""
+        span = len(self.payload)
+        if self.tcp.has_flag(TcpFlags.SYN):
+            span += 1
+        if self.tcp.has_flag(TcpFlags.FIN):
+            span += 1
+        return span
+
+    # ----------------------------------------------------------- wire format
+    def to_bytes(self) -> bytes:
+        """Serialise the full IP packet (IP header + TCP header + payload)."""
+        tcp_bytes = self.tcp.to_bytes(self.ip.src, self.ip.dst, self.payload)
+        ip_bytes = self.ip.to_bytes(payload_length=len(tcp_bytes) + len(self.payload))
+        return ip_bytes + tcp_bytes + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse a raw IPv4 packet carrying TCP.
+
+        Raises :class:`ValueError` for non-TCP or truncated input.
+        """
+        ip_header = Ipv4Header.from_bytes(data)
+        header_length = (ip_header.ihl or 5) * 4
+        if header_length < 20:
+            header_length = 20
+        if ip_header.protocol != 6:
+            raise ValueError(f"not a TCP packet (protocol={ip_header.protocol})")
+        tcp_start = header_length
+        tcp_header = TcpHeader.from_bytes(data[tcp_start:])
+        tcp_length = tcp_header.effective_data_offset() * 4
+        if tcp_length < 20:
+            tcp_length = 20
+        payload = data[tcp_start + tcp_length :]
+        return cls(ip=ip_header, tcp=tcp_header, payload=payload, timestamp=timestamp)
+
+    # ------------------------------------------------------------- validity
+    def ip_checksum_ok(self) -> bool:
+        """True if the IP header checksum is (or would be) correct."""
+        tcp_bytes_length = self.tcp.header_length + len(self.payload)
+        return self.ip.has_correct_checksum(payload_length=tcp_bytes_length)
+
+    def tcp_checksum_ok(self) -> bool:
+        """True if the TCP checksum is (or would be) correct."""
+        return self.tcp.has_correct_checksum(self.ip.src, self.ip.dst, self.payload)
+
+    def ip_total_length_consistent(self) -> bool:
+        """True if the declared IP total length matches the actual sizes."""
+        actual = self.ip.header_length + self.tcp.header_length + len(self.payload)
+        return self.ip.effective_total_length(self.tcp.header_length + len(self.payload)) == actual
+
+    def copy(self, **overrides) -> "Packet":
+        """Deep-enough copy (headers and options are copied) with overrides."""
+        clone = Packet(
+            ip=self.ip.copy(),
+            tcp=self.tcp.copy(),
+            payload=self.payload,
+            timestamp=self.timestamp,
+            direction=self.direction,
+            injected=self.injected,
+        )
+        for key, value in overrides.items():
+            setattr(clone, key, value)
+        return clone
+
+    def summary(self) -> str:
+        """One-line human-readable rendering, e.g. for example scripts."""
+        flags = "".join(name[0] for name in self.tcp.flag_names) or "-"
+        return (
+            f"{self.ip.src_address}:{self.tcp.src_port} -> "
+            f"{self.ip.dst_address}:{self.tcp.dst_port} "
+            f"[{flags}] seq={self.tcp.seq} ack={self.tcp.ack} "
+            f"len={len(self.payload)} ttl={self.ip.ttl}"
+        )

@@ -1,0 +1,163 @@
+"""Minimal libpcap (``.pcap``) reader and writer.
+
+Captures are written with link type ``LINKTYPE_RAW`` (101), i.e. each record
+is a bare IPv4 packet, which is all this library produces.  The reader also
+accepts Ethernet (``LINKTYPE_ETHERNET``, 1) and Linux cooked capture
+(``LINKTYPE_LINUX_SLL``, 113) files and strips the link-layer header, so real
+captures such as the MAWI traces can be ingested directly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.netstack.packet import Packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+LINKTYPE_LINUX_SLL = 113
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")
+_RECORD_HEADER = struct.Struct("IIII")
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One raw record from a capture file."""
+
+    timestamp: float
+    data: bytes
+
+
+class PcapWriter:
+    """Write IPv4 packets to a classic pcap file (LINKTYPE_RAW)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._file = open(self._path, "wb")
+        header = _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, 65535, LINKTYPE_RAW)
+        self._file.write(header)
+
+    def write_packet(self, packet: Packet) -> None:
+        """Serialise ``packet`` and append it as a record."""
+        self.write_raw(packet.to_bytes(), packet.timestamp)
+
+    def write_raw(self, data: bytes, timestamp: float) -> None:
+        """Append pre-serialised packet bytes with the given timestamp."""
+        seconds = int(timestamp)
+        microseconds = int(round((timestamp - seconds) * 1_000_000))
+        record = _RECORD_HEADER.pack(seconds, microseconds, len(data), len(data))
+        self._file.write(record)
+        self._file.write(data)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterate records (and optionally parsed packets) from a pcap file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._file = open(self._path, "rb")
+        header = self._file.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError(f"not a pcap file (truncated global header): {path}")
+        magic = struct.unpack("=I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            self._byteorder = "="
+        elif magic == PCAP_MAGIC_SWAPPED:
+            # The file was written with the opposite byte order to this host.
+            native_is_little = struct.pack("=H", 1)[0] == 1
+            self._byteorder = ">" if native_is_little else "<"
+        else:
+            raise ValueError(f"not a pcap file (bad magic 0x{magic:08x}): {path}")
+        fields = struct.unpack(self._byteorder + "IHHiIII", header)
+        self.link_type = fields[6]
+
+    # -------------------------------------------------------------- iteration
+    def records(self) -> Iterator[PcapRecord]:
+        """Yield raw records, stripping any link-layer framing."""
+        record_struct = struct.Struct(self._byteorder + "IIII")
+        while True:
+            header = self._file.read(record_struct.size)
+            if len(header) < record_struct.size:
+                return
+            seconds, microseconds, captured_length, _original_length = record_struct.unpack(header)
+            data = self._file.read(captured_length)
+            if len(data) < captured_length:
+                return
+            payload = self._strip_link_layer(data)
+            if payload is None:
+                continue
+            yield PcapRecord(timestamp=seconds + microseconds / 1_000_000, data=payload)
+
+    def packets(self, strict: bool = False) -> Iterator[Packet]:
+        """Yield parsed TCP/IPv4 packets; non-TCP records are skipped.
+
+        With ``strict=True`` a malformed record raises instead of being
+        skipped.
+        """
+        for record in self.records():
+            try:
+                yield Packet.from_bytes(record.data, timestamp=record.timestamp)
+            except ValueError:
+                if strict:
+                    raise
+
+    def _strip_link_layer(self, data: bytes) -> Union[bytes, None]:
+        if self.link_type == LINKTYPE_RAW:
+            return data
+        if self.link_type == LINKTYPE_ETHERNET:
+            if len(data) < 14:
+                return None
+            ethertype = struct.unpack("!H", data[12:14])[0]
+            if ethertype != 0x0800:
+                return None
+            return data[14:]
+        if self.link_type == LINKTYPE_LINUX_SLL:
+            if len(data) < 16:
+                return None
+            protocol = struct.unpack("!H", data[14:16])[0]
+            if protocol != 0x0800:
+                return None
+            return data[16:]
+        return data
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_pcap(path: Union[str, Path], packets: Iterable[Packet]) -> int:
+    """Write ``packets`` to ``path``; returns the number of records written."""
+    count = 0
+    with PcapWriter(path) as writer:
+        for packet in packets:
+            writer.write_packet(packet)
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, Path]) -> List[Packet]:
+    """Read all TCP/IPv4 packets from ``path`` into a list."""
+    with PcapReader(path) as reader:
+        return list(reader.packets())

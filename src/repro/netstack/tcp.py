@@ -1,0 +1,217 @@
+"""TCP header model.
+
+As with :class:`repro.netstack.ip.Ipv4Header`, derived fields (data offset and
+checksum) accept ``None`` meaning "compute the correct value"; explicit values
+are serialised verbatim so that evasion strategies can emit deliberately
+inconsistent segments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from repro.netstack import options as tcpopts
+from repro.netstack.checksum import tcp_checksum
+
+TCP_BASE_HEADER_LENGTH = 20
+
+
+class TcpFlags:
+    """Bit masks for the TCP flag byte plus the NS bit (RFC 3540)."""
+
+    FIN = 0x001
+    SYN = 0x002
+    RST = 0x004
+    PSH = 0x008
+    ACK = 0x010
+    URG = 0x020
+    ECE = 0x040
+    CWR = 0x080
+    NS = 0x100
+
+    ORDER = ("FIN", "SYN", "RST", "PSH", "ACK", "URG", "ECE", "CWR", "NS")
+
+    @classmethod
+    def names(cls, flags: int) -> List[str]:
+        """Return the names of the flags set in ``flags``, in canonical order."""
+        return [name for name in cls.ORDER if flags & getattr(cls, name)]
+
+    @classmethod
+    def from_names(cls, *names: str) -> int:
+        """Build a flag mask from flag names, e.g. ``from_names("SYN", "ACK")``."""
+        value = 0
+        for name in names:
+            value |= getattr(cls, name.upper())
+        return value
+
+
+@dataclass
+class TcpHeader:
+    """A structured TCP header with a list of decoded options."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    urgent_pointer: int = 0
+    data_offset: Optional[int] = None
+    checksum: Optional[int] = None
+    options: List[object] = field(default_factory=list)
+    # When an attack garbles the checksum we record the intent here as well, so
+    # that validity can be assessed without re-serialising in contexts where the
+    # surrounding IP addresses are unknown.
+    checksum_valid_hint: Optional[bool] = None
+
+    # ----------------------------------------------------------------- flags
+    def has_flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    @property
+    def is_syn(self) -> bool:
+        return self.has_flag(TcpFlags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return self.has_flag(TcpFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return self.has_flag(TcpFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return self.has_flag(TcpFlags.RST)
+
+    @property
+    def flag_names(self) -> List[str]:
+        return TcpFlags.names(self.flags)
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def header_length(self) -> int:
+        """Actual header length in bytes (base header plus padded options)."""
+        return TCP_BASE_HEADER_LENGTH + len(tcpopts.encode_options(self.options))
+
+    def effective_data_offset(self) -> int:
+        """The data-offset value (in 32-bit words) that will hit the wire."""
+        if self.data_offset is not None:
+            return self.data_offset
+        return self.header_length // 4
+
+    # --------------------------------------------------------------- options
+    def option(self, kind: int) -> Optional[object]:
+        """Return the first option of ``kind`` or ``None``."""
+        return tcpopts.find_option(self.options, kind)
+
+    def timestamp_option(self) -> Optional[tcpopts.Timestamp]:
+        return self.option(tcpopts.OptionKind.TIMESTAMP)
+
+    def mss_option(self) -> Optional[tcpopts.MaximumSegmentSize]:
+        return self.option(tcpopts.OptionKind.MSS)
+
+    def window_scale_option(self) -> Optional[tcpopts.WindowScale]:
+        return self.option(tcpopts.OptionKind.WINDOW_SCALE)
+
+    def md5_option(self) -> Optional[tcpopts.Md5Signature]:
+        return self.option(tcpopts.OptionKind.MD5_SIGNATURE)
+
+    def user_timeout_option(self) -> Optional[tcpopts.UserTimeout]:
+        return self.option(tcpopts.OptionKind.USER_TIMEOUT)
+
+    def replace_option(self, new_option: object) -> None:
+        """Replace (or append) the option with the same kind as ``new_option``."""
+        kind = getattr(new_option, "kind")
+        for index, existing in enumerate(self.options):
+            if getattr(existing, "kind", None) == kind:
+                self.options[index] = new_option
+                return
+        self.options.append(new_option)
+
+    def copy(self, **overrides) -> "TcpHeader":
+        """Return a deep-enough copy (options list is copied) with overrides."""
+        clone = replace(self, options=list(self.options))
+        for key, value in overrides.items():
+            setattr(clone, key, value)
+        return clone
+
+    # ------------------------------------------------------------ wire format
+    def to_bytes(self, src_ip: int = 0, dst_ip: int = 0, payload: bytes = b"") -> bytes:
+        """Serialise the header (plus checksum over ``payload``).
+
+        ``src_ip`` / ``dst_ip`` feed the pseudo-header; they are only needed
+        when the checksum must be computed (``checksum is None``).
+        """
+        encoded_options = tcpopts.encode_options(self.options)
+        offset_reserved_flags = (
+            ((self.effective_data_offset() & 0xF) << 12)
+            | ((1 if self.flags & TcpFlags.NS else 0) << 8)
+            | (self.flags & 0xFF)
+        )
+        checksum = self.checksum if self.checksum is not None else 0
+        header = struct.pack(
+            "!HHIIHHHH",
+            self.src_port & 0xFFFF,
+            self.dst_port & 0xFFFF,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            offset_reserved_flags,
+            self.window & 0xFFFF,
+            checksum & 0xFFFF,
+            self.urgent_pointer & 0xFFFF,
+        )
+        header += encoded_options
+        if self.checksum is None:
+            computed = tcp_checksum(src_ip, dst_ip, header + payload)
+            header = header[:16] + struct.pack("!H", computed) + header[18:]
+        return header
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TcpHeader":
+        """Parse a TCP header from the start of ``data``."""
+        if len(data) < TCP_BASE_HEADER_LENGTH:
+            raise ValueError(f"truncated TCP header: {len(data)} bytes")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_reserved_flags,
+            window,
+            checksum,
+            urgent_pointer,
+        ) = struct.unpack("!HHIIHHHH", data[:TCP_BASE_HEADER_LENGTH])
+        data_offset = (offset_reserved_flags >> 12) & 0xF
+        flags = offset_reserved_flags & 0xFF
+        if offset_reserved_flags & 0x100:
+            flags |= TcpFlags.NS
+        claimed_header_length = data_offset * 4
+        options_bytes = b""
+        if claimed_header_length > TCP_BASE_HEADER_LENGTH and len(data) >= claimed_header_length:
+            options_bytes = data[TCP_BASE_HEADER_LENGTH:claimed_header_length]
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent_pointer=urgent_pointer,
+            data_offset=data_offset,
+            checksum=checksum,
+            options=tcpopts.decode_options(options_bytes),
+        )
+
+    # ---------------------------------------------------------------- validity
+    def has_correct_checksum(self, src_ip: int, dst_ip: int, payload: bytes = b"") -> bool:
+        """Return ``True`` if the stored checksum verifies for this segment."""
+        if self.checksum_valid_hint is not None:
+            return self.checksum_valid_hint
+        if self.checksum is None:
+            return True
+        auto = self.copy(checksum=None).to_bytes(src_ip, dst_ip, payload)
+        correct = struct.unpack("!H", auto[16:18])[0]
+        return (self.checksum & 0xFFFF) == correct

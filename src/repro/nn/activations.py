@@ -1,0 +1,91 @@
+"""Activation functions and their derivatives.
+
+All functions operate element-wise on numpy arrays and are written in the
+"value in / value out" style: the derivative helpers take the *activated*
+output where that is cheaper (sigmoid, tanh), matching how they are used in
+the backward passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def sigmoid_grad_from_output(output: np.ndarray) -> np.ndarray:
+    """d sigmoid / dx expressed in terms of the sigmoid output."""
+    return output * (1.0 - output)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def tanh_grad_from_output(output: np.ndarray) -> np.ndarray:
+    """d tanh / dx expressed in terms of the tanh output."""
+    return 1.0 - output * output
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """d relu / dx expressed in terms of the *input*."""
+    return (x > 0.0).astype(np.float64)
+
+
+def leaky_relu(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    return np.where(x > 0.0, x, alpha * x)
+
+
+def leaky_relu_grad(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    return np.where(x > 0.0, 1.0, alpha)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def identity_grad(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+# Registry used by the Dense layer so activations can be configured by name.
+_ACTIVATIONS: Dict[str, Tuple[Callable, Callable, bool]] = {
+    # name -> (function, gradient, gradient_takes_output)
+    "sigmoid": (sigmoid, sigmoid_grad_from_output, True),
+    "tanh": (tanh, tanh_grad_from_output, True),
+    "relu": (relu, relu_grad, False),
+    "leaky_relu": (leaky_relu, leaky_relu_grad, False),
+    "identity": (identity, identity_grad, False),
+    "linear": (identity, identity_grad, False),
+}
+
+
+def get_activation(name: str) -> Tuple[Callable, Callable, bool]:
+    """Look up ``(function, gradient, gradient_takes_output)`` by name."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; available: {', '.join(sorted(_ACTIVATIONS))}"
+        ) from None

@@ -1,0 +1,336 @@
+"""GRU recurrent layer with exposed gate activations and full BPTT.
+
+The Stage-(a) model of CLAP is a GRU-based RNN trained to predict the
+connection state after every packet.  Crucially, CLAP does not consume the
+classifier's predictions at test time — it consumes the *gate activations*
+(update and reset gates), which encode how strongly the current output depends
+on previous packets, i.e. the inter-packet context.  Owning the cell
+implementation makes exposing those activations trivial.
+
+The cell follows the original formulation of Cho et al. (2014), the reference
+the paper cites for its GRU:
+
+.. math::
+
+    z_t &= \\sigma(x_t W_z + h_{t-1} U_z + b_z) \\\\
+    r_t &= \\sigma(x_t W_r + h_{t-1} U_r + b_r) \\\\
+    \\tilde h_t &= \\tanh(x_t W_h + r_t \\odot (h_{t-1} U_h) + b_h) \\\\
+    h_t &= (1 - z_t) \\odot h_{t-1} + z_t \\odot \\tilde h_t
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.activations import sigmoid
+from repro.nn.dense import Dense
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import Adam, Optimizer
+
+Parameters = Dict[str, np.ndarray]
+
+
+@dataclass
+class GruStepCache:
+    """Everything the backward pass needs about one forward time step."""
+
+    inputs: np.ndarray
+    h_prev: np.ndarray
+    update_gate: np.ndarray
+    reset_gate: np.ndarray
+    candidate: np.ndarray
+    hidden_from_u: np.ndarray
+    mask: Optional[np.ndarray]
+
+
+@dataclass
+class GruForwardResult:
+    """Outputs of a full forward pass over a (batch of) sequence(s)."""
+
+    hidden_states: np.ndarray  # (batch, time, hidden)
+    update_gates: np.ndarray  # (batch, time, hidden)
+    reset_gates: np.ndarray  # (batch, time, hidden)
+    caches: List[GruStepCache]
+
+
+class GRULayer:
+    """A single GRU layer operating on padded batches of sequences."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        *,
+        prefix: str = "gru/",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.prefix = prefix
+        self.parameters: Parameters = {
+            f"{prefix}W": np.concatenate(
+                [glorot_uniform(rng, input_size, hidden_size) for _ in range(3)], axis=1
+            ),
+            f"{prefix}U": np.concatenate(
+                [orthogonal(rng, hidden_size, hidden_size) for _ in range(3)], axis=1
+            ),
+            f"{prefix}b": zeros(3 * hidden_size),
+        }
+
+    # ------------------------------------------------------------------ slices
+    def _slices(self) -> Tuple[slice, slice, slice]:
+        h = self.hidden_size
+        return slice(0, h), slice(h, 2 * h), slice(2 * h, 3 * h)
+
+    @property
+    def weight_input(self) -> np.ndarray:
+        return self.parameters[f"{self.prefix}W"]
+
+    @property
+    def weight_hidden(self) -> np.ndarray:
+        return self.parameters[f"{self.prefix}U"]
+
+    @property
+    def bias(self) -> np.ndarray:
+        return self.parameters[f"{self.prefix}b"]
+
+    # ----------------------------------------------------------------- forward
+    def step(
+        self,
+        inputs: np.ndarray,
+        h_prev: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, GruStepCache]:
+        """One time step for a batch: ``inputs`` is (batch, input_size)."""
+        z_slice, r_slice, h_slice = self._slices()
+        projected_input = inputs @ self.weight_input + self.bias
+        projected_hidden = h_prev @ self.weight_hidden
+        update_gate = sigmoid(projected_input[:, z_slice] + projected_hidden[:, z_slice])
+        reset_gate = sigmoid(projected_input[:, r_slice] + projected_hidden[:, r_slice])
+        hidden_from_u = projected_hidden[:, h_slice]
+        candidate = np.tanh(projected_input[:, h_slice] + reset_gate * hidden_from_u)
+        h_new = (1.0 - update_gate) * h_prev + update_gate * candidate
+        if mask is not None:
+            expanded = mask[:, None]
+            h_new = expanded * h_new + (1.0 - expanded) * h_prev
+        cache = GruStepCache(
+            inputs=inputs,
+            h_prev=h_prev,
+            update_gate=update_gate,
+            reset_gate=reset_gate,
+            candidate=candidate,
+            hidden_from_u=hidden_from_u,
+            mask=mask,
+        )
+        return h_new, cache
+
+    def forward(self, inputs: np.ndarray, mask: Optional[np.ndarray] = None) -> GruForwardResult:
+        """Run the layer over ``inputs`` of shape (batch, time, input_size)."""
+        batch, time, _ = inputs.shape
+        hidden = np.zeros((batch, self.hidden_size), dtype=np.float64)
+        hidden_states = np.zeros((batch, time, self.hidden_size), dtype=np.float64)
+        update_gates = np.zeros_like(hidden_states)
+        reset_gates = np.zeros_like(hidden_states)
+        caches: List[GruStepCache] = []
+        for t in range(time):
+            step_mask = mask[:, t] if mask is not None else None
+            hidden, cache = self.step(inputs[:, t, :], hidden, step_mask)
+            hidden_states[:, t, :] = hidden
+            update_gates[:, t, :] = cache.update_gate
+            reset_gates[:, t, :] = cache.reset_gate
+            caches.append(cache)
+        return GruForwardResult(
+            hidden_states=hidden_states,
+            update_gates=update_gates,
+            reset_gates=reset_gates,
+            caches=caches,
+        )
+
+    # ---------------------------------------------------------------- backward
+    def backward(
+        self,
+        grad_hidden_states: np.ndarray,
+        caches: List[GruStepCache],
+        gradients: Parameters,
+    ) -> np.ndarray:
+        """Backpropagate through time.
+
+        ``grad_hidden_states`` is the gradient of the loss with respect to
+        every per-step hidden state (batch, time, hidden), e.g. as produced by
+        a per-step classification head.  Returns the gradient with respect to
+        the inputs (batch, time, input_size).
+        """
+        z_slice, r_slice, h_slice = self._slices()
+        weight_input = self.weight_input
+        weight_hidden = self.weight_hidden
+        batch, time, _ = grad_hidden_states.shape
+        grad_inputs = np.zeros((batch, time, self.input_size), dtype=np.float64)
+        grad_w = np.zeros_like(weight_input)
+        grad_u = np.zeros_like(weight_hidden)
+        grad_b = np.zeros_like(self.bias)
+        carry = np.zeros((batch, self.hidden_size), dtype=np.float64)
+
+        for t in range(time - 1, -1, -1):
+            cache = caches[t]
+            grad_h = grad_hidden_states[:, t, :] + carry
+            if cache.mask is not None:
+                expanded = cache.mask[:, None]
+                carry_through = grad_h * (1.0 - expanded)
+                grad_h = grad_h * expanded
+            else:
+                carry_through = 0.0
+
+            update_gate = cache.update_gate
+            reset_gate = cache.reset_gate
+            candidate = cache.candidate
+            h_prev = cache.h_prev
+
+            grad_candidate = grad_h * update_gate
+            grad_update = grad_h * (candidate - h_prev)
+            grad_h_prev = grad_h * (1.0 - update_gate)
+
+            grad_pre_candidate = grad_candidate * (1.0 - candidate * candidate)
+            grad_reset = grad_pre_candidate * cache.hidden_from_u
+            grad_hidden_from_u = grad_pre_candidate * reset_gate
+
+            grad_pre_update = grad_update * update_gate * (1.0 - update_gate)
+            grad_pre_reset = grad_reset * reset_gate * (1.0 - reset_gate)
+
+            # Gradients w.r.t. the input projection (x @ W + b).
+            grad_projected_input = np.concatenate(
+                [grad_pre_update, grad_pre_reset, grad_pre_candidate], axis=1
+            )
+            # Gradients w.r.t. the hidden projection (h_prev @ U).
+            grad_projected_hidden = np.concatenate(
+                [grad_pre_update, grad_pre_reset, grad_hidden_from_u], axis=1
+            )
+
+            grad_w += cache.inputs.T @ grad_projected_input
+            grad_u += h_prev.T @ grad_projected_hidden
+            grad_b += grad_projected_input.sum(axis=0)
+            grad_inputs[:, t, :] = grad_projected_input @ weight_input.T
+            grad_h_prev = grad_h_prev + grad_projected_hidden @ weight_hidden.T
+            carry = grad_h_prev + carry_through
+
+        gradients[f"{self.prefix}W"] = gradients.get(f"{self.prefix}W", 0.0) + grad_w
+        gradients[f"{self.prefix}U"] = gradients.get(f"{self.prefix}U", 0.0) + grad_u
+        gradients[f"{self.prefix}b"] = gradients.get(f"{self.prefix}b", 0.0) + grad_b
+        return grad_inputs
+
+
+class GRUSequenceClassifier:
+    """GRU layer plus a per-step softmax head: the Stage-(a) architecture.
+
+    The classifier is trained to predict, for every packet of a connection,
+    the reference state label (22 classes).  After training,
+    :meth:`gate_activations` exposes the per-packet update/reset gate values
+    that become the inter-packet context part of the context profile.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_classes: int,
+        *,
+        seed: int = 0,
+        learning_rate: float = 0.003,
+        gradient_clip: float = 5.0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_classes = num_classes
+        self.gradient_clip = gradient_clip
+        self.gru = GRULayer(input_size, hidden_size, prefix="gru/", rng=rng)
+        self.head = Dense(hidden_size, num_classes, activation="identity", prefix="head/", rng=rng)
+        self.loss = SoftmaxCrossEntropy()
+        self.optimizer: Optimizer = Adam(learning_rate=learning_rate)
+        self.parameters: Parameters = {}
+        self.parameters.update(self.gru.parameters)
+        self.parameters.update(self.head.parameters)
+        # Keep the sub-modules viewing the same arrays as ``self.parameters``.
+        self.gru.parameters = self.parameters
+        self.head.parameters = self.parameters
+
+    # ----------------------------------------------------------------- forward
+    def forward(
+        self, inputs: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, GruForwardResult]:
+        """Return per-step logits (batch, time, classes) and the GRU result."""
+        result = self.gru.forward(inputs, mask)
+        logits = self.head.forward(result.hidden_states)
+        return logits, result
+
+    def predict_classes(self, inputs: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Arg-max class prediction per step."""
+        logits, _ = self.forward(inputs, mask)
+        return np.argmax(logits, axis=-1)
+
+    def gate_activations(self, sequence: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Update and reset gate activations for one un-padded sequence.
+
+        ``sequence`` has shape (time, input_size); the returned arrays have
+        shape (time, hidden_size).
+        """
+        result = self.gru.forward(sequence[None, :, :])
+        return result.update_gates[0], result.reset_gates[0]
+
+    # ---------------------------------------------------------------- training
+    def train_batch(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> float:
+        """One optimiser step on a padded batch; returns the masked mean loss."""
+        logits, result = self.forward(inputs, mask)
+        loss_value, probabilities = self.loss.forward(logits, targets, mask)
+        grad_logits = self.loss.backward(probabilities, targets, mask)
+        gradients: Parameters = {}
+        grad_hidden = self.head.backward(grad_logits, gradients)
+        self.gru.backward(grad_hidden, result.caches, gradients)
+        Optimizer.clip_gradients(gradients, self.gradient_clip)
+        self.optimizer.step(self.parameters, gradients)
+        return loss_value
+
+    def accuracy(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> float:
+        """Masked per-step classification accuracy."""
+        predictions = self.predict_classes(inputs, mask)
+        correct = (predictions == targets).astype(np.float64)
+        if mask is not None:
+            total = max(float(mask.sum()), 1.0)
+            return float((correct * mask).sum() / total)
+        return float(correct.mean())
+
+    # ------------------------------------------------------------- persistence
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {key: value.copy() for key, value in self.parameters.items()}
+        state["meta/input_size"] = np.array([self.input_size])
+        state["meta/hidden_size"] = np.array([self.hidden_size])
+        state["meta/num_classes"] = np.array([self.num_classes])
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for key in self.parameters:
+            self.parameters[key][...] = state[key]
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "GRUSequenceClassifier":
+        model = cls(
+            input_size=int(state["meta/input_size"][0]),
+            hidden_size=int(state["meta/hidden_size"][0]),
+            num_classes=int(state["meta/num_classes"][0]),
+        )
+        model.load_state_dict(state)
+        return model

@@ -1,0 +1,25 @@
+"""Weight initialisers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, the default for dense layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(np.float64)
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation, the usual choice for recurrent matrices."""
+    size = max(rows, cols)
+    matrix = rng.normal(0.0, 1.0, size=(size, size))
+    q, r = np.linalg.qr(matrix)
+    # Make the decomposition unique (and hence deterministic given the rng).
+    q = q * np.sign(np.diag(r))
+    return (gain * q[:rows, :cols]).astype(np.float64)
+
+
+def zeros(*shape: int) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,99 @@
+"""Gradient-descent optimisers for the numpy substrate.
+
+Optimisers operate on a flat ``{name: array}`` parameter dictionary and an
+equally-keyed gradient dictionary, which is the representation all models in
+:mod:`repro.nn` expose.  Adam is the default everywhere, matching common
+practice for both GRU classifiers and autoencoders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+Parameters = Dict[str, np.ndarray]
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`step`."""
+
+    def step(self, parameters: Parameters, gradients: Parameters) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def clip_gradients(gradients: Parameters, max_norm: Optional[float]) -> float:
+        """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+        Returns the pre-clipping norm (useful for monitoring exploding
+        gradients in the recurrent model).
+        """
+        total = 0.0
+        for gradient in gradients.values():
+            total += float(np.sum(gradient * gradient))
+        norm = float(np.sqrt(total))
+        if max_norm is not None and norm > max_norm and norm > 0.0:
+            scale = max_norm / norm
+            for key in gradients:
+                gradients[key] = gradients[key] * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Parameters = {}
+
+    def step(self, parameters: Parameters, gradients: Parameters) -> None:
+        for name, parameter in parameters.items():
+            gradient = gradients[name]
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(name)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter)
+                velocity = self.momentum * velocity - self.learning_rate * gradient
+                self._velocity[name] = velocity
+                parameter += velocity
+            else:
+                parameter -= self.learning_rate * gradient
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moment: Parameters = {}
+        self._second_moment: Parameters = {}
+        self._step_count = 0
+
+    def step(self, parameters: Parameters, gradients: Parameters) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for name, parameter in parameters.items():
+            gradient = gradients[name]
+            first = self._first_moment.get(name)
+            second = self._second_moment.get(name)
+            if first is None:
+                first = np.zeros_like(parameter)
+                second = np.zeros_like(parameter)
+            first = self.beta1 * first + (1.0 - self.beta1) * gradient
+            second = self.beta2 * second + (1.0 - self.beta2) * (gradient * gradient)
+            self._first_moment[name] = first
+            self._second_moment[name] = second
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            parameter -= self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)

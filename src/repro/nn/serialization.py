@@ -1,0 +1,34 @@
+"""Persist model parameters as ``.npz`` archives.
+
+The paper's pipeline persists the trained RNN and autoencoder between the
+training and testing phases (Figures 2 and 3); these helpers provide the same
+capability for any model exposing ``state_dict`` / ``from_state_dict``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+
+def save_state(path: Union[str, Path], state: Dict[str, np.ndarray]) -> Path:
+    """Write a state dictionary to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # ``np.savez`` mangles "/" in key names on some platforms, so escape them.
+    escaped = {key.replace("/", "__slash__"): value for key, value in state.items()}
+    np.savez(path, **escaped)
+    return path
+
+
+def load_state(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Read a state dictionary previously written by :func:`save_state`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        return {key.replace("__slash__", "/"): archive[key] for key in archive.files}

@@ -1,0 +1,336 @@
+"""Reference TCP connection-tracking state machine (the label source).
+
+The paper instruments the Linux ``conntrack`` module and replays benign
+captures through it to harvest, for every packet, the connection state the
+kernel transitions to plus an in-/out-of-window verdict.  This module
+re-implements that reference behaviour: a per-connection state machine with
+netfilter-flavoured master states, rigorous endhost-style packet validation
+(checksums, header consistency, flag combinations) and simplified
+``tcp_in_window`` sequence tracking.
+
+The machine deliberately models a *rigorous endhost*: packets that a real TCP
+stack would silently discard (bad checksum, bogus data offset, invalid flag
+combination, failed MD5 option) do not advance the state machine.  It is this
+very rigour that DPI evasion attacks exploit, and that the labels must encode
+so the RNN can learn the benign inter-packet context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags
+from repro.tcpstate.states import MasterState, StateLabel, WindowVerdict
+from repro.tcpstate.window import EndpointWindow, in_window
+
+
+@dataclass(frozen=True)
+class PacketObservation:
+    """Everything the reference implementation reports for one packet."""
+
+    label: StateLabel
+    accepted: bool
+    state_before: MasterState
+    state_after: MasterState
+    window_verdict: WindowVerdict
+    drop_reason: Optional[str] = None
+
+
+# Flag combinations that a rigorous stack treats as invalid/bogus segments.
+_INVALID_FLAG_COMBINATIONS = (
+    TcpFlags.SYN | TcpFlags.FIN,
+    TcpFlags.SYN | TcpFlags.RST,
+    TcpFlags.FIN | TcpFlags.RST,
+)
+
+
+class ConntrackMachine:
+    """Track one TCP connection and label each packet as conntrack would."""
+
+    def __init__(self) -> None:
+        self.state: MasterState = MasterState.NONE
+        self._endpoints: Dict[Direction, EndpointWindow] = {
+            Direction.CLIENT_TO_SERVER: EndpointWindow(),
+            Direction.SERVER_TO_CLIENT: EndpointWindow(),
+        }
+        self._offered_scale: Dict[Direction, Optional[int]] = {
+            Direction.CLIENT_TO_SERVER: None,
+            Direction.SERVER_TO_CLIENT: None,
+        }
+        self._scaling_resolved = False
+        self.history: List[PacketObservation] = []
+
+    # ------------------------------------------------------------------ public
+    def process(self, packet: Packet) -> PacketObservation:
+        """Feed one packet; returns the observation (and records it)."""
+        state_before = self.state
+        drop_reason = self._validate(packet)
+        verdict = self._window_verdict(packet)
+        accepted = drop_reason is None
+
+        if accepted:
+            self._negotiate_scaling(packet)
+            self._advance_state(packet)
+            self._update_window(packet)
+
+        observation = PacketObservation(
+            label=StateLabel(state=self.state, window=verdict),
+            accepted=accepted,
+            state_before=state_before,
+            state_after=self.state,
+            window_verdict=verdict,
+            drop_reason=drop_reason,
+        )
+        self.history.append(observation)
+        return observation
+
+    def would_accept(self, packet: Packet) -> bool:
+        """Check acceptability without mutating the machine (DPI-discrepancy tests)."""
+        return self._validate(packet) is None
+
+    # -------------------------------------------------------------- validation
+    def _validate(self, packet: Packet) -> Optional[str]:
+        """Return a drop reason, or ``None`` when a rigorous endhost accepts."""
+        if packet.ip.version != 4:
+            return "ip-version"
+        effective_ihl = packet.ip.effective_ihl()
+        if effective_ihl < 5:
+            return "ip-header-length"
+        if not packet.ip.has_correct_checksum(packet.tcp.header_length + len(packet.payload)):
+            return "ip-checksum"
+        if not packet.ip_total_length_consistent():
+            return "ip-total-length"
+        if packet.ip.ttl == 0:
+            return "ttl-zero"
+        offset = packet.tcp.effective_data_offset()
+        if offset < 5:
+            return "tcp-data-offset"
+        if offset * 4 > packet.tcp.header_length + len(packet.payload):
+            return "tcp-data-offset"
+        if not packet.tcp_checksum_ok():
+            return "tcp-checksum"
+        flags = packet.tcp.flags
+        if flags & 0x1FF == 0:
+            return "null-flags"
+        for combination in _INVALID_FLAG_COMBINATIONS:
+            if flags & combination == combination:
+                return "invalid-flag-combination"
+        md5 = packet.tcp.md5_option()
+        if md5 is not None and not md5.valid:
+            return "md5-signature"
+        if packet.tcp.is_syn and not packet.tcp.is_ack and len(packet.payload) > 0:
+            # Data on an initial SYN is technically legal but conntrack-style
+            # trackers treat it as suspicious; a rigorous endhost queues it but
+            # our reference (like the paper's) rejects SYN payloads.
+            return "syn-with-payload"
+        if packet.tcp.is_rst:
+            reason = self._validate_rst(packet)
+            if reason is not None:
+                return reason
+        if packet.tcp.has_flag(TcpFlags.ACK):
+            receiver = self._endpoints[packet.direction.flipped()]
+            if receiver.initialised:
+                from repro.tcpstate.window import seq_diff
+
+                if seq_diff(packet.tcp.ack, receiver.snd_end) > 0:
+                    return "ack-of-unsent-data"
+        timestamp_reason = self._validate_timestamp(packet)
+        if timestamp_reason is not None:
+            return timestamp_reason
+        if self.state is MasterState.ESTABLISHED and not packet.tcp.has_flag(TcpFlags.ACK) \
+                and not packet.tcp.is_rst and not packet.tcp.is_syn:
+            # Data segments after the handshake must carry ACK (RFC 793).
+            return "missing-ack-flag"
+        return None
+
+    def _validate_rst(self, packet: Packet) -> Optional[str]:
+        """RST acceptability: must land exactly on the expected sequence."""
+        receiver = self._endpoints[packet.direction.flipped()]
+        sender = self._endpoints[packet.direction]
+        if not sender.initialised and self.state is MasterState.NONE:
+            return "rst-without-connection"
+        if receiver.initialised and receiver.rcv_limit != 0:
+            if not in_window(sender, receiver, packet.tcp.seq, max(packet.sequence_span(), 1),
+                             packet.tcp.ack, has_ack=packet.tcp.has_flag(TcpFlags.ACK)):
+                return "rst-out-of-window"
+        return None
+
+    def _validate_timestamp(self, packet: Packet) -> Optional[str]:
+        """PAWS-style check: timestamps must not run backwards."""
+        option = packet.tcp.timestamp_option()
+        if option is None:
+            return None
+        if option.tsval == 0 and self.state is not MasterState.NONE:
+            return "timestamp-zero"
+        last = getattr(self, "_last_tsval", {}).get(packet.direction)
+        if last is not None:
+            # PAWS (RFC 7323): a timestamp earlier than the last one seen from
+            # the same sender marks the segment as unacceptably old.
+            delta = (option.tsval - last) % (2**32)
+            if delta >= 2**31:
+                return "timestamp-regression"
+        return None
+
+    # ---------------------------------------------------------- state machine
+    def _advance_state(self, packet: Packet) -> None:
+        flags = packet.tcp.flags
+        direction = packet.direction
+        is_syn = bool(flags & TcpFlags.SYN)
+        is_ack = bool(flags & TcpFlags.ACK)
+        is_fin = bool(flags & TcpFlags.FIN)
+        is_rst = bool(flags & TcpFlags.RST)
+        state = self.state
+
+        if is_rst:
+            if state is not MasterState.NONE:
+                self.state = MasterState.CLOSE
+            return
+
+        if state is MasterState.NONE:
+            if is_syn and not is_ack and direction is Direction.CLIENT_TO_SERVER:
+                self.state = MasterState.SYN_SENT
+            return
+
+        if state is MasterState.SYN_SENT:
+            if is_syn and is_ack and direction is Direction.SERVER_TO_CLIENT:
+                self.state = MasterState.SYN_RECV
+            elif is_syn and not is_ack and direction is Direction.SERVER_TO_CLIENT:
+                self.state = MasterState.SYN_SENT2
+            return
+
+        if state is MasterState.SYN_SENT2:
+            if is_syn and is_ack:
+                self.state = MasterState.SYN_RECV
+            return
+
+        if state is MasterState.SYN_RECV:
+            if is_fin:
+                self.state = MasterState.FIN_WAIT
+            elif is_ack and not is_syn and direction is Direction.CLIENT_TO_SERVER:
+                self.state = MasterState.ESTABLISHED
+            return
+
+        if state is MasterState.ESTABLISHED:
+            if is_fin:
+                self.state = MasterState.FIN_WAIT
+            return
+
+        if state is MasterState.FIN_WAIT:
+            if is_fin:
+                self.state = MasterState.CLOSING
+            elif is_ack:
+                self.state = MasterState.CLOSE_WAIT
+            return
+
+        if state is MasterState.CLOSE_WAIT:
+            if is_fin:
+                self.state = MasterState.LAST_ACK
+            return
+
+        if state is MasterState.CLOSING:
+            if is_ack:
+                self.state = MasterState.TIME_WAIT
+            return
+
+        if state is MasterState.LAST_ACK:
+            if is_ack:
+                self.state = MasterState.TIME_WAIT
+            return
+
+        if state is MasterState.TIME_WAIT:
+            if is_syn and not is_ack:
+                self.state = MasterState.SYN_SENT
+            return
+
+        # CLOSE: a fresh SYN may reopen the conversation.
+        if state is MasterState.CLOSE:
+            if is_syn and not is_ack:
+                self.state = MasterState.SYN_SENT
+            return
+
+    # ------------------------------------------------------- window tracking
+    def _window_verdict(self, packet: Packet) -> WindowVerdict:
+        sender = self._endpoints[packet.direction]
+        receiver = self._endpoints[packet.direction.flipped()]
+        if packet.tcp.is_syn and not sender.initialised:
+            return WindowVerdict.IN_WINDOW
+        if not sender.initialised and not receiver.initialised:
+            return WindowVerdict.IN_WINDOW
+        ok = in_window(
+            sender,
+            receiver,
+            packet.tcp.seq,
+            packet.sequence_span(),
+            packet.tcp.ack,
+            has_ack=packet.tcp.has_flag(TcpFlags.ACK),
+        )
+        return WindowVerdict.IN_WINDOW if ok else WindowVerdict.OUT_OF_WINDOW
+
+    def _negotiate_scaling(self, packet: Packet) -> None:
+        if not packet.tcp.is_syn:
+            if not self._scaling_resolved and self.state in (
+                MasterState.ESTABLISHED,
+                MasterState.SYN_RECV,
+            ):
+                self._resolve_scaling()
+            return
+        option = packet.tcp.window_scale_option()
+        self._offered_scale[packet.direction] = option.shift if option is not None else None
+
+    def _resolve_scaling(self) -> None:
+        client = self._offered_scale[Direction.CLIENT_TO_SERVER]
+        server = self._offered_scale[Direction.SERVER_TO_CLIENT]
+        if client is not None and server is not None:
+            self._endpoints[Direction.CLIENT_TO_SERVER].scale = client
+            self._endpoints[Direction.SERVER_TO_CLIENT].scale = server
+        self._scaling_resolved = True
+
+    def _update_window(self, packet: Packet) -> None:
+        sender = self._endpoints[packet.direction]
+        is_handshake = packet.tcp.is_syn
+        if is_handshake and not sender.initialised:
+            option = packet.tcp.window_scale_option()
+            sender.initialise_from_syn(
+                packet.tcp.seq,
+                packet.sequence_span(),
+                packet.tcp.window,
+                option.shift if option is not None else 0,
+            )
+        sender.observe_sent(
+            packet.tcp.seq,
+            packet.sequence_span(),
+            packet.tcp.ack,
+            packet.tcp.window,
+            has_ack=packet.tcp.has_flag(TcpFlags.ACK),
+            handshake=is_handshake,
+        )
+        option = packet.tcp.timestamp_option()
+        if option is not None:
+            if not hasattr(self, "_last_tsval"):
+                self._last_tsval: Dict[Direction, int] = {}
+            self._last_tsval[packet.direction] = option.tsval
+
+
+class ConnectionLabeler:
+    """Replay whole connections through :class:`ConntrackMachine`.
+
+    This is the "traffic replayer" of the paper's Section 4.1: it harvests,
+    per packet, the ``(master state, window verdict)`` label used to train the
+    Stage-(a) RNN.
+    """
+
+    def label_connection(self, packets: List[Packet]) -> List[StateLabel]:
+        """Return one label per packet of a single connection."""
+        machine = ConntrackMachine()
+        return [machine.process(packet).label for packet in packets]
+
+    def observe_connection(self, packets: List[Packet]) -> List[PacketObservation]:
+        """Like :meth:`label_connection` but returns full observations."""
+        machine = ConntrackMachine()
+        return [machine.process(packet) for packet in packets]
+
+    def label_class_indices(self, packets: List[Packet]) -> List[int]:
+        """Dense class indices (``[0, 22)``) for RNN training targets."""
+        return [label.class_index for label in self.label_connection(packets)]

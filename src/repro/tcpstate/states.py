@@ -1,0 +1,85 @@
+"""TCP connection-tracking states and the 22-class label space.
+
+The paper labels every packet of the benign training traffic with the state an
+instrumented Linux conntrack transitions to as a result of that packet,
+concatenated with a subtle in-/out-of-window verdict, giving
+``11 master states x 2 window verdicts = 22`` classes.  This module defines
+that label space; :mod:`repro.tcpstate.conntrack` produces the labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class MasterState(enum.IntEnum):
+    """The 11 connection-tracking master states (netfilter conntrack flavour)."""
+
+    NONE = 0
+    SYN_SENT = 1
+    SYN_RECV = 2
+    ESTABLISHED = 3
+    FIN_WAIT = 4
+    CLOSE_WAIT = 5
+    LAST_ACK = 6
+    TIME_WAIT = 7
+    CLOSE = 8
+    CLOSING = 9
+    SYN_SENT2 = 10
+
+    @property
+    def short_name(self) -> str:
+        return self.name
+
+
+class WindowVerdict(enum.IntEnum):
+    """Whether a packet falls inside the recipient's receive window."""
+
+    IN_WINDOW = 0
+    OUT_OF_WINDOW = 1
+
+
+NUM_MASTER_STATES = len(MasterState)
+NUM_WINDOW_VERDICTS = len(WindowVerdict)
+NUM_LABEL_CLASSES = NUM_MASTER_STATES * NUM_WINDOW_VERDICTS
+
+
+@dataclass(frozen=True)
+class StateLabel:
+    """A (master state, window verdict) pair — one RNN training label."""
+
+    state: MasterState
+    window: WindowVerdict
+
+    @property
+    def class_index(self) -> int:
+        """Dense class index in ``[0, NUM_LABEL_CLASSES)``."""
+        return int(self.state) * NUM_WINDOW_VERDICTS + int(self.window)
+
+    @classmethod
+    def from_class_index(cls, index: int) -> "StateLabel":
+        if not 0 <= index < NUM_LABEL_CLASSES:
+            raise ValueError(f"label class index out of range: {index}")
+        state = MasterState(index // NUM_WINDOW_VERDICTS)
+        window = WindowVerdict(index % NUM_WINDOW_VERDICTS)
+        return cls(state=state, window=window)
+
+    @property
+    def name(self) -> str:
+        suffix = "IN" if self.window is WindowVerdict.IN_WINDOW else "OUT"
+        return f"{self.state.name}/{suffix}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def all_labels() -> List[StateLabel]:
+    """Every possible label, ordered by class index."""
+    return [StateLabel.from_class_index(index) for index in range(NUM_LABEL_CLASSES)]
+
+
+def label_names() -> List[str]:
+    """Human-readable names for every class index (used in Table 5 output)."""
+    return [label.name for label in all_labels()]

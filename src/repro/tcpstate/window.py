@@ -1,0 +1,134 @@
+"""Per-direction sequence/window bookkeeping for the conntrack machine.
+
+This is a simplified re-implementation of netfilter's ``tcp_in_window``
+tracking: for each endpoint we maintain the highest sequence number it has
+sent, the right edge of the receive window it has advertised to its peer, and
+the largest window it has ever advertised.  A packet is "in window" when its
+sequence span fits the limits advertised by the receiver and its ACK (if any)
+does not acknowledge data the peer never sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# 32-bit sequence-number arithmetic helpers -----------------------------------
+
+SEQ_MODULUS = 2**32
+
+
+def seq_add(seq: int, delta: int) -> int:
+    return (seq + delta) % SEQ_MODULUS
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed difference ``a - b`` interpreted modulo 2^32 (RFC 1982 style)."""
+    diff = (a - b) % SEQ_MODULUS
+    if diff >= SEQ_MODULUS // 2:
+        diff -= SEQ_MODULUS
+    return diff
+
+
+def seq_before(a: int, b: int) -> bool:
+    return seq_diff(a, b) < 0
+
+
+def seq_after(a: int, b: int) -> bool:
+    return seq_diff(a, b) > 0
+
+
+def seq_between(value: int, low: int, high: int) -> bool:
+    """True if ``low <= value <= high`` in circular sequence space."""
+    return seq_diff(value, low) >= 0 and seq_diff(high, value) >= 0
+
+
+@dataclass
+class EndpointWindow:
+    """Sequence/window state for one endpoint of a connection."""
+
+    # Highest sequence number (exclusive) this endpoint has sent.
+    snd_end: int = 0
+    # Right edge of the receive window this endpoint has advertised
+    # (last ack it sent + last window it advertised, scaled).
+    rcv_limit: int = 0
+    # Largest (scaled) window this endpoint has ever advertised.
+    max_window: int = 0
+    # Window scale shift negotiated by this endpoint (0 if none).
+    scale: int = 0
+    # Whether we have seen at least one packet from this endpoint.
+    initialised: bool = False
+
+    def scaled_window(self, raw_window: int, handshake: bool) -> int:
+        """Apply the negotiated window scale (never applied to SYN segments)."""
+        if handshake:
+            return raw_window
+        return raw_window << self.scale
+
+    def observe_sent(self, seq: int, span: int, ack: int, raw_window: int, *,
+                     has_ack: bool, handshake: bool) -> None:
+        """Update this endpoint's state after it sent a segment."""
+        end = seq_add(seq, span)
+        if not self.initialised or seq_after(end, self.snd_end):
+            self.snd_end = end
+        window = self.scaled_window(raw_window, handshake)
+        if window > self.max_window:
+            self.max_window = window
+        if has_ack:
+            limit = seq_add(ack, window)
+            if not self.initialised or seq_after(limit, self.rcv_limit):
+                self.rcv_limit = limit
+        self.initialised = True
+
+    def initialise_from_syn(self, seq: int, span: int, raw_window: int, scale: int) -> None:
+        """Seed state from this endpoint's initial SYN."""
+        self.snd_end = seq_add(seq, span)
+        self.max_window = max(raw_window, 1)
+        self.scale = scale
+        self.rcv_limit = 0
+        self.initialised = True
+
+
+def in_window(sender: EndpointWindow, receiver: EndpointWindow, seq: int, span: int,
+              ack: int, *, has_ack: bool) -> bool:
+    """Netfilter-style acceptability check for a segment from ``sender``.
+
+    The three conditions (mirroring ``tcp_in_window``):
+
+    I.   The segment's end does not exceed the right edge of the window the
+         receiver has advertised (with a one-max-window tolerance before the
+         receiver has advertised anything).
+    II.  The segment is not older than one maximum window before the highest
+         byte the sender has already sent (tolerates retransmissions but
+         rejects ancient or wildly out-of-range sequence numbers).
+    III. If the segment carries an ACK, it does not acknowledge data the
+         receiver has never sent.
+    """
+    end = seq_add(seq, span)
+
+    # Condition I --------------------------------------------------------
+    if receiver.initialised and receiver.rcv_limit != 0:
+        if seq_diff(end, receiver.rcv_limit) > 0:
+            return False
+    elif receiver.initialised:
+        # Receiver seen but no ACK from it yet: allow up to one max window
+        # past the highest byte the sender has sent.
+        allowance = max(receiver.max_window, sender.max_window, 1)
+        if seq_diff(end, seq_add(sender.snd_end, allowance)) > 0:
+            return False
+
+    # Condition II -------------------------------------------------------
+    if sender.initialised:
+        window = max(receiver.max_window, sender.max_window, 1)
+        lower_bound = seq_add(sender.snd_end, -window)
+        if seq_diff(seq, lower_bound) < 0:
+            return False
+
+    # Condition III ------------------------------------------------------
+    if has_ack and receiver.initialised:
+        if seq_diff(ack, receiver.snd_end) > 0:
+            return False
+        window = max(sender.max_window, receiver.max_window, 1)
+        if seq_diff(ack, seq_add(receiver.snd_end, -(2 * window))) < 0:
+            return False
+
+    return True

@@ -1,0 +1,19 @@
+"""Benign traffic generation and dataset management (MAWI substitute)."""
+
+from repro.traffic.dataset import BenignDataset, DatasetStatistics
+from repro.traffic.generator import GeneratorConfig, TrafficGenerator, generate_benign_connections
+from repro.traffic.scenarios import Scenario, get_scenario, registry, scenario_names
+from repro.traffic.session import TcpSessionBuilder
+
+__all__ = [
+    "BenignDataset",
+    "DatasetStatistics",
+    "GeneratorConfig",
+    "Scenario",
+    "TcpSessionBuilder",
+    "TrafficGenerator",
+    "generate_benign_connections",
+    "get_scenario",
+    "registry",
+    "scenario_names",
+]

@@ -1,0 +1,134 @@
+"""Benign traffic corpus generation.
+
+This module stands in for the MAWI backbone capture the paper trains on: it
+emits a mixture of realistic, protocol-consistent TCP connections drawn from
+the scenario registry, with per-connection variation in addresses, ports,
+initial sequence numbers, MSS, window scaling, TTLs, timestamps and timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netstack.flow import Connection, FlowKey
+from repro.netstack.packet import Packet
+from repro.traffic.scenarios import Scenario, registry
+from repro.traffic.session import TcpSessionBuilder
+from repro.utils.rng import SeedLike, ensure_rng
+
+# Common server ports weighted roughly like backbone traffic.
+_SERVER_PORTS = np.array([443, 80, 8080, 22, 25, 993, 3306, 53, 8443, 5222])
+_SERVER_PORT_WEIGHTS = np.array([0.45, 0.25, 0.06, 0.05, 0.04, 0.03, 0.03, 0.03, 0.03, 0.03])
+
+# Typical initial TTL values and the hop-count decay seen at a backbone vantage point.
+_INITIAL_TTLS = np.array([64, 128, 255])
+_INITIAL_TTL_WEIGHTS = np.array([0.70, 0.25, 0.05])
+
+_MSS_CHOICES = np.array([1460, 1440, 1400, 1380, 1360, 536])
+_MSS_WEIGHTS = np.array([0.55, 0.15, 0.10, 0.08, 0.07, 0.05])
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs controlling corpus realism and size."""
+
+    timestamp_probability: float = 0.85
+    sack_probability: float = 0.9
+    wscale_probability: float = 0.9
+    start_time: float = 1_600_000_000.0
+    mean_inter_connection_gap: float = 0.01
+    scenario_weights: Optional[Dict[str, float]] = None
+
+
+class TrafficGenerator:
+    """Generate benign TCP connections from the scenario mixture."""
+
+    def __init__(self, seed: SeedLike = None, config: Optional[GeneratorConfig] = None) -> None:
+        self.rng = ensure_rng(seed)
+        self.config = config or GeneratorConfig()
+        self._scenarios = registry()
+        self._clock = self.config.start_time
+        weights = self.config.scenario_weights
+        names = sorted(self._scenarios)
+        raw = np.array([
+            weights.get(name, self._scenarios[name].weight) if weights else self._scenarios[name].weight
+            for name in names
+        ], dtype=float)
+        self._scenario_names = names
+        self._scenario_probabilities = raw / raw.sum()
+
+    # ----------------------------------------------------------- single flows
+    def random_address(self, private: bool = False) -> int:
+        """A plausible random IPv4 address (avoids reserved first octets)."""
+        if private:
+            return (10 << 24) | int(self.rng.integers(0, 2**24))
+        while True:
+            first = int(self.rng.integers(1, 224))
+            if first in (10, 127, 172, 192):
+                continue
+            rest = int(self.rng.integers(0, 2**24))
+            return (first << 24) | rest
+
+    def _pick_ttl(self) -> int:
+        initial = int(self.rng.choice(_INITIAL_TTLS, p=_INITIAL_TTL_WEIGHTS))
+        hops = int(self.rng.integers(4, 22))
+        return max(initial - hops, 1)
+
+    def _build_session(self, start_time: float) -> TcpSessionBuilder:
+        use_wscale = self.rng.random() < self.config.wscale_probability
+        return TcpSessionBuilder(
+            client_ip=self.random_address(),
+            server_ip=self.random_address(),
+            client_port=int(self.rng.integers(1024, 65535)),
+            server_port=int(self.rng.choice(_SERVER_PORTS, p=_SERVER_PORT_WEIGHTS)),
+            start_time=start_time,
+            client_isn=int(self.rng.integers(1, 2**32 - 1)),
+            server_isn=int(self.rng.integers(1, 2**32 - 1)),
+            mss=int(self.rng.choice(_MSS_CHOICES, p=_MSS_WEIGHTS)),
+            use_timestamps=self.rng.random() < self.config.timestamp_probability,
+            use_sack=self.rng.random() < self.config.sack_probability,
+            client_wscale=int(self.rng.integers(0, 10)) if use_wscale else None,
+            server_wscale=int(self.rng.integers(0, 10)) if use_wscale else None,
+            client_window=int(self.rng.integers(8_192, 65_535)),
+            server_window=int(self.rng.integers(8_192, 65_535)),
+            client_ttl=self._pick_ttl(),
+            server_ttl=self._pick_ttl(),
+            base_rtt=float(self.rng.uniform(0.005, 0.12)),
+        )
+
+    def generate_connection(self, scenario_name: Optional[str] = None) -> Connection:
+        """Generate one benign connection, optionally forcing a scenario."""
+        if scenario_name is None:
+            scenario_name = str(self.rng.choice(self._scenario_names, p=self._scenario_probabilities))
+        scenario: Scenario = self._scenarios[scenario_name]
+        self._clock += float(self.rng.exponential(self.config.mean_inter_connection_gap))
+        session = self._build_session(self._clock)
+        scenario.build(session, self.rng)
+        connection = Connection(key=FlowKey.from_packet(session.packets[0]))
+        for packet in session.packets:
+            connection.append(packet)
+        return connection
+
+    # --------------------------------------------------------------- corpora
+    def generate_connections(
+        self, count: int, scenario_name: Optional[str] = None
+    ) -> List[Connection]:
+        """Generate ``count`` independent benign connections."""
+        return [self.generate_connection(scenario_name) for _ in range(count)]
+
+    def generate_packets(self, connection_count: int) -> List[Packet]:
+        """Generate connections and return the interleaved packet stream."""
+        packets: List[Packet] = []
+        for connection in self.generate_connections(connection_count):
+            packets.extend(connection.packets)
+        packets.sort(key=lambda packet: packet.timestamp)
+        return packets
+
+
+def generate_benign_connections(count: int, seed: SeedLike = 0,
+                                config: Optional[GeneratorConfig] = None) -> List[Connection]:
+    """Convenience wrapper used by tests, examples and benchmarks."""
+    return TrafficGenerator(seed=seed, config=config).generate_connections(count)

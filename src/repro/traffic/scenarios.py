@@ -1,0 +1,209 @@
+"""Benign connection scenarios.
+
+Each scenario scripts one realistic TCP conversation on top of
+:class:`~repro.traffic.session.TcpSessionBuilder`.  Together the scenarios
+cover the benign state space CLAP must learn: every master state of the
+reference tracker is reachable, common "odd but legitimate" events
+(retransmissions, keep-alives, zero windows, resets, half-open connections)
+are represented, and payload sizes span short interactive exchanges to bulk
+transfers.
+
+The scenario registry is keyed by name; the corpus generator draws scenarios
+from a weighted mixture that loosely follows what backbone traffic such as the
+MAWI captures contains (mostly short request/response flows, a tail of bulk
+transfers, a few aborted or unusual flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.netstack.packet import Direction, Packet
+from repro.traffic.session import TcpSessionBuilder
+
+ScenarioFunction = Callable[[TcpSessionBuilder, np.random.Generator], List[Packet]]
+
+_REGISTRY: Dict[str, "Scenario"] = {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, weighted benign-connection scenario."""
+
+    name: str
+    weight: float
+    build: ScenarioFunction
+    description: str
+
+    def __call__(self, session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+        self.build(session, rng)
+        return session.packets
+
+
+def scenario(name: str, weight: float, description: str):
+    """Decorator registering a scenario function."""
+
+    def decorator(function: ScenarioFunction) -> ScenarioFunction:
+        _REGISTRY[name] = Scenario(name=name, weight=weight, build=function, description=description)
+        return function
+
+    return decorator
+
+
+def registry() -> Dict[str, Scenario]:
+    """The full scenario registry (name -> scenario)."""
+    return dict(_REGISTRY)
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; available: {', '.join(scenario_names())}") from None
+
+
+# ---------------------------------------------------------------------------
+# Scenario definitions
+# ---------------------------------------------------------------------------
+
+@scenario("web_request", weight=0.34, description="Short HTTP-like request/response then graceful close")
+def web_request(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(120, 900)))
+    session.elapse_rtt()
+    session.ack(Direction.SERVER_TO_CLIENT)
+    response_size = int(rng.integers(400, 12_000))
+    session.send(Direction.SERVER_TO_CLIENT, response_size)
+    session.elapse_rtt()
+    session.ack(Direction.CLIENT_TO_SERVER)
+    initiator = Direction.CLIENT_TO_SERVER if rng.random() < 0.6 else Direction.SERVER_TO_CLIENT
+    session.graceful_close(initiator)
+    return session.packets
+
+
+@scenario("bulk_download", weight=0.16, description="Large server-to-client transfer with periodic ACKs")
+def bulk_download(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(80, 400)))
+    session.ack(Direction.SERVER_TO_CLIENT)
+    bursts = int(rng.integers(3, 8))
+    for _ in range(bursts):
+        session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(2_000, 9_000)))
+        session.elapse_rtt()
+        session.ack(Direction.CLIENT_TO_SERVER)
+    session.graceful_close(Direction.SERVER_TO_CLIENT)
+    return session.packets
+
+
+@scenario("bulk_upload", weight=0.08, description="Large client-to-server transfer (e.g. POST upload)")
+def bulk_upload(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    bursts = int(rng.integers(2, 6))
+    for _ in range(bursts):
+        session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(2_000, 8_000)))
+        session.elapse_rtt()
+        session.ack(Direction.SERVER_TO_CLIENT)
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(200, 1_500)))
+    session.ack(Direction.CLIENT_TO_SERVER)
+    session.graceful_close(Direction.CLIENT_TO_SERVER)
+    return session.packets
+
+
+@scenario("interactive", weight=0.12, description="SSH/telnet-like alternating small segments")
+def interactive(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    exchanges = int(rng.integers(4, 15))
+    for _ in range(exchanges):
+        session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(1, 120)), advance=float(rng.uniform(0.05, 0.8)))
+        session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(1, 300)))
+        session.ack(Direction.CLIENT_TO_SERVER)
+    session.graceful_close(Direction.CLIENT_TO_SERVER)
+    return session.packets
+
+
+@scenario("persistent_with_keepalive", weight=0.06, description="Idle persistent connection with keep-alive probes")
+def persistent_with_keepalive(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(100, 600)))
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(300, 3_000)))
+    session.ack(Direction.CLIENT_TO_SERVER)
+    probes = int(rng.integers(1, 4))
+    for _ in range(probes):
+        session.keepalive(Direction.CLIENT_TO_SERVER)
+        session.elapse_rtt()
+        session.ack(Direction.SERVER_TO_CLIENT)
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(60, 400)))
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(200, 2_000)))
+    session.ack(Direction.CLIENT_TO_SERVER)
+    session.graceful_close(Direction.SERVER_TO_CLIENT)
+    return session.packets
+
+
+@scenario("retransmission", weight=0.07, description="Request/response with a retransmitted data segment")
+def retransmission(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(100, 700)))
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(1_000, 5_000)))
+    session.retransmit_last_data(Direction.SERVER_TO_CLIENT)
+    session.ack(Direction.CLIENT_TO_SERVER)
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(500, 3_000)))
+    session.ack(Direction.CLIENT_TO_SERVER)
+    session.graceful_close(Direction.CLIENT_TO_SERVER)
+    return session.packets
+
+
+@scenario("client_abort", weight=0.05, description="Connection torn down by a client RST after some data")
+def client_abort(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(80, 500)))
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(200, 2_000)))
+    session.ack(Direction.CLIENT_TO_SERVER)
+    session.rst(Direction.CLIENT_TO_SERVER, with_ack=True)
+    return session.packets
+
+
+@scenario("server_reset", weight=0.04, description="Server refuses with RST right after the request")
+def server_reset(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(60, 400)))
+    session.rst(Direction.SERVER_TO_CLIENT, with_ack=True)
+    return session.packets
+
+
+@scenario("half_open", weight=0.03, description="SYN and SYN-ACK with no final ACK (handshake never completes)")
+def half_open(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.client_syn()
+    session.server_synack()
+    if rng.random() < 0.5:
+        session.advance_time(1.0)
+        session.server_synack()  # SYN-ACK retransmission
+    return session.packets
+
+
+@scenario("syn_scan_like", weight=0.02, description="Lone SYN answered by server RST (benign scanner/misconfig)")
+def syn_scan_like(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.client_syn()
+    session.elapse_rtt()
+    session.rst(Direction.SERVER_TO_CLIENT, with_ack=True)
+    return session.packets
+
+
+@scenario("zero_window_stall", weight=0.03, description="Receiver advertises a zero window, then reopens it")
+def zero_window_stall(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    session.handshake()
+    session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(100, 500)))
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(1_000, 4_000)))
+    session.ack(Direction.CLIENT_TO_SERVER, window=0)
+    session.advance_time(float(rng.uniform(0.2, 1.0)))
+    session.ack(Direction.CLIENT_TO_SERVER)
+    session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(1_000, 4_000)))
+    session.ack(Direction.CLIENT_TO_SERVER)
+    session.graceful_close(Direction.SERVER_TO_CLIENT)
+    return session.packets

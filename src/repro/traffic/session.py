@@ -1,0 +1,313 @@
+"""Protocol-consistent TCP session builder.
+
+The benign corpus must be *benign*: every emitted connection has to be
+accepted by the rigorous reference state machine (correct checksums,
+consistent sequence/acknowledgement numbers, sane windows, monotonically
+increasing TCP timestamps).  :class:`TcpSessionBuilder` encapsulates all that
+bookkeeping so scenario code reads like a conversation script::
+
+    session.client_syn()
+    session.server_synack()
+    session.client_ack()
+    session.send(Direction.CLIENT_TO_SERVER, 220)
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.netstack.ip import Ipv4Header
+from repro.netstack.options import MaximumSegmentSize, SackPermitted, Timestamp, WindowScale
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags, TcpHeader
+from repro.tcpstate.window import seq_add
+
+
+@dataclass
+class _EndpointState:
+    """Per-endpoint sequence bookkeeping used while scripting a session."""
+
+    ip: int
+    port: int
+    isn: int
+    ttl: int
+    window: int
+    wscale: Optional[int]
+    ts_clock: int
+    ip_id: int
+    snd_nxt: int = 0
+    rcv_nxt: int = 0
+
+    def __post_init__(self) -> None:
+        self.snd_nxt = self.isn
+
+
+class TcpSessionBuilder:
+    """Script one TCP connection packet-by-packet with consistent state."""
+
+    def __init__(
+        self,
+        client_ip: int,
+        server_ip: int,
+        client_port: int,
+        server_port: int,
+        *,
+        start_time: float = 0.0,
+        client_isn: int = 1000,
+        server_isn: int = 2000,
+        mss: int = 1460,
+        use_timestamps: bool = True,
+        use_sack: bool = True,
+        client_wscale: Optional[int] = 7,
+        server_wscale: Optional[int] = 7,
+        client_window: int = 64240,
+        server_window: int = 65160,
+        client_ttl: int = 64,
+        server_ttl: int = 64,
+        base_rtt: float = 0.02,
+    ) -> None:
+        self.mss = mss
+        self.use_timestamps = use_timestamps
+        self.use_sack = use_sack
+        self.base_rtt = base_rtt
+        self.now = start_time
+        self.packets: List[Packet] = []
+        self._endpoints = {
+            Direction.CLIENT_TO_SERVER: _EndpointState(
+                ip=client_ip,
+                port=client_port,
+                isn=client_isn,
+                ttl=client_ttl,
+                window=client_window,
+                wscale=client_wscale,
+                ts_clock=100_000 + (client_isn % 50_000),
+                ip_id=(client_isn * 7919) % 65536,
+            ),
+            Direction.SERVER_TO_CLIENT: _EndpointState(
+                ip=server_ip,
+                port=server_port,
+                isn=server_isn,
+                ttl=server_ttl,
+                window=server_window,
+                wscale=server_wscale,
+                ts_clock=200_000 + (server_isn % 50_000),
+                ip_id=(server_isn * 104729) % 65536,
+            ),
+        }
+
+    # ---------------------------------------------------------------- helpers
+    def _endpoint(self, direction: Direction) -> _EndpointState:
+        return self._endpoints[direction]
+
+    def _peer(self, direction: Direction) -> _EndpointState:
+        return self._endpoints[direction.flipped()]
+
+    def advance_time(self, seconds: float) -> None:
+        """Move the session clock forward (packet timestamps and TS options)."""
+        self.now += max(seconds, 0.0)
+
+    def elapse_rtt(self, fraction: float = 0.5) -> None:
+        """Advance the clock by a fraction of the base round-trip time."""
+        self.advance_time(self.base_rtt * fraction)
+
+    def _timestamp_option(self, direction: Direction) -> Optional[Timestamp]:
+        if not self.use_timestamps:
+            return None
+        endpoint = self._endpoint(direction)
+        peer = self._peer(direction)
+        tsval = endpoint.ts_clock + int(self.now * 1000)
+        tsecr = peer.ts_clock + int(self.now * 1000) if self.packets else 0
+        return Timestamp(tsval=tsval, tsecr=tsecr if len(self.packets) > 0 else 0)
+
+    def _emit(
+        self,
+        direction: Direction,
+        flags: int,
+        payload: bytes,
+        *,
+        seq: Optional[int] = None,
+        ack: Optional[int] = None,
+        options: Optional[List[object]] = None,
+        window: Optional[int] = None,
+        advance_seq: bool = True,
+        ttl: Optional[int] = None,
+    ) -> Packet:
+        endpoint = self._endpoint(direction)
+        peer = self._peer(direction)
+        seq_value = endpoint.snd_nxt if seq is None else seq
+        ack_value = endpoint.rcv_nxt if ack is None else ack
+        packet = Packet(
+            ip=Ipv4Header(
+                src=endpoint.ip,
+                dst=peer.ip,
+                identification=endpoint.ip_id,
+                ttl=ttl if ttl is not None else endpoint.ttl,
+            ),
+            tcp=TcpHeader(
+                src_port=endpoint.port,
+                dst_port=peer.port,
+                seq=seq_value,
+                ack=ack_value if flags & TcpFlags.ACK else 0,
+                flags=flags,
+                window=window if window is not None else endpoint.window,
+                options=list(options) if options else [],
+            ),
+            payload=payload,
+            timestamp=self.now,
+            direction=direction,
+        )
+        endpoint.ip_id = (endpoint.ip_id + 1) % 65536
+        span = len(payload)
+        if flags & TcpFlags.SYN:
+            span += 1
+        if flags & TcpFlags.FIN:
+            span += 1
+        if advance_seq and seq is None:
+            endpoint.snd_nxt = seq_add(endpoint.snd_nxt, span)
+            peer.rcv_nxt = endpoint.snd_nxt
+        self.packets.append(packet)
+        return packet
+
+    # ------------------------------------------------------------- handshake
+    def client_syn(self) -> Packet:
+        """The connection-opening SYN with MSS/WScale/SACK/TS options."""
+        direction = Direction.CLIENT_TO_SERVER
+        endpoint = self._endpoint(direction)
+        options: List[object] = [MaximumSegmentSize(self.mss)]
+        if endpoint.wscale is not None:
+            options.append(WindowScale(endpoint.wscale))
+        if self.use_sack:
+            options.append(SackPermitted())
+        ts = self._timestamp_option(direction)
+        if ts is not None:
+            options.append(Timestamp(tsval=ts.tsval, tsecr=0))
+        return self._emit(direction, TcpFlags.SYN, b"", options=options)
+
+    def server_synack(self) -> Packet:
+        """The server's SYN-ACK mirroring the client's options."""
+        self.elapse_rtt()
+        direction = Direction.SERVER_TO_CLIENT
+        endpoint = self._endpoint(direction)
+        options: List[object] = [MaximumSegmentSize(self.mss)]
+        if endpoint.wscale is not None:
+            options.append(WindowScale(endpoint.wscale))
+        if self.use_sack:
+            options.append(SackPermitted())
+        ts = self._timestamp_option(direction)
+        if ts is not None:
+            options.append(ts)
+        return self._emit(direction, TcpFlags.SYN | TcpFlags.ACK, b"", options=options)
+
+    def client_ack(self) -> Packet:
+        """The final ACK of the three-way handshake."""
+        self.elapse_rtt()
+        return self.ack(Direction.CLIENT_TO_SERVER)
+
+    def handshake(self) -> List[Packet]:
+        """Convenience: full three-way handshake."""
+        return [self.client_syn(), self.server_synack(), self.client_ack()]
+
+    # ------------------------------------------------------------------ data
+    def send(
+        self,
+        direction: Direction,
+        payload_length: int,
+        *,
+        push: bool = True,
+        advance: Optional[float] = None,
+    ) -> List[Packet]:
+        """Send ``payload_length`` bytes split into MSS-sized segments."""
+        if advance is not None:
+            self.advance_time(advance)
+        else:
+            self.elapse_rtt(0.25)
+        packets: List[Packet] = []
+        remaining = payload_length
+        while remaining > 0 or not packets:
+            chunk = min(remaining, self.mss) if remaining > 0 else 0
+            flags = TcpFlags.ACK
+            if push and (remaining - chunk) <= 0:
+                flags |= TcpFlags.PSH
+            options: List[object] = []
+            ts = self._timestamp_option(direction)
+            if ts is not None:
+                options.append(ts)
+            packets.append(self._emit(direction, flags, b"\x00" * chunk, options=options))
+            remaining -= chunk
+            if remaining > 0:
+                self.advance_time(0.0002)
+        return packets
+
+    def ack(self, direction: Direction, *, window: Optional[int] = None) -> Packet:
+        """A bare acknowledgement from ``direction``."""
+        options: List[object] = []
+        ts = self._timestamp_option(direction)
+        if ts is not None:
+            options.append(ts)
+        return self._emit(direction, TcpFlags.ACK, b"", options=options, window=window)
+
+    def retransmit_last_data(self, direction: Direction) -> Optional[Packet]:
+        """Re-send the most recent data segment from ``direction`` (benign loss)."""
+        for packet in reversed(self.packets):
+            if packet.direction is direction and len(packet.payload) > 0:
+                self.elapse_rtt(2.0)
+                options: List[object] = []
+                ts = self._timestamp_option(direction)
+                if ts is not None:
+                    options.append(ts)
+                return self._emit(
+                    direction,
+                    packet.tcp.flags,
+                    packet.payload,
+                    seq=packet.tcp.seq,
+                    ack=self._endpoint(direction).rcv_nxt,
+                    options=options,
+                    advance_seq=False,
+                )
+        return None
+
+    def keepalive(self, direction: Direction) -> Packet:
+        """A keep-alive probe: zero-length ACK with seq one below snd_nxt."""
+        endpoint = self._endpoint(direction)
+        options: List[object] = []
+        ts = self._timestamp_option(direction)
+        if ts is not None:
+            options.append(ts)
+        self.advance_time(1.0)
+        return self._emit(
+            direction,
+            TcpFlags.ACK,
+            b"",
+            seq=seq_add(endpoint.snd_nxt, -1),
+            options=options,
+            advance_seq=False,
+        )
+
+    # --------------------------------------------------------------- teardown
+    def fin(self, direction: Direction) -> Packet:
+        """Send a FIN-ACK from ``direction``."""
+        self.elapse_rtt(0.5)
+        options: List[object] = []
+        ts = self._timestamp_option(direction)
+        if ts is not None:
+            options.append(ts)
+        return self._emit(direction, TcpFlags.FIN | TcpFlags.ACK, b"", options=options)
+
+    def rst(self, direction: Direction, *, with_ack: bool = False) -> Packet:
+        """Send a RST (optionally RST-ACK) from ``direction``."""
+        self.elapse_rtt(0.5)
+        flags = TcpFlags.RST | (TcpFlags.ACK if with_ack else 0)
+        return self._emit(direction, flags, b"")
+
+    def graceful_close(self, initiator: Direction = Direction.CLIENT_TO_SERVER) -> List[Packet]:
+        """Standard four-way close initiated by ``initiator``."""
+        other = initiator.flipped()
+        packets = [self.fin(initiator)]
+        self.elapse_rtt()
+        packets.append(self.ack(other))
+        packets.append(self.fin(other))
+        self.elapse_rtt()
+        packets.append(self.ack(initiator))
+        return packets

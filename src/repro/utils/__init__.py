@@ -1,0 +1,6 @@
+"""Shared utilities: seeded randomness, logging and timing helpers."""
+
+from repro.utils.rng import RngMixin, derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch
+
+__all__ = ["RngMixin", "derive_rng", "ensure_rng", "Stopwatch"]

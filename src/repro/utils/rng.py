@@ -1,0 +1,56 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the library (traffic generation, weight
+initialisation, attack selection, train/test splitting) accepts either a seed
+or a :class:`numpy.random.Generator`.  Centralising the coercion here keeps all
+experiments reproducible and avoids accidental use of the global numpy state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a fresh, OS-entropy-seeded generator; an ``int`` produces
+    a deterministic generator; an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when one seeded generator must fan out into several components that
+    should not perturb each other's random streams (e.g. the traffic generator
+    and the attack injector).
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (stream * 0x9E3779B97F4A7C15 & (2**63 - 1))
+    return np.random.default_rng(seed)
+
+
+class RngMixin:
+    """Mixin giving a class a lazily-created, seedable ``self.rng``."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng: Optional[np.random.Generator] = None
+        self._seed = seed
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = ensure_rng(self._seed)
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the internal generator with one seeded by ``seed``."""
+        self._seed = seed
+        self._rng = ensure_rng(seed)

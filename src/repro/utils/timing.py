@@ -1,0 +1,56 @@
+"""Lightweight timing helpers used by the throughput experiments (Table 3)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("inference"):
+    ...     _ = sum(range(1000))
+    >>> sw.total("inference") >= 0.0
+    True
+    """
+
+    laps: Dict[str, List[float]] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, watch: "Stopwatch", name: str) -> None:
+            self._watch = watch
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._watch.laps.setdefault(self._name, []).append(elapsed)
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        """Return a context manager that records one lap under ``name``."""
+        return Stopwatch._Lap(self, name)
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never recorded)."""
+        return float(sum(self.laps.get(name, [])))
+
+    def count(self, name: str) -> int:
+        """Number of laps recorded under ``name``."""
+        return len(self.laps.get(name, []))
+
+    def rate(self, name: str, items: int) -> float:
+        """Items per second for ``items`` work units timed under ``name``."""
+        elapsed = self.total(name)
+        if elapsed <= 0.0:
+            return float("inf")
+        return items / elapsed

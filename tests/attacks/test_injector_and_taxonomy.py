@@ -1,0 +1,88 @@
+"""Unit tests for the attack injector and the Table-8 taxonomy helpers."""
+
+import pytest
+
+from repro.attacks.base import AttackSource, ContextCategory, all_strategies, get_strategy
+from repro.attacks.injector import AttackInjector, attack_success_check
+from repro.attacks.taxonomy import (
+    DEFAULT_INTER_THRESHOLD,
+    categorize_from_auc,
+    declared_taxonomy,
+    taxonomy_counts,
+)
+
+
+class TestInjector:
+    def test_build_dataset_pairs_populations(self, benign_connections):
+        injector = AttackInjector(seed=0)
+        strategy = get_strategy("Snort: Injected RST Pure")
+        dataset = injector.build_dataset(strategy, benign_connections[:5])
+        assert len(dataset.benign) == 5
+        assert len(dataset.adversarial) == 5
+        assert all(attack_success_check(item) for item in dataset.adversarial)
+
+    def test_max_connections_limits_dataset(self, benign_connections):
+        injector = AttackInjector(seed=0)
+        strategy = get_strategy("Low TTL (Min)")
+        dataset = injector.build_dataset(strategy, benign_connections, max_connections=3)
+        assert len(dataset.benign) == 3
+
+    def test_build_all_datasets_subset(self, benign_connections):
+        injector = AttackInjector(seed=0)
+        strategies = [get_strategy("Low TTL (Min)"), get_strategy("Snort: Injected RST Pure")]
+        datasets = injector.build_all_datasets(benign_connections[:3], strategies=strategies)
+        assert set(datasets) == {s.name for s in strategies}
+
+    def test_adversarial_connections_property(self, benign_connections):
+        injector = AttackInjector(seed=0)
+        dataset = injector.build_dataset(get_strategy("Bad SEQ (Min)"), benign_connections[:2])
+        assert len(dataset.adversarial_connections) == 2
+
+    def test_injection_is_reproducible_with_same_seed(self, benign_connections):
+        strategy = get_strategy("Snort: Injected RST Partial In-Window")
+        first = AttackInjector(seed=9).attack_connection(strategy, benign_connections[0])
+        second = AttackInjector(seed=9).attack_connection(strategy, benign_connections[0])
+        assert [p.tcp.seq for p in first.connection.packets] == [
+            p.tcp.seq for p in second.connection.packets
+        ]
+
+
+class TestTaxonomy:
+    def test_declared_taxonomy_covers_all_strategies(self):
+        entries = declared_taxonomy()
+        assert len(entries) == len(all_strategies())
+
+    def test_declared_counts_match_paper_scale(self):
+        counts = taxonomy_counts(declared_taxonomy())
+        assert counts[ContextCategory.INTER_PACKET] + counts[ContextCategory.INTRA_PACKET] == 73
+        # Both categories are well represented (the paper reports a 24-27 / 46-49
+        # split; our declared taxonomy marks every injection-based strategy as
+        # inter-packet, giving a somewhat larger inter share).
+        assert counts[ContextCategory.INTER_PACKET] >= 20
+        assert counts[ContextCategory.INTRA_PACKET] >= 25
+
+    def test_categorize_from_auc_applies_threshold(self):
+        auc_clap = {"A": 0.99, "B": 0.95}
+        auc_baseline = {"A": 0.70, "B": 0.90}
+        strategies = all_strategies()
+        # Use two real strategy names so source lookup succeeds.
+        auc_clap = {strategies[0].name: 0.99, strategies[1].name: 0.95}
+        auc_baseline = {strategies[0].name: 0.70, strategies[1].name: 0.90}
+        entries = categorize_from_auc(auc_clap, auc_baseline)
+        by_name = {entry.strategy_name: entry for entry in entries}
+        assert by_name[strategies[0].name].category is ContextCategory.INTER_PACKET
+        assert by_name[strategies[1].name].category is ContextCategory.INTRA_PACKET
+
+    def test_categorize_ignores_unknown_strategies(self):
+        entries = categorize_from_auc({"unknown": 1.0}, {"unknown": 0.1})
+        assert entries == []
+
+    def test_default_threshold_matches_paper(self):
+        assert DEFAULT_INTER_THRESHOLD == pytest.approx(0.15)
+
+    def test_disparity_property(self):
+        strategies = all_strategies()
+        entries = categorize_from_auc(
+            {strategies[0].name: 0.9}, {strategies[0].name: 0.5}
+        )
+        assert entries[0].disparity == pytest.approx(0.4)

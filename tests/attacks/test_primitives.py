@@ -1,0 +1,150 @@
+"""Unit tests for attack primitives (corruptions, crafting, injection)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import primitives
+from repro.netstack.packet import Direction
+from repro.netstack.tcp import TcpFlags
+from repro.tcpstate.states import MasterState
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestPositions:
+    def test_handshake_completion_index(self, simple_connection):
+        index = primitives.handshake_completion_index(simple_connection)
+        assert index == 2  # the client ACK completes the handshake
+
+    def test_synack_index(self, simple_connection):
+        assert primitives.synack_index(simple_connection) == 1
+
+    def test_data_packet_indices_client_only(self, simple_connection):
+        indices = primitives.data_packet_indices(simple_connection, Direction.CLIENT_TO_SERVER)
+        assert all(len(simple_connection.packets[i].payload) > 0 for i in indices)
+        assert all(
+            simple_connection.packets[i].direction is Direction.CLIENT_TO_SERVER for i in indices
+        )
+
+    def test_matching_packet_indices_limit(self, simple_connection):
+        assert len(primitives.matching_packet_indices(simple_connection, 1)) == 1
+        assert len(primitives.matching_packet_indices(simple_connection, 5)) <= 5
+
+    def test_state_trace_matches_connection_length(self, simple_connection):
+        trace = primitives.state_trace(simple_connection)
+        assert len(trace) == len(simple_connection)
+        assert trace[2] is MasterState.ESTABLISHED
+
+
+class TestCrafting:
+    def test_craft_packet_uses_connection_endpoints(self, simple_connection, rng):
+        packet = primitives.craft_packet(
+            simple_connection, 3, Direction.CLIENT_TO_SERVER, TcpFlags.RST
+        )
+        client = simple_connection.packets[0]
+        assert packet.ip.src == client.ip.src
+        assert packet.tcp.src_port == client.tcp.src_port
+        assert packet.injected
+
+    def test_craft_packet_expected_seq_is_in_order(self, simple_connection, rng):
+        at_index = 3
+        packet = primitives.craft_packet(
+            simple_connection, at_index, Direction.CLIENT_TO_SERVER, TcpFlags.ACK
+        )
+        expected = primitives.expected_seq(simple_connection, Direction.CLIENT_TO_SERVER, at_index)
+        assert packet.tcp.seq == expected
+
+    def test_insert_packet_keeps_chronological_order(self, simple_connection, rng):
+        packet = primitives.craft_packet(
+            simple_connection, 2, Direction.CLIENT_TO_SERVER, TcpFlags.RST
+        )
+        position = primitives.insert_packet(simple_connection, 3, packet)
+        timestamps = [p.timestamp for p in simple_connection.packets]
+        assert position == 3
+        assert timestamps == sorted(timestamps)
+
+    def test_insert_at_end(self, simple_connection, rng):
+        packet = primitives.craft_packet(
+            simple_connection, len(simple_connection) - 1, Direction.CLIENT_TO_SERVER, TcpFlags.FIN
+        )
+        primitives.insert_packet(simple_connection, len(simple_connection), packet)
+        assert simple_connection.packets[-1] is packet
+
+
+class TestCorruptions:
+    def test_garble_tcp_checksum(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.garble_tcp_checksum(packet, rng)
+        assert not packet.tcp_checksum_ok()
+        assert packet.injected
+
+    def test_bad_seq_moves_out_of_window(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        original = packet.tcp.seq
+        primitives.bad_seq(packet, rng)
+        assert packet.tcp.seq != original
+
+    def test_underflow_seq_moves_backwards(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        original = packet.tcp.seq
+        primitives.underflow_seq(packet, rng, amount=4)
+        assert (original - packet.tcp.seq) % 2**32 == 4
+
+    def test_strip_ack_flag(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.strip_ack_flag(packet, rng)
+        assert not packet.tcp.is_ack
+
+    def test_low_ttl(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.low_ttl(packet, rng)
+        assert packet.ip.ttl <= 3
+
+    def test_invalid_data_offset(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.invalid_data_offset(packet, rng)
+        assert packet.tcp.data_offset != packet.tcp.header_length // 4
+
+    def test_bad_ip_length_too_long_and_short(self, simple_connection, rng):
+        long_packet = simple_connection.packets[3].copy()
+        short_packet = simple_connection.packets[3].copy()
+        actual = long_packet.ip.header_length + long_packet.tcp.header_length + len(long_packet.payload)
+        primitives.bad_ip_length(long_packet, rng, too_long=True)
+        primitives.bad_ip_length(short_packet, rng, too_long=False)
+        assert long_packet.ip.total_length > actual
+        assert short_packet.ip.total_length < actual
+
+    def test_invalid_ip_version(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.invalid_ip_version(packet, rng)
+        assert packet.ip.version != 4
+
+    def test_bad_md5_option_fails_validation(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.bad_md5_option(packet, rng)
+        assert packet.tcp.md5_option() is not None
+        assert not packet.tcp.md5_option().valid
+
+    def test_bad_timestamp_regresses(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.bad_timestamp(packet, rng)
+        assert packet.tcp.timestamp_option().tsval < 1001
+
+    def test_bad_payload_length_breaks_equivalence(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.bad_payload_length(packet, rng)
+        assert not packet.ip_total_length_consistent()
+
+    def test_set_urgent_pointer(self, simple_connection, rng):
+        packet = simple_connection.packets[3]
+        primitives.set_urgent_pointer(packet, rng)
+        assert packet.tcp.has_flag(TcpFlags.URG)
+        assert packet.tcp.urgent_pointer > 0
+
+    def test_add_payload(self, simple_connection, rng):
+        packet = simple_connection.packets[0].copy()
+        primitives.add_payload(packet, rng, length=20)
+        assert len(packet.payload) == 20

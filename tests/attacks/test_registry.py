@@ -1,0 +1,58 @@
+"""Unit tests for the attack-strategy registry (the 73-strategy catalogue)."""
+
+import pytest
+
+from repro.attacks.base import (
+    AttackSource,
+    ContextCategory,
+    all_strategies,
+    get_strategy,
+    strategies_by_category,
+    strategies_by_source,
+    strategy_names,
+)
+
+
+class TestCatalogue:
+    def test_seventy_three_strategies(self):
+        assert len(all_strategies()) == 73
+
+    def test_source_breakdown(self):
+        assert len(strategies_by_source(AttackSource.SYMTCP)) == 30
+        assert len(strategies_by_source(AttackSource.LIBERATE)) == 23
+        assert len(strategies_by_source(AttackSource.GENEVA)) == 20
+
+    def test_names_are_unique(self):
+        names = strategy_names()
+        assert len(names) == len(set(names))
+
+    def test_every_strategy_has_description(self):
+        assert all(strategy.description for strategy in all_strategies())
+
+    def test_both_context_categories_are_represented(self):
+        inter = strategies_by_category(ContextCategory.INTER_PACKET)
+        intra = strategies_by_category(ContextCategory.INTRA_PACKET)
+        assert len(inter) + len(intra) == 73
+        assert len(inter) >= 20
+        assert len(intra) >= 25
+
+    def test_lookup_by_name(self):
+        strategy = get_strategy("Snort: Injected RST Pure")
+        assert strategy.source is AttackSource.SYMTCP
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_strategy("Totally Made Up Attack")
+
+    def test_liberate_min_max_pairs(self):
+        names = set(strategy_names())
+        assert "Low TTL (Min)" in names
+        assert "Low TTL (Max)" in names
+        assert "Invalid IP Version (Min)" in names
+        # The paper evaluates only the Min variant of Invalid IP Version.
+        assert "Invalid IP Version (Max)" not in names
+
+    def test_paper_motivating_examples_are_present(self):
+        names = set(strategy_names())
+        assert "GFW: Injected RST Bad TCP-Checksum/MD5-Option" in names  # bad-checksum RST
+        assert "GFW: Injected RST Bad Timestamp" in names

@@ -1,0 +1,151 @@
+"""Behavioural tests for the attack strategies of all three sources.
+
+Rather than testing each of the 73 strategies individually in detail, these
+tests assert the invariants every strategy must satisfy (non-destructive,
+produces marked packets, preserves the benign prefix) plus spot checks on the
+semantics of representative strategies from each source.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackSource, all_strategies, get_strategy, strategies_by_source
+from repro.attacks.injector import AttackInjector
+from repro.netstack.packet import Direction
+from repro.netstack.tcp import TcpFlags
+from repro.tcpstate.conntrack import ConnectionLabeler
+
+
+@pytest.fixture(scope="module")
+def benign_pool():
+    from repro.traffic.generator import TrafficGenerator
+
+    return TrafficGenerator(seed=321).generate_connections(8)
+
+
+class TestUniversalInvariants:
+    @pytest.mark.parametrize("strategy", all_strategies(), ids=lambda s: s.name)
+    def test_strategy_marks_at_least_one_packet(self, strategy, benign_pool):
+        injector = AttackInjector(seed=5)
+        adversarial = injector.attack_connection(strategy, benign_pool[0])
+        assert adversarial.injected_indices
+
+    @pytest.mark.parametrize("strategy", all_strategies(), ids=lambda s: s.name)
+    def test_original_connection_is_untouched(self, strategy, benign_pool):
+        connection = benign_pool[1]
+        before = [(p.tcp.seq, p.tcp.flags, p.ip.ttl, len(p.payload)) for p in connection.packets]
+        AttackInjector(seed=6).attack_connection(strategy, connection)
+        after = [(p.tcp.seq, p.tcp.flags, p.ip.ttl, len(p.payload)) for p in connection.packets]
+        assert before == after
+        assert connection.injected_indices() == []
+
+    @pytest.mark.parametrize("strategy", all_strategies(), ids=lambda s: s.name)
+    def test_adversarial_connection_is_time_ordered(self, strategy, benign_pool):
+        adversarial = AttackInjector(seed=7).attack_connection(strategy, benign_pool[2])
+        timestamps = [p.timestamp for p in adversarial.connection.packets]
+        assert timestamps == sorted(timestamps)
+
+
+class TestSymtcpSemantics:
+    def test_injected_rst_pure_adds_rst_packet(self, benign_pool):
+        strategy = get_strategy("Snort: Injected RST Pure")
+        adversarial = AttackInjector(seed=1).attack_connection(strategy, benign_pool[0])
+        injected = [adversarial.connection.packets[i] for i in adversarial.injected_indices]
+        assert any(p.tcp.is_rst for p in injected)
+        assert len(adversarial.connection) == len(benign_pool[0]) + 1
+
+    def test_bad_checksum_rst_is_dropped_by_reference_stack(self, benign_pool):
+        strategy = get_strategy("GFW: Injected RST Bad TCP-Checksum/MD5-Option")
+        adversarial = AttackInjector(seed=2).attack_connection(strategy, benign_pool[0])
+        observations = ConnectionLabeler().observe_connection(adversarial.connection.packets)
+        injected_index = adversarial.injected_indices[0]
+        assert not observations[injected_index].accepted
+
+    def test_data_packet_modification_does_not_change_length(self, benign_pool):
+        strategy = get_strategy("Zeek: Data Packet (ACK) Bad SEQ")
+        adversarial = AttackInjector(seed=3).attack_connection(strategy, benign_pool[0])
+        assert len(adversarial.connection) == len(benign_pool[0])
+
+    def test_syn_with_payload_injected_mid_connection(self, benign_pool):
+        strategy = get_strategy("Zeek: SYN w/ Payload")
+        adversarial = AttackInjector(seed=4).attack_connection(strategy, benign_pool[0])
+        injected = [adversarial.connection.packets[i] for i in adversarial.injected_indices]
+        assert any(p.tcp.is_syn and len(p.payload) > 0 for p in injected)
+        assert min(adversarial.injected_indices) >= 2  # after the handshake began
+
+
+class TestLiberateSemantics:
+    def test_min_variant_injects_one_packet(self, benign_pool):
+        strategy = get_strategy("Invalid IP Version (Min)")
+        adversarial = AttackInjector(seed=5).attack_connection(strategy, benign_pool[0])
+        assert len(adversarial.injected_indices) == 1
+        assert len(adversarial.connection) == len(benign_pool[0]) + 1
+
+    def test_max_variant_injects_up_to_five_packets(self, benign_pool):
+        strategy = get_strategy("Low TTL (Max)")
+        adversarial = AttackInjector(seed=6).attack_connection(strategy, benign_pool[0])
+        count = len(adversarial.injected_indices)
+        assert 1 <= count <= 5
+        assert len(adversarial.connection) == len(benign_pool[0]) + count
+
+    def test_shadow_packet_precedes_a_data_packet(self, benign_pool):
+        strategy = get_strategy("Bad TCP Checksum (Min)")
+        adversarial = AttackInjector(seed=7).attack_connection(strategy, benign_pool[0])
+        index = adversarial.injected_indices[0]
+        following = adversarial.connection.packets[index + 1]
+        assert len(following.payload) > 0
+
+    def test_rst_variant_uses_rst_flag(self, benign_pool):
+        strategy = get_strategy("RST w/ Low TTL #1 (Min)")
+        adversarial = AttackInjector(seed=8).attack_connection(strategy, benign_pool[0])
+        injected = adversarial.connection.packets[adversarial.injected_indices[0]]
+        assert injected.tcp.is_rst
+        assert injected.ip.ttl <= 3
+
+
+class TestGenevaSemantics:
+    def test_tamper_strategy_alters_every_client_data_packet(self, benign_pool):
+        strategy = get_strategy("Invalid Data-Offset / Bad TCP Checksum")
+        connection = benign_pool[0]
+        client_data = [
+            i
+            for i, p in enumerate(connection.packets)
+            if p.direction is Direction.CLIENT_TO_SERVER and len(p.payload) > 0
+        ]
+        adversarial = AttackInjector(seed=9).attack_connection(strategy, connection)
+        assert len(adversarial.injected_indices) == len(client_data)
+        assert len(adversarial.connection) == len(connection)
+
+    def test_injection_strategy_adds_one_packet_per_data_packet(self, benign_pool):
+        strategy = get_strategy("Injected RST / Low TTL")
+        connection = benign_pool[0]
+        client_data = [
+            p
+            for p in connection.packets
+            if p.direction is Direction.CLIENT_TO_SERVER and len(p.payload) > 0
+        ]
+        adversarial = AttackInjector(seed=10).attack_connection(strategy, connection)
+        assert len(adversarial.connection) == len(connection) + len(client_data)
+
+    def test_double_modification_applies_both(self, benign_pool):
+        strategy = get_strategy("Bad Payload Length / Low TTL")
+        adversarial = AttackInjector(seed=11).attack_connection(strategy, benign_pool[0])
+        packet = adversarial.connection.packets[adversarial.injected_indices[0]]
+        assert not packet.ip_total_length_consistent()
+        assert packet.ip.ttl <= 3
+
+    def test_syn_ack_injection_uses_syn_ack_flags(self, benign_pool):
+        strategy = get_strategy("Injected SYN-ACK / Bad TCP MD5-Option")
+        adversarial = AttackInjector(seed=12).attack_connection(strategy, benign_pool[0])
+        packet = adversarial.connection.packets[adversarial.injected_indices[0]]
+        assert packet.tcp.is_syn and packet.tcp.is_ack
+
+
+class TestSourceAttribution:
+    @pytest.mark.parametrize("source, expected", [
+        (AttackSource.SYMTCP, 30),
+        (AttackSource.LIBERATE, 23),
+        (AttackSource.GENEVA, 20),
+    ])
+    def test_counts_per_source(self, source, expected):
+        assert len(strategies_by_source(source)) == expected

@@ -1,0 +1,83 @@
+"""Unit tests for the damped incremental statistics (Kitsune substrate)."""
+
+import math
+
+import pytest
+
+from repro.baselines.afterimage import IncStat, IncStatCov, StreamStatistics
+
+
+class TestIncStat:
+    def test_single_observation(self):
+        stat = IncStat(decay=1.0)
+        stat.insert(10.0, timestamp=0.0)
+        assert stat.weight == pytest.approx(1.0)
+        assert stat.mean == pytest.approx(10.0)
+        assert stat.std == pytest.approx(0.0)
+
+    def test_mean_and_std_without_decay_gap(self):
+        stat = IncStat(decay=1.0)
+        for value in (2.0, 4.0, 6.0):
+            stat.insert(value, timestamp=0.0)
+        assert stat.mean == pytest.approx(4.0)
+        assert stat.std == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_decay_halves_weight_after_characteristic_time(self):
+        stat = IncStat(decay=1.0)
+        stat.insert(1.0, timestamp=0.0)
+        stat.insert(1.0, timestamp=1.0)  # the first observation decays by 2^-1
+        assert stat.weight == pytest.approx(1.5)
+
+    def test_old_history_fades(self):
+        stat = IncStat(decay=1.0)
+        stat.insert(100.0, timestamp=0.0)
+        stat.insert(1.0, timestamp=50.0)
+        assert stat.mean == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_stat_is_zero(self):
+        stat = IncStat(decay=0.1)
+        assert stat.mean == 0.0 and stat.std == 0.0 and stat.weight == 0.0
+
+
+class TestIncStatCov:
+    def test_two_streams_tracked_independently(self):
+        cov = IncStatCov(decay=1.0)
+        cov.insert(10.0, 0.0, first_stream=True)
+        cov.insert(20.0, 0.0, first_stream=False)
+        assert cov.stream_a.mean == pytest.approx(10.0)
+        assert cov.stream_b.mean == pytest.approx(20.0)
+
+    def test_magnitude(self):
+        cov = IncStatCov(decay=1.0)
+        cov.insert(3.0, 0.0, first_stream=True)
+        cov.insert(4.0, 0.0, first_stream=False)
+        assert cov.magnitude == pytest.approx(5.0)
+
+    def test_correlation_is_bounded(self):
+        cov = IncStatCov(decay=0.1)
+        for i in range(10):
+            cov.insert(float(i), i * 0.01, first_stream=(i % 2 == 0))
+        assert -1.5 <= cov.correlation <= 1.5
+
+    def test_stats_2d_shape(self):
+        cov = IncStatCov(decay=1.0)
+        cov.insert(1.0, 0.0, first_stream=True)
+        assert len(cov.stats_2d()) == 4
+
+
+class TestStreamStatistics:
+    def test_same_key_returns_same_object(self):
+        streams = StreamStatistics(decays=(1.0,))
+        first = streams.one_dimensional("src:1", 1.0)
+        second = streams.one_dimensional("src:1", 1.0)
+        assert first is second
+
+    def test_different_decays_are_separate(self):
+        streams = StreamStatistics(decays=(1.0, 0.1))
+        assert streams.one_dimensional("x", 1.0) is not streams.one_dimensional("x", 0.1)
+
+    def test_reset_clears_state(self):
+        streams = StreamStatistics(decays=(1.0,))
+        streams.one_dimensional("x", 1.0).insert(5.0, 0.0)
+        streams.reset()
+        assert streams.one_dimensional("x", 1.0).weight == 0.0

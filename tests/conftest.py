@@ -1,0 +1,91 @@
+"""Shared fixtures.
+
+Training even the "fast" CLAP configuration takes a few seconds, so the
+trained pipelines used by integration tests are session-scoped and built on a
+deliberately small corpus.  Unit tests use the cheaper connection-level
+fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.intra_only import IntraPacketBaseline
+from repro.core.config import ClapConfig
+from repro.core.pipeline import Clap
+from repro.netstack.packet import Direction
+from repro.traffic.dataset import BenignDataset
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.session import TcpSessionBuilder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def session_builder() -> TcpSessionBuilder:
+    """A deterministic session builder between two fixed hosts."""
+    return TcpSessionBuilder(
+        client_ip=0x0A000001,  # 10.0.0.1
+        server_ip=0xC0A80102,  # 192.168.1.2
+        client_port=43210,
+        server_port=443,
+        start_time=1_600_000_000.0,
+        client_isn=1_000,
+        server_isn=900_000,
+    )
+
+
+@pytest.fixture
+def simple_connection(session_builder):
+    """A complete benign connection: handshake, request, response, close."""
+    from repro.netstack.flow import Connection, FlowKey
+
+    session_builder.handshake()
+    session_builder.send(Direction.CLIENT_TO_SERVER, 300)
+    session_builder.send(Direction.SERVER_TO_CLIENT, 1200)
+    session_builder.ack(Direction.CLIENT_TO_SERVER)
+    session_builder.graceful_close(Direction.CLIENT_TO_SERVER)
+    connection = Connection(key=FlowKey.from_packet(session_builder.packets[0]))
+    for packet in session_builder.packets:
+        connection.append(packet)
+    return connection
+
+
+@pytest.fixture
+def benign_connections():
+    """Twenty small benign connections from the generator (function scope)."""
+    return TrafficGenerator(seed=2024).generate_connections(20)
+
+
+def _test_config() -> ClapConfig:
+    config = ClapConfig.fast()
+    config.rnn.epochs = 15
+    config.rnn.learning_rate = 0.01
+    config.autoencoder.epochs = 80
+    return config
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> BenignDataset:
+    """Session-scoped benign corpus used by integration tests."""
+    return BenignDataset.synthesize(connection_count=70, seed=99, train_fraction=0.8)
+
+
+@pytest.fixture(scope="session")
+def trained_clap(small_dataset) -> Clap:
+    """A CLAP pipeline trained once per test session (fast configuration)."""
+    clap = Clap(_test_config())
+    clap.fit(small_dataset.train)
+    return clap
+
+
+@pytest.fixture(scope="session")
+def trained_baseline1(small_dataset) -> IntraPacketBaseline:
+    """Baseline #1 trained once per test session."""
+    baseline = IntraPacketBaseline(_test_config())
+    baseline.fit(small_dataset.train)
+    return baseline

@@ -1,0 +1,45 @@
+"""Unit tests for the CLAP configuration (Table 6)."""
+
+from repro.core.config import ClapConfig
+
+
+class TestDefaults:
+    def test_rnn_dimensions_match_table6(self):
+        config = ClapConfig()
+        assert config.rnn.input_size == 32
+        assert config.rnn.hidden_size == 32
+        assert config.rnn.num_classes == 22
+        assert config.rnn.num_layers == 1
+        assert config.rnn.epochs == 30
+
+    def test_autoencoder_dimensions_match_table6(self):
+        config = ClapConfig()
+        assert config.autoencoder.depth == 7
+        assert config.autoencoder.bottleneck_size == 40
+
+    def test_detector_defaults(self):
+        config = ClapConfig()
+        assert config.detector.stack_length == 3
+        assert config.detector.score_window == 5
+        assert config.detector.include_gate_weights
+        assert config.detector.include_amplification
+
+    def test_paper_profile_uses_thousand_epochs(self):
+        assert ClapConfig.paper().autoencoder.epochs == 1000
+
+    def test_fast_profile_reduces_epochs(self):
+        fast = ClapConfig.fast()
+        assert fast.rnn.epochs < ClapConfig().rnn.epochs
+        assert fast.autoencoder.epochs < ClapConfig().autoencoder.epochs
+
+    def test_describe_contains_key_hyperparameters(self):
+        description = ClapConfig().describe()
+        assert description["rnn.hidden_size"] == 32
+        assert description["autoencoder.bottleneck"] == 40
+        assert description["detector.stack_length"] == 3
+
+    def test_configs_are_independent_instances(self):
+        first = ClapConfig()
+        second = ClapConfig()
+        first.rnn.epochs = 1
+        assert second.rnn.epochs == 30

@@ -1,0 +1,97 @@
+"""Unit tests for adversarial scoring and localisation (Stage d)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import (
+    Verdicts,
+    adversarial_score,
+    localization_hit,
+    localize_window,
+    localized_packets,
+    window_center_packet,
+)
+
+
+class TestAdversarialScore:
+    def test_empty_errors_give_zero(self):
+        assert adversarial_score(np.zeros(0)) == 0.0
+
+    def test_constant_errors_give_that_constant(self):
+        assert adversarial_score(np.full(10, 0.3), score_window=5) == pytest.approx(0.3)
+
+    def test_spike_dominates_mean_window(self):
+        errors = np.full(20, 0.1)
+        errors[10] = 2.0
+        score = adversarial_score(errors, score_window=5)
+        assert score == pytest.approx((2.0 + 4 * 0.1) / 5)
+
+    def test_spike_at_boundary_uses_shifted_window(self):
+        # The averaging window keeps its full width by shifting inwards, so a
+        # maximum on the first profile is averaged with the following four.
+        errors = np.full(10, 0.1)
+        errors[0] = 1.0
+        score = adversarial_score(errors, score_window=5)
+        assert score == pytest.approx((1.0 + 4 * 0.1) / 5)
+
+    def test_short_sequences_average_everything(self):
+        errors = np.array([0.2, 0.8])
+        assert adversarial_score(errors, score_window=5) == pytest.approx(0.5)
+
+    def test_localize_and_estimate_beats_global_mean_for_spikes(self):
+        errors = np.full(50, 0.1)
+        errors[25] = 1.0
+        assert adversarial_score(errors, 5) > errors.mean()
+
+    def test_score_window_one_returns_maximum(self):
+        errors = np.array([0.1, 0.9, 0.2])
+        assert adversarial_score(errors, score_window=1) == pytest.approx(0.9)
+
+
+class TestLocalisation:
+    def test_localize_window_returns_argmax(self):
+        assert localize_window(np.array([0.1, 0.5, 0.3])) == 1
+
+    def test_localize_window_empty(self):
+        assert localize_window(np.zeros(0)) == -1
+
+    def test_window_center_packet(self):
+        assert window_center_packet(0, 3, 10) == 1
+        assert window_center_packet(7, 3, 10) == 8
+        assert window_center_packet(9, 3, 10) == 9  # clipped to the last packet
+
+    def test_window_center_packet_invalid(self):
+        assert window_center_packet(-1, 3, 10) == -1
+        assert window_center_packet(0, 3, 0) == -1
+
+    def test_localized_packets_are_unique_and_ordered_by_error(self):
+        errors = np.array([0.1, 0.9, 0.8, 0.05])
+        packets = localized_packets(errors, stack_length=1, packet_count=4, top_n=2)
+        assert packets == [1, 2]
+
+    def test_localization_hit_tolerances(self):
+        errors = np.zeros(10)
+        errors[4] = 1.0  # localised packet = 4 + stack//2 = 5 for stack 3
+        assert localization_hit(errors, [5], stack_length=3, packet_count=12, tolerance_window=1)
+        assert localization_hit(errors, [6], stack_length=3, packet_count=12, tolerance_window=3)
+        assert not localization_hit(errors, [9], stack_length=3, packet_count=12, tolerance_window=3)
+        assert localization_hit(errors, [7], stack_length=3, packet_count=12, tolerance_window=5)
+
+    def test_localization_hit_without_ground_truth(self):
+        assert not localization_hit(np.ones(5), [], stack_length=3, packet_count=7)
+
+
+class TestVerdicts:
+    def test_verdict_structure(self):
+        verdicts = Verdicts(stack_length=3, score_window=5, threshold=0.5)
+        errors = np.array([0.1, 0.2, 0.9, 0.1])
+        verdict = verdicts.verdict(errors, packet_count=6)
+        assert verdict.localized_window == 2
+        assert verdict.localized_packet == 3
+        assert verdict.adversarial_score > 0.1
+        assert verdict.is_adversarial == (verdict.adversarial_score > 0.5)
+
+    def test_threshold_decision(self):
+        verdicts = Verdicts(stack_length=1, score_window=1, threshold=0.5)
+        assert verdicts.verdict(np.array([0.6]), 1).is_adversarial
+        assert not verdicts.verdict(np.array([0.4]), 1).is_adversarial

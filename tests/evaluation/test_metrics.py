@@ -1,0 +1,98 @@
+"""Unit tests for AUC-ROC, EER and hit-rate metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    auc_roc,
+    equal_error_rate,
+    roc_curve,
+    top_n_hit_rate,
+    true_false_positive_counts,
+)
+
+
+class TestAucRoc:
+    def test_perfect_separation(self):
+        assert auc_roc([0.9, 0.8, 0.7], [0.1, 0.2, 0.3]) == pytest.approx(1.0)
+
+    def test_perfectly_wrong_separation(self):
+        assert auc_roc([0.1, 0.2], [0.8, 0.9]) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        value = auc_roc(rng.normal(size=2000), rng.normal(size=2000))
+        assert value == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_count_half(self):
+        assert auc_roc([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_matches_trapezoidal_roc_auc(self):
+        rng = np.random.default_rng(1)
+        positives = rng.normal(1.0, 1.0, size=300)
+        negatives = rng.normal(0.0, 1.0, size=400)
+        assert auc_roc(positives, negatives) == pytest.approx(
+            roc_curve(positives, negatives).auc, abs=1e-6
+        )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            auc_roc([], [0.1])
+        with pytest.raises(ValueError):
+            roc_curve([0.1], [])
+
+
+class TestRocCurve:
+    def test_curve_is_monotone(self):
+        rng = np.random.default_rng(2)
+        curve = roc_curve(rng.normal(1, 1, 100), rng.normal(0, 1, 100))
+        assert np.all(np.diff(curve.false_positive_rates) >= 0)
+        assert np.all(np.diff(curve.true_positive_rates) >= 0)
+
+    def test_curve_ends_at_one_one(self):
+        curve = roc_curve([0.9, 0.1], [0.5, 0.4])
+        assert curve.false_positive_rates[-1] == pytest.approx(1.0)
+        assert curve.true_positive_rates[-1] == pytest.approx(1.0)
+
+    def test_auc_between_zero_and_one(self):
+        rng = np.random.default_rng(3)
+        curve = roc_curve(rng.normal(size=50), rng.normal(size=50))
+        assert 0.0 <= curve.auc <= 1.0
+
+
+class TestEqualErrorRate:
+    def test_perfect_classifier_has_zero_eer(self):
+        assert equal_error_rate([0.9, 0.95], [0.05, 0.1]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_classifier_has_half_eer(self):
+        rng = np.random.default_rng(4)
+        eer = equal_error_rate(rng.normal(size=3000), rng.normal(size=3000))
+        assert eer == pytest.approx(0.5, abs=0.05)
+
+    def test_eer_between_zero_and_half_for_good_classifier(self):
+        rng = np.random.default_rng(5)
+        eer = equal_error_rate(rng.normal(2, 1, 500), rng.normal(0, 1, 500))
+        assert 0.0 < eer < 0.25
+
+    def test_eer_complements_auc(self):
+        # Better separation => higher AUC and lower EER.
+        rng = np.random.default_rng(6)
+        strong_pos, weak_pos = rng.normal(3, 1, 300), rng.normal(0.5, 1, 300)
+        negatives = rng.normal(0, 1, 300)
+        assert auc_roc(strong_pos, negatives) > auc_roc(weak_pos, negatives)
+        assert equal_error_rate(strong_pos, negatives) < equal_error_rate(weak_pos, negatives)
+
+
+class TestHitRateAndCounts:
+    def test_top_n_hit_rate(self):
+        assert top_n_hit_rate([True, True, False, False]) == pytest.approx(0.5)
+        assert top_n_hit_rate([]) == 0.0
+
+    def test_confusion_counts(self):
+        counts = true_false_positive_counts([0.9, 0.2], [0.1, 0.8], threshold=0.5)
+        assert counts == {
+            "true_positives": 1,
+            "false_negatives": 1,
+            "false_positives": 1,
+            "true_negatives": 1,
+        }

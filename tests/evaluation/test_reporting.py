@@ -1,0 +1,109 @@
+"""Unit tests for the table/figure rendering helpers."""
+
+import numpy as np
+
+from repro.attacks.base import AttackSource, ContextCategory
+from repro.evaluation.reporting import (
+    overall_summary,
+    per_strategy_detection_rows,
+    per_strategy_localization_rows,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.evaluation.runner import (
+    BASELINE1_NAME,
+    CLAP_NAME,
+    DetectorEvaluation,
+    ExperimentResults,
+    LocalizationResult,
+    StrategyEvaluation,
+    ThroughputResult,
+)
+
+
+def make_results() -> ExperimentResults:
+    """Hand-built results object with two detectors and two strategies."""
+    results = ExperimentResults()
+    for detector, auc_offset in ((CLAP_NAME, 0.0), (BASELINE1_NAME, -0.2)):
+        evaluation = DetectorEvaluation(detector_name=detector)
+        evaluation.per_strategy["Strategy A"] = StrategyEvaluation(
+            strategy_name="Strategy A",
+            source=AttackSource.SYMTCP,
+            category=ContextCategory.INTER_PACKET,
+            auc=0.95 + auc_offset,
+            eer=0.05 - auc_offset / 4,
+            localization=LocalizationResult(0.9, 0.85, 0.7) if detector == CLAP_NAME else None,
+        )
+        evaluation.per_strategy["Strategy B"] = StrategyEvaluation(
+            strategy_name="Strategy B",
+            source=AttackSource.GENEVA,
+            category=ContextCategory.INTRA_PACKET,
+            auc=0.9 + auc_offset,
+            eer=0.1 - auc_offset / 4,
+            localization=LocalizationResult(1.0, 0.9, 0.8) if detector == CLAP_NAME else None,
+        )
+        results.detectors[detector] = evaluation
+    results.throughput[CLAP_NAME] = ThroughputResult(CLAP_NAME, packets=1000, connections=50, seconds=0.5)
+    return results
+
+
+class TestRenderTable:
+    def test_alignment_and_rows(self):
+        text = render_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+
+class TestPaperTables:
+    def test_table1_contains_both_detectors(self):
+        text = render_table1(make_results())
+        assert CLAP_NAME in text
+        assert BASELINE1_NAME in text
+
+    def test_table2_has_category_columns(self):
+        text = render_table2(make_results())
+        assert "inter" in text and "intra" in text
+
+    def test_table2_accepts_category_override(self):
+        overrides = {"Strategy A": ContextCategory.INTRA_PACKET, "Strategy B": ContextCategory.INTRA_PACKET}
+        text = render_table2(make_results(), overrides)
+        assert "n/a" in text  # no inter-packet strategies remain
+
+    def test_table3_shows_rates(self):
+        text = render_table3(make_results().throughput)
+        assert "2,000.0" in text  # 1000 packets / 0.5 s
+        assert "100.0" in text
+
+    def test_per_strategy_detection_rows(self):
+        rows = per_strategy_detection_rows(make_results(), AttackSource.SYMTCP)
+        assert len(rows) == 1
+        assert rows[0][0] == "Strategy A"
+
+    def test_per_strategy_localization_rows(self):
+        rows = per_strategy_localization_rows(make_results(), AttackSource.GENEVA)
+        assert rows == [["Strategy B", "1.000", "0.900", "0.800"]]
+
+    def test_overall_summary_keys(self):
+        summary = overall_summary(make_results())
+        assert f"{CLAP_NAME} mean AUC" in summary
+        assert "CLAP mean Top-5" in summary
+        assert summary["CLAP mean Top-5"] == 0.95
+
+
+class TestDetectorEvaluationAggregates:
+    def test_mean_auc_by_source(self):
+        evaluation = make_results()[CLAP_NAME]
+        assert evaluation.mean_auc_by_source(AttackSource.SYMTCP) == 0.95
+        assert np.isnan(evaluation.mean_auc_by_source(AttackSource.LIBERATE))
+
+    def test_mean_by_category(self):
+        evaluation = make_results()[CLAP_NAME]
+        assert evaluation.mean_auc_by_category(ContextCategory.INTER_PACKET) == 0.95
+        assert evaluation.mean_eer_by_category(ContextCategory.INTRA_PACKET) == 0.1
+
+    def test_auc_by_strategy_mapping(self):
+        mapping = make_results()[CLAP_NAME].auc_by_strategy()
+        assert mapping == {"Strategy A": 0.95, "Strategy B": 0.9}

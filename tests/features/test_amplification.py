@@ -1,0 +1,82 @@
+"""Unit tests for amplification features and benign feature ranges."""
+
+import numpy as np
+import pytest
+
+from repro.features.amplification import AmplificationFeatureExtractor, FeatureRanges
+from repro.features.fields import RawFeatureExtractor
+from repro.features.schema import NUM_AMPLIFICATION_FEATURES, NUM_RAW_FEATURES, NUMERIC_INDICES
+
+
+@pytest.fixture
+def benign_ranges(benign_connections):
+    extractor = RawFeatureExtractor()
+    arrays = [extractor.extract_connection(c) for c in benign_connections]
+    return FeatureRanges.fit(arrays), arrays
+
+
+class TestFeatureRanges:
+    def test_fit_shapes(self, benign_ranges):
+        ranges, _ = benign_ranges
+        assert ranges.minimums.shape == (NUM_RAW_FEATURES,)
+        assert ranges.maximums.shape == (NUM_RAW_FEATURES,)
+
+    def test_min_not_greater_than_max(self, benign_ranges):
+        ranges, _ = benign_ranges
+        assert np.all(ranges.minimums <= ranges.maximums)
+
+    def test_fit_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            FeatureRanges.fit([np.zeros((3, 5))])
+
+    def test_round_trip_through_arrays(self, benign_ranges):
+        ranges, _ = benign_ranges
+        restored = FeatureRanges.from_arrays(ranges.to_arrays())
+        assert np.array_equal(restored.minimums, ranges.minimums)
+        assert np.array_equal(restored.maximums, ranges.maximums)
+
+
+class TestAmplification:
+    def test_benign_traffic_rarely_out_of_range(self, benign_ranges):
+        ranges, arrays = benign_ranges
+        extractor = AmplificationFeatureExtractor(ranges)
+        total = np.vstack([extractor.extract(array) for array in arrays])
+        # Training traffic defines the ranges, so no indicator may fire on it.
+        assert total[:, :-1].sum() == 0
+
+    def test_benign_traffic_satisfies_payload_equivalence(self, benign_ranges, simple_connection):
+        ranges, _ = benign_ranges
+        extractor = AmplificationFeatureExtractor(ranges)
+        raw = RawFeatureExtractor().extract_connection(simple_connection)
+        amplification = extractor.extract(raw)
+        assert amplification[:, -1].sum() == 0
+
+    def test_out_of_range_ip_version_is_flagged(self, benign_ranges, simple_connection):
+        ranges, _ = benign_ranges
+        connection = simple_connection.copy()
+        connection.packets[3].ip.version = 5
+        raw = RawFeatureExtractor().extract_connection(connection)
+        amplification = AmplificationFeatureExtractor(ranges).extract(raw)
+        version_position = list(NUMERIC_INDICES).index(29)
+        assert amplification[3, version_position] == 1.0
+
+    def test_bad_ip_length_breaks_equivalence_relation(self, benign_ranges, simple_connection):
+        ranges, _ = benign_ranges
+        connection = simple_connection.copy()
+        packet = connection.packets[3]
+        actual = packet.ip.header_length + packet.tcp.header_length + len(packet.payload)
+        packet.ip.total_length = actual + 40
+        raw = RawFeatureExtractor().extract_connection(connection)
+        amplification = AmplificationFeatureExtractor(ranges).extract(raw)
+        assert amplification[3, -1] == 1.0
+
+    def test_output_shape(self, benign_ranges, simple_connection):
+        ranges, _ = benign_ranges
+        raw = RawFeatureExtractor().extract_connection(simple_connection)
+        amplification = AmplificationFeatureExtractor(ranges).extract(raw)
+        assert amplification.shape == (len(simple_connection), NUM_AMPLIFICATION_FEATURES)
+
+    def test_empty_input(self, benign_ranges):
+        ranges, _ = benign_ranges
+        amplification = AmplificationFeatureExtractor(ranges).extract(np.zeros((0, NUM_RAW_FEATURES)))
+        assert amplification.shape == (0, NUM_AMPLIFICATION_FEATURES)

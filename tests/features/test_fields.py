@@ -1,0 +1,78 @@
+"""Unit tests for raw header-field feature extraction."""
+
+import numpy as np
+
+from repro.features.fields import RawFeatureExtractor, extract_raw_features
+from repro.features.schema import NUM_RAW_FEATURES
+from repro.netstack.packet import Direction
+
+
+class TestShapes:
+    def test_one_row_per_packet(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        assert features.shape == (len(simple_connection), NUM_RAW_FEATURES)
+
+    def test_empty_connection_gives_empty_matrix(self):
+        features = RawFeatureExtractor().extract_packets([])
+        assert features.shape == (0, NUM_RAW_FEATURES)
+
+    def test_convenience_helper(self, benign_connections):
+        arrays = extract_raw_features(benign_connections[:3])
+        assert len(arrays) == 3
+
+
+class TestSemantics:
+    def test_direction_feature(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        directions = [p.direction for p in simple_connection.packets]
+        for row, direction in zip(features, directions):
+            assert row[0] == (0.0 if direction is Direction.CLIENT_TO_SERVER else 1.0)
+
+    def test_sequence_numbers_are_relative_to_isn(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        assert features[0, 1] == 0.0  # client SYN carries the client ISN
+        assert features[1, 1] == 0.0  # server SYN-ACK carries the server ISN
+
+    def test_ack_numbers_are_relative_to_peer_isn(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        # The server SYN-ACK acknowledges client ISN + 1.
+        assert features[1, 2] == 1.0
+
+    def test_flag_one_hot(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        syn_row = features[0]
+        assert syn_row[5] == 1.0  # SYN flag position (feature #6)
+        assert syn_row[4] == 0.0  # FIN
+        assert syn_row[8] == 0.0  # ACK not set on the first SYN
+
+    def test_payload_length_feature(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        payload_lengths = [len(p.payload) for p in simple_connection.packets]
+        assert np.allclose(features[:, 16], payload_lengths)
+
+    def test_checksum_validity_features_are_one_for_benign(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        assert np.all(features[:, 14] == 1.0)
+        assert np.all(features[:, 28] == 1.0)
+
+    def test_ip_version_and_ttl(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        assert np.all(features[:, 29] == 4.0)
+        assert np.all(features[:, 26] == 64.0)
+
+    def test_mss_only_on_handshake_packets(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        assert features[0, 17] == 1460.0
+        assert features[3, 17] == 0.0  # data packets carry no MSS option
+
+    def test_frame_timestamp_is_relative_and_increasing(self, simple_connection):
+        features = RawFeatureExtractor().extract_connection(simple_connection)
+        assert features[0, 24] == 0.0
+        assert np.all(np.diff(features[:, 24]) >= 0)
+
+    def test_corrupted_checksum_reflected_in_feature(self, simple_connection):
+        connection = simple_connection.copy()
+        connection.packets[3].tcp.checksum = 0xDEAD
+        connection.packets[3].tcp.checksum_valid_hint = False
+        features = RawFeatureExtractor().extract_connection(connection)
+        assert features[3, 14] == 0.0

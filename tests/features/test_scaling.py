@@ -1,0 +1,68 @@
+"""Unit tests for the feature scaler."""
+
+import numpy as np
+import pytest
+
+from repro.features.fields import RawFeatureExtractor
+from repro.features.scaling import FeatureScaler, signed_log1p
+
+
+class TestSignedLog:
+    def test_positive_values(self):
+        assert signed_log1p(np.array([0.0]))[0] == 0.0
+        assert signed_log1p(np.array([np.e - 1]))[0] == pytest.approx(1.0)
+
+    def test_negative_values_are_antisymmetric(self):
+        values = np.array([-5.0, -100.0])
+        assert np.allclose(signed_log1p(values), -signed_log1p(-values))
+
+
+class TestFeatureScaler:
+    def _fit(self, benign_connections):
+        extractor = RawFeatureExtractor()
+        arrays = [extractor.extract_connection(c) for c in benign_connections]
+        return FeatureScaler.fit(arrays), arrays
+
+    def test_training_data_maps_into_unit_interval(self, benign_connections):
+        scaler, arrays = self._fit(benign_connections)
+        scaled = np.vstack(scaler.transform_all(arrays))
+        assert scaled.min() >= 0.0 - 1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_binary_columns_are_preserved(self, benign_connections):
+        scaler, arrays = self._fit(benign_connections)
+        scaled = scaler.transform(arrays[0])
+        # Direction (column 0) and checksum validity (column 14) stay binary.
+        assert set(np.unique(scaled[:, 0])).issubset({0.0, 1.0})
+        assert set(np.unique(scaled[:, 14])).issubset({0.0, 1.0})
+
+    def test_out_of_training_range_values_exceed_unit_interval(self, benign_connections):
+        scaler, arrays = self._fit(benign_connections)
+        anomalous = arrays[0].copy()
+        anomalous[0, 26] = 100_000.0  # absurd TTL-position value
+        scaled = scaler.transform(anomalous)
+        assert scaled[0, 26] > 1.0
+
+    def test_constant_column_deviation_still_registers(self, benign_connections):
+        scaler, arrays = self._fit(benign_connections)
+        anomalous = arrays[0].copy()
+        anomalous[0, 29] = 5.0  # IP version is constant (4) in benign traffic
+        scaled = scaler.transform(anomalous)
+        benign_scaled = scaler.transform(arrays[0])
+        assert scaled[0, 29] != benign_scaled[0, 29]
+
+    def test_clipping_bounds_extremes(self, benign_connections):
+        scaler, arrays = self._fit(benign_connections)
+        anomalous = arrays[0].copy()
+        anomalous[0, 1] = 1e18
+        scaled = scaler.transform(anomalous)
+        assert scaled[0, 1] <= scaler.clip
+
+    def test_round_trip_through_arrays(self, benign_connections):
+        scaler, arrays = self._fit(benign_connections)
+        restored = FeatureScaler.from_arrays(scaler.to_arrays())
+        assert np.allclose(restored.transform(arrays[0]), scaler.transform(arrays[0]))
+
+    def test_empty_input_passthrough(self, benign_connections):
+        scaler, _ = self._fit(benign_connections)
+        assert scaler.transform(np.zeros((0, 32))).shape == (0, 32)

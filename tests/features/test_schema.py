@@ -1,0 +1,65 @@
+"""Unit tests for the Table-7 feature schema."""
+
+from repro.features.schema import (
+    CONTEXT_PROFILE_SIZE,
+    NUM_AMPLIFICATION_FEATURES,
+    NUM_GATE_FEATURES,
+    NUM_PACKET_FEATURES,
+    NUM_RAW_FEATURES,
+    NUMERIC_INDICES,
+    NUMERIC_IP_INDICES,
+    NUMERIC_TCP_INDICES,
+    FeatureGroup,
+    all_feature_specs,
+    amplification_feature_specs,
+    feature_name,
+    gate_feature_specs,
+    raw_feature_specs,
+)
+
+
+class TestCounts:
+    def test_raw_feature_count_matches_table7(self):
+        assert NUM_RAW_FEATURES == 32
+
+    def test_amplification_feature_count_matches_table7(self):
+        assert NUM_AMPLIFICATION_FEATURES == 19
+
+    def test_packet_feature_count(self):
+        assert NUM_PACKET_FEATURES == 51
+
+    def test_gate_feature_count(self):
+        assert NUM_GATE_FEATURES == 64
+
+    def test_context_profile_size_matches_table7(self):
+        assert CONTEXT_PROFILE_SIZE == 115
+
+    def test_numeric_index_split(self):
+        assert len(NUMERIC_TCP_INDICES) == 13
+        assert len(NUMERIC_IP_INDICES) == 5
+        assert len(NUMERIC_INDICES) == 18
+
+
+class TestSpecs:
+    def test_indices_are_contiguous_and_one_based(self):
+        specs = all_feature_specs()
+        assert [spec.index for spec in specs] == list(range(1, CONTEXT_PROFILE_SIZE + 1))
+
+    def test_group_partitions(self):
+        assert all(spec.group is FeatureGroup.TCP or spec.group is FeatureGroup.IP
+                   for spec in raw_feature_specs())
+        assert all(spec.group is FeatureGroup.AMPLIFICATION for spec in amplification_feature_specs())
+        assert all(spec.group is FeatureGroup.GATE for spec in gate_feature_specs())
+
+    def test_flags_are_one_hot_encoded(self):
+        names = [spec.name for spec in raw_feature_specs()]
+        for flag in ("FIN", "SYN", "RST", "PSH", "ACK", "URG", "ECE", "CWR", "NS"):
+            assert any(flag in name for name in names)
+
+    def test_named_lookup(self):
+        assert feature_name(1) == "Packet direction"
+        assert "Update gate" in feature_name(52)
+        assert "Reset gate" in feature_name(84)
+
+    def test_equivalence_relation_feature_is_last_amplification(self):
+        assert "Payload Length correctness" in feature_name(51)

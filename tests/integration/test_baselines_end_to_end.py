@@ -1,0 +1,92 @@
+"""Integration tests comparing CLAP with the two baselines.
+
+These assert the *shape* of the paper's headline result on a small corpus:
+CLAP detects both inter- and intra-packet violations; Baseline #1 is blind (or
+much weaker) on inter-packet violations; Baseline #2 (Kitsune) is close to
+random on header-semantics evasion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import get_strategy
+from repro.attacks.injector import AttackInjector
+from repro.baselines.kitsune import KitsuneDetector
+from repro.evaluation.metrics import auc_roc
+from repro.features.schema import NUM_PACKET_FEATURES
+
+
+@pytest.fixture(scope="module")
+def test_connections(small_dataset):
+    return [c for c in small_dataset.test if len(c) >= 4]
+
+
+@pytest.fixture(scope="module")
+def trained_kitsune(small_dataset):
+    detector = KitsuneDetector(seed=1)
+    detector.fit(small_dataset.train)
+    return detector
+
+
+def _auc(detector, strategy_name, connections, seed=11):
+    injector = AttackInjector(seed=seed)
+    strategy = get_strategy(strategy_name)
+    adversarial = [injector.attack_connection(strategy, c).connection for c in connections]
+    return auc_roc(
+        detector.score_connections(adversarial), detector.score_connections(connections)
+    )
+
+
+class TestBaseline1:
+    def test_profile_is_single_packet_without_gates(self, trained_baseline1):
+        assert trained_baseline1.report.profile_size == NUM_PACKET_FEATURES
+        assert trained_baseline1.report.stacked_profile_size == NUM_PACKET_FEATURES
+        assert trained_baseline1.report.rnn is None
+
+    def test_detects_intra_packet_violations(self, trained_baseline1, test_connections):
+        assert _auc(trained_baseline1, "Invalid IP Version (Min)", test_connections) > 0.7
+
+    def test_weaker_than_clap_on_inter_packet_violations(
+        self, trained_clap, trained_baseline1, test_connections
+    ):
+        strategy = "Snort: Injected RST Pure"
+        clap_auc = _auc(trained_clap, strategy, test_connections)
+        baseline_auc = _auc(trained_baseline1, strategy, test_connections)
+        assert clap_auc > baseline_auc
+
+    def test_scores_are_finite(self, trained_baseline1, test_connections):
+        assert np.isfinite(trained_baseline1.score_connections(test_connections)).all()
+
+
+class TestBaseline2:
+    def test_near_random_on_header_semantics_attack(self, trained_kitsune, test_connections):
+        value = _auc(trained_kitsune, "GFW: Data Packet (ACK) Bad TCP-Checksum/MD5-Option",
+                     test_connections)
+        assert 0.2 <= value <= 0.8  # no meaningful separation either way
+
+    def test_clap_beats_kitsune_on_dpi_evasion(self, trained_clap, trained_kitsune, test_connections):
+        strategy = "Zeek: Data Packet (ACK) Bad SEQ"
+        assert _auc(trained_clap, strategy, test_connections) > _auc(
+            trained_kitsune, strategy, test_connections
+        )
+
+
+class TestHeadlineOrdering:
+    def test_mean_auc_ordering_matches_paper(self, trained_clap, trained_baseline1,
+                                             trained_kitsune, test_connections):
+        """CLAP >= Baseline #1 > Baseline #2 on a small strategy sample."""
+        strategies = [
+            "Snort: Injected RST Pure",
+            "Invalid IP Version (Min)",
+            "Low TTL (Min)",
+            "GFW: Injected FIN-ACK Bad ACK Num",
+        ]
+        def mean_auc(detector):
+            return np.mean([_auc(detector, name, test_connections) for name in strategies])
+
+        clap_mean = mean_auc(trained_clap)
+        baseline1_mean = mean_auc(trained_baseline1)
+        kitsune_mean = mean_auc(trained_kitsune)
+        assert clap_mean > kitsune_mean
+        assert clap_mean >= baseline1_mean - 0.05
+        assert baseline1_mean > kitsune_mean - 0.1

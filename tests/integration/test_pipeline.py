@@ -1,0 +1,106 @@
+"""Integration tests for the end-to-end CLAP pipeline (training + testing).
+
+These use the session-scoped ``trained_clap`` fixture (fast configuration,
+small corpus) so the full fit only happens once per test session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.injector import AttackInjector
+from repro.attacks.base import get_strategy
+from repro.core.pipeline import Clap
+from repro.evaluation.metrics import auc_roc
+from repro.features.schema import CONTEXT_PROFILE_SIZE
+
+
+@pytest.fixture(scope="module")
+def test_connections(small_dataset):
+    return [c for c in small_dataset.test if len(c) >= 4]
+
+
+class TestTrainingArtifacts:
+    def test_report_dimensions(self, trained_clap):
+        report = trained_clap.report
+        assert report.profile_size == CONTEXT_PROFILE_SIZE
+        assert report.stacked_profile_size == CONTEXT_PROFILE_SIZE * 3
+        assert report.training_profiles > 0
+
+    def test_rnn_learned_the_state_machine(self, trained_clap):
+        assert trained_clap.report.rnn.training_accuracy > 0.8
+
+    def test_autoencoder_loss_decreased(self, trained_clap):
+        history = trained_clap.report.autoencoder_loss_history
+        assert history[-1] < history[0]
+
+    def test_threshold_is_positive(self, trained_clap):
+        assert trained_clap.threshold > 0
+
+
+class TestScoring:
+    def test_benign_scores_are_finite(self, trained_clap, test_connections):
+        scores = trained_clap.score_connections(test_connections)
+        assert np.isfinite(scores).all()
+
+    def test_window_errors_length(self, trained_clap, test_connections):
+        connection = test_connections[0]
+        errors = trained_clap.window_errors(connection)
+        assert errors.shape[0] == len(connection) - 3 + 1
+
+    def test_detection_of_injected_rst(self, trained_clap, test_connections):
+        strategy = get_strategy("Snort: Injected RST Pure")
+        injector = AttackInjector(seed=3)
+        adversarial = [injector.attack_connection(strategy, c).connection for c in test_connections]
+        benign_scores = trained_clap.score_connections(test_connections)
+        adversarial_scores = trained_clap.score_connections(adversarial)
+        assert auc_roc(adversarial_scores, benign_scores) > 0.8
+
+    def test_detection_of_intra_packet_attack(self, trained_clap, test_connections):
+        strategy = get_strategy("Invalid IP Version (Min)")
+        injector = AttackInjector(seed=4)
+        adversarial = [injector.attack_connection(strategy, c).connection for c in test_connections]
+        benign_scores = trained_clap.score_connections(test_connections)
+        adversarial_scores = trained_clap.score_connections(adversarial)
+        assert auc_roc(adversarial_scores, benign_scores) > 0.8
+
+    def test_verdict_and_is_adversarial_are_consistent(self, trained_clap, test_connections):
+        connection = test_connections[0]
+        verdict = trained_clap.verdict(connection)
+        assert verdict.is_adversarial == trained_clap.is_adversarial(connection)
+
+    def test_localization_points_near_injected_packet(self, trained_clap, test_connections):
+        strategy = get_strategy("GFW: Injected RST Bad TCP-Checksum/MD5-Option")
+        injector = AttackInjector(seed=5)
+        hits = 0
+        for connection in test_connections:
+            adversarial = injector.attack_connection(strategy, connection)
+            localized = trained_clap.localize(adversarial.connection, top_n=1)
+            if localized and min(
+                abs(localized[0] - index) for index in adversarial.injected_indices
+            ) <= 2:
+                hits += 1
+        assert hits / len(test_connections) > 0.5
+
+    def test_scoring_before_fit_raises(self, test_connections):
+        with pytest.raises(RuntimeError):
+            Clap().score_connection(test_connections[0])
+
+
+class TestPersistence:
+    def test_save_and_load_reproduce_scores(self, trained_clap, test_connections, tmp_path):
+        trained_clap.save(tmp_path)
+        restored = Clap.load(tmp_path)
+        original = trained_clap.score_connections(test_connections[:5])
+        recovered = restored.score_connections(test_connections[:5])
+        assert np.allclose(original, recovered)
+
+    def test_loaded_model_keeps_threshold(self, trained_clap, test_connections, tmp_path):
+        trained_clap.save(tmp_path)
+        restored = Clap.load(tmp_path)
+        assert restored.threshold == pytest.approx(trained_clap.threshold)
+
+    def test_loaded_model_keeps_configuration(self, trained_clap, tmp_path):
+        trained_clap.save(tmp_path)
+        restored = Clap.load(tmp_path)
+        assert restored.config.detector.stack_length == trained_clap.config.detector.stack_length
+        assert restored.builder.profile_size == trained_clap.builder.profile_size

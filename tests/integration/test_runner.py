@@ -1,0 +1,104 @@
+"""Integration tests for the experiment runner (the benchmark engine)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackSource, get_strategy
+from repro.core.config import ClapConfig
+from repro.evaluation.reporting import (
+    overall_summary,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.evaluation.runner import (
+    BASELINE1_NAME,
+    CLAP_NAME,
+    ExperimentRunner,
+    aggregate_by_source,
+)
+
+
+@pytest.fixture(scope="module")
+def runner(small_dataset):
+    config = ClapConfig.fast()
+    config.rnn.epochs = 5
+    config.autoencoder.epochs = 20
+    instance = ExperimentRunner(small_dataset, config=config, seed=0, max_test_connections=8)
+    instance.train(detector_names=(CLAP_NAME, BASELINE1_NAME))
+    return instance
+
+
+@pytest.fixture(scope="module")
+def results(runner):
+    strategies = [
+        get_strategy("Snort: Injected RST Pure"),
+        get_strategy("Invalid IP Version (Min)"),
+        get_strategy("Bad Payload Length / Low TTL"),
+    ]
+    return runner.evaluate(strategies)
+
+
+class TestRunner:
+    def test_results_cover_all_detectors_and_strategies(self, results):
+        assert set(results.detector_names()) == {CLAP_NAME, BASELINE1_NAME}
+        assert len(results.strategy_names()) == 3
+
+    def test_auc_values_are_valid(self, results):
+        for evaluation in results.detectors.values():
+            for strategy in evaluation.per_strategy.values():
+                assert 0.0 <= strategy.auc <= 1.0
+                assert 0.0 <= strategy.eer <= 1.0
+
+    def test_localization_present_only_for_clap(self, results):
+        clap = results[CLAP_NAME]
+        baseline = results[BASELINE1_NAME]
+        assert all(r.localization is not None for r in clap.per_strategy.values())
+        assert all(r.localization is None for r in baseline.per_strategy.values())
+
+    def test_localization_hierarchy_top5_ge_top1(self, results):
+        for strategy in results[CLAP_NAME].per_strategy.values():
+            localization = strategy.localization
+            assert localization.top5 >= localization.top3 >= localization.top1
+
+    def test_aggregate_by_source(self, results):
+        aggregates = aggregate_by_source(results[CLAP_NAME])
+        assert AttackSource.SYMTCP in aggregates
+        assert aggregates[AttackSource.SYMTCP]["strategies"] == 1
+
+    def test_mean_auc_over_all_strategies(self, results):
+        assert 0.0 <= results[CLAP_NAME].mean_auc() <= 1.0
+
+    def test_throughput_measurement(self, runner):
+        throughput = runner.measure_throughput(CLAP_NAME)
+        assert throughput.packets > 0
+        assert throughput.packets_per_second > 0
+        assert throughput.connections_per_second > 0
+
+    def test_evaluate_before_train_raises(self, small_dataset):
+        fresh = ExperimentRunner(small_dataset, config=ClapConfig.fast())
+        with pytest.raises(RuntimeError):
+            fresh.evaluate([get_strategy("Low TTL (Min)")])
+
+    def test_unknown_detector_name_rejected(self, small_dataset):
+        fresh = ExperimentRunner(small_dataset, config=ClapConfig.fast())
+        with pytest.raises(ValueError):
+            fresh.train(detector_names=("NotADetector",))
+
+
+class TestReportingIntegration:
+    def test_table1_renders(self, results):
+        text = render_table1(results)
+        assert CLAP_NAME in text and BASELINE1_NAME in text
+
+    def test_table2_renders(self, results):
+        assert "inter" in render_table2(results)
+
+    def test_table3_renders(self, runner):
+        throughput = {CLAP_NAME: runner.measure_throughput(CLAP_NAME)}
+        assert "Packets/Second" in render_table3(throughput)
+
+    def test_overall_summary_contains_localization(self, results):
+        summary = overall_summary(results)
+        assert "CLAP mean Top-5" in summary
+        assert 0.0 <= summary["CLAP mean Top-5"] <= 1.0

@@ -1,0 +1,48 @@
+"""Unit tests for IPv4 address conversion helpers."""
+
+import pytest
+
+from repro.netstack.addresses import int_to_ip, ip_to_int, is_private
+
+
+class TestIpToInt:
+    def test_round_trip(self):
+        for address in ("0.0.0.0", "10.0.0.1", "192.168.1.254", "255.255.255.255"):
+            assert int_to_ip(ip_to_int(address)) == address
+
+    def test_known_value(self):
+        assert ip_to_int("1.2.3.4") == 0x01020304
+
+    def test_rejects_too_few_octets(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+
+    def test_rejects_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+
+
+class TestIntToIp:
+    def test_known_value(self):
+        assert int_to_ip(0xC0A80101) == "192.168.1.1"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+
+class TestIsPrivate:
+    def test_rfc1918_ranges(self):
+        assert is_private(ip_to_int("10.1.2.3"))
+        assert is_private(ip_to_int("172.16.0.1"))
+        assert is_private(ip_to_int("172.31.255.255"))
+        assert is_private(ip_to_int("192.168.0.1"))
+
+    def test_public_addresses(self):
+        assert not is_private(ip_to_int("8.8.8.8"))
+        assert not is_private(ip_to_int("172.32.0.1"))
+        assert not is_private(ip_to_int("193.168.0.1"))

@@ -1,0 +1,67 @@
+"""Unit tests for the RFC 1071 internet checksum helpers."""
+
+import struct
+
+from repro.netstack.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header,
+    tcp_checksum,
+    verify_checksum,
+    verify_tcp_checksum,
+)
+
+
+class TestOnesComplementSum:
+    def test_empty_data_sums_to_zero(self):
+        assert ones_complement_sum(b"") == 0
+
+    def test_single_word(self):
+        assert ones_complement_sum(b"\x12\x34") == 0x1234
+
+    def test_odd_length_is_padded_with_zero(self):
+        assert ones_complement_sum(b"\x12") == ones_complement_sum(b"\x12\x00")
+
+    def test_carry_wraps_around(self):
+        # 0xFFFF + 0x0001 must wrap to 0x0001 in one's complement arithmetic.
+        assert ones_complement_sum(b"\xff\xff\x00\x01") == 0x0001
+
+
+class TestInternetChecksum:
+    def test_rfc1071_reference_example(self):
+        # Example from RFC 1071 section 3: 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+        data = struct.pack("!HHHH", 0x0001, 0xF203, 0xF4F5, 0xF6F7)
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_checksum_of_data_plus_checksum_is_zero(self):
+        data = b"\x45\x00\x00\x28\xab\xcd\x40\x00\x40\x06"
+        checksum = internet_checksum(data)
+        patched = data + struct.pack("!H", checksum)
+        assert verify_checksum(patched)
+
+    def test_all_zero_data_gives_ffff(self):
+        assert internet_checksum(b"\x00" * 8) == 0xFFFF
+
+
+class TestTcpChecksum:
+    def test_pseudo_header_layout(self):
+        header = pseudo_header(0x0A000001, 0x0A000002, 6, 40)
+        assert len(header) == 12
+        assert header[8] == 0  # zero byte
+        assert header[9] == 6  # protocol
+        assert struct.unpack("!H", header[10:12])[0] == 40
+
+    def test_tcp_checksum_verifies(self):
+        segment = bytearray(24)
+        segment[0:2] = (443).to_bytes(2, "big")
+        segment[2:4] = (80).to_bytes(2, "big")
+        checksum = tcp_checksum(0x01020304, 0x05060708, bytes(segment))
+        segment[16:18] = checksum.to_bytes(2, "big")
+        assert verify_tcp_checksum(0x01020304, 0x05060708, bytes(segment))
+
+    def test_corrupted_segment_fails_verification(self):
+        segment = bytearray(20)
+        checksum = tcp_checksum(1, 2, bytes(segment))
+        segment[16:18] = checksum.to_bytes(2, "big")
+        segment[5] ^= 0xFF
+        assert not verify_tcp_checksum(1, 2, bytes(segment))

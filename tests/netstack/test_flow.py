@@ -1,0 +1,100 @@
+"""Unit tests for flow keys and connection assembly."""
+
+import numpy as np
+import pytest
+
+from repro.netstack.flow import (
+    Connection,
+    ConnectionAssembler,
+    FlowKey,
+    assemble_connections,
+    split_connections,
+)
+from repro.netstack.packet import Direction
+from repro.traffic.generator import TrafficGenerator
+
+
+class TestFlowKey:
+    def test_both_directions_map_to_same_key(self, simple_connection):
+        forward = simple_connection.packets[0]  # client SYN
+        backward = simple_connection.packets[1]  # server SYN-ACK
+        assert FlowKey.from_packet(forward) == FlowKey.from_packet(backward)
+
+    def test_str_contains_both_endpoints(self, simple_connection):
+        text = str(simple_connection.key)
+        assert "10.0.0.1" in text
+        assert "192.168.1.2" in text
+
+
+class TestConnection:
+    def test_directions_assigned_relative_to_client(self, simple_connection):
+        assert simple_connection.packets[0].direction is Direction.CLIENT_TO_SERVER
+        assert simple_connection.packets[1].direction is Direction.SERVER_TO_CLIENT
+
+    def test_has_handshake(self, simple_connection):
+        assert simple_connection.has_handshake
+
+    def test_duration_is_positive(self, simple_connection):
+        assert simple_connection.duration > 0
+
+    def test_client_and_server_packet_partitions(self, simple_connection):
+        total = len(simple_connection.client_packets()) + len(simple_connection.server_packets())
+        assert total == len(simple_connection)
+
+    def test_copy_is_deep(self, simple_connection):
+        clone = simple_connection.copy()
+        clone.packets[0].tcp.seq = 424242
+        assert simple_connection.packets[0].tcp.seq != 424242
+
+    def test_injected_indices_empty_for_benign(self, simple_connection):
+        assert simple_connection.injected_indices() == []
+
+    def test_sort_by_time(self, simple_connection):
+        clone = simple_connection.copy()
+        clone.packets.reverse()
+        clone.sort_by_time()
+        timestamps = [p.timestamp for p in clone.packets]
+        assert timestamps == sorted(timestamps)
+
+
+class TestAssembler:
+    def test_single_connection_reassembled(self, simple_connection):
+        connections = assemble_connections(list(simple_connection.packets))
+        assert len(connections) == 1
+        assert len(connections[0]) == len(simple_connection)
+
+    def test_interleaved_connections_are_separated(self):
+        generator = TrafficGenerator(seed=11)
+        packets = generator.generate_packets(6)
+        connections = assemble_connections(packets)
+        assert len(connections) == 6
+        assert sum(len(c) for c in connections) == len(packets)
+
+    def test_new_syn_after_close_starts_new_connection(self, simple_connection):
+        # Replay the same (closed) connection twice: the second SYN must open a
+        # fresh connection object even though the flow key matches.
+        packets = list(simple_connection.packets)
+        shifted = [p.copy(timestamp=p.timestamp + 100.0) for p in simple_connection.packets]
+        assembler = ConnectionAssembler()
+        assembler.add_all(packets + shifted)
+        assert len(assembler.connections()) == 2
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        connections = TrafficGenerator(seed=3).generate_connections(20)
+        train, test = split_connections(connections, 0.75, np.random.default_rng(0))
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_split_is_disjoint_and_complete(self):
+        connections = TrafficGenerator(seed=4).generate_connections(12)
+        train, test = split_connections(connections, 0.5, np.random.default_rng(0))
+        train_ids = {id(c) for c in train}
+        test_ids = {id(c) for c in test}
+        assert not train_ids & test_ids
+        assert len(train_ids | test_ids) == 12
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            split_connections([], 1.5, np.random.default_rng(0))

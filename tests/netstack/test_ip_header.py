@@ -1,0 +1,95 @@
+"""Unit tests for the IPv4 header model."""
+
+import pytest
+
+from repro.netstack.addresses import ip_to_int
+from repro.netstack.ip import Ipv4Header
+
+
+def make_header(**overrides) -> Ipv4Header:
+    defaults = dict(src=ip_to_int("10.0.0.1"), dst=ip_to_int("10.0.0.2"))
+    defaults.update(overrides)
+    return Ipv4Header(**defaults)
+
+
+class TestSerialization:
+    def test_base_header_is_twenty_bytes(self):
+        assert len(make_header().to_bytes()) == 20
+
+    def test_version_and_ihl_nibbles(self):
+        data = make_header().to_bytes()
+        assert data[0] >> 4 == 4
+        assert data[0] & 0xF == 5
+
+    def test_round_trip_preserves_fields(self):
+        header = make_header(ttl=47, tos=0x10, identification=0xBEEF, total_length=None)
+        parsed = Ipv4Header.from_bytes(header.to_bytes(payload_length=100))
+        assert parsed.ttl == 47
+        assert parsed.tos == 0x10
+        assert parsed.identification == 0xBEEF
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+
+    def test_auto_total_length_includes_payload(self):
+        header = make_header()
+        parsed = Ipv4Header.from_bytes(header.to_bytes(payload_length=123))
+        assert parsed.total_length == 20 + 123
+
+    def test_explicit_total_length_is_honoured_even_if_wrong(self):
+        header = make_header(total_length=9999)
+        parsed = Ipv4Header.from_bytes(header.to_bytes(payload_length=10))
+        assert parsed.total_length == 9999
+
+    def test_explicit_version_is_emitted(self):
+        header = make_header(version=5)
+        parsed = Ipv4Header.from_bytes(header.to_bytes())
+        assert parsed.version == 5
+
+    def test_options_are_padded_and_reflected_in_ihl(self):
+        header = make_header(options=b"\x94\x04\x00\x00")
+        data = header.to_bytes()
+        assert len(data) == 24
+        assert data[0] & 0xF == 6
+
+    def test_dont_fragment_flag_round_trip(self):
+        parsed = Ipv4Header.from_bytes(make_header(dont_fragment=True).to_bytes())
+        assert parsed.dont_fragment is True
+        parsed = Ipv4Header.from_bytes(make_header(dont_fragment=False).to_bytes())
+        assert parsed.dont_fragment is False
+
+    def test_truncated_data_raises(self):
+        with pytest.raises(ValueError):
+            Ipv4Header.from_bytes(b"\x45\x00\x00")
+
+
+class TestChecksum:
+    def test_auto_checksum_is_valid(self):
+        header = make_header()
+        parsed = Ipv4Header.from_bytes(header.to_bytes(payload_length=40))
+        assert parsed.has_correct_checksum(payload_length=40)
+
+    def test_auto_checksum_none_is_considered_valid(self):
+        assert make_header().has_correct_checksum()
+
+    def test_garbled_checksum_is_detected(self):
+        header = make_header()
+        correct = Ipv4Header.from_bytes(header.to_bytes()).checksum
+        header.checksum = (correct + 1) & 0xFFFF
+        assert not header.has_correct_checksum()
+
+
+class TestHelpers:
+    def test_for_addresses_constructor(self):
+        header = Ipv4Header.for_addresses("1.2.3.4", "5.6.7.8")
+        assert header.src_address == "1.2.3.4"
+        assert header.dst_address == "5.6.7.8"
+
+    def test_copy_is_independent(self):
+        header = make_header()
+        clone = header.copy(ttl=3)
+        assert clone.ttl == 3
+        assert header.ttl == 64
+
+    def test_effective_ihl_prefers_explicit_value(self):
+        assert make_header(ihl=3).effective_ihl() == 3
+        assert make_header().effective_ihl() == 5

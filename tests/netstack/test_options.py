@@ -1,0 +1,95 @@
+"""Unit tests for TCP option encoding and decoding."""
+
+from repro.netstack.options import (
+    EndOfOptions,
+    MaximumSegmentSize,
+    Md5Signature,
+    NoOperation,
+    OptionKind,
+    RawOption,
+    SackPermitted,
+    Timestamp,
+    UserTimeout,
+    WindowScale,
+    decode_options,
+    encode_options,
+    find_option,
+)
+
+
+class TestEncoding:
+    def test_mss_encoding(self):
+        assert MaximumSegmentSize(1460).encode() == b"\x02\x04\x05\xb4"
+
+    def test_window_scale_encoding(self):
+        assert WindowScale(7).encode() == b"\x03\x03\x07"
+
+    def test_sack_permitted_encoding(self):
+        assert SackPermitted().encode() == b"\x04\x02"
+
+    def test_timestamp_encoding_length(self):
+        assert len(Timestamp(tsval=1, tsecr=2).encode()) == 10
+
+    def test_md5_encoding_length(self):
+        assert len(Md5Signature(digest=b"\x01" * 16).encode()) == 18
+
+    def test_user_timeout_encoding(self):
+        encoded = UserTimeout(granularity_minutes=True, timeout=5).encode()
+        assert encoded[0] == OptionKind.USER_TIMEOUT
+        assert encoded[1] == 4
+
+    def test_encode_options_pads_to_four_bytes(self):
+        encoded = encode_options([WindowScale(7)])
+        assert len(encoded) % 4 == 0
+
+    def test_nop_and_eol_are_single_bytes(self):
+        assert NoOperation().encode() == b"\x01"
+        assert EndOfOptions().encode() == b"\x00"
+
+
+class TestDecoding:
+    def test_round_trip_common_syn_options(self):
+        options = [MaximumSegmentSize(1400), SackPermitted(), Timestamp(100, 0), WindowScale(8)]
+        decoded = decode_options(encode_options(options))
+        kinds = [getattr(option, "kind", None) for option in decoded]
+        assert OptionKind.MSS in kinds
+        assert OptionKind.SACK_PERMITTED in kinds
+        assert OptionKind.TIMESTAMP in kinds
+        assert OptionKind.WINDOW_SCALE in kinds
+
+    def test_decoded_values_match(self):
+        decoded = decode_options(encode_options([MaximumSegmentSize(536), WindowScale(3)]))
+        mss = find_option(decoded, OptionKind.MSS)
+        wscale = find_option(decoded, OptionKind.WINDOW_SCALE)
+        assert mss.value == 536
+        assert wscale.shift == 3
+
+    def test_unknown_option_preserved_as_raw(self):
+        decoded = decode_options(bytes([254, 4, 0xAA, 0xBB]))
+        assert isinstance(decoded[0], RawOption)
+        assert decoded[0].kind == 254
+        assert decoded[0].data == b"\xaa\xbb"
+
+    def test_truncated_option_does_not_raise(self):
+        decoded = decode_options(bytes([8, 10, 1]))  # timestamp claims 10 bytes, only 3 present
+        assert decoded  # parsed into something rather than raising
+
+    def test_end_of_options_stops_parsing(self):
+        data = EndOfOptions().encode() + MaximumSegmentSize(9000).encode()
+        decoded = decode_options(data)
+        assert find_option(decoded, OptionKind.MSS) is None
+
+    def test_find_option_returns_none_when_absent(self):
+        assert find_option([], OptionKind.MSS) is None
+
+    def test_md5_round_trip_preserves_digest(self):
+        digest = bytes(range(16))
+        decoded = decode_options(encode_options([Md5Signature(digest=digest)]))
+        md5 = find_option(decoded, OptionKind.MD5_SIGNATURE)
+        assert md5.digest == digest
+
+    def test_user_timeout_round_trip(self):
+        decoded = decode_options(encode_options([UserTimeout(granularity_minutes=False, timeout=300)]))
+        uto = find_option(decoded, OptionKind.USER_TIMEOUT)
+        assert uto.timeout == 300
+        assert uto.granularity_minutes is False

@@ -1,0 +1,90 @@
+"""Unit tests for the Packet abstraction."""
+
+import pytest
+
+from repro.netstack.addresses import ip_to_int
+from repro.netstack.ip import Ipv4Header
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags, TcpHeader
+
+
+def make_packet(payload: bytes = b"", flags: int = TcpFlags.ACK, **tcp_overrides) -> Packet:
+    return Packet(
+        ip=Ipv4Header(src=ip_to_int("10.0.0.1"), dst=ip_to_int("10.0.0.2")),
+        tcp=TcpHeader(src_port=40000, dst_port=443, seq=100, ack=200, flags=flags, **tcp_overrides),
+        payload=payload,
+        timestamp=1.5,
+    )
+
+
+class TestRoundTrip:
+    def test_serialise_and_parse(self):
+        packet = make_packet(payload=b"GET / HTTP/1.1\r\n")
+        parsed = Packet.from_bytes(packet.to_bytes(), timestamp=1.5)
+        assert parsed.payload == b"GET / HTTP/1.1\r\n"
+        assert parsed.tcp.src_port == 40000
+        assert parsed.tcp.dst_port == 443
+        assert parsed.ip.src == packet.ip.src
+        assert parsed.timestamp == 1.5
+
+    def test_parsed_packet_checksums_are_valid(self):
+        parsed = Packet.from_bytes(make_packet(payload=b"abc").to_bytes())
+        assert parsed.ip_checksum_ok()
+        assert parsed.tcp_checksum_ok()
+
+    def test_non_tcp_packet_is_rejected(self):
+        packet = make_packet()
+        packet.ip.protocol = 17  # UDP
+        with pytest.raises(ValueError):
+            Packet.from_bytes(packet.to_bytes())
+
+
+class TestSequenceSpan:
+    def test_payload_only(self):
+        assert make_packet(payload=b"abcd").sequence_span() == 4
+
+    def test_syn_consumes_one(self):
+        assert make_packet(flags=TcpFlags.SYN).sequence_span() == 1
+
+    def test_fin_with_payload(self):
+        assert make_packet(payload=b"xy", flags=TcpFlags.FIN | TcpFlags.ACK).sequence_span() == 3
+
+
+class TestValidityHelpers:
+    def test_consistent_total_length(self):
+        assert make_packet(payload=b"12345").ip_total_length_consistent()
+
+    def test_inconsistent_total_length_detected(self):
+        packet = make_packet(payload=b"12345")
+        packet.ip.total_length = 999
+        assert not packet.ip_total_length_consistent()
+
+    def test_bad_tcp_checksum_detected(self):
+        packet = make_packet()
+        packet.tcp.checksum = 0x1234
+        packet.tcp.checksum_valid_hint = False
+        assert not packet.tcp_checksum_ok()
+
+
+class TestCopyAndSummary:
+    def test_copy_is_deep_for_headers(self):
+        packet = make_packet()
+        clone = packet.copy()
+        clone.ip.ttl = 1
+        clone.tcp.seq = 42
+        assert packet.ip.ttl == 64
+        assert packet.tcp.seq == 100
+
+    def test_copy_overrides(self):
+        clone = make_packet().copy(injected=True)
+        assert clone.injected is True
+
+    def test_summary_contains_endpoints_and_flags(self):
+        text = make_packet(flags=TcpFlags.SYN).summary()
+        assert "10.0.0.1:40000" in text
+        assert "10.0.0.2:443" in text
+        assert "[S]" in text
+
+    def test_direction_flip(self):
+        assert Direction.CLIENT_TO_SERVER.flipped() is Direction.SERVER_TO_CLIENT
+        assert Direction.SERVER_TO_CLIENT.flipped() is Direction.CLIENT_TO_SERVER

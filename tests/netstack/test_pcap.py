@@ -1,0 +1,93 @@
+"""Unit tests for the pcap reader/writer."""
+
+import struct
+
+import pytest
+
+from repro.netstack.addresses import ip_to_int
+from repro.netstack.ip import Ipv4Header
+from repro.netstack.packet import Packet
+from repro.netstack.pcap import (
+    LINKTYPE_ETHERNET,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+from repro.netstack.tcp import TcpFlags, TcpHeader
+from repro.traffic.generator import TrafficGenerator
+
+
+def make_packet(seq: int, timestamp: float) -> Packet:
+    return Packet(
+        ip=Ipv4Header(src=ip_to_int("1.1.1.1"), dst=ip_to_int("2.2.2.2")),
+        tcp=TcpHeader(src_port=1000, dst_port=2000, seq=seq, flags=TcpFlags.ACK, ack=1),
+        payload=b"x" * 10,
+        timestamp=timestamp,
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        packets = [make_packet(i, 100.0 + i * 0.25) for i in range(5)]
+        assert write_pcap(path, packets) == 5
+        recovered = read_pcap(path)
+        assert len(recovered) == 5
+        assert [p.tcp.seq for p in recovered] == list(range(5))
+
+    def test_timestamps_preserved_to_microseconds(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        write_pcap(path, [make_packet(1, 1234.567891)])
+        recovered = read_pcap(path)
+        assert recovered[0].timestamp == pytest.approx(1234.567891, abs=1e-5)
+
+    def test_generator_traffic_round_trips(self, tmp_path):
+        path = tmp_path / "generated.pcap"
+        packets = TrafficGenerator(seed=1).generate_packets(5)
+        write_pcap(path, packets)
+        recovered = read_pcap(path)
+        assert len(recovered) == len(packets)
+
+
+class TestReaderRobustness:
+    def test_rejects_non_pcap_file(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"this is not a pcap file at all....")
+        with pytest.raises(ValueError):
+            PcapReader(path)
+
+    def test_rejects_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1\x02\x00")
+        with pytest.raises(ValueError):
+            PcapReader(path)
+
+    def test_truncated_record_is_ignored(self, tmp_path):
+        path = tmp_path / "truncated.pcap"
+        with PcapWriter(path) as writer:
+            writer.write_packet(make_packet(1, 1.0))
+        # Chop the last 10 bytes off the final record.
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with PcapReader(path) as reader:
+            assert list(reader.packets()) == []
+
+    def test_ethernet_link_type_is_stripped(self, tmp_path):
+        path = tmp_path / "ether.pcap"
+        ip_payload = make_packet(7, 2.0).to_bytes()
+        frame = b"\xaa" * 6 + b"\xbb" * 6 + struct.pack("!H", 0x0800) + ip_payload
+        global_header = struct.pack("IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET)
+        record_header = struct.pack("IIII", 2, 0, len(frame), len(frame))
+        path.write_bytes(global_header + record_header + frame)
+        packets = read_pcap(path)
+        assert len(packets) == 1
+        assert packets[0].tcp.seq == 7
+
+    def test_non_ip_ethernet_frames_are_skipped(self, tmp_path):
+        path = tmp_path / "arp.pcap"
+        frame = b"\xaa" * 6 + b"\xbb" * 6 + struct.pack("!H", 0x0806) + b"\x00" * 28
+        global_header = struct.pack("IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET)
+        record_header = struct.pack("IIII", 2, 0, len(frame), len(frame))
+        path.write_bytes(global_header + record_header + frame)
+        assert read_pcap(path) == []

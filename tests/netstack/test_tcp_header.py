@@ -1,0 +1,104 @@
+"""Unit tests for the TCP header model."""
+
+import pytest
+
+from repro.netstack.options import MaximumSegmentSize, Md5Signature, Timestamp, WindowScale
+from repro.netstack.tcp import TcpFlags, TcpHeader
+
+
+def make_header(**overrides) -> TcpHeader:
+    defaults = dict(src_port=12345, dst_port=80, seq=111, ack=222, flags=TcpFlags.ACK)
+    defaults.update(overrides)
+    return TcpHeader(**defaults)
+
+
+class TestFlags:
+    def test_from_names(self):
+        assert TcpFlags.from_names("SYN", "ACK") == TcpFlags.SYN | TcpFlags.ACK
+
+    def test_names_in_canonical_order(self):
+        assert TcpFlags.names(TcpFlags.ACK | TcpFlags.SYN) == ["SYN", "ACK"]
+
+    def test_flag_properties(self):
+        header = make_header(flags=TcpFlags.SYN | TcpFlags.ACK)
+        assert header.is_syn and header.is_ack
+        assert not header.is_fin and not header.is_rst
+
+
+class TestSerialization:
+    def test_base_header_is_twenty_bytes(self):
+        assert len(make_header().to_bytes()) == 20
+
+    def test_round_trip_preserves_fields(self):
+        header = make_header(seq=0xDEADBEEF, ack=0x12345678, window=4096, urgent_pointer=7,
+                             flags=TcpFlags.PSH | TcpFlags.ACK | TcpFlags.URG)
+        parsed = TcpHeader.from_bytes(header.to_bytes(1, 2))
+        assert parsed.seq == 0xDEADBEEF
+        assert parsed.ack == 0x12345678
+        assert parsed.window == 4096
+        assert parsed.urgent_pointer == 7
+        assert parsed.flags & 0xFF == header.flags & 0xFF
+
+    def test_ns_flag_round_trip(self):
+        parsed = TcpHeader.from_bytes(make_header(flags=TcpFlags.ACK | TcpFlags.NS).to_bytes())
+        assert parsed.has_flag(TcpFlags.NS)
+
+    def test_options_round_trip(self):
+        header = make_header(
+            flags=TcpFlags.SYN,
+            options=[MaximumSegmentSize(1460), WindowScale(7), Timestamp(10, 0)],
+        )
+        parsed = TcpHeader.from_bytes(header.to_bytes())
+        assert parsed.mss_option().value == 1460
+        assert parsed.window_scale_option().shift == 7
+        assert parsed.timestamp_option().tsval == 10
+
+    def test_data_offset_reflects_options(self):
+        header = make_header(options=[Timestamp(1, 2)])
+        assert header.effective_data_offset() == 8  # 20 + 12 bytes of padded options
+
+    def test_explicit_data_offset_is_honoured(self):
+        parsed = TcpHeader.from_bytes(make_header(data_offset=15).to_bytes())
+        assert parsed.data_offset == 15
+
+    def test_truncated_data_raises(self):
+        with pytest.raises(ValueError):
+            TcpHeader.from_bytes(b"\x00" * 10)
+
+
+class TestChecksum:
+    def test_auto_checksum_verifies(self):
+        header = make_header()
+        raw = header.to_bytes(0x0A000001, 0x0A000002, b"hello")
+        parsed = TcpHeader.from_bytes(raw)
+        assert parsed.has_correct_checksum(0x0A000001, 0x0A000002, b"hello")
+
+    def test_garbled_checksum_detected(self):
+        header = make_header()
+        raw = header.to_bytes(1, 2, b"")
+        parsed = TcpHeader.from_bytes(raw)
+        parsed.checksum = (parsed.checksum + 1) & 0xFFFF
+        assert not parsed.has_correct_checksum(1, 2, b"")
+
+    def test_checksum_hint_overrides_computation(self):
+        header = make_header(checksum_valid_hint=False)
+        assert not header.has_correct_checksum(1, 2)
+
+
+class TestOptionsApi:
+    def test_replace_option_overwrites_same_kind(self):
+        header = make_header(options=[WindowScale(3)])
+        header.replace_option(WindowScale(9))
+        assert header.window_scale_option().shift == 9
+        assert len(header.options) == 1
+
+    def test_replace_option_appends_new_kind(self):
+        header = make_header(options=[])
+        header.replace_option(Md5Signature(valid=False))
+        assert header.md5_option() is not None
+
+    def test_copy_does_not_share_options_list(self):
+        header = make_header(options=[WindowScale(3)])
+        clone = header.copy()
+        clone.replace_option(WindowScale(8))
+        assert header.window_scale_option().shift == 3

@@ -1,0 +1,77 @@
+"""Unit tests for activation functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    get_activation,
+    leaky_relu,
+    relu,
+    sigmoid,
+    sigmoid_grad_from_output,
+    softmax,
+    tanh,
+    tanh_grad_from_output,
+)
+
+
+class TestSigmoid:
+    def test_range_is_zero_one(self):
+        values = sigmoid(np.linspace(-50, 50, 101))
+        assert np.all(values >= 0) and np.all(values <= 1)
+
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extreme_values_do_not_overflow(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_gradient_matches_numerical(self):
+        x = np.array([0.3, -1.2, 2.0])
+        eps = 1e-6
+        numerical = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        analytical = sigmoid_grad_from_output(sigmoid(x))
+        assert np.allclose(numerical, analytical, atol=1e-6)
+
+
+class TestTanh:
+    def test_gradient_matches_numerical(self):
+        x = np.array([0.5, -0.7, 1.5])
+        eps = 1e-6
+        numerical = (tanh(x + eps) - tanh(x - eps)) / (2 * eps)
+        assert np.allclose(numerical, tanh_grad_from_output(tanh(x)), atol=1e-6)
+
+
+class TestRelu:
+    def test_negative_clipped(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), np.array([0.0, 0.0, 2.0]))
+
+    def test_leaky_keeps_small_negative_slope(self):
+        assert leaky_relu(np.array([-10.0]), alpha=0.1)[0] == pytest.approx(-1.0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probabilities = softmax(np.random.default_rng(0).normal(size=(4, 7)))
+        assert np.allclose(probabilities.sum(axis=-1), 1.0)
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_large_logits_do_not_overflow(self):
+        probabilities = softmax(np.array([[1e4, 0.0, -1e4]]))
+        assert np.isfinite(probabilities).all()
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("sigmoid", "tanh", "relu", "identity", "linear", "leaky_relu"):
+            function, gradient, takes_output = get_activation(name)
+            assert callable(function) and callable(gradient)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_activation("swish-42")

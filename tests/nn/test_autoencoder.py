@@ -1,0 +1,79 @@
+"""Unit tests for the dense autoencoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autoencoder import Autoencoder, symmetric_layer_sizes
+
+
+class TestLayerSizes:
+    def test_table6_configuration(self):
+        sizes = symmetric_layer_sizes(345, 40, 7)
+        assert len(sizes) == 7  # 7 layers: input, 2 encoder, bottleneck, 2 decoder, output
+        assert sizes[0] == sizes[-1] == 345
+        assert min(sizes) == 40
+
+    def test_sizes_are_symmetric(self):
+        sizes = symmetric_layer_sizes(100, 10, 5)
+        assert sizes == sizes[::-1]
+
+    def test_monotone_decrease_to_bottleneck(self):
+        sizes = symmetric_layer_sizes(200, 20, 7)
+        half = len(sizes) // 2
+        assert all(a >= b for a, b in zip(sizes[:half], sizes[1 : half + 1]))
+
+    def test_even_depth_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric_layer_sizes(100, 10, 6)
+
+
+class TestAutoencoder:
+    def test_forward_shape(self):
+        model = Autoencoder(20, bottleneck_size=4, depth=3, seed=0)
+        assert model.forward(np.zeros((7, 20))).shape == (7, 20)
+
+    def test_encode_returns_bottleneck(self):
+        model = Autoencoder(20, bottleneck_size=4, depth=5, seed=0)
+        assert model.encode(np.zeros((3, 20))).shape == (3, 4)
+
+    def test_training_reduces_reconstruction_loss(self):
+        rng = np.random.default_rng(0)
+        # Data on a 2D manifold embedded in 10 dimensions: compressible.
+        latent = rng.normal(size=(256, 2))
+        mixing = rng.normal(size=(2, 10))
+        data = np.tanh(latent @ mixing)
+        model = Autoencoder(10, bottleneck_size=2, depth=3, seed=1, learning_rate=0.01)
+        history = model.fit(data, epochs=40, batch_size=32, rng=rng)
+        assert history[-1] < history[0] * 0.6
+
+    def test_anomalies_have_higher_reconstruction_error(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0.5, 0.05, size=(400, 12))
+        model = Autoencoder(12, bottleneck_size=3, depth=3, seed=3, learning_rate=0.01)
+        model.fit(data, epochs=60, batch_size=64, rng=rng)
+        benign_error = model.reconstruction_error(data[:50]).mean()
+        anomalies = data[:50].copy()
+        anomalies[:, 0] = 5.0
+        anomalous_error = model.reconstruction_error(anomalies).mean()
+        assert anomalous_error > benign_error * 2
+
+    def test_custom_layer_sizes_must_match_input(self):
+        with pytest.raises(ValueError):
+            Autoencoder(10, layer_sizes=[10, 5, 8])
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Autoencoder(10, loss="huber")
+
+    def test_state_dict_round_trip(self):
+        model = Autoencoder(8, bottleneck_size=2, depth=3, seed=4)
+        data = np.random.default_rng(1).normal(size=(5, 8))
+        expected = model.reconstruction_error(data)
+        restored = Autoencoder.from_state_dict(model.state_dict())
+        assert np.allclose(restored.reconstruction_error(data), expected)
+
+    def test_mse_variant_uses_rmse_scores(self):
+        model = Autoencoder(6, bottleneck_size=2, depth=3, loss="mse", seed=5)
+        errors = model.reconstruction_error(np.zeros((4, 6)))
+        assert errors.shape == (4,)
+        assert np.all(errors >= 0)

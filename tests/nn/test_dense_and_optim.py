@@ -1,0 +1,82 @@
+"""Unit tests for the dense layer and the optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.dense import Dense
+from repro.nn.optim import Adam, Optimizer, SGD
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        assert layer.forward(np.zeros((7, 4))).shape == (7, 3)
+
+    def test_supports_arbitrary_leading_dimensions(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        assert layer.forward(np.zeros((2, 5, 4))).shape == (2, 5, 3)
+
+    def test_backward_requires_forward(self):
+        layer = Dense(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)), {})
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, 2, activation="tanh", rng=rng)
+        inputs = rng.normal(size=(4, 3))
+
+        def loss():
+            return float(np.sum(layer.forward(inputs) ** 2))
+
+        output = layer.forward(inputs)
+        gradients = {}
+        layer.backward(2.0 * output, gradients)
+        eps = 1e-6
+        for key, parameter in layer.parameters.items():
+            index = (0,) * parameter.ndim
+            original = parameter[index]
+            parameter[index] = original + eps
+            plus = loss()
+            parameter[index] = original - eps
+            minus = loss()
+            parameter[index] = original
+            numerical = (plus - minus) / (2 * eps)
+            assert gradients[key][index] == pytest.approx(numerical, rel=1e-4, abs=1e-7)
+
+
+class TestOptimisers:
+    @staticmethod
+    def _quadratic_step(optimizer, steps=200):
+        parameters = {"x": np.array([5.0])}
+        for _ in range(steps):
+            gradients = {"x": 2.0 * parameters["x"]}
+            optimizer.step(parameters, gradients)
+        return abs(float(parameters["x"][0]))
+
+    def test_sgd_converges_on_quadratic(self):
+        assert self._quadratic_step(SGD(learning_rate=0.1)) < 1e-3
+
+    def test_sgd_with_momentum_converges(self):
+        assert self._quadratic_step(SGD(learning_rate=0.05, momentum=0.9)) < 1e-2
+
+    def test_adam_converges_on_quadratic(self):
+        assert self._quadratic_step(Adam(learning_rate=0.2), steps=300) < 1e-2
+
+    def test_adam_updates_in_place(self):
+        parameters = {"w": np.ones(3)}
+        reference = parameters["w"]
+        Adam(learning_rate=0.1).step(parameters, {"w": np.ones(3)})
+        assert parameters["w"] is reference
+        assert not np.allclose(reference, 1.0)
+
+    def test_gradient_clipping_scales_norm(self):
+        gradients = {"a": np.array([3.0, 4.0])}
+        norm = Optimizer.clip_gradients(gradients, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(gradients["a"]) == pytest.approx(1.0)
+
+    def test_gradient_clipping_noop_below_threshold(self):
+        gradients = {"a": np.array([0.3, 0.4])}
+        Optimizer.clip_gradients(gradients, max_norm=10.0)
+        assert np.allclose(gradients["a"], [0.3, 0.4])

@@ -1,0 +1,71 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import L1Loss, MSELoss, SoftmaxCrossEntropy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_has_near_zero_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0], [0.0, 100.0, 0.0]])
+        targets = np.array([0, 1])
+        loss, _ = SoftmaxCrossEntropy().forward(logits, targets)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_loss_is_log_classes(self):
+        logits = np.zeros((3, 4))
+        targets = np.array([0, 1, 2])
+        loss, _ = SoftmaxCrossEntropy().forward(logits, targets)
+        assert loss == pytest.approx(np.log(4), rel=1e-6)
+
+    def test_mask_excludes_padded_positions(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.zeros((1, 2, 3))
+        logits[0, 1] = [100.0, 0.0, 0.0]  # wrong but masked out
+        targets = np.array([[0, 2]])
+        mask = np.array([[1.0, 0.0]])
+        loss, _ = loss_fn.forward(logits, targets, mask)
+        assert loss == pytest.approx(np.log(3), rel=1e-6)
+
+    def test_backward_matches_numerical_gradient(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 4))
+        targets = rng.integers(0, 4, size=5)
+        loss_fn = SoftmaxCrossEntropy()
+        _, probabilities = loss_fn.forward(logits, targets)
+        grad = loss_fn.backward(probabilities, targets)
+        eps = 1e-6
+        for i in (0, 2):
+            for j in (1, 3):
+                perturbed = logits.copy()
+                perturbed[i, j] += eps
+                plus, _ = loss_fn.forward(perturbed, targets)
+                perturbed[i, j] -= 2 * eps
+                minus, _ = loss_fn.forward(perturbed, targets)
+                assert grad[i, j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-6)
+
+
+class TestL1Loss:
+    def test_forward_is_mean_absolute_error(self):
+        loss = L1Loss().forward(np.array([1.0, 2.0]), np.array([0.0, 4.0]))
+        assert loss == pytest.approx(1.5)
+
+    def test_per_sample_errors(self):
+        prediction = np.array([[1.0, 1.0], [0.0, 0.0]])
+        target = np.array([[0.0, 0.0], [0.0, 2.0]])
+        per_sample = L1Loss().per_sample(prediction, target)
+        assert np.allclose(per_sample, [1.0, 1.0])
+
+    def test_backward_sign(self):
+        grad = L1Loss().backward(np.array([2.0, -3.0]), np.array([0.0, 0.0]))
+        assert grad[0] > 0 and grad[1] < 0
+
+
+class TestMSELoss:
+    def test_forward(self):
+        assert MSELoss().forward(np.array([2.0]), np.array([0.0])) == pytest.approx(4.0)
+
+    def test_rmse_per_sample(self):
+        rmse = MSELoss().per_sample_rmse(np.array([[3.0, 4.0]]), np.array([[0.0, 0.0]]))
+        assert rmse[0] == pytest.approx(np.sqrt(12.5))

@@ -1,0 +1,33 @@
+"""Unit tests for model persistence helpers."""
+
+import numpy as np
+
+from repro.nn.serialization import load_state, save_state
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_arrays(self, tmp_path):
+        state = {
+            "gru/W": np.arange(6.0).reshape(2, 3),
+            "head/b": np.array([1.0, 2.0]),
+            "meta/input_size": np.array([32]),
+        }
+        path = save_state(tmp_path / "model", state)
+        restored = load_state(path)
+        assert set(restored) == set(state)
+        for key in state:
+            assert np.array_equal(restored[key], state[key])
+
+    def test_npz_suffix_is_appended(self, tmp_path):
+        path = save_state(tmp_path / "model", {"a": np.zeros(1)})
+        assert path.suffix == ".npz"
+
+    def test_load_accepts_path_without_suffix(self, tmp_path):
+        save_state(tmp_path / "model", {"a": np.ones(2)})
+        restored = load_state(tmp_path / "model")
+        assert np.array_equal(restored["a"], np.ones(2))
+
+    def test_keys_with_slashes_survive(self, tmp_path):
+        state = {"deeply/nested/key/name": np.array([7.0])}
+        restored = load_state(save_state(tmp_path / "model", state))
+        assert "deeply/nested/key/name" in restored

@@ -1,0 +1,67 @@
+"""Property-based tests for checksum arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netstack.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    tcp_checksum,
+    verify_checksum,
+    verify_tcp_checksum,
+)
+
+
+@given(st.binary(min_size=0, max_size=256))
+@settings(max_examples=200)
+def test_checksum_appended_verifies(data):
+    """Appending the computed checksum always makes verification succeed."""
+    checksum = internet_checksum(data if len(data) % 2 == 0 else data + b"\x00")
+    padded = data if len(data) % 2 == 0 else data + b"\x00"
+    assert verify_checksum(padded + checksum.to_bytes(2, "big"))
+
+
+@given(st.binary(min_size=2, max_size=128))
+def test_checksum_is_16_bit(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF
+    assert 0 <= ones_complement_sum(data) <= 0xFFFF
+
+
+@given(st.binary(min_size=2, max_size=64), st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100)
+def test_tcp_checksum_round_trip(segment, src, dst):
+    """A segment patched with its own TCP checksum always verifies."""
+    if len(segment) % 2 == 1:
+        segment = segment + b"\x00"
+    segment = bytearray(segment)
+    if len(segment) < 18:
+        segment.extend(b"\x00" * (18 - len(segment)))
+    segment[16:18] = b"\x00\x00"
+    checksum = tcp_checksum(src, dst, bytes(segment))
+    segment[16:18] = checksum.to_bytes(2, "big")
+    assert verify_tcp_checksum(src, dst, bytes(segment))
+
+
+@given(st.binary(min_size=4, max_size=64), st.integers(min_value=0, max_value=63))
+@settings(max_examples=100)
+def test_single_bit_flip_breaks_checksum(data, bit_index):
+    """Flipping any bit of checksummed data is detected (unless it flips the
+    pad-equivalent zero word in a way one's complement cannot see, which for a
+    full 16-bit word never happens)."""
+    if len(data) % 2 == 1:
+        data = data + b"\x00"
+    checksum = internet_checksum(data)
+    message = bytearray(data + checksum.to_bytes(2, "big"))
+    byte_index = (bit_index // 8) % len(data)
+    original_byte = message[byte_index]
+    flipped = original_byte ^ (1 << (bit_index % 8))
+    # One's complement has two representations of zero (0x0000 and 0xFFFF in a
+    # word); skip the degenerate flip that converts one into the other.
+    message[byte_index] = flipped
+    word_start = byte_index - (byte_index % 2)
+    word_before = bytes([original_byte if i == byte_index else message[i] for i in (word_start, word_start + 1)])
+    word_after = bytes(message[word_start : word_start + 2])
+    if {word_before, word_after} == {b"\x00\x00", b"\xff\xff"}:
+        return
+    assert not verify_checksum(bytes(message))

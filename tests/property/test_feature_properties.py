@@ -1,0 +1,57 @@
+"""Property-based tests for feature scaling and profile stacking."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.features.profile import stack_profiles
+from repro.features.scaling import FeatureScaler
+
+matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=12)),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+@given(matrices)
+@settings(max_examples=100, deadline=None)
+def test_scaler_maps_training_data_into_unit_interval(data):
+    scaler = FeatureScaler.fit([data], log_columns=list(range(data.shape[1])))
+    scaled = scaler.transform(data)
+    assert scaled.min() >= -1e-9
+    assert scaled.max() <= 1.0 + 1e-9
+
+
+@given(matrices)
+@settings(max_examples=100, deadline=None)
+def test_scaler_is_deterministic(data):
+    scaler = FeatureScaler.fit([data])
+    assert np.array_equal(scaler.transform(data), scaler.transform(data))
+
+
+@given(matrices, st.integers(min_value=1, max_value=6))
+@settings(max_examples=100, deadline=None)
+def test_stacking_shape_invariants(profiles, stack_length):
+    stacked = stack_profiles(profiles, stack_length)
+    count, width = profiles.shape
+    assert stacked.shape[1] == stack_length * width
+    if count >= stack_length:
+        assert stacked.shape[0] == count - stack_length + 1
+    else:
+        assert stacked.shape[0] == 1
+
+
+@given(matrices)
+@settings(max_examples=100, deadline=None)
+def test_stacking_with_length_one_is_identity(profiles):
+    assert np.array_equal(stack_profiles(profiles, 1), profiles)
+
+
+@given(matrices, st.integers(min_value=2, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_first_window_starts_with_first_profile(profiles, stack_length):
+    stacked = stack_profiles(profiles, stack_length)
+    width = profiles.shape[1]
+    assert np.array_equal(stacked[0, :width], profiles[0])

@@ -1,0 +1,54 @@
+"""Property-based tests for the evaluation metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import auc_roc, roc_curve
+
+score_lists = st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=60)
+
+
+@given(score_lists, score_lists)
+@settings(max_examples=150, deadline=None)
+def test_auc_is_a_probability(positives, negatives):
+    value = auc_roc(positives, negatives)
+    assert 0.0 <= value <= 1.0
+
+
+@given(score_lists, score_lists)
+@settings(max_examples=150, deadline=None)
+def test_swapping_classes_complements_auc(positives, negatives):
+    assert auc_roc(positives, negatives) + auc_roc(negatives, positives) == np.float64(1.0).item() or \
+        abs(auc_roc(positives, negatives) + auc_roc(negatives, positives) - 1.0) < 1e-9
+
+
+# Integer-grid scores keep a minimum gap between distinct values, so an affine
+# transformation can neither create nor destroy ties through floating-point
+# rounding — which is exactly the invariance this property asserts.
+integer_scores = st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60)
+
+
+@given(integer_scores, integer_scores, st.floats(min_value=0.1, max_value=10),
+       st.floats(min_value=-5, max_value=5))
+@settings(max_examples=100, deadline=None)
+def test_auc_invariant_to_monotone_transformation(positives, negatives, scale, shift):
+    original = auc_roc(positives, negatives)
+    transformed = auc_roc([scale * p + shift for p in positives],
+                          [scale * n + shift for n in negatives])
+    assert abs(original - transformed) < 1e-9
+
+
+@given(score_lists, score_lists)
+@settings(max_examples=100, deadline=None)
+def test_eer_is_bounded(positives, negatives):
+    curve = roc_curve(positives, negatives)
+    assert -1e-9 <= curve.eer <= 1.0 + 1e-9
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=2.0, allow_nan=False), min_size=1, max_size=30),
+       st.lists(st.floats(min_value=-2.0, max_value=0.0, allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_perfectly_separated_scores_have_auc_one(positives, negatives):
+    assert auc_roc(positives, negatives) == 1.0
+    assert roc_curve(positives, negatives).eer < 1e-9

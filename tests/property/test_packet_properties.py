@@ -1,0 +1,66 @@
+"""Property-based tests for packet wire-format round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netstack.ip import Ipv4Header
+from repro.netstack.options import MaximumSegmentSize, Timestamp, WindowScale
+from repro.netstack.packet import Packet
+from repro.netstack.tcp import TcpFlags, TcpHeader
+
+ports = st.integers(min_value=1, max_value=65535)
+seqs = st.integers(min_value=0, max_value=2**32 - 1)
+addresses = st.integers(min_value=1, max_value=2**32 - 1)
+flag_masks = st.integers(min_value=1, max_value=0x1FF)
+payloads = st.binary(min_size=0, max_size=200)
+
+
+@given(addresses, addresses, ports, ports, seqs, seqs, flag_masks, payloads,
+       st.integers(min_value=1, max_value=255))
+@settings(max_examples=150, deadline=None)
+def test_packet_round_trip(src, dst, sport, dport, seq, ack, flags, payload, ttl):
+    """Serialising and re-parsing a packet preserves every header field."""
+    packet = Packet(
+        ip=Ipv4Header(src=src, dst=dst, ttl=ttl),
+        tcp=TcpHeader(src_port=sport, dst_port=dport, seq=seq, ack=ack, flags=flags),
+        payload=payload,
+    )
+    parsed = Packet.from_bytes(packet.to_bytes())
+    assert parsed.ip.src == src and parsed.ip.dst == dst
+    assert parsed.ip.ttl == ttl
+    assert parsed.tcp.src_port == sport and parsed.tcp.dst_port == dport
+    assert parsed.tcp.seq == seq and parsed.tcp.ack == ack
+    assert parsed.tcp.flags == flags
+    assert parsed.payload == payload
+    assert parsed.ip_checksum_ok()
+    assert parsed.tcp_checksum_ok()
+
+
+@given(st.integers(min_value=0, max_value=65535), st.integers(min_value=0, max_value=14),
+       seqs, seqs)
+@settings(max_examples=100, deadline=None)
+def test_option_bearing_packet_round_trip(mss, wscale_shift, tsval, tsecr):
+    packet = Packet(
+        ip=Ipv4Header(src=1, dst=2),
+        tcp=TcpHeader(
+            src_port=1, dst_port=2, flags=TcpFlags.SYN,
+            options=[MaximumSegmentSize(mss), WindowScale(wscale_shift), Timestamp(tsval, tsecr)],
+        ),
+    )
+    parsed = Packet.from_bytes(packet.to_bytes())
+    assert parsed.tcp.mss_option().value == mss
+    assert parsed.tcp.window_scale_option().shift == wscale_shift
+    assert parsed.tcp.timestamp_option().tsval == tsval % 2**32
+    assert parsed.tcp.timestamp_option().tsecr == tsecr % 2**32
+
+
+@given(payloads, flag_masks)
+@settings(max_examples=100, deadline=None)
+def test_sequence_span_bounds(payload, flags):
+    packet = Packet(
+        ip=Ipv4Header(src=1, dst=2),
+        tcp=TcpHeader(src_port=1, dst_port=2, flags=flags),
+        payload=payload,
+    )
+    span = packet.sequence_span()
+    assert len(payload) <= span <= len(payload) + 2

@@ -1,0 +1,45 @@
+"""Property-based tests for 32-bit sequence-number arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tcpstate.window import seq_add, seq_before, seq_between, seq_diff
+
+sequence_numbers = st.integers(min_value=0, max_value=2**32 - 1)
+small_deltas = st.integers(min_value=-(2**30), max_value=2**30)
+
+
+@given(sequence_numbers, small_deltas)
+def test_add_then_diff_recovers_delta(seq, delta):
+    assert seq_diff(seq_add(seq, delta), seq) == delta
+
+
+@given(sequence_numbers, sequence_numbers)
+def test_diff_antisymmetry(a, b):
+    if abs(seq_diff(a, b)) == 2**31:
+        return  # the ambiguous antipodal point has no unique sign
+    assert seq_diff(a, b) == -seq_diff(b, a)
+
+
+@given(sequence_numbers)
+def test_diff_with_self_is_zero(seq):
+    assert seq_diff(seq, seq) == 0
+    assert seq_between(seq, seq, seq)
+
+
+@given(sequence_numbers, st.integers(min_value=1, max_value=2**30))
+def test_strictly_greater_is_after(seq, delta):
+    assert seq_before(seq, seq_add(seq, delta))
+    assert not seq_before(seq_add(seq, delta), seq)
+
+
+@given(sequence_numbers, st.integers(min_value=0, max_value=2**29), st.integers(min_value=0, max_value=2**29))
+def test_between_window_membership(low, offset_inside, extra):
+    high = seq_add(low, offset_inside + extra)
+    value = seq_add(low, offset_inside)
+    assert seq_between(value, low, high)
+
+
+@given(sequence_numbers)
+def test_add_zero_is_identity(seq):
+    assert seq_add(seq, 0) == seq

@@ -1,0 +1,45 @@
+"""Unit tests for the 22-class label space."""
+
+import pytest
+
+from repro.tcpstate.states import (
+    NUM_LABEL_CLASSES,
+    NUM_MASTER_STATES,
+    MasterState,
+    StateLabel,
+    WindowVerdict,
+    all_labels,
+    label_names,
+)
+
+
+class TestLabelSpace:
+    def test_eleven_master_states(self):
+        assert NUM_MASTER_STATES == 11
+
+    def test_twenty_two_classes(self):
+        assert NUM_LABEL_CLASSES == 22
+
+    def test_class_index_round_trip(self):
+        for index in range(NUM_LABEL_CLASSES):
+            label = StateLabel.from_class_index(index)
+            assert label.class_index == index
+
+    def test_class_indices_are_unique(self):
+        indices = [label.class_index for label in all_labels()]
+        assert len(set(indices)) == NUM_LABEL_CLASSES
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            StateLabel.from_class_index(NUM_LABEL_CLASSES)
+        with pytest.raises(ValueError):
+            StateLabel.from_class_index(-1)
+
+    def test_label_names_contain_state_and_window(self):
+        label = StateLabel(MasterState.ESTABLISHED, WindowVerdict.OUT_OF_WINDOW)
+        assert label.name == "ESTABLISHED/OUT"
+        assert "SYN_SENT/IN" in label_names()
+
+    def test_str_matches_name(self):
+        label = StateLabel(MasterState.SYN_RECV, WindowVerdict.IN_WINDOW)
+        assert str(label) == label.name

@@ -1,0 +1,96 @@
+"""Unit tests for sequence arithmetic and in-window checks."""
+
+from repro.tcpstate.window import (
+    EndpointWindow,
+    in_window,
+    seq_add,
+    seq_after,
+    seq_before,
+    seq_between,
+    seq_diff,
+)
+
+
+class TestSequenceArithmetic:
+    def test_add_wraps_modulo_2_32(self):
+        assert seq_add(2**32 - 1, 2) == 1
+
+    def test_add_negative_delta(self):
+        assert seq_add(5, -10) == 2**32 - 5
+
+    def test_diff_symmetric(self):
+        assert seq_diff(100, 90) == 10
+        assert seq_diff(90, 100) == -10
+
+    def test_diff_across_wraparound(self):
+        assert seq_diff(5, 2**32 - 5) == 10
+        assert seq_diff(2**32 - 5, 5) == -10
+
+    def test_before_after(self):
+        assert seq_before(10, 20)
+        assert seq_after(20, 10)
+        assert not seq_before(20, 10)
+
+    def test_between_inclusive(self):
+        assert seq_between(15, 10, 20)
+        assert seq_between(10, 10, 20)
+        assert seq_between(20, 10, 20)
+        assert not seq_between(25, 10, 20)
+
+    def test_between_across_wraparound(self):
+        low = 2**32 - 10
+        assert seq_between(2, low, 20)
+
+
+class TestEndpointWindow:
+    def test_initialise_from_syn(self):
+        endpoint = EndpointWindow()
+        endpoint.initialise_from_syn(seq=1000, span=1, raw_window=65535, scale=7)
+        assert endpoint.snd_end == 1001
+        assert endpoint.scale == 7
+        assert endpoint.initialised
+
+    def test_observe_sent_advances_snd_end(self):
+        endpoint = EndpointWindow()
+        endpoint.initialise_from_syn(seq=0, span=1, raw_window=1000, scale=0)
+        endpoint.observe_sent(1, 500, 0, 1000, has_ack=False, handshake=False)
+        assert endpoint.snd_end == 501
+
+    def test_scaled_window_not_applied_to_handshake(self):
+        endpoint = EndpointWindow(scale=4)
+        assert endpoint.scaled_window(100, handshake=True) == 100
+        assert endpoint.scaled_window(100, handshake=False) == 1600
+
+
+class TestInWindow:
+    def _establish(self):
+        client = EndpointWindow()
+        server = EndpointWindow()
+        client.initialise_from_syn(seq=1000, span=1, raw_window=65000, scale=0)
+        client.observe_sent(1000, 1, 0, 65000, has_ack=False, handshake=True)
+        server.initialise_from_syn(seq=5000, span=1, raw_window=65000, scale=0)
+        server.observe_sent(5000, 1, 1001, 65000, has_ack=True, handshake=True)
+        client.observe_sent(1001, 0, 5001, 65000, has_ack=True, handshake=False)
+        return client, server
+
+    def test_in_order_data_is_in_window(self):
+        client, server = self._establish()
+        assert in_window(client, server, 1001, 100, 5001, has_ack=True)
+
+    def test_far_future_sequence_is_out_of_window(self):
+        client, server = self._establish()
+        assert not in_window(client, server, 1001 + 10_000_000, 100, 5001, has_ack=True)
+
+    def test_ancient_sequence_is_out_of_window(self):
+        client, server = self._establish()
+        assert not in_window(client, server, seq_add(1001, -1_000_000), 100, 5001, has_ack=True)
+
+    def test_ack_of_unsent_data_is_out_of_window(self):
+        client, server = self._establish()
+        assert not in_window(client, server, 1001, 10, 5001 + 5_000_000, has_ack=True)
+
+    def test_retransmission_within_one_window_is_accepted(self):
+        client, server = self._establish()
+        client.observe_sent(1001, 1000, 5001, 65000, has_ack=True, handshake=False)
+        # Retransmit the same bytes: still acceptable.
+        assert in_window(client, server, 1001, 1000, 5001, has_ack=True)

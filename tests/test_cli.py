@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.netstack.flow import assemble_connections
+from repro.netstack.pcap import read_pcap
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("generate", "attack", "train", "score", "strategies"):
+            args = parser.parse_args([command] + {
+                "generate": ["out.pcap"],
+                "attack": ["in.pcap", "out.pcap", "--strategy", "X"],
+                "train": ["model"],
+                "score": ["model", "in.pcap"],
+                "strategies": [],
+            }[command])
+            assert args.command == command
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestStrategiesCommand:
+    def test_lists_all_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        output = capsys.readouterr().out
+        assert len(output.strip().splitlines()) == 73
+
+    def test_source_filter(self, capsys):
+        assert main(["strategies", "--source", "geneva"]) == 0
+        output = capsys.readouterr().out
+        assert len(output.strip().splitlines()) == 20
+
+
+class TestGenerateAndAttack:
+    def test_generate_writes_pcap(self, tmp_path, capsys):
+        output = tmp_path / "benign.pcap"
+        assert main(["generate", str(output), "--connections", "12", "--seed", "3"]) == 0
+        connections = assemble_connections(read_pcap(output))
+        assert len(connections) == 12
+
+    def test_attack_marks_connections(self, tmp_path, capsys):
+        benign = tmp_path / "benign.pcap"
+        adversarial = tmp_path / "attacked.pcap"
+        main(["generate", str(benign), "--connections", "6", "--seed", "1"])
+        code = main([
+            "attack", str(benign), str(adversarial),
+            "--strategy", "Snort: Injected RST Pure", "--fraction", "0.5",
+        ])
+        assert code == 0
+        before = len(read_pcap(benign))
+        after = len(read_pcap(adversarial))
+        assert after == before + 3  # one injected RST per attacked connection
+
+    def test_attack_with_unknown_strategy_fails(self, tmp_path, capsys):
+        benign = tmp_path / "benign.pcap"
+        main(["generate", str(benign), "--connections", "2"])
+        assert main(["attack", str(benign), str(tmp_path / "x.pcap"),
+                     "--strategy", "No Such Attack"]) == 2
+
+
+class TestTrainAndScore:
+    @pytest.fixture(scope="class")
+    def trained_model_dir(self, tmp_path_factory):
+        workdir = tmp_path_factory.mktemp("cli-model")
+        model_dir = workdir / "model"
+        code = main([
+            "train", str(model_dir), "--connections", "50", "--seed", "5",
+            "--fast", "--rnn-epochs", "6", "--ae-epochs", "20",
+        ])
+        assert code == 0
+        return model_dir
+
+    def test_train_persists_model(self, trained_model_dir):
+        assert (trained_model_dir / "clap_model.npz").exists()
+
+    def test_score_benign_capture(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "capture.pcap"
+        main(["generate", str(capture), "--connections", "5", "--seed", "77"])
+        capsys.readouterr()
+        assert main(["score", str(trained_model_dir), str(capture)]) == 0
+        output = capsys.readouterr().out
+        assert "connections exceed threshold" in output
+        assert output.count("\n") >= 6
+
+    def test_score_attacked_capture_ranks_attack_first(self, trained_model_dir, tmp_path, capsys):
+        benign = tmp_path / "benign.pcap"
+        attacked = tmp_path / "attacked.pcap"
+        main(["generate", str(benign), "--connections", "6", "--seed", "88"])
+        main(["attack", str(benign), str(attacked),
+              "--strategy", "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+              "--fraction", "0.17", "--seed", "2"])
+        capsys.readouterr()
+        assert main(["score", str(trained_model_dir), str(attacked), "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert len([line for line in output.splitlines() if "." in line]) >= 3
+
+    def test_score_with_threshold_override(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "tiny.pcap"
+        main(["generate", str(capture), "--connections", "3", "--seed", "9"])
+        capsys.readouterr()
+        assert main(["score", str(trained_model_dir), str(capture), "--threshold", "1e9"]) == 0
+        output = capsys.readouterr().out
+        assert "0/3 connections exceed" in output

@@ -1,0 +1,61 @@
+"""Unit tests for the benign dataset builder."""
+
+import pytest
+
+from repro.netstack.pcap import write_pcap
+from repro.traffic.dataset import BenignDataset
+from repro.traffic.generator import TrafficGenerator
+
+
+class TestSynthesize:
+    def test_split_fractions(self):
+        dataset = BenignDataset.synthesize(connection_count=50, seed=0, train_fraction=0.8)
+        stats = dataset.statistics()
+        assert stats.total_connections == 50
+        assert stats.training_connections == 40
+        assert stats.testing_connections == 10
+
+    def test_statistics_packet_counts_are_consistent(self):
+        dataset = BenignDataset.synthesize(connection_count=30, seed=1)
+        stats = dataset.statistics()
+        assert stats.total_packets == stats.training_packets + stats.testing_packets
+        assert stats.total_packets == sum(len(c) for c in dataset.train + dataset.test)
+
+    def test_statistics_rows_format(self):
+        rows = BenignDataset.synthesize(connection_count=10, seed=2).statistics().as_rows()
+        assert len(rows) == 6
+        assert all(isinstance(value, int) for _, value in rows)
+
+    def test_deterministic_given_seed(self):
+        first = BenignDataset.synthesize(connection_count=20, seed=3)
+        second = BenignDataset.synthesize(connection_count=20, seed=3)
+        assert first.statistics() == second.statistics()
+
+    def test_scenario_coverage_histogram(self):
+        coverage = BenignDataset.synthesize(connection_count=40, seed=4).scenario_coverage()
+        assert sum(coverage.values()) == 40
+
+
+class TestPcapRoundTrip:
+    def test_save_and_reload(self, tmp_path):
+        dataset = BenignDataset.synthesize(connection_count=20, seed=5)
+        paths = dataset.save(tmp_path)
+        assert paths["train"].exists() and paths["test"].exists()
+        reloaded = BenignDataset.from_pcap(paths["train"], train_fraction=0.5, seed=0)
+        stats = reloaded.statistics()
+        assert stats.total_connections > 0
+        assert stats.total_packets > 0
+
+    def test_from_pcap_filters_short_connections(self, tmp_path):
+        generator = TrafficGenerator(seed=6)
+        packets = generator.generate_packets(10)
+        path = tmp_path / "mixed.pcap"
+        write_pcap(path, packets)
+        dataset = BenignDataset.from_pcap(path, min_connection_length=5, seed=0)
+        assert all(len(c) >= 5 for c in dataset.train + dataset.test)
+
+    def test_from_pcap_with_no_connections_raises(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, [])
+        with pytest.raises(ValueError):
+            BenignDataset.from_pcap(path)

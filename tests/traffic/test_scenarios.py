@@ -1,0 +1,90 @@
+"""Unit tests for the benign scenario registry."""
+
+import numpy as np
+import pytest
+
+from repro.netstack.flow import Connection, FlowKey
+from repro.tcpstate.conntrack import ConnectionLabeler
+from repro.tcpstate.states import MasterState
+from repro.traffic.scenarios import get_scenario, registry, scenario_names
+from repro.traffic.session import TcpSessionBuilder
+
+
+def run_scenario(name: str, seed: int = 0):
+    session = TcpSessionBuilder(
+        client_ip=0x0A000001,
+        server_ip=0x0A000002,
+        client_port=51000,
+        server_port=443,
+        client_isn=5000,
+        server_isn=9000,
+    )
+    get_scenario(name).build(session, np.random.default_rng(seed))
+    connection = Connection(key=FlowKey.from_packet(session.packets[0]))
+    for packet in session.packets:
+        connection.append(packet)
+    return connection
+
+
+class TestRegistry:
+    def test_registry_has_at_least_ten_scenarios(self):
+        assert len(registry()) >= 10
+
+    def test_weights_are_positive(self):
+        assert all(s.weight > 0 for s in registry().values())
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("does-not-exist")
+
+    def test_names_are_sorted(self):
+        names = scenario_names()
+        assert names == sorted(names)
+
+
+class TestScenarioRealism:
+    @pytest.mark.parametrize("name", sorted(registry()))
+    def test_every_scenario_is_accepted_by_the_reference_tracker(self, name):
+        connection = run_scenario(name, seed=7)
+        observations = ConnectionLabeler().observe_connection(connection.packets)
+        assert all(obs.accepted for obs in observations), name
+
+    @pytest.mark.parametrize("name", sorted(registry()))
+    def test_every_scenario_starts_with_a_syn(self, name):
+        connection = run_scenario(name, seed=3)
+        first = connection.packets[0]
+        assert first.tcp.is_syn and not first.tcp.is_ack
+
+    def test_web_request_closes_gracefully(self):
+        connection = run_scenario("web_request")
+        final_state = ConnectionLabeler().observe_connection(connection.packets)[-1].state_after
+        assert final_state is MasterState.TIME_WAIT
+
+    def test_client_abort_ends_in_close(self):
+        connection = run_scenario("client_abort")
+        final_state = ConnectionLabeler().observe_connection(connection.packets)[-1].state_after
+        assert final_state is MasterState.CLOSE
+
+    def test_half_open_never_reaches_established(self):
+        connection = run_scenario("half_open")
+        states = [o.state_after for o in ConnectionLabeler().observe_connection(connection.packets)]
+        assert MasterState.ESTABLISHED not in states
+
+    def test_scenarios_cover_most_master_states(self):
+        seen = set()
+        for name in registry():
+            for seed in (0, 1):
+                connection = run_scenario(name, seed=seed)
+                for observation in ConnectionLabeler().observe_connection(connection.packets):
+                    seen.add(observation.state_after)
+        expected = {
+            MasterState.SYN_SENT,
+            MasterState.SYN_RECV,
+            MasterState.ESTABLISHED,
+            MasterState.FIN_WAIT,
+            MasterState.CLOSE_WAIT,
+            MasterState.LAST_ACK,
+            MasterState.TIME_WAIT,
+            MasterState.CLOSE,
+        }
+        assert expected.issubset(seen)

@@ -1,0 +1,100 @@
+"""Unit tests for the TCP session builder."""
+
+from repro.netstack.packet import Direction
+from repro.netstack.tcp import TcpFlags
+from repro.tcpstate.conntrack import ConnectionLabeler
+from repro.tcpstate.states import MasterState
+
+
+class TestHandshake:
+    def test_handshake_produces_three_packets(self, session_builder):
+        packets = session_builder.handshake()
+        assert len(packets) == 3
+        assert packets[0].tcp.is_syn and not packets[0].tcp.is_ack
+        assert packets[1].tcp.is_syn and packets[1].tcp.is_ack
+        assert packets[2].tcp.is_ack and not packets[2].tcp.is_syn
+
+    def test_syn_carries_negotiation_options(self, session_builder):
+        syn = session_builder.client_syn()
+        assert syn.tcp.mss_option() is not None
+        assert syn.tcp.window_scale_option() is not None
+        assert syn.tcp.timestamp_option() is not None
+
+    def test_synack_acks_the_syn(self, session_builder):
+        syn = session_builder.client_syn()
+        synack = session_builder.server_synack()
+        assert synack.tcp.ack == (syn.tcp.seq + 1) % 2**32
+
+    def test_timestamps_strictly_increase(self, session_builder):
+        session_builder.handshake()
+        session_builder.send(Direction.CLIENT_TO_SERVER, 100)
+        times = [p.timestamp for p in session_builder.packets]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+
+class TestDataTransfer:
+    def test_payload_split_into_mss_segments(self, session_builder):
+        session_builder.handshake()
+        packets = session_builder.send(Direction.CLIENT_TO_SERVER, 3000)
+        assert sum(len(p.payload) for p in packets) == 3000
+        assert all(len(p.payload) <= session_builder.mss for p in packets)
+
+    def test_sequence_numbers_are_contiguous(self, session_builder):
+        session_builder.handshake()
+        packets = session_builder.send(Direction.SERVER_TO_CLIENT, 4000)
+        for first, second in zip(packets, packets[1:]):
+            assert second.tcp.seq == (first.tcp.seq + len(first.payload)) % 2**32
+
+    def test_ack_tracks_peer_data(self, session_builder):
+        session_builder.handshake()
+        session_builder.send(Direction.CLIENT_TO_SERVER, 500)
+        ack = session_builder.ack(Direction.SERVER_TO_CLIENT)
+        client_isn = 1_000
+        assert ack.tcp.ack == (client_isn + 1 + 500) % 2**32
+
+    def test_retransmission_repeats_sequence_number(self, session_builder):
+        session_builder.handshake()
+        original = session_builder.send(Direction.CLIENT_TO_SERVER, 800)[-1]
+        retransmitted = session_builder.retransmit_last_data(Direction.CLIENT_TO_SERVER)
+        assert retransmitted.tcp.seq == original.tcp.seq
+        assert retransmitted.payload == original.payload
+
+    def test_keepalive_uses_seq_minus_one(self, session_builder):
+        session_builder.handshake()
+        session_builder.send(Direction.CLIENT_TO_SERVER, 100)
+        before = session_builder._endpoints[Direction.CLIENT_TO_SERVER].snd_nxt
+        keepalive = session_builder.keepalive(Direction.CLIENT_TO_SERVER)
+        assert keepalive.tcp.seq == (before - 1) % 2**32
+        assert len(keepalive.payload) == 0
+
+
+class TestTeardown:
+    def test_graceful_close_sequence(self, session_builder):
+        session_builder.handshake()
+        packets = session_builder.graceful_close(Direction.CLIENT_TO_SERVER)
+        flags = [p.tcp.flags for p in packets]
+        assert flags[0] & TcpFlags.FIN
+        assert flags[2] & TcpFlags.FIN
+        assert not flags[1] & TcpFlags.FIN
+        assert not flags[3] & TcpFlags.FIN
+
+    def test_rst_with_ack(self, session_builder):
+        session_builder.handshake()
+        rst = session_builder.rst(Direction.SERVER_TO_CLIENT, with_ack=True)
+        assert rst.tcp.is_rst and rst.tcp.is_ack
+
+
+class TestReferenceCompatibility:
+    def test_scripted_session_is_fully_accepted_by_conntrack(self, session_builder):
+        session_builder.handshake()
+        session_builder.send(Direction.CLIENT_TO_SERVER, 700)
+        session_builder.send(Direction.SERVER_TO_CLIENT, 2500)
+        session_builder.ack(Direction.CLIENT_TO_SERVER)
+        session_builder.retransmit_last_data(Direction.SERVER_TO_CLIENT)
+        session_builder.keepalive(Direction.CLIENT_TO_SERVER)
+        session_builder.ack(Direction.SERVER_TO_CLIENT)
+        session_builder.graceful_close(Direction.CLIENT_TO_SERVER)
+        observations = ConnectionLabeler().observe_connection(session_builder.packets)
+        assert all(obs.accepted for obs in observations)
+        assert observations[-1].state_after is MasterState.TIME_WAIT
