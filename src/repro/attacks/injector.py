@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.attacks.base import AttackStrategy, all_strategies
 from repro.netstack.flow import Connection
 from repro.utils.rng import SeedLike, ensure_rng

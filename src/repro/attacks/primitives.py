@@ -23,7 +23,6 @@ from repro.netstack.flow import Connection
 from repro.netstack.ip import Ipv4Header
 from repro.netstack.options import (
     Md5Signature,
-    RawOption,
     Timestamp,
     UserTimeout,
     WindowScale,

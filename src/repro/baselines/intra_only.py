@@ -32,7 +32,13 @@ def baseline1_config(base: Optional[ClapConfig] = None) -> ClapConfig:
 
 
 class IntraPacketBaseline(Clap):
-    """Baseline #1: single-packet, gate-weight-free autoencoder pipeline."""
+    """Baseline #1: single-packet, gate-weight-free autoencoder pipeline.
+
+    Inherits the batched inference engine from :class:`Clap`: with
+    ``include_gate_weights=False`` the engine skips the GRU stage entirely and
+    the batch reduces to one scaling/amplification pass plus one autoencoder
+    call over the concatenated single-packet profiles.
+    """
 
     def __init__(self, config: Optional[ClapConfig] = None) -> None:
         super().__init__(baseline1_config(config))

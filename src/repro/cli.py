@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.attacks.base import all_strategies, get_strategy
 from repro.attacks.injector import AttackInjector
@@ -149,10 +149,13 @@ def command_score(args: argparse.Namespace) -> int:
     if not connections:
         print(f"error: no TCP connections found in {args.pcap}", file=sys.stderr)
         return 2
-    verdicts = []
-    for connection in connections:
-        verdict = clap.verdict(connection, threshold=threshold)
-        verdicts.append((verdict.adversarial_score, verdict, connection))
+    # One batched engine pass scores the whole capture.
+    verdicts = [
+        (verdict.adversarial_score, verdict, connection)
+        for verdict, connection in zip(
+            clap.verdict_batch(connections, threshold=threshold), connections
+        )
+    ]
     verdicts.sort(key=lambda item: item[0], reverse=True)
     if args.top:
         verdicts = verdicts[: args.top]

@@ -5,16 +5,21 @@ from repro.core.detector import (
     ConnectionVerdict,
     Verdicts,
     adversarial_score,
+    adversarial_score_batch,
     localization_hit,
     localize_window,
+    localize_window_batch,
     localized_packets,
     window_center_packet,
+    window_center_packet_batch,
 )
+from repro.core.engine import BatchInferenceEngine
 from repro.core.pipeline import Clap, ClapTrainingReport
 from repro.core.rnn_stage import RnnStage, RnnTrainingReport, SequenceBatch, pad_sequences
 
 __all__ = [
     "AutoencoderConfig",
+    "BatchInferenceEngine",
     "Clap",
     "ClapConfig",
     "ClapTrainingReport",
@@ -26,9 +31,12 @@ __all__ = [
     "SequenceBatch",
     "Verdicts",
     "adversarial_score",
+    "adversarial_score_batch",
     "localization_hit",
     "localize_window",
+    "localize_window_batch",
     "localized_packets",
     "pad_sequences",
     "window_center_packet",
+    "window_center_packet_batch",
 ]

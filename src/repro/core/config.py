@@ -10,8 +10,6 @@ configuration it used, so EXPERIMENTS.md can state the deviation explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
-
 from repro.features.schema import HIDDEN_SIZE, NUM_RAW_FEATURES
 from repro.tcpstate.states import NUM_LABEL_CLASSES
 

@@ -58,6 +58,97 @@ def localize_window(window_errors: np.ndarray) -> int:
     return int(np.argmax(window_errors))
 
 
+# ---------------------------------------------------------------------------
+# Batched (segment-wise) variants used by the batched inference engine.
+#
+# ``errors`` concatenates the per-window reconstruction errors of many
+# connections; ``offsets`` (length ``n_connections + 1``) delimits connection
+# ``i`` as ``errors[offsets[i] : offsets[i + 1]]``.  All functions are
+# vectorized over the segments — no Python loop over connections.
+# ---------------------------------------------------------------------------
+
+
+def _checked_offsets(errors: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.size == 0:
+        raise ValueError("offsets must be a 1-D array of length n_connections + 1")
+    if offsets[0] != 0 or offsets[-1] != errors.size:
+        raise ValueError(
+            f"offsets must span the error array: got [{offsets[0]}, {offsets[-1]}] "
+            f"for {errors.size} errors"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("offsets must be non-decreasing")
+    return offsets
+
+
+def _segment_first_argmax(
+    errors: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """First-occurrence argmax of each non-empty segment, relative to its start."""
+    segment_max = np.maximum.reduceat(errors, starts)
+    element_max = np.repeat(segment_max, lengths)
+    candidates = np.where(errors == element_max, np.arange(errors.size), errors.size)
+    return np.minimum.reduceat(candidates, starts) - starts
+
+
+def localize_window_batch(errors: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment :func:`localize_window`: argmax window index, -1 for empty."""
+    errors = np.asarray(errors, dtype=np.float64)
+    offsets = _checked_offsets(errors, offsets)
+    counts = np.diff(offsets)
+    result = np.full(counts.shape[0], -1, dtype=np.int64)
+    nonempty = counts > 0
+    if np.any(nonempty):
+        result[nonempty] = _segment_first_argmax(
+            errors, offsets[:-1][nonempty], counts[nonempty]
+        )
+    return result
+
+
+def adversarial_score_batch(
+    errors: np.ndarray, offsets: np.ndarray, score_window: int = 5
+) -> np.ndarray:
+    """Per-segment :func:`adversarial_score`, fully vectorized.
+
+    Each segment's maximum-error window is located with segmented reductions
+    (``np.maximum.reduceat`` / ``np.minimum.reduceat``), and the
+    ``score_window``-wide neighbourhood means are computed with one gather.
+    Empty segments score 0.0, matching the scalar function.
+    """
+    errors = np.asarray(errors, dtype=np.float64)
+    offsets = _checked_offsets(errors, offsets)
+    counts = np.diff(offsets)
+    scores = np.zeros(counts.shape[0], dtype=np.float64)
+    nonempty = counts > 0
+    if not np.any(nonempty):
+        return scores
+    starts = offsets[:-1][nonempty]
+    lengths = counts[nonempty]
+    centers = _segment_first_argmax(errors, starts, lengths)
+    half = max(score_window // 2, 0)
+    widths = np.minimum(score_window, lengths)
+    relative_starts = np.minimum(np.maximum(centers - half, 0), lengths - widths)
+    absolute_starts = starts + relative_starts
+    span = int(widths.max())
+    gather = absolute_starts[:, None] + np.arange(span)[None, :]
+    valid = np.arange(span)[None, :] < widths[:, None]
+    values = errors[np.minimum(gather, errors.size - 1)]
+    scores[nonempty] = np.where(valid, values, 0.0).sum(axis=1) / widths
+    return scores
+
+
+def window_center_packet_batch(
+    window_indices: np.ndarray, stack_length: int, packet_counts: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`window_center_packet` over many connections."""
+    window_indices = np.asarray(window_indices, dtype=np.int64)
+    packet_counts = np.asarray(packet_counts, dtype=np.int64)
+    packets = np.minimum(window_indices + stack_length // 2, packet_counts - 1)
+    packets[(window_indices < 0) | (packet_counts == 0)] = -1
+    return packets
+
+
 def window_center_packet(window_index: int, stack_length: int, packet_count: int) -> int:
     """Map a stacked-window index to its most representative packet index.
 
@@ -129,3 +220,31 @@ class Verdicts:
             localized_packet=packet,
             is_adversarial=score > self.threshold,
         )
+
+    def verdict_batch(
+        self, errors: np.ndarray, offsets: np.ndarray, packet_counts: Sequence[int]
+    ) -> List[ConnectionVerdict]:
+        """Segment-wise verdicts over concatenated per-window errors.
+
+        Scores, localisations and decisions are computed for all segments with
+        the vectorized batch functions; only the final per-connection verdict
+        objects are materialised in a Python loop.
+        """
+        errors = np.asarray(errors, dtype=np.float64)
+        scores = adversarial_score_batch(errors, offsets, self.score_window)
+        windows = localize_window_batch(errors, offsets)
+        packets = window_center_packet_batch(windows, self.stack_length, packet_counts)
+        flagged = scores > self.threshold
+        return [
+            ConnectionVerdict(
+                adversarial_score=float(scores[index]),
+                # Copy so each verdict owns its errors: a view would pin the
+                # whole batch's concatenated array for the lifetime of any one
+                # retained verdict (and alias writes across connections).
+                window_errors=errors[offsets[index] : offsets[index + 1]].copy(),
+                localized_window=int(windows[index]),
+                localized_packet=int(packets[index]),
+                is_adversarial=bool(flagged[index]),
+            )
+            for index in range(scores.shape[0])
+        ]

@@ -17,6 +17,7 @@ Testing phase (:meth:`Clap.score_connection` / :meth:`Clap.verdict`):
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -30,6 +31,7 @@ from repro.core.detector import (
     adversarial_score,
     localized_packets,
 )
+from repro.core.engine import BatchInferenceEngine
 from repro.core.rnn_stage import RnnStage, RnnTrainingReport
 from repro.features.amplification import FeatureRanges
 from repro.features.profile import ContextProfileBuilder
@@ -69,6 +71,7 @@ class Clap:
         self.builder: Optional[ContextProfileBuilder] = None
         self.threshold: float = 0.0
         self.report: Optional[ClapTrainingReport] = None
+        self._engine: Optional[BatchInferenceEngine] = None
 
     # -------------------------------------------------------------- training
     def fit(
@@ -79,6 +82,7 @@ class Clap:
         threshold_percentile: float = 95.0,
     ) -> ClapTrainingReport:
         """Train the full pipeline on benign connections only."""
+        self._engine = None
         detector_config = self.config.detector
         rnn_report: Optional[RnnTrainingReport] = None
         rnn_model: Optional[GRUSequenceClassifier] = None
@@ -151,6 +155,24 @@ class Clap:
         if self.autoencoder is None or self.builder is None:
             raise RuntimeError("Clap.fit (or Clap.load) must be called before scoring")
 
+    @property
+    def engine(self) -> BatchInferenceEngine:
+        """The batched inference engine over the fitted builder/autoencoder.
+
+        Built lazily after :meth:`fit`/:meth:`load`; every multi-connection
+        entry point (:meth:`score_connections`, :meth:`verdict_batch`,
+        :meth:`localize_batch`, :meth:`window_error_segments`) routes through
+        it.  The single-connection methods keep the original sequential code
+        path, which doubles as the reference implementation the engine is
+        tested against.
+        """
+        self._require_fitted()
+        if self._engine is None:
+            self._engine = BatchInferenceEngine(
+                self.builder, self.autoencoder, self.config.detector
+            )
+        return self._engine
+
     def window_errors(self, connection: Connection) -> np.ndarray:
         """Per-sliding-window reconstruction errors for one connection."""
         self._require_fitted()
@@ -159,6 +181,10 @@ class Clap:
             return np.zeros(0)
         return self.autoencoder.reconstruction_error(stacked)
 
+    def window_error_segments(self, connections: Sequence[Connection]) -> List[np.ndarray]:
+        """Per-connection window errors for many connections (batched)."""
+        return self.engine.window_error_segments(connections)
+
     def score_connection(self, connection: Connection) -> float:
         """The adversarial score of one connection (higher = more suspicious)."""
         return adversarial_score(
@@ -166,7 +192,15 @@ class Clap:
         )
 
     def score_connections(self, connections: Sequence[Connection]) -> np.ndarray:
-        """Adversarial scores for many connections."""
+        """Adversarial scores for many connections, via the batched engine."""
+        return self.engine.scores(connections)
+
+    def score_connections_sequential(self, connections: Sequence[Connection]) -> np.ndarray:
+        """Reference per-connection scoring loop (the seed implementation).
+
+        Kept as the ground truth for the batch-equivalence tests and as the
+        per-connection contender in the throughput benchmark.
+        """
         return np.array([self.score_connection(connection) for connection in connections])
 
     def verdict(self, connection: Connection, threshold: Optional[float] = None) -> ConnectionVerdict:
@@ -180,6 +214,14 @@ class Clap:
         )
         return verdicts.verdict(errors, packet_count=len(connection))
 
+    def verdict_batch(
+        self, connections: Sequence[Connection], threshold: Optional[float] = None
+    ) -> List[ConnectionVerdict]:
+        """Stage-(d) verdicts for many connections in one engine pass."""
+        return self.engine.verdicts(
+            connections, self.threshold if threshold is None else threshold
+        )
+
     def localize(self, connection: Connection, top_n: int = 1) -> List[int]:
         """Packet indices of the ``top_n`` most suspicious positions."""
         errors = self.window_errors(connection)
@@ -189,6 +231,12 @@ class Clap:
             packet_count=len(connection),
             top_n=top_n,
         )
+
+    def localize_batch(
+        self, connections: Sequence[Connection], top_n: int = 1
+    ) -> List[List[int]]:
+        """Per-connection localisations for many connections in one engine pass."""
+        return self.engine.localize(connections, top_n=top_n)
 
     def is_adversarial(self, connection: Connection, threshold: Optional[float] = None) -> bool:
         """Boolean detection decision for one connection."""
@@ -229,7 +277,9 @@ class Clap:
         if path.is_dir():
             path = path / "clap_model.npz"
         state = load_state(path)
-        config = config or ClapConfig()
+        # Deep-copy so the persisted detector settings never leak back into
+        # the caller's configuration object.
+        config = copy.deepcopy(config) if config is not None else ClapConfig()
         config.detector.stack_length = int(state["detector/stack_length"][0])
         config.detector.score_window = int(state["detector/score_window"][0])
         config.detector.include_gate_weights = bool(int(state["detector/include_gate_weights"][0]))

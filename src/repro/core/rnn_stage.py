@@ -21,7 +21,7 @@ from repro.features.scaling import FeatureScaler
 from repro.netstack.flow import Connection
 from repro.nn.gru import GRUSequenceClassifier
 from repro.tcpstate.conntrack import ConnectionLabeler
-from repro.tcpstate.states import NUM_LABEL_CLASSES, StateLabel, label_names
+from repro.tcpstate.states import NUM_LABEL_CLASSES, label_names
 from repro.utils.rng import ensure_rng
 
 

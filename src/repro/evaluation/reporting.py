@@ -14,7 +14,6 @@ from repro.evaluation.runner import (
     BASELINE1_NAME,
     BASELINE2_NAME,
     CLAP_NAME,
-    DetectorEvaluation,
     ExperimentResults,
     ThroughputResult,
     aggregate_by_category,

@@ -106,6 +106,7 @@ class ThroughputResult:
     packets: int
     connections: int
     seconds: float
+    mode: str = "batched"
 
     @property
     def packets_per_second(self) -> float:
@@ -243,8 +244,12 @@ class ExperimentRunner:
     def _evaluate_localization(self, detector: Clap, dataset: AttackDataset) -> LocalizationResult:
         stack_length = detector.config.detector.stack_length
         hits = {5: [], 3: [], 1: []}
-        for adversarial in dataset.adversarial:
-            errors = detector.window_errors(adversarial.connection)
+        # One batched engine pass computes every adversarial connection's
+        # window errors; only the tolerance bookkeeping stays per connection.
+        error_segments = detector.window_error_segments(
+            [adversarial.connection for adversarial in dataset.adversarial]
+        )
+        for adversarial, errors in zip(dataset.adversarial, error_segments):
             packet_count = len(adversarial.connection)
             for tolerance in hits:
                 hits[tolerance].append(
@@ -267,19 +272,34 @@ class ExperimentRunner:
         self,
         detector_name: str,
         connections: Optional[Sequence[Connection]] = None,
+        *,
+        mode: str = "batched",
     ) -> ThroughputResult:
-        """Time the testing-phase pipeline of one trained detector (Table 3)."""
+        """Time the testing-phase pipeline of one trained detector (Table 3).
+
+        ``mode`` selects the scoring entry point: ``"batched"`` uses the
+        detector's (engine-backed) ``score_connections``; ``"sequential"``
+        uses the per-connection reference loop where the detector offers one
+        (``score_connections_sequential``), falling back to the batched path
+        otherwise (e.g. for Baseline #2).
+        """
         detector = self.detectors[detector_name]
         connections = list(connections) if connections is not None else self.test_connections
         packets = sum(len(connection) for connection in connections)
+        if mode not in ("batched", "sequential"):
+            raise ValueError(f"unknown throughput mode {mode!r}")
+        scorer = detector.score_connections
+        if mode == "sequential":
+            scorer = getattr(detector, "score_connections_sequential", scorer)
         start = time.perf_counter()
-        detector.score_connections(connections)
+        scorer(connections)
         elapsed = time.perf_counter() - start
         return ThroughputResult(
             detector_name=detector_name,
             packets=packets,
             connections=len(connections),
             seconds=elapsed,
+            mode=mode,
         )
 
 

@@ -5,7 +5,9 @@ from repro.features.fields import RawFeatureExtractor, extract_raw_features
 from repro.features.profile import (
     ConnectionProfiles,
     ContextProfileBuilder,
+    StackedProfileBatch,
     stack_profiles,
+    stacked_window_count,
     window_to_packet_indices,
 )
 from repro.features.scaling import FeatureScaler, signed_log1p
@@ -44,6 +46,7 @@ __all__ = [
     "NUM_PACKET_FEATURES",
     "NUM_RAW_FEATURES",
     "RawFeatureExtractor",
+    "StackedProfileBatch",
     "all_feature_specs",
     "amplification_feature_specs",
     "extract_raw_features",
@@ -52,5 +55,6 @@ __all__ = [
     "raw_feature_specs",
     "signed_log1p",
     "stack_profiles",
+    "stacked_window_count",
     "window_to_packet_indices",
 ]

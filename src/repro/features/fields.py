@@ -16,22 +16,10 @@ import numpy as np
 
 from repro.features.schema import NUM_RAW_FEATURES
 from repro.netstack.flow import Connection
-from repro.netstack.options import OptionKind
+from repro.netstack.options import OptionKind, encode_options
 from repro.netstack.packet import Direction, Packet
-from repro.netstack.tcp import TcpFlags
+from repro.netstack.tcp import TCP_BASE_HEADER_LENGTH, TcpFlags
 from repro.tcpstate.window import seq_diff
-
-_FLAG_ORDER = (
-    TcpFlags.FIN,
-    TcpFlags.SYN,
-    TcpFlags.RST,
-    TcpFlags.PSH,
-    TcpFlags.ACK,
-    TcpFlags.URG,
-    TcpFlags.ECE,
-    TcpFlags.CWR,
-    TcpFlags.NS,
-)
 
 
 @dataclass
@@ -63,7 +51,7 @@ class RawFeatureExtractor:
         rows = [self._extract_packet(packet, context) for packet in packets]
         if not rows:
             return np.zeros((0, NUM_RAW_FEATURES), dtype=np.float64)
-        return np.vstack(rows)
+        return np.array(rows, dtype=np.float64)
 
     # ------------------------------------------------------------------ private
     def _build_context(self, packets: Sequence[Packet]) -> _ConnectionContext:
@@ -71,10 +59,13 @@ class RawFeatureExtractor:
         for packet in packets:
             if context.start_time is None:
                 context.start_time = packet.timestamp
-            if packet.direction is Direction.CLIENT_TO_SERVER and context.client_isn is None:
-                context.client_isn = packet.tcp.seq
-            if packet.direction is Direction.SERVER_TO_CLIENT and context.server_isn is None:
+            if packet.direction is Direction.CLIENT_TO_SERVER:
+                if context.client_isn is None:
+                    context.client_isn = packet.tcp.seq
+            elif context.server_isn is None:
                 context.server_isn = packet.tcp.seq
+            if context.client_isn is not None and context.server_isn is not None:
+                break
         if context.start_time is None:
             context.start_time = 0.0
         return context
@@ -85,60 +76,100 @@ class RawFeatureExtractor:
             return 0.0
         return float(seq_diff(value, base))
 
-    def _extract_packet(self, packet: Packet, context: _ConnectionContext) -> np.ndarray:
-        features = np.zeros(NUM_RAW_FEATURES, dtype=np.float64)
+    def _extract_packet(self, packet: Packet, context: _ConnectionContext) -> List[float]:
+        """One packet's 32 raw features, as a plain list.
+
+        This is the hottest Python loop of the testing phase, so it avoids
+        repeated work the convenience accessors would do: the options list is
+        scanned once (instead of one scan per option kind), the options are
+        encoded once (``TcpHeader.header_length`` re-encodes on every call),
+        and the row is built as a list — one ``np.array`` call per connection
+        beats per-element writes into a numpy vector.
+        """
         tcp = packet.tcp
         ip = packet.ip
+        flags = tcp.flags
+        payload_length = len(packet.payload)
 
         is_client = packet.direction is Direction.CLIENT_TO_SERVER
         own_isn = context.client_isn if is_client else context.server_isn
         peer_isn = context.server_isn if is_client else context.client_isn
 
-        # --- TCP layer (1..25) ------------------------------------------------
-        features[0] = 0.0 if is_client else 1.0
-        features[1] = self._relative_seq(tcp.seq, own_isn)
-        features[2] = self._relative_seq(tcp.ack, peer_isn) if tcp.has_flag(TcpFlags.ACK) else 0.0
-        features[3] = float(tcp.effective_data_offset())
-        for position, flag in enumerate(_FLAG_ORDER):
-            features[4 + position] = 1.0 if tcp.has_flag(flag) else 0.0
-        features[13] = float(tcp.window)
-        features[14] = 1.0 if packet.tcp_checksum_ok() else 0.0
-        features[15] = float(tcp.urgent_pointer)
-        features[16] = float(len(packet.payload))
+        # Single pass over the options; ``find_option`` semantics (first of a
+        # kind wins) are preserved by only recording the first occurrence.
+        mss = timestamp_option = window_scale = user_timeout = md5 = None
+        for option in tcp.options:
+            kind = getattr(option, "kind", None)
+            if kind == OptionKind.MSS:
+                if mss is None:
+                    mss = option
+            elif kind == OptionKind.TIMESTAMP:
+                if timestamp_option is None:
+                    timestamp_option = option
+            elif kind == OptionKind.WINDOW_SCALE:
+                if window_scale is None:
+                    window_scale = option
+            elif kind == OptionKind.USER_TIMEOUT:
+                if user_timeout is None:
+                    user_timeout = option
+            elif kind == OptionKind.MD5_SIGNATURE:
+                if md5 is None:
+                    md5 = option
 
-        mss = tcp.mss_option()
-        features[17] = float(mss.value) if mss is not None else 0.0
-        timestamp_option = tcp.timestamp_option()
-        if timestamp_option is not None:
-            features[18] = float(timestamp_option.tsval % 2**31)
-            features[19] = float(timestamp_option.tsecr % 2**31)
-        window_scale = tcp.window_scale_option()
-        features[20] = float(window_scale.shift) if window_scale is not None else 0.0
-        user_timeout = tcp.user_timeout_option()
-        features[21] = float(user_timeout.timeout) if user_timeout is not None else 0.0
-        md5 = tcp.md5_option()
-        features[22] = 1.0 if (md5 is None or md5.valid) else 0.0
+        header_length = TCP_BASE_HEADER_LENGTH + len(encode_options(tcp.options))
+        data_offset = tcp.data_offset if tcp.data_offset is not None else header_length // 4
+        tcp_segment_length = header_length + payload_length
 
-        # #24: TCP timestamp delta relative to the previous packet of the same
-        # direction (0 when the option is absent or on the first packet).
+        # #18-#20 and #24: timestamp option values and the per-direction delta
+        # relative to the previous packet (0 when absent or on the first one).
         if timestamp_option is not None:
+            tsval = float(timestamp_option.tsval % 2**31)
+            tsecr = float(timestamp_option.tsecr % 2**31)
             previous = context.previous_tsval.get(packet.direction)
-            if previous is not None:
-                features[23] = float(seq_diff(timestamp_option.tsval, previous))
+            tsval_delta = (
+                float(seq_diff(timestamp_option.tsval, previous)) if previous is not None else 0.0
+            )
             context.previous_tsval[packet.direction] = timestamp_option.tsval
-        # #25: frame timestamp relative to the first packet, in milliseconds.
-        features[24] = (packet.timestamp - (context.start_time or 0.0)) * 1000.0
+        else:
+            tsval = tsecr = tsval_delta = 0.0
 
-        # --- IP layer (26..32) ------------------------------------------------
-        tcp_segment_length = tcp.header_length + len(packet.payload)
-        features[25] = float(ip.effective_total_length(tcp_segment_length))
-        features[26] = float(ip.ttl)
-        features[27] = float(ip.effective_ihl() * 4)
-        features[28] = 1.0 if packet.ip_checksum_ok() else 0.0
-        features[29] = float(ip.version)
-        features[30] = float(ip.tos)
-        features[31] = 1.0 if len(ip.options) > 0 else 0.0
-        return features
+        return [
+            # --- TCP layer (1..25) -------------------------------------------
+            0.0 if is_client else 1.0,
+            self._relative_seq(tcp.seq, own_isn),
+            self._relative_seq(tcp.ack, peer_isn) if flags & TcpFlags.ACK else 0.0,
+            float(data_offset),
+            1.0 if flags & TcpFlags.FIN else 0.0,
+            1.0 if flags & TcpFlags.SYN else 0.0,
+            1.0 if flags & TcpFlags.RST else 0.0,
+            1.0 if flags & TcpFlags.PSH else 0.0,
+            1.0 if flags & TcpFlags.ACK else 0.0,
+            1.0 if flags & TcpFlags.URG else 0.0,
+            1.0 if flags & TcpFlags.ECE else 0.0,
+            1.0 if flags & TcpFlags.CWR else 0.0,
+            1.0 if flags & TcpFlags.NS else 0.0,
+            float(tcp.window),
+            1.0 if packet.tcp_checksum_ok() else 0.0,
+            float(tcp.urgent_pointer),
+            float(payload_length),
+            float(mss.value) if mss is not None else 0.0,
+            tsval,
+            tsecr,
+            float(window_scale.shift) if window_scale is not None else 0.0,
+            float(user_timeout.timeout) if user_timeout is not None else 0.0,
+            1.0 if (md5 is None or md5.valid) else 0.0,
+            tsval_delta,
+            # #25: frame timestamp relative to the first packet, in ms.
+            (packet.timestamp - (context.start_time or 0.0)) * 1000.0,
+            # --- IP layer (26..32) -------------------------------------------
+            float(ip.effective_total_length(tcp_segment_length)),
+            float(ip.ttl),
+            float(ip.effective_ihl() * 4),
+            1.0 if ip.has_correct_checksum(payload_length=tcp_segment_length) else 0.0,
+            float(ip.version),
+            float(ip.tos),
+            1.0 if len(ip.options) > 0 else 0.0,
+        ]
 
 
 def extract_raw_features(connections: Sequence[Connection]) -> List[np.ndarray]:

@@ -22,7 +22,6 @@ import numpy as np
 from repro.features.amplification import AmplificationFeatureExtractor, FeatureRanges
 from repro.features.fields import RawFeatureExtractor
 from repro.features.scaling import FeatureScaler
-from repro.features.schema import CONTEXT_PROFILE_SIZE, NUM_PACKET_FEATURES
 from repro.netstack.flow import Connection
 from repro.nn.gru import GRUSequenceClassifier
 
@@ -42,34 +41,78 @@ class ConnectionProfiles:
         return self.profiles.shape[0]
 
 
-def stack_profiles(profiles: np.ndarray, stack_length: int) -> np.ndarray:
+def stacked_window_count(packet_count: int, stack_length: int) -> int:
+    """Number of stacked-profile windows a connection of ``packet_count`` yields."""
+    if stack_length < 1:
+        raise ValueError(f"stack_length must be >= 1, got {stack_length}")
+    if packet_count == 0:
+        return 0
+    return max(packet_count - stack_length + 1, 1)
+
+
+def stack_profiles(
+    profiles: np.ndarray, stack_length: int, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Concatenate consecutive profiles in a sliding window.
 
     For ``n`` profiles and a stack of ``t`` the result has shape
     ``(max(n - t + 1, 1), t * width)``; connections shorter than the stack are
     zero-padded on the right so that even 1-2 packet connections produce one
     stacked profile.
+
+    ``out``, when given, must be a zero-initialised C-contiguous array of the
+    result shape; the windows are written into it directly (the batched
+    profile builder passes slices of one preallocated matrix to avoid a
+    temporary per connection).
     """
     if stack_length < 1:
         raise ValueError(f"stack_length must be >= 1, got {stack_length}")
     count, width = profiles.shape
+    windows = stacked_window_count(count, stack_length)
+    if out is None:
+        out = np.zeros((windows, stack_length * width), dtype=np.float64)
+    elif out.shape != (windows, stack_length * width):
+        raise ValueError(f"out has shape {out.shape}, expected {(windows, stack_length * width)}")
     if count == 0:
-        return np.zeros((0, stack_length * width), dtype=np.float64)
+        return out
     if count < stack_length:
-        padded = np.zeros((stack_length, width), dtype=np.float64)
-        padded[:count] = profiles
-        return padded.reshape(1, stack_length * width)
-    windows = count - stack_length + 1
-    stacked = np.zeros((windows, stack_length * width), dtype=np.float64)
-    for offset in range(stack_length):
-        stacked[:, offset * width : (offset + 1) * width] = profiles[offset : offset + windows]
-    return stacked
+        out[0].reshape(stack_length, width)[:count] = profiles
+        return out
+    # sliding_window_view yields (windows, width, stack) with [w, f, k] equal
+    # to profiles[w + k, f]; reordering the window axis before the feature
+    # axis and flattening reproduces the concatenated-window layout.
+    view = np.lib.stride_tricks.sliding_window_view(profiles, stack_length, axis=0)
+    out.reshape(windows, stack_length, width)[:] = view.transpose(0, 2, 1)
+    return out
 
 
 def window_to_packet_indices(window_index: int, stack_length: int, packet_count: int) -> List[int]:
     """Packet indices covered by stacked-profile window ``window_index``."""
     last = min(window_index + stack_length, packet_count)
     return list(range(window_index, last))
+
+
+@dataclass
+class StackedProfileBatch:
+    """Stacked profiles of many connections in one contiguous matrix.
+
+    ``matrix`` concatenates every connection's stacked-profile windows in
+    input order; connection ``i`` owns rows
+    ``matrix[offsets[i] : offsets[i + 1]]``.  This is the hand-off format of
+    the batched inference engine: one autoencoder call scores the whole
+    matrix, and the offsets split the per-window errors back per connection.
+    """
+
+    matrix: np.ndarray  # (total_windows, stacked_profile_size)
+    offsets: np.ndarray  # (n_connections + 1,), int64
+    packet_counts: np.ndarray  # (n_connections,), int64
+
+    def __len__(self) -> int:
+        return self.packet_counts.shape[0]
+
+    def segment(self, index: int) -> np.ndarray:
+        """The stacked-profile rows of connection ``index`` (a view)."""
+        return self.matrix[self.offsets[index] : self.offsets[index + 1]]
 
 
 class ContextProfileBuilder:
@@ -152,10 +195,100 @@ class ContextProfileBuilder:
         profiles = self.connection_profiles(connection).profiles
         return stack_profiles(profiles, self.stack_length)
 
+    # ------------------------------------------------------------- batch path
+    def batch_connection_profiles(self, connections: Sequence[Connection]) -> List[ConnectionProfiles]:
+        """Per-packet context profiles for many connections at once.
+
+        Raw features are extracted per connection (packet parsing is
+        inherently sequential), but everything downstream is vectorized:
+        scaling and amplification run once over the concatenated packet
+        matrix, and the GRU gate activations come from padded-batch forward
+        passes instead of one tiny forward per connection.  The returned
+        :class:`ConnectionProfiles` hold views into the shared matrices and
+        match :meth:`connection_profiles` output per connection.
+        """
+        raws = [self.raw_extractor.extract_connection(connection) for connection in connections]
+        counts = np.array([raw.shape[0] for raw in raws], dtype=np.int64)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        raw_width = self.scaler.minimums.shape[0]
+        concat_raw = (
+            np.concatenate([raw for raw in raws if raw.shape[0] > 0], axis=0)
+            if bounds[-1] > 0
+            else np.zeros((0, raw_width), dtype=np.float64)
+        )
+        concat_scaled = self.scaler.transform(concat_raw)
+        concat_amplification = self.amplification_extractor.extract(concat_raw)
+
+        hidden = self.rnn.hidden_size if self.rnn is not None else 0
+        use_gates = self.include_gate_weights and self.rnn is not None
+        if use_gates:
+            scaled_arrays = [
+                concat_scaled[bounds[index] : bounds[index + 1]]
+                for index in range(len(connections))
+            ]
+            gate_pairs = self.rnn.gate_activations_batch(scaled_arrays, counts)
+        else:
+            gate_pairs = [
+                (np.zeros((count, hidden)), np.zeros((count, hidden)))
+                for count in counts
+            ]
+
+        parts = [concat_scaled]
+        if self.include_amplification:
+            parts.append(concat_amplification)
+        if use_gates:
+            total = int(bounds[-1])
+            concat_update = np.zeros((total, hidden), dtype=np.float64)
+            concat_reset = np.zeros((total, hidden), dtype=np.float64)
+            for index in range(len(connections)):
+                concat_update[bounds[index] : bounds[index + 1]] = gate_pairs[index][0]
+                concat_reset[bounds[index] : bounds[index + 1]] = gate_pairs[index][1]
+            parts.extend([concat_update, concat_reset])
+        concat_profiles = (
+            np.hstack(parts)
+            if bounds[-1] > 0
+            else np.zeros((0, self.profile_size), dtype=np.float64)
+        )
+
+        results: List[ConnectionProfiles] = []
+        for index in range(len(connections)):
+            start, stop = bounds[index], bounds[index + 1]
+            results.append(
+                ConnectionProfiles(
+                    raw_features=raws[index],
+                    scaled_features=concat_scaled[start:stop],
+                    amplification=concat_amplification[start:stop],
+                    update_gates=gate_pairs[index][0],
+                    reset_gates=gate_pairs[index][1],
+                    profiles=concat_profiles[start:stop],
+                )
+            )
+        return results
+
+    def batch_stacked_profiles(self, connections: Sequence[Connection]) -> StackedProfileBatch:
+        """Stacked profiles of many connections as one matrix plus offsets.
+
+        The result feeds a single autoencoder call for the whole batch; see
+        :class:`StackedProfileBatch` for the layout contract.
+        """
+        profile_sets = self.batch_connection_profiles(connections)
+        stack_length = self.stack_length
+        packet_counts = np.array([len(profiles) for profiles in profile_sets], dtype=np.int64)
+        window_counts = np.array(
+            [stacked_window_count(int(count), stack_length) for count in packet_counts],
+            dtype=np.int64,
+        )
+        offsets = np.concatenate([[0], np.cumsum(window_counts)]).astype(np.int64)
+        matrix = np.zeros((int(offsets[-1]), self.stacked_profile_size), dtype=np.float64)
+        for index, profiles in enumerate(profile_sets):
+            if window_counts[index] > 0:
+                stack_profiles(
+                    profiles.profiles,
+                    stack_length,
+                    out=matrix[int(offsets[index]) : int(offsets[index + 1])],
+                )
+        return StackedProfileBatch(matrix=matrix, offsets=offsets, packet_counts=packet_counts)
+
     def training_matrix(self, connections: Sequence[Connection]) -> np.ndarray:
         """Stacked profiles of many connections, vertically concatenated."""
-        blocks = [self.stacked_profiles(connection) for connection in connections]
-        blocks = [block for block in blocks if block.shape[0] > 0]
-        if not blocks:
-            return np.zeros((0, self.stacked_profile_size))
-        return np.vstack(blocks)
+        return self.batch_stacked_profiles(connections).matrix

@@ -14,7 +14,6 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.netstack.addresses import int_to_ip
 from repro.netstack.packet import Direction, Packet
-from repro.netstack.tcp import TcpFlags
 
 
 @dataclass(frozen=True)

@@ -11,9 +11,7 @@ feature extractor reads them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
-
+from dataclasses import dataclass
 from repro.netstack.ip import Ipv4Header
 from repro.netstack.tcp import TcpFlags, TcpHeader
 

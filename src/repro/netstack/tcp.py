@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.netstack import options as tcpopts
 from repro.netstack.checksum import tcp_checksum

@@ -7,7 +7,7 @@ reconstruction error is the anomaly signal used in Stage (d).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -21,7 +21,7 @@ the paper cites for its GRU:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -129,8 +129,19 @@ class GRULayer:
         )
         return h_new, cache
 
-    def forward(self, inputs: np.ndarray, mask: Optional[np.ndarray] = None) -> GruForwardResult:
-        """Run the layer over ``inputs`` of shape (batch, time, input_size)."""
+    def forward(
+        self,
+        inputs: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        *,
+        need_caches: bool = True,
+    ) -> GruForwardResult:
+        """Run the layer over ``inputs`` of shape (batch, time, input_size).
+
+        ``need_caches=False`` skips the per-step backward caches, for
+        inference-only passes (e.g. batched gate extraction) where only the
+        hidden states and gate activations are consumed.
+        """
         batch, time, _ = inputs.shape
         hidden = np.zeros((batch, self.hidden_size), dtype=np.float64)
         hidden_states = np.zeros((batch, time, self.hidden_size), dtype=np.float64)
@@ -143,7 +154,8 @@ class GRULayer:
             hidden_states[:, t, :] = hidden
             update_gates[:, t, :] = cache.update_gate
             reset_gates[:, t, :] = cache.reset_gate
-            caches.append(cache)
+            if need_caches:
+                caches.append(cache)
         return GruForwardResult(
             hidden_states=hidden_states,
             update_gates=update_gates,
@@ -278,8 +290,64 @@ class GRUSequenceClassifier:
         ``sequence`` has shape (time, input_size); the returned arrays have
         shape (time, hidden_size).
         """
-        result = self.gru.forward(sequence[None, :, :])
+        result = self.gru.forward(sequence[None, :, :], need_caches=False)
         return result.update_gates[0], result.reset_gates[0]
+
+    def gate_activations_batch(
+        self,
+        sequences: Sequence[np.ndarray],
+        lengths: Optional[Sequence[int]] = None,
+        *,
+        chunk_size: int = 128,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Update/reset gate activations for a batch of variable-length sequences.
+
+        ``sequences`` is a list of (time_i, input_size) arrays; the result is a
+        list of ``(update_gates, reset_gates)`` pairs, each of shape
+        (time_i, hidden_size), in the same order.  Sequences are zero-padded to
+        a common length and run through the GRU in a single masked forward pass
+        per chunk, which replaces ``len(sequences)`` tiny per-step matmuls with
+        one (chunk, input) x (input, 3*hidden) product per time step.
+
+        To bound the padding waste of mixing very long and very short
+        connections in one padded tensor, sequences are ordered by length and
+        processed in chunks of at most ``chunk_size``; results are scattered
+        back to the original order.  Gate values for real (unmasked) steps are
+        identical to per-sequence :meth:`gate_activations` calls.
+        """
+        if lengths is None:
+            lengths = [int(sequence.shape[0]) for sequence in sequences]
+        else:
+            lengths = [int(length) for length in lengths]
+        if len(lengths) != len(sequences):
+            raise ValueError("sequences and lengths must have the same size")
+        count = len(sequences)
+        hidden = self.hidden_size
+        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * count
+        nonempty = [index for index in range(count) if lengths[index] > 0]
+        for index in range(count):
+            if lengths[index] == 0:
+                results[index] = (np.zeros((0, hidden)), np.zeros((0, hidden)))
+        # Length-bucketed chunking: sorting keeps each padded tensor dense.
+        nonempty.sort(key=lambda index: lengths[index])
+        chunk_size = max(int(chunk_size), 1)
+        for start in range(0, len(nonempty), chunk_size):
+            chosen = nonempty[start : start + chunk_size]
+            max_time = max(lengths[index] for index in chosen)
+            inputs = np.zeros((len(chosen), max_time, self.input_size), dtype=np.float64)
+            mask = np.zeros((len(chosen), max_time), dtype=np.float64)
+            for row, index in enumerate(chosen):
+                length = lengths[index]
+                inputs[row, :length] = sequences[index][:length]
+                mask[row, :length] = 1.0
+            result = self.gru.forward(inputs, mask, need_caches=False)
+            for row, index in enumerate(chosen):
+                length = lengths[index]
+                results[index] = (
+                    result.update_gates[row, :length].copy(),
+                    result.reset_gates[row, :length].copy(),
+                )
+        return results  # type: ignore[return-value]
 
     # ---------------------------------------------------------------- training
     def train_batch(

@@ -17,7 +17,7 @@ so the RNN can learn the benign inter-packet context.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.netstack.packet import Direction, Packet

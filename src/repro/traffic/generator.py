@@ -8,8 +8,8 @@ initial sequence numbers, MSS, window scaling, TTLs, timestamps and timing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.attacks.base import AttackSource, ContextCategory, all_strategies, get_strategy
+from repro.attacks.base import ContextCategory, all_strategies, get_strategy
 from repro.attacks.injector import AttackInjector, attack_success_check
 from repro.attacks.taxonomy import (
     DEFAULT_INTER_THRESHOLD,

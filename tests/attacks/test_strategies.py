@@ -6,13 +6,11 @@ produces marked packets, preserves the benign prefix) plus spot checks on the
 semantics of representative strategies from each source.
 """
 
-import numpy as np
 import pytest
 
 from repro.attacks.base import AttackSource, all_strategies, get_strategy, strategies_by_source
 from repro.attacks.injector import AttackInjector
 from repro.netstack.packet import Direction
-from repro.netstack.tcp import TcpFlags
 from repro.tcpstate.conntrack import ConnectionLabeler
 
 

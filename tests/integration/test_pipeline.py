@@ -104,3 +104,19 @@ class TestPersistence:
         restored = Clap.load(tmp_path)
         assert restored.config.detector.stack_length == trained_clap.config.detector.stack_length
         assert restored.builder.profile_size == trained_clap.builder.profile_size
+
+    def test_load_does_not_mutate_caller_config(self, trained_baseline1, tmp_path):
+        # Regression: Clap.load used to overwrite the detector fields of the
+        # caller-supplied ClapConfig in place.  Baseline #1 persists detector
+        # settings (stack_length=1, no gate weights) that differ from the
+        # defaults, so a leak would be visible on the caller's object.
+        trained_baseline1.save(tmp_path)
+        from repro.core.config import ClapConfig
+
+        config = ClapConfig()
+        restored = Clap.load(tmp_path, config)
+        assert config.detector.stack_length == 3
+        assert config.detector.include_gate_weights is True
+        assert restored.config.detector.stack_length == 1
+        assert restored.config.detector.include_gate_weights is False
+        assert restored.config is not config

@@ -1,6 +1,5 @@
 """Integration tests for the experiment runner (the benchmark engine)."""
 
-import numpy as np
 import pytest
 
 from repro.attacks.base import AttackSource, get_strategy

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.netstack.flow import (
-    Connection,
     ConnectionAssembler,
     FlowKey,
     assemble_connections,

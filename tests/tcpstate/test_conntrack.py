@@ -7,7 +7,6 @@ from repro.attacks.primitives import (
     bad_md5_option,
     bad_timestamp,
     garble_tcp_checksum,
-    invalid_data_offset,
     invalid_flags,
 )
 from repro.netstack.flow import Connection, FlowKey

@@ -1,8 +1,6 @@
 """Unit tests for the benign traffic generator."""
 
-import numpy as np
 
-from repro.netstack.flow import FlowKey
 from repro.tcpstate.conntrack import ConnectionLabeler
 from repro.traffic.generator import GeneratorConfig, TrafficGenerator, generate_benign_connections
 
