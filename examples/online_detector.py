@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Online deployment: persist a trained model and monitor a traffic stream.
+"""Online deployment: stream raw packets through a persisted model.
 
-This example mirrors the deployment story of Figure 3 in the paper: the
-operator trains CLAP offline, persists the model tuple {RNN, autoencoder,
-threshold}, and a (simulated) middlebox process later loads it to classify
-connections as they complete, choosing the operating threshold from the
-desired false-positive budget.
+This example mirrors the deployment story of Figure 3 in the paper with the
+streaming-first API: the operator trains CLAP offline and persists it as a
+versioned model artifact (weights + ``manifest.json``); a (simulated)
+middlebox process later loads it, wraps it in a
+:class:`repro.serve.StreamingDetector` and feeds it the raw packet stream.
+The detector assembles flows incrementally, micro-batches completed
+connections through the batched inference engine and pushes typed
+``DetectionEvent``/``Alert`` objects the moment they are scored.
 
 Run with:  python examples/online_detector.py
 """
@@ -17,8 +20,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import AttackInjector, BenignDataset, Clap, ClapConfig, all_strategies
+from repro import (
+    AttackInjector,
+    BenignDataset,
+    Clap,
+    ClapConfig,
+    FlushPolicy,
+    StreamingDetector,
+    all_strategies,
+)
 from repro.evaluation import roc_curve, true_false_positive_counts
+from repro.netstack import packet_stream
 
 
 def train_and_persist(model_dir: Path) -> BenignDataset:
@@ -29,61 +41,72 @@ def train_and_persist(model_dir: Path) -> BenignDataset:
     clap = Clap(config)
     clap.fit(dataset.train)
     clap.save(model_dir)
-    print(f"model persisted to {model_dir}")
+    print(f"model persisted to {model_dir} (weights + manifest.json)")
     return dataset
 
 
-def simulate_stream(dataset: BenignDataset, attack_every: int = 4):
-    """Yield (connection, is_attack) pairs simulating live traffic."""
+def build_packet_stream(dataset: BenignDataset, attack_every: int = 4):
+    """A time-ordered packet stream with every ``attack_every``-th connection
+    attacked, plus the ground-truth labels keyed by connection 5-tuple."""
     rng = np.random.default_rng(5)
     injector = AttackInjector(seed=9)
     strategies = all_strategies()
-    eligible = [c for c in dataset.test if len(c) >= 5]
+    eligible, seen_keys = [], set()
+    for connection in dataset.test:
+        if len(connection) >= 5 and connection.key not in seen_keys:
+            seen_keys.add(connection.key)
+            eligible.append(connection)
+    labels = {}
+    streamed = []
     for index, connection in enumerate(eligible):
         if index % attack_every == attack_every - 1:
             strategy = strategies[int(rng.integers(0, len(strategies)))]
-            yield injector.attack_connection(strategy, connection).connection, True, strategy.name
+            connection = injector.attack_connection(strategy, connection).connection
+            labels[connection.key] = strategy.name
         else:
-            yield connection, False, ""
+            labels[connection.key] = None
+        streamed.append(connection)
+    return packet_stream(streamed), labels
 
 
 def main() -> None:
-    print("=== CLAP online detector ===")
+    print("=== CLAP online detector (streaming API) ===")
     with tempfile.TemporaryDirectory() as workdir:
         model_dir = Path(workdir) / "clap-model"
         dataset = train_and_persist(model_dir)
 
         # A separate "middlebox" process would simply do:
-        detector = Clap.load(model_dir)
-        print(f"model loaded; default threshold {detector.threshold:.4f}\n")
+        detector_model = Clap.load(model_dir)
+        print(f"model loaded; default threshold {detector_model.threshold:.4f}\n")
 
-        # Completed connections are micro-batched: the monitor buffers up to
-        # ``batch_size`` of them and flushes the buffer through the batched
-        # inference engine in one verdict_batch call, which is how the engine
-        # keeps up with line rate without per-connection Python overhead.
-        batch_size = 8
+        packets, labels = build_packet_stream(dataset)
         benign_scores, attack_scores = [], []
-        pending = []
-        print(f"{'verdict':>8}  {'score':>8}  attack strategy")
+        print(f"{'verdict':>8}  {'score':>8}  {'completed':>9}  attack strategy")
 
-        def flush():
-            if not pending:
-                return
-            verdicts = detector.verdict_batch([item[0] for item in pending])
-            for verdict, (_, is_attack, strategy_name) in zip(verdicts, pending):
-                (attack_scores if is_attack else benign_scores).append(
-                    verdict.adversarial_score
-                )
-                label = "ALERT" if verdict.is_adversarial else "ok"
-                note = strategy_name if is_attack else ""
-                print(f"{label:>8}  {verdict.adversarial_score:8.4f}  {note}")
-            pending.clear()
+        def on_event(event) -> None:
+            strategy_name = labels.get(event.result.key)
+            (attack_scores if strategy_name else benign_scores).append(event.result.score)
+            label = "ALERT" if event.is_alert else "ok"
+            print(
+                f"{label:>8}  {event.result.score:8.4f}  "
+                f"{event.completed_by.value:>9}  {strategy_name or ''}"
+            )
 
-        for item in simulate_stream(dataset):
-            pending.append(item)
-            if len(pending) >= batch_size:
-                flush()
-        flush()
+        # Packets in, alerts out: the streaming detector owns flow assembly
+        # and micro-batching; the deployment code is just a callback.
+        streaming = StreamingDetector(
+            detector_model,
+            flush_policy=FlushPolicy(max_batch=8),
+            idle_timeout=30.0,
+            close_grace=0.5,
+            on_event=on_event,
+        )
+        streaming.ingest_many(packets)
+        streaming.close()
+        print(
+            f"\nstream finished: {streaming.alerts_emitted}/{streaming.connections_seen} "
+            f"connections alerted"
+        )
 
         print("\n--- operating point selection (the deployer's trade-off) ---")
         curve = roc_curve(attack_scores, benign_scores)

@@ -40,26 +40,34 @@ from repro.attacks import (
     all_strategies,
     get_strategy,
 )
-from repro.core import Clap, ClapConfig
+from repro.core import Clap, ClapConfig, DetectionResult
 from repro.baselines import IntraPacketBaseline, KitsuneDetector
 from repro.evaluation import ExperimentRunner, auc_roc, equal_error_rate, roc_curve
-from repro.netstack import Connection, Packet, read_pcap, write_pcap
+from repro.netstack import CompletionReason, Connection, FlowTable, Packet, read_pcap, write_pcap
+from repro.serve import Alert, DetectionEvent, FlushPolicy, StreamingDetector
 from repro.traffic import BenignDataset, TrafficGenerator
 from repro.version import __version__
 
 __all__ = [
+    "Alert",
     "AttackInjector",
     "AttackSource",
     "AttackStrategy",
     "BenignDataset",
     "Clap",
     "ClapConfig",
+    "CompletionReason",
     "Connection",
     "ContextCategory",
+    "DetectionEvent",
+    "DetectionResult",
     "ExperimentRunner",
+    "FlowTable",
+    "FlushPolicy",
     "IntraPacketBaseline",
     "KitsuneDetector",
     "Packet",
+    "StreamingDetector",
     "TrafficGenerator",
     "__version__",
     "all_strategies",

@@ -7,6 +7,8 @@ writing any Python:
 * ``repro-clap attack``    — inject one of the 73 evasion strategies into a capture;
 * ``repro-clap train``     — train CLAP on a benign capture and persist the model;
 * ``repro-clap score``     — score a capture with a persisted model (forensic mode);
+* ``repro-clap stream``    — replay a capture through the streaming detector,
+  emitting one NDJSON event per completed connection (online mode);
 * ``repro-clap strategies``— list the attack catalogue.
 
 Every subcommand works on ordinary ``.pcap`` files, so captures produced by
@@ -16,16 +18,20 @@ other tools can be analysed as well (TCP/IPv4 only).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.attacks.base import all_strategies, get_strategy
 from repro.attacks.injector import AttackInjector
+from repro.core.artifacts import ModelManifestError
 from repro.core.config import ClapConfig
 from repro.core.pipeline import Clap
 from repro.netstack.flow import assemble_connections
 from repro.netstack.pcap import read_pcap, write_pcap
+from repro.serve import FlushPolicy, StreamingDetector
 from repro.traffic.dataset import BenignDataset
 from repro.traffic.generator import TrafficGenerator
 
@@ -62,6 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--fast", action="store_true", help="use the reduced training budget")
     train.add_argument("--rnn-epochs", type=int, default=None, help="override RNN epochs")
     train.add_argument("--ae-epochs", type=int, default=None, help="override autoencoder epochs")
+    train.add_argument("--no-gate-weights", action="store_true",
+                       help="train without the GRU context stage (intra-packet features only)")
 
     score = subparsers.add_parser("score", help="score a capture with a persisted model")
     score.add_argument("model", type=Path, help="directory containing the trained model")
@@ -70,6 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the persisted adversarial-score threshold")
     score.add_argument("--top", type=int, default=0,
                        help="only print the N highest-scoring connections")
+    score.add_argument("--json", action="store_true",
+                       help="emit one JSON document instead of the table")
+
+    stream = subparsers.add_parser(
+        "stream", help="replay a capture through the streaming detector (NDJSON events)")
+    stream.add_argument("model", type=Path, help="directory containing the trained model")
+    stream.add_argument("pcap", type=Path, help="capture to replay as a packet stream")
+    stream.add_argument("--threshold", type=float, default=None,
+                        help="override the persisted adversarial-score threshold")
+    stream.add_argument("--max-batch", type=int, default=32,
+                        help="micro-batch size: flush after this many completed connections")
+    stream.add_argument("--idle-timeout", type=float, default=60.0,
+                        help="evict connections idle for this many stream-seconds")
+    stream.add_argument("--close-grace", type=float, default=1.0,
+                        help="silence after FIN/RST before a connection completes")
+    stream.add_argument("--max-flows", type=int, default=None,
+                        help="bound on concurrently tracked connections")
+    stream.add_argument("--alerts-only", action="store_true",
+                        help="emit only threshold-exceeding connections")
 
     strategies = subparsers.add_parser("strategies", help="list the 73 evasion strategies")
     strategies.add_argument("--source", default=None,
@@ -96,12 +123,20 @@ def command_attack(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if not 0.0 <= args.fraction <= 1.0:
+        print(f"error: --fraction must be in [0, 1], got {args.fraction}", file=sys.stderr)
+        return 2
     connections = assemble_connections(read_pcap(args.input))
     if not connections:
         print(f"error: no TCP connections found in {args.input}", file=sys.stderr)
         return 2
     injector = AttackInjector(seed=args.seed)
-    attack_count = max(int(round(len(connections) * args.fraction)), 1)
+    # ``--fraction 0`` genuinely attacks nothing (useful for control captures);
+    # any positive fraction attacks at least one connection so a small capture
+    # never silently rounds a requested attack down to a no-op.
+    attack_count = int(round(len(connections) * args.fraction))
+    if attack_count == 0 and args.fraction > 0:
+        attack_count = 1
     attacked = []
     for index, connection in enumerate(connections):
         if index < attack_count:
@@ -121,6 +156,8 @@ def _training_config(args: argparse.Namespace) -> ClapConfig:
         config.rnn.epochs = args.rnn_epochs
     if args.ae_epochs is not None:
         config.autoencoder.epochs = args.ae_epochs
+    if getattr(args, "no_gate_weights", False):
+        config.detector.include_gate_weights = False
     return config
 
 
@@ -135,36 +172,105 @@ def command_train(args: argparse.Namespace) -> int:
     clap = Clap(_training_config(args))
     report = clap.fit(train_connections)
     path = clap.save(args.model)
-    print(f"RNN state-prediction accuracy: {report.rnn.training_accuracy:.3f}")
+    if report.rnn is not None:
+        print(f"RNN state-prediction accuracy: {report.rnn.training_accuracy:.3f}")
+    else:
+        print("RNN stage:                     skipped (gate weights disabled)")
     print(f"autoencoder final loss:        {report.autoencoder_loss_history[-1]:.5f}")
     print(f"benign-score threshold:        {clap.threshold:.5f}")
     print(f"model written to {path}")
     return 0
 
 
+def _load_model(path: Path) -> Optional[Clap]:
+    """Load a persisted model, rendering artifact problems as clean errors."""
+    try:
+        return Clap.load(path)
+    except ModelManifestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    except FileNotFoundError:
+        print(f"error: no model found at {path}", file=sys.stderr)
+        return None
+
+
 def command_score(args: argparse.Namespace) -> int:
-    clap = Clap.load(args.model)
+    clap = _load_model(args.model)
+    if clap is None:
+        return 2
     threshold = args.threshold if args.threshold is not None else clap.threshold
     connections = assemble_connections(read_pcap(args.pcap))
     if not connections:
         print(f"error: no TCP connections found in {args.pcap}", file=sys.stderr)
         return 2
-    # One batched engine pass scores the whole capture.
-    verdicts = [
-        (verdict.adversarial_score, verdict, connection)
-        for verdict, connection in zip(
-            clap.verdict_batch(connections, threshold=threshold), connections
-        )
-    ]
-    verdicts.sort(key=lambda item: item[0], reverse=True)
+    # One batched engine pass scores the whole capture via the unified API.
+    results = clap.detect_batch(connections, threshold=threshold)
+    results = sorted(results, key=lambda result: result.score, reverse=True)
+    flagged = sum(1 for result in results if result.is_adversarial)
     if args.top:
-        verdicts = verdicts[: args.top]
-    flagged = sum(1 for _, verdict, _ in verdicts if verdict.is_adversarial)
+        results = results[: args.top]
+    if args.json:
+        payload = {
+            "model": str(args.model),
+            "capture": str(args.pcap),
+            "threshold": threshold,
+            "connections_total": len(connections),
+            "connections_flagged": flagged,
+            "results": [result.to_dict() for result in results],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{'score':>10}  {'verdict':>8}  {'suspect pkt':>11}  connection")
-    for score, verdict, connection in verdicts:
-        label = "ATTACK" if verdict.is_adversarial else "benign"
-        print(f"{score:10.5f}  {label:>8}  {verdict.localized_packet:>11}  {connection.key}")
+    for result in results:
+        label = "ATTACK" if result.is_adversarial else "benign"
+        print(f"{result.score:10.5f}  {label:>8}  {result.localized_packet:>11}  {result.key}")
     print(f"\n{flagged}/{len(connections)} connections exceed threshold {threshold:.5f}")
+    return 0
+
+
+def command_stream(args: argparse.Namespace) -> int:
+    if args.max_batch < 1:
+        print(f"error: --max-batch must be at least 1, got {args.max_batch}", file=sys.stderr)
+        return 2
+    clap = _load_model(args.model)
+    if clap is None:
+        return 2
+    packets = read_pcap(args.pcap)
+    if not packets:
+        print(f"error: no TCP packets found in {args.pcap}", file=sys.stderr)
+        return 2
+
+    def emit(events) -> None:
+        for event in events:
+            if args.alerts_only and not event.is_alert:
+                continue
+            print(json.dumps(event.to_dict()))
+
+    try:
+        detector = StreamingDetector(
+            clap,
+            flush_policy=FlushPolicy(max_batch=args.max_batch,
+                                     max_buffered=max(args.max_batch, 1024)),
+            threshold=args.threshold,
+            idle_timeout=args.idle_timeout,
+            close_grace=args.close_grace,
+            max_flows=args.max_flows,
+        )
+    except ValueError as error:
+        # FlowTable/FlushPolicy validate their knobs; render the message
+        # (e.g. "idle_timeout must be positive") instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for packet in packets:
+        detector.ingest(packet)
+        emit(detector.events())
+    detector.close()
+    emit(detector.events())
+    print(
+        f"{detector.alerts_emitted}/{detector.connections_seen} connections exceeded "
+        f"threshold {detector.threshold:.5f}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -183,6 +289,7 @@ _COMMANDS = {
     "attack": command_attack,
     "train": command_train,
     "score": command_score,
+    "stream": command_stream,
     "strategies": command_strategies,
 }
 
@@ -191,7 +298,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # A downstream consumer (e.g. ``stream ... | head``) closed the pipe;
+        # redirect stdout at the fd level so interpreter shutdown does not
+        # trip over the dead descriptor, and exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

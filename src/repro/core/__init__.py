@@ -1,5 +1,11 @@
 """CLAP core: configuration, training stages, detection and localisation."""
 
+from repro.core.artifacts import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA_VERSION,
+    ModelManifestError,
+    feature_schema_hash,
+)
 from repro.core.config import AutoencoderConfig, ClapConfig, DetectorConfig, RnnConfig
 from repro.core.detector import (
     ConnectionVerdict,
@@ -15,6 +21,7 @@ from repro.core.detector import (
 )
 from repro.core.engine import BatchInferenceEngine
 from repro.core.pipeline import Clap, ClapTrainingReport
+from repro.core.results import DetectionResult
 from repro.core.rnn_stage import RnnStage, RnnTrainingReport, SequenceBatch, pad_sequences
 
 __all__ = [
@@ -24,8 +31,13 @@ __all__ = [
     "ClapConfig",
     "ClapTrainingReport",
     "ConnectionVerdict",
+    "DetectionResult",
     "DetectorConfig",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "ModelManifestError",
     "RnnConfig",
+    "feature_schema_hash",
     "RnnStage",
     "RnnTrainingReport",
     "SequenceBatch",

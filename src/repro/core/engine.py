@@ -36,8 +36,11 @@ from repro.core.detector import (
     ConnectionVerdict,
     Verdicts,
     adversarial_score_batch,
+    localize_window_batch,
     localized_packets,
+    window_center_packet_batch,
 )
+from repro.core.results import DetectionResult
 from repro.features.profile import ContextProfileBuilder, StackedProfileBatch
 from repro.netstack.flow import Connection
 from repro.nn.autoencoder import Autoencoder
@@ -146,6 +149,51 @@ class BatchInferenceEngine:
             threshold=threshold,
         )
         return verdicts.verdict_batch(errors, offsets, packet_counts)
+
+    def detect(
+        self, connections: Sequence[Connection], threshold: float, top_n: int = 1
+    ) -> List[DetectionResult]:
+        """Unified Stage-(d) results for the whole batch in one engine pass.
+
+        One batched window-error computation feeds the segment-wise score,
+        localisation and decision reductions; for ``top_n == 1`` even the
+        packet localisation is fully vectorized, while larger ``top_n`` ranks
+        each segment with the same :func:`localized_packets` helper the
+        sequential reference path uses.
+        """
+        errors, offsets, packet_counts = self.window_errors(connections)
+        scores = adversarial_score_batch(errors, offsets, self.detector_config.score_window)
+        windows = localize_window_batch(errors, offsets)
+        stack_length = self.detector_config.stack_length
+        if top_n == 1:
+            centers = window_center_packet_batch(windows, stack_length, packet_counts)
+            localizations: List[Tuple[int, ...]] = [
+                (int(center),) if center >= 0 else () for center in centers
+            ]
+        else:
+            localizations = [
+                tuple(
+                    localized_packets(
+                        errors[offsets[index] : offsets[index + 1]],
+                        stack_length=stack_length,
+                        packet_count=int(packet_counts[index]),
+                        top_n=top_n,
+                    )
+                )
+                for index in range(len(connections))
+            ]
+        return [
+            DetectionResult(
+                key=connection.key,
+                score=float(scores[index]),
+                threshold=float(threshold),
+                is_adversarial=bool(scores[index] > threshold),
+                localized_window=int(windows[index]),
+                localized_packets=localizations[index],
+                packet_count=int(packet_counts[index]),
+            )
+            for index, connection in enumerate(connections)
+        ]
 
     def localize(
         self, connections: Sequence[Connection], top_n: int = 1

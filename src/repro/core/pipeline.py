@@ -24,14 +24,23 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.artifacts import (
+    config_from_manifest,
+    read_manifest,
+    validate_manifest,
+    write_manifest,
+)
 from repro.core.config import ClapConfig
 from repro.core.detector import (
     ConnectionVerdict,
     Verdicts,
     adversarial_score,
+    localize_window,
     localized_packets,
+    window_center_packet,
 )
 from repro.core.engine import BatchInferenceEngine
+from repro.core.results import DetectionResult
 from repro.core.rnn_stage import RnnStage, RnnTrainingReport
 from repro.features.amplification import FeatureRanges
 from repro.features.profile import ContextProfileBuilder
@@ -222,6 +231,60 @@ class Clap:
             connections, self.threshold if threshold is None else threshold
         )
 
+    # ----------------------------------------------------- unified detection
+    def detect(
+        self,
+        connection: Connection,
+        *,
+        threshold: Optional[float] = None,
+        top_n: int = 1,
+    ) -> DetectionResult:
+        """Unified Stage-(d) result for one connection (sequential reference).
+
+        This is the single-connection reference implementation of the
+        detection API; :meth:`detect_batch` must match it to within 1e-9.
+        """
+        self._require_fitted()
+        limit = self.threshold if threshold is None else threshold
+        errors = self.window_errors(connection)
+        detector_config = self.config.detector
+        score = adversarial_score(errors, detector_config.score_window)
+        window_index = localize_window(errors)
+        if top_n == 1:
+            center = window_center_packet(
+                window_index, detector_config.stack_length, len(connection)
+            )
+            packets = (center,) if center >= 0 else ()
+        else:
+            packets = tuple(
+                localized_packets(
+                    errors,
+                    stack_length=detector_config.stack_length,
+                    packet_count=len(connection),
+                    top_n=top_n,
+                )
+            )
+        return DetectionResult(
+            key=connection.key,
+            score=score,
+            threshold=float(limit),
+            is_adversarial=score > limit,
+            localized_window=window_index,
+            localized_packets=packets,
+            packet_count=len(connection),
+        )
+
+    def detect_batch(
+        self,
+        connections: Sequence[Connection],
+        *,
+        threshold: Optional[float] = None,
+        top_n: int = 1,
+    ) -> List[DetectionResult]:
+        """Unified Stage-(d) results for many connections in one engine pass."""
+        limit = self.threshold if threshold is None else threshold
+        return self.engine.detect(connections, limit, top_n=top_n)
+
     def localize(self, connection: Connection, top_n: int = 1) -> List[int]:
         """Packet indices of the ``top_n`` most suspicious positions."""
         errors = self.window_errors(connection)
@@ -245,7 +308,13 @@ class Clap:
 
     # ------------------------------------------------------------ persistence
     def save(self, directory: Union[str, Path]) -> Path:
-        """Persist the trained pipeline (RNN, autoencoder, scaler, threshold)."""
+        """Persist the trained pipeline as a versioned model artifact.
+
+        The weights/scaler/threshold land in ``clap_model.npz`` as before; a
+        ``manifest.json`` (artifact schema version, full configuration,
+        feature-schema hash, threshold) is written alongside so the artifact
+        is self-describing and :meth:`load` can validate compatibility.
+        """
         self._require_fitted()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -268,15 +337,30 @@ class Clap:
         state["detector/include_amplification"] = np.array(
             [1 if self.config.detector.include_amplification else 0]
         )
-        return save_state(directory / "clap_model", state)
+        archive = save_state(directory / "clap_model", state)
+        write_manifest(directory, self.config, self.threshold)
+        return archive
 
     @classmethod
     def load(cls, path: Union[str, Path], config: Optional[ClapConfig] = None) -> "Clap":
-        """Load a pipeline persisted with :meth:`save`."""
+        """Load a pipeline persisted with :meth:`save`.
+
+        When a ``manifest.json`` sits next to the archive it is validated
+        (artifact schema version, feature-schema hash) and, unless the caller
+        supplies an explicit ``config``, the recorded training configuration
+        is restored.  Legacy bare ``.npz`` models (no manifest) load as
+        before.  Raises :class:`repro.core.artifacts.ModelManifestError` for
+        incompatible artifacts.
+        """
         path = Path(path)
         if path.is_dir():
             path = path / "clap_model.npz"
         state = load_state(path)
+        manifest = read_manifest(path.parent)
+        if manifest is not None:
+            validate_manifest(manifest)
+            if config is None:
+                config = config_from_manifest(manifest)
         # Deep-copy so the persisted detector settings never leak back into
         # the caller's configuration object.
         config = copy.deepcopy(config) if config is not None else ClapConfig()

@@ -25,7 +25,7 @@ from repro.core.config import ClapConfig
 from repro.core.detector import localization_hit
 from repro.core.pipeline import Clap
 from repro.evaluation.metrics import auc_roc, roc_curve
-from repro.netstack.flow import Connection
+from repro.netstack.flow import Connection, packet_stream
 from repro.traffic.dataset import BenignDataset
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -281,13 +281,34 @@ class ExperimentRunner:
         detector's (engine-backed) ``score_connections``; ``"sequential"``
         uses the per-connection reference loop where the detector offers one
         (``score_connections_sequential``), falling back to the batched path
-        otherwise (e.g. for Baseline #2).
+        otherwise (e.g. for Baseline #2); ``"streaming"`` replays the
+        connections' packets in timestamp order through a
+        :class:`~repro.serve.StreamingDetector` (CLAP only), measuring the
+        full packets-in/alerts-out serving path including flow assembly.
         """
         detector = self.detectors[detector_name]
         connections = list(connections) if connections is not None else self.test_connections
         packets = sum(len(connection) for connection in connections)
-        if mode not in ("batched", "sequential"):
+        if mode not in ("batched", "sequential", "streaming"):
             raise ValueError(f"unknown throughput mode {mode!r}")
+        if mode == "streaming":
+            if not isinstance(detector, Clap):
+                raise ValueError("streaming throughput is only defined for the CLAP pipeline")
+            from repro.serve import StreamingDetector
+
+            stream = packet_stream(connections)
+            start = time.perf_counter()
+            streaming = StreamingDetector(detector, idle_timeout=float("inf"))
+            streaming.ingest_many(stream)
+            streaming.close()
+            elapsed = time.perf_counter() - start
+            return ThroughputResult(
+                detector_name=detector_name,
+                packets=packets,
+                connections=streaming.connections_seen,
+                seconds=elapsed,
+                mode=mode,
+            )
         scorer = detector.score_connections
         if mode == "sequential":
             scorer = getattr(detector, "score_connections_sequential", scorer)

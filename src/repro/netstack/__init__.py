@@ -16,10 +16,14 @@ from repro.netstack.checksum import (
     verify_tcp_checksum,
 )
 from repro.netstack.flow import (
+    CompletionReason,
     Connection,
     ConnectionAssembler,
     FlowKey,
+    FlowTable,
     assemble_connections,
+    connection_looks_closed,
+    packet_stream,
     split_connections,
 )
 from repro.netstack.ip import Ipv4Header
@@ -43,9 +47,11 @@ from repro.netstack.pcap import PcapReader, PcapRecord, PcapWriter, read_pcap, w
 from repro.netstack.tcp import TcpFlags, TcpHeader
 
 __all__ = [
+    "CompletionReason",
     "Connection",
     "ConnectionAssembler",
     "Direction",
+    "FlowTable",
     "EndOfOptions",
     "FlowKey",
     "Ipv4Header",
@@ -65,6 +71,7 @@ __all__ = [
     "UserTimeout",
     "WindowScale",
     "assemble_connections",
+    "connection_looks_closed",
     "decode_options",
     "encode_options",
     "find_option",
@@ -73,6 +80,7 @@ __all__ = [
     "ip_to_int",
     "is_private",
     "ones_complement_sum",
+    "packet_stream",
     "pseudo_header",
     "read_pcap",
     "split_connections",

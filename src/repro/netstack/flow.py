@@ -9,6 +9,8 @@ relative to the connection originator.
 
 from __future__ import annotations
 
+import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -110,6 +112,15 @@ class Connection:
         self.packets.sort(key=lambda packet: packet.timestamp)
 
 
+def connection_looks_closed(connection: Connection) -> bool:
+    """Heuristic shared by the assembler and the flow table: a connection
+    looks closed once a FIN or RST appears in its last three packets."""
+    if not connection.packets:
+        return False
+    tail = connection.packets[-3:]
+    return any(p.tcp.is_rst or p.tcp.is_fin for p in tail)
+
+
 class ConnectionAssembler:
     """Group an arbitrary packet stream into connections.
 
@@ -139,12 +150,7 @@ class ConnectionAssembler:
         for packet in packets:
             self.add(packet)
 
-    @staticmethod
-    def _looks_closed(connection: Connection) -> bool:
-        if not connection.packets:
-            return False
-        tail = connection.packets[-3:]
-        return any(p.tcp.is_rst or p.tcp.is_fin for p in tail)
+    _looks_closed = staticmethod(connection_looks_closed)
 
     def connections(self) -> List[Connection]:
         """All connections assembled so far, in order of first packet."""
@@ -153,11 +159,187 @@ class ConnectionAssembler:
         return everything
 
 
+class CompletionReason(enum.Enum):
+    """Why the flow table handed a connection back to the caller."""
+
+    CLOSED = "closed"  # FIN/RST seen and the close grace period elapsed (or a new SYN arrived)
+    IDLE = "idle"  # no packet for ``idle_timeout`` stream-seconds
+    CAPACITY = "capacity"  # evicted by the ``max_flows``/``max_packets`` bounds
+    DRAIN = "drain"  # explicitly drained (end of stream / shutdown)
+
+
+@dataclass
+class _FlowEntry:
+    connection: Connection
+    last_seen: float
+
+
+class FlowTable:
+    """Incremental connection assembly for live packet streams.
+
+    The batch :class:`ConnectionAssembler` holds every connection until the
+    caller asks for all of them — fine for a capture file, unusable for an
+    unbounded stream.  ``FlowTable`` ingests one packet at a time and *emits*
+    connections as soon as they complete, under bounded memory:
+
+    * **FIN/RST completion** — once a connection looks closed (FIN or RST in
+      its last three packets, the same heuristic the assembler uses) it is
+      emitted after ``close_grace`` stream-seconds of silence, or immediately
+      when a fresh SYN reuses its 5-tuple.  The grace period keeps the
+      trailing FIN/ACK exchange (and attack-injected RSTs that the endpoints
+      ignore) attached to the connection, so grouping matches the offline
+      assembler on time-ordered streams.  The effective grace is capped at
+      ``idle_timeout`` (a closed connection never outlives an idle one), and
+      such completions are always reported as ``CLOSED``, never ``IDLE``.
+    * **Idle eviction** — connections silent for ``idle_timeout`` seconds are
+      emitted as :attr:`CompletionReason.IDLE`.
+    * **Size eviction** — the table never tracks more than ``max_flows``
+      connections (least-recently-active evicted first) and force-completes
+      any connection reaching ``max_packets`` packets.
+
+    Time advances only through packet timestamps (and explicit :meth:`poll`
+    calls), so replaying a capture is deterministic and independent of
+    wall-clock speed.
+    """
+
+    def __init__(
+        self,
+        *,
+        idle_timeout: float = 60.0,
+        close_grace: float = 1.0,
+        max_flows: Optional[int] = None,
+        max_packets: Optional[int] = None,
+    ) -> None:
+        if idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
+        if close_grace < 0:
+            raise ValueError(f"close_grace must be non-negative, got {close_grace}")
+        if max_flows is not None and max_flows < 1:
+            raise ValueError(f"max_flows must be at least 1, got {max_flows}")
+        if max_packets is not None and max_packets < 1:
+            raise ValueError(f"max_packets must be at least 1, got {max_packets}")
+        self.idle_timeout = float(idle_timeout)
+        self.close_grace = float(close_grace)
+        self.max_flows = max_flows
+        self.max_packets = max_packets
+        # Ordered by recency of activity: the front is the LRU eviction victim.
+        self._flows: "OrderedDict[FlowKey, _FlowEntry]" = OrderedDict()
+        self._closing: Dict[FlowKey, None] = {}  # insertion-ordered set
+        self._clock = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    @property
+    def clock(self) -> float:
+        """The latest stream timestamp observed."""
+        return self._clock
+
+    # ------------------------------------------------------------- ingestion
+    def add(self, packet: Packet) -> List[Tuple[Connection, CompletionReason]]:
+        """Route ``packet`` and return every connection completed by it.
+
+        Completions triggered by this packet include the connection it closed
+        by reusing a 5-tuple, connections whose close-grace/idle timers
+        expired as stream time advanced, and capacity evictions.
+        """
+        completed: List[Tuple[Connection, CompletionReason]] = []
+        key = FlowKey.from_packet(packet)
+        entry = self._flows.get(key)
+        starts_new = packet.tcp.is_syn and not packet.tcp.is_ack
+        if entry is not None and starts_new and connection_looks_closed(entry.connection):
+            self._remove(key)
+            completed.append((entry.connection, CompletionReason.CLOSED))
+            entry = None
+        if entry is None:
+            entry = _FlowEntry(Connection(key=key), packet.timestamp)
+            self._flows[key] = entry
+        entry.connection.append(packet)
+        entry.last_seen = max(entry.last_seen, packet.timestamp)
+        self._flows.move_to_end(key)
+        # ``_closing`` mirrors the recency ordering of ``_flows`` (pop +
+        # reinsert moves an active key to the back), so the grace scan in
+        # :meth:`poll` can stop at the first entry still inside its grace.
+        self._closing.pop(key, None)
+        if connection_looks_closed(entry.connection):
+            self._closing[key] = None
+        if self.max_packets is not None and len(entry.connection) >= self.max_packets:
+            self._remove(key)
+            completed.append((entry.connection, CompletionReason.CAPACITY))
+        completed.extend(self.poll(packet.timestamp))
+        if self.max_flows is not None:
+            while len(self._flows) > self.max_flows:
+                victim_key = next(iter(self._flows))
+                victim = self._remove(victim_key)
+                completed.append((victim.connection, CompletionReason.CAPACITY))
+        return completed
+
+    def poll(self, now: Optional[float] = None) -> List[Tuple[Connection, CompletionReason]]:
+        """Advance stream time to ``now`` and expire close-grace/idle timers."""
+        if now is not None:
+            self._clock = max(self._clock, float(now))
+        now = self._clock
+        completed: List[Tuple[Connection, CompletionReason]] = []
+        # Closed connections wait only for the (short) grace period.  The set
+        # is ordered by last activity, so the scan stops at the first entry
+        # whose grace has not elapsed — per-packet cost stays proportional to
+        # the completions produced, even under a FIN/RST flood.  (Packets
+        # arriving out of timestamp order can leave a stale ``last_seen``
+        # behind the front entry; its completion is then merely deferred to
+        # the poll that clears the front, never lost.)
+        grace = min(self.close_grace, self.idle_timeout)
+        while self._closing:
+            key = next(iter(self._closing))
+            entry = self._flows[key]
+            if now - entry.last_seen < grace:
+                break
+            self._remove(key)
+            completed.append((entry.connection, CompletionReason.CLOSED))
+        # The LRU front has the stalest activity, so the scan stops at the
+        # first non-idle connection instead of touching the whole table.
+        while self._flows:
+            key, entry = next(iter(self._flows.items()))
+            if now - entry.last_seen < self.idle_timeout:
+                break
+            self._remove(key)
+            completed.append((entry.connection, CompletionReason.IDLE))
+        return completed
+
+    def drain(self) -> List[Tuple[Connection, CompletionReason]]:
+        """Complete every tracked connection (end of stream), oldest first."""
+        entries = sorted(
+            self._flows.values(),
+            key=lambda entry: entry.connection.packets[0].timestamp
+            if entry.connection.packets
+            else 0.0,
+        )
+        self._flows.clear()
+        self._closing.clear()
+        return [(entry.connection, CompletionReason.DRAIN) for entry in entries]
+
+    def _remove(self, key: FlowKey) -> _FlowEntry:
+        self._closing.pop(key, None)
+        return self._flows.pop(key)
+
+
 def assemble_connections(packets: Iterable[Packet]) -> List[Connection]:
     """Convenience wrapper: assemble ``packets`` and return the connections."""
     assembler = ConnectionAssembler()
     assembler.add_all(packets)
     return assembler.connections()
+
+
+def packet_stream(connections: Iterable[Connection]) -> List[Packet]:
+    """The time-ordered raw packet stream of ``connections``.
+
+    Every packet is copied (so replaying never mutates the source
+    connections) and the result is stably sorted by capture timestamp — the
+    canonical way to turn assembled connections back into the stream a
+    :class:`FlowTable`/streaming detector would observe on the wire.
+    """
+    packets = [packet.copy() for connection in connections for packet in connection]
+    packets.sort(key=lambda packet: packet.timestamp)
+    return packets
 
 
 def split_connections(

@@ -1,0 +1,25 @@
+"""Streaming-first serving layer: the online deployment surface of CLAP.
+
+``repro.serve`` turns the trained pipeline into the middlebox companion of
+Figure 3: :class:`StreamingDetector` ingests raw packets, assembles them with
+an incremental :class:`~repro.netstack.flow.FlowTable`, micro-batches
+completed connections through the batched inference engine under a
+:class:`FlushPolicy`, and emits typed :class:`DetectionEvent`/:class:`Alert`
+objects via iterator and callback APIs.
+"""
+
+from repro.core.results import DetectionResult
+from repro.netstack.flow import CompletionReason, FlowTable
+from repro.serve.events import Alert, DetectionEvent, make_event
+from repro.serve.streaming import FlushPolicy, StreamingDetector
+
+__all__ = [
+    "Alert",
+    "CompletionReason",
+    "DetectionEvent",
+    "DetectionResult",
+    "FlowTable",
+    "FlushPolicy",
+    "StreamingDetector",
+    "make_event",
+]

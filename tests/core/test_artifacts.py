@@ -1,0 +1,122 @@
+"""Versioned model artifacts: manifest writing, validation and legacy loads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.artifacts import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA_VERSION,
+    ModelManifestError,
+    build_manifest,
+    config_from_manifest,
+    feature_schema_hash,
+    validate_manifest,
+)
+from repro.core.config import ClapConfig
+from repro.core.pipeline import Clap
+
+
+class TestManifestHelpers:
+    def test_feature_schema_hash_is_stable(self):
+        assert feature_schema_hash() == feature_schema_hash()
+        assert len(feature_schema_hash()) == 64
+
+    def test_build_and_validate_roundtrip(self):
+        manifest = build_manifest(ClapConfig.fast(), threshold=0.25)
+        validate_manifest(manifest)
+        config = config_from_manifest(manifest)
+        assert config.rnn.epochs == ClapConfig.fast().rnn.epochs
+        assert manifest["threshold"] == 0.25
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+
+    def test_newer_schema_version_is_rejected(self):
+        manifest = build_manifest(ClapConfig(), threshold=0.0)
+        manifest["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        with pytest.raises(ModelManifestError, match="newer"):
+            validate_manifest(manifest)
+
+    def test_feature_hash_mismatch_is_rejected(self):
+        manifest = build_manifest(ClapConfig(), threshold=0.0)
+        manifest["feature_schema_hash"] = "0" * 64
+        with pytest.raises(ModelManifestError, match="feature schema"):
+            validate_manifest(manifest)
+
+    def test_wrong_format_is_rejected(self):
+        with pytest.raises(ModelManifestError, match="format"):
+            validate_manifest({"format": "not-a-clap-model", "schema_version": 1})
+
+    def test_unknown_config_keys_are_ignored(self):
+        manifest = build_manifest(ClapConfig(), threshold=0.0)
+        manifest["config"]["rnn"]["from_the_future"] = 42
+        config = config_from_manifest(manifest)
+        assert not hasattr(config.rnn, "from_the_future")
+
+
+class TestPersistedArtifacts:
+    @pytest.fixture(scope="class")
+    def model_dir(self, trained_clap, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("artifact") / "model"
+        trained_clap.save(directory)
+        return directory
+
+    def test_save_writes_manifest(self, model_dir, trained_clap):
+        manifest_path = model_dir / MANIFEST_FILENAME
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format"] == "clap-model"
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["feature_schema_hash"] == feature_schema_hash()
+        assert manifest["threshold"] == pytest.approx(trained_clap.threshold)
+        assert manifest["config"]["detector"]["stack_length"] == (
+            trained_clap.config.detector.stack_length
+        )
+
+    def test_load_restores_training_config(self, model_dir, trained_clap):
+        loaded = Clap.load(model_dir)
+        assert loaded.config.rnn.epochs == trained_clap.config.rnn.epochs
+        assert loaded.config.autoencoder.epochs == trained_clap.config.autoencoder.epochs
+        assert loaded.threshold == pytest.approx(trained_clap.threshold)
+
+    def test_loaded_model_scores_identically(self, model_dir, trained_clap, small_dataset):
+        loaded = Clap.load(model_dir)
+        original = trained_clap.detect_batch(small_dataset.test[:5])
+        restored = loaded.detect_batch(small_dataset.test[:5])
+        for a, b in zip(original, restored):
+            assert a.score == pytest.approx(b.score, abs=1e-12)
+
+    def test_legacy_bare_npz_still_loads(self, trained_clap, small_dataset, tmp_path):
+        directory = tmp_path / "legacy"
+        trained_clap.save(directory)
+        (directory / MANIFEST_FILENAME).unlink()  # simulate a pre-manifest model
+        loaded = Clap.load(directory)
+        scores = loaded.score_connections(small_dataset.test[:3])
+        expected = trained_clap.score_connections(small_dataset.test[:3])
+        assert scores == pytest.approx(expected, abs=1e-12)
+
+    def test_corrupt_manifest_fails_loudly(self, trained_clap, tmp_path):
+        directory = tmp_path / "corrupt"
+        trained_clap.save(directory)
+        (directory / MANIFEST_FILENAME).write_text("{not json")
+        with pytest.raises(ModelManifestError, match="unreadable"):
+            Clap.load(directory)
+
+    def test_incompatible_manifest_fails_loudly(self, trained_clap, tmp_path):
+        directory = tmp_path / "incompatible"
+        trained_clap.save(directory)
+        manifest_path = directory / MANIFEST_FILENAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["feature_schema_hash"] = "f" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ModelManifestError, match="retrain"):
+            Clap.load(directory)
+
+    def test_explicit_config_still_wins(self, model_dir):
+        config = ClapConfig()
+        config.rnn.epochs = 123
+        loaded = Clap.load(model_dir, config=config)
+        assert loaded.config.rnn.epochs == 123
+        # And the caller's object is never mutated by the persisted settings.
+        assert config.detector.stack_length == ClapConfig().detector.stack_length

@@ -74,6 +74,17 @@ class TestRunner:
         assert throughput.packets_per_second > 0
         assert throughput.connections_per_second > 0
 
+    def test_streaming_throughput_measurement(self, runner):
+        throughput = runner.measure_throughput(CLAP_NAME, mode="streaming")
+        assert throughput.mode == "streaming"
+        assert throughput.packets > 0
+        assert throughput.connections > 0
+        assert throughput.packets_per_second > 0
+
+    def test_unknown_throughput_mode_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.measure_throughput(CLAP_NAME, mode="warp-speed")
+
     def test_evaluate_before_train_raises(self, small_dataset):
         fresh = ExperimentRunner(small_dataset, config=ClapConfig.fast())
         with pytest.raises(RuntimeError):

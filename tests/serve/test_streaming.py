@@ -1,0 +1,198 @@
+"""StreamingDetector: equivalence with the batch path, flush policy, events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import get_strategy
+from repro.attacks.injector import AttackInjector
+from repro.netstack.flow import (
+    CompletionReason,
+    assemble_connections,
+    packet_stream as _packet_stream,
+)
+from repro.serve import Alert, DetectionEvent, FlushPolicy, StreamingDetector
+from repro.traffic.generator import TrafficGenerator
+
+
+def _sequential_connections(count, seed=311, spacing=100.0):
+    connections = TrafficGenerator(seed=seed).generate_connections(count)
+    for index, connection in enumerate(connections):
+        for position, packet in enumerate(connection.packets):
+            packet.timestamp = index * spacing + position * 0.01
+    return connections
+
+
+class TestFlushPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlushPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            FlushPolicy(max_batch=8, max_buffered=4)
+
+    def test_defaults_are_consistent(self):
+        policy = FlushPolicy()
+        assert 1 <= policy.max_batch <= policy.max_buffered
+        assert policy.auto_flush
+
+
+class TestStreamingEquivalence:
+    def test_streaming_matches_detect_batch(self, trained_clap, small_dataset):
+        """The ISSUE acceptance criterion: streaming a capture's packets yields
+        the same connections and scores (1e-9) as the offline batch path."""
+        stream = _packet_stream(small_dataset.test)
+        assembled = assemble_connections(_packet_stream(small_dataset.test))
+        batch = trained_clap.detect_batch(assembled)
+
+        detector = StreamingDetector(
+            trained_clap,
+            flush_policy=FlushPolicy(max_batch=4),
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        detector.ingest_many(stream)
+        detector.close()
+        events = list(detector.events())
+
+        assert len(events) == len(batch)
+        streamed = sorted(
+            (str(e.result.key), e.result.packet_count, e.result.score) for e in events
+        )
+        batched = sorted((str(r.key), r.packet_count, r.score) for r in batch)
+        for stream_row, batch_row in zip(streamed, batched):
+            assert stream_row[0] == batch_row[0]
+            assert stream_row[1] == batch_row[1]
+            assert abs(stream_row[2] - batch_row[2]) < 1e-9
+
+    def test_streaming_matches_batch_on_attacked_traffic(self, trained_clap, small_dataset):
+        injector = AttackInjector(seed=4)
+        strategy = get_strategy("Snort: Injected RST Pure")
+        attacked = [
+            injector.attack_connection(strategy, connection).connection
+            for connection in small_dataset.test[:6]
+        ]
+        stream = _packet_stream(attacked)
+        assembled = assemble_connections(_packet_stream(attacked))
+        batch = trained_clap.detect_batch(assembled)
+
+        detector = StreamingDetector(trained_clap, idle_timeout=1e9, close_grace=1e9)
+        detector.ingest_many(stream)
+        events = detector.close()
+        streamed = sorted(
+            (str(e.result.key), e.result.packet_count, e.result.score) for e in events
+        )
+        batched = sorted((str(r.key), r.packet_count, r.score) for r in batch)
+        assert [row[:2] for row in streamed] == [row[:2] for row in batched]
+        assert all(abs(a[2] - b[2]) < 1e-9 for a, b in zip(streamed, batched))
+
+
+class TestMicroBatching:
+    def test_events_emitted_after_at_most_max_batch_completions(self, trained_clap):
+        connections = _sequential_connections(7)
+        detector = StreamingDetector(
+            trained_clap,
+            flush_policy=FlushPolicy(max_batch=3),
+            idle_timeout=1e9,
+            close_grace=1.0,
+        )
+        for packet in _packet_stream(connections):
+            detector.ingest(packet)
+            # The pending buffer must never sit on max_batch completions.
+            assert detector.pending_connections < 3
+        detector.close()
+        assert detector.connections_seen == len(connections)
+
+    def test_manual_flush_with_auto_flush_disabled(self, trained_clap):
+        connections = _sequential_connections(5)
+        detector = StreamingDetector(
+            trained_clap,
+            flush_policy=FlushPolicy(max_batch=2, max_buffered=100, auto_flush=False),
+            idle_timeout=1e9,
+            close_grace=1.0,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        assert list(detector.events()) == []
+        assert detector.pending_connections >= 1
+        flushed = detector.flush()
+        assert flushed
+        assert detector.pending_connections == 0
+
+    def test_max_buffered_forces_flush_even_without_auto_flush(self, trained_clap):
+        connections = _sequential_connections(6)
+        detector = StreamingDetector(
+            trained_clap,
+            flush_policy=FlushPolicy(max_batch=1, max_buffered=2, auto_flush=False),
+            idle_timeout=1e9,
+            close_grace=1.0,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        assert detector.pending_connections < 2
+        assert detector.connections_seen >= 1
+
+
+class TestEventSurface:
+    def test_callbacks_and_iterator_see_the_same_events(self, trained_clap):
+        connections = _sequential_connections(4)
+        pushed = []
+        detector = StreamingDetector(
+            trained_clap,
+            flush_policy=FlushPolicy(max_batch=2),
+            idle_timeout=1e9,
+            close_grace=1.0,
+            on_event=pushed.append,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        detector.close()
+        pulled = list(detector.events())
+        assert pulled == pushed
+        assert all(isinstance(event, DetectionEvent) for event in pulled)
+
+    def test_alert_subtype_and_callback(self, trained_clap):
+        connections = _sequential_connections(4)
+        alerts = []
+        # Threshold below every score: everything becomes an Alert.
+        detector = StreamingDetector(
+            trained_clap,
+            threshold=-1.0,
+            idle_timeout=1e9,
+            close_grace=1e9,
+            on_alert=alerts.append,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        events = detector.close()
+        assert events and all(isinstance(event, Alert) for event in events)
+        assert alerts == events
+        assert detector.alerts_emitted == len(events)
+
+    def test_event_serialisation(self, trained_clap):
+        connections = _sequential_connections(2)
+        detector = StreamingDetector(trained_clap, idle_timeout=1e9, close_grace=1e9)
+        detector.ingest_many(_packet_stream(connections))
+        event = detector.close()[0]
+        payload = event.to_dict()
+        assert payload["event"] in ("detection", "alert")
+        assert payload["completed_by"] == CompletionReason.DRAIN.value
+        assert set(payload) >= {
+            "connection",
+            "score",
+            "threshold",
+            "adversarial",
+            "localized_packets",
+            "packet_count",
+            "first_seen",
+            "last_seen",
+        }
+
+    def test_completion_reasons_propagate(self, trained_clap):
+        connections = _sequential_connections(3)
+        detector = StreamingDetector(
+            trained_clap,
+            flush_policy=FlushPolicy(max_batch=1),
+            idle_timeout=1e9,
+            close_grace=0.5,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        closed = [e for e in detector.events() if e.completed_by is CompletionReason.CLOSED]
+        assert len(closed) >= 2  # all but the final connection close mid-stream
+        drained = detector.close()
+        assert all(e.completed_by is CompletionReason.DRAIN for e in drained)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -10,12 +12,13 @@ from repro.netstack.pcap import read_pcap
 class TestParser:
     def test_all_subcommands_exist(self):
         parser = build_parser()
-        for command in ("generate", "attack", "train", "score", "strategies"):
+        for command in ("generate", "attack", "train", "score", "stream", "strategies"):
             args = parser.parse_args([command] + {
                 "generate": ["out.pcap"],
                 "attack": ["in.pcap", "out.pcap", "--strategy", "X"],
                 "train": ["model"],
                 "score": ["model", "in.pcap"],
+                "stream": ["model", "in.pcap"],
                 "strategies": [],
             }[command])
             assert args.command == command
@@ -63,21 +66,52 @@ class TestGenerateAndAttack:
         assert main(["attack", str(benign), str(tmp_path / "x.pcap"),
                      "--strategy", "No Such Attack"]) == 2
 
+    def test_attack_fraction_zero_attacks_nothing(self, tmp_path, capsys):
+        benign = tmp_path / "benign.pcap"
+        untouched = tmp_path / "untouched.pcap"
+        main(["generate", str(benign), "--connections", "4", "--seed", "2"])
+        assert main(["attack", str(benign), str(untouched),
+                     "--strategy", "Snort: Injected RST Pure", "--fraction", "0"]) == 0
+        assert len(read_pcap(untouched)) == len(read_pcap(benign))
+        assert "attacked 0/4" in capsys.readouterr().out
+
+    def test_small_positive_fraction_attacks_at_least_one(self, tmp_path, capsys):
+        benign = tmp_path / "benign.pcap"
+        out = tmp_path / "one.pcap"
+        main(["generate", str(benign), "--connections", "2", "--seed", "5"])
+        # round(2 * 0.25) == 0 under banker's rounding; a nonzero fraction
+        # must still attack at least one connection.
+        assert main(["attack", str(benign), str(out),
+                     "--strategy", "Snort: Injected RST Pure", "--fraction", "0.25"]) == 0
+        assert "attacked 1/2" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("fraction", ["-0.1", "1.5"])
+    def test_attack_fraction_out_of_range_fails(self, tmp_path, capsys, fraction):
+        benign = tmp_path / "benign.pcap"
+        main(["generate", str(benign), "--connections", "2"])
+        code = main(["attack", str(benign), str(tmp_path / "x.pcap"),
+                     "--strategy", "Snort: Injected RST Pure", "--fraction", fraction])
+        assert code == 2
+        assert "--fraction must be in [0, 1]" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def trained_model_dir(tmp_path_factory):
+    """One CLI-trained model shared by the score/stream test classes."""
+    workdir = tmp_path_factory.mktemp("cli-model")
+    model_dir = workdir / "model"
+    code = main([
+        "train", str(model_dir), "--connections", "50", "--seed", "5",
+        "--fast", "--rnn-epochs", "6", "--ae-epochs", "20",
+    ])
+    assert code == 0
+    return model_dir
+
 
 class TestTrainAndScore:
-    @pytest.fixture(scope="class")
-    def trained_model_dir(self, tmp_path_factory):
-        workdir = tmp_path_factory.mktemp("cli-model")
-        model_dir = workdir / "model"
-        code = main([
-            "train", str(model_dir), "--connections", "50", "--seed", "5",
-            "--fast", "--rnn-epochs", "6", "--ae-epochs", "20",
-        ])
-        assert code == 0
-        return model_dir
-
     def test_train_persists_model(self, trained_model_dir):
         assert (trained_model_dir / "clap_model.npz").exists()
+        assert (trained_model_dir / "manifest.json").exists()
 
     def test_score_benign_capture(self, trained_model_dir, tmp_path, capsys):
         capture = tmp_path / "capture.pcap"
@@ -107,3 +141,122 @@ class TestTrainAndScore:
         assert main(["score", str(trained_model_dir), str(capture), "--threshold", "1e9"]) == 0
         output = capsys.readouterr().out
         assert "0/3 connections exceed" in output
+
+    def test_score_json_output_shape(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "json.pcap"
+        main(["generate", str(capture), "--connections", "4", "--seed", "21"])
+        capsys.readouterr()
+        assert main(["score", str(trained_model_dir), str(capture), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["connections_total"] == 4
+        assert len(payload["results"]) == 4
+        scores = [entry["score"] for entry in payload["results"]]
+        assert scores == sorted(scores, reverse=True)
+        for entry in payload["results"]:
+            assert set(entry) == {
+                "connection", "score", "threshold", "adversarial",
+                "localized_window", "localized_packets", "packet_count",
+            }
+
+    def test_incompatible_model_artifact_fails_cleanly(self, trained_model_dir, tmp_path, capsys):
+        import shutil
+
+        capture = tmp_path / "any.pcap"
+        main(["generate", str(capture), "--connections", "2", "--seed", "8"])
+        broken = tmp_path / "broken-model"
+        shutil.copytree(trained_model_dir, broken)
+        manifest_path = broken / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["feature_schema_hash"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        capsys.readouterr()
+        assert main(["score", str(broken), str(capture)]) == 2
+        assert "feature schema" in capsys.readouterr().err
+
+    def test_train_without_rnn_prints_clean_summary(self, tmp_path, capsys):
+        model_dir = tmp_path / "no-rnn-model"
+        code = main([
+            "train", str(model_dir), "--connections", "25", "--seed", "4",
+            "--fast", "--ae-epochs", "10", "--no-gate-weights",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "RNN stage" in output and "skipped" in output
+        assert (model_dir / "clap_model.npz").exists()
+
+
+class TestStreamCommand:
+    def test_stream_emits_ndjson_events(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "stream.pcap"
+        main(["generate", str(capture), "--connections", "6", "--seed", "31"])
+        capsys.readouterr()
+        assert main(["stream", str(trained_model_dir), str(capture), "--max-batch", "2"]) == 0
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == 6
+        for line in lines:
+            event = json.loads(line)
+            assert event["event"] in ("detection", "alert")
+            assert set(event) >= {
+                "connection", "score", "threshold", "adversarial",
+                "localized_packets", "packet_count", "completed_by",
+                "first_seen", "last_seen",
+            }
+        assert "connections exceeded threshold" in captured.err
+
+    def test_stream_matches_score_verdicts(self, trained_model_dir, tmp_path, capsys):
+        """Online (stream) and forensic (score --json) agree on the capture."""
+        capture = tmp_path / "agree.pcap"
+        main(["generate", str(capture), "--connections", "5", "--seed", "13"])
+        capsys.readouterr()
+        assert main(["score", str(trained_model_dir), str(capture), "--json"]) == 0
+        forensic = json.loads(capsys.readouterr().out)
+        assert main(["stream", str(trained_model_dir), str(capture)]) == 0
+        events = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+        forensic_scores = sorted(
+            (entry["connection"], round(entry["score"], 9)) for entry in forensic["results"]
+        )
+        stream_scores = sorted(
+            (event["connection"], round(event["score"], 9)) for event in events
+        )
+        assert stream_scores == forensic_scores
+
+    def test_stream_alerts_only_filters(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "quiet.pcap"
+        main(["generate", str(capture), "--connections", "3", "--seed", "17"])
+        capsys.readouterr()
+        assert main(["stream", str(trained_model_dir), str(capture),
+                     "--threshold", "1e9", "--alerts-only"]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_stream_rejects_bad_batch_size(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "any.pcap"
+        main(["generate", str(capture), "--connections", "2", "--seed", "1"])
+        assert main(["stream", str(trained_model_dir), str(capture), "--max-batch", "0"]) == 2
+
+
+class TestEndToEndRoundTrip:
+    def test_generate_attack_train_score_round_trip(self, tmp_path, capsys):
+        """The full operational workflow on a temp dir, via the CLI only."""
+        benign = tmp_path / "benign.pcap"
+        attacked = tmp_path / "attacked.pcap"
+        model_dir = tmp_path / "model"
+        assert main(["generate", str(benign), "--connections", "30", "--seed", "42"]) == 0
+        assert main([
+            "attack", str(benign), str(attacked),
+            "--strategy", "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+            "--fraction", "0.2", "--seed", "3",
+        ]) == 0
+        assert main([
+            "train", str(model_dir), "--pcap", str(benign),
+            "--fast", "--rnn-epochs", "4", "--ae-epochs", "12", "--seed", "6",
+        ]) == 0
+        assert (model_dir / "clap_model.npz").exists()
+        assert (model_dir / "manifest.json").exists()
+        capsys.readouterr()
+        assert main(["score", str(model_dir), str(attacked), "--json"]) == 0
+        forensic = json.loads(capsys.readouterr().out)
+        assert forensic["connections_total"] == 30
+        assert main(["stream", str(model_dir), str(attacked)]) == 0
+        events = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+        assert len(events) == 30

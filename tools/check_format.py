@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Self-contained formatting gate for CI (no third-party formatter needed).
+
+Checks every ``.py`` file under the given paths for the invariants the
+codebase maintains by hand:
+
+* no tab characters in source lines,
+* no trailing whitespace,
+* LF line endings (no CR),
+* file ends with exactly one newline,
+* lines no longer than the hard ceiling of 120 characters (ruff.toml's
+  ``line-length = 100`` remains the soft target for new code; the ceiling
+  only rejects genuinely unreadable lines).
+
+Exit code 0 when clean; 1 with one ``path:line: message`` per violation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+MAX_LINE_LENGTH = 120
+
+
+def iter_python_files(paths: List[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    problems: List[Tuple[int, str]] = []
+    data = path.read_bytes()
+    if not data:
+        return problems
+    if b"\r" in data:
+        problems.append((0, "CR line endings (expected LF only)"))
+    if not data.endswith(b"\n"):
+        problems.append((0, "missing newline at end of file"))
+    elif data.endswith(b"\n\n"):
+        problems.append((0, "multiple blank lines at end of file"))
+    for number, line in enumerate(data.decode("utf-8").splitlines(), start=1):
+        if "\t" in line:
+            problems.append((number, "tab character"))
+        if line != line.rstrip():
+            problems.append((number, "trailing whitespace"))
+        if len(line) > MAX_LINE_LENGTH:
+            problems.append((number, f"line longer than {MAX_LINE_LENGTH} characters"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or ["src", "tests", "benchmarks", "examples", "tools"]
+    failures = 0
+    for path in iter_python_files(paths):
+        for number, message in check_file(path):
+            location = f"{path}:{number}" if number else str(path)
+            print(f"{location}: {message}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} formatting problem(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
