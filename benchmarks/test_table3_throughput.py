@@ -4,11 +4,28 @@ Paper values on a Xeon E3-1225 single core: CLAP 2,162 packets/s vs Kitsune
 1,445 packets/s (+49.7%).  Absolute numbers depend on the host; the shape to
 preserve is that CLAP's single-autoencoder testing phase processes packets
 faster than the ensemble-of-autoencoders baseline.
+
+Beyond the paper, the table now also tracks the full packets-in/alerts-out
+serving path: ``mode="streaming"`` replays the test connections' packets in
+timestamp order through the sharded :class:`ParallelStreamingDetector` at
+worker counts 1 and 4, covering flow assembly, micro-batching and event
+dispatch — not just scoring.  The multi-worker row only parallelises real
+compute when the host has more than one core; on single-core hosts it is
+recorded as an overhead measurement (see the note in the results file).
 """
+
+import os
 
 from benchmarks.conftest import write_result
 from repro.evaluation.reporting import render_table3
 from repro.evaluation.runner import BASELINE2_NAME, CLAP_NAME
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 
 def test_table3_throughput(experiment, benchmark):
@@ -18,11 +35,31 @@ def test_table3_throughput(experiment, benchmark):
     clap_detector = runner.detectors[CLAP_NAME]
     benchmark(lambda: clap_detector.score_connections(sample[:10]))
 
+    # The serving-path rows need enough packets to amortise per-run fixed
+    # costs (worker spawn/join, queue warm-up), so they replay the whole
+    # corpus rather than the small scored sample — and keep the best of
+    # three runs, the noise-robust estimator for wall-clock timings.
+    corpus = experiment.dataset.train + experiment.dataset.test
+
+    def best_streaming(workers: int):
+        runs = [
+            runner.measure_throughput(CLAP_NAME, corpus, mode="streaming", workers=workers)
+            for _ in range(3)
+        ]
+        return min(runs, key=lambda result: result.seconds)
+
     throughput = {
         CLAP_NAME: runner.measure_throughput(CLAP_NAME, sample),
         BASELINE2_NAME: runner.measure_throughput(BASELINE2_NAME, sample),
+        "CLAP (streaming, 1 worker)": best_streaming(1),
+        "CLAP (streaming, 4 workers)": best_streaming(4),
     }
-    text = render_table3(throughput)
+    cores = _available_cores()
+    text = render_table3(throughput) + (
+        f"\n\nstreaming rows: full packets-in/alerts-out path (flow assembly +"
+        f" micro-batched scoring + event dispatch), best of 3 replays of the"
+        f" whole corpus; host had {cores} usable core(s)."
+    )
     write_result("table3_throughput.txt", text)
 
     clap = throughput[CLAP_NAME]
@@ -33,3 +70,16 @@ def test_table3_throughput(experiment, benchmark):
     assert clap.connections_per_second > kitsune.connections_per_second
     # Sanity: the Python prototype should comfortably exceed 100 packets/s.
     assert clap.packets_per_second > 100
+
+    streaming_1 = throughput["CLAP (streaming, 1 worker)"]
+    streaming_4 = throughput["CLAP (streaming, 4 workers)"]
+    assert streaming_1.connections == streaming_4.connections > 0
+    assert streaming_1.packets_per_second > 100
+    if cores > 1:
+        # With real parallel compute available, four shard workers must beat
+        # the single-worker packets-in/alerts-out baseline.
+        assert streaming_4.packets_per_second > streaming_1.packets_per_second
+    else:
+        # Single-core host: threads cannot add compute, so only guard that
+        # the sharded runtime's coordination overhead stays small.
+        assert streaming_4.packets_per_second > 0.6 * streaming_1.packets_per_second

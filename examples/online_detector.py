@@ -2,13 +2,17 @@
 """Online deployment: stream raw packets through a persisted model.
 
 This example mirrors the deployment story of Figure 3 in the paper with the
-streaming-first API: the operator trains CLAP offline and persists it as a
-versioned model artifact (weights + ``manifest.json``); a (simulated)
+sharded streaming runtime: the operator trains CLAP offline and persists it as
+a versioned model artifact (weights + ``manifest.json``); a (simulated)
 middlebox process later loads it, wraps it in a
-:class:`repro.serve.StreamingDetector` and feeds it the raw packet stream.
-The detector assembles flows incrementally, micro-batches completed
-connections through the batched inference engine and pushes typed
-``DetectionEvent``/``Alert`` objects the moment they are scored.
+:class:`repro.serve.ParallelStreamingDetector` and feeds it a
+:class:`repro.serve.IterableSource` packet stream.  The runtime routes each
+packet to the flow-table shard owning its flow key, workers micro-batch
+completed connections through the batched inference engine, and typed
+``DetectionEvent``/``Alert`` objects funnel back through one callback the
+moment they are scored.  The end-of-stream metrics summary shows the
+backpressure signals an operator would watch (per-shard occupancy, flush
+latency, drop counters).
 
 Run with:  python examples/online_detector.py
 """
@@ -26,11 +30,12 @@ from repro import (
     Clap,
     ClapConfig,
     FlushPolicy,
-    StreamingDetector,
+    ParallelStreamingDetector,
     all_strategies,
 )
 from repro.evaluation import roc_curve, true_false_positive_counts
 from repro.netstack import packet_stream
+from repro.serve import IterableSource
 
 
 def train_and_persist(model_dir: Path) -> BenignDataset:
@@ -92,21 +97,26 @@ def main() -> None:
                 f"{event.completed_by.value:>9}  {strategy_name or ''}"
             )
 
-        # Packets in, alerts out: the streaming detector owns flow assembly
-        # and micro-batching; the deployment code is just a callback.
-        streaming = StreamingDetector(
+        # Packets in, alerts out: the sharded runtime owns routing, flow
+        # assembly and micro-batching; the deployment code is just a source
+        # and a callback.  (A live deployment would swap IterableSource for
+        # PcapSource/NDJSONSource, add a ReplaySource for pacing, and pick a
+        # DropPolicy for capacity floods.)
+        streaming = ParallelStreamingDetector(
             detector_model,
+            workers=2,
             flush_policy=FlushPolicy(max_batch=8),
             idle_timeout=30.0,
             close_grace=0.5,
             on_event=on_event,
         )
-        streaming.ingest_many(packets)
-        streaming.close()
+        streaming.run(IterableSource(packets))
         print(
             f"\nstream finished: {streaming.alerts_emitted}/{streaming.connections_seen} "
             f"connections alerted"
         )
+        print("\n--- runtime metrics (the operator's backpressure dashboard) ---")
+        print(streaming.render_metrics())
 
         print("\n--- operating point selection (the deployer's trade-off) ---")
         curve = roc_curve(attack_scores, benign_scores)

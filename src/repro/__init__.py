@@ -43,8 +43,27 @@ from repro.attacks import (
 from repro.core import Clap, ClapConfig, DetectionResult
 from repro.baselines import IntraPacketBaseline, KitsuneDetector
 from repro.evaluation import ExperimentRunner, auc_roc, equal_error_rate, roc_curve
-from repro.netstack import CompletionReason, Connection, FlowTable, Packet, read_pcap, write_pcap
-from repro.serve import Alert, DetectionEvent, FlushPolicy, StreamingDetector
+from repro.netstack import (
+    CompletionReason,
+    Connection,
+    FlowTable,
+    Packet,
+    ShardedFlowTable,
+    read_pcap,
+    write_pcap,
+)
+from repro.serve import (
+    Alert,
+    DetectionEvent,
+    DropPolicy,
+    FlushPolicy,
+    NDJSONSource,
+    ParallelStreamingDetector,
+    PcapSource,
+    ReplaySource,
+    StreamingDetector,
+    StreamingMetrics,
+)
 from repro.traffic import BenignDataset, TrafficGenerator
 from repro.version import __version__
 
@@ -61,13 +80,20 @@ __all__ = [
     "ContextCategory",
     "DetectionEvent",
     "DetectionResult",
+    "DropPolicy",
     "ExperimentRunner",
     "FlowTable",
     "FlushPolicy",
     "IntraPacketBaseline",
     "KitsuneDetector",
+    "NDJSONSource",
     "Packet",
+    "ParallelStreamingDetector",
+    "PcapSource",
+    "ReplaySource",
+    "ShardedFlowTable",
     "StreamingDetector",
+    "StreamingMetrics",
     "TrafficGenerator",
     "__version__",
     "all_strategies",

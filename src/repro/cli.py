@@ -7,8 +7,9 @@ writing any Python:
 * ``repro-clap attack``    — inject one of the 73 evasion strategies into a capture;
 * ``repro-clap train``     — train CLAP on a benign capture and persist the model;
 * ``repro-clap score``     — score a capture with a persisted model (forensic mode);
-* ``repro-clap stream``    — replay a capture through the streaming detector,
-  emitting one NDJSON event per completed connection (online mode);
+* ``repro-clap stream``    — replay a capture (pcap or NDJSON) through the
+  sharded streaming runtime (``--workers``), emitting one NDJSON event per
+  completed connection (online mode);
 * ``repro-clap strategies``— list the attack catalogue.
 
 Every subcommand works on ordinary ``.pcap`` files, so captures produced by
@@ -31,7 +32,14 @@ from repro.core.config import ClapConfig
 from repro.core.pipeline import Clap
 from repro.netstack.flow import assemble_connections
 from repro.netstack.pcap import read_pcap, write_pcap
-from repro.serve import FlushPolicy, StreamingDetector
+from repro.serve import (
+    DropPolicy,
+    FlushPolicy,
+    ParallelStreamingDetector,
+    ReplaySource,
+    Tick,
+    open_source,
+)
 from repro.traffic.dataset import BenignDataset
 from repro.traffic.generator import TrafficGenerator
 
@@ -82,11 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit one JSON document instead of the table")
 
     stream = subparsers.add_parser(
-        "stream", help="replay a capture through the streaming detector (NDJSON events)")
+        "stream", help="replay a capture through the streaming runtime (NDJSON events)")
     stream.add_argument("model", type=Path, help="directory containing the trained model")
-    stream.add_argument("pcap", type=Path, help="capture to replay as a packet stream")
+    stream.add_argument("pcap", type=Path,
+                        help="capture to replay as a packet stream (.pcap or NDJSON)")
     stream.add_argument("--threshold", type=float, default=None,
                         help="override the persisted adversarial-score threshold")
+    stream.add_argument("--workers", type=int, default=1,
+                        help="flow-table shards / worker threads (1 = single-threaded)")
+    stream.add_argument("--source", choices=("auto", "pcap", "ndjson"), default="auto",
+                        help="input format; auto picks by file extension")
     stream.add_argument("--max-batch", type=int, default=32,
                         help="micro-batch size: flush after this many completed connections")
     stream.add_argument("--idle-timeout", type=float, default=60.0,
@@ -94,9 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--close-grace", type=float, default=1.0,
                         help="silence after FIN/RST before a connection completes")
     stream.add_argument("--max-flows", type=int, default=None,
-                        help="bound on concurrently tracked connections")
+                        help="bound on concurrently tracked connections (global budget)")
+    stream.add_argument("--drop-policy", choices=("score", "drop"), default="score",
+                        help="what to do with capacity-evicted flows: score them "
+                             "(default) or count and drop them unscored")
+    stream.add_argument("--replay-rate", type=float, default=None,
+                        help="pace the replay at this many packets per second")
     stream.add_argument("--alerts-only", action="store_true",
                         help="emit only threshold-exceeding connections")
+    stream.add_argument("--metrics", action="store_true",
+                        help="print the runtime metrics summary to stderr at end of stream")
 
     strategies = subparsers.add_parser("strategies", help="list the 73 evasion strategies")
     strategies.add_argument("--source", default=None,
@@ -235,9 +255,8 @@ def command_stream(args: argparse.Namespace) -> int:
     clap = _load_model(args.model)
     if clap is None:
         return 2
-    packets = read_pcap(args.pcap)
-    if not packets:
-        print(f"error: no TCP packets found in {args.pcap}", file=sys.stderr)
+    if not args.pcap.exists():
+        print(f"error: no capture found at {args.pcap}", file=sys.stderr)
         return 2
 
     def emit(events) -> None:
@@ -247,30 +266,52 @@ def command_stream(args: argparse.Namespace) -> int:
             print(json.dumps(event.to_dict()))
 
     try:
-        detector = StreamingDetector(
+        source: object = open_source(args.pcap, args.source)
+        if args.replay_rate is not None:
+            # Heartbeat at the close-grace cadence so FIN'd flows complete
+            # during quiet spells; with a zero grace there is nothing for a
+            # tick to expire earlier, so skip the heartbeats entirely.
+            tick_interval = args.close_grace if args.close_grace > 0 else None
+            source = ReplaySource(source, rate=args.replay_rate,
+                                  tick_interval=tick_interval)
+        detector = ParallelStreamingDetector(
             clap,
+            workers=args.workers,
             flush_policy=FlushPolicy(max_batch=args.max_batch,
                                      max_buffered=max(args.max_batch, 1024)),
             threshold=args.threshold,
             idle_timeout=args.idle_timeout,
             close_grace=args.close_grace,
             max_flows=args.max_flows,
+            drop_policy=DropPolicy(mode=args.drop_policy),
         )
     except ValueError as error:
-        # FlowTable/FlushPolicy validate their knobs; render the message
-        # (e.g. "idle_timeout must be positive") instead of a traceback.
+        # FlowTable/FlushPolicy/DropPolicy validate their knobs; render the
+        # message (e.g. "idle_timeout must be positive") instead of a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    for packet in packets:
-        detector.ingest(packet)
+    streamed = 0
+    for item in source:
+        if isinstance(item, Tick):
+            detector.poll(item.now)
+        else:
+            streamed += 1
+            detector.ingest(item)
         emit(detector.events())
+    # close() also queues the final-drain events, so the events() drain below
+    # delivers them exactly once, in the deterministic close ordering.
     detector.close()
     emit(detector.events())
+    if streamed == 0:
+        print(f"error: no TCP packets found in {args.pcap}", file=sys.stderr)
+        return 2
     print(
         f"{detector.alerts_emitted}/{detector.connections_seen} connections exceeded "
         f"threshold {detector.threshold:.5f}",
         file=sys.stderr,
     )
+    if args.metrics:
+        print(detector.render_metrics(), file=sys.stderr)
     return 0
 
 

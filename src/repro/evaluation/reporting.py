@@ -114,9 +114,15 @@ def render_table2(
 # ---------------------------------------------------------------------------
 
 def render_table3(throughputs: Dict[str, ThroughputResult]) -> str:
-    headers = ["Model", "Packets/Second", "Connections/Second"]
+    headers = ["Model", "Mode", "Workers", "Packets/Second", "Connections/Second"]
     rows = [
-        [name, f"{result.packets_per_second:,.1f}", f"{result.connections_per_second:,.1f}"]
+        [
+            name,
+            result.mode,
+            str(result.workers),
+            f"{result.packets_per_second:,.1f}",
+            f"{result.connections_per_second:,.1f}",
+        ]
         for name, result in throughputs.items()
     ]
     return render_table(headers, rows)

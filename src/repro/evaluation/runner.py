@@ -107,6 +107,7 @@ class ThroughputResult:
     connections: int
     seconds: float
     mode: str = "batched"
+    workers: int = 1
 
     @property
     def packets_per_second(self) -> float:
@@ -274,6 +275,7 @@ class ExperimentRunner:
         connections: Optional[Sequence[Connection]] = None,
         *,
         mode: str = "batched",
+        workers: int = 1,
     ) -> ThroughputResult:
         """Time the testing-phase pipeline of one trained detector (Table 3).
 
@@ -282,9 +284,10 @@ class ExperimentRunner:
         uses the per-connection reference loop where the detector offers one
         (``score_connections_sequential``), falling back to the batched path
         otherwise (e.g. for Baseline #2); ``"streaming"`` replays the
-        connections' packets in timestamp order through a
-        :class:`~repro.serve.StreamingDetector` (CLAP only), measuring the
-        full packets-in/alerts-out serving path including flow assembly.
+        connections' packets in timestamp order through the sharded
+        :class:`~repro.serve.ParallelStreamingDetector` (CLAP only) with
+        ``workers`` flow-table shards, measuring the full
+        packets-in/alerts-out serving path including flow assembly.
         """
         detector = self.detectors[detector_name]
         connections = list(connections) if connections is not None else self.test_connections
@@ -294,11 +297,13 @@ class ExperimentRunner:
         if mode == "streaming":
             if not isinstance(detector, Clap):
                 raise ValueError("streaming throughput is only defined for the CLAP pipeline")
-            from repro.serve import StreamingDetector
+            from repro.serve import ParallelStreamingDetector
 
             stream = packet_stream(connections)
             start = time.perf_counter()
-            streaming = StreamingDetector(detector, idle_timeout=float("inf"))
+            streaming = ParallelStreamingDetector(
+                detector, workers=workers, idle_timeout=float("inf")
+            )
             streaming.ingest_many(stream)
             streaming.close()
             elapsed = time.perf_counter() - start
@@ -308,6 +313,7 @@ class ExperimentRunner:
                 connections=streaming.connections_seen,
                 seconds=elapsed,
                 mode=mode,
+                workers=workers,
             )
         scorer = detector.score_connections
         if mode == "sequential":

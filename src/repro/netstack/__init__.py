@@ -21,6 +21,7 @@ from repro.netstack.flow import (
     ConnectionAssembler,
     FlowKey,
     FlowTable,
+    ShardedFlowTable,
     assemble_connections,
     connection_looks_closed,
     packet_stream,
@@ -65,6 +66,7 @@ __all__ = [
     "PcapWriter",
     "RawOption",
     "SackPermitted",
+    "ShardedFlowTable",
     "TcpFlags",
     "TcpHeader",
     "Timestamp",

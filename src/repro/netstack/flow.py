@@ -25,12 +25,25 @@ class FlowKey:
     The key is normalised so that both directions of the same connection map
     to the same value: the (address, port) pair that sorts lower is stored
     first.
+
+    The hash is computed once at construction and cached: the flow table
+    probes a dict with the key once per packet, and the dataclass-generated
+    ``__hash__`` would rebuild and hash the 4-tuple on every probe
+    (``benchmarks/results/flowkey_hash_microbench.txt``).
     """
 
     ip_a: int
     port_a: int
     ip_b: int
     port_b: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.ip_a, self.port_a, self.ip_b, self.port_b))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @classmethod
     def from_packet(cls, packet: Packet) -> "FlowKey":
@@ -236,15 +249,20 @@ class FlowTable:
         return self._clock
 
     # ------------------------------------------------------------- ingestion
-    def add(self, packet: Packet) -> List[Tuple[Connection, CompletionReason]]:
+    def add(
+        self, packet: Packet, key: Optional[FlowKey] = None
+    ) -> List[Tuple[Connection, CompletionReason]]:
         """Route ``packet`` and return every connection completed by it.
 
         Completions triggered by this packet include the connection it closed
         by reusing a 5-tuple, connections whose close-grace/idle timers
-        expired as stream time advanced, and capacity evictions.
+        expired as stream time advanced, and capacity evictions.  Callers
+        that already computed the packet's :class:`FlowKey` (e.g. the sharded
+        runtime's router) may pass it to skip recomputing it.
         """
         completed: List[Tuple[Connection, CompletionReason]] = []
-        key = FlowKey.from_packet(packet)
+        if key is None:
+            key = FlowKey.from_packet(packet)
         entry = self._flows.get(key)
         starts_new = packet.tcp.is_syn and not packet.tcp.is_ack
         if entry is not None and starts_new and connection_looks_closed(entry.connection):
@@ -320,6 +338,120 @@ class FlowTable:
     def _remove(self, key: FlowKey) -> _FlowEntry:
         self._closing.pop(key, None)
         return self._flows.pop(key)
+
+
+class ShardedFlowTable:
+    """Hash-partitioned flow assembly: N independent :class:`FlowTable` shards.
+
+    Per-flow independence makes connection assembly horizontally
+    partitionable: every packet of a flow maps to the same shard
+    (``hash(FlowKey) % shards``), so shards never share state and each can be
+    owned by a different worker (:mod:`repro.serve.runtime` does exactly
+    that).  Each shard keeps its own clock, advanced by its own packets; the
+    wrapper tracks the global stream high-water mark and lazily catches a
+    shard up to it before routing a packet into it, so close-grace/idle
+    expiry fires against global stream time exactly as it would in a single
+    table.  The emitted *set* of connections on a time-ordered stream is
+    therefore identical to a single :class:`FlowTable`'s — only the
+    interleaving of completions differs.
+
+    ``max_flows`` is a global budget divided evenly across shards (each shard
+    enforces ``ceil(max_flows / shards)``), so bounded memory survives
+    sharding; under capacity pressure the eviction *victims* can differ from
+    the single-table global LRU, which is the documented trade-off.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        idle_timeout: float = 60.0,
+        close_grace: float = 1.0,
+        max_flows: Optional[int] = None,
+        max_packets: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        per_shard_flows = None
+        if max_flows is not None:
+            if max_flows < 1:
+                raise ValueError(f"max_flows must be at least 1, got {max_flows}")
+            per_shard_flows = -(-max_flows // shards)  # ceil division
+        self.max_flows = max_flows
+        self._tables: Tuple[FlowTable, ...] = tuple(
+            FlowTable(
+                idle_timeout=idle_timeout,
+                close_grace=close_grace,
+                max_flows=per_shard_flows,
+                max_packets=max_packets,
+            )
+            for _ in range(shards)
+        )
+        self._clock = float("-inf")
+
+    # --------------------------------------------------------------- topology
+    @property
+    def shard_count(self) -> int:
+        return len(self._tables)
+
+    @property
+    def tables(self) -> Tuple[FlowTable, ...]:
+        """The underlying shards (read-only view for workers and metrics)."""
+        return self._tables
+
+    def shard_index(self, key: FlowKey) -> int:
+        """The shard owning ``key`` (stable: int-tuple hashes are unsalted)."""
+        return hash(key) % len(self._tables)
+
+    def occupancy(self) -> List[int]:
+        """Tracked connections per shard (backpressure monitoring)."""
+        return [len(table) for table in self._tables]
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables)
+
+    @property
+    def clock(self) -> float:
+        """The global stream high-water timestamp across all shards."""
+        return self._clock
+
+    # -------------------------------------------------------------- ingestion
+    def add(self, packet: Packet) -> List[Tuple[Connection, CompletionReason]]:
+        """Route ``packet`` to its shard; returns that shard's completions."""
+        key = FlowKey.from_packet(packet)
+        table = self._tables[self.shard_index(key)]
+        completed: List[Tuple[Connection, CompletionReason]] = []
+        # Catch the shard up to global stream time first, so timers expire
+        # exactly when an intervening packet (on any shard) would have
+        # expired them in a single table.
+        if self._clock > table.clock:
+            completed.extend(table.poll(self._clock))
+        completed.extend(table.add(packet, key))
+        self._clock = max(self._clock, packet.timestamp)
+        return completed
+
+    def poll(self, now: Optional[float] = None) -> List[Tuple[Connection, CompletionReason]]:
+        """Advance every shard to ``now`` (or the global clock) and expire timers."""
+        if now is not None:
+            self._clock = max(self._clock, float(now))
+        completed: List[Tuple[Connection, CompletionReason]] = []
+        for table in self._tables:
+            completed.extend(table.poll(self._clock))
+        return completed
+
+    def drain(self) -> List[Tuple[Connection, CompletionReason]]:
+        """Merged end-of-stream drain of every shard, oldest first.
+
+        Shards whose timers already expired against global stream time are
+        completed with their true reason (CLOSED/IDLE) before the remainder
+        drains, matching what a single table would have emitted mid-stream.
+        """
+        merged = self.poll()
+        merged += [item for table in self._tables for item in table.drain()]
+        merged.sort(
+            key=lambda item: item[0].packets[0].timestamp if item[0].packets else 0.0
+        )
+        return merged
 
 
 def assemble_connections(packets: Iterable[Packet]) -> List[Connection]:

@@ -1,16 +1,39 @@
 """Streaming-first serving layer: the online deployment surface of CLAP.
 
 ``repro.serve`` turns the trained pipeline into the middlebox companion of
-Figure 3: :class:`StreamingDetector` ingests raw packets, assembles them with
-an incremental :class:`~repro.netstack.flow.FlowTable`, micro-batches
-completed connections through the batched inference engine under a
-:class:`FlushPolicy`, and emits typed :class:`DetectionEvent`/:class:`Alert`
-objects via iterator and callback APIs.
+Figure 3, layered as a streaming runtime:
+
+* :mod:`repro.serve.sources` — pluggable packet sources (:class:`PcapSource`,
+  :class:`NDJSONSource`, rate-controlled :class:`ReplaySource` with
+  :class:`Tick` heartbeats for quiet links);
+* :class:`~repro.netstack.flow.FlowTable` /
+  :class:`~repro.netstack.flow.ShardedFlowTable` — incremental,
+  hash-partitioned connection assembly;
+* :class:`StreamingDetector` — the single-threaded detector: micro-batches
+  completed connections through the batched inference engine under a
+  :class:`FlushPolicy` and emits typed :class:`DetectionEvent`/:class:`Alert`
+  objects via iterator and callback APIs;
+* :class:`ParallelStreamingDetector` (:mod:`repro.serve.runtime`) — fans
+  packets to per-shard workers behind bounded queues and funnels events into
+  one ordered stream, with :class:`DropPolicy` handling of capacity floods
+  and :class:`StreamingMetrics` backpressure monitoring
+  (:mod:`repro.serve.metrics`).
 """
 
 from repro.core.results import DetectionResult
-from repro.netstack.flow import CompletionReason, FlowTable
+from repro.netstack.flow import CompletionReason, FlowTable, ShardedFlowTable
 from repro.serve.events import Alert, DetectionEvent, make_event
+from repro.serve.metrics import DropPolicy, LatencyHistogram, StreamingMetrics
+from repro.serve.runtime import ParallelStreamingDetector
+from repro.serve.sources import (
+    IterableSource,
+    NDJSONSource,
+    PacketSource,
+    PcapSource,
+    ReplaySource,
+    Tick,
+    open_source,
+)
 from repro.serve.streaming import FlushPolicy, StreamingDetector
 
 __all__ = [
@@ -18,8 +41,20 @@ __all__ = [
     "CompletionReason",
     "DetectionEvent",
     "DetectionResult",
+    "DropPolicy",
     "FlowTable",
     "FlushPolicy",
+    "IterableSource",
+    "LatencyHistogram",
+    "NDJSONSource",
+    "PacketSource",
+    "ParallelStreamingDetector",
+    "PcapSource",
+    "ReplaySource",
+    "ShardedFlowTable",
     "StreamingDetector",
+    "StreamingMetrics",
+    "Tick",
     "make_event",
+    "open_source",
 ]

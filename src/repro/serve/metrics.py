@@ -1,0 +1,233 @@
+"""Backpressure monitoring and drop policies for the streaming runtime.
+
+Grashöfer et al. ("Attacks on open-source network security monitors") show
+that unbounded per-flow state is itself an attack surface: a SYN flood that
+fills the flow table forces either unbounded memory or mass
+:attr:`~repro.netstack.flow.CompletionReason.CAPACITY` evictions, and naively
+scoring every evicted one-packet flow burns the inference budget exactly when
+the system is under attack.  This module makes both concerns first-class:
+
+* :class:`DropPolicy` decides what happens to capacity-evicted flows before
+  they reach the scoring engine (score them, or count and drop them);
+* :class:`StreamingMetrics` aggregates the runtime's operational signals —
+  per-shard ingest/completion counters, drop counters, flush latency
+  histogram, queue/pending depth high-water marks — behind one lock so every
+  worker thread can record into it.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.netstack.flow import CompletionReason, Connection
+
+#: Upper edges (seconds) of the flush-latency histogram buckets; the final
+#: bucket is open-ended.  Engine flushes on commodity hardware land in the
+#: single-digit-millisecond range, so the buckets climb log-ish from 1 ms.
+LATENCY_BUCKET_EDGES: Tuple[float, ...] = (
+    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (Prometheus-style, cumulative render)."""
+
+    def __init__(self, edges: Tuple[float, ...] = LATENCY_BUCKET_EDGES) -> None:
+        self.edges = tuple(float(edge) for edge in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_right(self.edges, seconds)] += 1
+        self.total += seconds
+        self.count += 1
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        buckets = {}
+        cumulative = 0
+        for edge, bucket_count in zip(self.edges, self.counts):
+            cumulative += bucket_count
+            buckets[f"le_{edge:g}"] = cumulative
+        buckets["le_inf"] = self.count
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "max_seconds": self.max,
+            "buckets": buckets,
+        }
+
+
+@dataclass(frozen=True)
+class DropPolicy:
+    """What to do with :attr:`CompletionReason.CAPACITY` completions.
+
+    ``mode="score"`` (the default, and the historical behaviour) sends every
+    capacity eviction to the engine like any other completion.
+    ``mode="drop"`` discards them unscored — under a flood the evicted flows
+    are overwhelmingly attacker-created fragments, and dropping them keeps
+    the engine budget for connections that completed organically.
+    ``min_packets`` refines ``"score"``: capacity evictions shorter than this
+    many packets (e.g. bare SYNs) are dropped, longer ones still scored.
+
+    Only capacity evictions are ever dropped; CLOSED/IDLE/DRAIN completions
+    always reach the engine regardless of policy.
+    """
+
+    mode: str = "score"
+    min_packets: int = 0
+
+    _MODES = ("score", "drop")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(
+                f"drop-policy mode must be one of {self._MODES}, got {self.mode!r}"
+            )
+        if self.min_packets < 0:
+            raise ValueError(f"min_packets must be non-negative, got {self.min_packets}")
+
+    def drops(self, connection: Connection, reason: CompletionReason) -> bool:
+        """True if this completion should be discarded without scoring."""
+        if reason is not CompletionReason.CAPACITY:
+            return False
+        if self.mode == "drop":
+            return True
+        return len(connection) < self.min_packets
+
+
+class StreamingMetrics:
+    """Thread-safe operational counters for one streaming detector.
+
+    One instance is shared by every shard worker; all mutation happens under
+    a single lock (the recorded quantities are far coarser-grained than the
+    per-packet hot path, so contention is negligible).
+    """
+
+    def __init__(self, shard_count: int = 1) -> None:
+        self._lock = threading.Lock()
+        self.shard_count = int(shard_count)
+        self.packets_ingested = [0] * self.shard_count
+        self.completions: Dict[str, int] = {reason.value: 0 for reason in CompletionReason}
+        self.connections_scored = 0
+        self.events_emitted = 0
+        self.alerts_emitted = 0
+        self.capacity_drops = 0
+        self.flush_latency = LatencyHistogram()
+        self.max_pending_depth = 0
+        self.max_queue_depth = 0
+
+    # -------------------------------------------------------------- recording
+    def record_ingest(self, shard: int, packets: int = 1) -> None:
+        with self._lock:
+            self.packets_ingested[shard] += packets
+
+    def record_completions(
+        self, completions: Iterable[Tuple[Connection, CompletionReason]]
+    ) -> None:
+        with self._lock:
+            for _, reason in completions:
+                self.completions[reason.value] += 1
+
+    def record_drop(self, count: int = 1) -> None:
+        with self._lock:
+            self.capacity_drops += count
+
+    def record_flush(self, connections: int, seconds: float) -> None:
+        with self._lock:
+            self.connections_scored += connections
+            self.flush_latency.observe(seconds)
+
+    def record_events(self, events: int, alerts: int) -> None:
+        with self._lock:
+            self.events_emitted += events
+            self.alerts_emitted += alerts
+
+    def record_pending_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.max_pending_depth:
+                self.max_pending_depth = depth
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+
+    # -------------------------------------------------------------- reporting
+    @property
+    def total_packets(self) -> int:
+        return sum(self.packets_ingested)
+
+    @property
+    def total_completions(self) -> int:
+        return sum(self.completions.values())
+
+    def snapshot(self, occupancy: Optional[List[int]] = None) -> Dict[str, object]:
+        """One JSON-friendly dict with every signal (for logs / the CLI)."""
+        with self._lock:
+            return {
+                "shards": self.shard_count,
+                "packets_ingested": list(self.packets_ingested),
+                "completions_by_reason": dict(self.completions),
+                "connections_scored": self.connections_scored,
+                "events_emitted": self.events_emitted,
+                "alerts_emitted": self.alerts_emitted,
+                "capacity_drops": self.capacity_drops,
+                "flush_latency": self.flush_latency.to_dict(),
+                "max_pending_depth": self.max_pending_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "shard_occupancy": list(occupancy) if occupancy is not None else None,
+            }
+
+    def render(self, occupancy: Optional[List[int]] = None) -> str:
+        """Short human-readable summary (printed to stderr by the CLI)."""
+        snap = self.snapshot(occupancy)
+        reasons = ", ".join(
+            f"{name}={count}"
+            for name, count in snap["completions_by_reason"].items()  # type: ignore[union-attr]
+            if count
+        )
+        latency = self.flush_latency
+        lines = [
+            f"shards={snap['shards']} packets={sum(snap['packets_ingested'])} "
+            f"completions=[{reasons or 'none'}]",
+            f"scored={snap['connections_scored']} events={snap['events_emitted']} "
+            f"alerts={snap['alerts_emitted']} capacity_drops={snap['capacity_drops']}",
+            f"flush latency: n={latency.count} mean={latency.mean * 1e3:.2f}ms "
+            f"max={latency.max * 1e3:.2f}ms; "
+            f"max pending={snap['max_pending_depth']} max queue={snap['max_queue_depth']}",
+        ]
+        if occupancy is not None:
+            lines.append(f"shard occupancy: {occupancy}")
+        return "\n".join(lines)
+
+
+def apply_drop_policy(
+    completions: List[Tuple[Connection, CompletionReason]],
+    policy: Optional[DropPolicy],
+    metrics: Optional[StreamingMetrics],
+) -> List[Tuple[Connection, CompletionReason]]:
+    """Filter ``completions`` through ``policy``, recording drops in ``metrics``.
+
+    With no policy (or nothing to drop) the input list is returned unchanged,
+    so the default streaming path stays allocation-free.
+    """
+    if metrics is not None and completions:
+        metrics.record_completions(completions)
+    if policy is None:
+        return completions
+    kept = [item for item in completions if not policy.drops(*item)]
+    dropped = len(completions) - len(kept)
+    if dropped and metrics is not None:
+        metrics.record_drop(dropped)
+    return kept if dropped else completions

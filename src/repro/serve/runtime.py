@@ -1,0 +1,504 @@
+"""Sharded parallel streaming runtime: one process, N shard workers.
+
+:class:`ParallelStreamingDetector` scales the single-threaded
+:class:`~repro.serve.streaming.StreamingDetector` out to N workers while
+keeping its contract.  The layering:
+
+* the ingest thread (the caller) routes each packet to the shard owning its
+  flow key (``hash(FlowKey) % workers``, the same partition a
+  :class:`~repro.netstack.flow.ShardedFlowTable` uses) and hands it over in
+  chunks through a bounded per-shard queue — a full queue blocks ingestion,
+  which **is** the backpressure signal;
+* each shard worker owns one :class:`~repro.netstack.flow.FlowTable` shard
+  and its own pending buffer: it assembles connections, applies the
+  :class:`~repro.serve.metrics.DropPolicy` to capacity evictions, and pushes
+  completed connections through the shared batched inference engine under the
+  :class:`~repro.serve.streaming.FlushPolicy` (scoring is NumPy-dominated, so
+  a :class:`~threading.Thread` per shard overlaps engine calls with
+  assembly and with each other);
+* every worker funnels its events into one shared ordered queue consumed via
+  :meth:`events` / the ``on_event``/``on_alert`` callbacks (invoked under a
+  dispatch lock, so callbacks never run concurrently).
+
+Equivalence guarantee: on a time-ordered capture the runtime emits the same
+set of :class:`~repro.serve.events.DetectionEvent`\\ s — same connection
+keys, scores within 1e-9 — at any worker count, and :meth:`close` returns the
+end-of-stream drain in deterministic ``(first_seen, key)`` order
+(``tests/serve/test_runtime.py``).  With ``workers=1`` no threads are spawned
+at all: the runtime delegates to a plain ``StreamingDetector``, keeping
+today's single-threaded behaviour bit-identical.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.pipeline import Clap
+from repro.netstack.flow import (
+    CompletionReason,
+    Connection,
+    FlowKey,
+    FlowTable,
+    ShardedFlowTable,
+)
+from repro.netstack.packet import Packet
+from repro.serve.events import Alert, DetectionEvent
+from repro.serve.metrics import DropPolicy, StreamingMetrics, apply_drop_policy
+from repro.serve.sources import PacketSource, Tick
+from repro.serve.streaming import (
+    AlertCallback,
+    EventCallback,
+    FlushPolicy,
+    StreamingDetector,
+    drain_pending,
+)
+
+_CLOSE = object()
+
+
+def _emit_nothing(events: List[DetectionEvent]) -> None:
+    """Dispatch sink for the final drain: close() dispatches it sorted."""
+
+
+def _event_order(event: DetectionEvent) -> Tuple[float, str]:
+    """Deterministic event ordering: stream arrival, then connection key."""
+    return (event.first_seen, str(event.result.key))
+
+
+class _Flush:
+    """Flush barrier token: the worker fills ``events`` and sets ``done``."""
+
+    def __init__(self) -> None:
+        self.events: List[DetectionEvent] = []
+        self.done = threading.Event()
+
+
+class _Poll:
+    """Advance a shard's stream clock without a packet."""
+
+    def __init__(self, now: float) -> None:
+        self.now = now
+
+
+class _Shard:
+    """One worker's private state: flow-table shard, pending buffer, queue."""
+
+    def __init__(self, index: int, table: FlowTable, queue_depth: int) -> None:
+        self.index = index
+        self.table = table
+        self.queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
+        self.pending: List[Tuple[Connection, CompletionReason]] = []
+        self.final_events: List[DetectionEvent] = []
+        self.failure: Optional[BaseException] = None
+        self.thread: Optional[threading.Thread] = None
+
+
+class ParallelStreamingDetector:
+    """Multi-worker streaming CLAP: fan packets to shards, funnel events out.
+
+    Parameters mirror :class:`~repro.serve.streaming.StreamingDetector`, plus:
+
+    workers:
+        Number of flow-table shards and worker threads.  ``1`` (the default)
+        delegates to a plain ``StreamingDetector`` on the caller's thread.
+    drop_policy:
+        Applied to :attr:`CompletionReason.CAPACITY` evictions before they
+        reach the engine (see :class:`~repro.serve.metrics.DropPolicy`).
+    chunk_size:
+        Packets handed to a shard per queue operation.  Larger chunks cut
+        queue overhead; smaller chunks cut event latency.
+    queue_depth:
+        Bounded per-shard queue length (in chunks).  When a shard falls this
+        far behind, :meth:`ingest` blocks — backpressure instead of
+        unbounded buffering.
+    metrics:
+        Optional externally-owned :class:`StreamingMetrics`; one is created
+        (and exposed as :attr:`metrics`) by default.
+    """
+
+    def __init__(
+        self,
+        clap: Clap,
+        *,
+        workers: int = 1,
+        flush_policy: Optional[FlushPolicy] = None,
+        threshold: Optional[float] = None,
+        top_n: int = 1,
+        idle_timeout: float = 60.0,
+        close_grace: float = 1.0,
+        max_flows: Optional[int] = None,
+        max_packets: Optional[int] = None,
+        drop_policy: Optional[DropPolicy] = None,
+        on_event: Optional[EventCallback] = None,
+        on_alert: Optional[AlertCallback] = None,
+        chunk_size: int = 64,
+        queue_depth: int = 8,
+        metrics: Optional[StreamingMetrics] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be at least 1, got {queue_depth}")
+        self.clap = clap
+        self.workers = int(workers)
+        self.policy = flush_policy or FlushPolicy()
+        self.threshold = clap.threshold if threshold is None else float(threshold)
+        self.top_n = int(top_n)
+        self.drop_policy = drop_policy
+        self.on_event = on_event
+        self.on_alert = on_alert
+        self.metrics = metrics or StreamingMetrics(shard_count=self.workers)
+        self._closed = False
+        self._single: Optional[StreamingDetector] = None
+        if self.workers == 1:
+            self._single = StreamingDetector(
+                clap,
+                flush_policy=self.policy,
+                threshold=self.threshold,
+                top_n=top_n,
+                idle_timeout=idle_timeout,
+                close_grace=close_grace,
+                max_flows=max_flows,
+                max_packets=max_packets,
+                on_event=on_event,
+                on_alert=on_alert,
+                drop_policy=drop_policy,
+                metrics=self.metrics,
+            )
+            return
+        # Build the lazy engine on the caller's thread so worker threads
+        # never race its construction.
+        clap.engine
+        self.sharded = ShardedFlowTable(
+            self.workers,
+            idle_timeout=idle_timeout,
+            close_grace=close_grace,
+            max_flows=max_flows,
+            max_packets=max_packets,
+        )
+        self._chunk_size = int(chunk_size)
+        self._events: Deque[DetectionEvent] = deque()
+        self._dispatch_lock = threading.Lock()
+        self._connections_seen = 0
+        self._alerts_emitted = 0
+        # Global stream high-water mark; written only by the ingest thread,
+        # snapshotted into every queued packet so shard clocks catch up to
+        # global stream time exactly as ShardedFlowTable.add does.
+        self._clock = float("-inf")
+        self._buffers: List[List[Tuple[Packet, FlowKey, float]]] = [
+            [] for _ in range(self.workers)
+        ]
+        self._shards = [
+            _Shard(index, self.sharded.tables[index], queue_depth)
+            for index in range(self.workers)
+        ]
+        for shard in self._shards:
+            shard.thread = threading.Thread(
+                target=self._worker_loop,
+                args=(shard,),
+                name=f"clap-shard-{shard.index}",
+                daemon=True,
+            )
+            shard.thread.start()
+
+    # -------------------------------------------------------------- ingestion
+    def ingest(self, packet: Packet) -> None:
+        """Route one packet to its shard (may block under backpressure)."""
+        if self._closed:
+            raise RuntimeError("ingest() after close()")
+        if self._single is not None:
+            self._single.ingest(packet)
+            return
+        self._raise_worker_failure()
+        # The router computes the flow key once; the owning shard reuses it
+        # (FlowTable.add accepts a precomputed key), so sharding adds no
+        # duplicate key work to the per-packet path.
+        key = FlowKey.from_packet(packet)
+        index = self.sharded.shard_index(key)
+        buffer = self._buffers[index]
+        buffer.append((packet, key, self._clock))
+        if packet.timestamp > self._clock:
+            self._clock = packet.timestamp
+        if len(buffer) >= self._chunk_size:
+            self._submit(index)
+
+    def ingest_many(self, packets: Iterable[Packet]) -> None:
+        """Feed a chunk of packets in stream order."""
+        if self._single is not None:
+            self._single.ingest_many(packets)
+            return
+        for packet in packets:
+            self.ingest(packet)
+
+    def poll(self, now: Optional[float] = None) -> None:
+        """Advance stream time on every shard without a packet."""
+        if self._single is not None:
+            self._single.poll(now)
+            return
+        if self._closed:
+            return  # every shard already drained; nothing left to expire
+        self._raise_worker_failure()
+        now = self._clock if now is None else float(now)
+        if now == float("-inf"):
+            return
+        if now > self._clock:
+            self._clock = now
+        for index, shard in enumerate(self._shards):
+            self._submit(index)
+            shard.queue.put(_Poll(now))
+
+    def run(self, source: PacketSource) -> List[DetectionEvent]:
+        """Consume a packet source to exhaustion, then :meth:`close`.
+
+        :class:`~repro.serve.sources.Tick` items become :meth:`poll` calls,
+        so paced sources keep flow-table timers firing through quiet spells.
+        Returns the final end-of-stream events; interim events remain
+        available through :meth:`events` / the callbacks.
+        """
+        for item in source:
+            if isinstance(item, Tick):
+                self.poll(item.now)
+            else:
+                self.ingest(item)
+        return self.close()
+
+    def _submit(self, index: int) -> None:
+        chunk = self._buffers[index]
+        if not chunk:
+            return
+        self._buffers[index] = []
+        shard = self._shards[index]
+        self.metrics.record_queue_depth(shard.queue.qsize() + 1)
+        shard.queue.put(chunk)  # blocks when the shard is too far behind
+        self.metrics.record_ingest(index, len(chunk))
+
+    # ---------------------------------------------------------------- scoring
+    def flush(self) -> List[DetectionEvent]:
+        """Score everything currently buffered on every shard (barrier).
+
+        Blocks until each worker has drained its pending buffer; returns the
+        events produced by this flush in deterministic order.
+        """
+        if self._single is not None:
+            return self._single.flush()
+        if self._closed:
+            return []  # close() already flushed everything and joined workers
+        self._raise_worker_failure()
+        tokens: List[_Flush] = []
+        for index, shard in enumerate(self._shards):
+            self._submit(index)
+            token = _Flush()
+            shard.queue.put(token)
+            tokens.append(token)
+        for token in tokens:
+            token.done.wait()
+        self._raise_worker_failure()
+        flushed = [event for token in tokens for event in token.events]
+        flushed.sort(key=_event_order)
+        return flushed
+
+    def close(self) -> List[DetectionEvent]:
+        """End of stream: drain every shard, join the workers.
+
+        Returns the events produced by the final drain, sorted by
+        ``(first_seen, connection key)`` — deterministic at any worker count.
+        """
+        if self._single is not None:
+            if self._closed:
+                return []
+            self._closed = True
+            return sorted(self._single.close(), key=_event_order)
+        if self._closed:
+            return []
+        self._closed = True
+        final_clock = self._clock
+        for index, shard in enumerate(self._shards):
+            self._submit(index)
+            # Expire timers against global stream time before draining, so a
+            # quiet shard still reports CLOSED/IDLE exactly as a single
+            # table would have mid-stream.
+            if final_clock > float("-inf"):
+                shard.queue.put(_Poll(final_clock))
+            shard.queue.put(_CLOSE)
+        for shard in self._shards:
+            if shard.thread is not None:
+                shard.thread.join()
+        self._raise_worker_failure()
+        final = [event for shard in self._shards for event in shard.final_events]
+        final.sort(key=_event_order)
+        self._dispatch_many(final)
+        return final
+
+    # ----------------------------------------------------------- worker side
+    def _worker_loop(self, shard: _Shard) -> None:
+        table = shard.table
+        while True:
+            item = shard.queue.get()
+            try:
+                if item is _CLOSE:
+                    # Bypass _buffer_completions: its auto-flush would
+                    # dispatch part of the drain from this thread.  The whole
+                    # end-of-stream drain is dispatched by close() on the
+                    # caller's thread instead, merged and sorted across
+                    # shards, so the final events come out in deterministic
+                    # order.
+                    drained = apply_drop_policy(
+                        table.drain(), self.drop_policy, self.metrics
+                    )
+                    shard.pending.extend(drained)
+                    shard.final_events = self._flush_shard(shard, dispatch=False)
+                    return
+                if isinstance(item, _Flush):
+                    item.events = self._flush_shard(shard)
+                    item.done.set()
+                    continue
+                if isinstance(item, _Poll):
+                    self._buffer_completions(shard, table.poll(item.now))
+                    continue
+                completions: List[Tuple[Connection, CompletionReason]] = []
+                for packet, key, clock in item:
+                    # Catch this shard up to the global stream time observed
+                    # when the packet was routed, then ingest it.
+                    if clock > table.clock:
+                        completions.extend(table.poll(clock))
+                    completions.extend(table.add(packet, key))
+                self._buffer_completions(shard, completions)
+            except BaseException as error:
+                shard.failure = error
+                # Whatever failed, release its barrier (a _Flush whose
+                # handler raised would otherwise block flush() forever) and,
+                # if it was the final drain, exit so close()'s join returns
+                # and surfaces the failure.
+                if isinstance(item, _Flush):
+                    item.done.set()
+                if item is _CLOSE:
+                    return
+                break
+        # Failed: keep consuming so the ingest thread never deadlocks on a
+        # full queue and pending flush()/close() barriers are released.
+        while True:
+            item = shard.queue.get()
+            if item is _CLOSE:
+                return
+            if isinstance(item, _Flush):
+                item.done.set()
+
+    def _buffer_completions(
+        self,
+        shard: _Shard,
+        completions: List[Tuple[Connection, CompletionReason]],
+    ) -> None:
+        if not completions:
+            return
+        completions = apply_drop_policy(completions, self.drop_policy, self.metrics)
+        shard.pending.extend(completions)
+        self.metrics.record_pending_depth(len(shard.pending))
+        if self.policy.auto_flush and len(shard.pending) >= self.policy.max_batch:
+            self._flush_shard(shard)
+        elif len(shard.pending) >= self.policy.max_buffered:
+            self._flush_shard(shard)
+
+    def _flush_shard(self, shard: _Shard, dispatch: bool = True) -> List[DetectionEvent]:
+        """Drain one shard's pending buffer through the shared chunked flush
+        loop, dispatching each chunk's events as soon as it is scored (or
+        not at all, for the close()-ordered final drain)."""
+        return drain_pending(
+            self.clap,
+            shard.pending,
+            self.policy.max_batch,
+            self.threshold,
+            self.top_n,
+            self.metrics,
+            self._dispatch_many if dispatch else _emit_nothing,
+        )
+
+    def _dispatch_many(self, events: List[DetectionEvent]) -> None:
+        with self._dispatch_lock:
+            for event in events:
+                self._connections_seen += 1
+                is_alert = event.is_alert
+                if is_alert:
+                    self._alerts_emitted += 1
+                self._events.append(event)
+                if self.on_event is not None:
+                    self.on_event(event)
+                if is_alert and self.on_alert is not None:
+                    self.on_alert(event)  # type: ignore[arg-type]
+        self.metrics.record_events(len(events), sum(1 for e in events if e.is_alert))
+
+    def _raise_worker_failure(self) -> None:
+        for shard in self._shards:
+            if shard.failure is not None:
+                raise RuntimeError(
+                    f"shard worker {shard.index} failed: {shard.failure!r}"
+                ) from shard.failure
+
+    # ----------------------------------------------------------------- output
+    def events(self) -> Iterator[DetectionEvent]:
+        """Drain the events produced since the last call (non-blocking)."""
+        if self._single is not None:
+            yield from self._single.events()
+            return
+        while True:
+            try:
+                yield self._events.popleft()
+            except IndexError:
+                return
+
+    def alerts(self) -> Iterator[Alert]:
+        """Like :meth:`events`, but only threshold-exceeding connections."""
+        for event in self.events():
+            if isinstance(event, Alert):
+                yield event
+
+    # ------------------------------------------------------------- monitoring
+    @property
+    def connections_seen(self) -> int:
+        if self._single is not None:
+            return self._single.connections_seen
+        return self._connections_seen
+
+    @property
+    def alerts_emitted(self) -> int:
+        if self._single is not None:
+            return self._single.alerts_emitted
+        return self._alerts_emitted
+
+    @property
+    def pending_connections(self) -> int:
+        """Completed connections buffered but not yet scored (approximate
+        while workers are running)."""
+        if self._single is not None:
+            return self._single.pending_connections
+        return sum(len(shard.pending) for shard in self._shards)
+
+    @property
+    def active_flows(self) -> int:
+        """Connections currently assembled across all shards (approximate
+        while workers are running)."""
+        if self._single is not None:
+            return self._single.active_flows
+        return len(self.sharded)
+
+    def occupancy(self) -> List[int]:
+        """Tracked connections per shard."""
+        if self._single is not None:
+            return [self._single.active_flows]
+        return self.sharded.occupancy()
+
+    def metrics_snapshot(self) -> dict:
+        """The metrics snapshot plus current shard occupancy."""
+        if self._single is not None:
+            self.metrics.packets_ingested[0] = self._single.packets_ingested
+        return self.metrics.snapshot(self.occupancy())
+
+    def render_metrics(self) -> str:
+        """Human-readable metrics summary (the CLI prints this to stderr)."""
+        if self._single is not None:
+            self.metrics.packets_ingested[0] = self._single.packets_ingested
+        return self.metrics.render(self.occupancy())

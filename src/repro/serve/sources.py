@@ -1,0 +1,254 @@
+"""Pluggable packet sources feeding the streaming runtime.
+
+A packet source is anything iterable that yields :class:`StreamItem`s — parsed
+:class:`~repro.netstack.packet.Packet` objects interleaved with optional
+:class:`Tick` markers.  A ``Tick`` carries a stream timestamp but no packet;
+the runtime turns it into a :meth:`poll` call so close-grace/idle timers keep
+firing on quiet links where no packet would otherwise advance the clock.
+
+Concrete sources:
+
+* :class:`PcapSource` — lazily streams a capture file record by record
+  (constant memory, unlike :func:`repro.netstack.pcap.read_pcap`);
+* :class:`NDJSONSource` — newline-delimited JSON, one packet per line
+  (``{"ts": <float>, "data": "<hex>"}``), the lingua franca for piping
+  packets between processes; :meth:`NDJSONSource.format_packet` is the
+  matching writer;
+* :class:`ReplaySource` — wraps another source and paces it against a clock
+  (fixed packets/second or a multiple of capture time), emitting ``Tick``
+  heartbeats through idle gaps;
+* :class:`IterableSource` — adapter for any in-memory packet iterable.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    IO,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
+
+from repro.netstack.packet import Packet
+from repro.netstack.pcap import PcapReader
+
+
+@dataclass(frozen=True)
+class Tick:
+    """A packet-less advance of stream time (wall-clock heartbeat)."""
+
+    now: Optional[float] = None
+
+
+StreamItem = Union[Packet, Tick]
+
+
+def _none_stamp() -> Optional[float]:
+    """Stamp for ticks before the first packet: no stream time known yet."""
+    return None
+
+
+@runtime_checkable
+class PacketSource(Protocol):
+    """Anything that yields packets (and optional ticks) in stream order."""
+
+    def __iter__(self) -> Iterator[StreamItem]: ...
+
+
+class IterableSource:
+    """Adapter presenting any packet iterable as a :class:`PacketSource`."""
+
+    def __init__(self, packets: Iterable[StreamItem]) -> None:
+        self._packets = packets
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        return iter(self._packets)
+
+
+class PcapSource:
+    """Stream a ``.pcap`` capture lazily, one record at a time.
+
+    ``read_pcap`` materialises the whole capture in memory; this source keeps
+    only one packet alive at a time, so arbitrarily large captures can be
+    replayed.  Non-TCP/malformed records are skipped (``strict=True``
+    raises instead, mirroring :meth:`PcapReader.packets`).
+    """
+
+    def __init__(self, path: Union[str, Path], *, strict: bool = False) -> None:
+        self.path = Path(path)
+        self.strict = strict
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        with PcapReader(self.path) as reader:
+            yield from reader.packets(strict=self.strict)
+
+
+class NDJSONSource:
+    """Packets as newline-delimited JSON: ``{"ts": <float>, "data": "<hex>"}``.
+
+    ``data`` is the hex-encoded raw IPv4 packet (what
+    :meth:`Packet.to_bytes` returns); ``ts`` is the capture timestamp in
+    seconds.  Blank lines are ignored; lines that fail to parse are skipped
+    unless ``strict=True``.  Accepts a path or any open text-file object
+    (e.g. ``sys.stdin``), so packets can be piped between processes.
+    """
+
+    def __init__(
+        self, source: Union[str, Path, IO[str]], *, strict: bool = False
+    ) -> None:
+        self._source = source
+        self.strict = strict
+
+    @staticmethod
+    def format_packet(packet: Packet) -> str:
+        """The NDJSON line encoding ``packet`` (inverse of parsing)."""
+        return json.dumps({"ts": packet.timestamp, "data": packet.to_bytes().hex()})
+
+    def _parse_line(self, line: str) -> Optional[Packet]:
+        try:
+            record = json.loads(line)
+            return Packet.from_bytes(
+                bytes.fromhex(record["data"]), timestamp=float(record.get("ts", 0.0))
+            )
+        except (ValueError, KeyError, TypeError):
+            if self.strict:
+                raise ValueError(f"malformed NDJSON packet line: {line[:80]!r}")
+            return None
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        if isinstance(self._source, (str, Path)):
+            with open(self._source, "r", encoding="utf-8") as handle:
+                yield from self._iter_lines(handle)
+        else:
+            yield from self._iter_lines(self._source)
+
+    def _iter_lines(self, handle: IO[str]) -> Iterator[Packet]:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            packet = self._parse_line(line)
+            if packet is not None:
+                yield packet
+
+
+class ReplaySource:
+    """Pace another source against a clock, with heartbeat ticks.
+
+    ``rate`` replays at a fixed number of packets per second; ``speed``
+    replays at a multiple of the capture's own timestamp spacing (``1.0`` =
+    real time, ``10.0`` = ten times faster).  At most one of the two may be
+    set; with neither, packets flow unpaced and only the tick logic applies.
+
+    ``tick_interval`` inserts a :class:`Tick` whenever more than that many
+    stream-seconds pass without a packet — on a quiet link this is what keeps
+    the flow table's close-grace/idle timers firing.  The clock and sleep
+    functions are injectable so tests (and dry runs) replay instantly.
+    """
+
+    def __init__(
+        self,
+        source: Union[PacketSource, Iterable[StreamItem]],
+        *,
+        rate: Optional[float] = None,
+        speed: Optional[float] = None,
+        tick_interval: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if rate is not None and speed is not None:
+            raise ValueError("set at most one of rate and speed")
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if speed is not None and speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if tick_interval is not None and tick_interval <= 0:
+            raise ValueError(f"tick_interval must be positive, got {tick_interval}")
+        self._source = source
+        self.rate = rate
+        self.speed = speed
+        self.tick_interval = tick_interval
+        self._clock = clock
+        self._sleep = sleep
+
+    def _pause(
+        self, seconds: float, stamp: Callable[[], Optional[float]]
+    ) -> Iterator[StreamItem]:
+        """Sleep ``seconds``, emitting ticks through gaps longer than the
+        tick interval so flow-table timers keep firing on a quiet link.
+        ``stamp`` reconstructs the stream timestamp a tick represents (see
+        :meth:`_gap_stamp`; ``None`` only before the first packet)."""
+        interval = self.tick_interval
+        if interval is None:
+            self._sleep(seconds)
+            return
+        while seconds > 0:
+            step = min(seconds, interval)
+            self._sleep(step)
+            seconds -= step
+            if seconds > 0:
+                yield Tick(stamp())
+
+    def _gap_stamp(self, last_stamp: float, last_wall: float) -> float:
+        """The stream timestamp a tick represents: the last emitted packet's
+        timestamp advanced by the wall time elapsed since (scaled by the
+        replay speed).  Speed replays make this the exact wall→stream
+        mapping; rate replays treat pauses as live-link time, which is what
+        lets close-grace/idle timers keep firing through quiet spells."""
+        return last_stamp + (self._clock() - last_wall) * (self.speed or 1.0)
+
+    def __iter__(self) -> Iterator[StreamItem]:
+        start_wall: Optional[float] = None
+        first_stamp: Optional[float] = None
+        last_stamp: Optional[float] = None
+        last_wall: Optional[float] = None
+        emitted = 0
+        for item in self._source:
+            if isinstance(item, Tick):
+                yield item
+                continue
+            packet = item
+            if start_wall is None:
+                start_wall = self._clock()
+                first_stamp = packet.timestamp
+            due: Optional[float] = None
+            if self.rate is not None:
+                due = start_wall + emitted / self.rate
+            elif self.speed is not None and first_stamp is not None:
+                due = start_wall + (packet.timestamp - first_stamp) / self.speed
+            if due is not None:
+                behind = due - self._clock()
+                if behind > 0:
+                    stamp: Callable[[], Optional[float]] = _none_stamp
+                    if last_stamp is not None and last_wall is not None:
+                        stamp = functools.partial(self._gap_stamp, last_stamp, last_wall)
+                    yield from self._pause(behind, stamp)
+            yield packet
+            emitted += 1
+            last_stamp = packet.timestamp
+            last_wall = self._clock()
+
+
+def open_source(path: Union[str, Path], kind: str = "auto") -> PacketSource:
+    """Build the right source for ``path`` (CLI ``--source`` dispatch).
+
+    ``kind`` is ``"pcap"``, ``"ndjson"`` or ``"auto"`` — auto picks NDJSON
+    for ``.ndjson``/``.jsonl``/``.json`` suffixes and pcap otherwise.
+    """
+    path = Path(path)
+    if kind == "auto":
+        kind = "ndjson" if path.suffix in (".ndjson", ".jsonl", ".json") else "pcap"
+    if kind == "pcap":
+        return PcapSource(path)
+    if kind == "ndjson":
+        return NDJSONSource(path)
+    raise ValueError(f"unknown source kind {kind!r} (expected pcap, ndjson or auto)")

@@ -18,6 +18,7 @@ capture offline and calling :meth:`repro.core.pipeline.Clap.detect_batch`
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Iterable, Iterator, List, Optional, Tuple
@@ -26,9 +27,47 @@ from repro.core.pipeline import Clap
 from repro.netstack.flow import CompletionReason, Connection, FlowTable
 from repro.netstack.packet import Packet
 from repro.serve.events import Alert, DetectionEvent, make_event
+from repro.serve.metrics import DropPolicy, StreamingMetrics, apply_drop_policy
 
 EventCallback = Callable[[DetectionEvent], None]
 AlertCallback = Callable[[Alert], None]
+
+
+def drain_pending(
+    clap: Clap,
+    pending: List[Tuple[Connection, CompletionReason]],
+    max_batch: int,
+    threshold: float,
+    top_n: int,
+    metrics: Optional[StreamingMetrics],
+    emit: Callable[[List[DetectionEvent]], None],
+) -> List[DetectionEvent]:
+    """Score ``pending`` in ``max_batch``-sized engine calls (in place).
+
+    The one chunked flush loop shared by :class:`StreamingDetector` and the
+    sharded runtime's per-shard workers.  ``emit`` receives each chunk's
+    events as soon as that engine call completes, so an early chunk's alert
+    never waits behind the scoring of later chunks.  A chunk is dequeued only
+    after its engine call succeeded — an exception leaves it buffered and the
+    drain retryable.
+    """
+    flushed: List[DetectionEvent] = []
+    while pending:
+        chunk = pending[:max_batch]
+        connections = [connection for connection, _ in chunk]
+        started = time.perf_counter()
+        results = clap.detect_batch(connections, threshold=threshold, top_n=top_n)
+        if metrics is not None:
+            metrics.record_flush(len(chunk), time.perf_counter() - started)
+        del pending[: len(chunk)]
+        events = []
+        for result, (connection, reason) in zip(results, chunk):
+            first = connection.packets[0].timestamp if connection.packets else 0.0
+            last = connection.packets[-1].timestamp if connection.packets else 0.0
+            events.append(make_event(result, reason, first, last))
+        emit(events)
+        flushed.extend(events)
+    return flushed
 
 
 @dataclass(frozen=True)
@@ -77,6 +116,12 @@ class StreamingDetector:
         ``on_alert`` fires only for threshold-exceeding connections.  Events
         are queued for :meth:`events` regardless, so both APIs can be used
         together.
+    drop_policy / metrics:
+        Optional :class:`~repro.serve.metrics.DropPolicy` applied to
+        capacity-evicted flows before they are scored, and an optional
+        :class:`~repro.serve.metrics.StreamingMetrics` sink the detector
+        records into.  Both default to off, leaving behaviour identical to
+        the plain detector.
     """
 
     def __init__(
@@ -92,6 +137,8 @@ class StreamingDetector:
         max_packets: Optional[int] = None,
         on_event: Optional[EventCallback] = None,
         on_alert: Optional[AlertCallback] = None,
+        drop_policy: Optional[DropPolicy] = None,
+        metrics: Optional[StreamingMetrics] = None,
     ) -> None:
         self.clap = clap
         self.policy = flush_policy or FlushPolicy()
@@ -99,6 +146,8 @@ class StreamingDetector:
         self.top_n = int(top_n)
         self.on_event = on_event
         self.on_alert = on_alert
+        self.drop_policy = drop_policy
+        self.metrics = metrics
         self.flow_table = FlowTable(
             idle_timeout=idle_timeout,
             close_grace=close_grace,
@@ -109,11 +158,13 @@ class StreamingDetector:
         self._events: Deque[DetectionEvent] = deque()
         self._connections_seen = 0
         self._alerts_emitted = 0
+        self._packets_ingested = 0
 
     # -------------------------------------------------------------- ingestion
     def ingest(self, packet: Packet) -> None:
         """Feed one packet; completed connections are buffered and, per the
         flush policy, scored."""
+        self._packets_ingested += 1
         self._buffer(self.flow_table.add(packet))
 
     def ingest_many(self, packets: Iterable[Packet]) -> None:
@@ -126,7 +177,11 @@ class StreamingDetector:
         self._buffer(self.flow_table.poll(now))
 
     def _buffer(self, completions: List[Tuple[Connection, CompletionReason]]) -> None:
+        if completions and (self.drop_policy is not None or self.metrics is not None):
+            completions = apply_drop_policy(completions, self.drop_policy, self.metrics)
         self._pending.extend(completions)
+        if self.metrics is not None:
+            self.metrics.record_pending_depth(len(self._pending))
         if self.policy.auto_flush and len(self._pending) >= self.policy.max_batch:
             self.flush()
         elif len(self._pending) >= self.policy.max_buffered:
@@ -136,33 +191,32 @@ class StreamingDetector:
     def flush(self) -> List[DetectionEvent]:
         """Score every buffered completed connection now.
 
-        The buffer is drained in ``max_batch``-sized engine calls; the
-        produced events are queued for :meth:`events`, pushed to the
-        callbacks, and also returned for convenience.
+        The buffer is drained in ``max_batch``-sized engine calls, and each
+        chunk's events are dispatched (queued for :meth:`events`, pushed to
+        the callbacks) as soon as that engine call completes — an ``on_alert``
+        for an early chunk never waits behind the scoring of later chunks.
+        The full flushed list is also returned for convenience.
         """
-        flushed: List[DetectionEvent] = []
-        while self._pending:
-            chunk = self._pending[: self.policy.max_batch]
-            connections = [connection for connection, _ in chunk]
-            results = self.clap.detect_batch(
-                connections, threshold=self.threshold, top_n=self.top_n
-            )
-            # Dequeue only after the engine call succeeded, so an exception
-            # leaves the chunk buffered and flush() retryable.
-            del self._pending[: len(chunk)]
-            for result, (connection, reason) in zip(results, chunk):
-                first = connection.packets[0].timestamp if connection.packets else 0.0
-                last = connection.packets[-1].timestamp if connection.packets else 0.0
-                event = make_event(result, reason, first, last)
-                flushed.append(event)
-        for event in flushed:
+        return drain_pending(
+            self.clap,
+            self._pending,
+            self.policy.max_batch,
+            self.threshold,
+            self.top_n,
+            self.metrics,
+            self._dispatch_chunk,
+        )
+
+    def _dispatch_chunk(self, events: List[DetectionEvent]) -> None:
+        for event in events:
             self._dispatch(event)
-        return flushed
 
     def _dispatch(self, event: DetectionEvent) -> None:
         self._connections_seen += 1
         if event.is_alert:
             self._alerts_emitted += 1
+        if self.metrics is not None:
+            self.metrics.record_events(1, 1 if event.is_alert else 0)
         self._events.append(event)
         if self.on_event is not None:
             self.on_event(event)
@@ -206,3 +260,8 @@ class StreamingDetector:
     def alerts_emitted(self) -> int:
         """Total alerts produced so far."""
         return self._alerts_emitted
+
+    @property
+    def packets_ingested(self) -> int:
+        """Total packets fed through :meth:`ingest` so far."""
+        return self._packets_ingested

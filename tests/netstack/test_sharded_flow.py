@@ -1,0 +1,137 @@
+"""ShardedFlowTable: partitioning, clock catch-up, merged drain, FlowKey hash."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netstack.flow import (
+    CompletionReason,
+    FlowKey,
+    FlowTable,
+    ShardedFlowTable,
+    packet_stream as _stream,
+)
+from repro.traffic.generator import TrafficGenerator
+
+
+def _retimestamp(connections, spacing=100.0, step=0.01):
+    for index, connection in enumerate(connections):
+        for position, packet in enumerate(connection.packets):
+            packet.timestamp = index * spacing + position * step
+    return connections
+
+
+@pytest.fixture
+def sequential_connections():
+    return _retimestamp(TrafficGenerator(seed=77).generate_connections(8))
+
+
+class TestFlowKeyHash:
+    def test_hash_is_cached_and_consistent(self):
+        key = FlowKey(ip_a=1, port_a=2, ip_b=3, port_b=4)
+        assert hash(key) == hash((1, 2, 3, 4))
+        assert hash(key) == key._hash  # the cached value is what hash() returns
+
+    def test_equal_keys_hash_equal(self):
+        a = FlowKey(ip_a=10, port_a=1024, ip_b=20, port_b=80)
+        b = FlowKey(ip_a=10, port_a=1024, ip_b=20, port_b=80)
+        assert a == b and hash(a) == hash(b)
+        assert {a: "x"}[b] == "x"
+
+    def test_distinct_keys_usable_as_dict_keys(self):
+        keys = {FlowKey(i, i + 1, i + 2, i + 3): i for i in range(100)}
+        assert len(keys) == 100
+
+
+class TestSharding:
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedFlowTable(0)
+        with pytest.raises(ValueError):
+            ShardedFlowTable(2, max_flows=0)
+
+    def test_every_packet_of_a_flow_lands_on_one_shard(self, sequential_connections):
+        table = ShardedFlowTable(4, idle_timeout=1e6, close_grace=1e6)
+        for packet in _stream(sequential_connections):
+            table.add(packet)
+        # Each connection's packets were never split: the per-shard tables
+        # hold whole connections whose shard matches the key hash.
+        for index, shard in enumerate(table.tables):
+            for key in shard._flows:
+                assert table.shard_index(key) == index
+        drained = table.drain()
+        assert sorted((str(c.key), len(c)) for c, _ in drained) == sorted(
+            (str(c.key), len(c)) for c in sequential_connections
+        )
+
+    def test_occupancy_and_len_sum_over_shards(self, sequential_connections):
+        table = ShardedFlowTable(3, idle_timeout=1e6, close_grace=1e6)
+        for packet in _stream(sequential_connections):
+            table.add(packet)
+        assert sum(table.occupancy()) == len(table) == len(sequential_connections)
+
+    def test_single_shard_matches_flow_table(self, sequential_connections):
+        """One shard is just a FlowTable plus a trivial router."""
+        plain = FlowTable(idle_timeout=1e6, close_grace=1.0)
+        sharded = ShardedFlowTable(1, idle_timeout=1e6, close_grace=1.0)
+        plain_done, sharded_done = [], []
+        for packet in _stream(sequential_connections):
+            plain_done.extend(plain.add(packet.copy()))
+            sharded_done.extend(sharded.add(packet.copy()))
+        plain_done.extend(plain.drain())
+        sharded_done.extend(sharded.drain())
+        assert [(str(c.key), len(c), r) for c, r in plain_done] == [
+            (str(c.key), len(c), r) for c, r in sharded_done
+        ]
+
+
+class TestClockCatchUp:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_completion_set_matches_single_table(self, sequential_connections, shards):
+        """Idle/grace expiry fires against global stream time, so the set of
+        emitted connections is shard-count independent."""
+        single = FlowTable(idle_timeout=30.0, close_grace=0.5)
+        sharded = ShardedFlowTable(shards, idle_timeout=30.0, close_grace=0.5)
+        single_done, sharded_done = [], []
+        for packet in _stream(sequential_connections):
+            single_done.extend(single.add(packet.copy()))
+            sharded_done.extend(sharded.add(packet.copy()))
+        single_done.extend(single.drain())
+        sharded_done.extend(sharded.drain())
+        assert sorted((str(c.key), len(c), r.value) for c, r in single_done) == sorted(
+            (str(c.key), len(c), r.value) for c, r in sharded_done
+        )
+
+    def test_poll_advances_every_shard(self, sequential_connections):
+        table = ShardedFlowTable(4, idle_timeout=10.0, close_grace=1e6)
+        for packet in _stream(sequential_connections[:3]):
+            table.add(packet)
+        completed = table.poll(table.clock + 1e5)
+        assert len(table) == 0
+        assert len(completed) == 3
+
+    def test_global_clock_is_high_water_mark(self, sequential_connections):
+        table = ShardedFlowTable(2, idle_timeout=1e6, close_grace=1e6)
+        stamps = []
+        for packet in _stream(sequential_connections):
+            table.add(packet)
+            stamps.append(packet.timestamp)
+        assert table.clock == max(stamps)
+
+
+class TestMergedDrain:
+    def test_drain_is_oldest_first_across_shards(self, sequential_connections):
+        table = ShardedFlowTable(4, idle_timeout=1e6, close_grace=1e6)
+        for packet in _stream(sequential_connections):
+            table.add(packet)
+        drained = table.drain()
+        assert all(reason is CompletionReason.DRAIN for _, reason in drained)
+        stamps = [conn.packets[0].timestamp for conn, _ in drained]
+        assert stamps == sorted(stamps)
+        assert len(table) == 0
+
+    def test_max_flows_budget_is_divided_across_shards(self):
+        table = ShardedFlowTable(4, idle_timeout=1e6, close_grace=1e6, max_flows=8)
+        assert all(shard.max_flows == 2 for shard in table.tables)
+        uneven = ShardedFlowTable(3, idle_timeout=1e6, close_grace=1e6, max_flows=8)
+        assert all(shard.max_flows == 3 for shard in uneven.tables)

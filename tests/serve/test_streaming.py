@@ -130,6 +130,50 @@ class TestMicroBatching:
         assert detector.connections_seen >= 1
 
 
+class _RecordingClap:
+    """Wraps a trained Clap, logging every engine call for ordering tests."""
+
+    def __init__(self, clap, log):
+        self._clap = clap
+        self.threshold = clap.threshold
+        self._log = log
+
+    def detect_batch(self, connections, **kwargs):
+        self._log.append(("engine", len(connections)))
+        return self._clap.detect_batch(connections, **kwargs)
+
+
+class TestFlushDispatchOrdering:
+    def test_events_dispatch_per_chunk_not_after_full_drain(self, trained_clap):
+        """Regression: flush() used to dispatch only after draining the whole
+        buffer, so an alert from the first chunk waited behind the engine
+        calls for every later chunk.  Callbacks must interleave with the
+        chunked engine calls: engine, events, engine, events, ..."""
+        log = []
+        detector = StreamingDetector(
+            _RecordingClap(trained_clap, log),
+            flush_policy=FlushPolicy(max_batch=2, max_buffered=100, auto_flush=False),
+            idle_timeout=1e9,
+            close_grace=1e9,
+            on_event=lambda event: log.append(("event", str(event.result.key))),
+        )
+        detector.ingest_many(_packet_stream(_sequential_connections(5)))
+        assert detector.pending_connections == 0  # nothing completed yet
+        flushed = detector.close()
+        assert len(flushed) == 5
+
+        kinds = [kind for kind, _ in log]
+        # 5 pending connections at max_batch=2 -> engine calls of 2, 2, 1,
+        # each followed immediately by its own chunk's events.
+        assert kinds == [
+            "engine", "event", "event",
+            "engine", "event", "event",
+            "engine", "event",
+        ]
+        engine_sizes = [size for kind, size in log if kind == "engine"]
+        assert engine_sizes == [2, 2, 1]
+
+
 class TestEventSurface:
     def test_callbacks_and_iterator_see_the_same_events(self, trained_clap):
         connections = _sequential_connections(4)

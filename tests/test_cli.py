@@ -234,6 +234,57 @@ class TestStreamCommand:
         main(["generate", str(capture), "--connections", "2", "--seed", "1"])
         assert main(["stream", str(trained_model_dir), str(capture), "--max-batch", "0"]) == 2
 
+    def test_stream_with_workers_matches_single_worker(self, trained_model_dir, tmp_path, capsys):
+        """--workers 4 emits the same connections and scores as --workers 1."""
+        capture = tmp_path / "sharded.pcap"
+        main(["generate", str(capture), "--connections", "8", "--seed", "23"])
+        capsys.readouterr()
+        assert main(["stream", str(trained_model_dir), str(capture)]) == 0
+        single = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+        assert main(["stream", str(trained_model_dir), str(capture), "--workers", "4"]) == 0
+        sharded = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+        assert sorted(
+            (e["connection"], e["packet_count"], round(e["score"], 9)) for e in single
+        ) == sorted(
+            (e["connection"], e["packet_count"], round(e["score"], 9)) for e in sharded
+        )
+
+    def test_stream_reads_ndjson_source(self, trained_model_dir, tmp_path, capsys):
+        from repro.serve import NDJSONSource
+
+        capture = tmp_path / "src.pcap"
+        main(["generate", str(capture), "--connections", "4", "--seed", "19"])
+        ndjson = tmp_path / "src.ndjson"
+        ndjson.write_text(
+            "".join(NDJSONSource.format_packet(p) + "\n" for p in read_pcap(capture))
+        )
+        capsys.readouterr()
+        assert main(["stream", str(trained_model_dir), str(ndjson)]) == 0
+        events = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+        assert len(events) == 4
+
+    def test_stream_metrics_summary_on_stderr(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "met.pcap"
+        main(["generate", str(capture), "--connections", "3", "--seed", "11"])
+        capsys.readouterr()
+        assert main(["stream", str(trained_model_dir), str(capture),
+                     "--workers", "2", "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "shards=2" in err
+        assert "flush latency" in err
+
+    def test_stream_drop_policy_validation(self, trained_model_dir, tmp_path, capsys):
+        capture = tmp_path / "dp.pcap"
+        main(["generate", str(capture), "--connections", "2", "--seed", "3"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", str(trained_model_dir), str(capture), "--drop-policy", "maybe"]
+            )
+
+    def test_stream_missing_capture_fails_cleanly(self, trained_model_dir, tmp_path, capsys):
+        assert main(["stream", str(trained_model_dir), str(tmp_path / "nope.pcap")]) == 2
+        assert "no capture found" in capsys.readouterr().err
+
 
 class TestEndToEndRoundTrip:
     def test_generate_attack_train_score_round_trip(self, tmp_path, capsys):

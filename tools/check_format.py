@@ -10,13 +10,17 @@ codebase maintains by hand:
 * file ends with exactly one newline,
 * lines no longer than the hard ceiling of 120 characters (ruff.toml's
   ``line-length = 100`` remains the soft target for new code; the ceiling
-  only rejects genuinely unreadable lines).
+  only rejects genuinely unreadable lines),
+* every library module under ``src/`` opens with a module docstring (the
+  serving layer — ``repro/serve/`` — grew several modules; the gate keeps
+  each one self-describing).
 
 Exit code 0 when clean; 1 with one ``path:line: message`` per violation.
 """
 
 from __future__ import annotations
 
+import ast
 import sys
 from pathlib import Path
 from typing import Iterator, List, Tuple
@@ -48,13 +52,22 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
         problems.append((0, "missing newline at end of file"))
     elif data.endswith(b"\n\n"):
         problems.append((0, "multiple blank lines at end of file"))
-    for number, line in enumerate(data.decode("utf-8").splitlines(), start=1):
+    text = data.decode("utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
         if "\t" in line:
             problems.append((number, "tab character"))
         if line != line.rstrip():
             problems.append((number, "trailing whitespace"))
         if len(line) > MAX_LINE_LENGTH:
             problems.append((number, f"line longer than {MAX_LINE_LENGTH} characters"))
+    if "src" in path.parts:
+        try:
+            module = ast.parse(text)
+        except SyntaxError as error:
+            problems.append((error.lineno or 0, "syntax error"))
+        else:
+            if ast.get_docstring(module) is None:
+                problems.append((1, "library module without a module docstring"))
     return problems
 
 

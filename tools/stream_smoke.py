@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""End-to-end streaming smoke test for CI.
+
+Exercises the full operational path with no fixtures: synthesise a capture,
+train a deliberately tiny model, replay the capture through ``repro stream``
+with four shard workers, and fail on a non-zero exit code or zero emitted
+events.  The point is not accuracy — it is that the sharded runtime's
+packets-in/alerts-out pipeline holds together as a process would run it.
+
+Run with:  PYTHONPATH=src python tools/stream_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+CONNECTIONS = 30
+
+
+def run(argv: list, capture: bool = False) -> tuple:
+    """Invoke the CLI in-process, optionally capturing stdout."""
+    print(f"$ repro-clap {' '.join(argv)}", file=sys.stderr)
+    if not capture:
+        return cli_main(argv), ""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(argv)
+    return code, buffer.getvalue()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        work = Path(workdir)
+        capture_path = work / "smoke.pcap"
+        model_dir = work / "model"
+
+        code, _ = run(["generate", str(capture_path),
+                       "--connections", str(CONNECTIONS), "--seed", "7"])
+        if code != 0:
+            print("smoke FAILED: generate exited non-zero", file=sys.stderr)
+            return 1
+
+        code, _ = run(["train", str(model_dir), "--pcap", str(capture_path),
+                       "--fast", "--rnn-epochs", "3", "--ae-epochs", "10", "--seed", "7"])
+        if code != 0:
+            print("smoke FAILED: train exited non-zero", file=sys.stderr)
+            return 1
+
+        code, out = run(["stream", str(model_dir), str(capture_path),
+                         "--workers", "4", "--metrics"], capture=True)
+        if code != 0:
+            print("smoke FAILED: stream exited non-zero", file=sys.stderr)
+            return 1
+        events = [json.loads(line) for line in out.splitlines() if line.strip()]
+        if not events:
+            print("smoke FAILED: stream emitted zero events", file=sys.stderr)
+            return 1
+        if len(events) != CONNECTIONS:
+            print(
+                f"smoke FAILED: expected {CONNECTIONS} events, got {len(events)}",
+                file=sys.stderr,
+            )
+            return 1
+
+    print(f"smoke OK: {len(events)} events from {CONNECTIONS} connections "
+          f"through 4 shard workers", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
