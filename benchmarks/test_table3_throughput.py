@@ -9,9 +9,12 @@ Beyond the paper, the table now also tracks the full packets-in/alerts-out
 serving path: ``mode="streaming"`` replays the test connections' packets in
 timestamp order through the sharded :class:`ParallelStreamingDetector` at
 worker counts 1 and 4, covering flow assembly, micro-batching and event
-dispatch — not just scoring.  The multi-worker row only parallelises real
-compute when the host has more than one core; on single-core hosts it is
-recorded as an overhead measurement (see the note in the results file).
+dispatch — not just scoring.  The streaming rows use the columnar ingest
+path (what a ``PcapSource`` feeds the runtime since the columnar-ingest PR);
+a ``workers=1, object`` row keeps the per-``Packet`` reference measurable.
+The multi-worker row only parallelises real compute when the host has more
+than one core; on single-core hosts it is recorded as an overhead
+measurement (see the note in the results file).
 """
 
 import os
@@ -41,9 +44,11 @@ def test_table3_throughput(experiment, benchmark):
     # three runs, the noise-robust estimator for wall-clock timings.
     corpus = experiment.dataset.train + experiment.dataset.test
 
-    def best_streaming(workers: int):
+    def best_streaming(workers: int, ingest: str):
         runs = [
-            runner.measure_throughput(CLAP_NAME, corpus, mode="streaming", workers=workers)
+            runner.measure_throughput(
+                CLAP_NAME, corpus, mode="streaming", workers=workers, ingest=ingest
+            )
             for _ in range(3)
         ]
         return min(runs, key=lambda result: result.seconds)
@@ -51,14 +56,18 @@ def test_table3_throughput(experiment, benchmark):
     throughput = {
         CLAP_NAME: runner.measure_throughput(CLAP_NAME, sample),
         BASELINE2_NAME: runner.measure_throughput(BASELINE2_NAME, sample),
-        "CLAP (streaming, 1 worker)": best_streaming(1),
-        "CLAP (streaming, 4 workers)": best_streaming(4),
+        "CLAP (streaming, 1 worker)": best_streaming(1, "columnar"),
+        "CLAP (streaming, 4 workers)": best_streaming(4, "columnar"),
+        "CLAP (streaming, 1 worker, object)": best_streaming(1, "object"),
     }
     cores = _available_cores()
     text = render_table3(throughput) + (
         f"\n\nstreaming rows: full packets-in/alerts-out path (flow assembly +"
         f" micro-batched scoring + event dispatch), best of 3 replays of the"
-        f" whole corpus; host had {cores} usable core(s)."
+        f" whole corpus; host had {cores} usable core(s).  'columnar' streams"
+        f" ColumnPacketView handles over pre-parsed PacketColumns (the"
+        f" PcapSource serving path; scores identical to the object rows),"
+        f" 'object' streams full Packet objects (the pre-columnar reference)."
     )
     write_result("table3_throughput.txt", text)
 
@@ -73,8 +82,12 @@ def test_table3_throughput(experiment, benchmark):
 
     streaming_1 = throughput["CLAP (streaming, 1 worker)"]
     streaming_4 = throughput["CLAP (streaming, 4 workers)"]
+    streaming_object = throughput["CLAP (streaming, 1 worker, object)"]
     assert streaming_1.connections == streaming_4.connections > 0
+    assert streaming_1.connections == streaming_object.connections
     assert streaming_1.packets_per_second > 100
+    # Columnar ingest must beat the object reference on the serving path.
+    assert streaming_1.packets_per_second > streaming_object.packets_per_second
     if cores > 1:
         # With real parallel compute available, four shard workers must beat
         # the single-worker packets-in/alerts-out baseline.

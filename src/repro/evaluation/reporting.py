@@ -114,11 +114,12 @@ def render_table2(
 # ---------------------------------------------------------------------------
 
 def render_table3(throughputs: Dict[str, ThroughputResult]) -> str:
-    headers = ["Model", "Mode", "Workers", "Packets/Second", "Connections/Second"]
+    headers = ["Model", "Mode", "Ingest", "Workers", "Packets/Second", "Connections/Second"]
     rows = [
         [
             name,
             result.mode,
+            result.ingest if result.mode == "streaming" else "-",
             str(result.workers),
             f"{result.packets_per_second:,.1f}",
             f"{result.connections_per_second:,.1f}",

@@ -108,6 +108,7 @@ class ThroughputResult:
     seconds: float
     mode: str = "batched"
     workers: int = 1
+    ingest: str = "object"
 
     @property
     def packets_per_second(self) -> float:
@@ -276,6 +277,7 @@ class ExperimentRunner:
         *,
         mode: str = "batched",
         workers: int = 1,
+        ingest: str = "object",
     ) -> ThroughputResult:
         """Time the testing-phase pipeline of one trained detector (Table 3).
 
@@ -288,18 +290,32 @@ class ExperimentRunner:
         :class:`~repro.serve.ParallelStreamingDetector` (CLAP only) with
         ``workers`` flow-table shards, measuring the full
         packets-in/alerts-out serving path including flow assembly.
+
+        ``ingest`` applies to the streaming mode: ``"object"`` replays full
+        :class:`Packet` objects, ``"columnar"`` replays
+        :class:`~repro.netstack.columns.ColumnPacketView` handles over a
+        pre-built :class:`~repro.netstack.columns.PacketColumns` — what a
+        columnar :class:`~repro.serve.PcapSource` would feed the runtime
+        (the conversion itself happens off the clock, mirroring how the
+        parse stage is excluded for the object path too).
         """
         detector = self.detectors[detector_name]
         connections = list(connections) if connections is not None else self.test_connections
         packets = sum(len(connection) for connection in connections)
         if mode not in ("batched", "sequential", "streaming"):
             raise ValueError(f"unknown throughput mode {mode!r}")
+        if ingest not in ("object", "columnar"):
+            raise ValueError(f"unknown ingest mode {ingest!r}")
         if mode == "streaming":
             if not isinstance(detector, Clap):
                 raise ValueError("streaming throughput is only defined for the CLAP pipeline")
             from repro.serve import ParallelStreamingDetector
 
             stream = packet_stream(connections)
+            if ingest == "columnar":
+                from repro.netstack.columns import PacketColumns
+
+                stream = PacketColumns.from_packets(stream).views()
             start = time.perf_counter()
             streaming = ParallelStreamingDetector(
                 detector, workers=workers, idle_timeout=float("inf")
@@ -314,6 +330,7 @@ class ExperimentRunner:
                 seconds=elapsed,
                 mode=mode,
                 workers=workers,
+                ingest=ingest,
             )
         scorer = detector.score_connections
         if mode == "sequential":

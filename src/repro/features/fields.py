@@ -5,18 +5,29 @@ extent possible", with only minimal preprocessing: sequence/acknowledgement
 numbers are made incremental (relative to the connection's initial sequence
 numbers), checksums are turned into validity bits, and timestamps are made
 relative to the connection start.  Everything else is the literal field value.
+
+Two implementations coexist:
+
+* the per-packet path (:meth:`RawFeatureExtractor.extract_packets_reference`)
+  — one Python loop per packet, kept as the tested oracle;
+* the columnar path (:func:`extract_columns_segments`, reached through
+  :meth:`RawFeatureExtractor.extract_packet_trains`) — all 32 features for
+  many connections at once as NumPy array operations over a shared
+  :class:`~repro.netstack.columns.PacketColumns`, numerically identical to
+  the reference (``tests/features/test_columnar_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.features.schema import NUM_RAW_FEATURES
+from repro.netstack.columns import ColumnPacketView, PacketColumns, columns_of_train
 from repro.netstack.flow import Connection
-from repro.netstack.options import OptionKind, encode_options
+from repro.netstack.options import encode_options, summarize_feature_options
 from repro.netstack.packet import Direction, Packet
 from repro.netstack.tcp import TCP_BASE_HEADER_LENGTH, TcpFlags
 from repro.tcpstate.window import seq_diff
@@ -46,12 +57,70 @@ class RawFeatureExtractor:
         return self.extract_packets(connection.packets)
 
     def extract_packets(self, packets: Sequence[Packet]) -> np.ndarray:
-        """Extract features for an ordered packet train of one connection."""
+        """Extract features for an ordered packet train of one connection.
+
+        Column-backed trains (every packet a
+        :class:`~repro.netstack.columns.ColumnPacketView` over one shared
+        :class:`~repro.netstack.columns.PacketColumns`) take the vectorized
+        path; anything else goes through the per-packet reference.
+        """
+        columns = columns_of_train(packets)
+        if columns is None:
+            return self.extract_packets_reference(packets)
+        size = len(packets)
+        return extract_columns_segments(
+            columns,
+            np.fromiter((packet.index for packet in packets), dtype=np.int64, count=size),
+            np.array([0, size], dtype=np.int64),
+            np.fromiter((int(packet.direction) for packet in packets), dtype=np.int64, count=size),
+        )
+
+    def extract_packets_reference(self, packets: Sequence[Packet]) -> np.ndarray:
+        """The per-packet oracle: one Python loop, one row list per packet."""
+        packets = [
+            packet.materialize() if isinstance(packet, ColumnPacketView) else packet
+            for packet in packets
+        ]
         context = self._build_context(packets)
         rows = [self._extract_packet(packet, context) for packet in packets]
         if not rows:
             return np.zeros((0, NUM_RAW_FEATURES), dtype=np.float64)
         return np.array(rows, dtype=np.float64)
+
+    def extract_packet_trains(self, trains: Sequence[Sequence[Packet]]) -> List[np.ndarray]:
+        """Feature matrices for many packet trains (one per connection).
+
+        Trains sharing one :class:`~repro.netstack.columns.PacketColumns` are
+        concatenated and extracted in a single vectorized pass
+        (:func:`extract_columns_segments`); the rest fall back to the
+        per-packet reference.  Output order matches the input.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(trains)
+        groups: Dict[int, Tuple[PacketColumns, List[int]]] = {}
+        for train_index, train in enumerate(trains):
+            columns = columns_of_train(train)
+            if columns is None:
+                results[train_index] = self.extract_packets_reference(train)
+            else:
+                groups.setdefault(id(columns), (columns, []))[1].append(train_index)
+        for columns, members in groups.values():
+            index_parts: List[int] = []
+            direction_parts: List[int] = []
+            bounds = [0]
+            for train_index in members:
+                train = trains[train_index]
+                index_parts.extend(packet.index for packet in train)
+                direction_parts.extend(int(packet.direction) for packet in train)
+                bounds.append(len(index_parts))
+            matrix = extract_columns_segments(
+                columns,
+                np.asarray(index_parts, dtype=np.int64),
+                np.asarray(bounds, dtype=np.int64),
+                np.asarray(direction_parts, dtype=np.int64),
+            )
+            for position, train_index in enumerate(members):
+                results[train_index] = matrix[bounds[position] : bounds[position + 1]]
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ private
     def _build_context(self, packets: Sequence[Packet]) -> _ConnectionContext:
@@ -79,12 +148,15 @@ class RawFeatureExtractor:
     def _extract_packet(self, packet: Packet, context: _ConnectionContext) -> List[float]:
         """One packet's 32 raw features, as a plain list.
 
-        This is the hottest Python loop of the testing phase, so it avoids
-        repeated work the convenience accessors would do: the options list is
-        scanned once (instead of one scan per option kind), the options are
-        encoded once (``TcpHeader.header_length`` re-encodes on every call),
-        and the row is built as a list — one ``np.array`` call per connection
-        beats per-element writes into a numpy vector.
+        This was the hottest Python loop of the testing phase (columnar
+        extraction has since taken over the bulk path; this stays as the
+        oracle), so it avoids repeated work the convenience accessors would
+        do: the options are scanned once via
+        :func:`~repro.netstack.options.summarize_feature_options` (which also
+        skips malformed stand-ins instead of tripping over them), encoded
+        once (``TcpHeader.header_length`` re-encodes on every call), and the
+        row is built as a list — one ``np.array`` call per connection beats
+        per-element writes into a numpy vector.
         """
         tcp = packet.tcp
         ip = packet.ip
@@ -95,26 +167,9 @@ class RawFeatureExtractor:
         own_isn = context.client_isn if is_client else context.server_isn
         peer_isn = context.server_isn if is_client else context.client_isn
 
-        # Single pass over the options; ``find_option`` semantics (first of a
-        # kind wins) are preserved by only recording the first occurrence.
-        mss = timestamp_option = window_scale = user_timeout = md5 = None
-        for option in tcp.options:
-            kind = getattr(option, "kind", None)
-            if kind == OptionKind.MSS:
-                if mss is None:
-                    mss = option
-            elif kind == OptionKind.TIMESTAMP:
-                if timestamp_option is None:
-                    timestamp_option = option
-            elif kind == OptionKind.WINDOW_SCALE:
-                if window_scale is None:
-                    window_scale = option
-            elif kind == OptionKind.USER_TIMEOUT:
-                if user_timeout is None:
-                    user_timeout = option
-            elif kind == OptionKind.MD5_SIGNATURE:
-                if md5 is None:
-                    md5 = option
+        mss, timestamp_option, window_scale, user_timeout, md5 = summarize_feature_options(
+            tcp.options
+        )
 
         header_length = TCP_BASE_HEADER_LENGTH + len(encode_options(tcp.options))
         data_offset = tcp.data_offset if tcp.data_offset is not None else header_length // 4
@@ -172,7 +227,116 @@ class RawFeatureExtractor:
         ]
 
 
+def _seq_diff_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.tcpstate.window.seq_diff` over int64 arrays."""
+    diff = (a - b) & 0xFFFFFFFF
+    return np.where(diff >= 2**31, diff - 2**32, diff)
+
+
+_FLAG_COLUMNS: Tuple[Tuple[int, int], ...] = (
+    (4, TcpFlags.FIN),
+    (5, TcpFlags.SYN),
+    (6, TcpFlags.RST),
+    (7, TcpFlags.PSH),
+    (8, TcpFlags.ACK),
+    (9, TcpFlags.URG),
+    (10, TcpFlags.ECE),
+    (11, TcpFlags.CWR),
+    (12, TcpFlags.NS),
+)
+
+
+def extract_columns_segments(
+    columns: PacketColumns,
+    indices: np.ndarray,
+    bounds: np.ndarray,
+    directions: np.ndarray,
+) -> np.ndarray:
+    """All 32 raw features for many connections in one vectorized pass.
+
+    ``indices`` selects the packets (rows of ``columns``) of every
+    connection back to back; segment ``s`` owns
+    ``indices[bounds[s] : bounds[s + 1]]`` (segments must be non-empty) and
+    ``directions`` carries each packet's assembled direction.  Per-connection
+    reference values — initial sequence numbers per direction, the previous
+    TSval per direction, the first timestamp — are resolved with segment-wise
+    reductions, so no Python runs per packet.  Output is bit-identical to the
+    per-packet reference.
+    """
+    total = int(indices.shape[0])
+    out = np.zeros((total, NUM_RAW_FEATURES), dtype=np.float64)
+    if total == 0:
+        return out
+
+    seq = columns.seq[indices]
+    ack = columns.ack[indices]
+    flags = columns.flags[indices]
+    timestamps = columns.timestamp[indices]
+    segment_count = bounds.shape[0] - 1
+    segment_starts = bounds[:-1]
+    segment_sizes = np.diff(bounds)
+    segment_of = np.repeat(np.arange(segment_count), segment_sizes)
+    position = np.arange(total)
+    is_client = directions == 0
+
+    # Initial sequence numbers: the first packet of each direction (the same
+    # first-occurrence rule ``_build_context`` applies).
+    candidates = np.where(is_client, position, total)
+    first_c2s = np.minimum.reduceat(candidates, segment_starts)
+    candidates = np.where(is_client, total, position)
+    first_s2c = np.minimum.reduceat(candidates, segment_starts)
+    own_first = np.where(is_client, first_c2s[segment_of], first_s2c[segment_of])
+    peer_first = np.where(is_client, first_s2c[segment_of], first_c2s[segment_of])
+    has_peer = peer_first < total
+    peer_isn = seq[np.minimum(peer_first, total - 1)]
+    ack_flag = (flags & TcpFlags.ACK) != 0
+
+    out[:, 0] = directions
+    out[:, 1] = _seq_diff_array(seq, seq[own_first])
+    out[:, 2] = np.where(ack_flag & has_peer, _seq_diff_array(ack, peer_isn), 0.0)
+    out[:, 3] = columns.data_offset[indices]
+    for column, mask in _FLAG_COLUMNS:
+        out[:, column] = (flags & mask) != 0
+    out[:, 13] = columns.window[indices]
+    out[:, 14] = columns.tcp_ok[indices]
+    out[:, 15] = columns.urgent[indices]
+    out[:, 16] = columns.payload_len[indices]
+    out[:, 17] = columns.mss[indices]
+    ts_present = columns.ts_present[indices]
+    tsval = columns.tsval[indices]
+    out[:, 18] = np.where(ts_present, tsval % 2**31, 0)
+    out[:, 19] = np.where(ts_present, columns.tsecr[indices] % 2**31, 0)
+    out[:, 20] = columns.ws_shift[indices]
+    out[:, 21] = columns.ut_timeout[indices]
+    out[:, 22] = columns.md5_ok[indices]
+
+    # #24: per-direction TSval delta — grouped consecutive diffs over the
+    # packets that carry a Timestamp option (others neither emit nor reset).
+    with_ts = np.flatnonzero(ts_present)
+    if with_ts.size:
+        group = segment_of[with_ts] * 2 + directions[with_ts]
+        order = np.argsort(group, kind="stable")
+        ordered_rows = with_ts[order]
+        ordered_group = group[order]
+        ordered_tsval = tsval[with_ts][order]
+        same_group = ordered_group[1:] == ordered_group[:-1]
+        deltas = _seq_diff_array(ordered_tsval[1:], ordered_tsval[:-1])
+        out[ordered_rows[1:][same_group], 23] = deltas[same_group]
+
+    # #25: frame timestamp relative to the connection's first packet, in ms.
+    out[:, 24] = (timestamps - np.repeat(timestamps[segment_starts], segment_sizes)) * 1000.0
+
+    out[:, 25] = columns.total_length[indices]
+    out[:, 26] = columns.ttl[indices]
+    out[:, 27] = columns.ihl[indices] * 4
+    out[:, 28] = columns.ip_ok[indices]
+    out[:, 29] = columns.version[indices]
+    out[:, 30] = columns.tos[indices]
+    out[:, 31] = columns.ip_options[indices]
+    return out
+
+
 def extract_raw_features(connections: Sequence[Connection]) -> List[np.ndarray]:
     """Extract raw features for a list of connections (one array each)."""
     extractor = RawFeatureExtractor()
-    return [extractor.extract_connection(connection) for connection in connections]
+    return extractor.extract_packet_trains([connection.packets for connection in connections])

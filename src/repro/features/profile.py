@@ -78,11 +78,14 @@ def stack_profiles(
     if count < stack_length:
         out[0].reshape(stack_length, width)[:count] = profiles
         return out
-    # sliding_window_view yields (windows, width, stack) with [w, f, k] equal
-    # to profiles[w + k, f]; reordering the window axis before the feature
-    # axis and flattening reproduces the concatenated-window layout.
-    view = np.lib.stride_tricks.sliding_window_view(profiles, stack_length, axis=0)
-    out.reshape(windows, stack_length, width)[:] = view.transpose(0, 2, 1)
+    # Window w concatenates profiles[w : w + stack]; one shifted block copy
+    # per stack position fills every window without a per-window loop (and
+    # without the sliding_window_view + transpose machinery, whose setup cost
+    # dominates on the small per-connection matrices the streaming path
+    # stacks).
+    blocks = out.reshape(windows, stack_length, width)
+    for position in range(stack_length):
+        blocks[:, position, :] = profiles[position : position + windows]
     return out
 
 
@@ -207,7 +210,9 @@ class ContextProfileBuilder:
         :class:`ConnectionProfiles` hold views into the shared matrices and
         match :meth:`connection_profiles` output per connection.
         """
-        raws = [self.raw_extractor.extract_connection(connection) for connection in connections]
+        raws = self.raw_extractor.extract_packet_trains(
+            [connection.packets for connection in connections]
+        )
         counts = np.array([raw.shape[0] for raw in raws], dtype=np.int64)
         bounds = np.concatenate([[0], np.cumsum(counts)])
         raw_width = self.scaler.minimums.shape[0]
@@ -237,12 +242,14 @@ class ContextProfileBuilder:
         if self.include_amplification:
             parts.append(concat_amplification)
         if use_gates:
-            total = int(bounds[-1])
-            concat_update = np.zeros((total, hidden), dtype=np.float64)
-            concat_reset = np.zeros((total, hidden), dtype=np.float64)
-            for index in range(len(connections)):
-                concat_update[bounds[index] : bounds[index + 1]] = gate_pairs[index][0]
-                concat_reset[bounds[index] : bounds[index + 1]] = gate_pairs[index][1]
+            # One concatenate per gate; the per-connection copy loop this
+            # replaces scattered thousands of tiny row-range assignments.
+            if gate_pairs:
+                concat_update = np.concatenate([pair[0] for pair in gate_pairs], axis=0)
+                concat_reset = np.concatenate([pair[1] for pair in gate_pairs], axis=0)
+            else:
+                concat_update = np.zeros((0, hidden), dtype=np.float64)
+                concat_reset = np.zeros((0, hidden), dtype=np.float64)
             parts.extend([concat_update, concat_reset])
         concat_profiles = (
             np.hstack(parts)

@@ -7,6 +7,12 @@ the detector relies on.
 """
 
 from repro.netstack.addresses import int_to_ip, ip_to_int, is_private
+from repro.netstack.columns import (
+    ColumnPacketView,
+    PacketColumns,
+    columns_of_train,
+    parse_packet_columns,
+)
 from repro.netstack.checksum import (
     internet_checksum,
     ones_complement_sum,
@@ -24,6 +30,7 @@ from repro.netstack.flow import (
     ShardedFlowTable,
     assemble_connections,
     connection_looks_closed,
+    flow_key_of,
     packet_stream,
     split_connections,
 )
@@ -44,10 +51,18 @@ from repro.netstack.options import (
     find_option,
 )
 from repro.netstack.packet import Direction, Packet
-from repro.netstack.pcap import PcapReader, PcapRecord, PcapWriter, read_pcap, write_pcap
+from repro.netstack.pcap import (
+    PcapReader,
+    PcapRecord,
+    PcapWriter,
+    read_packet_columns,
+    read_pcap,
+    write_pcap,
+)
 from repro.netstack.tcp import TcpFlags, TcpHeader
 
 __all__ = [
+    "ColumnPacketView",
     "CompletionReason",
     "Connection",
     "ConnectionAssembler",
@@ -61,6 +76,7 @@ __all__ = [
     "NoOperation",
     "OptionKind",
     "Packet",
+    "PacketColumns",
     "PcapReader",
     "PcapRecord",
     "PcapWriter",
@@ -73,17 +89,21 @@ __all__ = [
     "UserTimeout",
     "WindowScale",
     "assemble_connections",
+    "columns_of_train",
     "connection_looks_closed",
     "decode_options",
     "encode_options",
     "find_option",
+    "flow_key_of",
     "int_to_ip",
     "internet_checksum",
     "ip_to_int",
     "is_private",
     "ones_complement_sum",
     "packet_stream",
+    "parse_packet_columns",
     "pseudo_header",
+    "read_packet_columns",
     "read_pcap",
     "split_connections",
     "tcp_checksum",

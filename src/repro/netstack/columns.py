@@ -1,0 +1,771 @@
+"""Columnar packet representation: the ingest-side counterpart of the engine.
+
+The object pipeline parses every record into a :class:`~repro.netstack.packet.Packet`
+(two dataclasses, a decoded option list, a payload slice) before any feature
+is computed — per-packet Python that caps streaming throughput well below the
+batched scoring path.  This module keeps a capture block as **structured
+NumPy columns** instead:
+
+* :func:`parse_packet_columns` turns a block buffer plus record offsets into
+  a :class:`PacketColumns` — every fixed IP/TCP header field is sliced out of
+  a gathered ``(n, 20)`` byte matrix, IP/TCP checksums are validated with two
+  prefix-sum passes over the whole block, and the dominant TCP option layouts
+  (no options; a lone Timestamp with NOP padding) are recognised vectorized.
+  Only genuinely irregular records (exotic options, reserved bits, truncated
+  headers) fall back to the per-packet reference parser, whose semantics the
+  fast path reproduces **exactly** — equality is enforced by
+  ``tests/features/test_columnar_equivalence.py``.
+* :class:`ColumnPacketView` is a per-packet handle over one column row.  It
+  exposes just enough of the :class:`Packet` surface (timestamps, flag bits,
+  addresses/ports, direction) for flow assembly and the streaming runtime,
+  and materialises a full ``Packet`` only on demand.
+* :meth:`PacketColumns.from_packets` converts in-memory packets, so replayed
+  object streams can ride the same vectorized feature path.
+
+The 32 Table-7 features are computed from these columns by
+:meth:`repro.features.fields.RawFeatureExtractor.extract_packet_trains`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netstack.options import (
+    decode_options,
+    encode_options,
+    summarize_feature_options,
+)
+from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TCP_BASE_HEADER_LENGTH, TcpFlags
+
+# Column names shared by :meth:`PacketColumns.concatenate` and the dataclass;
+# ``timestamp`` is float64, ``mss``/``ws_shift``/``ut_timeout``/``md5_ok``
+# are float64 feature values, the ``*_ok``/``ts_present``/``ip_options``
+# columns are bool and everything else is int64.
+_ARRAY_FIELDS = (
+    "timestamp",
+    "src",
+    "dst",
+    "src_port",
+    "dst_port",
+    "seq",
+    "ack",
+    "flags",
+    "window",
+    "urgent",
+    "data_offset",
+    "payload_len",
+    "ihl",
+    "version",
+    "tos",
+    "ttl",
+    "total_length",
+    "ip_options",
+    "ip_ok",
+    "tcp_ok",
+    "mss",
+    "ws_shift",
+    "ut_timeout",
+    "md5_ok",
+    "ts_present",
+    "tsval",
+    "tsecr",
+    "key_ip_a",
+    "key_port_a",
+    "key_ip_b",
+    "key_port_b",
+)
+
+
+class ColumnPacketView:
+    """One packet of a :class:`PacketColumns`, duck-typed like a ``Packet``.
+
+    The view carries the handful of scalars flow assembly touches per packet
+    (timestamp, flag bits, endpoint identifiers) in slots, and answers
+    ``view.ip`` / ``view.tcp`` with **itself** — the attribute names the
+    pipeline reads (``ip.src``, ``tcp.src_port``, ``tcp.is_fin``, …) do not
+    collide, so one object serves as packet, IP header and TCP header view.
+    Anything deeper (options, payload, serialisation) goes through
+    :meth:`materialize`, which builds a real :class:`Packet`.
+    """
+
+    __slots__ = (
+        "columns",
+        "index",
+        "timestamp",
+        "direction",
+        "injected",
+        "flags",
+        "src",
+        "dst",
+        "src_port",
+        "dst_port",
+        "_key",
+    )
+
+    def __init__(self, columns, index, timestamp, flags, src, dst, src_port, dst_port,
+                 key=None, direction=Direction.CLIENT_TO_SERVER, injected=False):
+        self.columns = columns
+        self.index = index
+        self.timestamp = timestamp
+        self.direction = direction
+        self.injected = injected
+        self.flags = flags
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self._key = key
+
+    # -------------------------------------------------- Packet-like surface
+    @property
+    def ip(self) -> "ColumnPacketView":
+        return self
+
+    @property
+    def tcp(self) -> "ColumnPacketView":
+        return self
+
+    @property
+    def seq(self) -> int:
+        return int(self.columns.seq[self.index])
+
+    @property
+    def ack(self) -> int:
+        return int(self.columns.ack[self.index])
+
+    @property
+    def payload_length(self) -> int:
+        return int(self.columns.payload_len[self.index])
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & TcpFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TcpFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & TcpFlags.RST)
+
+    def has_flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    def flow_key(self):
+        """The canonical :class:`~repro.netstack.flow.FlowKey` of this packet
+        (normalised vectorized and deduplicated at parse time)."""
+        if self._key is None:
+            self._key = self.columns.flow_key(self.index)
+        return self._key
+
+    # ------------------------------------------------------- materialisation
+    def materialize(self) -> Packet:
+        """The full :class:`Packet` for this row (parsed or stored original).
+
+        Buffer-backed columns re-parse the packet's raw bytes; packet-backed
+        columns return the original object.  Either way the result carries
+        this view's ``direction``.
+        """
+        packet = self.columns.packet(self.index)
+        if packet.direction is not self.direction or packet.injected != self.injected:
+            if self.columns.packets is not None:
+                packet = packet.copy(direction=self.direction, injected=self.injected)
+            else:
+                packet.direction = self.direction
+                packet.injected = self.injected
+        return packet
+
+    def copy(self, **overrides) -> Packet:
+        """Materialised deep-enough copy (mirrors :meth:`Packet.copy`)."""
+        clone = self.materialize().copy(direction=self.direction, injected=self.injected)
+        for key, value in overrides.items():
+            setattr(clone, key, value)
+        return clone
+
+    def summary(self) -> str:
+        return self.materialize().summary()
+
+
+@dataclass
+class PacketColumns:
+    """A block of TCP/IPv4 packets as structured NumPy columns.
+
+    All header fields the Table-7 feature set reads are first-class arrays
+    (one row per packet), checksum validity is precomputed as bits, and the
+    canonical bidirectional flow key is pre-normalised into the ``key_*``
+    columns.  Raw capture bytes (``buffer``/``offsets``/``lengths``) or the
+    original ``packets`` are retained so any row can be materialised back
+    into a :class:`Packet` on demand — attack injection and debugging keep
+    full fidelity while the hot path never builds packet objects.
+    """
+
+    timestamp: np.ndarray  # float64 capture timestamps
+    src: np.ndarray  # int64 IPv4 source address
+    dst: np.ndarray  # int64 IPv4 destination address
+    src_port: np.ndarray
+    dst_port: np.ndarray
+    seq: np.ndarray
+    ack: np.ndarray
+    flags: np.ndarray  # int64, 9 flag bits incl. NS
+    window: np.ndarray
+    urgent: np.ndarray
+    data_offset: np.ndarray  # on-wire (or effective) data offset, in words
+    payload_len: np.ndarray
+    ihl: np.ndarray  # on-wire (or effective) IHL, in words
+    version: np.ndarray
+    tos: np.ndarray
+    ttl: np.ndarray
+    total_length: np.ndarray  # on-wire (or effective) IP total length
+    ip_options: np.ndarray  # bool: non-empty IP options present
+    ip_ok: np.ndarray  # bool: IP header checksum verifies
+    tcp_ok: np.ndarray  # bool: TCP checksum verifies
+    mss: np.ndarray  # float64 option values (0.0 when absent)
+    ws_shift: np.ndarray
+    ut_timeout: np.ndarray
+    md5_ok: np.ndarray  # float64: 0.0 only for an invalid in-memory MD5 option
+    ts_present: np.ndarray  # bool: well-formed Timestamp option present
+    tsval: np.ndarray  # int64 raw 32-bit TSval (0 when absent)
+    tsecr: np.ndarray
+    key_ip_a: np.ndarray  # canonical flow key (lower endpoint first)
+    key_port_a: np.ndarray
+    key_ip_b: np.ndarray
+    key_port_b: np.ndarray
+    # Materialisation backing: raw bytes + per-row spans, or original packets.
+    buffer: Optional[np.ndarray] = None  # uint8 block buffer
+    offsets: Optional[np.ndarray] = None  # int64 start of each raw IPv4 packet
+    lengths: Optional[np.ndarray] = None  # int64 captured length of each packet
+    packets: Optional[List[Packet]] = None
+    # Lazily built, deduplicated FlowKey per row (repeated flows share one
+    # object, so downstream dict probes hit the cached hash and identity).
+    _flow_keys: Optional[List[object]] = None
+
+    def __len__(self) -> int:
+        return self.timestamp.shape[0]
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def empty(cls) -> "PacketColumns":
+        kwargs = {}
+        for name in _ARRAY_FIELDS:
+            if name == "timestamp":
+                kwargs[name] = np.zeros(0, dtype=np.float64)
+            elif name in ("mss", "ws_shift", "ut_timeout", "md5_ok"):
+                kwargs[name] = np.zeros(0, dtype=np.float64)
+            elif name in ("ip_options", "ip_ok", "tcp_ok", "ts_present"):
+                kwargs[name] = np.zeros(0, dtype=bool)
+            else:
+                kwargs[name] = np.zeros(0, dtype=np.int64)
+        return cls(**kwargs)
+
+    @classmethod
+    def concatenate(cls, blocks: Sequence["PacketColumns"]) -> "PacketColumns":
+        """Stitch several blocks into one (used by whole-file reads)."""
+        blocks = [block for block in blocks if len(block)]
+        if not blocks:
+            return cls.empty()
+        if len(blocks) == 1:
+            return blocks[0]
+        kwargs = {
+            name: np.concatenate([getattr(block, name) for block in blocks])
+            for name in _ARRAY_FIELDS
+        }
+        if all(block.buffer is not None for block in blocks):
+            base = 0
+            offset_parts = []
+            buffers = []
+            for block in blocks:
+                buffers.append(block.buffer)
+                offset_parts.append(block.offsets + base)
+                base += block.buffer.shape[0]
+            kwargs["buffer"] = np.concatenate(buffers)
+            kwargs["offsets"] = np.concatenate(offset_parts)
+            kwargs["lengths"] = np.concatenate([block.lengths for block in blocks])
+        elif all(block.packets is not None for block in blocks):
+            merged: List[Packet] = []
+            for block in blocks:
+                merged.extend(block.packets)
+            kwargs["packets"] = merged
+        return cls(**kwargs)
+
+    @classmethod
+    def from_packets(cls, packets: Iterable[Packet]) -> "PacketColumns":
+        """Columnar view of in-memory packets.
+
+        Every per-packet scalar is computed with the same accessors the
+        per-packet feature extractor uses (effective header sizes, checksum
+        validity including ``checksum_valid_hint``, first-well-formed-option
+        scan), so columnar feature extraction over the result matches the
+        reference exactly — including for attack-crafted packets that cannot
+        round-trip through serialisation (e.g. an MD5 option flagged
+        invalid).
+        """
+        packets = list(packets)
+        n = len(packets)
+        if n == 0:
+            return cls.empty()
+        rows = np.zeros((n, 18), dtype=np.int64)
+        timestamp = np.zeros(n, dtype=np.float64)
+        option_values = np.zeros((n, 4), dtype=np.float64)  # mss, ws, ut, md5_ok
+        option_values[:, 3] = 1.0
+        bools = np.zeros((n, 4), dtype=bool)
+        for i, packet in enumerate(packets):
+            tcp = packet.tcp
+            ip = packet.ip
+            payload_len = len(packet.payload)
+            mss, ts_option, ws, ut, md5 = summarize_feature_options(tcp.options)
+            header_length = TCP_BASE_HEADER_LENGTH + len(encode_options(tcp.options))
+            data_offset = tcp.data_offset if tcp.data_offset is not None else header_length // 4
+            segment_length = header_length + payload_len
+            rows[i] = (
+                ip.src,
+                ip.dst,
+                tcp.src_port,
+                tcp.dst_port,
+                tcp.seq,
+                tcp.ack,
+                tcp.flags,
+                tcp.window,
+                tcp.urgent_pointer,
+                data_offset,
+                payload_len,
+                ip.effective_ihl(),
+                ip.version,
+                ip.tos,
+                ip.ttl,
+                ip.effective_total_length(segment_length),
+                ts_option.tsval if ts_option is not None else 0,
+                ts_option.tsecr if ts_option is not None else 0,
+            )
+            timestamp[i] = packet.timestamp
+            if mss is not None:
+                option_values[i, 0] = float(mss.value)
+            if ws is not None:
+                option_values[i, 1] = float(ws.shift)
+            if ut is not None:
+                option_values[i, 2] = float(ut.timeout)
+            if md5 is not None and not md5.valid:
+                option_values[i, 3] = 0.0
+            bools[i] = (
+                len(ip.options) > 0,
+                ip.has_correct_checksum(payload_length=segment_length),
+                tcp.has_correct_checksum(ip.src, ip.dst, packet.payload),
+                ts_option is not None,
+            )
+        (
+            src, dst, src_port, dst_port, seq, ack, flags, window, urgent,
+            data_offset, payload_len, ihl, version, tos, ttl, total_length,
+            tsval, tsecr,
+        ) = (np.ascontiguousarray(column) for column in rows.T)
+        key_swap = (src > dst) | ((src == dst) & (src_port > dst_port))
+        return cls(
+            timestamp=timestamp,
+            src=src,
+            dst=dst,
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+            data_offset=data_offset,
+            payload_len=payload_len,
+            ihl=ihl,
+            version=version,
+            tos=tos,
+            ttl=ttl,
+            total_length=total_length,
+            ip_options=bools[:, 0].copy(),
+            ip_ok=bools[:, 1].copy(),
+            tcp_ok=bools[:, 2].copy(),
+            mss=option_values[:, 0].copy(),
+            ws_shift=option_values[:, 1].copy(),
+            ut_timeout=option_values[:, 2].copy(),
+            md5_ok=option_values[:, 3].copy(),
+            ts_present=bools[:, 3].copy(),
+            tsval=tsval,
+            tsecr=tsecr,
+            key_ip_a=np.where(key_swap, dst, src),
+            key_port_a=np.where(key_swap, dst_port, src_port),
+            key_ip_b=np.where(key_swap, src, dst),
+            key_port_b=np.where(key_swap, src_port, dst_port),
+            packets=packets,
+        )
+
+    # -------------------------------------------------------------- accessors
+    def flow_keys(self) -> List[object]:
+        """One :class:`~repro.netstack.flow.FlowKey` per row, deduplicated.
+
+        Built once per block: packets of the same flow share one key object,
+        so every later dict probe (flow table, shard router) short-circuits
+        on identity instead of re-hashing and comparing 4-tuples.
+        """
+        if self._flow_keys is None:
+            from repro.netstack.flow import FlowKey
+
+            cache: Dict[Tuple[int, int, int, int], object] = {}
+            keys: List[object] = []
+            for quad in zip(
+                self.key_ip_a.tolist(),
+                self.key_port_a.tolist(),
+                self.key_ip_b.tolist(),
+                self.key_port_b.tolist(),
+            ):
+                key = cache.get(quad)
+                if key is None:
+                    key = FlowKey(*quad)
+                    cache[quad] = key
+                keys.append(key)
+            self._flow_keys = keys
+        return self._flow_keys
+
+    def flow_key(self, index: int):
+        return self.flow_keys()[index]
+
+    def packet(self, index: int) -> Packet:
+        """Materialise row ``index`` as a full :class:`Packet`."""
+        if self.packets is not None:
+            return self.packets[index]
+        if self.buffer is None:
+            raise ValueError("PacketColumns has no materialisation backing")
+        start = int(self.offsets[index])
+        stop = start + int(self.lengths[index])
+        return Packet.from_bytes(
+            self.buffer[start:stop].tobytes(), timestamp=float(self.timestamp[index])
+        )
+
+    def views(self) -> List[ColumnPacketView]:
+        """Per-packet view handles, in row order (bulk-constructed).
+
+        Packet-backed columns seed each view's ``direction`` and ``injected``
+        from the original packet (attack ground truth survives the columnar
+        round trip); wire-backed columns start with the parser defaults.
+        """
+        cls = ColumnPacketView
+        if self.packets is not None:
+            directions = [packet.direction for packet in self.packets]
+            injected = [packet.injected for packet in self.packets]
+        else:
+            directions = [Direction.CLIENT_TO_SERVER] * len(self)
+            injected = [False] * len(self)
+        return [
+            cls(self, index, ts, flag, src, dst, sport, dport, key, direction, marked)
+            for index, (ts, flag, src, dst, sport, dport, key, direction, marked) in enumerate(
+                zip(
+                    self.timestamp.tolist(),
+                    self.flags.tolist(),
+                    self.src.tolist(),
+                    self.dst.tolist(),
+                    self.src_port.tolist(),
+                    self.dst_port.tolist(),
+                    self.flow_keys(),
+                    directions,
+                    injected,
+                )
+            )
+        ]
+
+
+def _fold_checksum(totals: np.ndarray) -> np.ndarray:
+    """Vectorized RFC 1071 end-around-carry fold of word sums."""
+    folded = totals % 0xFFFF
+    folded[(folded == 0) & (totals > 0)] = 0xFFFF
+    return folded
+
+
+class _BlockSums:
+    """O(1) big-endian 16-bit word sums over arbitrary spans of one buffer.
+
+    For a span starting at ``a``, the word sum is
+    ``sum(bytes) + 255 * sum(bytes at even positions relative to a)`` —
+    bytes at even relative offsets are the high halves of the words (and the
+    implicit zero pad of an odd-length span costs nothing).  Two prefix sums
+    (all bytes; bytes at even absolute indices) therefore answer any
+    ``(start, length)`` range in O(1), which is what lets IP/TCP checksums
+    for a whole block verify in a handful of NumPy operations.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        size = data.shape[0]
+        # A byte-sum prefix fits int32 as long as size * 255 < 2**31; halving
+        # the prefix width halves the memory traffic of the dominant pass.
+        dtype = np.int32 if size < 8_000_000 else np.int64
+        self._all = np.empty(size + 1, dtype=dtype)
+        self._all[0] = 0
+        np.cumsum(data, dtype=dtype, out=self._all[1:])
+        evens = data[0::2]
+        self._even = np.empty(evens.shape[0] + 1, dtype=dtype)
+        self._even[0] = 0
+        np.cumsum(evens, dtype=dtype, out=self._even[1:])
+
+    def word_sum(self, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        stops = starts + lengths
+        total = (self._all[stops] - self._all[starts]).astype(np.int64)
+        # Number of even absolute indices below x is (x + 1) // 2.
+        even_index_sum = (
+            self._even[(stops + 1) // 2] - self._even[(starts + 1) // 2]
+        ).astype(np.int64)
+        even_relative = np.where(starts % 2 == 0, even_index_sum, total - even_index_sum)
+        return total + 255 * even_relative
+
+
+def _gather(data: np.ndarray, starts: np.ndarray, width: int) -> np.ndarray:
+    """Gather ``width`` consecutive bytes per row into an ``(n, width)`` int64
+    matrix (rows must be fully inside ``data``)."""
+    return data[starts[:, None] + np.arange(width)].astype(np.int64)
+
+
+def _be16(matrix: np.ndarray, column: int) -> np.ndarray:
+    return (matrix[:, column] << 8) | matrix[:, column + 1]
+
+
+def _be32(matrix: np.ndarray, column: int) -> np.ndarray:
+    return (
+        (matrix[:, column] << 24)
+        | (matrix[:, column + 1] << 16)
+        | (matrix[:, column + 2] << 8)
+        | matrix[:, column + 3]
+    )
+
+
+def parse_packet_columns(
+    data: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    timestamps: np.ndarray,
+    *,
+    strict: bool = False,
+) -> PacketColumns:
+    """Vectorized TCP/IPv4 parse of raw packets inside one block buffer.
+
+    ``offsets``/``lengths`` delimit each raw IPv4 packet in ``data`` (link
+    layer already stripped); records that the object path would reject
+    (truncated IP/TCP header, non-TCP protocol) are dropped, or raise
+    :class:`ValueError` when ``strict`` is set — mirroring
+    :meth:`PcapReader.packets`.
+
+    Field semantics replicate :meth:`Packet.from_bytes` +
+    :class:`~repro.features.fields.RawFeatureExtractor` bit for bit: checksum
+    validity is what re-serialisation would verify (so records whose parse is
+    lossy — reserved flag bits, non-canonical or truncated options — are
+    delegated to the per-packet oracle), and option summaries honour the
+    first-well-formed-option rule.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if offsets.size == 0:
+        return PacketColumns.empty()
+
+    valid = lengths >= 20
+    if not valid.any():
+        if strict:
+            raise ValueError("truncated IPv4 header in record 0 of block")
+        return PacketColumns.empty()
+    # Rows too short for an IPv4 header are gathered at some valid row's
+    # offset (in bounds by construction) and masked out afterwards.
+    safe_off = np.where(valid, offsets, offsets[int(np.flatnonzero(valid)[0])])
+    ip_fixed = _gather(data, safe_off, 20)
+    version_ihl = ip_fixed[:, 0]
+    ihl = version_ihl & 0xF
+    protocol = ip_fixed[:, 9]
+    # ``Packet.from_bytes``: header length is ``(ihl or 5) * 4`` clamped to 20.
+    tcp_start = np.maximum(np.where(ihl == 0, 5, ihl) * 4, 20)
+    valid &= protocol == 6
+    tcp_truncated = valid & (lengths - tcp_start < TCP_BASE_HEADER_LENGTH)
+    if strict and (~valid | tcp_truncated).any():
+        bad = int(np.flatnonzero(~valid | tcp_truncated)[0])
+        raise ValueError(
+            f"malformed record {bad} of block: truncated header or non-TCP protocol"
+        )
+    valid &= ~tcp_truncated
+
+    keep = np.flatnonzero(valid)
+    if keep.size == 0:
+        return PacketColumns.empty()
+    offsets = offsets[keep]
+    lengths = lengths[keep]
+    timestamps = timestamps[keep]
+    ip_fixed = ip_fixed[keep]
+    ihl = ihl[keep]
+    tcp_start = tcp_start[keep]
+    n = keep.size
+
+    version = ip_fixed[:, 0] >> 4
+    tos = ip_fixed[:, 1]
+    total_length = _be16(ip_fixed, 2)
+    flags_fragment = _be16(ip_fixed, 6)
+    ttl = ip_fixed[:, 8]
+    ip_checksum = _be16(ip_fixed, 10)
+    src = _be32(ip_fixed, 12)
+    dst = _be32(ip_fixed, 16)
+
+    tcp_fixed = _gather(data, offsets + tcp_start, 20)
+    src_port = _be16(tcp_fixed, 0)
+    dst_port = _be16(tcp_fixed, 2)
+    seq = _be32(tcp_fixed, 4)
+    ack = _be32(tcp_fixed, 8)
+    offset_reserved_flags = _be16(tcp_fixed, 12)
+    data_offset = offset_reserved_flags >> 12
+    flags = (offset_reserved_flags & 0xFF) | (offset_reserved_flags & 0x100)
+    window = _be16(tcp_fixed, 14)
+    tcp_checksum = _be16(tcp_fixed, 16)
+    urgent = _be16(tcp_fixed, 18)
+
+    tcp_header_len = np.maximum(data_offset * 4, TCP_BASE_HEADER_LENGTH)
+    payload_len = np.maximum(lengths - tcp_start - tcp_header_len, 0)
+    ip_options = (ihl * 4 > 20) & (lengths >= ihl * 4)
+    has_options = (data_offset > 5) & (lengths - tcp_start >= data_offset * 4)
+
+    # ------------------------------------------------------- TCP option parse
+    mss = np.zeros(n, dtype=np.float64)
+    ws_shift = np.zeros(n, dtype=np.float64)
+    ut_timeout = np.zeros(n, dtype=np.float64)
+    md5_ok = np.ones(n, dtype=np.float64)  # wire-parsed MD5 options verify
+    ts_present = np.zeros(n, dtype=bool)
+    tsval = np.zeros(n, dtype=np.int64)
+    tsecr = np.zeros(n, dtype=np.int64)
+    # Canonical == re-encoding the decoded options reproduces the wire bytes,
+    # which is what checksum re-verification serialises.
+    canonical = ~has_options & (data_offset >= 5)
+
+    ts_layout = has_options & (data_offset == 8)
+    if ts_layout.any():
+        rows = np.flatnonzero(ts_layout)
+        opts = _gather(data, offsets[rows] + tcp_start[rows] + 20, 12)
+        # Layout A: Timestamp first, NOP-padded (what ``encode_options``
+        # emits); layout B: Linux-style leading NOPs.
+        layout_a = (opts[:, 0] == 8) & (opts[:, 1] == 10) & (opts[:, 10] == 1) & (opts[:, 11] == 1)
+        layout_b = (opts[:, 0] == 1) & (opts[:, 1] == 1) & (opts[:, 2] == 8) & (opts[:, 3] == 10)
+        for layout, base in ((layout_a, 2), (layout_b, 4)):
+            if not layout.any():
+                continue
+            sel = rows[layout]
+            values = opts[layout]
+            ts_present[sel] = True
+            tsval[sel] = (
+                (values[:, base] << 24)
+                | (values[:, base + 1] << 16)
+                | (values[:, base + 2] << 8)
+                | values[:, base + 3]
+            )
+            tsecr[sel] = (
+                (values[:, base + 4] << 24)
+                | (values[:, base + 5] << 16)
+                | (values[:, base + 6] << 8)
+                | values[:, base + 7]
+            )
+            canonical[sel] = True
+
+    slow_options = np.flatnonzero(has_options & ~canonical)
+    for row in slow_options:
+        start = int(offsets[row] + tcp_start[row] + 20)
+        stop = int(offsets[row] + tcp_start[row] + data_offset[row] * 4)
+        raw = data[start:stop].tobytes()
+        options = decode_options(raw)
+        canonical[row] = encode_options(options) == raw
+        mss_o, ts_o, ws_o, ut_o, _md5_o = summarize_feature_options(options)
+        if mss_o is not None:
+            mss[row] = float(mss_o.value)
+        if ws_o is not None:
+            ws_shift[row] = float(ws_o.shift)
+        if ut_o is not None:
+            ut_timeout[row] = float(ut_o.timeout)
+        if ts_o is not None:
+            ts_present[row] = True
+            tsval[row] = ts_o.tsval
+            tsecr[row] = ts_o.tsecr
+
+    # ----------------------------------------------------- checksum validation
+    sums = _BlockSums(data)
+    reserved_ip = (flags_fragment & 0x8000) != 0
+    ip_span = np.where(ip_options, ihl * 4, 20)
+    ip_regular = ~reserved_ip & ~((ihl > 5) & (lengths < ihl * 4))
+    ip_total = sums.word_sum(offsets, ip_span) - ip_checksum
+    ip_computed = 0xFFFF - _fold_checksum(ip_total)
+    ip_ok = ip_regular & (ip_computed == ip_checksum)
+
+    reserved_tcp = (offset_reserved_flags & 0x0E00) != 0
+    options_dropped = (data_offset > 5) & ~has_options
+    tcp_regular = ~reserved_tcp & ~options_dropped & canonical
+    segment_len = lengths - tcp_start
+    pseudo = (
+        (src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF) + 6 + segment_len
+    )
+    tcp_total = sums.word_sum(offsets + tcp_start, segment_len) - tcp_checksum + pseudo
+    tcp_computed = 0xFFFF - _fold_checksum(tcp_total)
+    tcp_ok = tcp_regular & (tcp_computed == tcp_checksum)
+
+    oracle_rows = np.flatnonzero(~ip_regular | ~tcp_regular)
+    for row in oracle_rows:
+        start = int(offsets[row])
+        stop = start + int(lengths[row])
+        packet = Packet.from_bytes(data[start:stop].tobytes())
+        ip_ok[row] = packet.ip_checksum_ok()
+        tcp_ok[row] = packet.tcp_checksum_ok()
+
+    key_swap = (src > dst) | ((src == dst) & (src_port > dst_port))
+    return PacketColumns(
+        timestamp=timestamps,
+        src=src,
+        dst=dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window=window,
+        urgent=urgent,
+        data_offset=data_offset,
+        payload_len=payload_len,
+        ihl=ihl,
+        version=version,
+        tos=tos,
+        ttl=ttl,
+        total_length=total_length,
+        ip_options=ip_options,
+        ip_ok=ip_ok,
+        tcp_ok=tcp_ok,
+        mss=mss,
+        ws_shift=ws_shift,
+        ut_timeout=ut_timeout,
+        md5_ok=md5_ok,
+        ts_present=ts_present,
+        tsval=tsval,
+        tsecr=tsecr,
+        key_ip_a=np.where(key_swap, dst, src),
+        key_port_a=np.where(key_swap, dst_port, src_port),
+        key_ip_b=np.where(key_swap, src, dst),
+        key_port_b=np.where(key_swap, src_port, dst_port),
+        buffer=data,
+        offsets=offsets,
+        lengths=lengths,
+    )
+
+
+def columns_of_train(packets: Sequence[object]) -> Optional[PacketColumns]:
+    """The shared :class:`PacketColumns` behind ``packets``, or ``None``.
+
+    A train qualifies for the columnar feature path only when every element
+    is a :class:`ColumnPacketView` over the same columns object (one capture
+    block); anything else extracts through the per-packet reference.
+    """
+    if not packets:
+        return None
+    first = packets[0]
+    if type(first) is not ColumnPacketView:
+        return None
+    columns = first.columns
+    for packet in packets:
+        if type(packet) is not ColumnPacketView or packet.columns is not columns:
+            return None
+    return columns

@@ -15,7 +15,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.netstack.addresses import int_to_ip
+from repro.netstack.columns import ColumnPacketView
 from repro.netstack.packet import Direction, Packet
+from repro.netstack.tcp import TcpFlags
+
+_CLOSING_FLAGS = TcpFlags.FIN | TcpFlags.RST
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,22 @@ class FlowKey:
         )
 
 
+def flow_key_of(packet) -> FlowKey:
+    """The :class:`FlowKey` of ``packet``, via its precomputed key if any.
+
+    :class:`~repro.netstack.columns.ColumnPacketView` rows normalise their
+    key vectorized (and deduplicated) at parse time; plain packets fall back
+    to :meth:`FlowKey.from_packet`.
+    """
+    if type(packet) is ColumnPacketView:
+        key = packet._key
+        return key if key is not None else packet.flow_key()
+    fast = getattr(packet, "flow_key", None)
+    if fast is not None:
+        return fast()
+    return FlowKey.from_packet(packet)
+
+
 @dataclass
 class Connection:
     """An ordered train of packets belonging to one TCP connection."""
@@ -77,10 +97,14 @@ class Connection:
 
     def append(self, packet: Packet) -> None:
         """Append ``packet``, assigning its direction relative to the client."""
+        if type(packet) is ColumnPacketView:
+            src, src_port = packet.src, packet.src_port  # direct slot reads
+        else:
+            src, src_port = packet.ip.src, packet.tcp.src_port
         if self.client_ip is None:
-            self.client_ip = packet.ip.src
-            self.client_port = packet.tcp.src_port
-        if packet.ip.src == self.client_ip and packet.tcp.src_port == self.client_port:
+            self.client_ip = src
+            self.client_port = src_port
+        if src == self.client_ip and src_port == self.client_port:
             packet.direction = Direction.CLIENT_TO_SERVER
         else:
             packet.direction = Direction.SERVER_TO_CLIENT
@@ -148,7 +172,7 @@ class ConnectionAssembler:
 
     def add(self, packet: Packet) -> Connection:
         """Route ``packet`` to its connection, creating one if needed."""
-        key = FlowKey.from_packet(packet)
+        key = flow_key_of(packet)
         connection = self._active.get(key)
         starts_new = packet.tcp.is_syn and not packet.tcp.is_ack
         if connection is None or (starts_new and self._looks_closed(connection)):
@@ -185,6 +209,11 @@ class CompletionReason(enum.Enum):
 class _FlowEntry:
     connection: Connection
     last_seen: float
+    # Rolling FIN/RST bits of the last three appended packets — the
+    # incremental equivalent of :func:`connection_looks_closed` (every packet
+    # of a tracked connection arrives through :meth:`FlowTable.add`), so the
+    # per-packet close check reads one int instead of rescanning the tail.
+    tail_close_bits: int = 0
 
 
 class FlowTable:
@@ -239,6 +268,16 @@ class FlowTable:
         self._flows: "OrderedDict[FlowKey, _FlowEntry]" = OrderedDict()
         self._closing: Dict[FlowKey, None] = {}  # insertion-ordered set
         self._clock = float("-inf")
+        # The effective grace (a closed connection never outlives an idle one)
+        # and the cached stream time at which the *current* closing front
+        # expires.  Any mutation of ``_closing`` resets the cache to -inf
+        # ("must rescan"), so skipping the scan while ``clock`` is before the
+        # cached deadline reproduces the scan-every-packet behaviour exactly —
+        # the front entry and its ``last_seen`` cannot have changed without a
+        # mutation passing through :meth:`add`/:meth:`_remove`.
+        self._grace = min(self.close_grace, self.idle_timeout)
+        self._closing_due = float("-inf")
+        self._idle_finite = self.idle_timeout != float("inf")
 
     def __len__(self) -> int:
         return len(self._flows)
@@ -262,10 +301,11 @@ class FlowTable:
         """
         completed: List[Tuple[Connection, CompletionReason]] = []
         if key is None:
-            key = FlowKey.from_packet(packet)
+            key = flow_key_of(packet)
         entry = self._flows.get(key)
-        starts_new = packet.tcp.is_syn and not packet.tcp.is_ack
-        if entry is not None and starts_new and connection_looks_closed(entry.connection):
+        flags = packet.flags
+        starts_new = (flags & TcpFlags.SYN) and not (flags & TcpFlags.ACK)
+        if entry is not None and starts_new and entry.tail_close_bits:
             self._remove(key)
             completed.append((entry.connection, CompletionReason.CLOSED))
             entry = None
@@ -273,18 +313,33 @@ class FlowTable:
             entry = _FlowEntry(Connection(key=key), packet.timestamp)
             self._flows[key] = entry
         entry.connection.append(packet)
-        entry.last_seen = max(entry.last_seen, packet.timestamp)
+        entry.tail_close_bits = (
+            (entry.tail_close_bits << 1) | (1 if flags & _CLOSING_FLAGS else 0)
+        ) & 0b111
+        if packet.timestamp > entry.last_seen:
+            entry.last_seen = packet.timestamp
         self._flows.move_to_end(key)
         # ``_closing`` mirrors the recency ordering of ``_flows`` (pop +
         # reinsert moves an active key to the back), so the grace scan in
         # :meth:`poll` can stop at the first entry still inside its grace.
-        self._closing.pop(key, None)
-        if connection_looks_closed(entry.connection):
-            self._closing[key] = None
+        closing = self._closing
+        if key in closing:
+            del closing[key]
+            self._closing_due = float("-inf")
+        if entry.tail_close_bits:
+            closing[key] = None
+            self._closing_due = float("-inf")
         if self.max_packets is not None and len(entry.connection) >= self.max_packets:
             self._remove(key)
             completed.append((entry.connection, CompletionReason.CAPACITY))
-        completed.extend(self.poll(packet.timestamp))
+        timestamp = packet.timestamp
+        if timestamp > self._clock:
+            self._clock = timestamp
+        # Timer scan only when a timer can actually fire: a close grace is
+        # pending, or idle eviction is finite (poll() itself would conclude
+        # the same, but the call and list churn are per-packet costs).
+        if self._closing or self._idle_finite:
+            completed.extend(self.poll())
         if self.max_flows is not None:
             while len(self._flows) > self.max_flows:
                 victim_key = next(iter(self._flows))
@@ -304,23 +359,29 @@ class FlowTable:
         # the completions produced, even under a FIN/RST flood.  (Packets
         # arriving out of timestamp order can leave a stale ``last_seen``
         # behind the front entry; its completion is then merely deferred to
-        # the poll that clears the front, never lost.)
-        grace = min(self.close_grace, self.idle_timeout)
-        while self._closing:
-            key = next(iter(self._closing))
-            entry = self._flows[key]
-            if now - entry.last_seen < grace:
-                break
-            self._remove(key)
-            completed.append((entry.connection, CompletionReason.CLOSED))
+        # the poll that clears the front, never lost.)  The front's expiry is
+        # cached between scans: while the set is untouched, re-checking it
+        # every packet would just re-derive the same deadline.
+        if self._closing and now >= self._closing_due:
+            grace = self._grace
+            while self._closing:
+                key = next(iter(self._closing))
+                entry = self._flows[key]
+                if now - entry.last_seen < grace:
+                    self._closing_due = entry.last_seen + grace
+                    break
+                self._remove(key)
+                completed.append((entry.connection, CompletionReason.CLOSED))
         # The LRU front has the stalest activity, so the scan stops at the
-        # first non-idle connection instead of touching the whole table.
-        while self._flows:
-            key, entry = next(iter(self._flows.items()))
-            if now - entry.last_seen < self.idle_timeout:
-                break
-            self._remove(key)
-            completed.append((entry.connection, CompletionReason.IDLE))
+        # first non-idle connection instead of touching the whole table (and
+        # an infinite idle timeout skips it entirely).
+        if self._idle_finite:
+            while self._flows:
+                key, entry = next(iter(self._flows.items()))
+                if now - entry.last_seen < self.idle_timeout:
+                    break
+                self._remove(key)
+                completed.append((entry.connection, CompletionReason.IDLE))
         return completed
 
     def drain(self) -> List[Tuple[Connection, CompletionReason]]:
@@ -336,7 +397,9 @@ class FlowTable:
         return [(entry.connection, CompletionReason.DRAIN) for entry in entries]
 
     def _remove(self, key: FlowKey) -> _FlowEntry:
-        self._closing.pop(key, None)
+        if key in self._closing:
+            del self._closing[key]
+            self._closing_due = float("-inf")
         return self._flows.pop(key)
 
 
@@ -418,7 +481,7 @@ class ShardedFlowTable:
     # -------------------------------------------------------------- ingestion
     def add(self, packet: Packet) -> List[Tuple[Connection, CompletionReason]]:
         """Route ``packet`` to its shard; returns that shard's completions."""
-        key = FlowKey.from_packet(packet)
+        key = flow_key_of(packet)
         table = self._tables[self.shard_index(key)]
         completed: List[Tuple[Connection, CompletionReason]] = []
         # Catch the shard up to global stream time first, so timers expire

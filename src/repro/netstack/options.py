@@ -203,3 +203,34 @@ def find_option(options: Sequence[object], kind: int) -> Optional[object]:
         if getattr(option, "kind", None) == kind:
             return option
     return None
+
+
+def summarize_feature_options(options: Sequence[object]):
+    """One pass over ``options`` for the Table-7 feature set.
+
+    Returns ``(mss, timestamp, window_scale, user_timeout, md5)`` — the first
+    *well-formed* option of each kind, or ``None``.  A malformed option (a
+    :class:`RawOption` carrying a feature kind, e.g. an MSS with a bad length)
+    does not claim its slot, so a later well-formed duplicate still counts.
+    This is the single source of truth shared by the per-packet reference
+    extractor and the columnar parser's fallback path.
+    """
+    mss = timestamp = window_scale = user_timeout = md5 = None
+    for option in options:
+        kind = getattr(option, "kind", None)
+        if kind == OptionKind.MSS:
+            if mss is None and hasattr(option, "value"):
+                mss = option
+        elif kind == OptionKind.TIMESTAMP:
+            if timestamp is None and hasattr(option, "tsval"):
+                timestamp = option
+        elif kind == OptionKind.WINDOW_SCALE:
+            if window_scale is None and hasattr(option, "shift"):
+                window_scale = option
+        elif kind == OptionKind.USER_TIMEOUT:
+            if user_timeout is None and hasattr(option, "timeout"):
+                user_timeout = option
+        elif kind == OptionKind.MD5_SIGNATURE:
+            if md5 is None and hasattr(option, "valid"):
+                md5 = option
+    return mss, timestamp, window_scale, user_timeout, md5

@@ -4,15 +4,30 @@ Captures are written with link type ``LINKTYPE_RAW`` (101), i.e. each record
 is a bare IPv4 packet, which is all this library produces.  The reader also
 accepts Ethernet (``LINKTYPE_ETHERNET``, 1) and Linux cooked capture
 (``LINKTYPE_LINUX_SLL``, 113) files and strips the link-layer header, so real
-captures such as the MAWI traces can be ingested directly.
+captures such as the MAWI traces can be ingested directly.  Records of any
+other link type raise :class:`ValueError`.
+
+Two read paths are offered:
+
+* :meth:`PcapReader.records` / :meth:`PcapReader.packets` — the classic
+  one-object-per-record iterator, kept as the reference implementation;
+* :meth:`PcapReader.read_columns` / :meth:`PcapReader.iter_column_blocks` —
+  the columnar fast path: the file is read in large blocks, record headers
+  are sliced out of the block buffer (one ``read`` per block instead of two
+  per record) and the records are handed to
+  :func:`repro.netstack.columns.parse_packet_columns` for vectorized
+  TCP/IPv4 parsing.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Tuple, Union
+
+import numpy as np
 
 from repro.netstack.packet import Packet
 
@@ -134,7 +149,145 @@ class PcapReader:
             if protocol != 0x0800:
                 return None
             return data[16:]
-        return data
+        raise self._unsupported_link_type()
+
+    def _unsupported_link_type(self) -> ValueError:
+        """The shared unknown-link-type error (object and columnar paths)."""
+        return ValueError(
+            f"unsupported pcap link type {self.link_type} in {self._path}"
+            " (expected LINKTYPE_RAW, LINKTYPE_ETHERNET or LINKTYPE_LINUX_SLL)"
+        )
+
+    # ------------------------------------------------------------ columnar path
+    @property
+    def _little_endian(self) -> bool:
+        if self._byteorder == "=":
+            return struct.pack("=H", 1)[0] == 1
+        return self._byteorder == "<"
+
+    def _scan_blocks(
+        self, block_bytes: int
+    ) -> Iterator[Tuple[bytes, List[int], List[int]]]:
+        """Carve whole records out of large file blocks.
+
+        Yields ``(buffer, data_starts, captured_lengths)`` per block, where
+        ``data_starts`` point just past each 16-byte record header.  This is
+        the bulk replacement for the two ``read()`` calls per record that
+        :meth:`records` makes; a record straddling a block boundary is carried
+        over into the next block, and a truncated trailing record is dropped,
+        exactly as the iterator path does.
+        """
+        endian = "little" if self._little_endian else "big"
+        # Bytes still unread in the file: a record claiming more than this is
+        # truncated (or has a corrupt length) and is dropped like the object
+        # path drops it — without first buffering the whole remaining file.
+        here = self._file.tell()
+        file_remaining = max(os.fstat(self._file.fileno()).st_size - here, 0)
+        read_size = block_bytes
+        carry = b""
+        while True:
+            # A non-positive block size means "read to EOF" (whole-file mode).
+            chunk = self._file.read(read_size if read_size > 0 else -1)
+            file_remaining -= len(chunk)
+            buffer = carry + chunk if carry else chunk
+            if not buffer:
+                return
+            starts: List[int] = []
+            caplens: List[int] = []
+            position = 0
+            end = len(buffer)
+            while position + _RECORD_HEADER.size <= end:
+                captured = int.from_bytes(buffer[position + 8 : position + 12], endian)
+                record_end = position + _RECORD_HEADER.size + captured
+                if record_end > end:
+                    if record_end - end > file_remaining:
+                        # The rest of the file cannot complete this record:
+                        # truncated/corrupt trailing record, drop it.
+                        carry = b""
+                        if starts:
+                            yield buffer, starts, caplens
+                        return
+                    break
+                starts.append(position + _RECORD_HEADER.size)
+                caplens.append(captured)
+                position = record_end
+            carry = buffer[position:]
+            if starts:
+                read_size = block_bytes
+                yield buffer, starts, caplens
+            elif chunk:
+                # A single record larger than the block: grow the next read
+                # geometrically so the carry+chunk recopy stays linear.
+                read_size = max(read_size, len(carry)) * 2
+            if not chunk:
+                return
+
+    def _block_columns(
+        self, buffer: bytes, starts: List[int], caplens: List[int], strict: bool
+    ):
+        """Vectorized record-header parse + link-layer strip for one block."""
+        from repro.netstack.columns import parse_packet_columns
+
+        data = np.frombuffer(buffer, dtype=np.uint8)
+        offsets = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(caplens, dtype=np.int64)
+        # Record headers sit 16 bytes before each data start; seconds and
+        # microseconds are the first two little/big-endian u32 fields.
+        header_at = (offsets - _RECORD_HEADER.size)[:, None] + np.arange(8)
+        words = np.ascontiguousarray(data[header_at]).view(
+            "<u4" if self._little_endian else ">u4"
+        )
+        timestamps = words[:, 0].astype(np.float64) + words[:, 1].astype(np.float64) / 1e6
+        if self.link_type == LINKTYPE_RAW:
+            keep = np.ones(offsets.shape[0], dtype=bool)
+            skip = 0
+        elif self.link_type in (LINKTYPE_ETHERNET, LINKTYPE_LINUX_SLL):
+            skip = 14 if self.link_type == LINKTYPE_ETHERNET else 16
+            type_at = skip - 2
+            keep = lengths >= skip
+            ethertype = np.zeros(offsets.shape[0], dtype=np.int64)
+            safe = np.where(keep, offsets + type_at, 0)
+            ethertype[keep] = (
+                data[safe[keep]].astype(np.int64) << 8
+            ) | data[safe[keep] + 1]
+            keep &= ethertype == 0x0800
+        else:
+            raise self._unsupported_link_type()
+        return parse_packet_columns(
+            data,
+            offsets[keep] + skip,
+            lengths[keep] - skip,
+            timestamps[keep],
+            strict=strict,
+        )
+
+    def iter_column_blocks(
+        self, *, block_bytes: int = 4 << 20, strict: bool = False
+    ):
+        """Yield :class:`~repro.netstack.columns.PacketColumns` per file block.
+
+        Bounded memory: only ``block_bytes`` of capture (plus its columns) is
+        alive at a time, so arbitrarily large captures stream through the
+        columnar path.  Non-TCP/malformed records are dropped unless
+        ``strict=True`` (mirroring :meth:`packets`).
+        """
+        for buffer, starts, caplens in self._scan_blocks(block_bytes):
+            columns = self._block_columns(buffer, starts, caplens, strict)
+            if len(columns):
+                yield columns
+
+    def read_columns(self, *, strict: bool = False):
+        """Parse the whole remaining capture into one
+        :class:`~repro.netstack.columns.PacketColumns` (the bulk counterpart
+        of :func:`read_pcap`)."""
+        from repro.netstack.columns import PacketColumns
+
+        blocks = list(self.iter_column_blocks(block_bytes=-1, strict=strict))
+        if not blocks:
+            return PacketColumns.empty()
+        if len(blocks) == 1:
+            return blocks[0]
+        return PacketColumns.concatenate(blocks)
 
     def close(self) -> None:
         if not self._file.closed:
@@ -145,6 +298,13 @@ class PcapReader:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def read_packet_columns(path: Union[str, Path], *, strict: bool = False):
+    """Read all TCP/IPv4 packets from ``path`` as one
+    :class:`~repro.netstack.columns.PacketColumns` (columnar ``read_pcap``)."""
+    with PcapReader(path) as reader:
+        return reader.read_columns(strict=strict)
 
 
 def write_pcap(path: Union[str, Path], packets: Iterable[Packet]) -> int:

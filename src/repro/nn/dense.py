@@ -56,7 +56,8 @@ class Dense:
         ``inputs`` may have any number of leading dimensions; the last one must
         equal ``input_size``.
         """
-        pre_activation = inputs @ self.weight + self.bias
+        pre_activation = inputs @ self.weight
+        pre_activation += self.bias  # in place: the matmul temp is private
         output = self._activation(pre_activation)
         if cache:
             self._cache_input = inputs

@@ -138,9 +138,10 @@ class GRULayer:
     ) -> GruForwardResult:
         """Run the layer over ``inputs`` of shape (batch, time, input_size).
 
-        ``need_caches=False`` skips the per-step backward caches, for
-        inference-only passes (e.g. batched gate extraction) where only the
-        hidden states and gate activations are consumed.
+        ``need_caches=False`` skips the per-step backward caches for
+        inference-only passes.  Gates-only callers should prefer
+        :meth:`gates_packed`, the fused inference loop that skips hidden
+        states, caches and finished lanes entirely.
         """
         batch, time, _ = inputs.shape
         hidden = np.zeros((batch, self.hidden_size), dtype=np.float64)
@@ -162,6 +163,49 @@ class GRULayer:
             reset_gates=reset_gates,
             caches=caches,
         )
+
+    def gates_packed(
+        self, inputs: np.ndarray, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Update/reset gates for a padded batch sorted by ascending length.
+
+        With lanes ordered shortest-first, the lanes still alive at step ``t``
+        are exactly the suffix ``[searchsorted(lengths, t, 'right'):]`` — so
+        instead of masking finished lanes (computing a full-width step and
+        then discarding it), each step's recurrence runs only on the alive
+        suffix.  Per-lane outputs are what the masked forward produces for
+        real steps (a masked-out lane keeps its hidden state either way);
+        total step work drops from ``batch * max_len`` to ``sum(lengths)``
+        lane-steps.
+        """
+        batch, time, _ = inputs.shape
+        lengths = np.asarray(lengths)
+        if lengths.shape[0] != batch or (batch > 1 and np.any(np.diff(lengths) < 0)):
+            raise ValueError("gates_packed requires one length per lane, ascending")
+        h = self.hidden_size
+        hidden = np.zeros((batch, h), dtype=np.float64)
+        update_gates = np.zeros((batch, time, h), dtype=np.float64)
+        reset_gates = np.zeros_like(update_gates)
+        weight_hidden = self.weight_hidden
+        projected = (
+            inputs.reshape(batch * time, self.input_size) @ self.weight_input + self.bias
+        ).reshape(batch, time, 3 * h)
+        alive_from = np.searchsorted(lengths, np.arange(time), side="right")
+        for t in range(time):
+            start = int(alive_from[t])
+            projected_input = projected[start:, t, :]
+            h_prev = hidden[start:]
+            projected_hidden = h_prev @ weight_hidden
+            gates = sigmoid(projected_input[:, : 2 * h] + projected_hidden[:, : 2 * h])
+            update_gate = gates[:, :h]
+            reset_gate = gates[:, h:]
+            candidate = np.tanh(
+                projected_input[:, 2 * h :] + reset_gate * projected_hidden[:, 2 * h :]
+            )
+            hidden[start:] = (1.0 - update_gate) * h_prev + update_gate * candidate
+            update_gates[start:, t, :] = update_gate
+            reset_gates[start:, t, :] = reset_gate
+        return update_gates, reset_gates
 
     # ---------------------------------------------------------------- backward
     def backward(
@@ -288,32 +332,37 @@ class GRUSequenceClassifier:
         """Update and reset gate activations for one un-padded sequence.
 
         ``sequence`` has shape (time, input_size); the returned arrays have
-        shape (time, hidden_size).
+        shape (time, hidden_size).  Runs the same packed inference loop as
+        :meth:`gate_activations_batch` (one fully-alive lane), so the two
+        entry points are one implementation.
         """
-        result = self.gru.forward(sequence[None, :, :], need_caches=False)
-        return result.update_gates[0], result.reset_gates[0]
+        update_gates, reset_gates = self.gru.gates_packed(
+            sequence[None, :, :], np.array([sequence.shape[0]], dtype=np.int64)
+        )
+        return update_gates[0], reset_gates[0]
 
     def gate_activations_batch(
         self,
         sequences: Sequence[np.ndarray],
         lengths: Optional[Sequence[int]] = None,
         *,
-        chunk_size: int = 128,
+        chunk_size: int = 64,
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Update/reset gate activations for a batch of variable-length sequences.
 
         ``sequences`` is a list of (time_i, input_size) arrays; the result is a
         list of ``(update_gates, reset_gates)`` pairs, each of shape
         (time_i, hidden_size), in the same order.  Sequences are zero-padded to
-        a common length and run through the GRU in a single masked forward pass
-        per chunk, which replaces ``len(sequences)`` tiny per-step matmuls with
-        one (chunk, input) x (input, 3*hidden) product per time step.
+        a common length and run through the GRU in a single length-packed
+        forward pass per chunk (:meth:`GRULayer.gates_packed`), which replaces
+        ``len(sequences)`` tiny per-step matmuls with one
+        (alive-lanes, input) x (input, 3*hidden) product per time step.
 
         To bound the padding waste of mixing very long and very short
         connections in one padded tensor, sequences are ordered by length and
         processed in chunks of at most ``chunk_size``; results are scattered
-        back to the original order.  Gate values for real (unmasked) steps are
-        identical to per-sequence :meth:`gate_activations` calls.
+        back to the original order.  Gate values for real steps are identical
+        to per-sequence :meth:`gate_activations` calls.
         """
         if lengths is None:
             lengths = [int(sequence.shape[0]) for sequence in sequences]
@@ -335,17 +384,16 @@ class GRUSequenceClassifier:
             chosen = nonempty[start : start + chunk_size]
             max_time = max(lengths[index] for index in chosen)
             inputs = np.zeros((len(chosen), max_time, self.input_size), dtype=np.float64)
-            mask = np.zeros((len(chosen), max_time), dtype=np.float64)
             for row, index in enumerate(chosen):
                 length = lengths[index]
                 inputs[row, :length] = sequences[index][:length]
-                mask[row, :length] = 1.0
-            result = self.gru.forward(inputs, mask, need_caches=False)
+            chunk_lengths = np.array([lengths[index] for index in chosen], dtype=np.int64)
+            update_gates, reset_gates = self.gru.gates_packed(inputs, chunk_lengths)
             for row, index in enumerate(chosen):
                 length = lengths[index]
                 results[index] = (
-                    result.update_gates[row, :length].copy(),
-                    result.reset_gates[row, :length].copy(),
+                    update_gates[row, :length].copy(),
+                    reset_gates[row, :length].copy(),
                 )
         return results  # type: ignore[return-value]
 

@@ -43,6 +43,7 @@ from repro.netstack.flow import (
     FlowKey,
     FlowTable,
     ShardedFlowTable,
+    flow_key_of,
 )
 from repro.netstack.packet import Packet
 from repro.serve.events import Alert, DetectionEvent
@@ -218,7 +219,7 @@ class ParallelStreamingDetector:
         # The router computes the flow key once; the owning shard reuses it
         # (FlowTable.add accepts a precomputed key), so sharding adds no
         # duplicate key work to the per-packet path.
-        key = FlowKey.from_packet(packet)
+        key = flow_key_of(packet)
         index = self.sharded.shard_index(key)
         buffer = self._buffers[index]
         buffer.append((packet, key, self._clock))

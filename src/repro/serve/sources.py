@@ -75,21 +75,48 @@ class IterableSource:
 
 
 class PcapSource:
-    """Stream a ``.pcap`` capture lazily, one record at a time.
+    """Stream a ``.pcap`` capture lazily, block by block.
 
-    ``read_pcap`` materialises the whole capture in memory; this source keeps
-    only one packet alive at a time, so arbitrarily large captures can be
-    replayed.  Non-TCP/malformed records are skipped (``strict=True``
-    raises instead, mirroring :meth:`PcapReader.packets`).
+    ``read_pcap`` materialises the whole capture in memory; this source reads
+    one block at a time, so replay memory is bounded by the blocks still
+    referenced: a block (raw bytes + columns) stays alive only while some
+    yielded packet of it is — in a streaming detector, until every connection
+    it touches completes, so size ``idle_timeout``/``max_flows`` accordingly
+    on captures with very long-lived flows.  Non-TCP/malformed records are
+    skipped (``strict=True`` raises instead, mirroring
+    :meth:`PcapReader.packets`).
+
+    By default the capture rides the columnar ingest path: each block is
+    parsed vectorized into a :class:`~repro.netstack.columns.PacketColumns`
+    and the source yields lightweight
+    :class:`~repro.netstack.columns.ColumnPacketView` handles, which the flow
+    table assembles and the feature extractor consumes without ever building
+    ``Packet`` objects.  ``columnar=False`` restores the one-``Packet``-per-
+    record object path (the reference implementation).
     """
 
-    def __init__(self, path: Union[str, Path], *, strict: bool = False) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        strict: bool = False,
+        columnar: bool = True,
+        block_bytes: int = 4 << 20,
+    ) -> None:
         self.path = Path(path)
         self.strict = strict
+        self.columnar = columnar
+        self.block_bytes = int(block_bytes)
 
     def __iter__(self) -> Iterator[StreamItem]:
         with PcapReader(self.path) as reader:
-            yield from reader.packets(strict=self.strict)
+            if self.columnar:
+                for columns in reader.iter_column_blocks(
+                    block_bytes=self.block_bytes, strict=self.strict
+                ):
+                    yield from columns.views()
+            else:
+                yield from reader.packets(strict=self.strict)
 
 
 class NDJSONSource:
@@ -238,17 +265,23 @@ class ReplaySource:
             last_wall = self._clock()
 
 
-def open_source(path: Union[str, Path], kind: str = "auto") -> PacketSource:
+def open_source(
+    path: Union[str, Path], kind: str = "auto", *, ingest: str = "columnar"
+) -> PacketSource:
     """Build the right source for ``path`` (CLI ``--source`` dispatch).
 
     ``kind`` is ``"pcap"``, ``"ndjson"`` or ``"auto"`` — auto picks NDJSON
     for ``.ndjson``/``.jsonl``/``.json`` suffixes and pcap otherwise.
+    ``ingest`` selects the pcap read path: ``"columnar"`` (default) or
+    ``"object"`` (the per-record reference).
     """
     path = Path(path)
+    if ingest not in ("columnar", "object"):
+        raise ValueError(f"unknown ingest mode {ingest!r} (expected columnar or object)")
     if kind == "auto":
         kind = "ndjson" if path.suffix in (".ndjson", ".jsonl", ".json") else "pcap"
     if kind == "pcap":
-        return PcapSource(path)
+        return PcapSource(path, columnar=ingest == "columnar")
     if kind == "ndjson":
         return NDJSONSource(path)
     raise ValueError(f"unknown source kind {kind!r} (expected pcap, ndjson or auto)")

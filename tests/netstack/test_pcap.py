@@ -91,3 +91,51 @@ class TestReaderRobustness:
         record_header = struct.pack("IIII", 2, 0, len(frame), len(frame))
         path.write_bytes(global_header + record_header + frame)
         assert read_pcap(path) == []
+
+    @pytest.mark.parametrize("link_type", [0, 105, 127, 276])
+    def test_unknown_link_type_raises(self, tmp_path, link_type):
+        """An unsupported link type must raise, not pass through as raw IPv4.
+
+        The old fallthrough silently treated e.g. an 802.11 capture's frames
+        as IP headers, producing garbage features instead of an error.
+        """
+        path = tmp_path / "unknown.pcap"
+        data = make_packet(1, 1.0).to_bytes()
+        global_header = struct.pack("IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, link_type)
+        record_header = struct.pack("IIII", 1, 0, len(data), len(data))
+        path.write_bytes(global_header + record_header + data)
+        with PcapReader(path) as reader:
+            with pytest.raises(ValueError, match=f"link type {link_type}"):
+                list(reader.records())
+        # The columnar path rejects the same captures with the same error.
+        with PcapReader(path) as reader:
+            with pytest.raises(ValueError, match=f"link type {link_type}"):
+                reader.read_columns()
+
+    def test_corrupt_record_length_is_dropped_by_both_paths(self, tmp_path):
+        """A bogus captured-length must not hang or buffer the whole file.
+
+        The record claims 0x7FFFFFF0 bytes; both read paths drop it (and
+        anything after it) exactly like a truncated trailing record.
+        """
+        path = tmp_path / "corrupt.pcap"
+        good = make_packet(3, 1.0).to_bytes()
+        global_header = struct.pack("IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        good_record = struct.pack("IIII", 1, 0, len(good), len(good)) + good
+        bogus_record = struct.pack("IIII", 2, 0, 0x7FFFFFF0, 0x7FFFFFF0) + b"\x00" * 64
+        path.write_bytes(global_header + good_record + bogus_record)
+        assert [p.tcp.seq for p in read_pcap(path)] == [3]
+        with PcapReader(path) as reader:
+            columns = reader.read_columns()
+        assert list(columns.seq) == [3]
+        with PcapReader(path) as reader:
+            blocks = list(reader.iter_column_blocks(block_bytes=32))
+        assert sum(len(block) for block in blocks) == 1
+
+    def test_unknown_link_type_does_not_raise_before_first_record(self, tmp_path):
+        """Opening the file still works; only reading records fails."""
+        path = tmp_path / "empty-unknown.pcap"
+        path.write_bytes(struct.pack("IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 147))
+        with PcapReader(path) as reader:
+            assert reader.link_type == 147
+            assert list(reader.records()) == []

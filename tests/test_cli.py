@@ -173,6 +173,15 @@ class TestTrainAndScore:
         assert main(["score", str(broken), str(capture)]) == 2
         assert "feature schema" in capsys.readouterr().err
 
+    def test_score_rejects_non_pcap_input_cleanly(self, tmp_path, trained_model_dir, capsys):
+        bogus = tmp_path / "bogus.pcap"
+        bogus.write_bytes(b"this is not a capture")
+        for ingest in ("columnar", "object"):
+            capsys.readouterr()
+            assert main(["score", str(trained_model_dir), str(bogus),
+                         "--ingest", ingest]) == 2
+            assert "not a pcap file" in capsys.readouterr().err
+
     def test_train_without_rnn_prints_clean_summary(self, tmp_path, capsys):
         model_dir = tmp_path / "no-rnn-model"
         code = main([

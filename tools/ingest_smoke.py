@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quick-mode ingest-perf smoke for CI.
+
+Runs the stage-breakdown measurement from ``benchmarks/test_ingest_breakdown``
+on a tiny synthetic corpus and fails if the columnar ingest path is slower
+than the object path — the regression this guards against is someone adding
+per-packet Python back under the vectorized pipeline.  Correctness of the
+columnar path is covered by the equivalence test suite; this script is purely
+a performance tripwire, so the thresholds are deliberately loose for noisy CI
+runners.
+
+Run with:  PYTHONPATH=src python tools/ingest_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+
+from benchmarks.test_ingest_breakdown import (  # noqa: E402
+    measure_ingest_breakdown,
+    render_breakdown,
+)
+from repro.netstack.flow import packet_stream  # noqa: E402
+from repro.netstack.pcap import write_pcap  # noqa: E402
+from repro.traffic.generator import TrafficGenerator  # noqa: E402
+
+CONNECTIONS = 80
+
+
+def main() -> int:
+    connections = TrafficGenerator(seed=99).generate_connections(CONNECTIONS)
+    packets = packet_stream(connections)
+    with tempfile.TemporaryDirectory() as workdir:
+        path = Path(workdir) / "smoke.pcap"
+        write_pcap(path, packets)
+        rows = measure_ingest_breakdown(path, len(packets), repeats=2)
+    print(render_breakdown(rows, len(packets)))
+    failures = []
+    by_stage = {stage: (obj, col) for stage, obj, col in rows}
+    if by_stage["features only"][1] <= 2.0 * by_stage["features only"][0]:
+        failures.append("columnar feature extraction is not at least 2x the object path")
+    if by_stage["full pipeline"][1] <= by_stage["full pipeline"][0]:
+        failures.append("columnar full pipeline is slower than the object path")
+    if by_stage["parse only"][1] <= 0.5 * by_stage["parse only"][0]:
+        failures.append("columnar parse fell far behind the object parse")
+    for failure in failures:
+        print(f"ingest smoke FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("ingest smoke OK: columnar path is not slower than the object path",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
