@@ -12,9 +12,16 @@ worker counts 1 and 4, covering flow assembly, micro-batching and event
 dispatch — not just scoring.  The streaming rows use the columnar ingest
 path (what a ``PcapSource`` feeds the runtime since the columnar-ingest PR);
 a ``workers=1, object`` row keeps the per-``Packet`` reference measurable.
-The multi-worker row only parallelises real compute when the host has more
-than one core; on single-core hosts it is recorded as an overhead
-measurement (see the note in the results file).
+
+Worker rows come in both substrates: ``thread`` workers share one GIL (only
+the NumPy-released portions parallelise), while ``process`` workers each own
+a core — the model is loaded read-only via mmap and capture blocks ship as
+packed column slices.  Process rows pay their real fixed costs inside the
+timed region (artifact save, pool spawn, per-worker model map), so they only
+win once the corpus amortises the setup — and only parallelise real compute
+when the host has more than one core; on single-core hosts both multi-worker
+rows are recorded as overhead measurements (see the note in the results
+file).
 """
 
 import os
@@ -39,15 +46,21 @@ def test_table3_throughput(experiment, benchmark):
     benchmark(lambda: clap_detector.score_connections(sample[:10]))
 
     # The serving-path rows need enough packets to amortise per-run fixed
-    # costs (worker spawn/join, queue warm-up), so they replay the whole
-    # corpus rather than the small scored sample — and keep the best of
-    # three runs, the noise-robust estimator for wall-clock timings.
+    # costs (worker spawn/join, queue warm-up, the process pool's model
+    # save/map), so they replay the whole corpus rather than the small
+    # scored sample — and keep the best of three runs, the noise-robust
+    # estimator for wall-clock timings.
     corpus = experiment.dataset.train + experiment.dataset.test
 
-    def best_streaming(workers: int, ingest: str):
+    def best_streaming(workers: int, ingest: str, worker_mode: str = "thread"):
         runs = [
             runner.measure_throughput(
-                CLAP_NAME, corpus, mode="streaming", workers=workers, ingest=ingest
+                CLAP_NAME,
+                corpus,
+                mode="streaming",
+                workers=workers,
+                ingest=ingest,
+                worker_mode=worker_mode,
             )
             for _ in range(3)
         ]
@@ -59,6 +72,8 @@ def test_table3_throughput(experiment, benchmark):
         "CLAP (streaming, 1 worker)": best_streaming(1, "columnar"),
         "CLAP (streaming, 4 workers)": best_streaming(4, "columnar"),
         "CLAP (streaming, 1 worker, object)": best_streaming(1, "object"),
+        "CLAP (streaming, 1 process)": best_streaming(1, "columnar", "process"),
+        "CLAP (streaming, 4 processes)": best_streaming(4, "columnar", "process"),
     }
     cores = _available_cores()
     text = render_table3(throughput) + (
@@ -68,6 +83,11 @@ def test_table3_throughput(experiment, benchmark):
         f" ColumnPacketView handles over pre-parsed PacketColumns (the"
         f" PcapSource serving path; scores identical to the object rows),"
         f" 'object' streams full Packet objects (the pre-columnar reference)."
+        f"  Process rows spawn one OS process per shard (GIL-free scaling):"
+        f" each worker maps the model read-only (mmap) and receives packed"
+        f" column-block slices; their timed region includes the pool's fixed"
+        f" costs (artifact save, spawn, per-worker map), so on a single-core"
+        f" host they measure pure coordination overhead."
     )
     write_result("table3_throughput.txt", text)
 
@@ -83,16 +103,29 @@ def test_table3_throughput(experiment, benchmark):
     streaming_1 = throughput["CLAP (streaming, 1 worker)"]
     streaming_4 = throughput["CLAP (streaming, 4 workers)"]
     streaming_object = throughput["CLAP (streaming, 1 worker, object)"]
+    process_1 = throughput["CLAP (streaming, 1 process)"]
+    process_4 = throughput["CLAP (streaming, 4 processes)"]
     assert streaming_1.connections == streaming_4.connections > 0
     assert streaming_1.connections == streaming_object.connections
+    # Process mode emits the identical connection set (scores are asserted
+    # equal to 1e-9 by the serve test suite; the benchmark checks the count).
+    assert process_1.connections == process_4.connections == streaming_1.connections
     assert streaming_1.packets_per_second > 100
     # Columnar ingest must beat the object reference on the serving path.
     assert streaming_1.packets_per_second > streaming_object.packets_per_second
     if cores > 1:
         # With real parallel compute available, four shard workers must beat
-        # the single-worker packets-in/alerts-out baseline.
+        # the single-worker packets-in/alerts-out baseline — and the process
+        # pool, which does not share a GIL, is the row this PR adds for it.
         assert streaming_4.packets_per_second > streaming_1.packets_per_second
+        assert process_4.packets_per_second > streaming_1.packets_per_second
     else:
-        # Single-core host: threads cannot add compute, so only guard that
-        # the sharded runtime's coordination overhead stays small.
+        # Single-core host: neither threads nor processes can add compute, so
+        # only guard that coordination overhead stays bounded.  The process
+        # pool pays artifact save + spawn + block serialisation + IPC on top
+        # of time-slicing one core, hence the much looser tripwires (this
+        # host's committed run: 1 process ≈ 0.22x, 4 processes ≈ 0.13x of
+        # the single-threaded columnar row).
         assert streaming_4.packets_per_second > 0.6 * streaming_1.packets_per_second
+        assert process_1.packets_per_second > 0.10 * streaming_1.packets_per_second
+        assert process_4.packets_per_second > 0.05 * streaming_1.packets_per_second

@@ -100,12 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--threshold", type=float, default=None,
                         help="override the persisted adversarial-score threshold")
     stream.add_argument("--workers", type=int, default=1,
-                        help="flow-table shards / worker threads (1 = single-threaded)")
+                        help="flow-table shards / workers (1 = single-threaded)")
+    stream.add_argument("--worker-mode", choices=("thread", "process"), default="thread",
+                        help="worker substrate: threads (default; share one GIL) or "
+                             "processes (one core each, model shared via read-only mmap)")
     stream.add_argument("--source", choices=("auto", "pcap", "ndjson"), default="auto",
                         help="input format; auto picks by file extension")
     stream.add_argument("--ingest", choices=("columnar", "object"), default="columnar",
                         help="pcap read path: vectorized columnar (default) or "
                              "per-record object parsing (the reference)")
+    stream.add_argument("--strict", action="store_true",
+                        help="abort on malformed capture records instead of skipping them")
     stream.add_argument("--max-batch", type=int, default=128,
                         help="micro-batch size: flush after this many completed connections")
     stream.add_argument("--idle-timeout", type=float, default=60.0,
@@ -265,6 +270,14 @@ def command_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _close_quietly(detector) -> None:
+    """Tear down a streaming detector without masking the original error."""
+    try:
+        detector.close()
+    except Exception:
+        pass
+
+
 def command_stream(args: argparse.Namespace) -> int:
     if args.max_batch < 1:
         print(f"error: --max-batch must be at least 1, got {args.max_batch}", file=sys.stderr)
@@ -283,7 +296,8 @@ def command_stream(args: argparse.Namespace) -> int:
             print(json.dumps(event.to_dict()))
 
     try:
-        source: object = open_source(args.pcap, args.source, ingest=args.ingest)
+        source: object = open_source(args.pcap, args.source, ingest=args.ingest,
+                                     strict=args.strict)
         if args.replay_rate is not None:
             # Heartbeat at the close-grace cadence so FIN'd flows complete
             # during quiet spells; with a zero grace there is nothing for a
@@ -294,6 +308,7 @@ def command_stream(args: argparse.Namespace) -> int:
         detector = ParallelStreamingDetector(
             clap,
             workers=args.workers,
+            worker_mode=args.worker_mode,
             flush_policy=FlushPolicy(max_batch=args.max_batch,
                                      max_buffered=max(args.max_batch, 1024)),
             threshold=args.threshold,
@@ -301,6 +316,9 @@ def command_stream(args: argparse.Namespace) -> int:
             close_grace=args.close_grace,
             max_flows=args.max_flows,
             drop_policy=DropPolicy(mode=args.drop_policy),
+            # Process workers mmap the artifact the CLI already has on disk;
+            # no temporary re-save of the model.
+            model_dir=args.model if args.worker_mode == "process" else None,
         )
     except ValueError as error:
         # FlowTable/FlushPolicy/DropPolicy validate their knobs; render the
@@ -308,13 +326,24 @@ def command_stream(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     streamed = 0
-    for item in source:
-        if isinstance(item, Tick):
-            detector.poll(item.now)
-        else:
-            streamed += 1
-            detector.ingest(item)
-        emit(detector.events())
+    try:
+        for item in source:
+            if isinstance(item, Tick):
+                detector.poll(item.now)
+            else:
+                streamed += 1
+                detector.ingest(item)
+            emit(detector.events())
+    except (ValueError, RuntimeError) as error:
+        # A strict-mode parse error (ValueError) or a shard-worker failure
+        # (RuntimeError) must not leak the worker pool: shut it down, then
+        # render the message instead of a traceback.
+        _close_quietly(detector)
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BaseException:
+        _close_quietly(detector)
+        raise
     # close() also queues the final-drain events, so the events() drain below
     # delivers them exactly once, in the deterministic close ordering.
     detector.close()

@@ -313,7 +313,10 @@ class Clap:
         The weights/scaler/threshold land in ``clap_model.npz`` as before; a
         ``manifest.json`` (artifact schema version, full configuration,
         feature-schema hash, threshold) is written alongside so the artifact
-        is self-describing and :meth:`load` can validate compatibility.
+        is self-describing and :meth:`load` can validate compatibility.  The
+        archive members are stored uncompressed, so :meth:`load` can
+        memory-map them (``mmap_mode="r"``) — many readers of one artifact
+        then share a single page-cache copy of the weights.
         """
         self._require_fitted()
         directory = Path(directory)
@@ -342,7 +345,13 @@ class Clap:
         return archive
 
     @classmethod
-    def load(cls, path: Union[str, Path], config: Optional[ClapConfig] = None) -> "Clap":
+    def load(
+        cls,
+        path: Union[str, Path],
+        config: Optional[ClapConfig] = None,
+        *,
+        mmap_mode: Optional[str] = None,
+    ) -> "Clap":
         """Load a pipeline persisted with :meth:`save`.
 
         When a ``manifest.json`` sits next to the archive it is validated
@@ -351,11 +360,18 @@ class Clap:
         is restored.  Legacy bare ``.npz`` models (no manifest) load as
         before.  Raises :class:`repro.core.artifacts.ModelManifestError` for
         incompatible artifacts.
+
+        ``mmap_mode="r"`` memory-maps the weight arrays read-only instead of
+        copying them into process memory (see
+        :func:`repro.nn.serialization.load_state`): scoring is byte-identical
+        to an eager load, and every process mapping the same artifact shares
+        one page-cache copy — the loading mode the process-backed streaming
+        runtime uses for its shard workers.
         """
         path = Path(path)
         if path.is_dir():
             path = path / "clap_model.npz"
-        state = load_state(path)
+        state = load_state(path, mmap_mode=mmap_mode)
         manifest = read_manifest(path.parent)
         if manifest is not None:
             validate_manifest(manifest)

@@ -120,7 +120,11 @@ def render_table3(throughputs: Dict[str, ThroughputResult]) -> str:
             name,
             result.mode,
             result.ingest if result.mode == "streaming" else "-",
-            str(result.workers),
+            (
+                f"{result.workers} ({result.worker_mode})"
+                if result.mode == "streaming"
+                else str(result.workers)
+            ),
             f"{result.packets_per_second:,.1f}",
             f"{result.connections_per_second:,.1f}",
         ]

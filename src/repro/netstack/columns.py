@@ -28,8 +28,10 @@ The 32 Table-7 features are computed from these columns by
 
 from __future__ import annotations
 
+import pickle
+import struct
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -78,6 +80,33 @@ _ARRAY_FIELDS = (
     "key_ip_b",
     "key_port_b",
 )
+
+_FLOAT_FIELDS = frozenset(("timestamp", "mss", "ws_shift", "ut_timeout", "md5_ok"))
+_BOOL_FIELDS = frozenset(("ip_options", "ip_ok", "tcp_ok", "ts_present"))
+
+
+def _field_dtype(name: str) -> np.dtype:
+    if name in _FLOAT_FIELDS:
+        return np.dtype(np.float64)
+    if name in _BOOL_FIELDS:
+        return np.dtype(np.bool_)
+    return np.dtype(np.int64)
+
+
+#: ``pack_block`` wire format (version 1): a fixed little-endian header —
+#: magic, version, materialisation-backing kind, row count, backing section
+#: length — followed by every ``_ARRAY_FIELDS`` column as raw contiguous
+#: bytes (sizes derived from the row count and each field's fixed dtype),
+#: then the backing section.  ``RAW`` backing ships per-row capture lengths
+#: plus the compacted raw packet bytes (offsets are rebuilt by a cumulative
+#: sum on unpack); ``PACKETS`` backing pickles the original ``Packet``
+#: objects; ``NONE`` drops materialisation entirely.
+_PACK_MAGIC = b"CPB"
+_PACK_VERSION = 1
+_PACK_HEADER = struct.Struct("<3sBBxxxQQ")
+_BACKING_NONE = 0
+_BACKING_RAW = 1
+_BACKING_PACKETS = 2
 
 
 class ColumnPacketView:
@@ -473,6 +502,93 @@ class PacketColumns:
                 )
             )
         ]
+
+
+    # ------------------------------------------------------------ wire format
+    def pack_block(
+        self, indices: Optional[np.ndarray] = None, *, backing: str = "auto"
+    ) -> bytes:
+        """Serialise (a row subset of) this block into the compact wire format.
+
+        The process-backed streaming runtime ships capture blocks to shard
+        workers with this instead of pickling packet objects: every scalar
+        column crosses the process boundary as raw array bytes, and the
+        materialisation backing travels as the compacted raw packet bytes
+        (buffer-backed blocks) or the pickled originals (packet-backed
+        blocks).  ``indices`` selects rows (in the given order); ``None``
+        packs the whole block.  ``backing="none"`` omits materialisation —
+        smallest wire size, but :meth:`packet`/``materialize()`` on the
+        unpacked side will fail.  :func:`unpack_block` is the exact inverse:
+        every column round-trips bit for bit.
+        """
+        if backing not in ("auto", "none"):
+            raise ValueError(f"unknown backing mode {backing!r} (expected auto or none)")
+        idx: Optional[np.ndarray] = None
+        if indices is not None:
+            idx = np.asarray(indices, dtype=np.int64)
+        n = len(self) if idx is None else int(idx.size)
+        sections: List[bytes] = []
+        for name in _ARRAY_FIELDS:
+            array = getattr(self, name)
+            selected = array if idx is None else array[idx]
+            sections.append(
+                np.ascontiguousarray(selected, dtype=_field_dtype(name)).tobytes()
+            )
+        kind = _BACKING_NONE
+        payload = b""
+        if backing == "auto" and self.buffer is not None:
+            kind = _BACKING_RAW
+            lengths = self.lengths if idx is None else self.lengths[idx]
+            offsets = self.offsets if idx is None else self.offsets[idx]
+            lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+            total = int(lengths.sum())
+            ends = np.cumsum(lengths)
+            # Compact the selected spans: gather[i] walks each row's source
+            # span contiguously into the new buffer.
+            gather = np.repeat(offsets - (ends - lengths), lengths) + np.arange(total)
+            payload = lengths.tobytes() + np.ascontiguousarray(self.buffer[gather]).tobytes()
+        elif backing == "auto" and self.packets is not None:
+            kind = _BACKING_PACKETS
+            selected_packets = (
+                self.packets if idx is None else [self.packets[i] for i in idx.tolist()]
+            )
+            payload = pickle.dumps(selected_packets, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _PACK_HEADER.pack(_PACK_MAGIC, _PACK_VERSION, kind, n, len(payload))
+        return b"".join([header, *sections, payload])
+
+
+def unpack_block(data: Union[bytes, bytearray, memoryview]) -> PacketColumns:
+    """Rebuild a :class:`PacketColumns` from :meth:`PacketColumns.pack_block`.
+
+    Scalar columns are zero-copy ``frombuffer`` views over ``data`` (read-only,
+    like every parsed column on the hot path), so the unpacked block's memory
+    is the wire payload itself.
+    """
+    view = memoryview(data)
+    magic, version, kind, n, backing_len = _PACK_HEADER.unpack_from(view, 0)
+    if magic != _PACK_MAGIC:
+        raise ValueError("not a packed PacketColumns block (bad magic)")
+    if version != _PACK_VERSION:
+        raise ValueError(f"unsupported packed-block version {version}")
+    position = _PACK_HEADER.size
+    kwargs: Dict[str, object] = {}
+    for name in _ARRAY_FIELDS:
+        dtype = _field_dtype(name)
+        kwargs[name] = np.frombuffer(view, dtype=dtype, count=n, offset=position)
+        position += dtype.itemsize * n
+    if kind == _BACKING_RAW:
+        lengths = np.frombuffer(view, dtype=np.int64, count=n, offset=position)
+        position += 8 * n
+        raw_size = backing_len - 8 * n
+        kwargs["buffer"] = np.frombuffer(view, dtype=np.uint8, count=raw_size, offset=position)
+        ends = np.cumsum(lengths)
+        kwargs["offsets"] = ends - lengths
+        kwargs["lengths"] = lengths
+    elif kind == _BACKING_PACKETS:
+        kwargs["packets"] = pickle.loads(view[position : position + backing_len])
+    elif kind != _BACKING_NONE:
+        raise ValueError(f"unknown packed-block backing kind {kind}")
+    return PacketColumns(**kwargs)
 
 
 def _fold_checksum(totals: np.ndarray) -> np.ndarray:

@@ -158,8 +158,14 @@ class Autoencoder:
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        # Adopt read-only memory-mapped weights instead of copying them (all
+        # layers read through this shared dict); see GRUSequenceClassifier.
         for key in self.parameters:
-            self.parameters[key][...] = state[key]
+            value = state[key]
+            if isinstance(value, np.memmap) and not value.flags.writeable:
+                self.parameters[key] = value
+            else:
+                self.parameters[key][...] = value
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "Autoencoder":

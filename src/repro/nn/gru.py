@@ -438,8 +438,16 @@ class GRUSequenceClassifier:
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        # Read-only memory-mapped weights are adopted in place of the freshly
+        # initialised arrays (every consumer reads through this shared dict),
+        # so an mmap-loaded model never copies them into anonymous memory;
+        # such a model is inference-only — ``fit`` would write the weights.
         for key in self.parameters:
-            self.parameters[key][...] = state[key]
+            value = state[key]
+            if isinstance(value, np.memmap) and not value.flags.writeable:
+                self.parameters[key] = value
+            else:
+                self.parameters[key][...] = value
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "GRUSequenceClassifier":

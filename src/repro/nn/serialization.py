@@ -3,18 +3,33 @@
 The paper's pipeline persists the trained RNN and autoencoder between the
 training and testing phases (Figures 2 and 3); these helpers provide the same
 capability for any model exposing ``state_dict`` / ``from_state_dict``.
+
+:func:`load_state` can also memory-map the archive (``mmap_mode="r"``):
+``np.savez`` stores each member uncompressed, so every array can be mapped
+straight out of the zip file instead of copied into anonymous memory.  All
+readers of one archive then share a single page-cache copy of the weights —
+which is what lets the process-backed streaming runtime load the same model
+into N shard workers for the price of one.
 """
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
+_ZIP_LOCAL_HEADER_SIZE = 30  # fixed part of a zip local file header
+_ZIP_LOCAL_MAGIC = b"PK\x03\x04"
+
 
 def save_state(path: Union[str, Path], state: Dict[str, np.ndarray]) -> Path:
-    """Write a state dictionary to ``path`` (``.npz`` appended if missing)."""
+    """Write a state dictionary to ``path`` (``.npz`` appended if missing).
+
+    Members are stored uncompressed (``np.savez``), which keeps the archive
+    memory-mappable by ``load_state(..., mmap_mode="r")``.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -25,10 +40,78 @@ def save_state(path: Union[str, Path], state: Dict[str, np.ndarray]) -> Path:
     return path
 
 
-def load_state(path: Union[str, Path]) -> Dict[str, np.ndarray]:
-    """Read a state dictionary previously written by :func:`save_state`."""
+def _resolve(path: Union[str, Path]) -> Path:
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        return {key.replace("__slash__", "/"): archive[key] for key in archive.files}
+    return path
+
+
+def load_state(
+    path: Union[str, Path], *, mmap_mode: Optional[str] = None
+) -> Dict[str, np.ndarray]:
+    """Read a state dictionary previously written by :func:`save_state`.
+
+    ``mmap_mode`` (e.g. ``"r"``) memory-maps each array out of the archive
+    instead of copying it into process memory: ``np.load`` cannot map members
+    of a ``.npz``, so the zip is walked by hand — every stored (uncompressed)
+    member's data offset is read from its local file header and handed to
+    ``np.memmap``.  Members that cannot be mapped (compressed, object-typed,
+    zero-length) silently fall back to an eager read, so the call never fails
+    where the plain load would have succeeded.
+    """
+    path = _resolve(path)
+    if mmap_mode is None:
+        with np.load(path) as archive:
+            return {key.replace("__slash__", "/"): archive[key] for key in archive.files}
+    if mmap_mode != "r":
+        raise ValueError(f"only mmap_mode='r' is supported, got {mmap_mode!r}")
+    state: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename
+            key = (name[:-4] if name.endswith(".npy") else name).replace("__slash__", "/")
+            array = _mmap_member(path, archive, info)
+            if array is None:  # pragma: no cover - exotic archives only
+                with archive.open(name) as member:
+                    array = np.lib.format.read_array(member, allow_pickle=False)
+            state[key] = array
+    return state
+
+
+def _mmap_member(
+    path: Path, archive: zipfile.ZipFile, info: zipfile.ZipInfo
+) -> Optional[np.ndarray]:
+    """Memory-map one stored ``.npy`` member of a zip, or ``None`` if it
+    cannot be mapped (compressed member, object dtype, empty array)."""
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    with open(path, "rb") as raw:
+        # The central directory's extra-field length can differ from the
+        # local header's, so the data offset must come from the local header.
+        raw.seek(info.header_offset)
+        local = raw.read(_ZIP_LOCAL_HEADER_SIZE)
+        if len(local) != _ZIP_LOCAL_HEADER_SIZE or local[:4] != _ZIP_LOCAL_MAGIC:
+            return None
+        name_length = int.from_bytes(local[26:28], "little")
+        extra_length = int.from_bytes(local[28:30], "little")
+        data_start = info.header_offset + _ZIP_LOCAL_HEADER_SIZE + name_length + extra_length
+        raw.seek(data_start)
+        version = np.lib.format.read_magic(raw)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(raw)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(raw)
+        else:
+            return None
+        if dtype.hasobject or 0 in shape:
+            return None
+        data_offset = raw.tell()
+    return np.memmap(
+        path,
+        mode="r",
+        dtype=dtype,
+        shape=shape,
+        order="F" if fortran else "C",
+        offset=data_offset,
+    )

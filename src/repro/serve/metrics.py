@@ -112,6 +112,14 @@ class StreamingMetrics:
     One instance is shared by every shard worker; all mutation happens under
     a single lock (the recorded quantities are far coarser-grained than the
     per-packet hot path, so contention is negligible).
+
+    Process-backed runtimes cannot share the instance across the process
+    boundary, so each shard worker keeps its own local ``StreamingMetrics``
+    and periodically ships :meth:`worker_state` — a picklable counter struct —
+    back to the parent, which stores the latest struct per worker via
+    :meth:`absorb_worker_state`.  :meth:`snapshot` (and therefore
+    :meth:`render`) folds those structs into the parent-side counters, so one
+    snapshot aggregates the whole pool regardless of worker mode.
     """
 
     def __init__(self, shard_count: int = 1) -> None:
@@ -126,11 +134,20 @@ class StreamingMetrics:
         self.flush_latency = LatencyHistogram()
         self.max_pending_depth = 0
         self.max_queue_depth = 0
+        # Latest counter struct shipped by each external (process) worker,
+        # keyed by worker id; folded into snapshot()/render().
+        self._worker_states: Dict[object, Dict[str, object]] = {}
 
     # -------------------------------------------------------------- recording
     def record_ingest(self, shard: int, packets: int = 1) -> None:
         with self._lock:
             self.packets_ingested[shard] += packets
+
+    def set_ingested(self, shard: int, packets: int) -> None:
+        """Overwrite one shard's ingest counter (kept under the lock so
+        readers of a concurrent :meth:`snapshot` never see a torn list)."""
+        with self._lock:
+            self.packets_ingested[shard] = int(packets)
 
     def record_completions(
         self, completions: Iterable[Tuple[Connection, CompletionReason]]
@@ -163,48 +180,106 @@ class StreamingMetrics:
             if depth > self.max_queue_depth:
                 self.max_queue_depth = depth
 
+    # ------------------------------------------------ cross-process aggregation
+    def worker_state(self) -> Dict[str, object]:
+        """This instance's worker-side counters as one picklable struct.
+
+        A process shard worker records into a private ``StreamingMetrics``
+        and ships this struct to the parent runtime; only the quantities a
+        worker owns are included (completions, drops, scoring, flush latency,
+        pending depth) — ingest and event counters belong to the parent.
+        """
+        with self._lock:
+            return {
+                "completions": dict(self.completions),
+                "connections_scored": self.connections_scored,
+                "capacity_drops": self.capacity_drops,
+                "flush_counts": list(self.flush_latency.counts),
+                "flush_total": self.flush_latency.total,
+                "flush_count": self.flush_latency.count,
+                "flush_max": self.flush_latency.max,
+                "max_pending_depth": self.max_pending_depth,
+            }
+
+    def absorb_worker_state(self, worker: object, state: Dict[str, object]) -> None:
+        """Remember the latest counter struct shipped by ``worker``."""
+        with self._lock:
+            self._worker_states[worker] = dict(state)
+
     # -------------------------------------------------------------- reporting
     @property
     def total_packets(self) -> int:
-        return sum(self.packets_ingested)
+        with self._lock:
+            return sum(self.packets_ingested)
 
     @property
     def total_completions(self) -> int:
-        return sum(self.completions.values())
+        snap = self.snapshot()
+        return sum(snap["completions_by_reason"].values())  # type: ignore[union-attr]
 
     def snapshot(self, occupancy: Optional[List[int]] = None) -> Dict[str, object]:
-        """One JSON-friendly dict with every signal (for logs / the CLI)."""
+        """One JSON-friendly dict with every signal (for logs / the CLI).
+
+        External worker structs (process mode) are folded in, so the snapshot
+        always describes the whole pool.
+        """
         with self._lock:
+            completions = dict(self.completions)
+            scored = self.connections_scored
+            drops = self.capacity_drops
+            max_pending = self.max_pending_depth
+            latency = LatencyHistogram(self.flush_latency.edges)
+            latency.counts = list(self.flush_latency.counts)
+            latency.total = self.flush_latency.total
+            latency.count = self.flush_latency.count
+            latency.max = self.flush_latency.max
+            for state in self._worker_states.values():
+                for reason, count in state["completions"].items():  # type: ignore[union-attr]
+                    completions[reason] = completions.get(reason, 0) + count
+                scored += state["connections_scored"]  # type: ignore[operator]
+                drops += state["capacity_drops"]  # type: ignore[operator]
+                max_pending = max(max_pending, state["max_pending_depth"])  # type: ignore[type-var]
+                for index, count in enumerate(state["flush_counts"]):  # type: ignore[arg-type]
+                    latency.counts[index] += count
+                latency.total += state["flush_total"]  # type: ignore[operator]
+                latency.count += state["flush_count"]  # type: ignore[operator]
+                latency.max = max(latency.max, state["flush_max"])  # type: ignore[type-var]
             return {
                 "shards": self.shard_count,
                 "packets_ingested": list(self.packets_ingested),
-                "completions_by_reason": dict(self.completions),
-                "connections_scored": self.connections_scored,
+                "completions_by_reason": completions,
+                "connections_scored": scored,
                 "events_emitted": self.events_emitted,
                 "alerts_emitted": self.alerts_emitted,
-                "capacity_drops": self.capacity_drops,
-                "flush_latency": self.flush_latency.to_dict(),
-                "max_pending_depth": self.max_pending_depth,
+                "capacity_drops": drops,
+                "flush_latency": latency.to_dict(),
+                "max_pending_depth": max_pending,
                 "max_queue_depth": self.max_queue_depth,
                 "shard_occupancy": list(occupancy) if occupancy is not None else None,
             }
 
     def render(self, occupancy: Optional[List[int]] = None) -> str:
-        """Short human-readable summary (printed to stderr by the CLI)."""
+        """Short human-readable summary (printed to stderr by the CLI).
+
+        Rendered strictly from one :meth:`snapshot`, so every printed number
+        comes from the same locked read — a flush landing mid-render can
+        never make the latency line disagree with the embedded counters.
+        """
         snap = self.snapshot(occupancy)
         reasons = ", ".join(
             f"{name}={count}"
             for name, count in snap["completions_by_reason"].items()  # type: ignore[union-attr]
             if count
         )
-        latency = self.flush_latency
+        latency = snap["flush_latency"]
         lines = [
             f"shards={snap['shards']} packets={sum(snap['packets_ingested'])} "
             f"completions=[{reasons or 'none'}]",
             f"scored={snap['connections_scored']} events={snap['events_emitted']} "
             f"alerts={snap['alerts_emitted']} capacity_drops={snap['capacity_drops']}",
-            f"flush latency: n={latency.count} mean={latency.mean * 1e3:.2f}ms "
-            f"max={latency.max * 1e3:.2f}ms; "
+            f"flush latency: n={latency['count']} "  # type: ignore[index]
+            f"mean={latency['mean_seconds'] * 1e3:.2f}ms "  # type: ignore[index]
+            f"max={latency['max_seconds'] * 1e3:.2f}ms; "  # type: ignore[index]
             f"max pending={snap['max_pending_depth']} max queue={snap['max_queue_depth']}",
         ]
         if occupancy is not None:

@@ -1,4 +1,4 @@
-"""Sharded parallel streaming runtime: one process, N shard workers.
+"""Sharded parallel streaming runtime: N shard workers as threads or processes.
 
 :class:`ParallelStreamingDetector` scales the single-threaded
 :class:`~repro.serve.streaming.StreamingDetector` out to N workers while
@@ -12,31 +12,58 @@ keeping its contract.  The layering:
 * each shard worker owns one :class:`~repro.netstack.flow.FlowTable` shard
   and its own pending buffer: it assembles connections, applies the
   :class:`~repro.serve.metrics.DropPolicy` to capacity evictions, and pushes
-  completed connections through the shared batched inference engine under the
-  :class:`~repro.serve.streaming.FlushPolicy` (scoring is NumPy-dominated, so
-  a :class:`~threading.Thread` per shard overlaps engine calls with
-  assembly and with each other);
-* every worker funnels its events into one shared ordered queue consumed via
+  completed connections through the batched inference engine under the
+  :class:`~repro.serve.streaming.FlushPolicy`;
+* every worker funnels its events into one ordered dispatch consumed via
   :meth:`events` / the ``on_event``/``on_alert`` callbacks (invoked under a
   dispatch lock, so callbacks never run concurrently).
 
+``worker_mode`` selects the worker substrate:
+
+* ``"thread"`` (the default) spawns one :class:`threading.Thread` per shard
+  sharing the caller's engine.  Scoring is NumPy-dominated, so threads
+  overlap engine calls — but flow assembly and everything else Python-level
+  still serialises on the GIL.
+* ``"process"`` spawns one OS process per shard.  Every worker loads the
+  model **read-only** from the artifact directory with ``mmap_mode="r"``
+  (all workers share one page-cache copy of the ``.npz``), receives columnar
+  work as :meth:`~repro.netstack.columns.PacketColumns.pack_block` wire
+  blocks — broadcast once per capture block, shared-memory-backed for large
+  payloads, with per-chunk row-index slices riding the per-shard queues —
+  and funnels events back through a result queue into the same ordered
+  dispatch.  ``workers=4`` then means four cores, not four threads sharing
+  one GIL.  :class:`~repro.serve.metrics.StreamingMetrics` aggregates across
+  the pool by merging per-worker counter structs on snapshot.
+
 Equivalence guarantee: on a time-ordered capture the runtime emits the same
 set of :class:`~repro.serve.events.DetectionEvent`\\ s — same connection
-keys, scores within 1e-9 — at any worker count, and :meth:`close` returns the
-end-of-stream drain in deterministic ``(first_seen, key)`` order
-(``tests/serve/test_runtime.py``).  With ``workers=1`` no threads are spawned
-at all: the runtime delegates to a plain ``StreamingDetector``, keeping
-today's single-threaded behaviour bit-identical.
+keys, scores within 1e-9 — at any worker count **and in either worker
+mode**, and :meth:`close` returns the end-of-stream drain in deterministic
+``(first_seen, key)`` order (``tests/serve/test_runtime.py``,
+``tests/serve/test_process_runtime.py``).  With ``workers=1`` in thread mode
+no workers are spawned at all: the runtime delegates to a plain
+``StreamingDetector``, keeping today's single-threaded behaviour
+bit-identical.  Process mode always spawns its workers — even ``workers=1``
+moves scoring off the ingest thread, which is the point.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
+import shutil
+import tempfile
 import threading
-from collections import deque
-from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+import weakref
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+import numpy as np
 
 from repro.core.pipeline import Clap
+from repro.netstack.columns import ColumnPacketView, PacketColumns, unpack_block
 from repro.netstack.flow import (
     CompletionReason,
     Connection,
@@ -57,7 +84,24 @@ from repro.serve.streaming import (
     drain_pending,
 )
 
+try:  # pragma: no cover - available on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
 _CLOSE = object()
+
+#: Blocks whose packed payload is at least this large travel through POSIX
+#: shared memory (one write, N readers) instead of being pickled into every
+#: worker's queue pipe.
+_SHM_MIN_BYTES = 64 * 1024
+
+#: How many capture blocks parent and workers keep unpacked.  The parent
+#: broadcasts every block to every worker in the same order, so both sides
+#: evict in lockstep and a queued row slice always finds its block cached.
+_BLOCK_CACHE_DEPTH = 8
+
+_WORKER_JOIN_TIMEOUT = 10.0
 
 
 def _emit_nothing(events: List[DetectionEvent]) -> None:
@@ -85,7 +129,7 @@ class _Poll:
 
 
 class _Shard:
-    """One worker's private state: flow-table shard, pending buffer, queue."""
+    """One thread worker's private state: flow-table shard, pending, queue."""
 
     def __init__(self, index: int, table: FlowTable, queue_depth: int) -> None:
         self.index = index
@@ -97,14 +141,201 @@ class _Shard:
         self.thread: Optional[threading.Thread] = None
 
 
+# ---------------------------------------------------------------------------
+# Process worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a process shard worker needs, shipped picklable at spawn."""
+
+    index: int
+    model_dir: str
+    threshold: float
+    top_n: int
+    policy: FlushPolicy
+    drop_policy: Optional[DropPolicy]
+    idle_timeout: float
+    close_grace: float
+    max_flows: Optional[int]
+    max_packets: Optional[int]
+    block_cache: int = _BLOCK_CACHE_DEPTH
+
+
+def _read_block_payload(ref: Tuple) -> Union[bytes, memoryview]:
+    """Materialise a block reference shipped by the parent (worker side)."""
+    if ref[0] == "bytes":
+        return ref[1]
+    name, size = ref[1], ref[2]
+    # Attaching re-registers the segment with the resource tracker
+    # (bpo-39959), but multiprocessing-spawned workers share the parent's
+    # tracker process, whose registry is a set — the duplicate is harmless
+    # and the parent's unlink() clears the single entry.
+    segment = _shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:size])
+    finally:
+        segment.close()
+
+
+def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
+    """Entry point of one process shard worker.
+
+    Mirrors the thread worker loop message for message, with two differences
+    born of the process boundary: the model is loaded privately (read-only
+    mmap), and events/metrics travel back through ``out_queue`` instead of a
+    shared dispatch.  A worker that failed keeps consuming its queue —
+    acknowledging blocks and flush barriers — so the parent never deadlocks,
+    and reports the failure alongside a clean ``closed`` handshake.
+    """
+    metrics = StreamingMetrics(shard_count=1)
+    table = FlowTable(
+        idle_timeout=spec.idle_timeout,
+        close_grace=spec.close_grace,
+        max_flows=spec.max_flows,
+        max_packets=spec.max_packets,
+    )
+    pending: List[Tuple[Connection, CompletionReason]] = []
+    blocks: "OrderedDict[int, List[ColumnPacketView]]" = OrderedDict()
+    failed = False
+
+    def gauges() -> Dict[str, object]:
+        state = metrics.worker_state()
+        state["active_flows"] = len(table)
+        state["pending"] = len(pending)
+        return state
+
+    def emit(events: List[DetectionEvent]) -> None:
+        out_queue.put(("events", spec.index, events, gauges()))
+
+    clap: Optional[Clap] = None
+    try:
+        clap = Clap.load(spec.model_dir, mmap_mode="r")
+        clap.engine  # build once, before the first flush
+    except BaseException as error:
+        failed = True
+        out_queue.put(("failed", spec.index, f"{type(error).__name__}: {error}"))
+
+    def flush_pending(dispatch: bool = True) -> List[DetectionEvent]:
+        return drain_pending(
+            clap,
+            pending,
+            spec.policy.max_batch,
+            spec.threshold,
+            spec.top_n,
+            metrics,
+            emit if dispatch else _emit_nothing,
+        )
+
+    def buffer_completions(
+        completions: List[Tuple[Connection, CompletionReason]]
+    ) -> None:
+        if not completions:
+            return
+        completions = apply_drop_policy(completions, spec.drop_policy, metrics)
+        pending.extend(completions)
+        metrics.record_pending_depth(len(pending))
+        if spec.policy.auto_flush and len(pending) >= spec.policy.max_batch:
+            flush_pending()
+        elif len(pending) >= spec.policy.max_buffered:
+            flush_pending()
+
+    while True:
+        item = in_queue.get()
+        kind = item[0]
+        try:
+            if kind == "close":
+                final: List[DetectionEvent] = []
+                if not failed:
+                    pending.extend(
+                        apply_drop_policy(table.drain(), spec.drop_policy, metrics)
+                    )
+                    final = flush_pending(dispatch=False)
+                out_queue.put(("closed", spec.index, final, gauges()))
+                return
+            if kind == "block":
+                payload = _read_block_payload(item[2])
+                out_queue.put(("block_ack", spec.index, item[1]))
+                if not failed:
+                    blocks[item[1]] = unpack_block(payload).views()
+                    while len(blocks) > spec.block_cache:
+                        blocks.popitem(last=False)
+                continue
+            if kind == "flush":
+                events = [] if failed else flush_pending()
+                out_queue.put(("flush_done", spec.index, item[1], events, gauges()))
+                continue
+            if failed:
+                continue
+            if kind == "poll":
+                buffer_completions(table.poll(item[1]))
+                continue
+            if kind == "rows":
+                views = blocks[item[1]]
+                indices = np.frombuffer(item[2], dtype=np.int64)
+                clocks = np.frombuffer(item[3], dtype=np.float64)
+                completions: List[Tuple[Connection, CompletionReason]] = []
+                for index, clock in zip(indices.tolist(), clocks.tolist()):
+                    view = views[index]
+                    if clock > table.clock:
+                        completions.extend(table.poll(clock))
+                    completions.extend(table.add(view, view.flow_key()))
+                buffer_completions(completions)
+                continue
+            if kind == "packets":
+                completions = []
+                for packet, clock in item[1]:
+                    if clock > table.clock:
+                        completions.extend(table.poll(clock))
+                    completions.extend(table.add(packet))
+                buffer_completions(completions)
+                continue
+        except BaseException as error:  # noqa: BLE001 - forwarded to parent
+            failed = True
+            out_queue.put(("failed", spec.index, f"{type(error).__name__}: {error}"))
+            if kind == "flush":
+                out_queue.put(("flush_done", spec.index, item[1], [], gauges()))
+            elif kind == "close":
+                out_queue.put(("closed", spec.index, [], gauges()))
+                return
+
+
+class _ProcessShard:
+    """Parent-side handle of one process shard worker."""
+
+    def __init__(self, index: int, in_queue, process) -> None:
+        self.index = index
+        self.queue = in_queue
+        self.process = process
+        self.final_events: List[DetectionEvent] = []
+        self.failure: Optional[str] = None
+        self.closed = False
+        self.state: Dict[str, object] = {}
+        # Consecutive empty result-queue polls observed with the process
+        # dead; guards against declaring a worker lost while its final
+        # messages are still in flight through the queue's feeder pipe.
+        self.dead_polls = 0
+
+
 class ParallelStreamingDetector:
     """Multi-worker streaming CLAP: fan packets to shards, funnel events out.
 
     Parameters mirror :class:`~repro.serve.streaming.StreamingDetector`, plus:
 
     workers:
-        Number of flow-table shards and worker threads.  ``1`` (the default)
-        delegates to a plain ``StreamingDetector`` on the caller's thread.
+        Number of flow-table shards and workers.  ``1`` in thread mode (the
+        default) delegates to a plain ``StreamingDetector`` on the caller's
+        thread; process mode spawns a worker even at ``1``.
+    worker_mode:
+        ``"thread"`` (default) or ``"process"``; see the module docstring.
+    model_dir:
+        Process mode only: the artifact directory the workers load (read-only
+        mmap).  Defaults to saving ``clap`` into a temporary directory that
+        lives until :meth:`close`.
+    start_method:
+        Process mode only: the :mod:`multiprocessing` start method.  Defaults
+        to ``"fork"`` where available (fast, POSIX), else ``"spawn"``.
     drop_policy:
         Applied to :attr:`CompletionReason.CAPACITY` evictions before they
         reach the engine (see :class:`~repro.serve.metrics.DropPolicy`).
@@ -125,6 +356,7 @@ class ParallelStreamingDetector:
         clap: Clap,
         *,
         workers: int = 1,
+        worker_mode: str = "thread",
         flush_policy: Optional[FlushPolicy] = None,
         threshold: Optional[float] = None,
         top_n: int = 1,
@@ -138,15 +370,22 @@ class ParallelStreamingDetector:
         chunk_size: int = 64,
         queue_depth: int = 8,
         metrics: Optional[StreamingMetrics] = None,
+        model_dir: Optional[Union[str, Path]] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got {worker_mode!r}"
+            )
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be at least 1, got {queue_depth}")
         self.clap = clap
         self.workers = int(workers)
+        self.worker_mode = worker_mode
         self.policy = flush_policy or FlushPolicy()
         self.threshold = clap.threshold if threshold is None else float(threshold)
         self.top_n = int(top_n)
@@ -156,7 +395,8 @@ class ParallelStreamingDetector:
         self.metrics = metrics or StreamingMetrics(shard_count=self.workers)
         self._closed = False
         self._single: Optional[StreamingDetector] = None
-        if self.workers == 1:
+        self._process_mode = worker_mode == "process"
+        if self.workers == 1 and not self._process_mode:
             self._single = StreamingDetector(
                 clap,
                 flush_policy=self.policy,
@@ -172,6 +412,26 @@ class ParallelStreamingDetector:
                 metrics=self.metrics,
             )
             return
+        self._chunk_size = int(chunk_size)
+        self._events: Deque[DetectionEvent] = deque()
+        self._dispatch_lock = threading.Lock()
+        self._connections_seen = 0
+        self._alerts_emitted = 0
+        # Global stream high-water mark; written only by the ingest thread,
+        # snapshotted into every queued packet so shard clocks catch up to
+        # global stream time exactly as ShardedFlowTable.add does.
+        self._clock = float("-inf")
+        if self._process_mode:
+            self._init_process_pool(
+                idle_timeout=idle_timeout,
+                close_grace=close_grace,
+                max_flows=max_flows,
+                max_packets=max_packets,
+                model_dir=model_dir,
+                start_method=start_method,
+                queue_depth=queue_depth,
+            )
+            return
         # Build the lazy engine on the caller's thread so worker threads
         # never race its construction.
         clap.engine
@@ -182,15 +442,6 @@ class ParallelStreamingDetector:
             max_flows=max_flows,
             max_packets=max_packets,
         )
-        self._chunk_size = int(chunk_size)
-        self._events: Deque[DetectionEvent] = deque()
-        self._dispatch_lock = threading.Lock()
-        self._connections_seen = 0
-        self._alerts_emitted = 0
-        # Global stream high-water mark; written only by the ingest thread,
-        # snapshotted into every queued packet so shard clocks catch up to
-        # global stream time exactly as ShardedFlowTable.add does.
-        self._clock = float("-inf")
         self._buffers: List[List[Tuple[Packet, FlowKey, float]]] = [
             [] for _ in range(self.workers)
         ]
@@ -207,6 +458,87 @@ class ParallelStreamingDetector:
             )
             shard.thread.start()
 
+    # ------------------------------------------------------ process pool setup
+    def _init_process_pool(
+        self,
+        *,
+        idle_timeout: float,
+        close_grace: float,
+        max_flows: Optional[int],
+        max_packets: Optional[int],
+        model_dir: Optional[Union[str, Path]],
+        start_method: Optional[str],
+        queue_depth: int,
+    ) -> None:
+        if max_flows is not None and max_flows < 1:
+            raise ValueError(f"max_flows must be at least 1, got {max_flows}")
+        per_shard_flows = None if max_flows is None else -(-max_flows // self.workers)
+        # Validate the flow-table knobs eagerly (the workers would otherwise
+        # surface a ValueError asynchronously, long after construction).
+        FlowTable(
+            idle_timeout=idle_timeout,
+            close_grace=close_grace,
+            max_flows=per_shard_flows,
+            max_packets=max_packets,
+        )
+        method = start_method or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        if _shared_memory is not None:
+            try:
+                # Start the resource tracker *before* the workers exist, so
+                # every process shares one tracker: a worker attaching a
+                # segment then re-registers into the same (set-backed)
+                # registry instead of spinning up a private tracker that
+                # would mis-report the parent's segments as leaked.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker internals shifted
+                pass
+        self._tmp_model_cleanup = None
+        if model_dir is None:
+            tmp_dir = tempfile.mkdtemp(prefix="clap-shard-pool-")
+            self.clap.save(tmp_dir)
+            model_dir = tmp_dir
+            self._tmp_model_cleanup = weakref.finalize(
+                self, shutil.rmtree, tmp_dir, ignore_errors=True
+            )
+        self._buffers = [[] for _ in range(self.workers)]  # type: ignore[assignment]
+        self._result_queue = context.Queue()
+        # Blocks currently shipped to the workers (insertion-ordered; parent
+        # and workers evict in lockstep) and the shm segments awaiting acks.
+        self._live_blocks: "OrderedDict[int, PacketColumns]" = OrderedDict()
+        self._current_columns: Optional[PacketColumns] = None
+        self._block_shm: Dict[int, Tuple[object, Set[int]]] = {}
+        self._flush_results: Dict[int, Dict[int, List[DetectionEvent]]] = {}
+        self._flush_counter = 0
+        self._shards: List[_ProcessShard] = []  # type: ignore[assignment]
+        for index in range(self.workers):
+            spec = _WorkerSpec(
+                index=index,
+                model_dir=str(model_dir),
+                threshold=self.threshold,
+                top_n=self.top_n,
+                policy=self.policy,
+                drop_policy=self.drop_policy,
+                idle_timeout=idle_timeout,
+                close_grace=close_grace,
+                max_flows=per_shard_flows,
+                max_packets=max_packets,
+            )
+            in_queue = context.Queue(maxsize=queue_depth)
+            process = context.Process(
+                target=_process_worker_main,
+                args=(spec, in_queue, self._result_queue),
+                name=f"clap-shard-{index}",
+                daemon=True,
+            )
+            shard = _ProcessShard(index, in_queue, process)
+            self._shards.append(shard)
+            process.start()
+
     # -------------------------------------------------------------- ingestion
     def ingest(self, packet: Packet) -> None:
         """Route one packet to its shard (may block under backpressure)."""
@@ -216,6 +548,9 @@ class ParallelStreamingDetector:
             self._single.ingest(packet)
             return
         self._raise_worker_failure()
+        if self._process_mode:
+            self._ingest_process(packet)
+            return
         # The router computes the flow key once; the owning shard reuses it
         # (FlowTable.add accepts a precomputed key), so sharding adds no
         # duplicate key work to the per-packet path.
@@ -227,6 +562,24 @@ class ParallelStreamingDetector:
             self._clock = packet.timestamp
         if len(buffer) >= self._chunk_size:
             self._submit(index)
+
+    def _ingest_process(self, packet: Packet) -> None:
+        if type(packet) is ColumnPacketView and packet.columns is not self._current_columns:
+            # A new capture block: flush every shard's buffered rows first so
+            # queued row slices always precede the block broadcast (workers
+            # evict their oldest cached block when a new one arrives).
+            for index in range(self.workers):
+                self._submit_process(index)
+            self._ship_block(packet.columns)
+            self._current_columns = packet.columns
+        key = flow_key_of(packet)
+        index = hash(key) % self.workers
+        buffer = self._buffers[index]
+        buffer.append((packet, self._clock))  # type: ignore[arg-type]
+        if packet.timestamp > self._clock:
+            self._clock = packet.timestamp
+        if len(buffer) >= self._chunk_size:
+            self._submit_process(index)
 
     def ingest_many(self, packets: Iterable[Packet]) -> None:
         """Feed a chunk of packets in stream order."""
@@ -249,6 +602,12 @@ class ParallelStreamingDetector:
             return
         if now > self._clock:
             self._clock = now
+        if self._process_mode:
+            for index, shard in enumerate(self._shards):
+                self._submit_process(index)
+                self._put_shard(shard, ("poll", now))
+            self._drain_results()
+            return
         for index, shard in enumerate(self._shards):
             self._submit(index)
             shard.queue.put(_Poll(now))
@@ -260,12 +619,27 @@ class ParallelStreamingDetector:
         so paced sources keep flow-table timers firing through quiet spells.
         Returns the final end-of-stream events; interim events remain
         available through :meth:`events` / the callbacks.
+
+        If the source (or a worker) raises mid-stream, the pool is shut down
+        before the error propagates: workers are joined and queued state is
+        released rather than leaked, and a worker failure discovered during
+        that shutdown never masks the original error.
         """
-        for item in source:
-            if isinstance(item, Tick):
-                self.poll(item.now)
-            else:
-                self.ingest(item)
+        try:
+            for item in source:
+                if isinstance(item, Tick):
+                    self.poll(item.now)
+                else:
+                    self.ingest(item)
+        except BaseException:
+            try:
+                self.close()
+            except Exception:
+                # Surfacing the source error matters more than a secondary
+                # failure discovered while tearing the pool down; close()
+                # has already joined the workers either way.
+                pass
+            raise
         return self.close()
 
     def _submit(self, index: int) -> None:
@@ -278,6 +652,199 @@ class ParallelStreamingDetector:
         shard.queue.put(chunk)  # blocks when the shard is too far behind
         self.metrics.record_ingest(index, len(chunk))
 
+    # ------------------------------------------------- process-mode transport
+    def _submit_process(self, index: int) -> None:
+        chunk = self._buffers[index]
+        if not chunk:
+            return
+        self._buffers[index] = []
+        shard = self._shards[index]
+        messages: List[tuple] = []
+        run_columns: Optional[PacketColumns] = None
+        run_indices: List[int] = []
+        run_clocks: List[float] = []
+        object_run: List[Tuple[Packet, float]] = []
+
+        def close_column_run() -> None:
+            nonlocal run_columns
+            if run_columns is not None:
+                messages.append(
+                    (
+                        "rows",
+                        id(run_columns),
+                        np.asarray(run_indices, dtype=np.int64).tobytes(),
+                        np.asarray(run_clocks, dtype=np.float64).tobytes(),
+                    )
+                )
+                run_columns = None
+                run_indices.clear()
+                run_clocks.clear()
+
+        def close_object_run() -> None:
+            if object_run:
+                messages.append(("packets", list(object_run)))
+                object_run.clear()
+
+        for packet, clock in chunk:  # type: ignore[misc]
+            if type(packet) is ColumnPacketView:
+                columns = packet.columns
+                if columns is not run_columns:
+                    close_column_run()
+                    close_object_run()
+                    if id(columns) not in self._live_blocks:
+                        # The block left the cache window (or this chunk was
+                        # buffered before it was first seen); re-broadcast.
+                        self._ship_block(columns)
+                    run_columns = columns
+                run_indices.append(packet.index)
+                run_clocks.append(clock)
+            else:
+                close_column_run()
+                object_run.append((packet, clock))
+        close_column_run()
+        close_object_run()
+        try:
+            depth = shard.queue.qsize() + len(messages)
+        except NotImplementedError:  # pragma: no cover - macOS qsize
+            depth = len(messages)
+        self.metrics.record_queue_depth(depth)
+        for message in messages:
+            # Blocks while the shard is merely behind (backpressure), but
+            # never wedges on a dead worker.
+            if not self._put_shard(shard, message):
+                break
+        self.metrics.record_ingest(index, len(chunk))
+        self._drain_results()
+
+    def _put_shard(self, shard: "_ProcessShard", message: tuple) -> bool:
+        """Put on a shard's bounded queue without wedging on a dead worker.
+
+        A healthy worker that is merely behind keeps the put blocking — that
+        is the backpressure contract.  A worker that died without draining
+        its queue (kill -9, OOM) would block the put forever, so the wait is
+        chopped into short timeouts with a liveness check between them; a
+        dead worker is recorded as failed and the message dropped (the
+        failure surfaces on the next ingest/flush/close).
+        """
+        while True:
+            try:
+                shard.queue.put(message, timeout=0.2)
+                return True
+            except queue.Full:
+                if shard.process.is_alive():
+                    continue
+                if shard.failure is None:
+                    shard.failure = "worker process died unexpectedly"
+                return False
+
+    def _ship_block(self, columns: PacketColumns) -> None:
+        """Broadcast one capture block to every worker (first sight only).
+
+        Eviction is strictly FIFO by ship order — deliberately *not*
+        refreshed on re-sight — because the workers evict their unpacked
+        caches in the order the ``block`` messages arrive; only identical
+        FIFO windows on both sides keep a queued row slice guaranteed to
+        find its block cached.  A block revisited after leaving the window
+        is simply re-broadcast.
+        """
+        block_id = id(columns)
+        if block_id in self._live_blocks:
+            return
+        payload = columns.pack_block()
+        ref = self._block_ref(block_id, payload)
+        for shard in self._shards:
+            self._put_shard(shard, ("block", block_id, ref))
+        self._live_blocks[block_id] = columns
+        while len(self._live_blocks) > _BLOCK_CACHE_DEPTH:
+            self._live_blocks.popitem(last=False)
+
+    def _block_ref(self, block_id: int, payload: bytes) -> tuple:
+        """Wrap a packed block for transport: shared memory when it pays."""
+        if _shared_memory is None or len(payload) < _SHM_MIN_BYTES:
+            return ("bytes", payload)
+        try:
+            segment = _shared_memory.SharedMemory(create=True, size=len(payload))
+        except OSError:  # pragma: no cover - /dev/shm unavailable or full
+            return ("bytes", payload)
+        segment.buf[: len(payload)] = payload
+        self._block_shm[block_id] = (segment, set(range(self.workers)))
+        return ("shm", segment.name, len(payload))
+
+    def _release_block_shm(self, block_id: int, shard_index: int) -> None:
+        entry = self._block_shm.get(block_id)
+        if entry is None:
+            return
+        segment, waiting = entry
+        waiting.discard(shard_index)
+        if not waiting:
+            del self._block_shm[block_id]
+            segment.close()
+            segment.unlink()
+
+    def _handle_result(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "events":
+            _, shard_index, events, state = message
+            self.metrics.absorb_worker_state(shard_index, state)
+            self._shards[shard_index].state = state
+            self._dispatch_many(events)
+        elif kind == "block_ack":
+            self._release_block_shm(message[2], message[1])
+        elif kind == "flush_done":
+            _, shard_index, flush_id, events, state = message
+            self.metrics.absorb_worker_state(shard_index, state)
+            self._shards[shard_index].state = state
+            waiting = self._flush_results.get(flush_id)
+            if waiting is not None:
+                waiting[shard_index] = events
+        elif kind == "failed":
+            shard = self._shards[message[1]]
+            if shard.failure is None:
+                shard.failure = message[2]
+        elif kind == "closed":
+            _, shard_index, final_events, state = message
+            self.metrics.absorb_worker_state(shard_index, state)
+            shard = self._shards[shard_index]
+            shard.state = state
+            shard.final_events = final_events
+            shard.closed = True
+
+    def _drain_results(self) -> None:
+        """Consume every result-queue message available right now."""
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue.Empty:
+                return
+            self._handle_result(message)
+
+    def _await_results(self, done) -> None:
+        """Pump the result queue until ``done()`` — dead workers included.
+
+        A worker that died without its final handshake (kill -9, interpreter
+        abort) is declared failed after a few consecutive empty polls with
+        the process gone, so barriers and close() terminate instead of
+        waiting forever.
+        """
+        while not done():
+            try:
+                message = self._result_queue.get(timeout=0.05)
+            except queue.Empty:
+                for shard in self._shards:
+                    if shard.closed or shard.process.is_alive():
+                        shard.dead_polls = 0
+                        continue
+                    shard.dead_polls += 1
+                    if shard.dead_polls < 3:
+                        continue
+                    if shard.failure is None:
+                        shard.failure = "worker process died unexpectedly"
+                    shard.closed = True
+                    for waiting in self._flush_results.values():
+                        waiting.setdefault(shard.index, [])
+                continue
+            self._handle_result(message)
+
     # ---------------------------------------------------------------- scoring
     def flush(self) -> List[DetectionEvent]:
         """Score everything currently buffered on every shard (barrier).
@@ -289,6 +856,22 @@ class ParallelStreamingDetector:
             return self._single.flush()
         if self._closed:
             return []  # close() already flushed everything and joined workers
+        if self._process_mode:
+            self._drain_results()
+            self._raise_worker_failure()
+            flush_id = self._flush_counter
+            self._flush_counter += 1
+            waiting: Dict[int, List[DetectionEvent]] = {}
+            self._flush_results[flush_id] = waiting
+            for index, shard in enumerate(self._shards):
+                self._submit_process(index)
+                self._put_shard(shard, ("flush", flush_id))
+            self._await_results(lambda: len(waiting) == self.workers)
+            del self._flush_results[flush_id]
+            self._raise_worker_failure()
+            flushed = [event for events in waiting.values() for event in events]
+            flushed.sort(key=_event_order)
+            return flushed
         self._raise_worker_failure()
         tokens: List[_Flush] = []
         for index, shard in enumerate(self._shards):
@@ -308,6 +891,9 @@ class ParallelStreamingDetector:
 
         Returns the events produced by the final drain, sorted by
         ``(first_seen, connection key)`` — deterministic at any worker count.
+        A worker failure (including one discovered during the drain) still
+        joins every worker and releases shared-memory blocks and the
+        temporary model directory before the failure is raised.
         """
         if self._single is not None:
             if self._closed:
@@ -318,6 +904,8 @@ class ParallelStreamingDetector:
             return []
         self._closed = True
         final_clock = self._clock
+        if self._process_mode:
+            return self._close_process_pool(final_clock)
         for index, shard in enumerate(self._shards):
             self._submit(index)
             # Expire timers against global stream time before draining, so a
@@ -334,6 +922,40 @@ class ParallelStreamingDetector:
         final.sort(key=_event_order)
         self._dispatch_many(final)
         return final
+
+    def _close_process_pool(self, final_clock: float) -> List[DetectionEvent]:
+        # Submit every leftover buffer before the first close message: a
+        # submit may re-broadcast a block to *all* queues, which must never
+        # land behind a worker's close.
+        for index in range(self.workers):
+            self._submit_process(index)
+        for shard in self._shards:
+            if final_clock > float("-inf"):
+                self._put_shard(shard, ("poll", final_clock))
+            self._put_shard(shard, ("close",))
+        self._await_results(lambda: all(shard.closed for shard in self._shards))
+        for shard in self._shards:
+            shard.process.join(timeout=_WORKER_JOIN_TIMEOUT)
+        self._drain_results()  # late block acks, nothing else outstanding
+        self._cleanup_process_pool()
+        self._raise_worker_failure()
+        final = [event for shard in self._shards for event in shard.final_events]
+        final.sort(key=_event_order)
+        self._dispatch_many(final)
+        return final
+
+    def _cleanup_process_pool(self) -> None:
+        for block_id in list(self._block_shm):
+            segment, _ = self._block_shm.pop(block_id)
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._live_blocks.clear()
+        self._current_columns = None
+        if self._tmp_model_cleanup is not None:
+            self._tmp_model_cleanup()
 
     # ----------------------------------------------------------- worker side
     def _worker_loop(self, shard: _Shard) -> None:
@@ -419,6 +1041,8 @@ class ParallelStreamingDetector:
         )
 
     def _dispatch_many(self, events: List[DetectionEvent]) -> None:
+        if not events:
+            return
         with self._dispatch_lock:
             for event in events:
                 self._connections_seen += 1
@@ -435,9 +1059,12 @@ class ParallelStreamingDetector:
     def _raise_worker_failure(self) -> None:
         for shard in self._shards:
             if shard.failure is not None:
-                raise RuntimeError(
-                    f"shard worker {shard.index} failed: {shard.failure!r}"
-                ) from shard.failure
+                failure = shard.failure
+                if isinstance(failure, BaseException):
+                    raise RuntimeError(
+                        f"shard worker {shard.index} failed: {failure!r}"
+                    ) from failure
+                raise RuntimeError(f"shard worker {shard.index} failed: {failure}")
 
     # ----------------------------------------------------------------- output
     def events(self) -> Iterator[DetectionEvent]:
@@ -445,6 +1072,8 @@ class ParallelStreamingDetector:
         if self._single is not None:
             yield from self._single.events()
             return
+        if self._process_mode and not self._closed:
+            self._drain_results()
         while True:
             try:
                 yield self._events.popleft()
@@ -476,6 +1105,8 @@ class ParallelStreamingDetector:
         while workers are running)."""
         if self._single is not None:
             return self._single.pending_connections
+        if self._process_mode:
+            return sum(int(shard.state.get("pending", 0)) for shard in self._shards)
         return sum(len(shard.pending) for shard in self._shards)
 
     @property
@@ -484,22 +1115,30 @@ class ParallelStreamingDetector:
         while workers are running)."""
         if self._single is not None:
             return self._single.active_flows
+        if self._process_mode:
+            return sum(self.occupancy())
         return len(self.sharded)
 
     def occupancy(self) -> List[int]:
         """Tracked connections per shard."""
         if self._single is not None:
             return [self._single.active_flows]
+        if self._process_mode:
+            return [int(shard.state.get("active_flows", 0)) for shard in self._shards]
         return self.sharded.occupancy()
 
     def metrics_snapshot(self) -> dict:
         """The metrics snapshot plus current shard occupancy."""
         if self._single is not None:
-            self.metrics.packets_ingested[0] = self._single.packets_ingested
+            self.metrics.set_ingested(0, self._single.packets_ingested)
+        elif self._process_mode and not self._closed:
+            self._drain_results()
         return self.metrics.snapshot(self.occupancy())
 
     def render_metrics(self) -> str:
         """Human-readable metrics summary (the CLI prints this to stderr)."""
         if self._single is not None:
-            self.metrics.packets_ingested[0] = self._single.packets_ingested
+            self.metrics.set_ingested(0, self._single.packets_ingested)
+        elif self._process_mode and not self._closed:
+            self._drain_results()
         return self.metrics.render(self.occupancy())

@@ -266,14 +266,22 @@ class ReplaySource:
 
 
 def open_source(
-    path: Union[str, Path], kind: str = "auto", *, ingest: str = "columnar"
+    path: Union[str, Path],
+    kind: str = "auto",
+    *,
+    ingest: str = "columnar",
+    strict: bool = False,
+    block_bytes: int = 4 << 20,
 ) -> PacketSource:
     """Build the right source for ``path`` (CLI ``--source`` dispatch).
 
     ``kind`` is ``"pcap"``, ``"ndjson"`` or ``"auto"`` — auto picks NDJSON
     for ``.ndjson``/``.jsonl``/``.json`` suffixes and pcap otherwise.
     ``ingest`` selects the pcap read path: ``"columnar"`` (default) or
-    ``"object"`` (the per-record reference).
+    ``"object"`` (the per-record reference).  ``strict`` makes malformed
+    records raise instead of being skipped, and ``block_bytes`` sizes the
+    columnar read blocks — both forwarded to the concrete source (they used
+    to be dropped here, leaving strict parsing unreachable from the CLI).
     """
     path = Path(path)
     if ingest not in ("columnar", "object"):
@@ -281,7 +289,12 @@ def open_source(
     if kind == "auto":
         kind = "ndjson" if path.suffix in (".ndjson", ".jsonl", ".json") else "pcap"
     if kind == "pcap":
-        return PcapSource(path, columnar=ingest == "columnar")
+        return PcapSource(
+            path,
+            columnar=ingest == "columnar",
+            strict=strict,
+            block_bytes=block_bytes,
+        )
     if kind == "ndjson":
-        return NDJSONSource(path)
+        return NDJSONSource(path, strict=strict)
     raise ValueError(f"unknown source kind {kind!r} (expected pcap, ndjson or auto)")

@@ -251,8 +251,22 @@ class StreamingDetector:
                 yield event
 
     def close(self) -> List[DetectionEvent]:
-        """End of stream: drain the flow table and flush everything buffered."""
-        self._pending.extend(self.flow_table.drain())
+        """End of stream: drain the flow table and flush everything buffered.
+
+        The drain rides the same drop-policy/metrics accounting as every
+        mid-stream completion, so ``completions_by_reason`` counts the final
+        DRAIN batch identically at any worker count (it used to bypass
+        :func:`apply_drop_policy` here, leaving the ``workers=1`` counters
+        short of the sharded runtime's).  It only skips :meth:`_buffer`'s
+        auto-flush so the whole drain is returned from the single
+        :meth:`flush` below.
+        """
+        drained = self.flow_table.drain()
+        if drained and (self.drop_policy is not None or self.metrics is not None):
+            drained = apply_drop_policy(drained, self.drop_policy, self.metrics)
+        self._pending.extend(drained)
+        if self.metrics is not None and drained:
+            self.metrics.record_pending_depth(len(self._pending))
         return self.flush()
 
     # ------------------------------------------------------------- monitoring

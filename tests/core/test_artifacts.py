@@ -120,3 +120,38 @@ class TestPersistedArtifacts:
         assert loaded.config.rnn.epochs == 123
         # And the caller's object is never mutated by the persisted settings.
         assert config.detector.stack_length == ClapConfig().detector.stack_length
+
+
+class TestMmapArtifacts:
+    def test_mmap_loaded_model_scores_byte_identically(
+        self, trained_clap, small_dataset, tmp_path
+    ):
+        """The ISSUE satellite: a read-only memory-mapped model must score
+        exactly — not approximately — like the eagerly loaded one."""
+        import numpy as np
+
+        trained_clap.save(tmp_path)
+        eager = Clap.load(tmp_path)
+        mapped = Clap.load(tmp_path, mmap_mode="r")
+        eager_scores = eager.score_connections(small_dataset.test)
+        mapped_scores = mapped.score_connections(small_dataset.test)
+        assert np.array_equal(eager_scores, mapped_scores)
+        # The weights really are memory-mapped (shared page cache), and the
+        # adoption is read-only end to end.
+        assert any(
+            isinstance(value, np.memmap)
+            for value in mapped.autoencoder.parameters.values()
+        )
+        assert mapped.threshold == eager.threshold
+
+    def test_mmap_loaded_model_detects_like_the_original(
+        self, trained_clap, small_dataset, tmp_path
+    ):
+        trained_clap.save(tmp_path)
+        mapped = Clap.load(tmp_path, mmap_mode="r")
+        original = trained_clap.detect_batch(small_dataset.test[:4])
+        loaded = mapped.detect_batch(small_dataset.test[:4])
+        for left, right in zip(original, loaded):
+            assert left.key == right.key
+            assert abs(left.score - right.score) < 1e-12
+            assert left.localized_packets == right.localized_packets

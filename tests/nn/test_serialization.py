@@ -31,3 +31,37 @@ class TestSaveLoad:
         state = {"deeply/nested/key/name": np.array([7.0])}
         restored = load_state(save_state(tmp_path / "model", state))
         assert "deeply/nested/key/name" in restored
+
+
+class TestMmapLoad:
+    def test_mmap_load_matches_eager_load(self, tmp_path):
+        rng = np.random.default_rng(3)
+        state = {
+            "gru/W": rng.normal(size=(17, 9)),
+            "ae/encode/b": rng.normal(size=33),
+            "scaler/log_columns": rng.random(32) < 0.5,
+            "meta/input_size": np.array([32]),
+        }
+        path = save_state(tmp_path / "model", state)
+        eager = load_state(path)
+        mapped = load_state(path, mmap_mode="r")
+        assert set(mapped) == set(eager)
+        for key in eager:
+            assert np.array_equal(mapped[key], eager[key]), key
+            assert mapped[key].dtype == eager[key].dtype
+
+    def test_mmap_arrays_are_read_only_memmaps(self, tmp_path):
+        path = save_state(tmp_path / "model", {"w": np.arange(12.0).reshape(3, 4)})
+        mapped = load_state(path, mmap_mode="r")["w"]
+        assert isinstance(mapped, np.memmap)
+        import pytest
+
+        with pytest.raises(ValueError):
+            mapped[0, 0] = 99.0
+
+    def test_only_read_mode_is_supported(self, tmp_path):
+        path = save_state(tmp_path / "model", {"w": np.zeros(2)})
+        import pytest
+
+        with pytest.raises(ValueError):
+            load_state(path, mmap_mode="r+")

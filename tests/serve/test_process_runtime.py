@@ -1,0 +1,500 @@
+"""Process-backed shard pool: thread/process equivalence, parity, cleanup.
+
+The ISSUE-5 acceptance criteria: ``worker_mode="process"`` emits the
+identical event set (same keys, scores within 1e-9, same ``(first_seen,
+key)`` close order) as the thread runtime at workers ∈ {1, 2, 4}, on both
+columnar and object ingest; metrics aggregate across processes; and the
+lifecycle bugs (run() leaking workers on a source error, close() after a
+worker failure) stay fixed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.netstack.columns import PacketColumns
+from repro.netstack.flow import CompletionReason
+from repro.netstack.flow import packet_stream as _packet_stream
+from repro.serve import (
+    DropPolicy,
+    FlushPolicy,
+    IterableSource,
+    ParallelStreamingDetector,
+    StreamingDetector,
+    StreamingMetrics,
+    Tick,
+)
+from repro.traffic.generator import TrafficGenerator
+
+from tests.serve.test_flood import FLOOD_SIZE, MAX_FLOWS, syn_flood
+
+
+@pytest.fixture(scope="session")
+def clap_model_dir(trained_clap, tmp_path_factory):
+    """The trained pipeline saved once: process workers mmap this artifact."""
+    directory = tmp_path_factory.mktemp("model") / "clap"
+    trained_clap.save(directory)
+    return directory
+
+
+def _sequential_connections(count, seed=311, spacing=100.0):
+    connections = TrafficGenerator(seed=seed).generate_connections(count)
+    for index, connection in enumerate(connections):
+        for position, packet in enumerate(connection.packets):
+            packet.timestamp = index * spacing + position * 0.01
+    return connections
+
+
+def _rows(events):
+    return sorted(
+        (str(e.result.key), e.result.packet_count, e.result.score) for e in events
+    )
+
+
+def _drain_all(detector, stream):
+    detector.ingest_many(stream)
+    interim = list(detector.events())
+    detector.close()
+    return interim + list(detector.events())
+
+
+def _column_stream(connections):
+    """The columnar replay of ``connections``: views over one shared block."""
+    return PacketColumns.from_packets(_packet_stream(connections)).views()
+
+
+def _shard_processes():
+    return [p for p in multiprocessing.active_children() if p.name.startswith("clap-shard-")]
+
+
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("ingest", ["object", "columnar"])
+    def test_same_events_as_thread_runtime(
+        self, trained_clap, clap_model_dir, small_dataset, workers, ingest
+    ):
+        """The acceptance criterion: identical event set vs the thread
+        runtime at every worker count, on both ingest paths."""
+
+        def stream():
+            if ingest == "columnar":
+                return _column_stream(small_dataset.test)
+            return _packet_stream(small_dataset.test)
+
+        thread = ParallelStreamingDetector(
+            trained_clap,
+            workers=workers,
+            flush_policy=FlushPolicy(max_batch=4),
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        expected = _rows(_drain_all(thread, stream()))
+
+        process = ParallelStreamingDetector(
+            trained_clap,
+            workers=workers,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            flush_policy=FlushPolicy(max_batch=4),
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        got = _rows(_drain_all(process, stream()))
+        assert [row[:2] for row in got] == [row[:2] for row in expected]
+        assert all(abs(a[2] - b[2]) < 1e-9 for a, b in zip(got, expected))
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_realistic_timeouts_still_equivalent(
+        self, trained_clap, clap_model_dir, workers
+    ):
+        connections = _sequential_connections(10)
+        baseline = StreamingDetector(trained_clap, idle_timeout=50.0, close_grace=0.5)
+        baseline.ingest_many(_packet_stream(connections))
+        baseline.close()
+        expected = _rows(baseline.events())
+
+        process = ParallelStreamingDetector(
+            trained_clap,
+            workers=workers,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            idle_timeout=50.0,
+            close_grace=0.5,
+        )
+        got = _rows(_drain_all(process, _packet_stream(connections)))
+        assert [row[:2] for row in got] == [row[:2] for row in expected]
+        assert all(abs(a[2] - b[2]) < 1e-9 for a, b in zip(got, expected))
+
+    def test_close_returns_sorted_events_and_is_idempotent(
+        self, trained_clap, clap_model_dir
+    ):
+        connections = _sequential_connections(9)
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=4,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        final = detector.close()
+        order = [(e.first_seen, str(e.result.key)) for e in final]
+        assert order == sorted(order)
+        assert len(final) == len(connections)
+        assert detector.close() == []
+        assert detector.flush() == []
+        detector.poll()  # safe no-op after close
+        with pytest.raises(RuntimeError):
+            detector.ingest(_packet_stream(connections)[0])
+
+    def test_flush_barrier_scores_everything_pending(
+        self, trained_clap, clap_model_dir
+    ):
+        connections = _sequential_connections(5)
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            flush_policy=FlushPolicy(max_batch=64, max_buffered=1024, auto_flush=False),
+            idle_timeout=1e9,
+            close_grace=0.5,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        detector.poll()
+        flushed = detector.flush()
+        assert len(flushed) >= len(connections) - 1
+        order = [(e.first_seen, str(e.result.key)) for e in flushed]
+        assert order == sorted(order)
+        assert detector.pending_connections == 0
+        detector.close()
+
+    def test_run_consumes_a_source_with_ticks(self, trained_clap, clap_model_dir):
+        connections = _sequential_connections(5)
+        stream = _packet_stream(connections)
+        items = stream + [Tick(stream[-1].timestamp + 1e6)]
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            idle_timeout=1e9,
+            close_grace=1.0,
+        )
+        detector.run(IterableSource(items))
+        events = list(detector.events())
+        assert len(events) == len(connections)
+        assert all(event.completed_by.value == "closed" for event in events)
+
+    def test_callbacks_fire_on_the_caller_side(self, trained_clap, clap_model_dir):
+        connections = _sequential_connections(6)
+        pushed = []
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            threshold=-1.0,  # everything alerts
+            idle_timeout=1e9,
+            close_grace=1e9,
+            on_alert=pushed.append,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        detector.close()
+        assert len(pushed) == len(connections)
+        assert detector.alerts_emitted == len(connections)
+        assert detector.connections_seen == len(connections)
+
+
+def _parity_keys(snapshot):
+    """The deterministic metrics signals every worker configuration shares."""
+    return {
+        "packets": sum(snapshot["packets_ingested"]),
+        "completions_by_reason": snapshot["completions_by_reason"],
+        "connections_scored": snapshot["connections_scored"],
+        "events_emitted": snapshot["events_emitted"],
+        "alerts_emitted": snapshot["alerts_emitted"],
+        "capacity_drops": snapshot["capacity_drops"],
+    }
+
+
+class TestMetricsParity:
+    def test_drain_metrics_agree_across_worker_counts_and_modes(
+        self, trained_clap, clap_model_dir
+    ):
+        """Satellite regression: workers=1 used to miss DRAIN completions
+        (close() bypassed the drop-policy accounting), so its counters
+        diverged from every sharded configuration's."""
+        connections = _sequential_connections(8)
+        snapshots = {}
+        for label, kwargs in {
+            "single": dict(workers=1),
+            "threads": dict(workers=4),
+            "processes": dict(workers=4, worker_mode="process", model_dir=clap_model_dir),
+        }.items():
+            detector = ParallelStreamingDetector(
+                trained_clap, idle_timeout=1e9, close_grace=1e9, **kwargs
+            )
+            detector.ingest_many(_packet_stream(connections))
+            detector.close()
+            snapshots[label] = _parity_keys(detector.metrics_snapshot())
+        assert snapshots["single"] == snapshots["threads"] == snapshots["processes"]
+        assert snapshots["single"]["completions_by_reason"]["drain"] == len(connections)
+
+    def test_flood_metrics_agree_across_worker_counts_and_modes(
+        self, trained_clap, clap_model_dir
+    ):
+        flood = syn_flood(FLOOD_SIZE)
+        snapshots = {}
+        for label, kwargs in {
+            "single": dict(workers=1),
+            "threads": dict(workers=2),
+            "processes": dict(workers=2, worker_mode="process", model_dir=clap_model_dir),
+        }.items():
+            detector = ParallelStreamingDetector(
+                trained_clap,
+                idle_timeout=1e9,
+                close_grace=1e9,
+                max_flows=MAX_FLOWS,
+                drop_policy=DropPolicy(mode="drop"),
+                **kwargs,
+            )
+            detector.ingest_many(flood)
+            detector.close()
+            snap = detector.metrics_snapshot()
+            # Eviction *victims* differ across shard counts (documented), but
+            # the accounting identities must hold everywhere.
+            reasons = snap["completions_by_reason"]
+            assert reasons["capacity"] + reasons["drain"] == FLOOD_SIZE
+            assert snap["capacity_drops"] == reasons["capacity"]
+            assert snap["events_emitted"] == reasons["drain"]
+            snapshots[label] = sum(snap["packets_ingested"])
+        assert set(snapshots.values()) == {FLOOD_SIZE}
+
+    def test_process_snapshot_populates_occupancy_and_latency(
+        self, trained_clap, clap_model_dir
+    ):
+        connections = _sequential_connections(6)
+        stream = _packet_stream(connections)
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=3,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        detector.ingest_many(stream)
+        detector.close()
+        snapshot = detector.metrics_snapshot()
+        assert sum(snapshot["packets_ingested"]) == len(stream)
+        assert snapshot["connections_scored"] == len(connections)
+        assert snapshot["flush_latency"]["count"] > 0
+        assert snapshot["shard_occupancy"] == [0, 0, 0]
+        assert detector.render_metrics()  # renders without error
+
+
+class TestLifecycle:
+    def test_run_source_error_shuts_the_pool_down(self, trained_clap, clap_model_dir):
+        """Satellite regression: run() used to leak workers when the source
+        raised mid-stream (e.g. a strict-mode parse error)."""
+        connections = _sequential_connections(4)
+
+        def broken():
+            yield from _packet_stream(connections)[:10]
+            raise ValueError("malformed record")
+
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        with pytest.raises(ValueError, match="malformed record"):
+            detector.run(IterableSource(broken()))
+        for process in _shard_processes():
+            process.join(timeout=10.0)
+        assert not _shard_processes()
+
+    def test_run_source_error_joins_thread_workers_too(self, trained_clap):
+        connections = _sequential_connections(4)
+
+        def broken():
+            yield from _packet_stream(connections)[:10]
+            raise ValueError("malformed record")
+
+        detector = ParallelStreamingDetector(
+            trained_clap, workers=2, idle_timeout=1e9, close_grace=1e9
+        )
+        with pytest.raises(ValueError, match="malformed record"):
+            detector.run(IterableSource(broken()))
+        assert not [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith("clap-shard-")
+        ]
+
+    def test_worker_failure_surfaces_and_still_joins(self, trained_clap, tmp_path):
+        """A worker that cannot even load its model reports the failure; the
+        parent's close() still joins every process and raises."""
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=tmp_path / "no-such-model",
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        detector.ingest_many(_packet_stream(_sequential_connections(3)))
+        with pytest.raises(RuntimeError, match="shard worker"):
+            detector.close()
+        for process in _shard_processes():
+            process.join(timeout=10.0)
+        assert not _shard_processes()
+
+    def test_worker_failure_releases_flush_barrier(self, trained_clap, tmp_path):
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=tmp_path / "no-such-model",
+            flush_policy=FlushPolicy(max_batch=64, auto_flush=False),
+            idle_timeout=1e9,
+            close_grace=0.5,
+        )
+        detector.ingest_many(_packet_stream(_sequential_connections(3)))
+        # The barrier must terminate (failed workers still acknowledge it)
+        # and surface the failure instead of blocking forever.
+        with pytest.raises(RuntimeError, match="shard worker"):
+            detector.flush()
+        with pytest.raises(RuntimeError, match="shard worker"):
+            detector.close()
+        for process in _shard_processes():
+            process.join(timeout=10.0)
+        assert not _shard_processes()
+
+    def test_run_after_worker_failure_raises_and_cleans_up(
+        self, trained_clap, tmp_path
+    ):
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=tmp_path / "no-such-model",
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        with pytest.raises(RuntimeError, match="shard worker"):
+            detector.run(IterableSource(_packet_stream(_sequential_connections(4))))
+        for process in _shard_processes():
+            process.join(timeout=10.0)
+        assert not _shard_processes()
+
+    def test_killed_worker_never_wedges_ingest_or_close(
+        self, trained_clap, clap_model_dir
+    ):
+        """Review regression: a worker killed outright (kill -9 / OOM) stops
+        draining its bounded queue; the parent's puts must detect the dead
+        process instead of blocking forever, and close() must still return."""
+        detector = ParallelStreamingDetector(
+            trained_clap,
+            workers=1,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            chunk_size=1,
+            queue_depth=1,
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        stream = _packet_stream(_sequential_connections(30))
+        detector._shards[0].process.kill()
+        detector._shards[0].process.join(timeout=10.0)
+        with pytest.raises(RuntimeError, match="died unexpectedly"):
+            for packet in stream:
+                detector.ingest(packet)
+        with pytest.raises(RuntimeError, match="died unexpectedly"):
+            detector.close()
+        assert not _shard_processes()
+
+    def test_revisited_block_past_the_cache_window_is_rebroadcast(
+        self, trained_clap, clap_model_dir
+    ):
+        """Review regression: parent and worker block caches must evict in
+        lockstep (strict FIFO).  A block revisited after _BLOCK_CACHE_DEPTH
+        newer blocks used to stay 'live' on the parent (move_to_end) while
+        the workers had already evicted it — rows then failed with KeyError
+        on valid input.  Now it is re-broadcast and the stream completes,
+        equivalent to the thread runtime."""
+        connections = _sequential_connections(12)
+        blocks = [
+            PacketColumns.from_packets(_packet_stream([connection])).views()
+            for connection in connections
+        ]
+        # Half of block 0, then 11 further blocks (evicting block 0 from the
+        # FIFO window), then block 0's remainder.
+        items = blocks[0][:3]
+        for views in blocks[1:]:
+            items.extend(views)
+        items.extend(blocks[0][3:])
+
+        thread = ParallelStreamingDetector(
+            trained_clap, workers=2, idle_timeout=1e9, close_grace=1e9
+        )
+        expected = _rows(_drain_all(thread, list(items)))
+
+        process = ParallelStreamingDetector(
+            trained_clap,
+            workers=2,
+            worker_mode="process",
+            model_dir=clap_model_dir,
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        got = _rows(_drain_all(process, list(items)))
+        assert [row[:2] for row in got] == [row[:2] for row in expected]
+        assert all(abs(a[2] - b[2]) < 1e-9 for a, b in zip(got, expected))
+
+    def test_validation(self, trained_clap):
+        with pytest.raises(ValueError):
+            ParallelStreamingDetector(trained_clap, worker_mode="fibers")
+        with pytest.raises(ValueError):
+            ParallelStreamingDetector(
+                trained_clap, workers=2, worker_mode="process", max_flows=0
+            )
+        with pytest.raises(ValueError):
+            ParallelStreamingDetector(
+                trained_clap, workers=2, worker_mode="process", idle_timeout=-1.0
+            )
+
+
+class TestWorkerStateMerging:
+    def test_snapshot_folds_worker_structs(self):
+        """Pure-unit check of the cross-process metrics merge."""
+        local = StreamingMetrics(shard_count=1)
+        local.record_completions([(None, CompletionReason.DRAIN)])
+        local.record_flush(3, 0.002)
+        local.record_drop(2)
+        local.record_pending_depth(7)
+
+        parent = StreamingMetrics(shard_count=2)
+        parent.record_ingest(0, 10)
+        parent.record_events(3, 1)
+        parent.absorb_worker_state(0, local.worker_state())
+        snap = parent.snapshot()
+        assert snap["completions_by_reason"]["drain"] == 1
+        assert snap["connections_scored"] == 3
+        assert snap["capacity_drops"] == 2
+        assert snap["max_pending_depth"] == 7
+        assert snap["flush_latency"]["count"] == 1
+        assert snap["events_emitted"] == 3
+        # Absorbing the *latest* struct twice must not double count.
+        parent.absorb_worker_state(0, local.worker_state())
+        assert parent.snapshot()["connections_scored"] == 3
+        rendered = parent.render()
+        assert "scored=3" in rendered and "n=1" in rendered

@@ -157,3 +157,30 @@ class TestOpenSource:
     def test_unknown_kind_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             open_source(tmp_path / "x.pcap", "socket")
+
+    def test_strict_and_block_bytes_are_forwarded(self, tmp_path):
+        """Satellite regression: open_source() used to drop strict= on the
+        floor, so strict parsing was unreachable from the CLI."""
+        pcap = open_source(tmp_path / "x.pcap", strict=True, block_bytes=1 << 16)
+        assert pcap.strict is True
+        assert pcap.block_bytes == 1 << 16
+        ndjson = open_source(tmp_path / "x.ndjson", strict=True)
+        assert ndjson.strict is True
+        assert open_source(tmp_path / "x.pcap").strict is False
+
+    def test_strict_pcap_source_raises_end_to_end(self, tmp_path):
+        """A capture holding a non-TCP record: lax skips it, strict raises —
+        through open_source, on both ingest paths."""
+        import struct as _struct
+
+        from repro.netstack.ip import Ipv4Header
+
+        path = tmp_path / "mixed.pcap"
+        udp = Ipv4Header(src=1, dst=2, protocol=17).to_bytes(payload_length=0)
+        header = _struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        record = _struct.pack("<IIII", 0, 0, len(udp), len(udp)) + udp
+        path.write_bytes(header + record)
+        for ingest in ("columnar", "object"):
+            assert list(open_source(path, ingest=ingest)) == []
+            with pytest.raises(ValueError):
+                list(open_source(path, ingest=ingest, strict=True))

@@ -11,7 +11,14 @@ from repro.netstack.flow import (
     assemble_connections,
     packet_stream as _packet_stream,
 )
-from repro.serve import Alert, DetectionEvent, FlushPolicy, StreamingDetector
+from repro.serve import (
+    Alert,
+    DetectionEvent,
+    DropPolicy,
+    FlushPolicy,
+    StreamingDetector,
+    StreamingMetrics,
+)
 from repro.traffic.generator import TrafficGenerator
 
 
@@ -240,3 +247,41 @@ class TestEventSurface:
         assert len(closed) >= 2  # all but the final connection close mid-stream
         drained = detector.close()
         assert all(e.completed_by is CompletionReason.DRAIN for e in drained)
+
+
+class TestCloseAccounting:
+    def test_close_drain_counts_completions(self, trained_clap):
+        """Satellite regression: close() used to extend the pending buffer
+        straight from flow_table.drain(), bypassing record_completions — so
+        completions_by_reason never counted DRAIN batches at workers=1 while
+        the sharded close path did."""
+        connections = _sequential_connections(5)
+        metrics = StreamingMetrics(shard_count=1)
+        detector = StreamingDetector(
+            trained_clap, idle_timeout=1e9, close_grace=1e9, metrics=metrics
+        )
+        detector.ingest_many(_packet_stream(connections))
+        final = detector.close()
+        assert len(final) == len(connections)
+        snapshot = metrics.snapshot()
+        assert snapshot["completions_by_reason"]["drain"] == len(connections)
+        assert snapshot["connections_scored"] == len(connections)
+
+    def test_close_drain_applies_drop_policy_to_capacity_only(self, trained_clap):
+        """DRAIN completions are never droppable, even under mode='drop' —
+        only CAPACITY evictions are; the close path must agree."""
+        connections = _sequential_connections(4)
+        metrics = StreamingMetrics(shard_count=1)
+        detector = StreamingDetector(
+            trained_clap,
+            idle_timeout=1e9,
+            close_grace=1e9,
+            drop_policy=DropPolicy(mode="drop"),
+            metrics=metrics,
+        )
+        detector.ingest_many(_packet_stream(connections))
+        final = detector.close()
+        assert len(final) == len(connections)
+        snapshot = metrics.snapshot()
+        assert snapshot["completions_by_reason"]["drain"] == len(connections)
+        assert snapshot["capacity_drops"] == 0

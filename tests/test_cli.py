@@ -272,6 +272,44 @@ class TestStreamCommand:
         events = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
         assert len(events) == 4
 
+    def test_stream_process_workers_match_thread_workers(
+        self, trained_model_dir, tmp_path, capsys
+    ):
+        """--worker-mode process emits the same events as the thread runtime
+        (the workers mmap the model directory the CLI already has)."""
+        capture = tmp_path / "proc.pcap"
+        main(["generate", str(capture), "--connections", "6", "--seed", "29"])
+        capsys.readouterr()
+        assert main(["stream", str(trained_model_dir), str(capture), "--workers", "2"]) == 0
+        threaded = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+        assert main(["stream", str(trained_model_dir), str(capture),
+                     "--workers", "2", "--worker-mode", "process"]) == 0
+        processed = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+        assert sorted(
+            (e["connection"], e["packet_count"], round(e["score"], 9)) for e in threaded
+        ) == sorted(
+            (e["connection"], e["packet_count"], round(e["score"], 9)) for e in processed
+        )
+
+    def test_stream_strict_rejects_malformed_input_cleanly(
+        self, trained_model_dir, tmp_path, capsys
+    ):
+        """--strict turns a malformed NDJSON line into exit code 2 (and shuts
+        the worker pool down) instead of a traceback; lax mode skips it."""
+        ndjson = tmp_path / "bad.ndjson"
+        ndjson.write_text('{"ts": 1.0, "data": "nothex"}\n')
+        assert main(["stream", str(trained_model_dir), str(ndjson)]) == 2
+        assert "no TCP packets" in capsys.readouterr().err
+        assert main(["stream", str(trained_model_dir), str(ndjson), "--strict",
+                     "--workers", "2", "--worker-mode", "process"]) == 2
+        err = capsys.readouterr().err
+        assert "malformed NDJSON" in err
+        import multiprocessing
+
+        assert not [
+            p for p in multiprocessing.active_children() if p.name.startswith("clap-shard-")
+        ]
+
     def test_stream_metrics_summary_on_stderr(self, trained_model_dir, tmp_path, capsys):
         capture = tmp_path / "met.pcap"
         main(["generate", str(capture), "--connections", "3", "--seed", "11"])

@@ -3,9 +3,12 @@
 
 Exercises the full operational path with no fixtures: synthesise a capture,
 train a deliberately tiny model, replay the capture through ``repro stream``
-with four shard workers, and fail on a non-zero exit code or zero emitted
-events.  The point is not accuracy — it is that the sharded runtime's
-packets-in/alerts-out pipeline holds together as a process would run it.
+with four thread shard workers and again with two *process* shard workers
+(``--worker-mode process``: GIL-free pool, model shared via read-only mmap),
+and fail on a non-zero exit code, zero emitted events, or the two runs
+disagreeing on any connection's score.  The point is not accuracy — it is
+that the sharded runtime's packets-in/alerts-out pipeline holds together as
+a process would run it, in both worker substrates.
 
 Run with:  PYTHONPATH=src python tools/stream_smoke.py
 """
@@ -69,8 +72,32 @@ def main() -> int:
             )
             return 1
 
+        code, out = run(["stream", str(model_dir), str(capture_path),
+                         "--workers", "2", "--worker-mode", "process",
+                         "--metrics"], capture=True)
+        if code != 0:
+            print("smoke FAILED: process-mode stream exited non-zero", file=sys.stderr)
+            return 1
+        process_events = [json.loads(line) for line in out.splitlines() if line.strip()]
+        if len(process_events) != CONNECTIONS:
+            print(
+                f"smoke FAILED: process mode expected {CONNECTIONS} events, "
+                f"got {len(process_events)}",
+                file=sys.stderr,
+            )
+            return 1
+        rows = sorted((e["connection"], round(e["score"], 9)) for e in events)
+        process_rows = sorted(
+            (e["connection"], round(e["score"], 9)) for e in process_events
+        )
+        if rows != process_rows:
+            print("smoke FAILED: process-mode events diverge from thread mode",
+                  file=sys.stderr)
+            return 1
+
     print(f"smoke OK: {len(events)} events from {CONNECTIONS} connections "
-          f"through 4 shard workers", file=sys.stderr)
+          f"through 4 thread shard workers, reproduced identically by "
+          f"2 process shard workers", file=sys.stderr)
     return 0
 
 
