@@ -16,12 +16,13 @@ a ``workers=1, object`` row keeps the per-``Packet`` reference measurable.
 Worker rows come in both substrates: ``thread`` workers share one GIL (only
 the NumPy-released portions parallelise), while ``process`` workers each own
 a core — the model is loaded read-only via mmap and capture blocks ship as
-packed column slices.  Process rows pay their real fixed costs inside the
-timed region (artifact save, pool spawn, per-worker model map), so they only
-win once the corpus amortises the setup — and only parallelise real compute
-when the host has more than one core; on single-core hosts both multi-worker
-rows are recorded as overhead measurements (see the note in the results
-file).
+packed column slices.  Since the setup/steady split, each row's fixed costs
+(detector construction, worker spawn, the process pool's artifact save and
+per-worker model map) are measured into a separate ``Setup (s)`` column and
+the ``Packets/Second`` column is the steady-state ingest rate; the old
+all-inclusive figure survives as ``Total Pkt/s``.  Backend rows serve the
+same model through the tolerance-gated fast paths (``gru-f32``,
+``quantized-gru``) via ``measure_throughput(..., backend=...)``.
 """
 
 import os
@@ -52,7 +53,9 @@ def test_table3_throughput(experiment, benchmark):
     # estimator for wall-clock timings.
     corpus = experiment.dataset.train + experiment.dataset.test
 
-    def best_streaming(workers: int, ingest: str, worker_mode: str = "thread"):
+    def best_streaming(
+        workers: int, ingest: str, worker_mode: str = "thread", backend: str = None
+    ):
         runs = [
             runner.measure_throughput(
                 CLAP_NAME,
@@ -61,6 +64,7 @@ def test_table3_throughput(experiment, benchmark):
                 workers=workers,
                 ingest=ingest,
                 worker_mode=worker_mode,
+                backend=backend,
             )
             for _ in range(3)
         ]
@@ -68,8 +72,15 @@ def test_table3_throughput(experiment, benchmark):
 
     throughput = {
         CLAP_NAME: runner.measure_throughput(CLAP_NAME, sample),
+        "CLAP (gru-f32)": runner.measure_throughput(CLAP_NAME, sample, backend="gru-f32"),
+        "CLAP (quantized)": runner.measure_throughput(
+            CLAP_NAME, sample, backend="quantized-gru"
+        ),
         BASELINE2_NAME: runner.measure_throughput(BASELINE2_NAME, sample),
         "CLAP (streaming, 1 worker)": best_streaming(1, "columnar"),
+        "CLAP (streaming, 1 worker, gru-f32)": best_streaming(
+            1, "columnar", backend="gru-f32"
+        ),
         "CLAP (streaming, 4 workers)": best_streaming(4, "columnar"),
         "CLAP (streaming, 1 worker, object)": best_streaming(1, "object"),
         "CLAP (streaming, 1 process)": best_streaming(1, "columnar", "process"),
@@ -85,9 +96,13 @@ def test_table3_throughput(experiment, benchmark):
         f" 'object' streams full Packet objects (the pre-columnar reference)."
         f"  Process rows spawn one OS process per shard (GIL-free scaling):"
         f" each worker maps the model read-only (mmap) and receives packed"
-        f" column-block slices; their timed region includes the pool's fixed"
-        f" costs (artifact save, spawn, per-worker map), so on a single-core"
-        f" host they measure pure coordination overhead."
+        f" column-block slices.  'Setup (s)' isolates each row's fixed costs"
+        f" (detector construction, worker spawn, the process pool's artifact"
+        f" save and per-worker model map) from the steady-state"
+        f" 'Packets/Second'; 'Total Pkt/s' is the old all-inclusive figure."
+        f"  Backend rows serve the fused float32 and int8-quantized fast"
+        f" paths, verdict-identical within their documented tolerance gates"
+        f" (see tests/core/test_backend_equivalence.py)."
     )
     write_result("table3_throughput.txt", text)
 
@@ -100,11 +115,28 @@ def test_table3_throughput(experiment, benchmark):
     # Sanity: the Python prototype should comfortably exceed 100 packets/s.
     assert clap.packets_per_second > 100
 
+    clap_f32 = throughput["CLAP (gru-f32)"]
+    clap_quantized = throughput["CLAP (quantized)"]
+    # The fast serving backends must not regress the end-to-end batched path.
+    # The model-only stage is 1.5-2x faster (see rnn_step_breakdown), but it
+    # is only part of the score path, so the whole-path gain is diluted; the
+    # tripwire guards against regression rather than asserting the dilution.
+    assert clap_f32.connections == clap_quantized.connections == clap.connections
+    assert clap_f32.packets_per_second > 0.9 * clap.packets_per_second
+    assert clap_quantized.packets_per_second > 0.9 * clap.packets_per_second
+
     streaming_1 = throughput["CLAP (streaming, 1 worker)"]
     streaming_4 = throughput["CLAP (streaming, 4 workers)"]
+    streaming_f32 = throughput["CLAP (streaming, 1 worker, gru-f32)"]
     streaming_object = throughput["CLAP (streaming, 1 worker, object)"]
     process_1 = throughput["CLAP (streaming, 1 process)"]
     process_4 = throughput["CLAP (streaming, 4 processes)"]
+    assert streaming_f32.connections == streaming_1.connections
+    # In the streaming path the model stage is a minority of the per-packet
+    # work (flow assembly + micro-batching dominate), so the f32 model gain
+    # dilutes toward 1.0x and single-core jitter can push the ratio below
+    # it; guard against a real regression only.
+    assert streaming_f32.packets_per_second > 0.75 * streaming_1.packets_per_second
     assert streaming_1.connections == streaming_4.connections > 0
     assert streaming_1.connections == streaming_object.connections
     # Process mode emits the identical connection set (scores are asserted
@@ -122,10 +154,10 @@ def test_table3_throughput(experiment, benchmark):
     else:
         # Single-core host: neither threads nor processes can add compute, so
         # only guard that coordination overhead stays bounded.  The process
-        # pool pays artifact save + spawn + block serialisation + IPC on top
-        # of time-slicing one core, hence the much looser tripwires (this
-        # host's committed run: 1 process ≈ 0.22x, 4 processes ≈ 0.13x of
-        # the single-threaded columnar row).
+        # pool's fixed costs (artifact save, spawn, model map) now land in
+        # the setup column, so these steady-state ratios measure block
+        # serialisation + IPC on a time-sliced core; the tripwires keep the
+        # pre-split lower bounds, which steady-state rates clear easily.
         assert streaming_4.packets_per_second > 0.6 * streaming_1.packets_per_second
         assert process_1.packets_per_second > 0.10 * streaming_1.packets_per_second
         assert process_4.packets_per_second > 0.05 * streaming_1.packets_per_second

@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--ae-epochs", type=int, default=None, help="override autoencoder epochs")
     train.add_argument("--no-gate-weights", action="store_true",
                        help="train without the GRU context stage (intra-packet features only)")
+    train.add_argument("--backend", choices=("gru", "quantized-gru"), default="gru",
+                       help="sequence backend to persist: the float64 GRU (default) or "
+                            "its int8 weight-quantized conversion (trained as a GRU, "
+                            "quantized before the autoencoder/threshold stages)")
 
     score = subparsers.add_parser("score", help="score a capture with a persisted model")
     score.add_argument("model", type=Path, help="directory containing the trained model")
@@ -91,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--ingest", choices=("columnar", "object"), default="columnar",
                        help="pcap read path: vectorized columnar (default) or "
                             "per-record object parsing (the reference)")
+    score.add_argument("--backend", choices=("gru", "gru-f32", "quantized-gru"), default=None,
+                       help="serve through this sequence backend instead of the persisted "
+                            "one (converted in memory; scores stay within the documented "
+                            "equivalence tolerance)")
 
     stream = subparsers.add_parser(
         "stream", help="replay a capture through the streaming runtime (NDJSON events)")
@@ -128,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit only threshold-exceeding connections")
     stream.add_argument("--metrics", action="store_true",
                         help="print the runtime metrics summary to stderr at end of stream")
+    stream.add_argument("--backend", choices=("gru", "gru-f32", "quantized-gru"), default=None,
+                        help="serve through this sequence backend instead of the persisted "
+                             "one (process workers receive the converted model via a "
+                             "temporary artifact)")
 
     strategies = subparsers.add_parser("strategies", help="list the 73 evasion strategies")
     strategies.add_argument("--source", default=None,
@@ -189,6 +201,7 @@ def _training_config(args: argparse.Namespace) -> ClapConfig:
         config.autoencoder.epochs = args.ae_epochs
     if getattr(args, "no_gate_weights", False):
         config.detector.include_gate_weights = False
+    config.rnn.backend = getattr(args, "backend", None) or "gru"
     return config
 
 
@@ -213,20 +226,30 @@ def command_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_model(path: Path) -> Optional[Clap]:
-    """Load a persisted model, rendering artifact problems as clean errors."""
+def _load_model(path: Path, backend: Optional[str] = None) -> Optional[Clap]:
+    """Load a persisted model, rendering artifact problems as clean errors.
+
+    ``backend`` converts the pipeline to an alternative serving backend
+    (``--backend``); ``None`` serves the persisted one.
+    """
     try:
-        return Clap.load(path)
+        clap = Clap.load(path)
+        if backend is not None:
+            clap = clap.with_backend(backend)
+        return clap
     except ModelManifestError as error:
         print(f"error: {error}", file=sys.stderr)
         return None
     except FileNotFoundError:
         print(f"error: no model found at {path}", file=sys.stderr)
         return None
+    except (KeyError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
 
 
 def command_score(args: argparse.Namespace) -> int:
-    clap = _load_model(args.model)
+    clap = _load_model(args.model, backend=getattr(args, "backend", None))
     if clap is None:
         return 2
     threshold = args.threshold if args.threshold is not None else clap.threshold
@@ -282,7 +305,7 @@ def command_stream(args: argparse.Namespace) -> int:
     if args.max_batch < 1:
         print(f"error: --max-batch must be at least 1, got {args.max_batch}", file=sys.stderr)
         return 2
-    clap = _load_model(args.model)
+    clap = _load_model(args.model, backend=getattr(args, "backend", None))
     if clap is None:
         return 2
     if not args.pcap.exists():
@@ -317,8 +340,15 @@ def command_stream(args: argparse.Namespace) -> int:
             max_flows=args.max_flows,
             drop_policy=DropPolicy(mode=args.drop_policy),
             # Process workers mmap the artifact the CLI already has on disk;
-            # no temporary re-save of the model.
-            model_dir=args.model if args.worker_mode == "process" else None,
+            # no temporary re-save of the model.  With a --backend override
+            # the on-disk artifact no longer matches the served pipeline, so
+            # let the runtime save the converted model to a temporary
+            # directory for the workers instead.
+            model_dir=(
+                args.model
+                if args.worker_mode == "process" and getattr(args, "backend", None) is None
+                else None
+            ),
         )
     except ValueError as error:
         # FlowTable/FlushPolicy/DropPolicy validate their knobs; render the

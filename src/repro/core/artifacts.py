@@ -7,19 +7,24 @@ makes the artifact self-describing and lets :meth:`repro.core.pipeline.Clap.load
 fail loudly (instead of scoring garbage) when a model was trained against an
 incompatible feature layout or a newer artifact schema.
 
-Layout of ``manifest.json`` (schema version 1)::
+Layout of ``manifest.json`` (schema version 2)::
 
     {
       "format": "clap-model",
-      "schema_version": 1,
+      "schema_version": 2,
       "repro_version": "1.0.0",
       "feature_schema_hash": "<sha256 over the Table-7 feature specs>",
       "threshold": 0.0123,
+      "sequence_backend": "gru",
       "config": {"rnn": {...}, "autoencoder": {...}, "detector": {...}}
     }
 
-Legacy bare ``.npz`` models (no manifest next to them) remain loadable; the
-detector hyper-parameters embedded in the archive are authoritative either way.
+Schema version 2 added ``sequence_backend`` — the registered name of the
+Stage-(a) model implementation that produced the persisted weights (see
+:mod:`repro.nn.backend`).  Version-1 manifests (no such field) load as the
+default ``gru`` backend; the authoritative copy of the backend identity also
+lives inside the archive (``rnn/meta/backend``), so even legacy bare ``.npz``
+models (no manifest next to them) remain loadable.
 """
 
 from __future__ import annotations
@@ -36,7 +41,8 @@ from repro.version import __version__
 
 MANIFEST_FILENAME = "manifest.json"
 MANIFEST_FORMAT = "clap-model"
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 2
+DEFAULT_SEQUENCE_BACKEND = "gru"
 
 
 class ModelManifestError(ValueError):
@@ -57,7 +63,12 @@ def feature_schema_hash() -> str:
     return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
 
 
-def build_manifest(config: ClapConfig, threshold: float) -> Dict[str, object]:
+def build_manifest(
+    config: ClapConfig,
+    threshold: float,
+    *,
+    backend: str = DEFAULT_SEQUENCE_BACKEND,
+) -> Dict[str, object]:
     """The manifest dictionary for a trained pipeline."""
     return {
         "format": MANIFEST_FORMAT,
@@ -65,16 +76,25 @@ def build_manifest(config: ClapConfig, threshold: float) -> Dict[str, object]:
         "repro_version": __version__,
         "feature_schema_hash": feature_schema_hash(),
         "threshold": float(threshold),
+        "sequence_backend": str(backend),
         "config": dataclasses.asdict(config),
     }
 
 
-def write_manifest(directory: Union[str, Path], config: ClapConfig, threshold: float) -> Path:
+def write_manifest(
+    directory: Union[str, Path],
+    config: ClapConfig,
+    threshold: float,
+    *,
+    backend: str = DEFAULT_SEQUENCE_BACKEND,
+) -> Path:
     """Write ``manifest.json`` into ``directory`` and return its path."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / MANIFEST_FILENAME
-    path.write_text(json.dumps(build_manifest(config, threshold), indent=2) + "\n")
+    path.write_text(
+        json.dumps(build_manifest(config, threshold, backend=backend), indent=2) + "\n"
+    )
     return path
 
 
@@ -112,6 +132,18 @@ def validate_manifest(manifest: Dict[str, object]) -> None:
             f"(manifest hash {str(recorded_hash)[:12]}…, current {feature_schema_hash()[:12]}…); "
             "retrain the model against the current Table-7 layout"
         )
+
+
+def backend_from_manifest(manifest: Dict[str, object]) -> str:
+    """The sequence-backend name a manifest records.
+
+    Schema-version-1 manifests predate pluggable backends and always mean the
+    default ``gru``.
+    """
+    backend = manifest.get("sequence_backend", DEFAULT_SEQUENCE_BACKEND)
+    if not isinstance(backend, str) or not backend:
+        raise ModelManifestError(f"invalid manifest sequence_backend {backend!r}")
+    return backend
 
 
 def _dataclass_from(cls, data: object):

@@ -27,6 +27,11 @@ class RnnConfig:
     learning_rate: float = 0.005
     gradient_clip: float = 5.0
     seed: int = 7
+    #: Registered sequence-backend name (see :mod:`repro.nn.backend`).  A
+    #: non-trainable backend (e.g. ``quantized-gru``) is produced by training
+    #: its ``training_backend`` and converting after Stage-(a) training, so
+    #: the autoencoder and threshold calibrate on the serving-path gates.
+    backend: str = "gru"
 
 
 @dataclass
@@ -83,6 +88,7 @@ class ClapConfig:
             "rnn.hidden_size": self.rnn.hidden_size,
             "rnn.num_classes": self.rnn.num_classes,
             "rnn.epochs": self.rnn.epochs,
+            "rnn.backend": self.rnn.backend,
             "autoencoder.layers": self.autoencoder.depth,
             "autoencoder.bottleneck": self.autoencoder.bottleneck_size,
             "autoencoder.epochs": self.autoencoder.epochs,

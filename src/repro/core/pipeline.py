@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.artifacts import (
+    ModelManifestError,
+    backend_from_manifest,
     config_from_manifest,
     read_manifest,
     validate_manifest,
@@ -47,6 +49,7 @@ from repro.features.profile import ContextProfileBuilder
 from repro.features.scaling import FeatureScaler
 from repro.netstack.flow import Connection
 from repro.nn.autoencoder import Autoencoder
+from repro.nn.backend import backend_from_state_dict, convert_backend, serving_backend_name
 from repro.nn.gru import GRUSequenceClassifier
 from repro.nn.serialization import load_state, save_state
 from repro.utils.rng import ensure_rng
@@ -163,6 +166,61 @@ class Clap:
     def _require_fitted(self) -> None:
         if self.autoencoder is None or self.builder is None:
             raise RuntimeError("Clap.fit (or Clap.load) must be called before scoring")
+
+    # ---------------------------------------------------------------- backend
+    @property
+    def backend_name(self) -> str:
+        """Persisted identity of the Stage-(a) sequence backend.
+
+        This is the name recorded in ``manifest.json`` / ``rnn/meta/backend``
+        when the pipeline is saved; the serving-only ``gru-f32`` variant
+        reports its persisted identity ``gru`` here (see
+        :meth:`serving_backend` for the effective one).  Pipelines without a
+        sequence model (Baseline #1) report the default ``gru``.
+        """
+        rnn = self.builder.rnn if self.builder is not None else None
+        if rnn is None and self.rnn_stage is not None:
+            rnn = self.rnn_stage.model
+        return getattr(rnn, "backend_name", "gru") if rnn is not None else "gru"
+
+    @property
+    def serving_backend(self) -> str:
+        """The effective serving identity (``gru-f32`` when computing in f32)."""
+        rnn = self.builder.rnn if self.builder is not None else None
+        return serving_backend_name(rnn) if rnn is not None else "gru"
+
+    def with_backend(self, name: str) -> "Clap":
+        """This pipeline served through sequence backend ``name``.
+
+        Returns ``self`` when the pipeline already serves ``name``; otherwise
+        a new :class:`Clap` sharing the fitted autoencoder, scaler, ranges
+        and threshold, with only the Stage-(a) model converted (see
+        :func:`repro.nn.backend.convert_backend`).  Conversion never mutates
+        the source pipeline.
+        """
+        self._require_fitted()
+        if self.builder.rnn is None:
+            raise RuntimeError(
+                "this pipeline has no sequence model (include_gate_weights=False); "
+                "there is no backend to convert"
+            )
+        if name == self.serving_backend:
+            return self
+        converted = convert_backend(self.builder.rnn, name)
+        clone = Clap(copy.deepcopy(self.config))
+        clone.config.rnn.backend = name
+        clone.builder = ContextProfileBuilder(
+            converted,
+            self.builder.scaler,
+            self.builder.ranges,
+            stack_length=self.config.detector.stack_length,
+            include_gate_weights=self.config.detector.include_gate_weights,
+            include_amplification=self.config.detector.include_amplification,
+        )
+        clone.autoencoder = self.autoencoder
+        clone.threshold = self.threshold
+        clone.report = self.report
+        return clone
 
     @property
     def engine(self) -> BatchInferenceEngine:
@@ -341,7 +399,7 @@ class Clap:
             [1 if self.config.detector.include_amplification else 0]
         )
         archive = save_state(directory / "clap_model", state)
-        write_manifest(directory, self.config, self.threshold)
+        write_manifest(directory, self.config, self.threshold, backend=self.backend_name)
         return archive
 
     @classmethod
@@ -389,7 +447,23 @@ class Clap:
         rnn_state = {
             key[len("rnn/") :]: value for key, value in state.items() if key.startswith("rnn/")
         }
-        rnn_model = GRUSequenceClassifier.from_state_dict(rnn_state) if rnn_state else None
+        # The backend identity embedded in the archive (``rnn/meta/backend``)
+        # is authoritative — it dispatches reconstruction through the backend
+        # registry.  The manifest's ``sequence_backend`` field is the
+        # human-readable copy; legacy states (no meta key) load as ``gru``.
+        rnn_model = backend_from_state_dict(rnn_state) if rnn_state else None
+        if manifest is not None and rnn_model is not None:
+            recorded = backend_from_manifest(manifest)
+            if recorded != rnn_model.backend_name:
+                raise ModelManifestError(
+                    f"manifest names sequence backend {recorded!r} but the archive "
+                    f"holds {rnn_model.backend_name!r} weights"
+                )
+        if rnn_model is not None and config.rnn.backend not in ("", rnn_model.backend_name):
+            # A converted pipeline saved with a serving override (e.g.
+            # ``gru-f32``) restores that override on load.
+            if config.rnn.backend == "gru-f32" and rnn_model.backend_name == "gru":
+                rnn_model = convert_backend(rnn_model, "gru-f32")
         ae_state = {key[len("ae/") :]: value for key, value in state.items() if key.startswith("ae/")}
         scaler = FeatureScaler.from_arrays(
             {key[len("scaler/") :]: value for key, value in state.items() if key.startswith("scaler/")}

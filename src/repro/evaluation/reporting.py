@@ -114,10 +114,24 @@ def render_table2(
 # ---------------------------------------------------------------------------
 
 def render_table3(throughputs: Dict[str, ThroughputResult]) -> str:
-    headers = ["Model", "Mode", "Ingest", "Workers", "Packets/Second", "Connections/Second"]
+    """Throughput table.  ``Packets/Second`` is steady-state; streaming rows
+    report their fixed startup separately (``Setup (s)``) plus the
+    setup-inclusive rate (``Total Pkt/s``) the pre-split benchmark printed."""
+    headers = [
+        "Model",
+        "Backend",
+        "Mode",
+        "Ingest",
+        "Workers",
+        "Packets/Second",
+        "Connections/Second",
+        "Setup (s)",
+        "Total Pkt/s",
+    ]
     rows = [
         [
             name,
+            result.backend,
             result.mode,
             result.ingest if result.mode == "streaming" else "-",
             (
@@ -127,6 +141,12 @@ def render_table3(throughputs: Dict[str, ThroughputResult]) -> str:
             ),
             f"{result.packets_per_second:,.1f}",
             f"{result.connections_per_second:,.1f}",
+            f"{result.setup_seconds:.3f}" if result.mode == "streaming" else "-",
+            (
+                f"{result.total_packets_per_second:,.1f}"
+                if result.mode == "streaming"
+                else "-"
+            ),
         ]
         for name, result in throughputs.items()
     ]

@@ -1,0 +1,356 @@
+"""Pluggable sequence backends for the Stage-(a) gate-activation model.
+
+CLAP's detection signal is the per-packet update/reset gate activations of a
+recurrent state classifier (Zhu et al., CoNEXT 2020) — but nothing in stages
+(b)-(d) cares *how* those activations are produced.  :class:`SequenceBackend`
+captures the contract: given per-packet feature sequences, return per-packet
+``(update, reset)`` activations, plus persistence and training hooks so the
+pipeline can train, save and reload any implementation interchangeably.
+
+Implementations register under a ``backend_name`` that is recorded both in
+the model state (``rnn/meta/backend``) and in ``manifest.json``
+(``sequence_backend``, artifact schema version 2), so a persisted model
+reconstructs the backend it was saved with — including in the process-mode
+streaming runtime, whose shard workers rebuild the pipeline from the artifact
+directory alone via ``Clap.load(..., mmap_mode="r")``.
+
+Shipped backends:
+
+``gru``
+    :class:`GruBackend`, the reference implementation — the float64 fused
+    packed-inference GRU (:class:`repro.nn.gru.GRUSequenceClassifier`).
+``gru-f32``
+    A *serving variant* of ``gru``: identical float64 master weights, fused
+    loop computed in float32 (cast once at conversion).  Not a persisted
+    identity — saving writes ``gru``.
+``quantized-gru``
+    :class:`QuantizedGruBackend`: int8 weight-quantized GRU (symmetric
+    per-gate scales, float32 accumulation), inference-only.  Opt-in; gated by
+    the equivalence tolerances in :mod:`repro.core.equivalence`.
+
+Adding a backend: subclass (or duck-type) the protocol, set a unique
+``backend_name``, call :func:`register_backend`, and make
+``state_dict``/``from_state_dict`` round-trip — everything else (pipeline,
+CLI ``--backend``, manifest, process workers) composes automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Type, runtime_checkable
+
+import numpy as np
+
+from repro.nn.gru import GRUSequenceClassifier, decode_backend_name, encode_backend_name
+
+__all__ = [
+    "SequenceBackend",
+    "GruBackend",
+    "QuantizedGruBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "serving_backends",
+    "trainable_backends",
+    "backend_from_state_dict",
+    "backend_name_from_state",
+    "convert_backend",
+    "serving_backend_name",
+    "quantize_per_gate",
+    "dequantize_per_gate",
+]
+
+
+@runtime_checkable
+class SequenceBackend(Protocol):
+    """What stages (b)-(d) require of a gate-activation model.
+
+    ``gate_activations_batch(sequences, lengths)`` returns one
+    ``(update, reset)`` pair of ``(time_i, hidden)`` arrays per input
+    sequence; ``gate_activations_concat`` is the optional concatenated fast
+    path the batched profile builder prefers when present.  ``train_batch``
+    is the training hook (inference-only backends raise and point at
+    ``training_backend``, the name of the backend to train instead).
+    """
+
+    backend_name: str
+    trainable: bool
+    training_backend: Optional[str]
+    input_size: int
+    hidden_size: int
+
+    def gate_activations(self, sequence: np.ndarray) -> Tuple[np.ndarray, np.ndarray]: ...
+
+    def gate_activations_batch(
+        self,
+        sequences: Sequence[np.ndarray],
+        lengths: Optional[Sequence[int]] = None,
+        *,
+        chunk_size: int = 64,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]: ...
+
+    def train_batch(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> float: ...
+
+    def state_dict(self) -> Dict[str, np.ndarray]: ...
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None: ...
+
+
+_BACKENDS: Dict[str, Type] = {}
+
+
+def register_backend(cls):
+    """Class decorator: register ``cls`` under its ``backend_name``."""
+    name = getattr(cls, "backend_name", None)
+    if not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty backend_name")
+    _BACKENDS[name] = cls
+    return cls
+
+
+def get_backend(name: str) -> Type:
+    """The registered backend class for ``name`` (raises ``KeyError``)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sequence backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Registered (persistable) backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def trainable_backends() -> List[str]:
+    """Backend names ``repro-clap train --backend`` accepts."""
+    return sorted(_BACKENDS)
+
+
+def serving_backends() -> List[str]:
+    """Backend names ``--backend`` accepts at serving time (adds ``gru-f32``)."""
+    return sorted(set(_BACKENDS) | {"gru-f32"})
+
+
+@register_backend
+class GruBackend(GRUSequenceClassifier):
+    """The reference :class:`SequenceBackend`: the fused packed-loop GRU.
+
+    Identical to :class:`~repro.nn.gru.GRUSequenceClassifier` (it *is* one);
+    the subclass exists so the registry has a canonical entry and so
+    conversions always produce instances that carry the backend identity.
+    """
+
+
+@register_backend
+class QuantizedGruBackend(GruBackend):
+    """Int8 weight-quantized GRU backend (inference-only, explicit opt-in).
+
+    The input and recurrent weight matrices are stored as int8 with one
+    symmetric scale per gate block (update/reset/candidate — 3 scales per
+    matrix); biases and the classifier head stay full-precision.  At load the
+    int8 blocks are dequantized once and the fused inference loop runs in
+    float32 (float accumulation — no integer arithmetic at serving time, the
+    int8 payload is the persistence/memory format).
+
+    The master parameter arrays hold the float64 image of the dequantized
+    float32 weights, so ``predict_classes`` and the float32 fused loop see
+    exactly the same (quantized) weights.  ``train_batch`` raises: train a
+    ``gru`` backend and convert (``training_backend`` points there).
+    """
+
+    backend_name = "quantized-gru"
+    trainable = False
+    training_backend = "gru"
+
+    #: Parameter keys that are quantized (per-gate, along the column axis).
+    QUANTIZED_KEYS = ("gru/W", "gru/U")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._quantized: Dict[str, np.ndarray] = {}
+        self.set_compute_dtype("float32")
+
+    # ------------------------------------------------------------- conversion
+    @classmethod
+    def quantize(cls, source: GRUSequenceClassifier) -> "QuantizedGruBackend":
+        """Post-training quantization of a (trained) float GRU backend."""
+        model = cls(
+            input_size=source.input_size,
+            hidden_size=source.hidden_size,
+            num_classes=source.num_classes,
+        )
+        payload: Dict[str, np.ndarray] = {}
+        for key in cls.QUANTIZED_KEYS:
+            values, scales = quantize_per_gate(source.parameters[key], source.hidden_size)
+            payload[f"quant/{key}"] = values
+            payload[f"quant/{key}/scale"] = scales
+        for key in source.parameters:
+            if key not in cls.QUANTIZED_KEYS:
+                payload[key] = np.asarray(source.parameters[key]).copy()
+        model._adopt(payload)
+        return model
+
+    def dequantize(self) -> GruBackend:
+        """The float GRU backend serving these (quantized) weights in float64."""
+        model = GruBackend(
+            input_size=self.input_size,
+            hidden_size=self.hidden_size,
+            num_classes=self.num_classes,
+        )
+        for key in model.parameters:
+            model.parameters[key][...] = self.parameters[key]
+        model.gru.invalidate_compute_cache()
+        return model
+
+    def _adopt(self, payload: Dict[str, np.ndarray]) -> None:
+        """Install a quantized payload: dequantize into the master params."""
+        for key in self.QUANTIZED_KEYS:
+            dequantized = dequantize_per_gate(
+                payload[f"quant/{key}"], payload[f"quant/{key}/scale"], self.hidden_size
+            )
+            self.parameters[key][...] = dequantized.astype(np.float64)
+        for key in self.parameters:
+            if key not in self.QUANTIZED_KEYS:
+                self.parameters[key][...] = payload[key]
+        self._quantized = payload
+        self.gru.invalidate_compute_cache()
+
+    # --------------------------------------------------------------- training
+    def train_batch(self, inputs, targets, mask=None) -> float:
+        raise RuntimeError(
+            "QuantizedGruBackend is inference-only: train the 'gru' backend and "
+            "convert with convert_backend(model, 'quantized-gru')"
+        )
+
+    # ------------------------------------------------------------- persistence
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        if not self._quantized:
+            raise RuntimeError("QuantizedGruBackend has no quantized payload to persist")
+        state = {
+            key: np.asarray(value).copy() for key, value in self._quantized.items()
+        }
+        state["meta/input_size"] = np.array([self.input_size])
+        state["meta/hidden_size"] = np.array([self.hidden_size])
+        state["meta/num_classes"] = np.array([self.num_classes])
+        state["meta/backend"] = encode_backend_name(self.backend_name)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        payload: Dict[str, np.ndarray] = {}
+        for key in self.QUANTIZED_KEYS:
+            # Read-only mmap int8 payloads are adopted as-is: dequantization
+            # copies into fresh float arrays anyway, so the int8 blocks stay
+            # page-cache-shared across processes.
+            payload[f"quant/{key}"] = state[f"quant/{key}"]
+            payload[f"quant/{key}/scale"] = state[f"quant/{key}/scale"]
+        for key in self.parameters:
+            if key not in self.QUANTIZED_KEYS:
+                payload[key] = state[key]
+        self._adopt(payload)
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "QuantizedGruBackend":
+        model = cls(
+            input_size=int(state["meta/input_size"][0]),
+            hidden_size=int(state["meta/hidden_size"][0]),
+            num_classes=int(state["meta/num_classes"][0]),
+        )
+        model.load_state_dict(state)
+        return model
+
+
+# ---------------------------------------------------------------------------
+# Quantization primitives
+# ---------------------------------------------------------------------------
+
+
+def quantize_per_gate(weights: np.ndarray, hidden_size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric int8 quantization with one scale per gate block.
+
+    ``weights`` has shape ``(rows, 3 * hidden_size)`` — the concatenated
+    update/reset/candidate blocks.  Each block is quantized to
+    ``round(w / scale)`` with ``scale = max|w| / 127`` (so the representable
+    range is symmetric and zero maps to exactly zero).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape[1] != 3 * hidden_size:
+        raise ValueError(
+            f"expected a (rows, {3 * hidden_size}) gate-concatenated matrix, "
+            f"got {weights.shape}"
+        )
+    values = np.empty(weights.shape, dtype=np.int8)
+    scales = np.empty(3, dtype=np.float64)
+    for gate in range(3):
+        block = weights[:, gate * hidden_size : (gate + 1) * hidden_size]
+        peak = float(np.max(np.abs(block)))
+        scale = peak / 127.0 if peak > 0.0 else 1.0
+        scales[gate] = scale
+        quantized = np.clip(np.rint(block / scale), -127, 127)
+        values[:, gate * hidden_size : (gate + 1) * hidden_size] = quantized.astype(np.int8)
+    return values, scales
+
+
+def dequantize_per_gate(
+    values: np.ndarray, scales: np.ndarray, hidden_size: int
+) -> np.ndarray:
+    """Inverse of :func:`quantize_per_gate`, in float32 (the compute dtype)."""
+    values = np.asarray(values)
+    result = np.empty(values.shape, dtype=np.float32)
+    for gate in range(3):
+        block = slice(gate * hidden_size, (gate + 1) * hidden_size)
+        result[:, block] = values[:, block].astype(np.float32) * np.float32(scales[gate])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Dispatch and conversion
+# ---------------------------------------------------------------------------
+
+
+def backend_name_from_state(state: Dict[str, np.ndarray]) -> str:
+    """The backend identity recorded in a model state (legacy states: gru)."""
+    return decode_backend_name(state.get("meta/backend"))
+
+
+def backend_from_state_dict(state: Dict[str, np.ndarray]):
+    """Reconstruct the backend a state dict was saved from (registry dispatch)."""
+    return get_backend(backend_name_from_state(state)).from_state_dict(state)
+
+
+def serving_backend_name(model) -> str:
+    """The effective serving identity, distinguishing the float32 variant."""
+    name = getattr(model, "backend_name", "gru")
+    if name == "gru" and getattr(model, "compute_dtype", np.float64) == np.float32:
+        return "gru-f32"
+    return name
+
+
+def convert_backend(model, name: str):
+    """A new backend instance serving ``name`` from a fitted ``model``.
+
+    Never mutates ``model``.  ``gru`` / ``gru-f32`` from a quantized source
+    serve the *dequantized* weights (int8 information is all that survived
+    quantization); ``quantized-gru`` from a quantized source round-trips the
+    existing payload unchanged.
+    """
+    if name == "quantized-gru":
+        if isinstance(model, QuantizedGruBackend):
+            return QuantizedGruBackend.from_state_dict(model.state_dict())
+        return QuantizedGruBackend.quantize(model)
+    if name in ("gru", "gru-f32"):
+        if isinstance(model, QuantizedGruBackend):
+            converted = model.dequantize()
+        else:
+            converted = GruBackend.from_state_dict(model.state_dict())
+        if name == "gru-f32":
+            converted.set_compute_dtype("float32")
+        return converted
+    raise KeyError(
+        f"unknown serving backend {name!r}; available: {', '.join(serving_backends())}"
+    )

@@ -20,6 +20,7 @@ the paper cites for its GRU:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +33,156 @@ from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optim import Adam, Optimizer
 
 Parameters = Dict[str, np.ndarray]
+
+#: Compute dtypes the inference fast path accepts.  ``float64`` is the
+#: training/oracle dtype (bit-identical to the masked forward); ``float32``
+#: is the opt-in serving mode gated by the backend equivalence tolerances
+#: (see :mod:`repro.core.equivalence`).
+COMPUTE_DTYPES = ("float64", "float32")
+
+
+def encode_backend_name(name: str) -> np.ndarray:
+    """Backend identity as a 1-D uint8 array (npz- and mmap-friendly)."""
+    return np.frombuffer(name.encode("utf-8"), dtype=np.uint8).copy()
+
+
+def decode_backend_name(value: Optional[np.ndarray], default: str = "gru") -> str:
+    """Inverse of :func:`encode_backend_name`; legacy states map to ``default``."""
+    if value is None:
+        return default
+    return bytes(np.asarray(value, dtype=np.uint8)).decode("utf-8")
+
+
+def _sigmoid_exact_inplace(
+    x: np.ndarray, exp_buf: np.ndarray, denom_buf: np.ndarray, mask_buf: np.ndarray
+) -> None:
+    """In-place replica of :func:`repro.nn.activations.sigmoid`.
+
+    Performs the exact same operations as the allocating stable sigmoid
+    (``z = exp(-|x|)``; positive branch ``1/(1+z)``, negative branch
+    ``z/(1+z)``) so the float64 fused loop stays *bit-identical* to the
+    oracle, but writes every intermediate into preallocated scratch.
+    """
+    np.greater_equal(x, 0.0, out=mask_buf)
+    np.abs(x, out=exp_buf)
+    np.negative(exp_buf, out=exp_buf)
+    np.exp(exp_buf, out=exp_buf)  # z = exp(-|x|)
+    np.add(exp_buf, 1.0, out=denom_buf)  # 1 + z
+    np.divide(exp_buf, denom_buf, out=x)  # z / (1 + z) everywhere ...
+    np.divide(1.0, denom_buf, out=x, where=mask_buf)  # ... then 1/(1+z) where x >= 0
+
+
+def _sigmoid_fast_inplace(x: np.ndarray) -> None:
+    """In-place ``1 / (1 + exp(-x))`` for the float32 serving mode.
+
+    The unstable formulation saturates to exactly 0/1 a few ulps earlier
+    than the branch-stable one — far below the float32 tolerance gate — and
+    costs half the ufunc passes of the exact replica.
+    """
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += 1.0
+    np.divide(1.0, x, out=x)
+
+
+# ---------------------------------------------------------------------------
+# Packed plans: the length-sorted chunking behind gate_activations_batch
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """One padded chunk of a packed plan."""
+
+    indices: Tuple[int, ...]  # original sequence indices, ascending length
+    lengths: np.ndarray  # (rows,) int64, ascending
+    max_time: int
+    alive_from: Tuple[int, ...]  # per step: first alive lane (suffix start)
+
+
+@dataclass(frozen=True)
+class PackedPlan:
+    """Everything :meth:`GRUSequenceClassifier.gate_activations_batch` must
+    otherwise recompute per batch: the length argsort, the chunk boundaries,
+    each chunk's padded width and its per-step alive-lane suffix starts.
+    """
+
+    count: int
+    chunk_size: int
+    empty: Tuple[int, ...]  # indices of zero-length sequences
+    chunks: Tuple[ChunkPlan, ...]
+    bounds: np.ndarray  # (count + 1,) int64 row offsets in input order
+    total_steps: int
+
+
+def build_packed_plan(lengths: np.ndarray, chunk_size: int) -> PackedPlan:
+    """Build the packed plan for one length vector.
+
+    The stable argsort reproduces the order the previous per-batch
+    ``list.sort`` produced, so chunk membership — and therefore every gate
+    value — is unchanged by plan caching.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    chunk_size = max(int(chunk_size), 1)
+    nonempty = np.flatnonzero(lengths > 0)
+    order = nonempty[np.argsort(lengths[nonempty], kind="stable")]
+    chunks: List[ChunkPlan] = []
+    for start in range(0, order.size, chunk_size):
+        chosen = order[start : start + chunk_size]
+        chunk_lengths = lengths[chosen].copy()
+        max_time = int(chunk_lengths[-1])
+        alive = np.searchsorted(chunk_lengths, np.arange(max_time), side="right")
+        chunks.append(
+            ChunkPlan(
+                indices=tuple(int(index) for index in chosen),
+                lengths=chunk_lengths,
+                max_time=max_time,
+                alive_from=tuple(int(value) for value in alive),
+            )
+        )
+    bounds = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    return PackedPlan(
+        count=int(lengths.shape[0]),
+        chunk_size=chunk_size,
+        empty=tuple(int(index) for index in np.flatnonzero(lengths == 0)),
+        chunks=tuple(chunks),
+        bounds=bounds,
+        total_steps=int(bounds[-1]),
+    )
+
+
+class PackedPlanCache:
+    """LRU memo of :class:`PackedPlan` keyed on the batch's length vector.
+
+    The issue-level key is the length *histogram*; keying on the exact length
+    vector is a refinement of that key which additionally lets the argsort and
+    scatter offsets be reused verbatim.  Streaming micro-batches repeat flush
+    shapes (the flush policy caps them at ``max_batch``), so steady-state
+    serving hits this cache instead of re-deriving the chunking every flush.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = max(int(maxsize), 1)
+        self._plans: "OrderedDict[Tuple[int, bytes], PackedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, lengths: np.ndarray, chunk_size: int) -> PackedPlan:
+        key = (int(chunk_size), np.ascontiguousarray(lengths, dtype=np.int64).tobytes())
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.misses += 1
+        plan = build_packed_plan(lengths, chunk_size)
+        self._plans[key] = plan
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+        return plan
+
+    def info(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._plans)}
 
 
 @dataclass
@@ -81,6 +232,45 @@ class GRULayer:
             ),
             f"{prefix}b": zeros(3 * hidden_size),
         }
+        self.compute_dtype: np.dtype = np.dtype(np.float64)
+        self._compute_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------ compute mode
+    def set_compute_dtype(self, dtype) -> None:
+        """Select the inference compute dtype for :meth:`gates_packed`.
+
+        ``float64`` (the default) keeps the fused loop bit-identical to the
+        masked :meth:`forward` oracle; ``float32`` casts the parameters once
+        (cached until the next training step or state load) and halves the
+        memory traffic of the recurrence.  Training always runs in float64 —
+        the master parameters are never narrowed.
+        """
+        resolved = np.dtype(dtype)
+        if resolved.name not in COMPUTE_DTYPES:
+            raise ValueError(
+                f"unsupported compute dtype {dtype!r}; choose one of {COMPUTE_DTYPES}"
+            )
+        if resolved != self.compute_dtype:
+            self.compute_dtype = resolved
+            self._compute_cache = None
+            if resolved != np.float64:
+                self._compute_params()  # cast once, eagerly
+
+    def invalidate_compute_cache(self) -> None:
+        """Drop the cast parameter cache (call after any parameter update)."""
+        self._compute_cache = None
+
+    def _compute_params(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (W, U, b) triple in the compute dtype, cast once and cached."""
+        if self.compute_dtype == np.float64:
+            return self.weight_input, self.weight_hidden, self.bias
+        if self._compute_cache is None:
+            self._compute_cache = (
+                self.weight_input.astype(self.compute_dtype),
+                self.weight_hidden.astype(self.compute_dtype),
+                self.bias.astype(self.compute_dtype),
+            )
+        return self._compute_cache
 
     # ------------------------------------------------------------------ slices
     def _slices(self) -> Tuple[slice, slice, slice]:
@@ -165,7 +355,13 @@ class GRULayer:
         )
 
     def gates_packed(
-        self, inputs: np.ndarray, lengths: np.ndarray
+        self,
+        inputs: np.ndarray,
+        lengths: np.ndarray,
+        *,
+        alive_from: Optional[Sequence[int]] = None,
+        out_update: Optional[np.ndarray] = None,
+        out_reset: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Update/reset gates for a padded batch sorted by ascending length.
 
@@ -177,35 +373,89 @@ class GRULayer:
         real steps (a masked-out lane keeps its hidden state either way);
         total step work drops from ``batch * max_len`` to ``sum(lengths)``
         lane-steps.
+
+        The step loop is fused: the one ``h_prev @ U`` matmul lands in a
+        preallocated scratch row-block, the stable sigmoid / tanh / convex
+        hidden update all run in place, and the gates are written straight
+        into the (optionally caller-provided) output buffers — no per-step
+        temporaries.  In the float64 compute mode every operation replays the
+        previous allocating loop's arithmetic exactly, so results are
+        bit-identical; the float32 mode (see :meth:`set_compute_dtype`) is the
+        tolerance-gated serving fast path.
+
+        ``alive_from`` lets a cached :class:`PackedPlan` supply the per-step
+        suffix starts so the ``searchsorted`` is not recomputed per batch.
         """
         batch, time, _ = inputs.shape
         lengths = np.asarray(lengths)
-        if lengths.shape[0] != batch or (batch > 1 and np.any(np.diff(lengths) < 0)):
-            raise ValueError("gates_packed requires one length per lane, ascending")
-        h = self.hidden_size
-        hidden = np.zeros((batch, h), dtype=np.float64)
-        update_gates = np.zeros((batch, time, h), dtype=np.float64)
-        reset_gates = np.zeros_like(update_gates)
-        weight_hidden = self.weight_hidden
-        projected = (
-            inputs.reshape(batch * time, self.input_size) @ self.weight_input + self.bias
-        ).reshape(batch, time, 3 * h)
-        alive_from = np.searchsorted(lengths, np.arange(time), side="right")
-        for t in range(time):
-            start = int(alive_from[t])
-            projected_input = projected[start:, t, :]
-            h_prev = hidden[start:]
-            projected_hidden = h_prev @ weight_hidden
-            gates = sigmoid(projected_input[:, : 2 * h] + projected_hidden[:, : 2 * h])
-            update_gate = gates[:, :h]
-            reset_gate = gates[:, h:]
-            candidate = np.tanh(
-                projected_input[:, 2 * h :] + reset_gate * projected_hidden[:, 2 * h :]
+        if lengths.shape[0] != batch:
+            raise ValueError(
+                "gates_packed requires one length per lane: got "
+                f"{lengths.shape[0]} lengths for {batch} lanes"
             )
-            hidden[start:] = (1.0 - update_gate) * h_prev + update_gate * candidate
-            update_gates[start:, t, :] = update_gate
-            reset_gates[start:, t, :] = reset_gate
-        return update_gates, reset_gates
+        if batch > 1:
+            descending = np.flatnonzero(np.diff(lengths) < 0)
+            if descending.size:
+                index = int(descending[0]) + 1
+                raise ValueError(
+                    "gates_packed requires lengths sorted ascending: "
+                    f"lengths[{index}]={int(lengths[index])} < "
+                    f"lengths[{index - 1}]={int(lengths[index - 1])}"
+                )
+        h = self.hidden_size
+        two_h = 2 * h
+        weight_input, weight_hidden, bias = self._compute_params()
+        dtype = weight_input.dtype
+        exact = dtype == np.float64
+        if inputs.dtype != dtype:
+            inputs = inputs.astype(dtype)
+        hidden = np.zeros((batch, h), dtype=dtype)
+        if out_update is None:
+            out_update = np.zeros((batch, time, h), dtype=np.float64)
+        if out_reset is None:
+            out_reset = np.zeros((batch, time, h), dtype=np.float64)
+        projected = inputs.reshape(batch * time, self.input_size) @ weight_input
+        projected += bias
+        projected = projected.reshape(batch, time, 3 * h)
+        if alive_from is None:
+            alive_from = [
+                int(value)
+                for value in np.searchsorted(lengths, np.arange(time), side="right")
+            ]
+        # Per-call scratch: the recurrent projection, the sigmoid buffers and
+        # the convex-update factor are sliced per step instead of reallocated.
+        scratch = np.empty((batch, 3 * h), dtype=dtype)
+        sig_exp = np.empty((batch, two_h), dtype=dtype)
+        sig_denom = np.empty((batch, two_h), dtype=dtype)
+        sig_mask = np.empty((batch, two_h), dtype=bool)
+        one_minus = np.empty((batch, h), dtype=dtype)
+        for t in range(time):
+            start = alive_from[t]
+            h_prev = hidden[start:]
+            gates = np.matmul(h_prev, weight_hidden, out=scratch[start:])
+            projected_input = projected[start:, t, :]
+            zr = gates[:, :two_h]
+            zr += projected_input[:, :two_h]
+            if exact:
+                _sigmoid_exact_inplace(
+                    zr, sig_exp[start:], sig_denom[start:], sig_mask[start:]
+                )
+            else:
+                _sigmoid_fast_inplace(zr)
+            update_gate = zr[:, :h]
+            reset_gate = zr[:, h:]
+            candidate = gates[:, two_h:]
+            candidate *= reset_gate
+            candidate += projected_input[:, two_h:]
+            np.tanh(candidate, out=candidate)
+            out_update[start:, t, :] = update_gate
+            out_reset[start:, t, :] = reset_gate
+            keep = one_minus[start:]
+            np.subtract(1.0, update_gate, out=keep)
+            h_prev *= keep
+            candidate *= update_gate
+            h_prev += candidate
+        return out_update, out_reset
 
     # ---------------------------------------------------------------- backward
     def backward(
@@ -286,7 +536,18 @@ class GRUSequenceClassifier:
     the reference state label (22 classes).  After training,
     :meth:`gate_activations` exposes the per-packet update/reset gate values
     that become the inter-packet context part of the context profile.
+
+    The class is also the reference :class:`repro.nn.backend.SequenceBackend`
+    implementation (``backend_name``/``trainable`` below are the protocol's
+    identity attributes; :class:`repro.nn.backend.GruBackend` is its
+    registered alias).
     """
+
+    backend_name = "gru"
+    trainable = True
+    #: Backend to train when this one is inference-only (protocol hook; the
+    #: reference implementation trains itself).
+    training_backend: Optional[str] = None
 
     def __init__(
         self,
@@ -313,6 +574,21 @@ class GRUSequenceClassifier:
         # Keep the sub-modules viewing the same arrays as ``self.parameters``.
         self.gru.parameters = self.parameters
         self.head.parameters = self.parameters
+        self._plan_cache = PackedPlanCache()
+
+    # ------------------------------------------------------------ compute mode
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The inference compute dtype of the fused gate loop."""
+        return self.gru.compute_dtype
+
+    def set_compute_dtype(self, dtype) -> None:
+        """Select the inference compute dtype (see :meth:`GRULayer.set_compute_dtype`)."""
+        self.gru.set_compute_dtype(dtype)
+
+    def plan_cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the packed-plan cache (observability hook)."""
+        return self._plan_cache.info()
 
     # ----------------------------------------------------------------- forward
     def forward(
@@ -363,39 +639,71 @@ class GRUSequenceClassifier:
         processed in chunks of at most ``chunk_size``; results are scattered
         back to the original order.  Gate values for real steps are identical
         to per-sequence :meth:`gate_activations` calls.
+
+        The sort/chunk/scatter bookkeeping comes from a :class:`PackedPlan`
+        memoized per length vector (:class:`PackedPlanCache`), so repeated
+        batch shapes — the steady state of the streaming flush loop — skip
+        straight to the padded forward passes.  The returned pairs are views
+        into the concatenated gate matrices of
+        :meth:`gate_activations_concat`.
+        """
+        concat_update, concat_reset, bounds = self.gate_activations_concat(
+            sequences, lengths, chunk_size=chunk_size
+        )
+        return [
+            (
+                concat_update[bounds[index] : bounds[index + 1]],
+                concat_reset[bounds[index] : bounds[index + 1]],
+            )
+            for index in range(len(sequences))
+        ]
+
+    def gate_activations_concat(
+        self,
+        sequences: Sequence[np.ndarray],
+        lengths: Optional[Sequence[int]] = None,
+        *,
+        chunk_size: int = 64,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated update/reset gates for a batch, in input order.
+
+        Returns ``(update, reset, bounds)`` where both gate matrices have
+        shape ``(sum(lengths), hidden)`` and sequence ``i`` owns rows
+        ``bounds[i]:bounds[i + 1]`` — the exact hand-off layout the batched
+        profile builder needs, produced without the per-sequence copies and
+        final ``np.concatenate`` of the list API.
         """
         if lengths is None:
-            lengths = [int(sequence.shape[0]) for sequence in sequences]
+            lengths_arr = np.array(
+                [int(sequence.shape[0]) for sequence in sequences], dtype=np.int64
+            )
         else:
-            lengths = [int(length) for length in lengths]
-        if len(lengths) != len(sequences):
+            lengths_arr = np.asarray(lengths, dtype=np.int64)
+        if lengths_arr.shape[0] != len(sequences):
             raise ValueError("sequences and lengths must have the same size")
-        count = len(sequences)
         hidden = self.hidden_size
-        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * count
-        nonempty = [index for index in range(count) if lengths[index] > 0]
-        for index in range(count):
-            if lengths[index] == 0:
-                results[index] = (np.zeros((0, hidden)), np.zeros((0, hidden)))
-        # Length-bucketed chunking: sorting keeps each padded tensor dense.
-        nonempty.sort(key=lambda index: lengths[index])
-        chunk_size = max(int(chunk_size), 1)
-        for start in range(0, len(nonempty), chunk_size):
-            chosen = nonempty[start : start + chunk_size]
-            max_time = max(lengths[index] for index in chosen)
-            inputs = np.zeros((len(chosen), max_time, self.input_size), dtype=np.float64)
-            for row, index in enumerate(chosen):
-                length = lengths[index]
+        plan = self._plan_cache.get(lengths_arr, chunk_size)
+        bounds = plan.bounds
+        concat_update = np.empty((plan.total_steps, hidden), dtype=np.float64)
+        concat_reset = np.empty((plan.total_steps, hidden), dtype=np.float64)
+        compute_dtype = self.gru.compute_dtype
+        for chunk in plan.chunks:
+            rows = len(chunk.indices)
+            # Padded in the compute dtype so the fused loop never re-casts;
+            # rows past a lane's length are only ever written, never read.
+            inputs = np.zeros((rows, chunk.max_time, self.input_size), dtype=compute_dtype)
+            for row, index in enumerate(chunk.indices):
+                length = int(chunk.lengths[row])
                 inputs[row, :length] = sequences[index][:length]
-            chunk_lengths = np.array([lengths[index] for index in chosen], dtype=np.int64)
-            update_gates, reset_gates = self.gru.gates_packed(inputs, chunk_lengths)
-            for row, index in enumerate(chosen):
-                length = lengths[index]
-                results[index] = (
-                    update_gates[row, :length].copy(),
-                    reset_gates[row, :length].copy(),
-                )
-        return results  # type: ignore[return-value]
+            update_gates, reset_gates = self.gru.gates_packed(
+                inputs, chunk.lengths, alive_from=chunk.alive_from
+            )
+            for row, index in enumerate(chunk.indices):
+                length = int(chunk.lengths[row])
+                offset = int(bounds[index])
+                concat_update[offset : offset + length] = update_gates[row, :length]
+                concat_reset[offset : offset + length] = reset_gates[row, :length]
+        return concat_update, concat_reset, bounds
 
     # ---------------------------------------------------------------- training
     def train_batch(
@@ -413,6 +721,7 @@ class GRUSequenceClassifier:
         self.gru.backward(grad_hidden, result.caches, gradients)
         Optimizer.clip_gradients(gradients, self.gradient_clip)
         self.optimizer.step(self.parameters, gradients)
+        self.gru.invalidate_compute_cache()
         return loss_value
 
     def accuracy(
@@ -435,6 +744,7 @@ class GRUSequenceClassifier:
         state["meta/input_size"] = np.array([self.input_size])
         state["meta/hidden_size"] = np.array([self.hidden_size])
         state["meta/num_classes"] = np.array([self.num_classes])
+        state["meta/backend"] = encode_backend_name(self.backend_name)
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
@@ -448,6 +758,7 @@ class GRUSequenceClassifier:
                 self.parameters[key] = value
             else:
                 self.parameters[key][...] = value
+        self.gru.invalidate_compute_cache()
 
     @classmethod
     def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "GRUSequenceClassifier":

@@ -10,6 +10,7 @@ from repro.core.artifacts import (
     MANIFEST_FILENAME,
     MANIFEST_SCHEMA_VERSION,
     ModelManifestError,
+    backend_from_manifest,
     build_manifest,
     config_from_manifest,
     feature_schema_hash,
@@ -53,6 +54,30 @@ class TestManifestHelpers:
         manifest["config"]["rnn"]["from_the_future"] = 42
         config = config_from_manifest(manifest)
         assert not hasattr(config.rnn, "from_the_future")
+
+    def test_manifest_records_the_sequence_backend(self):
+        assert MANIFEST_SCHEMA_VERSION == 2
+        manifest = build_manifest(ClapConfig(), threshold=0.0)
+        assert manifest["sequence_backend"] == "gru"
+        assert backend_from_manifest(manifest) == "gru"
+        manifest = build_manifest(ClapConfig(), threshold=0.0, backend="quantized-gru")
+        validate_manifest(manifest)
+        assert backend_from_manifest(manifest) == "quantized-gru"
+
+    def test_schema_v1_manifests_default_to_the_gru_backend(self):
+        """Backward compatibility: pre-backend manifests carry no
+        sequence_backend field and must load as the default gru."""
+        manifest = build_manifest(ClapConfig(), threshold=0.0)
+        manifest["schema_version"] = 1
+        del manifest["sequence_backend"]
+        validate_manifest(manifest)
+        assert backend_from_manifest(manifest) == "gru"
+
+    def test_invalid_sequence_backend_is_rejected(self):
+        manifest = build_manifest(ClapConfig(), threshold=0.0)
+        manifest["sequence_backend"] = 42
+        with pytest.raises(ModelManifestError, match="sequence_backend"):
+            backend_from_manifest(manifest)
 
 
 class TestPersistedArtifacts:

@@ -1,0 +1,290 @@
+"""The SequenceBackend protocol, registry, packed plans and quantization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.backend import (
+    GruBackend,
+    QuantizedGruBackend,
+    SequenceBackend,
+    available_backends,
+    backend_from_state_dict,
+    convert_backend,
+    dequantize_per_gate,
+    get_backend,
+    quantize_per_gate,
+    serving_backend_name,
+    serving_backends,
+)
+from repro.nn.gru import (
+    GRULayer,
+    GRUSequenceClassifier,
+    PackedPlanCache,
+    build_packed_plan,
+    decode_backend_name,
+    encode_backend_name,
+)
+from repro.nn.serialization import load_state, save_state
+
+
+@pytest.fixture(scope="module")
+def trained_backend():
+    """A small GRU backend with non-trivial weights."""
+    rng = np.random.default_rng(0)
+    model = GruBackend(5, 8, 3, seed=1)
+    for _ in range(25):
+        inputs = rng.normal(size=(8, 9, 5))
+        targets = rng.integers(0, 3, size=(8, 9))
+        model.train_batch(inputs, targets)
+    return model
+
+
+@pytest.fixture(scope="module")
+def sequences():
+    rng = np.random.default_rng(42)
+    return [rng.normal(size=(length, 5)) for length in (4, 17, 9, 1, 30, 9)]
+
+
+# ---------------------------------------------------------------------------
+# Protocol and registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_shipped_backends_are_registered(self):
+        assert "gru" in available_backends()
+        assert "quantized-gru" in available_backends()
+        assert "gru-f32" in serving_backends()
+        assert "gru-f32" not in available_backends()  # serving-only variant
+
+    def test_backends_satisfy_the_protocol(self, trained_backend):
+        assert isinstance(trained_backend, SequenceBackend)
+        assert isinstance(QuantizedGruBackend.quantize(trained_backend), SequenceBackend)
+        # GRUSequenceClassifier itself is protocol-compatible (duck typing).
+        assert isinstance(GRUSequenceClassifier(4, 4, 2, seed=0), SequenceBackend)
+
+    def test_unknown_backend_lists_the_alternatives(self):
+        with pytest.raises(KeyError, match="available: gru, quantized-gru"):
+            get_backend("mamba")
+        with pytest.raises(KeyError, match="unknown serving backend"):
+            convert_backend(GruBackend(4, 4, 2, seed=0), "mamba")
+
+    def test_backend_name_encoding_round_trips(self):
+        assert decode_backend_name(encode_backend_name("quantized-gru")) == "quantized-gru"
+        assert decode_backend_name(None) == "gru"
+
+
+# ---------------------------------------------------------------------------
+# Float64 oracle equivalence (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestGruBackendOracle:
+    def test_batched_gates_match_the_sequential_oracle(self, trained_backend, sequences):
+        """gate_activations_batch (fused, packed, plan-cached) must stay
+        1e-9-equivalent to the per-sequence gate_activations oracle."""
+        batched = trained_backend.gate_activations_batch(sequences)
+        for sequence, (update, reset) in zip(sequences, batched):
+            oracle_update, oracle_reset = trained_backend.gate_activations(sequence)
+            np.testing.assert_allclose(update, oracle_update, atol=1e-9, rtol=0)
+            np.testing.assert_allclose(reset, oracle_reset, atol=1e-9, rtol=0)
+
+    def test_concat_gates_match_batched_views(self, trained_backend, sequences):
+        update, reset, bounds = trained_backend.gate_activations_concat(sequences)
+        batched = trained_backend.gate_activations_batch(sequences)
+        assert bounds[-1] == sum(len(s) for s in sequences)
+        for index, (pair_update, pair_reset) in enumerate(batched):
+            assert np.array_equal(update[bounds[index] : bounds[index + 1]], pair_update)
+            assert np.array_equal(reset[bounds[index] : bounds[index + 1]], pair_reset)
+
+    def test_float32_mode_stays_close_and_is_reversible(self, trained_backend, sequences):
+        reference = trained_backend.gate_activations_batch(sequences)
+        f32 = convert_backend(trained_backend, "gru-f32")
+        assert serving_backend_name(f32) == "gru-f32"
+        assert f32.backend_name == "gru"  # persisted identity is unchanged
+        for (ref_u, ref_r), (got_u, got_r) in zip(
+            reference, f32.gate_activations_batch(sequences)
+        ):
+            assert got_u.dtype == np.float64  # outputs stay float64 views
+            np.testing.assert_allclose(got_u, ref_u, atol=1e-5, rtol=0)
+            np.testing.assert_allclose(got_r, ref_r, atol=1e-5, rtol=0)
+        f32.set_compute_dtype("float64")
+        back = f32.gate_activations_batch(sequences)
+        for (ref_u, ref_r), (got_u, got_r) in zip(reference, back):
+            assert np.array_equal(got_u, ref_u) and np.array_equal(got_r, ref_r)
+
+    def test_invalid_compute_dtype_is_rejected(self, trained_backend):
+        with pytest.raises(ValueError, match="float16"):
+            trained_backend.gru.set_compute_dtype("float16")
+
+
+# ---------------------------------------------------------------------------
+# Packed plans
+# ---------------------------------------------------------------------------
+
+
+class TestPackedPlans:
+    def test_plan_covers_every_nonempty_lane_once(self):
+        lengths = np.array([3, 0, 12, 7, 0, 1, 12])
+        plan = build_packed_plan(lengths, chunk_size=3)
+        covered = [i for chunk in plan.chunks for i in chunk.indices]
+        assert sorted(covered + list(plan.empty)) == list(range(len(lengths)))
+        assert plan.total_steps == int(lengths.sum())
+        for chunk in plan.chunks:
+            assert list(chunk.lengths) == sorted(chunk.lengths)
+
+    def test_cache_hits_on_repeated_length_multisets(self):
+        cache = PackedPlanCache(maxsize=4)
+        lengths = np.array([5, 2, 9])
+        first = cache.get(lengths, 64)
+        second = cache.get(np.array([5, 2, 9]), 64)
+        assert first is second
+        assert cache.info() == {"hits": 1, "misses": 1, "size": 1}
+        cache.get(np.array([5, 2, 9]), 32)  # different chunking: a new plan
+        assert cache.info()["misses"] == 2
+
+    def test_cache_evicts_least_recently_used(self):
+        cache = PackedPlanCache(maxsize=2)
+        a = cache.get(np.array([1]), 64)
+        cache.get(np.array([2]), 64)
+        cache.get(np.array([3]), 64)  # evicts [1]
+        assert cache.get(np.array([1]), 64) is not a
+        assert cache.info()["size"] == 2
+
+    def test_classifier_reuses_plans_across_batches(self, trained_backend, sequences):
+        model = GruBackend.from_state_dict(trained_backend.state_dict())
+        model.gate_activations_batch(sequences)
+        before = model.plan_cache_info()
+        model.gate_activations_batch([np.asarray(s) for s in sequences])
+        after = model.plan_cache_info()
+        assert after["hits"] > before["hits"]
+
+
+# ---------------------------------------------------------------------------
+# gates_packed diagnostics (satellite bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestGatesPackedDiagnostics:
+    def test_unsorted_lengths_name_the_offending_index(self):
+        layer = GRULayer(3, 4, rng=np.random.default_rng(0))
+        inputs = np.zeros((3, 9, 3))
+        with pytest.raises(ValueError, match=r"lengths\[2\]=5 < lengths\[1\]=9"):
+            layer.gates_packed(inputs, np.array([3, 9, 5]))
+
+    def test_mismatched_count_reports_both_sizes(self):
+        layer = GRULayer(3, 4, rng=np.random.default_rng(0))
+        inputs = np.zeros((3, 9, 3))
+        with pytest.raises(ValueError, match="got 2 lengths for 3 lanes"):
+            layer.gates_packed(inputs, np.array([3, 9]))
+
+
+# ---------------------------------------------------------------------------
+# Quantization
+# ---------------------------------------------------------------------------
+
+
+class TestQuantization:
+    def test_per_gate_scales_and_bounds(self):
+        rng = np.random.default_rng(3)
+        hidden = 6
+        weights = rng.normal(size=(10, 3 * hidden))
+        weights[:, :hidden] *= 10.0  # one gate with a much larger range
+        values, scales = quantize_per_gate(weights, hidden)
+        assert values.dtype == np.int8
+        assert scales.shape == (3,)
+        assert scales[0] > scales[1]
+        assert np.abs(values).max() <= 127
+        restored = dequantize_per_gate(values, scales, hidden)
+        for gate in range(3):
+            block = slice(gate * hidden, (gate + 1) * hidden)
+            assert np.max(np.abs(restored[:, block] - weights[:, block])) <= scales[gate] / 2 + 1e-12
+
+    def test_shape_mismatch_is_rejected(self):
+        with pytest.raises(ValueError, match="gate-concatenated"):
+            quantize_per_gate(np.zeros((4, 10)), hidden_size=4)
+
+    def test_quantized_backend_is_deterministic_and_close(self, trained_backend, sequences):
+        quantized = QuantizedGruBackend.quantize(trained_backend)
+        assert quantized.backend_name == "quantized-gru"
+        assert not quantized.trainable and quantized.training_backend == "gru"
+        reference = trained_backend.gate_activations_batch(sequences)
+        first = quantized.gate_activations_batch(sequences)
+        second = quantized.gate_activations_batch(sequences)
+        for (a_u, a_r), (b_u, b_r) in zip(first, second):
+            assert np.array_equal(a_u, b_u) and np.array_equal(a_r, b_r)
+        for (ref_u, ref_r), (got_u, got_r) in zip(reference, first):
+            np.testing.assert_allclose(got_u, ref_u, atol=0.05, rtol=0)
+            np.testing.assert_allclose(got_r, ref_r, atol=0.05, rtol=0)
+
+    def test_train_batch_refuses(self, trained_backend):
+        quantized = QuantizedGruBackend.quantize(trained_backend)
+        with pytest.raises(RuntimeError, match="inference-only"):
+            quantized.train_batch(np.zeros((1, 2, 5)), np.zeros((1, 2), dtype=np.int64))
+
+    def test_state_dict_round_trip_eager_and_mmap(self, tmp_path, trained_backend, sequences):
+        quantized = QuantizedGruBackend.quantize(trained_backend)
+        state = quantized.state_dict()
+        assert state["quant/gru/W"].dtype == np.int8
+        assert state["quant/gru/U"].dtype == np.int8
+        assert decode_backend_name(state["meta/backend"]) == "quantized-gru"
+
+        eager = backend_from_state_dict(state)
+        assert isinstance(eager, QuantizedGruBackend)
+
+        path = tmp_path / "quantized.npz"
+        save_state(path, state)
+        mapped = backend_from_state_dict(dict(load_state(path, mmap_mode="r")))
+
+        reference = quantized.gate_activations_batch(sequences)
+        for candidate in (eager, mapped):
+            for (ref_u, ref_r), (got_u, got_r) in zip(
+                reference, candidate.gate_activations_batch(sequences)
+            ):
+                assert np.array_equal(got_u, ref_u) and np.array_equal(got_r, ref_r)
+
+    def test_unquantized_state_dict_refuses(self):
+        bare = QuantizedGruBackend(4, 4, 2, seed=0)
+        with pytest.raises(RuntimeError, match="no quantized payload"):
+            bare.state_dict()
+
+
+# ---------------------------------------------------------------------------
+# Conversion
+# ---------------------------------------------------------------------------
+
+
+class TestConvertBackend:
+    def test_gru_clone_is_bitwise(self, trained_backend, sequences):
+        clone = convert_backend(trained_backend, "gru")
+        assert clone is not trained_backend
+        for (ref_u, ref_r), (got_u, got_r) in zip(
+            trained_backend.gate_activations_batch(sequences),
+            clone.gate_activations_batch(sequences),
+        ):
+            assert np.array_equal(got_u, ref_u) and np.array_equal(got_r, ref_r)
+
+    def test_quantized_round_trip_preserves_payload(self, trained_backend, sequences):
+        quantized = convert_backend(trained_backend, "quantized-gru")
+        again = convert_backend(quantized, "quantized-gru")
+        for (a_u, a_r), (b_u, b_r) in zip(
+            quantized.gate_activations_batch(sequences),
+            again.gate_activations_batch(sequences),
+        ):
+            assert np.array_equal(a_u, b_u) and np.array_equal(a_r, b_r)
+
+    def test_dequantized_gru_serves_the_quantized_weights(self, trained_backend):
+        quantized = convert_backend(trained_backend, "quantized-gru")
+        dequantized = convert_backend(quantized, "gru")
+        assert dequantized.backend_name == "gru"
+        assert np.array_equal(
+            dequantized.parameters["gru/W"], quantized.parameters["gru/W"]
+        )
+
+    def test_conversion_never_mutates_the_source(self, trained_backend):
+        before = {key: value.copy() for key, value in trained_backend.parameters.items()}
+        convert_backend(trained_backend, "quantized-gru")
+        convert_backend(trained_backend, "gru-f32")
+        for key, value in trained_backend.parameters.items():
+            assert np.array_equal(value, before[key])
+        assert trained_backend.compute_dtype == np.float64

@@ -210,6 +210,72 @@ class TestProcessEquivalence:
         assert detector.connections_seen == len(connections)
 
 
+class TestBackendProcessParity:
+    """ISSUE-6 satellite: converted sequence backends must survive the
+    process runtime's mmap model sharing — workers reconstruct the backend
+    named in the artifact and score identically to the thread runtime."""
+
+    @pytest.fixture(scope="class", params=["gru-f32", "quantized-gru"])
+    def backend_setup(self, request, trained_clap, tmp_path_factory):
+        converted = trained_clap.with_backend(request.param)
+        directory = tmp_path_factory.mktemp("backend-model") / request.param
+        converted.save(directory)
+        return request.param, converted, directory
+
+    def test_process_workers_match_thread_mode(self, backend_setup, small_dataset):
+        backend, converted, model_dir = backend_setup
+        thread = ParallelStreamingDetector(
+            converted,
+            workers=2,
+            flush_policy=FlushPolicy(max_batch=4),
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        expected = _rows(_drain_all(thread, _packet_stream(small_dataset.test)))
+
+        process = ParallelStreamingDetector(
+            converted,
+            workers=2,
+            worker_mode="process",
+            model_dir=model_dir,
+            flush_policy=FlushPolicy(max_batch=4),
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        got = _rows(_drain_all(process, _packet_stream(small_dataset.test)))
+        assert [row[:2] for row in got] == [row[:2] for row in expected]
+        assert all(abs(a[2] - b[2]) < 1e-9 for a, b in zip(got, expected))
+
+    def test_temp_save_path_ships_the_converted_backend(self, backend_setup, small_dataset):
+        """With no model_dir the runtime saves the (converted) pipeline to a
+        temporary artifact for its workers — the conversion must not be lost."""
+        backend, converted, _ = backend_setup
+        thread = ParallelStreamingDetector(
+            converted, workers=2, idle_timeout=1e9, close_grace=1e9
+        )
+        expected = _rows(_drain_all(thread, _packet_stream(small_dataset.test[:6])))
+
+        process = ParallelStreamingDetector(
+            converted,
+            workers=2,
+            worker_mode="process",
+            idle_timeout=1e9,
+            close_grace=1e9,
+        )
+        got = _rows(_drain_all(process, _packet_stream(small_dataset.test[:6])))
+        assert [row[:2] for row in got] == [row[:2] for row in expected]
+        assert all(abs(a[2] - b[2]) < 1e-9 for a, b in zip(got, expected))
+
+    def test_mmap_load_reconstructs_the_backend(self, backend_setup):
+        """The exact load the workers perform: mmap_mode="r" with a
+        non-default backend in the manifest."""
+        from repro.core.pipeline import Clap
+
+        backend, converted, model_dir = backend_setup
+        restored = Clap.load(model_dir, mmap_mode="r")
+        assert restored.serving_backend == backend
+
+
 def _parity_keys(snapshot):
     """The deterministic metrics signals every worker configuration shares."""
     return {

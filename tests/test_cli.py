@@ -27,6 +27,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_backend_flags(self):
+        parser = build_parser()
+        assert parser.parse_args(["train", "m", "--backend", "quantized-gru"]).backend == "quantized-gru"
+        assert parser.parse_args(["score", "m", "c.pcap", "--backend", "gru-f32"]).backend == "gru-f32"
+        assert parser.parse_args(["stream", "m", "c.pcap", "--backend", "quantized-gru"]).backend == "quantized-gru"
+        assert parser.parse_args(["score", "m", "c.pcap"]).backend is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "m", "--backend", "gru-f32"])  # serving-only
+        with pytest.raises(SystemExit):
+            parser.parse_args(["score", "m", "c.pcap", "--backend", "mamba"])
+
 
 class TestStrategiesCommand:
     def test_lists_all_strategies(self, capsys):
@@ -158,6 +169,44 @@ class TestTrainAndScore:
                 "localized_window", "localized_packets", "packet_count",
             }
 
+    def test_score_backend_override_stays_within_tolerance(
+        self, trained_model_dir, tmp_path, capsys
+    ):
+        """--backend serves the same model through a converted fast path;
+        scores must stay within the documented equivalence tolerances."""
+        capture = tmp_path / "backends.pcap"
+        main(["generate", str(capture), "--connections", "5", "--seed", "31"])
+        capsys.readouterr()
+        scores = {}
+        for backend in (None, "gru", "gru-f32", "quantized-gru"):
+            arguments = ["score", str(trained_model_dir), str(capture), "--json"]
+            if backend is not None:
+                arguments += ["--backend", backend]
+            assert main(arguments) == 0
+            payload = json.loads(capsys.readouterr().out)
+            scores[backend or "default"] = [e["score"] for e in payload["results"]]
+        assert scores["default"] == scores["gru"]  # explicit gru is a no-op
+        for fast, tolerance in (("gru-f32", 1e-5), ("quantized-gru", 5e-2)):
+            for reference, candidate in zip(scores["default"], scores[fast]):
+                assert abs(candidate - reference) <= tolerance * max(abs(reference), 1e-9)
+
+    def test_train_with_quantized_backend_persists_it(self, tmp_path, capsys):
+        model_dir = tmp_path / "quantized"
+        code = main([
+            "train", str(model_dir), "--connections", "12", "--seed", "4",
+            "--fast", "--rnn-epochs", "2", "--ae-epochs", "5",
+            "--backend", "quantized-gru",
+        ])
+        assert code == 0
+        manifest = json.loads((model_dir / "manifest.json").read_text())
+        assert manifest["sequence_backend"] == "quantized-gru"
+        capture = tmp_path / "q.pcap"
+        main(["generate", str(capture), "--connections", "3", "--seed", "12"])
+        capsys.readouterr()
+        assert main(["score", str(model_dir), str(capture), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 3
+
     def test_incompatible_model_artifact_fails_cleanly(self, trained_model_dir, tmp_path, capsys):
         import shutil
 
@@ -229,6 +278,28 @@ class TestStreamCommand:
             (event["connection"], round(event["score"], 9)) for event in events
         )
         assert stream_scores == forensic_scores
+
+    def test_stream_backend_override_matches_score_backend(
+        self, trained_model_dir, tmp_path, capsys
+    ):
+        """--backend on stream serves the same converted model as on score —
+        thread and process workers included (the process pool receives the
+        converted model via a temporary artifact)."""
+        capture = tmp_path / "backend-stream.pcap"
+        main(["generate", str(capture), "--connections", "4", "--seed", "29"])
+        capsys.readouterr()
+        assert main(["score", str(trained_model_dir), str(capture), "--json",
+                     "--backend", "quantized-gru"]) == 0
+        forensic = json.loads(capsys.readouterr().out)
+        expected = sorted(
+            (entry["connection"], round(entry["score"], 9)) for entry in forensic["results"]
+        )
+        for extra in ([], ["--workers", "2", "--worker-mode", "process"]):
+            assert main(["stream", str(trained_model_dir), str(capture),
+                         "--backend", "quantized-gru"] + extra) == 0
+            events = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line]
+            got = sorted((e["connection"], round(e["score"], 9)) for e in events)
+            assert got == expected
 
     def test_stream_alerts_only_filters(self, trained_model_dir, tmp_path, capsys):
         capture = tmp_path / "quiet.pcap"
