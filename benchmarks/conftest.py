@@ -20,7 +20,6 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
 
 import pytest
 
@@ -60,7 +59,7 @@ class Experiment:
     config: ClapConfig
 
 
-_EXPERIMENT_CACHE: Optional[Experiment] = None
+_EXPERIMENT_CACHE: Experiment | None = None
 
 
 def _build_experiment() -> Experiment:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, List, Tuple
+from collections.abc import Callable
 
 import numpy as np
 
@@ -45,10 +45,10 @@ def _best_of(function: Callable[[], object], repeats: int = 3) -> float:
     return min(timings)
 
 
-def measure_ingest_breakdown(path, packet_count: int, repeats: int = 3) -> List[Tuple[str, float, float]]:
+def measure_ingest_breakdown(path, packet_count: int, repeats: int = 3) -> list[tuple[str, float, float]]:
     """Time each ingest stage on both paths; returns (stage, obj, col) pkt/s."""
     extractor = RawFeatureExtractor()
-    rows: List[Tuple[str, float, float]] = []
+    rows: list[tuple[str, float, float]] = []
 
     parse_object = _best_of(lambda: read_pcap(path), repeats)
     parse_columnar = _best_of(lambda: read_packet_columns(path), repeats)
@@ -86,7 +86,7 @@ def measure_ingest_breakdown(path, packet_count: int, repeats: int = 3) -> List[
     return rows
 
 
-def render_breakdown(rows: List[Tuple[str, float, float]], packet_count: int) -> str:
+def render_breakdown(rows: list[tuple[str, float, float]], packet_count: int) -> str:
     lines = [
         f"{'Stage':<16} | {'Object pkt/s':>14} | {'Columnar pkt/s':>14} | {'Speedup':>8}",
         f"{'-' * 16}-+-{'-' * 14}-+-{'-' * 14}-+-{'-' * 8}",

@@ -28,7 +28,7 @@ records all of it.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -78,7 +78,7 @@ class ReferenceGru:
 
     def gates_packed(
         self, inputs: np.ndarray, lengths: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         batch, steps, _ = inputs.shape
         h = self.hidden_size
         hidden = np.zeros((batch, h), dtype=np.float64)
@@ -107,7 +107,7 @@ class ReferenceGru:
 
     def _chunks(
         self, sequences: Sequence[np.ndarray], chunk_size: int = 64
-    ) -> List[Tuple[List[int], np.ndarray, np.ndarray]]:
+    ) -> list[tuple[list[int], np.ndarray, np.ndarray]]:
         lengths = [int(sequence.shape[0]) for sequence in sequences]
         order = sorted(range(len(sequences)), key=lambda index: lengths[index])
         chunks = []
@@ -128,8 +128,8 @@ class ReferenceGru:
 
     def gate_activations_batch(
         self, sequences: Sequence[np.ndarray]
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(sequences)
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        results: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(sequences)
         for chosen, inputs, chunk_lengths in self._chunks(sequences):
             update_gates, reset_gates = self.gates_packed(inputs, chunk_lengths)
             for row, index in enumerate(chosen):
@@ -141,7 +141,7 @@ class ReferenceGru:
         return results  # type: ignore[return-value]
 
 
-def _make_sequences(count: int, low: int, high: int, rng) -> List[np.ndarray]:
+def _make_sequences(count: int, low: int, high: int, rng) -> list[np.ndarray]:
     lengths = rng.integers(low, high + 1, size=count)
     return [rng.normal(size=(int(length), INPUT_SIZE)) for length in lengths]
 

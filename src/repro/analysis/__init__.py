@@ -1,0 +1,52 @@
+"""Project-specific static analysis: the ``clap-lint`` framework and rules.
+
+CLAP is a concurrency-heavy serving system with bit-exactness guarantees, and
+its real hazard classes — an attribute read outside the lock that guards it,
+an ambient ``np.random`` call that breaks reproducibility, an array built
+without an explicit dtype on the float32 hot path, a lock created at import
+time that a forked worker inherits locked, a swallowed exception that wedges
+a shard pool — are all mechanically detectable.  This package detects them:
+
+* :mod:`repro.analysis.core` — the framework: rule registry, per-file AST
+  analysis, ``# clap-lint: allow[RULE] reason=...`` suppressions (the reason
+  is mandatory), and the driver that ties them together;
+* :mod:`repro.analysis.baseline` — the committed baseline of grandfathered
+  findings (each entry carries a reason) so the suite can gate *new* findings
+  without forcing a flag-day cleanup;
+* :mod:`repro.analysis.reporting` — human and JSON reporters;
+* :mod:`repro.analysis.rules` — the rule catalogue (RL001–RL006).
+
+Everything here is standard library only, so CI can run the suite without
+installing the runtime dependencies.  ``tools/run_analysis.py`` is the
+command-line entry point.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.core import (
+    AnalysisResult,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    register,
+)
+from repro.analysis.reporting import render_human, render_json
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "register",
+    "render_human",
+    "render_json",
+]

@@ -1,0 +1,100 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the suite gate *new* findings without demanding a flag-day
+cleanup: a finding whose :meth:`~repro.analysis.core.Finding.key` appears in
+the baseline file is reported as grandfathered instead of failing the run.
+Every entry carries a mandatory ``reason`` — the baseline is a ledger of
+consciously accepted debt, not a mute button.
+
+Keys exclude line numbers (rule + path + anchor), so entries survive edits
+elsewhere in the file; an entry whose finding disappears goes *stale* and is
+reported so it can be pruned (``tools/run_analysis.py --write-baseline``
+rewrites the file from the current tree).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and why it is tolerated."""
+
+    key: str
+    reason: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"key": self.key, "reason": self.reason}
+
+
+class Baseline:
+    """The set of grandfathered finding keys, with reasons."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: dict[str, BaselineEntry] = {entry.key: entry for entry in entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.key() in self.entries
+
+    def split(self, findings: Sequence[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into (new, grandfathered)."""
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            (grandfathered if finding in self else new).append(finding)
+        return new, grandfathered
+
+    def stale_keys(self, findings: Sequence[Finding]) -> list[str]:
+        """Baseline keys no finding matched (candidates for pruning)."""
+        live = {finding.key() for finding in findings}
+        return sorted(key for key in self.entries if key not in live)
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = []
+        for raw in payload.get("findings", []):
+            key = raw.get("key")
+            reason = (raw.get("reason") or "").strip()
+            if not key:
+                raise ValueError(f"baseline entry without a key in {path}: {raw!r}")
+            if not reason:
+                raise ValueError(f"baseline entry for {key!r} in {path} has no reason")
+            entries.append(BaselineEntry(key=key, reason=reason))
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                self.entries[key].to_dict() for key in sorted(self.entries)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], reason: str = "grandfathered (TODO: justify)"
+    ) -> Baseline:
+        """Build a baseline accepting every current finding with ``reason``."""
+        return cls(BaselineEntry(key=finding.key(), reason=reason) for finding in findings)

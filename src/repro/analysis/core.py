@@ -1,0 +1,284 @@
+"""The clap-lint framework: findings, rules, suppressions, and the driver.
+
+The moving parts, smallest first:
+
+* :class:`Finding` — one diagnostic.  Its :meth:`Finding.key` deliberately
+  excludes the line number so baseline entries survive unrelated edits above
+  them; the ``anchor`` (a rule-chosen stable symbol such as
+  ``ClassName.method:attribute``) disambiguates repeated messages.
+* :class:`Rule` — one check.  Rules register themselves with :func:`register`
+  and scope themselves to the paths they understand via
+  :meth:`Rule.applies_to`; the driver only hands a rule files it claims.
+* :class:`ModuleContext` — one parsed file (path, source, lines, AST) plus
+  the :meth:`ModuleContext.finding` helper rules use to emit diagnostics.
+* :func:`analyze_paths` — walk files, parse, collect suppressions, run every
+  applicable rule, then drop findings the source suppressed inline.
+
+Suppression syntax (the reason is mandatory — an allow without one is itself
+reported, as ``RL000``)::
+
+    do_risky_thing()  # clap-lint: allow[RL001] reason=why this is safe
+
+A suppression on its own comment line applies to the next code line; several
+rules can be listed comma-separated inside the brackets.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+#: Rule id reserved for problems with the analysis input itself: files that do
+#: not parse and malformed or reason-less suppression comments.
+META_RULE_ID = "RL000"
+
+#: A line is a directive only when it carries an actual comment marker of
+#: the form hash + ``clap-lint`` + colon; mere prose mentions are not parsed.
+_DIRECTIVE_TRIGGER = re.compile(r"#\s*clap-lint:")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*clap-lint:\s*(?P<verb>[A-Za-z_-]+)"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+    r"(?:\s+reason=(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by one rule against one file."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    anchor: str = ""
+
+    def key(self) -> str:
+        """Stable identity used for baseline matching (line-number free)."""
+        return f"{self.rule}::{self.path}::{self.anchor or self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "anchor": self.anchor,
+        }
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+class ModuleContext:
+    """One parsed source file, as handed to every rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.posix_path = PurePosixPath(path)
+
+    def finding(self, rule: str, line: int, message: str, anchor: str = "") -> Finding:
+        return Finding(rule=rule, path=self.path, line=line, message=message, anchor=anchor)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`id` (``RLnnn``), :attr:`title` (short name shown in
+    ``--list-rules``) and :attr:`description`, override :meth:`check`, and
+    optionally narrow :meth:`applies_to`.  Register with :func:`register`.
+    """
+
+    id: str = ""
+    title: str = ""
+    description: str = ""
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        """Whether this rule wants to see ``path`` at all (default: every file)."""
+        return True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule` subclass."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, id-sorted (importing the catalogue on demand)."""
+    import repro.analysis.rules  # noqa: F401  (registers the catalogue)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one registered rule by id (raising with the known ids)."""
+    import repro.analysis.rules  # noqa: F401  (registers the catalogue)
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+@dataclass
+class Suppressions:
+    """Inline ``clap-lint`` directives for one file, resolved per line."""
+
+    #: line number -> set of rule ids allowed on that line
+    allowed: dict[int, set[str]] = field(default_factory=dict)
+    #: malformed directives, reported as RL000 findings
+    problems: list[tuple[int, str]] = field(default_factory=list)
+
+    def suppresses(self, finding: Finding) -> bool:
+        return finding.rule in self.allowed.get(finding.line, ())
+
+
+def parse_suppressions(lines: Sequence[str]) -> Suppressions:
+    """Scan source lines for ``clap-lint`` ``allow[RULE] reason=...`` directives.
+
+    A directive on a comment-only line covers the next line; otherwise it
+    covers its own line.  ``allow`` without a rule list, with an empty list,
+    with an unknown verb, or without a non-empty reason is a problem — the
+    mandatory reason is the whole point of the mechanism.
+    """
+    suppressions = Suppressions()
+    for number, line in enumerate(lines, start=1):
+        if _DIRECTIVE_TRIGGER.search(line) is None:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            suppressions.problems.append(
+                (number, "unparseable clap-lint directive (expected 'allow[RULE] reason=...')")
+            )
+            continue
+        verb = match.group("verb")
+        if verb != "allow":
+            suppressions.problems.append(
+                (number, f"unknown clap-lint verb {verb!r} (only 'allow' is supported)")
+            )
+            continue
+        rules_raw = match.group("rules")
+        rules = [rule.strip() for rule in (rules_raw or "").split(",") if rule.strip()]
+        if not rules:
+            suppressions.problems.append(
+                (number, "clap-lint allow without a rule list (expected allow[RL001,...])")
+            )
+            continue
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            suppressions.problems.append(
+                (
+                    number,
+                    f"clap-lint allow[{','.join(rules)}] without a reason "
+                    "(reason=... is mandatory)",
+                )
+            )
+            continue
+        target = number + 1 if line.lstrip().startswith("#") else number
+        suppressions.allowed.setdefault(target, set()).update(rules)
+    return suppressions
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, other: AnalysisResult) -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (dirs recursed, caches skipped)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+
+
+def normalize_path(path: Path, root: Path | None = None) -> str:
+    """Repo-relative POSIX path when possible (stable across machines)."""
+    resolved = path.resolve()
+    for base in filter(None, (root, Path.cwd())):
+        try:
+            return resolved.relative_to(base.resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] | None = None,
+) -> AnalysisResult:
+    """Analyze one in-memory module (the unit tests' entry point)."""
+    result = AnalysisResult(files_checked=1)
+    posix = PurePosixPath(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        result.findings.append(
+            Finding(META_RULE_ID, path, error.lineno or 0, f"syntax error: {error.msg}")
+        )
+        return result
+    module = ModuleContext(path, source, tree)
+    suppressions = parse_suppressions(module.lines)
+    for line, message in suppressions.problems:
+        result.findings.append(Finding(META_RULE_ID, path, line, message))
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(posix):
+            continue
+        for finding in rule.check(module):
+            if suppressions.suppresses(finding):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    return result
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+    reader: Callable[[Path], str] = lambda p: p.read_text(encoding="utf-8"),
+) -> AnalysisResult:
+    """Analyze every Python file under ``paths``."""
+    result = AnalysisResult()
+    for file_path in iter_python_files(paths):
+        source = reader(file_path)
+        result.extend(analyze_source(source, normalize_path(file_path, root), rules))
+    return result

@@ -1,0 +1,90 @@
+"""Human and JSON reporters for analysis results.
+
+The human reporter prints one ``path:line: RULE message`` per finding —
+the same shape as ``tools/check_format.py`` and every compiler since the
+beginning of time, so editors and CI log scrapers pick the locations up for
+free.  The JSON reporter emits a stable machine-readable document for the CI
+``static-analysis`` job and any future dashboarding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import AnalysisResult, Finding
+
+
+def _counts_by_rule(findings: Sequence[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_human(
+    result: AnalysisResult,
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale_keys: Sequence[str],
+) -> str:
+    """The terminal report: new findings first, then housekeeping notes."""
+    lines = [
+        f"{finding.path}:{finding.line}: {finding.rule} {finding.message}"
+        for finding in sorted(new, key=Finding.sort_key)
+    ]
+    if grandfathered:
+        lines.append(
+            f"note: {len(grandfathered)} grandfathered finding(s) in the baseline "
+            "(run with --show-baselined to list them)"
+        )
+    if stale_keys:
+        lines.append(
+            f"note: {len(stale_keys)} stale baseline entr(ies) no longer match "
+            "anything (--write-baseline prunes them):"
+        )
+        lines.extend(f"  {key}" for key in stale_keys)
+    if result.suppressed:
+        lines.append(f"note: {len(result.suppressed)} finding(s) suppressed inline")
+    summary = (
+        f"{len(new)} new finding(s) in {result.files_checked} file(s)"
+        if new
+        else f"clean: {result.files_checked} file(s), no new findings"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: AnalysisResult,
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale_keys: Sequence[str],
+    baseline: Baseline,
+) -> str:
+    """The machine-readable report (one JSON document, newline-terminated)."""
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "counts": {
+            "new": len(new),
+            "grandfathered": len(grandfathered),
+            "suppressed": len(result.suppressed),
+            "stale_baseline_entries": len(stale_keys),
+        },
+        "counts_by_rule": _counts_by_rule(new),
+        "findings": [finding.to_dict() for finding in sorted(new, key=Finding.sort_key)],
+        "grandfathered": [
+            dict(finding.to_dict(), reason=baseline.entries[finding.key()].reason)
+            for finding in sorted(grandfathered, key=Finding.sort_key)
+        ],
+        "suppressed": [
+            finding.to_dict()
+            for finding in sorted(result.suppressed, key=Finding.sort_key)
+        ],
+        "stale_baseline_keys": list(stale_keys),
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,28 @@
+"""The clap-lint rule catalogue.
+
+Importing this package registers every rule with the framework registry:
+
+* ``RL001`` lock-discipline — attributes written under ``with self._lock``
+  must never be touched outside a locked region (:mod:`.lock_discipline`);
+* ``RL002`` ambient-rng — no module-level ``np.random`` state in ``src/``;
+  seeded :class:`numpy.random.Generator` objects only (:mod:`.ambient_rng`);
+* ``RL003`` dtype-drift — hot-path array constructors need an explicit
+  ``dtype=``, and literal-fed NumPy scalar math silently mints float64
+  scalars that promote float32 buffers (:mod:`.dtype_drift`);
+* ``RL004`` fork-safety — no locks/threads at import time, no lambdas or
+  closures shipped to process workers, no multiprocessing primitives
+  constructed after threads have started (:mod:`.fork_safety`);
+* ``RL005`` swallowed-exception — no bare/empty exception handlers in the
+  serving layer (:mod:`.swallowed_exception`);
+* ``RL006`` module-docstring — every library module under ``src/`` opens
+  with a docstring (:mod:`.docstrings`).
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import == registration)
+    ambient_rng,
+    docstrings,
+    dtype_drift,
+    fork_safety,
+    lock_discipline,
+    swallowed_exception,
+)

@@ -1,0 +1,132 @@
+"""RL002: no ambient ``np.random`` module-level RNG state in the library.
+
+Every equivalence guarantee in this repo — streaming == batch, thread ==
+process pools, columnar == object ingest, backend tolerance gates — rests on
+runs being reproducible from a seed.  The legacy ``np.random.*`` module-level
+API (``np.random.rand``, ``np.random.seed``, ...) draws from one hidden
+global ``RandomState`` that any import can perturb, so a single ambient call
+anywhere in ``src/`` silently invalidates the whole story.  The sanctioned
+pattern is :func:`repro.utils.rng.ensure_rng` / explicitly seeded
+:class:`numpy.random.Generator` objects threaded through call chains.
+
+Allowed on the ``np.random`` namespace:
+
+* type/construction names (``Generator``, ``SeedSequence``, ``BitGenerator``,
+  ``default_rng``, ``PCG64``, ``Philox``, ``SFC64``, ``MT19937``) — these are
+  how seeded generators are made and annotated;
+* ``default_rng`` must be *called with an argument*: ``default_rng()`` seeds
+  from OS entropy, which is exactly the ambient nondeterminism the rule
+  exists to keep out of the library (``ensure_rng(None)`` is the one audited
+  escape hatch, suppressed at its definition).
+
+Scope: ``src/`` only.  Benchmarks, examples and tools own their seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePosixPath
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.rules.common import dotted_name, in_src
+
+ALLOWED_RANDOM_ATTRS = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "RandomState",  # as a *type annotation* target only; calls are flagged
+        "default_rng",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: Rule, module: ModuleContext) -> None:
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+
+    def _random_attr(self, node: ast.AST) -> str | None:
+        name = dotted_name(node)
+        if name is None:
+            return None
+        for prefix in _RANDOM_PREFIXES:
+            if name.startswith(prefix):
+                remainder = name[len(prefix):]
+                return remainder.split(".", 1)[0]
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        attr = self._random_attr(node.func)
+        if attr is not None:
+            if attr == "default_rng" and not node.args and not node.keywords:
+                self.findings.append(
+                    self.module.finding(
+                        self.rule.id,
+                        node.lineno,
+                        "np.random.default_rng() without a seed draws from OS "
+                        "entropy; pass a seed (or use repro.utils.rng.ensure_rng)",
+                        anchor="default_rng:unseeded",
+                    )
+                )
+            elif attr == "RandomState" or attr not in ALLOWED_RANDOM_ATTRS:
+                self.findings.append(
+                    self.module.finding(
+                        self.rule.id,
+                        node.lineno,
+                        f"ambient RNG call np.random.{attr}(...) uses the hidden "
+                        "global state; thread a seeded numpy.random.Generator "
+                        "(repro.utils.rng) through instead",
+                        anchor=f"ambient:{attr}",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self._random_attr(node)
+        if attr is not None and attr not in ALLOWED_RANDOM_ATTRS:
+            self.findings.append(
+                self.module.finding(
+                    self.rule.id,
+                    node.lineno,
+                    f"reference to ambient np.random.{attr}; only seeded "
+                    "Generator objects are allowed in src/",
+                    anchor=f"ambient:{attr}",
+                )
+            )
+            return  # don't double-report the inner chain
+        self.generic_visit(node)
+
+
+@register
+class AmbientRngRule(Rule):
+    """Forbid the global ``np.random`` state inside the library tree."""
+
+    id = "RL002"
+    title = "ambient-rng"
+    description = (
+        "src/ must not touch np.random module-level RNG state; use seeded "
+        "numpy.random.Generator objects (repro.utils.rng)."
+    )
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return in_src(path)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        visitor = _Visitor(self, module)
+        visitor.visit(module.tree)
+        seen: set[tuple[int, str]] = set()
+        for finding in visitor.findings:
+            marker = (finding.line, finding.anchor)
+            if marker not in seen:
+                seen.add(marker)
+                yield finding

@@ -1,0 +1,88 @@
+"""Small AST helpers shared by the rule catalogue."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+
+#: Names a ``numpy`` import is conventionally bound to in this codebase.
+NUMPY_ALIASES = ("np", "numpy")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_self_attribute(node: ast.AST) -> bool:
+    """True for ``self.<attr>``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def call_keyword(call: ast.Call, name: str) -> ast.expr | None:
+    """The value of keyword argument ``name`` on ``call``, if present."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def under_directory(path: PurePosixPath, directory: str) -> bool:
+    """True when ``directory`` appears as a path component of ``path``."""
+    return directory in path.parts
+
+
+def in_src(path: PurePosixPath) -> bool:
+    """True for files in the library tree (``src/``)."""
+    return under_directory(path, "src")
+
+
+class AnchorFactory:
+    """Line-number-free finding anchors: ``base@Enclosing.scope`` + ordinal.
+
+    Baseline keys must survive edits elsewhere in the file, so anchors name
+    the enclosing function/class scope instead of a line; repeated findings
+    with the same base in the same scope get a stable ordinal suffix.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._scopes: dict[int, str] = {}
+        self._counts: dict[str, int] = {}
+
+        def visit(node: ast.AST, scope: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_scope = scope
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    child_scope = f"{scope}.{child.name}" if scope else child.name
+                self._scopes[id(child)] = child_scope
+                visit(child, child_scope)
+
+        visit(tree, "")
+
+    def make(self, node: ast.AST, base: str) -> str:
+        scope = self._scopes.get(id(node), "")
+        key = f"{base}@{scope}" if scope else base
+        ordinal = self._counts.get(key, 0)
+        self._counts[key] = ordinal + 1
+        return f"{key}#{ordinal + 1}" if ordinal else key
+
+
+def is_constant_number(node: ast.AST) -> bool:
+    """True for a literal int/float, including unary ``-``/``+`` of one."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+        and not isinstance(node.value, bool)

@@ -1,0 +1,42 @@
+"""RL006: every library module opens with a module docstring.
+
+Folded in from ``tools/check_format.py`` (which now delegates here) so the
+project has one analysis entry point.  The serving layer grew module by
+module; the docstring is where each one explains its place in the
+architecture, and the gate is what keeps that true for the next module.
+
+Scope: ``src/`` only, and only non-empty files — packages are free to keep
+genuinely empty ``__init__.py`` markers.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePosixPath
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.rules.common import in_src
+
+
+@register
+class ModuleDocstringRule(Rule):
+    """Require a module docstring on every non-empty module under src/."""
+
+    id = "RL006"
+    title = "module-docstring"
+    description = "Library modules under src/ must open with a module docstring."
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return in_src(path)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.source.strip():
+            return
+        if ast.get_docstring(module.tree) is None:
+            yield module.finding(
+                self.id,
+                1,
+                "library module without a module docstring",
+                anchor="module-docstring",
+            )

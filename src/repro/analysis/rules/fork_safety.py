@@ -1,0 +1,196 @@
+"""RL004: keep the process-pool substrate fork-safe.
+
+The sharded runtime forks (POSIX default) one worker per shard.  Three
+classes of latent fork bugs are mechanically visible in the AST:
+
+* **import-time locks/threads** — a ``threading.Lock`` created at module
+  scope is cloned *in whatever state it happens to be in* by ``fork``; a
+  thread started at import time means every later ``fork`` violates the
+  "fork only from a single-threaded moment" rule without anyone choosing
+  to.  Synchronisation primitives must be created per-instance;
+* **lambdas/closures shipped to process workers** — ``Process(target=...)``
+  and pool-submit calls (``submit``, ``apply_async``, ``map_async``,
+  ``starmap_async``, ``imap``) need picklable, module-level callables; a
+  lambda or nested function works under ``fork`` today and explodes under
+  ``spawn`` (macOS default, and any future start-method change);
+* **multiprocessing primitives constructed after threads start** — inside
+  one function body, constructing ``multiprocessing`` queues/locks/processes
+  lexically after a ``threading.Thread(...)`` has been created is the classic
+  deadlock seed: the fork can catch the freshly started thread holding an
+  internal lock (allocator, logging, queue feeder) that the child then
+  blocks on forever.
+
+Scope: ``src/`` (the serving library).  Tests and tools spawn helpers in
+ways the rule's import-time heuristics would misread.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePosixPath
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.rules.common import AnchorFactory, call_keyword, dotted_name, in_src
+
+THREADING_PRIMITIVES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore", "Barrier"}
+)
+MULTIPROCESSING_PRIMITIVES = THREADING_PRIMITIVES | frozenset(
+    {"Queue", "SimpleQueue", "JoinableQueue", "Pipe", "Process", "Pool", "Manager"}
+)
+POOL_SUBMIT_METHODS = frozenset(
+    {"submit", "apply", "apply_async", "map_async", "starmap", "starmap_async", "imap"}
+)
+_MP_ALIASES = ("multiprocessing", "mp")
+
+
+def _import_time_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every node executed at import: module scope incl. class bodies and
+    module-level conditionals, but nothing inside function definitions."""
+    stack: list[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _primitive_call(node: ast.Call) -> str | None:
+    """``threading.Lock`` / ``multiprocessing.Queue`` style dotted callee."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, tail = name.partition(".")
+    if head == "threading" and tail in THREADING_PRIMITIVES | {"Thread"}:
+        return name
+    if head in _MP_ALIASES and tail in MULTIPROCESSING_PRIMITIVES:
+        return name
+    return None
+
+
+def _target_argument(node: ast.Call) -> ast.expr | None:
+    """The worker callable of a Process/Thread construction or pool submit."""
+    name = dotted_name(node.func) or ""
+    tail = name.rsplit(".", 1)[-1]
+    if tail == "Process":
+        target = call_keyword(node, "target")
+        if target is None and node.args:
+            target = node.args[0]
+        return target
+    if tail in POOL_SUBMIT_METHODS and node.args:
+        return node.args[0]
+    return None
+
+
+def _is_process_spawner(node: ast.Call) -> bool:
+    """True when ``node`` hands work to another *process* (not a thread)."""
+    name = dotted_name(node.func) or ""
+    tail = name.rsplit(".", 1)[-1]
+    if tail == "Process":
+        return not name.startswith("threading.")
+    return tail in POOL_SUBMIT_METHODS
+
+
+@register
+class ForkSafetyRule(Rule):
+    """Flag import-time sync primitives and unpicklable process-pool work."""
+
+    id = "RL004"
+    title = "fork-safety"
+    description = (
+        "No locks/threads at import time, no lambdas/closures handed to "
+        "process workers, no multiprocessing primitives built after threads "
+        "start."
+    )
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return in_src(path)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        anchors = AnchorFactory(module.tree)
+        yield from self._check_import_time(module, anchors)
+        yield from self._check_functions(module, anchors)
+
+    # ------------------------------------------------------------ import time
+    def _check_import_time(
+        self, module: ModuleContext, anchors: AnchorFactory
+    ) -> Iterator[Finding]:
+        for node in _import_time_nodes(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _primitive_call(node)
+            if name is None:
+                continue
+            yield module.finding(
+                self.id,
+                node.lineno,
+                f"{name}(...) constructed at import time is inherited by every "
+                "fork in whatever state it is in; create it per instance "
+                "instead",
+                anchor=anchors.make(node, f"import-time:{name}"),
+            )
+
+    # -------------------------------------------------------- function bodies
+    def _check_functions(
+        self, module: ModuleContext, anchors: AnchorFactory
+    ) -> Iterator[Finding]:
+        for func in (
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            nested_defs = {
+                child.name
+                for child in ast.walk(func)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child is not func
+            }
+            thread_lines = [
+                node.lineno
+                for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and dotted_name(node.func) == "threading.Thread"
+            ]
+            first_thread_line = min(thread_lines) if thread_lines else None
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func) or ""
+                if _is_process_spawner(node):
+                    target = _target_argument(node)
+                    if isinstance(target, ast.Lambda):
+                        yield module.finding(
+                            self.id,
+                            target.lineno,
+                            "lambda handed to a process worker is not picklable "
+                            "under the spawn start method; use a module-level "
+                            "function",
+                            anchor=anchors.make(target, "lambda-target"),
+                        )
+                    elif isinstance(target, ast.Name) and target.id in nested_defs:
+                        yield module.finding(
+                            self.id,
+                            target.lineno,
+                            f"nested function {target.id!r} handed to a process "
+                            "worker is not picklable under the spawn start "
+                            "method; hoist it to module level",
+                            anchor=anchors.make(target, f"closure-target:{target.id}"),
+                        )
+                head, _, tail = name.partition(".")
+                if (
+                    head in _MP_ALIASES
+                    and tail in MULTIPROCESSING_PRIMITIVES
+                    and first_thread_line is not None
+                    and node.lineno > first_thread_line
+                ):
+                    yield module.finding(
+                        self.id,
+                        node.lineno,
+                        f"{name}(...) constructed after threading.Thread(...) on "
+                        f"line {first_thread_line}; a fork here can inherit a "
+                        "lock the new thread holds — create multiprocessing "
+                        "primitives before any thread starts",
+                        anchor=anchors.make(node, f"mp-after-thread:{tail}"),
+                    )

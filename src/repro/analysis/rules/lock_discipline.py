@@ -1,0 +1,182 @@
+"""RL001: attributes written under a lock must always be accessed under it.
+
+The serving layer's concurrency contract is lock-per-structure: worker
+threads mutate shared state (metrics counters, dispatch accounting) only
+inside ``with self._lock`` regions.  PR 5 fixed exactly the bug this rule
+mechanises: ``StreamingMetrics.render()`` iterated the live flush-latency
+histogram without the lock while workers were observing into it.
+
+The analysis is per class:
+
+1. **Lock discovery** — every ``with self.<attr>`` where the attribute name
+   contains ``lock`` marks ``<attr>`` as a lock of the class.
+2. **Guard discovery** — an attribute assigned (``self.x = ...``,
+   ``self.x += ...``) or element-assigned (``self.x[i] = ...``,
+   ``self.x[i] += ...``) inside a locked region is *guarded*.
+3. **Enforcement** — any access to a guarded attribute outside a locked
+   region is a finding, unless the enclosing method is exempt:
+   ``__init__``/``__post_init__``/``__new__``/``__del__`` (the object is not
+   shared yet / no longer shared), or a method whose docstring documents the
+   caller as holding the lock (it contains ``caller-locked`` or
+   ``caller must hold``).
+
+Nested functions and lambdas defined inside a locked region run at an
+unknown later time, so the analysis treats their bodies as *unlocked* —
+handing a closure over guarded state to someone else is exactly how these
+races escape review.  Method *calls* on a guarded attribute count as
+accesses (the attribute load is the access); calls on unguarded attributes
+are not treated as writes, so thread-safe members (queues, events) stay
+usable without ceremony.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.rules.common import is_self_attribute
+
+EXEMPT_METHODS = ("__init__", "__post_init__", "__new__", "__del__")
+CALLER_LOCKED_MARKERS = ("caller-locked", "caller must hold")
+
+
+def _lock_item_name(item: ast.withitem, lock_names: set[str]) -> str | None:
+    expr = item.context_expr
+    if is_self_attribute(expr) and (
+        "lock" in expr.attr.lower() or expr.attr in lock_names
+    ):
+        return expr.attr
+    return None
+
+
+class _Access:
+    """One ``self.<attr>`` touch: where, how, and under which lock state."""
+
+    __slots__ = ("attr", "line", "locked", "is_write", "method")
+
+    def __init__(self, attr: str, line: int, locked: bool, is_write: bool, method: str):
+        self.attr = attr
+        self.line = line
+        self.locked = locked
+        self.is_write = is_write
+        self.method = method
+
+
+def _is_caller_locked(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    docstring = ast.get_docstring(func) or ""
+    lowered = docstring.lower()
+    return any(marker in lowered for marker in CALLER_LOCKED_MARKERS)
+
+
+def _collect_lock_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if is_self_attribute(expr) and "lock" in expr.attr.lower():
+                    names.add(expr.attr)
+    return names
+
+
+def _scan_method(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    lock_names: set[str],
+    accesses: list[_Access],
+) -> None:
+    """Record every ``self.<attr>`` access in ``func`` with its lock state."""
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquires = any(_lock_item_name(item, lock_names) for item in node.items)
+            for item in node.items:
+                visit(item.context_expr, locked)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, locked)
+            for child in node.body:
+                visit(child, locked or acquires)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A closure runs later, when the lock is long released.
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                visit(child, False)
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # a nested class is its own analysis unit
+        if isinstance(node, ast.Attribute) and is_self_attribute(node):
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            accesses.append(_Access(node.attr, node.lineno, locked, is_write, func.name))
+        elif (
+            isinstance(node, ast.Subscript)
+            and is_self_attribute(node.value)
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+        ):
+            # self.x[i] = ... / += ... mutates x even though x itself is only
+            # loaded; record the element write explicitly, then fall through
+            # so the inner Attribute is also recorded as a plain access.
+            accesses.append(
+                _Access(node.value.attr, node.lineno, locked, True, func.name)
+            )
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for statement in func.body:
+        visit(statement, False)
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Flag unlocked accesses to attributes that are written under a lock."""
+
+    id = "RL001"
+    title = "lock-discipline"
+    description = (
+        "An attribute ever written inside `with self.<lock>` must only be "
+        "accessed inside a locked region or a method documented as "
+        "caller-locked."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for cls in (n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)):
+            lock_names = _collect_lock_names(cls)
+            if not lock_names:
+                continue
+            methods = [
+                node
+                for node in cls.body
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            accesses: list[_Access] = []
+            exempt = {
+                method.name
+                for method in methods
+                if method.name in EXEMPT_METHODS or _is_caller_locked(method)
+            }
+            for method in methods:
+                _scan_method(method, lock_names, accesses)
+            guarded = {
+                access.attr
+                for access in accesses
+                if access.is_write
+                and access.locked
+                and access.attr not in lock_names
+            }
+            if not guarded:
+                continue
+            lock_label = "/".join(f"self.{name}" for name in sorted(lock_names))
+            for access in accesses:
+                if access.attr not in guarded or access.locked:
+                    continue
+                if access.method in exempt:
+                    continue
+                verb = "written" if access.is_write else "read"
+                yield module.finding(
+                    self.id,
+                    access.line,
+                    f"self.{access.attr} is guarded by {lock_label} but {verb} "
+                    f"here without holding it; take the lock or document "
+                    f"{access.method}() as caller-locked",
+                    anchor=f"{cls.name}.{access.method}:{access.attr}",
+                )

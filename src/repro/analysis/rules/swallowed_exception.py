@@ -1,0 +1,108 @@
+"""RL005: no silently swallowed exceptions in the serving layer.
+
+The streaming runtime's whole liveness story (PR 5's dead-worker handshake,
+barrier releases on failure, pool teardown on mid-stream errors) exists
+because a swallowed exception in a worker loop does not crash — it *wedges*:
+queues fill, barriers never release, and the process serves nothing while
+looking alive.  In ``src/repro/serve/`` an exception may be translated,
+recorded, or deliberately traded away with a written justification — but
+never dropped by reflex.
+
+Flagged:
+
+* a bare ``except:`` (catches ``SystemExit``/``KeyboardInterrupt`` too);
+* ``except Exception`` / ``except BaseException`` whose handler body does
+  nothing (only ``pass``/``...``/a docstring);
+* ``contextlib.suppress(Exception)`` / ``suppress(BaseException)`` — the
+  same reflex wearing a context manager (and the reason ruff's SIM105
+  rewrite is disabled in this repo: it would hide these sites from the rule).
+
+A genuinely intended drop carries ``# clap-lint: allow[RL005] reason=...``
+on the ``except`` line — the review-visible justification is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePosixPath
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.rules.common import AnchorFactory, dotted_name, under_directory
+
+BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_empty_body(body: list[ast.stmt]) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+def _broad_handler_name(handler: ast.ExceptHandler) -> str | None:
+    node = handler.type
+    if node is None:
+        return ""  # bare except
+    names = node.elts if isinstance(node, ast.Tuple) else [node]
+    for name_node in names:
+        name = dotted_name(name_node) or ""
+        if name.rsplit(".", 1)[-1] in BROAD_EXCEPTION_NAMES:
+            return name
+    return None
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """Flag exception handlers that drop errors on the floor in serve/."""
+
+    id = "RL005"
+    title = "swallowed-exception"
+    description = (
+        "serve/ must not contain bare excepts, empty broad handlers, or "
+        "contextlib.suppress(Exception) — wedge hazards under load."
+    )
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        return under_directory(path, "serve")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        anchors = AnchorFactory(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                broad = _broad_handler_name(node)
+                if broad == "":
+                    yield module.finding(
+                        self.id,
+                        node.lineno,
+                        "bare except: catches SystemExit/KeyboardInterrupt and "
+                        "hides worker death; name the exception type",
+                        anchor=anchors.make(node, "bare-except"),
+                    )
+                elif broad is not None and _is_empty_body(node.body):
+                    yield module.finding(
+                        self.id,
+                        node.lineno,
+                        f"except {broad}: pass swallows every error — a wedged "
+                        "shard instead of a crashed one; handle, translate, or "
+                        "justify with clap-lint allow",
+                        anchor=anchors.make(node, f"swallow:{broad}"),
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                if name.rsplit(".", 1)[-1] == "suppress":
+                    for arg in node.args:
+                        arg_name = dotted_name(arg) or ""
+                        if arg_name.rsplit(".", 1)[-1] in BROAD_EXCEPTION_NAMES:
+                            yield module.finding(
+                                self.id,
+                                node.lineno,
+                                f"contextlib.suppress({arg_name}) swallows every "
+                                "error; suppress specific exception types or "
+                                "justify with clap-lint allow",
+                                anchor=anchors.make(node, f"suppress:{arg_name}"),
+                            )
+                            break

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class AttackStrategy:
         return f"{self.name} ({self.source.citation})"
 
 
-_REGISTRY: Dict[str, AttackStrategy] = {}
+_REGISTRY: dict[str, AttackStrategy] = {}
 
 
 def register_strategy(strategy: AttackStrategy) -> AttackStrategy:
@@ -111,18 +111,18 @@ def _ensure_catalog_loaded() -> None:
     from repro.attacks import geneva, liberate, symtcp  # noqa: F401
 
 
-def all_strategies() -> List[AttackStrategy]:
+def all_strategies() -> list[AttackStrategy]:
     """Every registered strategy, sorted by (source, name)."""
     _ensure_catalog_loaded()
     return sorted(_REGISTRY.values(), key=lambda s: (s.source.value, s.name))
 
 
-def strategies_by_source(source: AttackSource) -> List[AttackStrategy]:
+def strategies_by_source(source: AttackSource) -> list[AttackStrategy]:
     """All strategies taken from ``source``."""
     return [s for s in all_strategies() if s.source is source]
 
 
-def strategies_by_category(category: ContextCategory) -> List[AttackStrategy]:
+def strategies_by_category(category: ContextCategory) -> list[AttackStrategy]:
     """All strategies whose primary violation is ``category``."""
     return [s for s in all_strategies() if s.category is category]
 
@@ -136,5 +136,5 @@ def get_strategy(name: str) -> AttackStrategy:
         raise KeyError(f"unknown attack strategy {name!r}") from None
 
 
-def strategy_names() -> List[str]:
+def strategy_names() -> list[str]:
     return [s.name for s in all_strategies()]

@@ -14,7 +14,7 @@ labelling from Figures 9/12 and Table 8.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ produces those adversarial populations and keeps the localisation ground truth
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.attacks.base import AttackStrategy, all_strategies
 from repro.netstack.flow import Connection
@@ -24,7 +24,7 @@ class AdversarialConnection:
 
     connection: Connection
     strategy_name: str
-    injected_indices: List[int] = field(default_factory=list)
+    injected_indices: list[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.injected_indices:
@@ -36,11 +36,11 @@ class AttackDataset:
     """Benign and adversarial connections for one strategy."""
 
     strategy: AttackStrategy
-    benign: List[Connection]
-    adversarial: List[AdversarialConnection]
+    benign: list[Connection]
+    adversarial: list[AdversarialConnection]
 
     @property
-    def adversarial_connections(self) -> List[Connection]:
+    def adversarial_connections(self) -> list[Connection]:
         return [item.connection for item in self.adversarial]
 
 
@@ -61,7 +61,7 @@ class AttackInjector:
 
     def attack_connections(
         self, strategy: AttackStrategy, connections: Sequence[Connection]
-    ) -> List[AdversarialConnection]:
+    ) -> list[AdversarialConnection]:
         """Adversarial counterparts for a list of benign connections."""
         return [self.attack_connection(strategy, connection) for connection in connections]
 
@@ -70,7 +70,7 @@ class AttackInjector:
         strategy: AttackStrategy,
         benign_connections: Sequence[Connection],
         *,
-        max_connections: Optional[int] = None,
+        max_connections: int | None = None,
     ) -> AttackDataset:
         """Build the benign/adversarial pair of populations for one strategy."""
         benign = list(benign_connections)
@@ -83,9 +83,9 @@ class AttackInjector:
         self,
         benign_connections: Sequence[Connection],
         *,
-        strategies: Optional[Sequence[AttackStrategy]] = None,
-        max_connections: Optional[int] = None,
-    ) -> Dict[str, AttackDataset]:
+        strategies: Sequence[AttackStrategy] | None = None,
+        max_connections: int | None = None,
+    ) -> dict[str, AttackDataset]:
         """Datasets for every (or a chosen subset of) registered strategy."""
         strategies = list(strategies) if strategies is not None else all_strategies()
         return {

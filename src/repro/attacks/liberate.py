@@ -15,7 +15,7 @@ data offset, low TTL, garbled checksum, ...).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

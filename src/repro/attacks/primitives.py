@@ -15,7 +15,6 @@ evaluation harness knows the ground-truth position of the attack vector.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 
@@ -38,7 +37,7 @@ from repro.tcpstate.window import seq_add
 # ---------------------------------------------------------------------------
 
 
-def state_trace(connection: Connection) -> List[MasterState]:
+def state_trace(connection: Connection) -> list[MasterState]:
     """Per-packet master state according to the reference tracker."""
     machine = ConntrackMachine()
     return [machine.process(packet).state_after for packet in connection.packets]
@@ -56,7 +55,7 @@ def handshake_completion_index(connection: Connection) -> int:
     return min(2, max(len(connection.packets) - 1, 0))
 
 
-def synack_index(connection: Connection) -> Optional[int]:
+def synack_index(connection: Connection) -> int | None:
     """Index of the server's SYN-ACK (i.e. the packet entering SYN_RECV)."""
     for index, packet in enumerate(connection.packets):
         if packet.tcp.is_syn and packet.tcp.is_ack and packet.direction is Direction.SERVER_TO_CLIENT:
@@ -65,8 +64,8 @@ def synack_index(connection: Connection) -> Optional[int]:
 
 
 def data_packet_indices(
-    connection: Connection, direction: Optional[Direction] = Direction.CLIENT_TO_SERVER
-) -> List[int]:
+    connection: Connection, direction: Direction | None = Direction.CLIENT_TO_SERVER
+) -> list[int]:
     """Indices of payload-carrying packets (optionally of one direction)."""
     indices = []
     for index, packet in enumerate(connection.packets):
@@ -78,7 +77,7 @@ def data_packet_indices(
     return indices
 
 
-def matching_packet_indices(connection: Connection, count: int) -> List[int]:
+def matching_packet_indices(connection: Connection, count: int) -> list[int]:
     """The first ``count`` data packets after the handshake (lib-erate style).
 
     These model the "matching packets" a DPI-based traffic classifier would
@@ -98,7 +97,7 @@ def matching_packet_indices(connection: Connection, count: int) -> List[int]:
 
 def _last_packet_of_direction(
     connection: Connection, direction: Direction, before_index: int
-) -> Optional[Packet]:
+) -> Packet | None:
     for packet in reversed(connection.packets[: before_index + 1]):
         if packet.direction is direction:
             return packet
@@ -131,8 +130,8 @@ def craft_packet(
     flags: int,
     *,
     payload: bytes = b"",
-    seq: Optional[int] = None,
-    ack: Optional[int] = None,
+    seq: int | None = None,
+    ack: int | None = None,
 ) -> Packet:
     """Craft a packet consistent with the connection state at ``at_index``.
 

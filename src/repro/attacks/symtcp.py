@@ -16,7 +16,7 @@ Each strategy targets the connection position the original attack requires
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -50,7 +50,7 @@ Corruption = Callable[[Packet, np.random.Generator], Packet]
 # ---------------------------------------------------------------------------
 
 
-def _first_client_data_index(connection: Connection) -> Optional[int]:
+def _first_client_data_index(connection: Connection) -> int | None:
     indices = data_packet_indices(connection, Direction.CLIENT_TO_SERVER)
     if indices:
         return indices[0]

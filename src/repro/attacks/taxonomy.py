@@ -18,7 +18,7 @@ Two views are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from collections.abc import Mapping
 
 from repro.attacks.base import AttackSource, AttackStrategy, ContextCategory, all_strategies
 
@@ -40,7 +40,7 @@ class TaxonomyEntry:
         return self.auc_clap - self.auc_baseline1
 
 
-def declared_taxonomy() -> List[TaxonomyEntry]:
+def declared_taxonomy() -> list[TaxonomyEntry]:
     """The paper-declared (Table 8) categorisation of every strategy."""
     return [
         TaxonomyEntry(strategy_name=s.name, source=s.source, category=s.category)
@@ -57,14 +57,14 @@ def categorize_from_auc(
     auc_baseline1: Mapping[str, float],
     *,
     threshold: float = DEFAULT_INTER_THRESHOLD,
-) -> List[TaxonomyEntry]:
+) -> list[TaxonomyEntry]:
     """Apply the paper's TH_inter rule to measured per-strategy AUC values.
 
     ``auc_clap`` and ``auc_baseline1`` map strategy name to AUC-ROC.  Only
     strategies present in both mappings are categorised.
     """
-    by_name: Dict[str, AttackStrategy] = {s.name: s for s in all_strategies()}
-    entries: List[TaxonomyEntry] = []
+    by_name: dict[str, AttackStrategy] = {s.name: s for s in all_strategies()}
+    entries: list[TaxonomyEntry] = []
     for name, clap_value in auc_clap.items():
         if name not in auc_baseline1 or name not in by_name:
             continue
@@ -86,7 +86,7 @@ def categorize_from_auc(
     return entries
 
 
-def taxonomy_counts(entries: List[TaxonomyEntry]) -> Dict[ContextCategory, int]:
+def taxonomy_counts(entries: list[TaxonomyEntry]) -> dict[ContextCategory, int]:
     """Count entries per category (the paper reports 24-27 inter / 49 intra)."""
     counts = {ContextCategory.INTER_PACKET: 0, ContextCategory.INTRA_PACKET: 0}
     for entry in entries:

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
 
 
 @dataclass
@@ -58,7 +57,7 @@ class IncStat:
     def std(self) -> float:
         return math.sqrt(self.variance)
 
-    def stats(self) -> Tuple[float, float, float]:
+    def stats(self) -> tuple[float, float, float]:
         """(weight, mean, std) — the 1D feature triple."""
         return self.weight, self.mean, self.std
 
@@ -119,7 +118,7 @@ class IncStatCov:
             return 0.0
         return self.covariance / denominator
 
-    def stats_2d(self) -> Tuple[float, float, float, float]:
+    def stats_2d(self) -> tuple[float, float, float, float]:
         """(magnitude, radius, covariance, correlation) — the 2D feature tuple."""
         return self.magnitude, self.radius, self.covariance, self.correlation
 
@@ -127,10 +126,10 @@ class IncStatCov:
 class StreamStatistics:
     """Registry of damped statistics keyed by (entity, decay)."""
 
-    def __init__(self, decays: Tuple[float, ...]) -> None:
+    def __init__(self, decays: tuple[float, ...]) -> None:
         self.decays = decays
-        self._one_dimensional: Dict[Tuple[str, float], IncStat] = {}
-        self._two_dimensional: Dict[Tuple[str, float], IncStatCov] = {}
+        self._one_dimensional: dict[tuple[str, float], IncStat] = {}
+        self._two_dimensional: dict[tuple[str, float], IncStatCov] = {}
 
     def one_dimensional(self, key: str, decay: float) -> IncStat:
         registry_key = (key, decay)

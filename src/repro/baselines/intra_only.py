@@ -10,13 +10,12 @@ violations such as injected pure RSTs.
 from __future__ import annotations
 
 import copy
-from typing import Optional
 
 from repro.core.config import ClapConfig
 from repro.core.pipeline import Clap
 
 
-def baseline1_config(base: Optional[ClapConfig] = None) -> ClapConfig:
+def baseline1_config(base: ClapConfig | None = None) -> ClapConfig:
     """Derive the Baseline #1 configuration from a CLAP configuration.
 
     The input configuration is never mutated; a deep copy is returned.
@@ -40,5 +39,5 @@ class IntraPacketBaseline(Clap):
     call over the concatenated single-packet profiles.
     """
 
-    def __init__(self, config: Optional[ClapConfig] = None) -> None:
+    def __init__(self, config: ClapConfig | None = None) -> None:
         super().__init__(baseline1_config(config))

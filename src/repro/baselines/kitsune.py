@@ -16,7 +16,7 @@ feature design, not just any autoencoder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.netstack.packet import Packet
 from repro.nn.autoencoder import Autoencoder
 from repro.utils.rng import ensure_rng
 
-DEFAULT_DECAYS: Tuple[float, ...] = (5.0, 3.0, 1.0, 0.1, 0.01)
+DEFAULT_DECAYS: tuple[float, ...] = (5.0, 3.0, 1.0, 0.1, 0.01)
 FEATURES_PER_DECAY = 20
 NUM_KITSUNE_FEATURES = FEATURES_PER_DECAY * len(DEFAULT_DECAYS)  # 100 (Table 6)
 
@@ -36,7 +36,7 @@ class KitsuneFeatureExtractor:
 
     feature_count = NUM_KITSUNE_FEATURES
 
-    def __init__(self, decays: Tuple[float, ...] = DEFAULT_DECAYS) -> None:
+    def __init__(self, decays: tuple[float, ...] = DEFAULT_DECAYS) -> None:
         self.decays = decays
         self.streams = StreamStatistics(decays)
 
@@ -116,7 +116,7 @@ class KitsuneFeatureExtractor:
 class FeatureMapping:
     """Groups of feature indices produced by the feature mapper."""
 
-    clusters: List[List[int]]
+    clusters: list[list[int]]
 
     @property
     def max_cluster_size(self) -> int:
@@ -147,7 +147,7 @@ class FeatureMapper:
         cluster_count = max(width // self.max_cluster_size, 1)
         while cluster_count <= width:
             assignment = fcluster(tree, t=cluster_count, criterion="maxclust")
-            clusters: Dict[int, List[int]] = {}
+            clusters: dict[int, list[int]] = {}
             for index, cluster_id in enumerate(assignment):
                 clusters.setdefault(int(cluster_id), []).append(index)
             if max(len(members) for members in clusters.values()) <= self.max_cluster_size:
@@ -180,11 +180,11 @@ class KitsuneDetector:
         self.learning_rate = learning_rate
         self.epochs = epochs
         self.seed = seed
-        self.mapping: Optional[FeatureMapping] = None
-        self.ensemble: List[Autoencoder] = []
-        self.output_layer: Optional[Autoencoder] = None
-        self.feature_min: Optional[np.ndarray] = None
-        self.feature_max: Optional[np.ndarray] = None
+        self.mapping: FeatureMapping | None = None
+        self.ensemble: list[Autoencoder] = []
+        self.output_layer: Autoencoder | None = None
+        self.feature_min: np.ndarray | None = None
+        self.feature_max: np.ndarray | None = None
 
     # ----------------------------------------------------------------- helpers
     def _normalize(self, features: np.ndarray) -> np.ndarray:
@@ -195,7 +195,7 @@ class KitsuneDetector:
     def _ensemble_errors(self, normalized: np.ndarray) -> np.ndarray:
         """Per-packet RMSE of every ensemble member (n, num_clusters)."""
         errors = np.zeros((normalized.shape[0], len(self.ensemble)))
-        for position, (autoencoder, cluster) in enumerate(zip(self.ensemble, self.mapping.clusters)):
+        for position, (autoencoder, cluster) in enumerate(zip(self.ensemble, self.mapping.clusters, strict=True)):
             errors[:, position] = autoencoder.reconstruction_error(normalized[:, cluster])
         return errors
 

@@ -23,7 +23,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.attacks.base import all_strategies, get_strategy
 from repro.attacks.injector import AttackInjector
@@ -226,7 +226,7 @@ def command_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_model(path: Path, backend: Optional[str] = None) -> Optional[Clap]:
+def _load_model(path: Path, backend: str | None = None) -> Clap | None:
     """Load a persisted model, rendering artifact problems as clean errors.
 
     ``backend`` converts the pipeline to an alternative serving backend
@@ -411,7 +411,7 @@ _COMMANDS = {
 }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)

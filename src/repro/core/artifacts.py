@@ -33,7 +33,6 @@ import dataclasses
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
 
 from repro.core.config import AutoencoderConfig, ClapConfig, DetectorConfig, RnnConfig
 from repro.features.schema import all_feature_specs
@@ -68,7 +67,7 @@ def build_manifest(
     threshold: float,
     *,
     backend: str = DEFAULT_SEQUENCE_BACKEND,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """The manifest dictionary for a trained pipeline."""
     return {
         "format": MANIFEST_FORMAT,
@@ -82,7 +81,7 @@ def build_manifest(
 
 
 def write_manifest(
-    directory: Union[str, Path],
+    directory: str | Path,
     config: ClapConfig,
     threshold: float,
     *,
@@ -98,7 +97,7 @@ def write_manifest(
     return path
 
 
-def read_manifest(directory: Union[str, Path]) -> Optional[Dict[str, object]]:
+def read_manifest(directory: str | Path) -> dict[str, object] | None:
     """The parsed manifest found in ``directory``, or ``None`` for legacy models."""
     path = Path(directory) / MANIFEST_FILENAME
     if not path.exists():
@@ -112,7 +111,7 @@ def read_manifest(directory: Union[str, Path]) -> Optional[Dict[str, object]]:
     return manifest
 
 
-def validate_manifest(manifest: Dict[str, object]) -> None:
+def validate_manifest(manifest: dict[str, object]) -> None:
     """Raise :class:`ModelManifestError` unless this build can load ``manifest``."""
     format_name = manifest.get("format", MANIFEST_FORMAT)
     if format_name != MANIFEST_FORMAT:
@@ -134,7 +133,7 @@ def validate_manifest(manifest: Dict[str, object]) -> None:
         )
 
 
-def backend_from_manifest(manifest: Dict[str, object]) -> str:
+def backend_from_manifest(manifest: dict[str, object]) -> str:
     """The sequence-backend name a manifest records.
 
     Schema-version-1 manifests predate pluggable backends and always mean the
@@ -154,7 +153,7 @@ def _dataclass_from(cls, data: object):
     return cls(**{key: value for key, value in data.items() if key in known})
 
 
-def config_from_manifest(manifest: Dict[str, object]) -> ClapConfig:
+def config_from_manifest(manifest: dict[str, object]) -> ClapConfig:
     """Reconstruct the full :class:`ClapConfig` recorded in a manifest."""
     config = manifest.get("config")
     if not isinstance(config, dict):

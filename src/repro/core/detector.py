@@ -14,7 +14,7 @@ Stage-(c) autoencoder over the sliding stacked profiles), this module computes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -163,7 +163,7 @@ def window_center_packet(window_index: int, stack_length: int, packet_count: int
 
 def localized_packets(
     window_errors: np.ndarray, stack_length: int, packet_count: int, top_n: int = 1
-) -> List[int]:
+) -> list[int]:
     """Packet indices implied by the ``top_n`` highest-error windows."""
     if window_errors.size == 0 or packet_count == 0:
         return []
@@ -223,7 +223,7 @@ class Verdicts:
 
     def verdict_batch(
         self, errors: np.ndarray, offsets: np.ndarray, packet_counts: Sequence[int]
-    ) -> List[ConnectionVerdict]:
+    ) -> list[ConnectionVerdict]:
         """Segment-wise verdicts over concatenated per-window errors.
 
         Scores, localisations and decisions are computed for all segments with

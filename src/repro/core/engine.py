@@ -27,7 +27,7 @@ the seed, while any *given* trained model scores identically either way.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -97,7 +97,7 @@ class BatchInferenceEngine:
 
     def window_errors(
         self, connections: Sequence[Connection]
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Concatenated per-window errors, window offsets and packet counts.
 
         Inputs larger than ``connection_chunk`` are processed in slices —
@@ -125,7 +125,7 @@ class BatchInferenceEngine:
             np.concatenate(count_parts),
         )
 
-    def window_error_segments(self, connections: Sequence[Connection]) -> List[np.ndarray]:
+    def window_error_segments(self, connections: Sequence[Connection]) -> list[np.ndarray]:
         """Per-connection reconstruction-error arrays (batched computation)."""
         errors, offsets, _ = self.window_errors(connections)
         return [
@@ -140,7 +140,7 @@ class BatchInferenceEngine:
 
     def verdicts(
         self, connections: Sequence[Connection], threshold: float
-    ) -> List[ConnectionVerdict]:
+    ) -> list[ConnectionVerdict]:
         """Full Stage-(d) verdicts (score, decision, localisation) per connection."""
         errors, offsets, packet_counts = self.window_errors(connections)
         verdicts = Verdicts(
@@ -152,7 +152,7 @@ class BatchInferenceEngine:
 
     def detect(
         self, connections: Sequence[Connection], threshold: float, top_n: int = 1
-    ) -> List[DetectionResult]:
+    ) -> list[DetectionResult]:
         """Unified Stage-(d) results for the whole batch in one engine pass.
 
         One batched window-error computation feeds the segment-wise score,
@@ -167,7 +167,7 @@ class BatchInferenceEngine:
         stack_length = self.detector_config.stack_length
         if top_n == 1:
             centers = window_center_packet_batch(windows, stack_length, packet_counts)
-            localizations: List[Tuple[int, ...]] = [
+            localizations: list[tuple[int, ...]] = [
                 (int(center),) if center >= 0 else () for center in centers
             ]
         else:
@@ -197,7 +197,7 @@ class BatchInferenceEngine:
 
     def localize(
         self, connections: Sequence[Connection], top_n: int = 1
-    ) -> List[List[int]]:
+    ) -> list[list[int]]:
         """Packet indices of the ``top_n`` most suspicious positions per connection.
 
         The window errors come from one batched pass; the final ranking per

@@ -28,7 +28,7 @@ benign jitter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -96,9 +96,9 @@ class EquivalenceReport:
     count: int
     max_abs_delta: float
     max_excess: float  # max(|delta| - bound); <= 0 when all scores pass
-    score_violations: List[int] = field(default_factory=list)
-    verdict_flips: List[int] = field(default_factory=list)  # outside the band
-    band_flips: List[int] = field(default_factory=list)  # inside the band (allowed)
+    score_violations: list[int] = field(default_factory=list)
+    verdict_flips: list[int] = field(default_factory=list)  # outside the band
+    band_flips: list[int] = field(default_factory=list)  # inside the band (allowed)
 
     @property
     def passed(self) -> bool:
@@ -119,7 +119,7 @@ def score_equivalence_report(
     candidate_scores: np.ndarray,
     *,
     tolerance: EquivalenceTolerance,
-    threshold: Optional[float] = None,
+    threshold: float | None = None,
 ) -> EquivalenceReport:
     """Compare score vectors under ``tolerance`` (and verdicts, if thresholded)."""
     reference_scores = np.asarray(reference_scores, dtype=np.float64)
@@ -134,8 +134,8 @@ def score_equivalence_report(
     excess = delta - bound
     violations = np.flatnonzero(excess > 0)
 
-    flips: List[int] = []
-    band_flips: List[int] = []
+    flips: list[int] = []
+    band_flips: list[int] = []
     if threshold is not None:
         ref_verdicts = reference_scores > threshold
         cand_verdicts = candidate_scores > threshold
@@ -165,7 +165,7 @@ def backend_equivalence_report(
     connections: Sequence,
     *,
     tolerance: EquivalenceTolerance,
-    threshold: Optional[float] = None,
+    threshold: float | None = None,
 ) -> EquivalenceReport:
     """Score ``connections`` through both pipelines and compare.
 
@@ -189,7 +189,7 @@ def assert_backend_equivalence(
     connections: Sequence,
     *,
     tolerance: EquivalenceTolerance,
-    threshold: Optional[float] = None,
+    threshold: float | None = None,
 ) -> EquivalenceReport:
     """:func:`backend_equivalence_report`, raising loudly on gate violations."""
     report = backend_equivalence_report(

@@ -20,7 +20,7 @@ from __future__ import annotations
 import copy
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -59,8 +59,8 @@ from repro.utils.rng import ensure_rng
 class ClapTrainingReport:
     """Summary of a full CLAP training run."""
 
-    rnn: Optional[RnnTrainingReport]
-    autoencoder_loss_history: List[float]
+    rnn: RnnTrainingReport | None
+    autoencoder_loss_history: list[float]
     profile_size: int
     stacked_profile_size: int
     training_profiles: int
@@ -76,14 +76,14 @@ class Clap:
     :mod:`repro.baselines.intra_only`.
     """
 
-    def __init__(self, config: Optional[ClapConfig] = None) -> None:
+    def __init__(self, config: ClapConfig | None = None) -> None:
         self.config = config or ClapConfig()
-        self.rnn_stage: Optional[RnnStage] = None
-        self.autoencoder: Optional[Autoencoder] = None
-        self.builder: Optional[ContextProfileBuilder] = None
+        self.rnn_stage: RnnStage | None = None
+        self.autoencoder: Autoencoder | None = None
+        self.builder: ContextProfileBuilder | None = None
         self.threshold: float = 0.0
-        self.report: Optional[ClapTrainingReport] = None
-        self._engine: Optional[BatchInferenceEngine] = None
+        self.report: ClapTrainingReport | None = None
+        self._engine: BatchInferenceEngine | None = None
 
     # -------------------------------------------------------------- training
     def fit(
@@ -96,8 +96,8 @@ class Clap:
         """Train the full pipeline on benign connections only."""
         self._engine = None
         detector_config = self.config.detector
-        rnn_report: Optional[RnnTrainingReport] = None
-        rnn_model: Optional[GRUSequenceClassifier] = None
+        rnn_report: RnnTrainingReport | None = None
+        rnn_model: GRUSequenceClassifier | None = None
 
         if detector_config.include_gate_weights:
             self.rnn_stage = RnnStage(self.config.rnn)
@@ -248,7 +248,7 @@ class Clap:
             return np.zeros(0)
         return self.autoencoder.reconstruction_error(stacked)
 
-    def window_error_segments(self, connections: Sequence[Connection]) -> List[np.ndarray]:
+    def window_error_segments(self, connections: Sequence[Connection]) -> list[np.ndarray]:
         """Per-connection window errors for many connections (batched)."""
         return self.engine.window_error_segments(connections)
 
@@ -270,7 +270,7 @@ class Clap:
         """
         return np.array([self.score_connection(connection) for connection in connections])
 
-    def verdict(self, connection: Connection, threshold: Optional[float] = None) -> ConnectionVerdict:
+    def verdict(self, connection: Connection, threshold: float | None = None) -> ConnectionVerdict:
         """Full Stage-(d) output: score, boolean decision and localisation."""
         self._require_fitted()
         errors = self.window_errors(connection)
@@ -282,8 +282,8 @@ class Clap:
         return verdicts.verdict(errors, packet_count=len(connection))
 
     def verdict_batch(
-        self, connections: Sequence[Connection], threshold: Optional[float] = None
-    ) -> List[ConnectionVerdict]:
+        self, connections: Sequence[Connection], threshold: float | None = None
+    ) -> list[ConnectionVerdict]:
         """Stage-(d) verdicts for many connections in one engine pass."""
         return self.engine.verdicts(
             connections, self.threshold if threshold is None else threshold
@@ -294,7 +294,7 @@ class Clap:
         self,
         connection: Connection,
         *,
-        threshold: Optional[float] = None,
+        threshold: float | None = None,
         top_n: int = 1,
     ) -> DetectionResult:
         """Unified Stage-(d) result for one connection (sequential reference).
@@ -336,14 +336,14 @@ class Clap:
         self,
         connections: Sequence[Connection],
         *,
-        threshold: Optional[float] = None,
+        threshold: float | None = None,
         top_n: int = 1,
-    ) -> List[DetectionResult]:
+    ) -> list[DetectionResult]:
         """Unified Stage-(d) results for many connections in one engine pass."""
         limit = self.threshold if threshold is None else threshold
         return self.engine.detect(connections, limit, top_n=top_n)
 
-    def localize(self, connection: Connection, top_n: int = 1) -> List[int]:
+    def localize(self, connection: Connection, top_n: int = 1) -> list[int]:
         """Packet indices of the ``top_n`` most suspicious positions."""
         errors = self.window_errors(connection)
         return localized_packets(
@@ -355,17 +355,17 @@ class Clap:
 
     def localize_batch(
         self, connections: Sequence[Connection], top_n: int = 1
-    ) -> List[List[int]]:
+    ) -> list[list[int]]:
         """Per-connection localisations for many connections in one engine pass."""
         return self.engine.localize(connections, top_n=top_n)
 
-    def is_adversarial(self, connection: Connection, threshold: Optional[float] = None) -> bool:
+    def is_adversarial(self, connection: Connection, threshold: float | None = None) -> bool:
         """Boolean detection decision for one connection."""
         limit = self.threshold if threshold is None else threshold
         return self.score_connection(connection) > limit
 
     # ------------------------------------------------------------ persistence
-    def save(self, directory: Union[str, Path]) -> Path:
+    def save(self, directory: str | Path) -> Path:
         """Persist the trained pipeline as a versioned model artifact.
 
         The weights/scaler/threshold land in ``clap_model.npz`` as before; a
@@ -379,7 +379,7 @@ class Clap:
         self._require_fitted()
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        state: Dict[str, np.ndarray] = {}
+        state: dict[str, np.ndarray] = {}
         if self.builder.rnn is not None:
             for key, value in self.builder.rnn.state_dict().items():
                 state[f"rnn/{key}"] = value
@@ -405,10 +405,10 @@ class Clap:
     @classmethod
     def load(
         cls,
-        path: Union[str, Path],
-        config: Optional[ClapConfig] = None,
+        path: str | Path,
+        config: ClapConfig | None = None,
         *,
-        mmap_mode: Optional[str] = None,
+        mmap_mode: str | None = None,
     ) -> "Clap":
         """Load a pipeline persisted with :meth:`save`.
 
@@ -459,11 +459,15 @@ class Clap:
                     f"manifest names sequence backend {recorded!r} but the archive "
                     f"holds {rnn_model.backend_name!r} weights"
                 )
-        if rnn_model is not None and config.rnn.backend not in ("", rnn_model.backend_name):
+        if (
+            rnn_model is not None
+            and config.rnn.backend not in ("", rnn_model.backend_name)
+            and config.rnn.backend == "gru-f32"
+            and rnn_model.backend_name == "gru"
+        ):
             # A converted pipeline saved with a serving override (e.g.
             # ``gru-f32``) restores that override on load.
-            if config.rnn.backend == "gru-f32" and rnn_model.backend_name == "gru":
-                rnn_model = convert_backend(rnn_model, "gru-f32")
+            rnn_model = convert_backend(rnn_model, "gru-f32")
         ae_state = {key[len("ae/") :]: value for key, value in state.items() if key.startswith("ae/")}
         scaler = FeatureScaler.from_arrays(
             {key[len("scaler/") :]: value for key, value in state.items() if key.startswith("scaler/")}

@@ -15,7 +15,6 @@ envelopes, and the CLI serialises them as JSON/NDJSON.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
 
 from repro.netstack.flow import FlowKey
 
@@ -45,12 +44,12 @@ class DetectionResult:
         Number of packets in the scored connection.
     """
 
-    key: Optional[FlowKey]
+    key: FlowKey | None
     score: float
     threshold: float
     is_adversarial: bool
     localized_window: int
-    localized_packets: Tuple[int, ...]
+    localized_packets: tuple[int, ...]
     packet_count: int
 
     @property
@@ -58,7 +57,7 @@ class DetectionResult:
         """The single most suspicious packet index (-1 when unavailable)."""
         return self.localized_packets[0] if self.localized_packets else -1
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-serialisable rendering (used by ``score --json`` / ``stream``)."""
         return {
             "connection": str(self.key) if self.key is not None else None,

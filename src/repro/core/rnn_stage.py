@@ -11,7 +11,7 @@ fused into the context profiles in Stage (b).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ class RnnTrainingReport:
 
     epochs: int
     final_loss: float
-    loss_history: List[float]
+    loss_history: list[float]
     training_accuracy: float
 
 
@@ -55,7 +55,7 @@ def pad_sequences(
     inputs = np.zeros((batch, max_time, width), dtype=np.float64)
     targets = np.zeros((batch, max_time), dtype=np.int64)
     mask = np.zeros((batch, max_time), dtype=np.float64)
-    for row, (features, labels) in enumerate(zip(feature_arrays, label_arrays)):
+    for row, (features, labels) in enumerate(zip(feature_arrays, label_arrays, strict=True)):
         length = features.shape[0]
         inputs[row, :length] = features
         targets[row, :length] = labels
@@ -66,21 +66,21 @@ def pad_sequences(
 class RnnStage:
     """Train and evaluate the Stage-(a) GRU on labelled benign connections."""
 
-    def __init__(self, config: Optional[RnnConfig] = None) -> None:
+    def __init__(self, config: RnnConfig | None = None) -> None:
         self.config = config or RnnConfig()
         self.extractor = RawFeatureExtractor()
         self.labeler = ConnectionLabeler()
-        self.scaler: Optional[FeatureScaler] = None
-        self.model: Optional[GRUSequenceClassifier] = None
-        self.report: Optional[RnnTrainingReport] = None
+        self.scaler: FeatureScaler | None = None
+        self.model: GRUSequenceClassifier | None = None
+        self.report: RnnTrainingReport | None = None
 
     # ----------------------------------------------------------- preparation
     def prepare(
         self, connections: Sequence[Connection]
-    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Raw features and label indices per connection (labels via conntrack)."""
-        feature_arrays: List[np.ndarray] = []
-        label_arrays: List[np.ndarray] = []
+        feature_arrays: list[np.ndarray] = []
+        label_arrays: list[np.ndarray] = []
         for connection in connections:
             if len(connection) == 0:
                 continue
@@ -124,10 +124,10 @@ class RnnStage:
         )
         rng = ensure_rng(self.config.seed)
         order = np.arange(len(scaled_arrays))
-        loss_history: List[float] = []
+        loss_history: list[float] = []
         for epoch in range(self.config.epochs):
             rng.shuffle(order)
-            epoch_losses: List[float] = []
+            epoch_losses: list[float] = []
             for start in range(0, len(order), self.config.batch_size):
                 chosen = order[start : start + self.config.batch_size]
                 batch = pad_sequences(
@@ -159,7 +159,7 @@ class RnnStage:
         correct, total = self._count_correct(connections)
         return correct / total if total else 0.0
 
-    def per_label_accuracy(self, connections: Sequence[Connection]) -> Dict[str, Tuple[float, int]]:
+    def per_label_accuracy(self, connections: Sequence[Connection]) -> dict[str, tuple[float, int]]:
         """Accuracy and sample count per label name (the Table-5 breakdown)."""
         if self.model is None or self.scaler is None:
             raise RuntimeError("RnnStage.fit must be called before evaluation")
@@ -172,7 +172,7 @@ class RnnStage:
             features = self.scaler.transform(self.extractor.extract_connection(connection))
             labels = np.array(self.labeler.label_class_indices(connection.packets), dtype=np.int64)
             predictions = self.model.predict_classes(features[None, :, :])[0]
-            for label, prediction in zip(labels, predictions):
+            for label, prediction in zip(labels, predictions, strict=True):
                 counts[label] += 1
                 hits[label] += int(label == prediction)
         return {
@@ -180,7 +180,7 @@ class RnnStage:
             for index in range(NUM_LABEL_CLASSES)
         }
 
-    def _count_correct(self, connections: Sequence[Connection]) -> Tuple[int, int]:
+    def _count_correct(self, connections: Sequence[Connection]) -> tuple[int, int]:
         if self.model is None or self.scaler is None:
             raise RuntimeError("RnnStage.fit must be called before evaluation")
         correct = 0

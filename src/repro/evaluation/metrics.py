@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -67,7 +67,7 @@ def roc_curve(positive_scores: Sequence[float], negative_scores: Sequence[float]
 
 def _equal_error_rate(
     fpr: np.ndarray, tpr: np.ndarray, thresholds: np.ndarray
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """The point on the ROC where FPR == FNR (linearly interpolated)."""
     fnr = 1.0 - tpr
     differences = fpr - fnr

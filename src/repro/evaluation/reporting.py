@@ -7,7 +7,7 @@ same and EXPERIMENTS.md can be assembled by copy-paste.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.attacks.base import AttackSource, ContextCategory
 from repro.evaluation.runner import (
@@ -44,9 +44,9 @@ def format_metric(value: float) -> str:
 # Table 1: detection performance per source paper
 # ---------------------------------------------------------------------------
 
-def table1_rows(results: ExperimentResults) -> List[List[str]]:
+def table1_rows(results: ExperimentResults) -> list[list[str]]:
     """Rows of Table 1: mean AUC/EER per source for each detector."""
-    rows: List[List[str]] = []
+    rows: list[list[str]] = []
     for name in (CLAP_NAME, BASELINE1_NAME, BASELINE2_NAME):
         if name not in results.detectors:
             continue
@@ -82,9 +82,9 @@ def render_table1(results: ExperimentResults) -> str:
 
 def table2_rows(
     results: ExperimentResults,
-    categories: Optional[Mapping[str, ContextCategory]] = None,
-) -> List[List[str]]:
-    rows: List[List[str]] = []
+    categories: Mapping[str, ContextCategory] | None = None,
+) -> list[list[str]]:
+    rows: list[list[str]] = []
     for name in (CLAP_NAME, BASELINE1_NAME):
         if name not in results.detectors:
             continue
@@ -103,7 +103,7 @@ def table2_rows(
 
 def render_table2(
     results: ExperimentResults,
-    categories: Optional[Mapping[str, ContextCategory]] = None,
+    categories: Mapping[str, ContextCategory] | None = None,
 ) -> str:
     headers = ["Approach", "AUC (inter)", "EER (inter)", "AUC (intra)", "EER (intra)"]
     return render_table(headers, table2_rows(results, categories))
@@ -113,7 +113,7 @@ def render_table2(
 # Table 3: throughput
 # ---------------------------------------------------------------------------
 
-def render_table3(throughputs: Dict[str, ThroughputResult]) -> str:
+def render_table3(throughputs: dict[str, ThroughputResult]) -> str:
     """Throughput table.  ``Packets/Second`` is steady-state; streaming rows
     report their fixed startup separately (``Setup (s)``) plus the
     setup-inclusive rate (``Total Pkt/s``) the pre-split benchmark printed."""
@@ -159,9 +159,9 @@ def render_table3(throughputs: Dict[str, ThroughputResult]) -> str:
 
 def per_strategy_detection_rows(
     results: ExperimentResults, source: AttackSource
-) -> List[List[str]]:
+) -> list[list[str]]:
     """One row per strategy: AUC for CLAP and both baselines (Figures 7-9)."""
-    rows: List[List[str]] = []
+    rows: list[list[str]] = []
     clap = results.detectors.get(CLAP_NAME)
     baseline1 = results.detectors.get(BASELINE1_NAME)
     baseline2 = results.detectors.get(BASELINE2_NAME)
@@ -188,9 +188,9 @@ def render_per_strategy_detection(results: ExperimentResults, source: AttackSour
 
 def per_strategy_localization_rows(
     results: ExperimentResults, source: AttackSource
-) -> List[List[str]]:
+) -> list[list[str]]:
     """One row per strategy: Top-5/3/1 hit rates (Figures 10-12)."""
-    rows: List[List[str]] = []
+    rows: list[list[str]] = []
     clap = results.detectors.get(CLAP_NAME)
     if clap is None:
         return rows
@@ -218,9 +218,9 @@ def render_per_strategy_localization(results: ExperimentResults, source: AttackS
 # Overall summary (abstract-level numbers)
 # ---------------------------------------------------------------------------
 
-def overall_summary(results: ExperimentResults) -> Dict[str, float]:
+def overall_summary(results: ExperimentResults) -> dict[str, float]:
     """Headline numbers: overall AUC/EER per detector plus mean localisation."""
-    summary: Dict[str, float] = {}
+    summary: dict[str, float] = {}
     for name, evaluation in results.detectors.items():
         summary[f"{name} mean AUC"] = evaluation.mean_auc()
         summary[f"{name} mean EER"] = evaluation.mean_eer()

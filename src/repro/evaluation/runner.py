@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -54,7 +54,7 @@ class StrategyEvaluation:
     eer: float
     adversarial_scores: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
     benign_scores: np.ndarray = field(repr=False, default_factory=lambda: np.zeros(0))
-    localization: Optional[LocalizationResult] = None
+    localization: LocalizationResult | None = None
 
 
 @dataclass
@@ -62,24 +62,24 @@ class DetectorEvaluation:
     """All per-strategy results of one detector."""
 
     detector_name: str
-    per_strategy: Dict[str, StrategyEvaluation] = field(default_factory=dict)
+    per_strategy: dict[str, StrategyEvaluation] = field(default_factory=dict)
 
     # ------------------------------------------------------------- aggregates
-    def mean_auc(self, strategies: Optional[Iterable[str]] = None) -> float:
+    def mean_auc(self, strategies: Iterable[str] | None = None) -> float:
         return self._mean("auc", strategies)
 
-    def mean_eer(self, strategies: Optional[Iterable[str]] = None) -> float:
+    def mean_eer(self, strategies: Iterable[str] | None = None) -> float:
         return self._mean("eer", strategies)
 
-    def _mean(self, attribute: str, strategies: Optional[Iterable[str]]) -> float:
+    def _mean(self, attribute: str, strategies: Iterable[str] | None) -> float:
         names = list(strategies) if strategies is not None else list(self.per_strategy)
         values = [getattr(self.per_strategy[name], attribute) for name in names if name in self.per_strategy]
         return float(np.mean(values)) if values else float("nan")
 
-    def by_source(self, source: AttackSource) -> List[StrategyEvaluation]:
+    def by_source(self, source: AttackSource) -> list[StrategyEvaluation]:
         return [result for result in self.per_strategy.values() if result.source is source]
 
-    def by_category(self, category: ContextCategory) -> List[StrategyEvaluation]:
+    def by_category(self, category: ContextCategory) -> list[StrategyEvaluation]:
         return [result for result in self.per_strategy.values() if result.category is category]
 
     def mean_auc_by_source(self, source: AttackSource) -> float:
@@ -94,7 +94,7 @@ class DetectorEvaluation:
     def mean_eer_by_category(self, category: ContextCategory) -> float:
         return self.mean_eer([r.strategy_name for r in self.by_category(category)])
 
-    def auc_by_strategy(self) -> Dict[str, float]:
+    def auc_by_strategy(self) -> dict[str, float]:
         return {name: result.auc for name, result in self.per_strategy.items()}
 
 
@@ -141,16 +141,16 @@ class ThroughputResult:
 class ExperimentResults:
     """Every detector's evaluation plus shared bookkeeping."""
 
-    detectors: Dict[str, DetectorEvaluation] = field(default_factory=dict)
-    throughput: Dict[str, ThroughputResult] = field(default_factory=dict)
+    detectors: dict[str, DetectorEvaluation] = field(default_factory=dict)
+    throughput: dict[str, ThroughputResult] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> DetectorEvaluation:
         return self.detectors[name]
 
-    def detector_names(self) -> List[str]:
+    def detector_names(self) -> list[str]:
         return list(self.detectors)
 
-    def strategy_names(self) -> List[str]:
+    def strategy_names(self) -> list[str]:
         first = next(iter(self.detectors.values()), None)
         return list(first.per_strategy) if first else []
 
@@ -162,21 +162,21 @@ class ExperimentRunner:
         self,
         dataset: BenignDataset,
         *,
-        config: Optional[ClapConfig] = None,
+        config: ClapConfig | None = None,
         seed: SeedLike = 0,
-        max_test_connections: Optional[int] = None,
+        max_test_connections: int | None = None,
         min_test_connection_length: int = 4,
     ) -> None:
         self.dataset = dataset
         self.config = config or ClapConfig()
         self.rng = ensure_rng(seed)
         self.injector = AttackInjector(seed=self.rng)
-        self.detectors: Dict[str, object] = {}
+        self.detectors: dict[str, object] = {}
         test = [c for c in dataset.test if len(c) >= min_test_connection_length]
         if max_test_connections is not None:
             test = test[:max_test_connections]
-        self.test_connections: List[Connection] = test
-        self._benign_scores: Dict[str, np.ndarray] = {}
+        self.test_connections: list[Connection] = test
+        self._benign_scores: dict[str, np.ndarray] = {}
 
     # ---------------------------------------------------------------- training
     def train(
@@ -184,7 +184,7 @@ class ExperimentRunner:
         detector_names: Sequence[str] = (CLAP_NAME, BASELINE1_NAME, BASELINE2_NAME),
         *,
         verbose: bool = False,
-    ) -> Dict[str, object]:
+    ) -> dict[str, object]:
         """Train the requested detectors on the benign training split."""
         for name in detector_names:
             if name == CLAP_NAME:
@@ -211,7 +211,7 @@ class ExperimentRunner:
     # -------------------------------------------------------------- evaluation
     def evaluate(
         self,
-        strategies: Optional[Sequence[AttackStrategy]] = None,
+        strategies: Sequence[AttackStrategy] | None = None,
         *,
         with_localization: bool = True,
     ) -> ExperimentResults:
@@ -269,7 +269,7 @@ class ExperimentRunner:
         error_segments = detector.window_error_segments(
             [adversarial.connection for adversarial in dataset.adversarial]
         )
-        for adversarial, errors in zip(dataset.adversarial, error_segments):
+        for adversarial, errors in zip(dataset.adversarial, error_segments, strict=True):
             packet_count = len(adversarial.connection)
             for tolerance in hits:
                 hits[tolerance].append(
@@ -291,13 +291,13 @@ class ExperimentRunner:
     def measure_throughput(
         self,
         detector_name: str,
-        connections: Optional[Sequence[Connection]] = None,
+        connections: Sequence[Connection] | None = None,
         *,
         mode: str = "batched",
         workers: int = 1,
         ingest: str = "object",
         worker_mode: str = "thread",
-        backend: Optional[str] = None,
+        backend: str | None = None,
     ) -> ThroughputResult:
         """Time the testing-phase pipeline of one trained detector (Table 3).
 
@@ -401,9 +401,9 @@ class ExperimentRunner:
 
 def aggregate_by_source(
     evaluation: DetectorEvaluation,
-) -> Dict[AttackSource, Dict[str, float]]:
+) -> dict[AttackSource, dict[str, float]]:
     """Mean AUC/EER per source paper — the rows of Table 1."""
-    aggregates: Dict[AttackSource, Dict[str, float]] = {}
+    aggregates: dict[AttackSource, dict[str, float]] = {}
     for source in AttackSource:
         results = evaluation.by_source(source)
         if not results:
@@ -418,14 +418,14 @@ def aggregate_by_source(
 
 def aggregate_by_category(
     evaluation: DetectorEvaluation,
-    categories: Optional[Mapping[str, ContextCategory]] = None,
-) -> Dict[ContextCategory, Dict[str, float]]:
+    categories: Mapping[str, ContextCategory] | None = None,
+) -> dict[ContextCategory, dict[str, float]]:
     """Mean AUC/EER per violated context — the rows of Table 2.
 
     ``categories`` optionally overrides the declared (Table 8) category per
     strategy, e.g. with the empirically recomputed taxonomy.
     """
-    aggregates: Dict[ContextCategory, Dict[str, float]] = {}
+    aggregates: dict[ContextCategory, dict[str, float]] = {}
     for category in ContextCategory:
         results = [
             result

@@ -20,7 +20,7 @@ Two implementations coexist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -37,10 +37,10 @@ from repro.tcpstate.window import seq_diff
 class _ConnectionContext:
     """Per-connection reference values needed to make fields incremental."""
 
-    client_isn: Optional[int] = None
-    server_isn: Optional[int] = None
-    start_time: Optional[float] = None
-    previous_tsval: Optional[dict] = None
+    client_isn: int | None = None
+    server_isn: int | None = None
+    start_time: float | None = None
+    previous_tsval: dict | None = None
 
     def __post_init__(self) -> None:
         if self.previous_tsval is None:
@@ -87,7 +87,7 @@ class RawFeatureExtractor:
             return np.zeros((0, NUM_RAW_FEATURES), dtype=np.float64)
         return np.array(rows, dtype=np.float64)
 
-    def extract_packet_trains(self, trains: Sequence[Sequence[Packet]]) -> List[np.ndarray]:
+    def extract_packet_trains(self, trains: Sequence[Sequence[Packet]]) -> list[np.ndarray]:
         """Feature matrices for many packet trains (one per connection).
 
         Trains sharing one :class:`~repro.netstack.columns.PacketColumns` are
@@ -95,8 +95,8 @@ class RawFeatureExtractor:
         (:func:`extract_columns_segments`); the rest fall back to the
         per-packet reference.  Output order matches the input.
         """
-        results: List[Optional[np.ndarray]] = [None] * len(trains)
-        groups: Dict[int, Tuple[PacketColumns, List[int]]] = {}
+        results: list[np.ndarray | None] = [None] * len(trains)
+        groups: dict[int, tuple[PacketColumns, list[int]]] = {}
         for train_index, train in enumerate(trains):
             columns = columns_of_train(train)
             if columns is None:
@@ -104,8 +104,8 @@ class RawFeatureExtractor:
             else:
                 groups.setdefault(id(columns), (columns, []))[1].append(train_index)
         for columns, members in groups.values():
-            index_parts: List[int] = []
-            direction_parts: List[int] = []
+            index_parts: list[int] = []
+            direction_parts: list[int] = []
             bounds = [0]
             for train_index in members:
                 train = trains[train_index]
@@ -140,12 +140,12 @@ class RawFeatureExtractor:
         return context
 
     @staticmethod
-    def _relative_seq(value: int, base: Optional[int]) -> float:
+    def _relative_seq(value: int, base: int | None) -> float:
         if base is None:
             return 0.0
         return float(seq_diff(value, base))
 
-    def _extract_packet(self, packet: Packet, context: _ConnectionContext) -> List[float]:
+    def _extract_packet(self, packet: Packet, context: _ConnectionContext) -> list[float]:
         """One packet's 32 raw features, as a plain list.
 
         This was the hottest Python loop of the testing phase (columnar
@@ -233,7 +233,7 @@ def _seq_diff_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.where(diff >= 2**31, diff - 2**32, diff)
 
 
-_FLAG_COLUMNS: Tuple[Tuple[int, int], ...] = (
+_FLAG_COLUMNS: tuple[tuple[int, int], ...] = (
     (4, TcpFlags.FIN),
     (5, TcpFlags.SYN),
     (6, TcpFlags.RST),
@@ -336,7 +336,7 @@ def extract_columns_segments(
     return out
 
 
-def extract_raw_features(connections: Sequence[Connection]) -> List[np.ndarray]:
+def extract_raw_features(connections: Sequence[Connection]) -> list[np.ndarray]:
     """Extract raw features for a list of connections (one array each)."""
     extractor = RawFeatureExtractor()
     return extractor.extract_packet_trains([connection.packets for connection in connections])

@@ -15,7 +15,7 @@ are what the Stage-(c) autoencoder consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -51,7 +51,7 @@ def stacked_window_count(packet_count: int, stack_length: int) -> int:
 
 
 def stack_profiles(
-    profiles: np.ndarray, stack_length: int, out: Optional[np.ndarray] = None
+    profiles: np.ndarray, stack_length: int, out: np.ndarray | None = None
 ) -> np.ndarray:
     """Concatenate consecutive profiles in a sliding window.
 
@@ -89,7 +89,7 @@ def stack_profiles(
     return out
 
 
-def window_to_packet_indices(window_index: int, stack_length: int, packet_count: int) -> List[int]:
+def window_to_packet_indices(window_index: int, stack_length: int, packet_count: int) -> list[int]:
     """Packet indices covered by stacked-profile window ``window_index``."""
     last = min(window_index + stack_length, packet_count)
     return list(range(window_index, last))
@@ -130,7 +130,7 @@ class ContextProfileBuilder:
 
     def __init__(
         self,
-        rnn: Optional[GRUSequenceClassifier],
+        rnn: GRUSequenceClassifier | None,
         scaler: FeatureScaler,
         ranges: FeatureRanges,
         *,
@@ -199,7 +199,7 @@ class ContextProfileBuilder:
         return stack_profiles(profiles, self.stack_length)
 
     # ------------------------------------------------------------- batch path
-    def batch_connection_profiles(self, connections: Sequence[Connection]) -> List[ConnectionProfiles]:
+    def batch_connection_profiles(self, connections: Sequence[Connection]) -> list[ConnectionProfiles]:
         """Per-packet context profiles for many connections at once.
 
         Raw features are extracted per connection (packet parsing is
@@ -275,7 +275,7 @@ class ContextProfileBuilder:
             else np.zeros((0, self.profile_size), dtype=np.float64)
         )
 
-        results: List[ConnectionProfiles] = []
+        results: list[ConnectionProfiles] = []
         for index in range(len(connections)):
             start, stop = bounds[index], bounds[index + 1]
             results.append(

@@ -11,7 +11,7 @@ traffic).  Binary and categorical columns pass through unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -38,7 +38,7 @@ class FeatureScaler:
         cls,
         feature_arrays: Sequence[np.ndarray],
         *,
-        log_columns: Optional[Sequence[int]] = None,
+        log_columns: Sequence[int] | None = None,
         clip: float = 3.0,
     ) -> "FeatureScaler":
         """Fit on a list of per-connection feature arrays."""

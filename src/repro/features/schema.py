@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple
 
 
 class FeatureType(enum.Enum):
@@ -49,7 +48,7 @@ class FeatureSpec:
 # Raw header features (1..32); this is the RNN's input feature set.
 # --------------------------------------------------------------------------
 
-_RAW_SPECS: List[FeatureSpec] = [
+_RAW_SPECS: list[FeatureSpec] = [
     FeatureSpec(1, "Packet direction", FeatureType.BINARY, FeatureGroup.TCP),
     FeatureSpec(2, "SEQ number (incremental)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
     FeatureSpec(3, "ACK number (incremental)", FeatureType.INTEGER, FeatureGroup.TCP, numeric=True),
@@ -89,15 +88,15 @@ NUM_RAW_FEATURES = len(_RAW_SPECS)  # 32, the RNN input size (Table 6)
 # Numeric feature indices (0-based) that receive out-of-range amplification
 # indicators; 13 TCP + 5 IP = 18, plus the payload-length equivalence check
 # gives the 19 amplification features at indices 33..51 of Table 7.
-NUMERIC_TCP_INDICES: Tuple[int, ...] = tuple(
+NUMERIC_TCP_INDICES: tuple[int, ...] = tuple(
     spec.index - 1 for spec in _RAW_SPECS if spec.numeric and spec.group is FeatureGroup.TCP
 )
-NUMERIC_IP_INDICES: Tuple[int, ...] = tuple(
+NUMERIC_IP_INDICES: tuple[int, ...] = tuple(
     spec.index - 1 for spec in _RAW_SPECS if spec.numeric and spec.group is FeatureGroup.IP
 )
-NUMERIC_INDICES: Tuple[int, ...] = NUMERIC_TCP_INDICES + NUMERIC_IP_INDICES
+NUMERIC_INDICES: tuple[int, ...] = NUMERIC_TCP_INDICES + NUMERIC_IP_INDICES
 
-_AMPLIFICATION_SPECS: List[FeatureSpec] = [
+_AMPLIFICATION_SPECS: list[FeatureSpec] = [
     FeatureSpec(
         33 + position,
         f"Out-of-range indicator for TCP feature #{index + 1}",
@@ -127,7 +126,7 @@ NUM_PACKET_FEATURES = NUM_RAW_FEATURES + NUM_AMPLIFICATION_FEATURES  # 51
 
 HIDDEN_SIZE = 32  # GRU hidden/gate size (Table 6)
 
-_GATE_SPECS: List[FeatureSpec] = [
+_GATE_SPECS: list[FeatureSpec] = [
     FeatureSpec(52 + i, f"Update gate activation [{i}]", FeatureType.FLOAT, FeatureGroup.GATE)
     for i in range(HIDDEN_SIZE)
 ] + [
@@ -138,25 +137,25 @@ _GATE_SPECS: List[FeatureSpec] = [
 NUM_GATE_FEATURES = len(_GATE_SPECS)  # 64
 CONTEXT_PROFILE_SIZE = NUM_PACKET_FEATURES + NUM_GATE_FEATURES  # 115
 
-ALL_SPECS: List[FeatureSpec] = _RAW_SPECS + _AMPLIFICATION_SPECS + _GATE_SPECS
+ALL_SPECS: list[FeatureSpec] = _RAW_SPECS + _AMPLIFICATION_SPECS + _GATE_SPECS
 
 
-def raw_feature_specs() -> List[FeatureSpec]:
+def raw_feature_specs() -> list[FeatureSpec]:
     """Specs for the 32 raw header features (the RNN input)."""
     return list(_RAW_SPECS)
 
 
-def amplification_feature_specs() -> List[FeatureSpec]:
+def amplification_feature_specs() -> list[FeatureSpec]:
     """Specs for the 19 amplification features."""
     return list(_AMPLIFICATION_SPECS)
 
 
-def gate_feature_specs() -> List[FeatureSpec]:
+def gate_feature_specs() -> list[FeatureSpec]:
     """Specs for the 64 gate-weight features."""
     return list(_GATE_SPECS)
 
 
-def all_feature_specs() -> List[FeatureSpec]:
+def all_feature_specs() -> list[FeatureSpec]:
     """The full 115-entry context-profile schema, ordered by index."""
     return list(ALL_SPECS)
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import pickle
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -269,13 +269,13 @@ class PacketColumns:
     key_ip_b: np.ndarray
     key_port_b: np.ndarray
     # Materialisation backing: raw bytes + per-row spans, or original packets.
-    buffer: Optional[np.ndarray] = None  # uint8 block buffer
-    offsets: Optional[np.ndarray] = None  # int64 start of each raw IPv4 packet
-    lengths: Optional[np.ndarray] = None  # int64 captured length of each packet
-    packets: Optional[List[Packet]] = None
+    buffer: np.ndarray | None = None  # uint8 block buffer
+    offsets: np.ndarray | None = None  # int64 start of each raw IPv4 packet
+    lengths: np.ndarray | None = None  # int64 captured length of each packet
+    packets: list[Packet] | None = None
     # Lazily built, deduplicated FlowKey per row (repeated flows share one
     # object, so downstream dict probes hit the cached hash and identity).
-    _flow_keys: Optional[List[object]] = None
+    _flow_keys: list[object] | None = None
 
     def __len__(self) -> int:
         return self.timestamp.shape[0]
@@ -319,7 +319,7 @@ class PacketColumns:
             kwargs["offsets"] = np.concatenate(offset_parts)
             kwargs["lengths"] = np.concatenate([block.lengths for block in blocks])
         elif all(block.packets is not None for block in blocks):
-            merged: List[Packet] = []
+            merged: list[Packet] = []
             for block in blocks:
                 merged.extend(block.packets)
             kwargs["packets"] = merged
@@ -431,7 +431,7 @@ class PacketColumns:
         )
 
     # -------------------------------------------------------------- accessors
-    def flow_keys(self) -> List[object]:
+    def flow_keys(self) -> list[object]:
         """One :class:`~repro.netstack.flow.FlowKey` per row, deduplicated.
 
         Built once per block: packets of the same flow share one key object,
@@ -441,13 +441,14 @@ class PacketColumns:
         if self._flow_keys is None:
             from repro.netstack.flow import FlowKey
 
-            cache: Dict[Tuple[int, int, int, int], object] = {}
-            keys: List[object] = []
+            cache: dict[tuple[int, int, int, int], object] = {}
+            keys: list[object] = []
             for quad in zip(
                 self.key_ip_a.tolist(),
                 self.key_port_a.tolist(),
                 self.key_ip_b.tolist(),
                 self.key_port_b.tolist(),
+                strict=True,
             ):
                 key = cache.get(quad)
                 if key is None:
@@ -472,7 +473,7 @@ class PacketColumns:
             self.buffer[start:stop].tobytes(), timestamp=float(self.timestamp[index])
         )
 
-    def views(self) -> List[ColumnPacketView]:
+    def views(self) -> list[ColumnPacketView]:
         """Per-packet view handles, in row order (bulk-constructed).
 
         Packet-backed columns seed each view's ``direction`` and ``injected``
@@ -499,6 +500,7 @@ class PacketColumns:
                     self.flow_keys(),
                     directions,
                     injected,
+                    strict=True,
                 )
             )
         ]
@@ -506,7 +508,7 @@ class PacketColumns:
 
     # ------------------------------------------------------------ wire format
     def pack_block(
-        self, indices: Optional[np.ndarray] = None, *, backing: str = "auto"
+        self, indices: np.ndarray | None = None, *, backing: str = "auto"
     ) -> bytes:
         """Serialise (a row subset of) this block into the compact wire format.
 
@@ -523,11 +525,11 @@ class PacketColumns:
         """
         if backing not in ("auto", "none"):
             raise ValueError(f"unknown backing mode {backing!r} (expected auto or none)")
-        idx: Optional[np.ndarray] = None
+        idx: np.ndarray | None = None
         if indices is not None:
             idx = np.asarray(indices, dtype=np.int64)
         n = len(self) if idx is None else int(idx.size)
-        sections: List[bytes] = []
+        sections: list[bytes] = []
         for name in _ARRAY_FIELDS:
             array = getattr(self, name)
             selected = array if idx is None else array[idx]
@@ -557,7 +559,7 @@ class PacketColumns:
         return b"".join([header, *sections, payload])
 
 
-def unpack_block(data: Union[bytes, bytearray, memoryview]) -> PacketColumns:
+def unpack_block(data: bytes | bytearray | memoryview) -> PacketColumns:
     """Rebuild a :class:`PacketColumns` from :meth:`PacketColumns.pack_block`.
 
     Scalar columns are zero-copy ``frombuffer`` views over ``data`` (read-only,
@@ -571,7 +573,7 @@ def unpack_block(data: Union[bytes, bytearray, memoryview]) -> PacketColumns:
     if version != _PACK_VERSION:
         raise ValueError(f"unsupported packed-block version {version}")
     position = _PACK_HEADER.size
-    kwargs: Dict[str, object] = {}
+    kwargs: dict[str, object] = {}
     for name in _ARRAY_FIELDS:
         dtype = _field_dtype(name)
         kwargs[name] = np.frombuffer(view, dtype=dtype, count=n, offset=position)
@@ -868,7 +870,7 @@ def parse_packet_columns(
     )
 
 
-def columns_of_train(packets: Sequence[object]) -> Optional[PacketColumns]:
+def columns_of_train(packets: Sequence[object]) -> PacketColumns | None:
     """The shared :class:`PacketColumns` behind ``packets``, or ``None``.
 
     A train qualifies for the columnar feature path only when every element

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from collections.abc import Iterable, Iterator
 
 from repro.netstack.addresses import int_to_ip
 from repro.netstack.columns import ColumnPacketView
@@ -84,10 +84,10 @@ class Connection:
     """An ordered train of packets belonging to one TCP connection."""
 
     key: FlowKey
-    packets: List[Packet] = field(default_factory=list)
+    packets: list[Packet] = field(default_factory=list)
     # The connection originator (client); set from the first packet seen.
-    client_ip: Optional[int] = None
-    client_port: Optional[int] = None
+    client_ip: int | None = None
+    client_port: int | None = None
 
     def __len__(self) -> int:
         return len(self.packets)
@@ -128,13 +128,13 @@ class Connection:
                 return True
         return False
 
-    def client_packets(self) -> List[Packet]:
+    def client_packets(self) -> list[Packet]:
         return [p for p in self.packets if p.direction is Direction.CLIENT_TO_SERVER]
 
-    def server_packets(self) -> List[Packet]:
+    def server_packets(self) -> list[Packet]:
         return [p for p in self.packets if p.direction is Direction.SERVER_TO_CLIENT]
 
-    def injected_indices(self) -> List[int]:
+    def injected_indices(self) -> list[int]:
         """Indices of packets flagged as injected/modified by an attack."""
         return [index for index, packet in enumerate(self.packets) if packet.injected]
 
@@ -167,8 +167,8 @@ class ConnectionAssembler:
     """
 
     def __init__(self) -> None:
-        self._active: Dict[FlowKey, Connection] = {}
-        self._finished: List[Connection] = []
+        self._active: dict[FlowKey, Connection] = {}
+        self._finished: list[Connection] = []
 
     def add(self, packet: Packet) -> Connection:
         """Route ``packet`` to its connection, creating one if needed."""
@@ -189,7 +189,7 @@ class ConnectionAssembler:
 
     _looks_closed = staticmethod(connection_looks_closed)
 
-    def connections(self) -> List[Connection]:
+    def connections(self) -> list[Connection]:
         """All connections assembled so far, in order of first packet."""
         everything = self._finished + list(self._active.values())
         everything.sort(key=lambda conn: conn.packets[0].timestamp if conn.packets else 0.0)
@@ -249,8 +249,8 @@ class FlowTable:
         *,
         idle_timeout: float = 60.0,
         close_grace: float = 1.0,
-        max_flows: Optional[int] = None,
-        max_packets: Optional[int] = None,
+        max_flows: int | None = None,
+        max_packets: int | None = None,
     ) -> None:
         if idle_timeout <= 0:
             raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
@@ -266,7 +266,7 @@ class FlowTable:
         self.max_packets = max_packets
         # Ordered by recency of activity: the front is the LRU eviction victim.
         self._flows: "OrderedDict[FlowKey, _FlowEntry]" = OrderedDict()
-        self._closing: Dict[FlowKey, None] = {}  # insertion-ordered set
+        self._closing: dict[FlowKey, None] = {}  # insertion-ordered set
         self._clock = float("-inf")
         # The effective grace (a closed connection never outlives an idle one)
         # and the cached stream time at which the *current* closing front
@@ -289,8 +289,8 @@ class FlowTable:
 
     # ------------------------------------------------------------- ingestion
     def add(
-        self, packet: Packet, key: Optional[FlowKey] = None
-    ) -> List[Tuple[Connection, CompletionReason]]:
+        self, packet: Packet, key: FlowKey | None = None
+    ) -> list[tuple[Connection, CompletionReason]]:
         """Route ``packet`` and return every connection completed by it.
 
         Completions triggered by this packet include the connection it closed
@@ -299,7 +299,7 @@ class FlowTable:
         that already computed the packet's :class:`FlowKey` (e.g. the sharded
         runtime's router) may pass it to skip recomputing it.
         """
-        completed: List[Tuple[Connection, CompletionReason]] = []
+        completed: list[tuple[Connection, CompletionReason]] = []
         if key is None:
             key = flow_key_of(packet)
         entry = self._flows.get(key)
@@ -347,12 +347,12 @@ class FlowTable:
                 completed.append((victim.connection, CompletionReason.CAPACITY))
         return completed
 
-    def poll(self, now: Optional[float] = None) -> List[Tuple[Connection, CompletionReason]]:
+    def poll(self, now: float | None = None) -> list[tuple[Connection, CompletionReason]]:
         """Advance stream time to ``now`` and expire close-grace/idle timers."""
         if now is not None:
             self._clock = max(self._clock, float(now))
         now = self._clock
-        completed: List[Tuple[Connection, CompletionReason]] = []
+        completed: list[tuple[Connection, CompletionReason]] = []
         # Closed connections wait only for the (short) grace period.  The set
         # is ordered by last activity, so the scan stops at the first entry
         # whose grace has not elapsed — per-packet cost stays proportional to
@@ -384,7 +384,7 @@ class FlowTable:
                 completed.append((entry.connection, CompletionReason.IDLE))
         return completed
 
-    def drain(self) -> List[Tuple[Connection, CompletionReason]]:
+    def drain(self) -> list[tuple[Connection, CompletionReason]]:
         """Complete every tracked connection (end of stream), oldest first."""
         entries = sorted(
             self._flows.values(),
@@ -430,8 +430,8 @@ class ShardedFlowTable:
         *,
         idle_timeout: float = 60.0,
         close_grace: float = 1.0,
-        max_flows: Optional[int] = None,
-        max_packets: Optional[int] = None,
+        max_flows: int | None = None,
+        max_packets: int | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be at least 1, got {shards}")
@@ -441,7 +441,7 @@ class ShardedFlowTable:
                 raise ValueError(f"max_flows must be at least 1, got {max_flows}")
             per_shard_flows = -(-max_flows // shards)  # ceil division
         self.max_flows = max_flows
-        self._tables: Tuple[FlowTable, ...] = tuple(
+        self._tables: tuple[FlowTable, ...] = tuple(
             FlowTable(
                 idle_timeout=idle_timeout,
                 close_grace=close_grace,
@@ -458,7 +458,7 @@ class ShardedFlowTable:
         return len(self._tables)
 
     @property
-    def tables(self) -> Tuple[FlowTable, ...]:
+    def tables(self) -> tuple[FlowTable, ...]:
         """The underlying shards (read-only view for workers and metrics)."""
         return self._tables
 
@@ -466,7 +466,7 @@ class ShardedFlowTable:
         """The shard owning ``key`` (stable: int-tuple hashes are unsalted)."""
         return hash(key) % len(self._tables)
 
-    def occupancy(self) -> List[int]:
+    def occupancy(self) -> list[int]:
         """Tracked connections per shard (backpressure monitoring)."""
         return [len(table) for table in self._tables]
 
@@ -479,11 +479,11 @@ class ShardedFlowTable:
         return self._clock
 
     # -------------------------------------------------------------- ingestion
-    def add(self, packet: Packet) -> List[Tuple[Connection, CompletionReason]]:
+    def add(self, packet: Packet) -> list[tuple[Connection, CompletionReason]]:
         """Route ``packet`` to its shard; returns that shard's completions."""
         key = flow_key_of(packet)
         table = self._tables[self.shard_index(key)]
-        completed: List[Tuple[Connection, CompletionReason]] = []
+        completed: list[tuple[Connection, CompletionReason]] = []
         # Catch the shard up to global stream time first, so timers expire
         # exactly when an intervening packet (on any shard) would have
         # expired them in a single table.
@@ -493,16 +493,16 @@ class ShardedFlowTable:
         self._clock = max(self._clock, packet.timestamp)
         return completed
 
-    def poll(self, now: Optional[float] = None) -> List[Tuple[Connection, CompletionReason]]:
+    def poll(self, now: float | None = None) -> list[tuple[Connection, CompletionReason]]:
         """Advance every shard to ``now`` (or the global clock) and expire timers."""
         if now is not None:
             self._clock = max(self._clock, float(now))
-        completed: List[Tuple[Connection, CompletionReason]] = []
+        completed: list[tuple[Connection, CompletionReason]] = []
         for table in self._tables:
             completed.extend(table.poll(self._clock))
         return completed
 
-    def drain(self) -> List[Tuple[Connection, CompletionReason]]:
+    def drain(self) -> list[tuple[Connection, CompletionReason]]:
         """Merged end-of-stream drain of every shard, oldest first.
 
         Shards whose timers already expired against global stream time are
@@ -517,14 +517,14 @@ class ShardedFlowTable:
         return merged
 
 
-def assemble_connections(packets: Iterable[Packet]) -> List[Connection]:
+def assemble_connections(packets: Iterable[Packet]) -> list[Connection]:
     """Convenience wrapper: assemble ``packets`` and return the connections."""
     assembler = ConnectionAssembler()
     assembler.add_all(packets)
     return assembler.connections()
 
 
-def packet_stream(connections: Iterable[Connection]) -> List[Packet]:
+def packet_stream(connections: Iterable[Connection]) -> list[Packet]:
     """The time-ordered raw packet stream of ``connections``.
 
     Every packet is copied (so replaying never mutates the source
@@ -538,8 +538,8 @@ def packet_stream(connections: Iterable[Connection]) -> List[Packet]:
 
 
 def split_connections(
-    connections: List[Connection], train_fraction: float, rng
-) -> Tuple[List[Connection], List[Connection]]:
+    connections: list[Connection], train_fraction: float, rng
+) -> tuple[list[Connection], list[Connection]]:
     """Randomly split connections into train/test according to ``train_fraction``."""
     if not 0.0 < train_fraction < 1.0:
         raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.netstack.addresses import int_to_ip, ip_to_int
 from repro.netstack.checksum import internet_checksum
@@ -35,16 +34,16 @@ class Ipv4Header:
     src: int
     dst: int
     version: int = 4
-    ihl: Optional[int] = None
+    ihl: int | None = None
     tos: int = 0
-    total_length: Optional[int] = None
+    total_length: int | None = None
     identification: int = 0
     dont_fragment: bool = True
     more_fragments: bool = False
     fragment_offset: int = 0
     ttl: int = 64
     protocol: int = IP_PROTOCOL_TCP
-    checksum: Optional[int] = None
+    checksum: int | None = None
     options: bytes = b""
 
     # ------------------------------------------------------------------ sizes

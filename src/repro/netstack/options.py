@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 
 class OptionKind:
@@ -147,14 +147,14 @@ def encode_options(options: Sequence[object]) -> bytes:
     return raw
 
 
-def decode_options(data: bytes) -> List[object]:
+def decode_options(data: bytes) -> list[object]:
     """Decode the options area of a TCP header into option objects.
 
     Malformed trailing bytes (e.g. a truncated option) are preserved as a
     :class:`RawOption` with kind of the offending byte so that parsing never
     raises on hostile input.
     """
-    options: List[object] = []
+    options: list[object] = []
     index = 0
     length = len(data)
     while index < length:
@@ -197,7 +197,7 @@ def _decode_single(kind: int, body: bytes) -> object:
     return RawOption(kind=kind, data=body)
 
 
-def find_option(options: Sequence[object], kind: int) -> Optional[object]:
+def find_option(options: Sequence[object], kind: int) -> object | None:
     """Return the first option of ``kind`` in ``options`` or ``None``."""
     for option in options:
         if getattr(option, "kind", None) == kind:
@@ -230,7 +230,6 @@ def summarize_feature_options(options: Sequence[object]):
         elif kind == OptionKind.USER_TIMEOUT:
             if user_timeout is None and hasattr(option, "timeout"):
                 user_timeout = option
-        elif kind == OptionKind.MD5_SIGNATURE:
-            if md5 is None and hasattr(option, "valid"):
-                md5 = option
+        elif kind == OptionKind.MD5_SIGNATURE and md5 is None and hasattr(option, "valid"):
+            md5 = option
     return mss, timestamp, window_scale, user_timeout, md5

@@ -25,7 +25,7 @@ import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Tuple, Union
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class PcapRecord:
 class PcapWriter:
     """Write IPv4 packets to a classic pcap file (LINKTYPE_RAW)."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
         self._file = open(self._path, "wb")
         header = _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, 65535, LINKTYPE_RAW)
@@ -84,7 +84,7 @@ class PcapWriter:
 class PcapReader:
     """Iterate records (and optionally parsed packets) from a pcap file."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
         self._file = open(self._path, "rb")
         header = self._file.read(_GLOBAL_HEADER.size)
@@ -132,7 +132,7 @@ class PcapReader:
                 if strict:
                     raise
 
-    def _strip_link_layer(self, data: bytes) -> Union[bytes, None]:
+    def _strip_link_layer(self, data: bytes) -> bytes | None:
         if self.link_type == LINKTYPE_RAW:
             return data
         if self.link_type == LINKTYPE_ETHERNET:
@@ -167,7 +167,7 @@ class PcapReader:
 
     def _scan_blocks(
         self, block_bytes: int
-    ) -> Iterator[Tuple[bytes, List[int], List[int]]]:
+    ) -> Iterator[tuple[bytes, list[int], list[int]]]:
         """Carve whole records out of large file blocks.
 
         Yields ``(buffer, data_starts, captured_lengths)`` per block, where
@@ -192,8 +192,8 @@ class PcapReader:
             buffer = carry + chunk if carry else chunk
             if not buffer:
                 return
-            starts: List[int] = []
-            caplens: List[int] = []
+            starts: list[int] = []
+            caplens: list[int] = []
             position = 0
             end = len(buffer)
             while position + _RECORD_HEADER.size <= end:
@@ -223,7 +223,7 @@ class PcapReader:
                 return
 
     def _block_columns(
-        self, buffer: bytes, starts: List[int], caplens: List[int], strict: bool
+        self, buffer: bytes, starts: list[int], caplens: list[int], strict: bool
     ):
         """Vectorized record-header parse + link-layer strip for one block."""
         from repro.netstack.columns import parse_packet_columns
@@ -300,14 +300,14 @@ class PcapReader:
         self.close()
 
 
-def read_packet_columns(path: Union[str, Path], *, strict: bool = False):
+def read_packet_columns(path: str | Path, *, strict: bool = False):
     """Read all TCP/IPv4 packets from ``path`` as one
     :class:`~repro.netstack.columns.PacketColumns` (columnar ``read_pcap``)."""
     with PcapReader(path) as reader:
         return reader.read_columns(strict=strict)
 
 
-def write_pcap(path: Union[str, Path], packets: Iterable[Packet]) -> int:
+def write_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
     """Write ``packets`` to ``path``; returns the number of records written."""
     count = 0
     with PcapWriter(path) as writer:
@@ -317,7 +317,7 @@ def write_pcap(path: Union[str, Path], packets: Iterable[Packet]) -> int:
     return count
 
 
-def read_pcap(path: Union[str, Path]) -> List[Packet]:
+def read_pcap(path: str | Path) -> list[Packet]:
     """Read all TCP/IPv4 packets from ``path`` into a list."""
     with PcapReader(path) as reader:
         return list(reader.packets())

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
 
 from repro.netstack import options as tcpopts
 from repro.netstack.checksum import tcp_checksum
@@ -34,7 +33,7 @@ class TcpFlags:
     ORDER = ("FIN", "SYN", "RST", "PSH", "ACK", "URG", "ECE", "CWR", "NS")
 
     @classmethod
-    def names(cls, flags: int) -> List[str]:
+    def names(cls, flags: int) -> list[str]:
         """Return the names of the flags set in ``flags``, in canonical order."""
         return [name for name in cls.ORDER if flags & getattr(cls, name)]
 
@@ -58,13 +57,13 @@ class TcpHeader:
     flags: int = 0
     window: int = 65535
     urgent_pointer: int = 0
-    data_offset: Optional[int] = None
-    checksum: Optional[int] = None
-    options: List[object] = field(default_factory=list)
+    data_offset: int | None = None
+    checksum: int | None = None
+    options: list[object] = field(default_factory=list)
     # When an attack garbles the checksum we record the intent here as well, so
     # that validity can be assessed without re-serialising in contexts where the
     # surrounding IP addresses are unknown.
-    checksum_valid_hint: Optional[bool] = None
+    checksum_valid_hint: bool | None = None
 
     # ----------------------------------------------------------------- flags
     def has_flag(self, mask: int) -> bool:
@@ -87,7 +86,7 @@ class TcpHeader:
         return self.has_flag(TcpFlags.RST)
 
     @property
-    def flag_names(self) -> List[str]:
+    def flag_names(self) -> list[str]:
         return TcpFlags.names(self.flags)
 
     # ----------------------------------------------------------------- sizes
@@ -103,23 +102,23 @@ class TcpHeader:
         return self.header_length // 4
 
     # --------------------------------------------------------------- options
-    def option(self, kind: int) -> Optional[object]:
+    def option(self, kind: int) -> object | None:
         """Return the first option of ``kind`` or ``None``."""
         return tcpopts.find_option(self.options, kind)
 
-    def timestamp_option(self) -> Optional[tcpopts.Timestamp]:
+    def timestamp_option(self) -> tcpopts.Timestamp | None:
         return self.option(tcpopts.OptionKind.TIMESTAMP)
 
-    def mss_option(self) -> Optional[tcpopts.MaximumSegmentSize]:
+    def mss_option(self) -> tcpopts.MaximumSegmentSize | None:
         return self.option(tcpopts.OptionKind.MSS)
 
-    def window_scale_option(self) -> Optional[tcpopts.WindowScale]:
+    def window_scale_option(self) -> tcpopts.WindowScale | None:
         return self.option(tcpopts.OptionKind.WINDOW_SCALE)
 
-    def md5_option(self) -> Optional[tcpopts.Md5Signature]:
+    def md5_option(self) -> tcpopts.Md5Signature | None:
         return self.option(tcpopts.OptionKind.MD5_SIGNATURE)
 
-    def user_timeout_option(self) -> Optional[tcpopts.UserTimeout]:
+    def user_timeout_option(self) -> tcpopts.UserTimeout | None:
         return self.option(tcpopts.OptionKind.USER_TIMEOUT)
 
     def replace_option(self, new_option: object) -> None:

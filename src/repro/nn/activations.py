@@ -8,7 +8,7 @@ the backward passes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from collections.abc import Callable
 
 import numpy as np
 
@@ -72,7 +72,7 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 # Registry used by the Dense layer so activations can be configured by name.
-_ACTIVATIONS: Dict[str, Tuple[Callable, Callable, bool]] = {
+_ACTIVATIONS: dict[str, tuple[Callable, Callable, bool]] = {
     # name -> (function, gradient, gradient_takes_output)
     "sigmoid": (sigmoid, sigmoid_grad_from_output, True),
     "tanh": (tanh, tanh_grad_from_output, True),
@@ -83,7 +83,7 @@ _ACTIVATIONS: Dict[str, Tuple[Callable, Callable, bool]] = {
 }
 
 
-def get_activation(name: str) -> Tuple[Callable, Callable, bool]:
+def get_activation(name: str) -> tuple[Callable, Callable, bool]:
     """Look up ``(function, gradient, gradient_takes_output)`` by name."""
     try:
         return _ACTIVATIONS[name]

@@ -7,7 +7,7 @@ reconstruction error is the anomaly signal used in Stage (d).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -15,10 +15,10 @@ from repro.nn.dense import Dense
 from repro.nn.losses import L1Loss, MSELoss
 from repro.nn.optim import Adam, Optimizer
 
-Parameters = Dict[str, np.ndarray]
+Parameters = dict[str, np.ndarray]
 
 
-def symmetric_layer_sizes(input_size: int, bottleneck_size: int, depth: int) -> List[int]:
+def symmetric_layer_sizes(input_size: int, bottleneck_size: int, depth: int) -> list[int]:
     """Geometrically-interpolated encoder/decoder layer sizes.
 
     ``depth`` counts the total number of layers (Table 6 uses 7 for CLAP's
@@ -54,7 +54,7 @@ class Autoencoder:
         learning_rate: float = 0.001,
         loss: str = "l1",
         seed: int = 0,
-        layer_sizes: Optional[Sequence[int]] = None,
+        layer_sizes: Sequence[int] | None = None,
     ) -> None:
         rng = np.random.default_rng(seed)
         if layer_sizes is None:
@@ -66,7 +66,7 @@ class Autoencoder:
         self.input_size = input_size
         self.layer_sizes = list(layer_sizes)
         self.bottleneck_size = min(layer_sizes)
-        self.layers: List[Dense] = []
+        self.layers: list[Dense] = []
         for index in range(len(layer_sizes) - 1):
             is_last = index == len(layer_sizes) - 2
             self.layers.append(
@@ -132,16 +132,16 @@ class Autoencoder:
         *,
         epochs: int = 50,
         batch_size: int = 64,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
         verbose: bool = False,
-    ) -> List[float]:
+    ) -> list[float]:
         """Train on ``data`` (samples, input_size); returns per-epoch losses."""
         rng = rng if rng is not None else np.random.default_rng(0)
-        history: List[float] = []
+        history: list[float] = []
         count = data.shape[0]
         for epoch in range(epochs):
             order = rng.permutation(count)
-            epoch_losses: List[float] = []
+            epoch_losses: list[float] = []
             for start in range(0, count, batch_size):
                 batch = data[order[start : start + batch_size]]
                 epoch_losses.append(self.train_batch(batch))
@@ -151,13 +151,13 @@ class Autoencoder:
         return history
 
     # ------------------------------------------------------------- persistence
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> dict[str, np.ndarray]:
         state = {key: value.copy() for key, value in self.parameters.items()}
-        state["meta/layer_sizes"] = np.array(self.layer_sizes)
-        state["meta/loss"] = np.array([0 if self.loss_name == "l1" else 1])
+        state["meta/layer_sizes"] = np.array(self.layer_sizes, dtype=np.int64)
+        state["meta/loss"] = np.array([0 if self.loss_name == "l1" else 1], dtype=np.int64)
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         # Adopt read-only memory-mapped weights instead of copying them (all
         # layers read through this shared dict); see GRUSequenceClassifier.
         for key in self.parameters:
@@ -168,7 +168,7 @@ class Autoencoder:
                 self.parameters[key][...] = value
 
     @classmethod
-    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "Autoencoder":
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "Autoencoder":
         layer_sizes = [int(v) for v in state["meta/layer_sizes"]]
         loss = "l1" if int(state["meta/loss"][0]) == 0 else "mse"
         model = cls(input_size=layer_sizes[0], layer_sizes=layer_sizes, loss=loss)

@@ -36,7 +36,8 @@ CLI ``--backend``, manifest, process workers) composes automatically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Type, runtime_checkable
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -74,33 +75,33 @@ class SequenceBackend(Protocol):
 
     backend_name: str
     trainable: bool
-    training_backend: Optional[str]
+    training_backend: str | None
     input_size: int
     hidden_size: int
 
-    def gate_activations(self, sequence: np.ndarray) -> Tuple[np.ndarray, np.ndarray]: ...
+    def gate_activations(self, sequence: np.ndarray) -> tuple[np.ndarray, np.ndarray]: ...
 
     def gate_activations_batch(
         self,
         sequences: Sequence[np.ndarray],
-        lengths: Optional[Sequence[int]] = None,
+        lengths: Sequence[int] | None = None,
         *,
         chunk_size: int = 64,
-    ) -> List[Tuple[np.ndarray, np.ndarray]]: ...
+    ) -> list[tuple[np.ndarray, np.ndarray]]: ...
 
     def train_batch(
         self,
         inputs: np.ndarray,
         targets: np.ndarray,
-        mask: Optional[np.ndarray] = None,
+        mask: np.ndarray | None = None,
     ) -> float: ...
 
-    def state_dict(self) -> Dict[str, np.ndarray]: ...
+    def state_dict(self) -> dict[str, np.ndarray]: ...
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None: ...
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None: ...
 
 
-_BACKENDS: Dict[str, Type] = {}
+_BACKENDS: dict[str, Type] = {}
 
 
 def register_backend(cls):
@@ -122,17 +123,17 @@ def get_backend(name: str) -> Type:
         ) from None
 
 
-def available_backends() -> List[str]:
+def available_backends() -> list[str]:
     """Registered (persistable) backend names, sorted."""
     return sorted(_BACKENDS)
 
 
-def trainable_backends() -> List[str]:
+def trainable_backends() -> list[str]:
     """Backend names ``repro-clap train --backend`` accepts."""
     return sorted(_BACKENDS)
 
 
-def serving_backends() -> List[str]:
+def serving_backends() -> list[str]:
     """Backend names ``--backend`` accepts at serving time (adds ``gru-f32``)."""
     return sorted(set(_BACKENDS) | {"gru-f32"})
 
@@ -173,7 +174,7 @@ class QuantizedGruBackend(GruBackend):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._quantized: Dict[str, np.ndarray] = {}
+        self._quantized: dict[str, np.ndarray] = {}
         self.set_compute_dtype("float32")
 
     # ------------------------------------------------------------- conversion
@@ -185,7 +186,7 @@ class QuantizedGruBackend(GruBackend):
             hidden_size=source.hidden_size,
             num_classes=source.num_classes,
         )
-        payload: Dict[str, np.ndarray] = {}
+        payload: dict[str, np.ndarray] = {}
         for key in cls.QUANTIZED_KEYS:
             values, scales = quantize_per_gate(source.parameters[key], source.hidden_size)
             payload[f"quant/{key}"] = values
@@ -208,7 +209,7 @@ class QuantizedGruBackend(GruBackend):
         model.gru.invalidate_compute_cache()
         return model
 
-    def _adopt(self, payload: Dict[str, np.ndarray]) -> None:
+    def _adopt(self, payload: dict[str, np.ndarray]) -> None:
         """Install a quantized payload: dequantize into the master params."""
         for key in self.QUANTIZED_KEYS:
             dequantized = dequantize_per_gate(
@@ -229,20 +230,20 @@ class QuantizedGruBackend(GruBackend):
         )
 
     # ------------------------------------------------------------- persistence
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> dict[str, np.ndarray]:
         if not self._quantized:
             raise RuntimeError("QuantizedGruBackend has no quantized payload to persist")
         state = {
             key: np.asarray(value).copy() for key, value in self._quantized.items()
         }
-        state["meta/input_size"] = np.array([self.input_size])
-        state["meta/hidden_size"] = np.array([self.hidden_size])
-        state["meta/num_classes"] = np.array([self.num_classes])
+        state["meta/input_size"] = np.array([self.input_size], dtype=np.int64)
+        state["meta/hidden_size"] = np.array([self.hidden_size], dtype=np.int64)
+        state["meta/num_classes"] = np.array([self.num_classes], dtype=np.int64)
         state["meta/backend"] = encode_backend_name(self.backend_name)
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        payload: Dict[str, np.ndarray] = {}
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        payload: dict[str, np.ndarray] = {}
         for key in self.QUANTIZED_KEYS:
             # Read-only mmap int8 payloads are adopted as-is: dequantization
             # copies into fresh float arrays anyway, so the int8 blocks stay
@@ -255,7 +256,7 @@ class QuantizedGruBackend(GruBackend):
         self._adopt(payload)
 
     @classmethod
-    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "QuantizedGruBackend":
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "QuantizedGruBackend":
         model = cls(
             input_size=int(state["meta/input_size"][0]),
             hidden_size=int(state["meta/hidden_size"][0]),
@@ -270,7 +271,7 @@ class QuantizedGruBackend(GruBackend):
 # ---------------------------------------------------------------------------
 
 
-def quantize_per_gate(weights: np.ndarray, hidden_size: int) -> Tuple[np.ndarray, np.ndarray]:
+def quantize_per_gate(weights: np.ndarray, hidden_size: int) -> tuple[np.ndarray, np.ndarray]:
     """Symmetric int8 quantization with one scale per gate block.
 
     ``weights`` has shape ``(rows, 3 * hidden_size)`` — the concatenated
@@ -313,12 +314,12 @@ def dequantize_per_gate(
 # ---------------------------------------------------------------------------
 
 
-def backend_name_from_state(state: Dict[str, np.ndarray]) -> str:
+def backend_name_from_state(state: dict[str, np.ndarray]) -> str:
     """The backend identity recorded in a model state (legacy states: gru)."""
     return decode_backend_name(state.get("meta/backend"))
 
 
-def backend_from_state_dict(state: Dict[str, np.ndarray]):
+def backend_from_state_dict(state: dict[str, np.ndarray]):
     """Reconstruct the backend a state dict was saved from (registry dispatch)."""
     return get_backend(backend_name_from_state(state)).from_state_dict(state)
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 
@@ -25,7 +24,7 @@ class Dense:
         *,
         activation: str = "identity",
         prefix: str = "dense/",
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         rng = rng if rng is not None else np.random.default_rng(0)
         self.input_size = input_size
@@ -33,13 +32,13 @@ class Dense:
         self.activation_name = activation
         self._activation, self._activation_grad, self._grad_takes_output = get_activation(activation)
         self.prefix = prefix
-        self.parameters: Dict[str, np.ndarray] = {
+        self.parameters: dict[str, np.ndarray] = {
             f"{prefix}W": glorot_uniform(rng, input_size, output_size),
             f"{prefix}b": zeros(output_size),
         }
-        self._cache_input: Optional[np.ndarray] = None
-        self._cache_pre_activation: Optional[np.ndarray] = None
-        self._cache_output: Optional[np.ndarray] = None
+        self._cache_input: np.ndarray | None = None
+        self._cache_pre_activation: np.ndarray | None = None
+        self._cache_output: np.ndarray | None = None
 
     # ------------------------------------------------------------------ math
     @property
@@ -65,7 +64,7 @@ class Dense:
             self._cache_output = output
         return output
 
-    def backward(self, grad_output: np.ndarray, gradients: Dict[str, np.ndarray]) -> np.ndarray:
+    def backward(self, grad_output: np.ndarray, gradients: dict[str, np.ndarray]) -> np.ndarray:
         """Backpropagate ``grad_output`` and accumulate parameter gradients.
 
         Returns the gradient with respect to the layer input.

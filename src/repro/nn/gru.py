@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.nn.initializers import glorot_uniform, orthogonal, zeros
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optim import Adam, Optimizer
 
-Parameters = Dict[str, np.ndarray]
+Parameters = dict[str, np.ndarray]
 
 #: Compute dtypes the inference fast path accepts.  ``float64`` is the
 #: training/oracle dtype (bit-identical to the masked forward); ``float32``
@@ -46,7 +46,7 @@ def encode_backend_name(name: str) -> np.ndarray:
     return np.frombuffer(name.encode("utf-8"), dtype=np.uint8).copy()
 
 
-def decode_backend_name(value: Optional[np.ndarray], default: str = "gru") -> str:
+def decode_backend_name(value: np.ndarray | None, default: str = "gru") -> str:
     """Inverse of :func:`encode_backend_name`; legacy states map to ``default``."""
     if value is None:
         return default
@@ -94,10 +94,10 @@ def _sigmoid_fast_inplace(x: np.ndarray) -> None:
 class ChunkPlan:
     """One padded chunk of a packed plan."""
 
-    indices: Tuple[int, ...]  # original sequence indices, ascending length
+    indices: tuple[int, ...]  # original sequence indices, ascending length
     lengths: np.ndarray  # (rows,) int64, ascending
     max_time: int
-    alive_from: Tuple[int, ...]  # per step: first alive lane (suffix start)
+    alive_from: tuple[int, ...]  # per step: first alive lane (suffix start)
 
 
 @dataclass(frozen=True)
@@ -109,8 +109,8 @@ class PackedPlan:
 
     count: int
     chunk_size: int
-    empty: Tuple[int, ...]  # indices of zero-length sequences
-    chunks: Tuple[ChunkPlan, ...]
+    empty: tuple[int, ...]  # indices of zero-length sequences
+    chunks: tuple[ChunkPlan, ...]
     bounds: np.ndarray  # (count + 1,) int64 row offsets in input order
     total_steps: int
 
@@ -126,7 +126,7 @@ def build_packed_plan(lengths: np.ndarray, chunk_size: int) -> PackedPlan:
     chunk_size = max(int(chunk_size), 1)
     nonempty = np.flatnonzero(lengths > 0)
     order = nonempty[np.argsort(lengths[nonempty], kind="stable")]
-    chunks: List[ChunkPlan] = []
+    chunks: list[ChunkPlan] = []
     for start in range(0, order.size, chunk_size):
         chosen = order[start : start + chunk_size]
         chunk_lengths = lengths[chosen].copy()
@@ -163,7 +163,7 @@ class PackedPlanCache:
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = max(int(maxsize), 1)
-        self._plans: "OrderedDict[Tuple[int, bytes], PackedPlan]" = OrderedDict()
+        self._plans: "OrderedDict[tuple[int, bytes], PackedPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -181,7 +181,7 @@ class PackedPlanCache:
             self._plans.popitem(last=False)
         return plan
 
-    def info(self) -> Dict[str, int]:
+    def info(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "size": len(self._plans)}
 
 
@@ -195,7 +195,7 @@ class GruStepCache:
     reset_gate: np.ndarray
     candidate: np.ndarray
     hidden_from_u: np.ndarray
-    mask: Optional[np.ndarray]
+    mask: np.ndarray | None
 
 
 @dataclass
@@ -205,7 +205,7 @@ class GruForwardResult:
     hidden_states: np.ndarray  # (batch, time, hidden)
     update_gates: np.ndarray  # (batch, time, hidden)
     reset_gates: np.ndarray  # (batch, time, hidden)
-    caches: List[GruStepCache]
+    caches: list[GruStepCache]
 
 
 class GRULayer:
@@ -217,7 +217,7 @@ class GRULayer:
         hidden_size: int,
         *,
         prefix: str = "gru/",
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         rng = rng if rng is not None else np.random.default_rng(0)
         self.input_size = input_size
@@ -233,7 +233,7 @@ class GRULayer:
             f"{prefix}b": zeros(3 * hidden_size),
         }
         self.compute_dtype: np.dtype = np.dtype(np.float64)
-        self._compute_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._compute_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------ compute mode
     def set_compute_dtype(self, dtype) -> None:
@@ -260,7 +260,7 @@ class GRULayer:
         """Drop the cast parameter cache (call after any parameter update)."""
         self._compute_cache = None
 
-    def _compute_params(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _compute_params(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The (W, U, b) triple in the compute dtype, cast once and cached."""
         if self.compute_dtype == np.float64:
             return self.weight_input, self.weight_hidden, self.bias
@@ -273,7 +273,7 @@ class GRULayer:
         return self._compute_cache
 
     # ------------------------------------------------------------------ slices
-    def _slices(self) -> Tuple[slice, slice, slice]:
+    def _slices(self) -> tuple[slice, slice, slice]:
         h = self.hidden_size
         return slice(0, h), slice(h, 2 * h), slice(2 * h, 3 * h)
 
@@ -294,8 +294,8 @@ class GRULayer:
         self,
         inputs: np.ndarray,
         h_prev: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, GruStepCache]:
+        mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, GruStepCache]:
         """One time step for a batch: ``inputs`` is (batch, input_size)."""
         z_slice, r_slice, h_slice = self._slices()
         projected_input = inputs @ self.weight_input + self.bias
@@ -322,7 +322,7 @@ class GRULayer:
     def forward(
         self,
         inputs: np.ndarray,
-        mask: Optional[np.ndarray] = None,
+        mask: np.ndarray | None = None,
         *,
         need_caches: bool = True,
     ) -> GruForwardResult:
@@ -338,7 +338,7 @@ class GRULayer:
         hidden_states = np.zeros((batch, time, self.hidden_size), dtype=np.float64)
         update_gates = np.zeros_like(hidden_states)
         reset_gates = np.zeros_like(hidden_states)
-        caches: List[GruStepCache] = []
+        caches: list[GruStepCache] = []
         for t in range(time):
             step_mask = mask[:, t] if mask is not None else None
             hidden, cache = self.step(inputs[:, t, :], hidden, step_mask)
@@ -359,10 +359,10 @@ class GRULayer:
         inputs: np.ndarray,
         lengths: np.ndarray,
         *,
-        alive_from: Optional[Sequence[int]] = None,
-        out_update: Optional[np.ndarray] = None,
-        out_reset: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        alive_from: Sequence[int] | None = None,
+        out_update: np.ndarray | None = None,
+        out_reset: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Update/reset gates for a padded batch sorted by ascending length.
 
         With lanes ordered shortest-first, the lanes still alive at step ``t``
@@ -461,7 +461,7 @@ class GRULayer:
     def backward(
         self,
         grad_hidden_states: np.ndarray,
-        caches: List[GruStepCache],
+        caches: list[GruStepCache],
         gradients: Parameters,
     ) -> np.ndarray:
         """Backpropagate through time.
@@ -547,7 +547,7 @@ class GRUSequenceClassifier:
     trainable = True
     #: Backend to train when this one is inference-only (protocol hook; the
     #: reference implementation trains itself).
-    training_backend: Optional[str] = None
+    training_backend: str | None = None
 
     def __init__(
         self,
@@ -586,25 +586,25 @@ class GRUSequenceClassifier:
         """Select the inference compute dtype (see :meth:`GRULayer.set_compute_dtype`)."""
         self.gru.set_compute_dtype(dtype)
 
-    def plan_cache_info(self) -> Dict[str, int]:
+    def plan_cache_info(self) -> dict[str, int]:
         """Hit/miss counters of the packed-plan cache (observability hook)."""
         return self._plan_cache.info()
 
     # ----------------------------------------------------------------- forward
     def forward(
-        self, inputs: np.ndarray, mask: Optional[np.ndarray] = None
-    ) -> Tuple[np.ndarray, GruForwardResult]:
+        self, inputs: np.ndarray, mask: np.ndarray | None = None
+    ) -> tuple[np.ndarray, GruForwardResult]:
         """Return per-step logits (batch, time, classes) and the GRU result."""
         result = self.gru.forward(inputs, mask)
         logits = self.head.forward(result.hidden_states)
         return logits, result
 
-    def predict_classes(self, inputs: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+    def predict_classes(self, inputs: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         """Arg-max class prediction per step."""
         logits, _ = self.forward(inputs, mask)
         return np.argmax(logits, axis=-1)
 
-    def gate_activations(self, sequence: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def gate_activations(self, sequence: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Update and reset gate activations for one un-padded sequence.
 
         ``sequence`` has shape (time, input_size); the returned arrays have
@@ -620,10 +620,10 @@ class GRUSequenceClassifier:
     def gate_activations_batch(
         self,
         sequences: Sequence[np.ndarray],
-        lengths: Optional[Sequence[int]] = None,
+        lengths: Sequence[int] | None = None,
         *,
         chunk_size: int = 64,
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Update/reset gate activations for a batch of variable-length sequences.
 
         ``sequences`` is a list of (time_i, input_size) arrays; the result is a
@@ -661,10 +661,10 @@ class GRUSequenceClassifier:
     def gate_activations_concat(
         self,
         sequences: Sequence[np.ndarray],
-        lengths: Optional[Sequence[int]] = None,
+        lengths: Sequence[int] | None = None,
         *,
         chunk_size: int = 64,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Concatenated update/reset gates for a batch, in input order.
 
         Returns ``(update, reset, bounds)`` where both gate matrices have
@@ -710,7 +710,7 @@ class GRUSequenceClassifier:
         self,
         inputs: np.ndarray,
         targets: np.ndarray,
-        mask: Optional[np.ndarray] = None,
+        mask: np.ndarray | None = None,
     ) -> float:
         """One optimiser step on a padded batch; returns the masked mean loss."""
         logits, result = self.forward(inputs, mask)
@@ -728,7 +728,7 @@ class GRUSequenceClassifier:
         self,
         inputs: np.ndarray,
         targets: np.ndarray,
-        mask: Optional[np.ndarray] = None,
+        mask: np.ndarray | None = None,
     ) -> float:
         """Masked per-step classification accuracy."""
         predictions = self.predict_classes(inputs, mask)
@@ -739,15 +739,15 @@ class GRUSequenceClassifier:
         return float(correct.mean())
 
     # ------------------------------------------------------------- persistence
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> dict[str, np.ndarray]:
         state = {key: value.copy() for key, value in self.parameters.items()}
-        state["meta/input_size"] = np.array([self.input_size])
-        state["meta/hidden_size"] = np.array([self.hidden_size])
-        state["meta/num_classes"] = np.array([self.num_classes])
+        state["meta/input_size"] = np.array([self.input_size], dtype=np.int64)
+        state["meta/hidden_size"] = np.array([self.hidden_size], dtype=np.int64)
+        state["meta/num_classes"] = np.array([self.num_classes], dtype=np.int64)
         state["meta/backend"] = encode_backend_name(self.backend_name)
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         # Read-only memory-mapped weights are adopted in place of the freshly
         # initialised arrays (every consumer reads through this shared dict),
         # so an mmap-loaded model never copies them into anonymous memory;
@@ -761,7 +761,7 @@ class GRUSequenceClassifier:
         self.gru.invalidate_compute_cache()
 
     @classmethod
-    def from_state_dict(cls, state: Dict[str, np.ndarray]) -> "GRUSequenceClassifier":
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "GRUSequenceClassifier":
         model = cls(
             input_size=int(state["meta/input_size"][0]),
             hidden_size=int(state["meta/hidden_size"][0]),

@@ -8,7 +8,6 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,8 +27,8 @@ class SoftmaxCrossEntropy:
         self,
         logits: np.ndarray,
         targets: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-    ) -> Tuple[float, np.ndarray]:
+        mask: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
         """Return ``(mean loss, probabilities)``."""
         probabilities = softmax(logits, axis=-1)
         flat_probs = probabilities.reshape(-1, probabilities.shape[-1])
@@ -48,7 +47,7 @@ class SoftmaxCrossEntropy:
         self,
         probabilities: np.ndarray,
         targets: np.ndarray,
-        mask: Optional[np.ndarray] = None,
+        mask: np.ndarray | None = None,
     ) -> np.ndarray:
         """Gradient of the mean loss with respect to the logits."""
         grad = probabilities.copy()

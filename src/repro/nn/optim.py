@@ -8,11 +8,10 @@ practice for both GRU classifiers and autoencoders.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 
-Parameters = Dict[str, np.ndarray]
+Parameters = dict[str, np.ndarray]
 
 
 class Optimizer:
@@ -22,7 +21,7 @@ class Optimizer:
         raise NotImplementedError
 
     @staticmethod
-    def clip_gradients(gradients: Parameters, max_norm: Optional[float]) -> float:
+    def clip_gradients(gradients: Parameters, max_norm: float | None) -> float:
         """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
         Returns the pre-clipping norm (useful for monitoring exploding

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import zipfile
 from pathlib import Path
-from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -24,7 +23,7 @@ _ZIP_LOCAL_HEADER_SIZE = 30  # fixed part of a zip local file header
 _ZIP_LOCAL_MAGIC = b"PK\x03\x04"
 
 
-def save_state(path: Union[str, Path], state: Dict[str, np.ndarray]) -> Path:
+def save_state(path: str | Path, state: dict[str, np.ndarray]) -> Path:
     """Write a state dictionary to ``path`` (``.npz`` appended if missing).
 
     Members are stored uncompressed (``np.savez``), which keeps the archive
@@ -40,7 +39,7 @@ def save_state(path: Union[str, Path], state: Dict[str, np.ndarray]) -> Path:
     return path
 
 
-def _resolve(path: Union[str, Path]) -> Path:
+def _resolve(path: str | Path) -> Path:
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -48,8 +47,8 @@ def _resolve(path: Union[str, Path]) -> Path:
 
 
 def load_state(
-    path: Union[str, Path], *, mmap_mode: Optional[str] = None
-) -> Dict[str, np.ndarray]:
+    path: str | Path, *, mmap_mode: str | None = None
+) -> dict[str, np.ndarray]:
     """Read a state dictionary previously written by :func:`save_state`.
 
     ``mmap_mode`` (e.g. ``"r"``) memory-maps each array out of the archive
@@ -66,7 +65,7 @@ def load_state(
             return {key.replace("__slash__", "/"): archive[key] for key in archive.files}
     if mmap_mode != "r":
         raise ValueError(f"only mmap_mode='r' is supported, got {mmap_mode!r}")
-    state: Dict[str, np.ndarray] = {}
+    state: dict[str, np.ndarray] = {}
     with zipfile.ZipFile(path) as archive:
         for info in archive.infolist():
             name = info.filename
@@ -81,7 +80,7 @@ def load_state(
 
 def _mmap_member(
     path: Path, archive: zipfile.ZipFile, info: zipfile.ZipInfo
-) -> Optional[np.ndarray]:
+) -> np.ndarray | None:
     """Memory-map one stored ``.npy`` member of a zip, or ``None`` if it
     cannot be mapped (compressed member, object dtype, empty array)."""
     if info.compress_type != zipfile.ZIP_STORED:

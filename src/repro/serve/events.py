@@ -12,7 +12,6 @@ the :class:`Alert` subtype, so callers can dispatch on the event class or on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.core.results import DetectionResult
 from repro.netstack.flow import CompletionReason
@@ -31,7 +30,7 @@ class DetectionEvent:
     def is_alert(self) -> bool:
         return self.result.is_adversarial
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-serialisable rendering (one NDJSON line in the CLI)."""
         payload = {"event": "alert" if self.is_alert else "detection"}
         payload.update(self.result.to_dict())

@@ -20,14 +20,14 @@ from __future__ import annotations
 import threading
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from repro.netstack.flow import CompletionReason, Connection
 
 #: Upper edges (seconds) of the flush-latency histogram buckets; the final
 #: bucket is open-ended.  Engine flushes on commodity hardware land in the
 #: single-digit-millisecond range, so the buckets climb log-ish from 1 ms.
-LATENCY_BUCKET_EDGES: Tuple[float, ...] = (
+LATENCY_BUCKET_EDGES: tuple[float, ...] = (
     0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
 )
 
@@ -35,7 +35,7 @@ LATENCY_BUCKET_EDGES: Tuple[float, ...] = (
 class LatencyHistogram:
     """Fixed-bucket latency histogram (Prometheus-style, cumulative render)."""
 
-    def __init__(self, edges: Tuple[float, ...] = LATENCY_BUCKET_EDGES) -> None:
+    def __init__(self, edges: tuple[float, ...] = LATENCY_BUCKET_EDGES) -> None:
         self.edges = tuple(float(edge) for edge in edges)
         self.counts = [0] * (len(self.edges) + 1)
         self.total = 0.0
@@ -53,10 +53,11 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         buckets = {}
         cumulative = 0
-        for edge, bucket_count in zip(self.edges, self.counts):
+        # counts carries one extra overflow bucket beyond the last edge (le_inf).
+        for edge, bucket_count in zip(self.edges, self.counts, strict=False):
             cumulative += bucket_count
             buckets[f"le_{edge:g}"] = cumulative
         buckets["le_inf"] = self.count
@@ -126,7 +127,7 @@ class StreamingMetrics:
         self._lock = threading.Lock()
         self.shard_count = int(shard_count)
         self.packets_ingested = [0] * self.shard_count
-        self.completions: Dict[str, int] = {reason.value: 0 for reason in CompletionReason}
+        self.completions: dict[str, int] = {reason.value: 0 for reason in CompletionReason}
         self.connections_scored = 0
         self.events_emitted = 0
         self.alerts_emitted = 0
@@ -136,7 +137,7 @@ class StreamingMetrics:
         self.max_queue_depth = 0
         # Latest counter struct shipped by each external (process) worker,
         # keyed by worker id; folded into snapshot()/render().
-        self._worker_states: Dict[object, Dict[str, object]] = {}
+        self._worker_states: dict[object, dict[str, object]] = {}
 
     # -------------------------------------------------------------- recording
     def record_ingest(self, shard: int, packets: int = 1) -> None:
@@ -150,7 +151,7 @@ class StreamingMetrics:
             self.packets_ingested[shard] = int(packets)
 
     def record_completions(
-        self, completions: Iterable[Tuple[Connection, CompletionReason]]
+        self, completions: Iterable[tuple[Connection, CompletionReason]]
     ) -> None:
         with self._lock:
             for _, reason in completions:
@@ -181,7 +182,7 @@ class StreamingMetrics:
                 self.max_queue_depth = depth
 
     # ------------------------------------------------ cross-process aggregation
-    def worker_state(self) -> Dict[str, object]:
+    def worker_state(self) -> dict[str, object]:
         """This instance's worker-side counters as one picklable struct.
 
         A process shard worker records into a private ``StreamingMetrics``
@@ -201,7 +202,7 @@ class StreamingMetrics:
                 "max_pending_depth": self.max_pending_depth,
             }
 
-    def absorb_worker_state(self, worker: object, state: Dict[str, object]) -> None:
+    def absorb_worker_state(self, worker: object, state: dict[str, object]) -> None:
         """Remember the latest counter struct shipped by ``worker``."""
         with self._lock:
             self._worker_states[worker] = dict(state)
@@ -217,7 +218,7 @@ class StreamingMetrics:
         snap = self.snapshot()
         return sum(snap["completions_by_reason"].values())  # type: ignore[union-attr]
 
-    def snapshot(self, occupancy: Optional[List[int]] = None) -> Dict[str, object]:
+    def snapshot(self, occupancy: list[int] | None = None) -> dict[str, object]:
         """One JSON-friendly dict with every signal (for logs / the CLI).
 
         External worker structs (process mode) are folded in, so the snapshot
@@ -258,7 +259,7 @@ class StreamingMetrics:
                 "shard_occupancy": list(occupancy) if occupancy is not None else None,
             }
 
-    def render(self, occupancy: Optional[List[int]] = None) -> str:
+    def render(self, occupancy: list[int] | None = None) -> str:
         """Short human-readable summary (printed to stderr by the CLI).
 
         Rendered strictly from one :meth:`snapshot`, so every printed number
@@ -288,10 +289,10 @@ class StreamingMetrics:
 
 
 def apply_drop_policy(
-    completions: List[Tuple[Connection, CompletionReason]],
-    policy: Optional[DropPolicy],
-    metrics: Optional[StreamingMetrics],
-) -> List[Tuple[Connection, CompletionReason]]:
+    completions: list[tuple[Connection, CompletionReason]],
+    policy: DropPolicy | None,
+    metrics: StreamingMetrics | None,
+) -> list[tuple[Connection, CompletionReason]]:
     """Filter ``completions`` through ``policy``, recording drops in ``metrics``.
 
     With no policy (or nothing to drop) the input list is returned unchanged,

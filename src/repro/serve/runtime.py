@@ -58,7 +58,7 @@ import weakref
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -104,11 +104,11 @@ _BLOCK_CACHE_DEPTH = 8
 _WORKER_JOIN_TIMEOUT = 10.0
 
 
-def _emit_nothing(events: List[DetectionEvent]) -> None:
+def _emit_nothing(events: list[DetectionEvent]) -> None:
     """Dispatch sink for the final drain: close() dispatches it sorted."""
 
 
-def _event_order(event: DetectionEvent) -> Tuple[float, str]:
+def _event_order(event: DetectionEvent) -> tuple[float, str]:
     """Deterministic event ordering: stream arrival, then connection key."""
     return (event.first_seen, str(event.result.key))
 
@@ -117,7 +117,7 @@ class _Flush:
     """Flush barrier token: the worker fills ``events`` and sets ``done``."""
 
     def __init__(self) -> None:
-        self.events: List[DetectionEvent] = []
+        self.events: list[DetectionEvent] = []
         self.done = threading.Event()
 
 
@@ -135,10 +135,10 @@ class _Shard:
         self.index = index
         self.table = table
         self.queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
-        self.pending: List[Tuple[Connection, CompletionReason]] = []
-        self.final_events: List[DetectionEvent] = []
-        self.failure: Optional[BaseException] = None
-        self.thread: Optional[threading.Thread] = None
+        self.pending: list[tuple[Connection, CompletionReason]] = []
+        self.final_events: list[DetectionEvent] = []
+        self.failure: BaseException | None = None
+        self.thread: threading.Thread | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -155,15 +155,15 @@ class _WorkerSpec:
     threshold: float
     top_n: int
     policy: FlushPolicy
-    drop_policy: Optional[DropPolicy]
+    drop_policy: DropPolicy | None
     idle_timeout: float
     close_grace: float
-    max_flows: Optional[int]
-    max_packets: Optional[int]
+    max_flows: int | None
+    max_packets: int | None
     block_cache: int = _BLOCK_CACHE_DEPTH
 
 
-def _read_block_payload(ref: Tuple) -> Union[bytes, memoryview]:
+def _read_block_payload(ref: Tuple) -> bytes | memoryview:
     """Materialise a block reference shipped by the parent (worker side)."""
     if ref[0] == "bytes":
         return ref[1]
@@ -196,20 +196,20 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
         max_flows=spec.max_flows,
         max_packets=spec.max_packets,
     )
-    pending: List[Tuple[Connection, CompletionReason]] = []
-    blocks: "OrderedDict[int, List[ColumnPacketView]]" = OrderedDict()
+    pending: list[tuple[Connection, CompletionReason]] = []
+    blocks: "OrderedDict[int, list[ColumnPacketView]]" = OrderedDict()
     failed = False
 
-    def gauges() -> Dict[str, object]:
+    def gauges() -> dict[str, object]:
         state = metrics.worker_state()
         state["active_flows"] = len(table)
         state["pending"] = len(pending)
         return state
 
-    def emit(events: List[DetectionEvent]) -> None:
+    def emit(events: list[DetectionEvent]) -> None:
         out_queue.put(("events", spec.index, events, gauges()))
 
-    clap: Optional[Clap] = None
+    clap: Clap | None = None
     try:
         clap = Clap.load(spec.model_dir, mmap_mode="r")
         clap.engine  # build once, before the first flush
@@ -217,7 +217,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
         failed = True
         out_queue.put(("failed", spec.index, f"{type(error).__name__}: {error}"))
 
-    def flush_pending(dispatch: bool = True) -> List[DetectionEvent]:
+    def flush_pending(dispatch: bool = True) -> list[DetectionEvent]:
         return drain_pending(
             clap,
             pending,
@@ -229,7 +229,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
         )
 
     def buffer_completions(
-        completions: List[Tuple[Connection, CompletionReason]]
+        completions: list[tuple[Connection, CompletionReason]]
     ) -> None:
         if not completions:
             return
@@ -246,7 +246,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
         kind = item[0]
         try:
             if kind == "close":
-                final: List[DetectionEvent] = []
+                final: list[DetectionEvent] = []
                 if not failed:
                     pending.extend(
                         apply_drop_policy(table.drain(), spec.drop_policy, metrics)
@@ -275,8 +275,8 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                 views = blocks[item[1]]
                 indices = np.frombuffer(item[2], dtype=np.int64)
                 clocks = np.frombuffer(item[3], dtype=np.float64)
-                completions: List[Tuple[Connection, CompletionReason]] = []
-                for index, clock in zip(indices.tolist(), clocks.tolist()):
+                completions: list[tuple[Connection, CompletionReason]] = []
+                for index, clock in zip(indices.tolist(), clocks.tolist(), strict=True):
                     view = views[index]
                     if clock > table.clock:
                         completions.extend(table.poll(clock))
@@ -308,10 +308,10 @@ class _ProcessShard:
         self.index = index
         self.queue = in_queue
         self.process = process
-        self.final_events: List[DetectionEvent] = []
-        self.failure: Optional[str] = None
+        self.final_events: list[DetectionEvent] = []
+        self.failure: str | None = None
         self.closed = False
-        self.state: Dict[str, object] = {}
+        self.state: dict[str, object] = {}
         # Consecutive empty result-queue polls observed with the process
         # dead; guards against declaring a worker lost while its final
         # messages are still in flight through the queue's feeder pipe.
@@ -357,21 +357,21 @@ class ParallelStreamingDetector:
         *,
         workers: int = 1,
         worker_mode: str = "thread",
-        flush_policy: Optional[FlushPolicy] = None,
-        threshold: Optional[float] = None,
+        flush_policy: FlushPolicy | None = None,
+        threshold: float | None = None,
         top_n: int = 1,
         idle_timeout: float = 60.0,
         close_grace: float = 1.0,
-        max_flows: Optional[int] = None,
-        max_packets: Optional[int] = None,
-        drop_policy: Optional[DropPolicy] = None,
-        on_event: Optional[EventCallback] = None,
-        on_alert: Optional[AlertCallback] = None,
+        max_flows: int | None = None,
+        max_packets: int | None = None,
+        drop_policy: DropPolicy | None = None,
+        on_event: EventCallback | None = None,
+        on_alert: AlertCallback | None = None,
         chunk_size: int = 64,
         queue_depth: int = 8,
-        metrics: Optional[StreamingMetrics] = None,
-        model_dir: Optional[Union[str, Path]] = None,
-        start_method: Optional[str] = None,
+        metrics: StreamingMetrics | None = None,
+        model_dir: str | Path | None = None,
+        start_method: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -394,7 +394,7 @@ class ParallelStreamingDetector:
         self.on_alert = on_alert
         self.metrics = metrics or StreamingMetrics(shard_count=self.workers)
         self._closed = False
-        self._single: Optional[StreamingDetector] = None
+        self._single: StreamingDetector | None = None
         self._process_mode = worker_mode == "process"
         if self.workers == 1 and not self._process_mode:
             self._single = StreamingDetector(
@@ -413,8 +413,10 @@ class ParallelStreamingDetector:
             )
             return
         self._chunk_size = int(chunk_size)
-        self._events: Deque[DetectionEvent] = deque()
-        self._dispatch_lock = threading.Lock()
+        self._events: deque[DetectionEvent] = deque()
+        # Reentrant so an on_event/on_alert callback (invoked while the lock
+        # is held) may read the counter properties without deadlocking.
+        self._dispatch_lock = threading.RLock()
         self._connections_seen = 0
         self._alerts_emitted = 0
         # Global stream high-water mark; written only by the ingest thread,
@@ -442,7 +444,7 @@ class ParallelStreamingDetector:
             max_flows=max_flows,
             max_packets=max_packets,
         )
-        self._buffers: List[List[Tuple[Packet, FlowKey, float]]] = [
+        self._buffers: list[list[tuple[Packet, FlowKey, float]]] = [
             [] for _ in range(self.workers)
         ]
         self._shards = [
@@ -464,10 +466,10 @@ class ParallelStreamingDetector:
         *,
         idle_timeout: float,
         close_grace: float,
-        max_flows: Optional[int],
-        max_packets: Optional[int],
-        model_dir: Optional[Union[str, Path]],
-        start_method: Optional[str],
+        max_flows: int | None,
+        max_packets: int | None,
+        model_dir: str | Path | None,
+        start_method: str | None,
         queue_depth: int,
     ) -> None:
         if max_flows is not None and max_flows < 1:
@@ -495,6 +497,7 @@ class ParallelStreamingDetector:
                 from multiprocessing import resource_tracker
 
                 resource_tracker.ensure_running()
+            # clap-lint: allow[RL005] reason=best-effort tracker warm-up; workers fall back to private trackers
             except Exception:  # pragma: no cover - tracker internals shifted
                 pass
         self._tmp_model_cleanup = None
@@ -510,11 +513,11 @@ class ParallelStreamingDetector:
         # Blocks currently shipped to the workers (insertion-ordered; parent
         # and workers evict in lockstep) and the shm segments awaiting acks.
         self._live_blocks: "OrderedDict[int, PacketColumns]" = OrderedDict()
-        self._current_columns: Optional[PacketColumns] = None
-        self._block_shm: Dict[int, Tuple[object, Set[int]]] = {}
-        self._flush_results: Dict[int, Dict[int, List[DetectionEvent]]] = {}
+        self._current_columns: PacketColumns | None = None
+        self._block_shm: dict[int, tuple[object, set[int]]] = {}
+        self._flush_results: dict[int, dict[int, list[DetectionEvent]]] = {}
         self._flush_counter = 0
-        self._shards: List[_ProcessShard] = []  # type: ignore[assignment]
+        self._shards: list[_ProcessShard] = []  # type: ignore[assignment]
         for index in range(self.workers):
             spec = _WorkerSpec(
                 index=index,
@@ -589,7 +592,7 @@ class ParallelStreamingDetector:
         for packet in packets:
             self.ingest(packet)
 
-    def poll(self, now: Optional[float] = None) -> None:
+    def poll(self, now: float | None = None) -> None:
         """Advance stream time on every shard without a packet."""
         if self._single is not None:
             self._single.poll(now)
@@ -612,7 +615,7 @@ class ParallelStreamingDetector:
             self._submit(index)
             shard.queue.put(_Poll(now))
 
-    def run(self, source: PacketSource) -> List[DetectionEvent]:
+    def run(self, source: PacketSource) -> list[DetectionEvent]:
         """Consume a packet source to exhaustion, then :meth:`close`.
 
         :class:`~repro.serve.sources.Tick` items become :meth:`poll` calls,
@@ -634,6 +637,7 @@ class ParallelStreamingDetector:
         except BaseException:
             try:
                 self.close()
+            # clap-lint: allow[RL005] reason=teardown must not mask the original stream error; workers already joined
             except Exception:
                 # Surfacing the source error matters more than a secondary
                 # failure discovered while tearing the pool down; close()
@@ -659,11 +663,11 @@ class ParallelStreamingDetector:
             return
         self._buffers[index] = []
         shard = self._shards[index]
-        messages: List[tuple] = []
-        run_columns: Optional[PacketColumns] = None
-        run_indices: List[int] = []
-        run_clocks: List[float] = []
-        object_run: List[Tuple[Packet, float]] = []
+        messages: list[tuple] = []
+        run_columns: PacketColumns | None = None
+        run_indices: list[int] = []
+        run_clocks: list[float] = []
+        object_run: list[tuple[Packet, float]] = []
 
         def close_column_run() -> None:
             nonlocal run_columns
@@ -846,7 +850,7 @@ class ParallelStreamingDetector:
             self._handle_result(message)
 
     # ---------------------------------------------------------------- scoring
-    def flush(self) -> List[DetectionEvent]:
+    def flush(self) -> list[DetectionEvent]:
         """Score everything currently buffered on every shard (barrier).
 
         Blocks until each worker has drained its pending buffer; returns the
@@ -861,7 +865,7 @@ class ParallelStreamingDetector:
             self._raise_worker_failure()
             flush_id = self._flush_counter
             self._flush_counter += 1
-            waiting: Dict[int, List[DetectionEvent]] = {}
+            waiting: dict[int, list[DetectionEvent]] = {}
             self._flush_results[flush_id] = waiting
             for index, shard in enumerate(self._shards):
                 self._submit_process(index)
@@ -873,7 +877,7 @@ class ParallelStreamingDetector:
             flushed.sort(key=_event_order)
             return flushed
         self._raise_worker_failure()
-        tokens: List[_Flush] = []
+        tokens: list[_Flush] = []
         for index, shard in enumerate(self._shards):
             self._submit(index)
             token = _Flush()
@@ -886,7 +890,7 @@ class ParallelStreamingDetector:
         flushed.sort(key=_event_order)
         return flushed
 
-    def close(self) -> List[DetectionEvent]:
+    def close(self) -> list[DetectionEvent]:
         """End of stream: drain every shard, join the workers.
 
         Returns the events produced by the final drain, sorted by
@@ -923,7 +927,7 @@ class ParallelStreamingDetector:
         self._dispatch_many(final)
         return final
 
-    def _close_process_pool(self, final_clock: float) -> List[DetectionEvent]:
+    def _close_process_pool(self, final_clock: float) -> list[DetectionEvent]:
         # Submit every leftover buffer before the first close message: a
         # submit may re-broadcast a block to *all* queues, which must never
         # land behind a worker's close.
@@ -983,7 +987,7 @@ class ParallelStreamingDetector:
                 if isinstance(item, _Poll):
                     self._buffer_completions(shard, table.poll(item.now))
                     continue
-                completions: List[Tuple[Connection, CompletionReason]] = []
+                completions: list[tuple[Connection, CompletionReason]] = []
                 for packet, key, clock in item:
                     # Catch this shard up to the global stream time observed
                     # when the packet was routed, then ingest it.
@@ -1014,7 +1018,7 @@ class ParallelStreamingDetector:
     def _buffer_completions(
         self,
         shard: _Shard,
-        completions: List[Tuple[Connection, CompletionReason]],
+        completions: list[tuple[Connection, CompletionReason]],
     ) -> None:
         if not completions:
             return
@@ -1026,7 +1030,7 @@ class ParallelStreamingDetector:
         elif len(shard.pending) >= self.policy.max_buffered:
             self._flush_shard(shard)
 
-    def _flush_shard(self, shard: _Shard, dispatch: bool = True) -> List[DetectionEvent]:
+    def _flush_shard(self, shard: _Shard, dispatch: bool = True) -> list[DetectionEvent]:
         """Drain one shard's pending buffer through the shared chunked flush
         loop, dispatching each chunk's events as soon as it is scored (or
         not at all, for the close()-ordered final drain)."""
@@ -1040,7 +1044,7 @@ class ParallelStreamingDetector:
             self._dispatch_many if dispatch else _emit_nothing,
         )
 
-    def _dispatch_many(self, events: List[DetectionEvent]) -> None:
+    def _dispatch_many(self, events: list[DetectionEvent]) -> None:
         if not events:
             return
         with self._dispatch_lock:
@@ -1091,13 +1095,15 @@ class ParallelStreamingDetector:
     def connections_seen(self) -> int:
         if self._single is not None:
             return self._single.connections_seen
-        return self._connections_seen
+        with self._dispatch_lock:
+            return self._connections_seen
 
     @property
     def alerts_emitted(self) -> int:
         if self._single is not None:
             return self._single.alerts_emitted
-        return self._alerts_emitted
+        with self._dispatch_lock:
+            return self._alerts_emitted
 
     @property
     def pending_connections(self) -> int:
@@ -1119,7 +1125,7 @@ class ParallelStreamingDetector:
             return sum(self.occupancy())
         return len(self.sharded)
 
-    def occupancy(self) -> List[int]:
+    def occupancy(self) -> list[int]:
         """Tracked connections per shard."""
         if self._single is not None:
             return [self._single.active_flows]

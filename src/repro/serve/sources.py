@@ -27,16 +27,8 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import (
-    Callable,
-    IO,
-    Iterable,
-    Iterator,
-    Optional,
-    Protocol,
-    Union,
-    runtime_checkable,
-)
+from collections.abc import Callable, Iterable, Iterator
+from typing import IO, Protocol, runtime_checkable
 
 from repro.netstack.packet import Packet
 from repro.netstack.pcap import PcapReader
@@ -46,13 +38,13 @@ from repro.netstack.pcap import PcapReader
 class Tick:
     """A packet-less advance of stream time (wall-clock heartbeat)."""
 
-    now: Optional[float] = None
+    now: float | None = None
 
 
-StreamItem = Union[Packet, Tick]
+StreamItem = Packet | Tick
 
 
-def _none_stamp() -> Optional[float]:
+def _none_stamp() -> float | None:
     """Stamp for ticks before the first packet: no stream time known yet."""
     return None
 
@@ -97,7 +89,7 @@ class PcapSource:
 
     def __init__(
         self,
-        path: Union[str, Path],
+        path: str | Path,
         *,
         strict: bool = False,
         columnar: bool = True,
@@ -130,7 +122,7 @@ class NDJSONSource:
     """
 
     def __init__(
-        self, source: Union[str, Path, IO[str]], *, strict: bool = False
+        self, source: str | Path | IO[str], *, strict: bool = False
     ) -> None:
         self._source = source
         self.strict = strict
@@ -140,20 +132,20 @@ class NDJSONSource:
         """The NDJSON line encoding ``packet`` (inverse of parsing)."""
         return json.dumps({"ts": packet.timestamp, "data": packet.to_bytes().hex()})
 
-    def _parse_line(self, line: str) -> Optional[Packet]:
+    def _parse_line(self, line: str) -> Packet | None:
         try:
             record = json.loads(line)
             return Packet.from_bytes(
                 bytes.fromhex(record["data"]), timestamp=float(record.get("ts", 0.0))
             )
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
             if self.strict:
-                raise ValueError(f"malformed NDJSON packet line: {line[:80]!r}")
+                raise ValueError(f"malformed NDJSON packet line: {line[:80]!r}") from exc
             return None
 
     def __iter__(self) -> Iterator[StreamItem]:
         if isinstance(self._source, (str, Path)):
-            with open(self._source, "r", encoding="utf-8") as handle:
+            with open(self._source, encoding="utf-8") as handle:
                 yield from self._iter_lines(handle)
         else:
             yield from self._iter_lines(self._source)
@@ -184,11 +176,11 @@ class ReplaySource:
 
     def __init__(
         self,
-        source: Union[PacketSource, Iterable[StreamItem]],
+        source: PacketSource | Iterable[StreamItem],
         *,
-        rate: Optional[float] = None,
-        speed: Optional[float] = None,
-        tick_interval: Optional[float] = None,
+        rate: float | None = None,
+        speed: float | None = None,
+        tick_interval: float | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
@@ -208,7 +200,7 @@ class ReplaySource:
         self._sleep = sleep
 
     def _pause(
-        self, seconds: float, stamp: Callable[[], Optional[float]]
+        self, seconds: float, stamp: Callable[[], float | None]
     ) -> Iterator[StreamItem]:
         """Sleep ``seconds``, emitting ticks through gaps longer than the
         tick interval so flow-table timers keep firing on a quiet link.
@@ -234,10 +226,10 @@ class ReplaySource:
         return last_stamp + (self._clock() - last_wall) * (self.speed or 1.0)
 
     def __iter__(self) -> Iterator[StreamItem]:
-        start_wall: Optional[float] = None
-        first_stamp: Optional[float] = None
-        last_stamp: Optional[float] = None
-        last_wall: Optional[float] = None
+        start_wall: float | None = None
+        first_stamp: float | None = None
+        last_stamp: float | None = None
+        last_wall: float | None = None
         emitted = 0
         for item in self._source:
             if isinstance(item, Tick):
@@ -247,7 +239,7 @@ class ReplaySource:
             if start_wall is None:
                 start_wall = self._clock()
                 first_stamp = packet.timestamp
-            due: Optional[float] = None
+            due: float | None = None
             if self.rate is not None:
                 due = start_wall + emitted / self.rate
             elif self.speed is not None and first_stamp is not None:
@@ -255,7 +247,7 @@ class ReplaySource:
             if due is not None:
                 behind = due - self._clock()
                 if behind > 0:
-                    stamp: Callable[[], Optional[float]] = _none_stamp
+                    stamp: Callable[[], float | None] = _none_stamp
                     if last_stamp is not None and last_wall is not None:
                         stamp = functools.partial(self._gap_stamp, last_stamp, last_wall)
                     yield from self._pause(behind, stamp)
@@ -266,7 +258,7 @@ class ReplaySource:
 
 
 def open_source(
-    path: Union[str, Path],
+    path: str | Path,
     kind: str = "auto",
     *,
     ingest: str = "columnar",

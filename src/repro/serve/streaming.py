@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterable, Iterator, List, Optional, Tuple
+from collections.abc import Callable, Iterable, Iterator
 
 from repro.core.pipeline import Clap
 from repro.netstack.flow import CompletionReason, Connection, FlowTable
@@ -35,13 +35,13 @@ AlertCallback = Callable[[Alert], None]
 
 def drain_pending(
     clap: Clap,
-    pending: List[Tuple[Connection, CompletionReason]],
+    pending: list[tuple[Connection, CompletionReason]],
     max_batch: int,
     threshold: float,
     top_n: int,
-    metrics: Optional[StreamingMetrics],
-    emit: Callable[[List[DetectionEvent]], None],
-) -> List[DetectionEvent]:
+    metrics: StreamingMetrics | None,
+    emit: Callable[[list[DetectionEvent]], None],
+) -> list[DetectionEvent]:
     """Score ``pending`` in ``max_batch``-sized engine calls (in place).
 
     The one chunked flush loop shared by :class:`StreamingDetector` and the
@@ -51,7 +51,7 @@ def drain_pending(
     after its engine call succeeded — an exception leaves it buffered and the
     drain retryable.
     """
-    flushed: List[DetectionEvent] = []
+    flushed: list[DetectionEvent] = []
     while pending:
         chunk = pending[:max_batch]
         connections = [connection for connection, _ in chunk]
@@ -61,7 +61,7 @@ def drain_pending(
             metrics.record_flush(len(chunk), time.perf_counter() - started)
         del pending[: len(chunk)]
         events = []
-        for result, (connection, reason) in zip(results, chunk):
+        for result, (connection, reason) in zip(results, chunk, strict=True):
             first = connection.packets[0].timestamp if connection.packets else 0.0
             last = connection.packets[-1].timestamp if connection.packets else 0.0
             events.append(make_event(result, reason, first, last))
@@ -134,17 +134,17 @@ class StreamingDetector:
         self,
         clap: Clap,
         *,
-        flush_policy: Optional[FlushPolicy] = None,
-        threshold: Optional[float] = None,
+        flush_policy: FlushPolicy | None = None,
+        threshold: float | None = None,
         top_n: int = 1,
         idle_timeout: float = 60.0,
         close_grace: float = 1.0,
-        max_flows: Optional[int] = None,
-        max_packets: Optional[int] = None,
-        on_event: Optional[EventCallback] = None,
-        on_alert: Optional[AlertCallback] = None,
-        drop_policy: Optional[DropPolicy] = None,
-        metrics: Optional[StreamingMetrics] = None,
+        max_flows: int | None = None,
+        max_packets: int | None = None,
+        on_event: EventCallback | None = None,
+        on_alert: AlertCallback | None = None,
+        drop_policy: DropPolicy | None = None,
+        metrics: StreamingMetrics | None = None,
     ) -> None:
         self.clap = clap
         self.policy = flush_policy or FlushPolicy()
@@ -160,8 +160,8 @@ class StreamingDetector:
             max_flows=max_flows,
             max_packets=max_packets,
         )
-        self._pending: List[Tuple[Connection, CompletionReason]] = []
-        self._events: Deque[DetectionEvent] = deque()
+        self._pending: list[tuple[Connection, CompletionReason]] = []
+        self._events: deque[DetectionEvent] = deque()
         self._connections_seen = 0
         self._alerts_emitted = 0
         self._packets_ingested = 0
@@ -187,11 +187,11 @@ class StreamingDetector:
             if completions:
                 buffer(completions)
 
-    def poll(self, now: Optional[float] = None) -> None:
+    def poll(self, now: float | None = None) -> None:
         """Advance stream time without a packet (e.g. on a wall-clock tick)."""
         self._buffer(self.flow_table.poll(now))
 
-    def _buffer(self, completions: List[Tuple[Connection, CompletionReason]]) -> None:
+    def _buffer(self, completions: list[tuple[Connection, CompletionReason]]) -> None:
         if completions and (self.drop_policy is not None or self.metrics is not None):
             completions = apply_drop_policy(completions, self.drop_policy, self.metrics)
         self._pending.extend(completions)
@@ -203,7 +203,7 @@ class StreamingDetector:
             self.flush()
 
     # ---------------------------------------------------------------- scoring
-    def flush(self) -> List[DetectionEvent]:
+    def flush(self) -> list[DetectionEvent]:
         """Score every buffered completed connection now.
 
         The buffer is drained in ``max_batch``-sized engine calls, and each
@@ -222,7 +222,7 @@ class StreamingDetector:
             self._dispatch_chunk,
         )
 
-    def _dispatch_chunk(self, events: List[DetectionEvent]) -> None:
+    def _dispatch_chunk(self, events: list[DetectionEvent]) -> None:
         for event in events:
             self._dispatch(event)
 
@@ -250,7 +250,7 @@ class StreamingDetector:
             if isinstance(event, Alert):
                 yield event
 
-    def close(self) -> List[DetectionEvent]:
+    def close(self) -> list[DetectionEvent]:
         """End of stream: drain the flow table and flush everything buffered.
 
         The drain rides the same drop-policy/metrics accounting as every

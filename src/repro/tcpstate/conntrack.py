@@ -18,7 +18,6 @@ so the RNN can learn the benign inter-packet context.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.netstack.packet import Direction, Packet
 from repro.netstack.tcp import TcpFlags
@@ -35,7 +34,7 @@ class PacketObservation:
     state_before: MasterState
     state_after: MasterState
     window_verdict: WindowVerdict
-    drop_reason: Optional[str] = None
+    drop_reason: str | None = None
 
 
 # Flag combinations that a rigorous stack treats as invalid/bogus segments.
@@ -51,16 +50,16 @@ class ConntrackMachine:
 
     def __init__(self) -> None:
         self.state: MasterState = MasterState.NONE
-        self._endpoints: Dict[Direction, EndpointWindow] = {
+        self._endpoints: dict[Direction, EndpointWindow] = {
             Direction.CLIENT_TO_SERVER: EndpointWindow(),
             Direction.SERVER_TO_CLIENT: EndpointWindow(),
         }
-        self._offered_scale: Dict[Direction, Optional[int]] = {
+        self._offered_scale: dict[Direction, int | None] = {
             Direction.CLIENT_TO_SERVER: None,
             Direction.SERVER_TO_CLIENT: None,
         }
         self._scaling_resolved = False
-        self.history: List[PacketObservation] = []
+        self.history: list[PacketObservation] = []
 
     # ------------------------------------------------------------------ public
     def process(self, packet: Packet) -> PacketObservation:
@@ -91,7 +90,7 @@ class ConntrackMachine:
         return self._validate(packet) is None
 
     # -------------------------------------------------------------- validation
-    def _validate(self, packet: Packet) -> Optional[str]:
+    def _validate(self, packet: Packet) -> str | None:
         """Return a drop reason, or ``None`` when a rigorous endhost accepts."""
         if packet.ip.version != 4:
             return "ip-version"
@@ -145,19 +144,20 @@ class ConntrackMachine:
             return "missing-ack-flag"
         return None
 
-    def _validate_rst(self, packet: Packet) -> Optional[str]:
+    def _validate_rst(self, packet: Packet) -> str | None:
         """RST acceptability: must land exactly on the expected sequence."""
         receiver = self._endpoints[packet.direction.flipped()]
         sender = self._endpoints[packet.direction]
         if not sender.initialised and self.state is MasterState.NONE:
             return "rst-without-connection"
-        if receiver.initialised and receiver.rcv_limit != 0:
-            if not in_window(sender, receiver, packet.tcp.seq, max(packet.sequence_span(), 1),
-                             packet.tcp.ack, has_ack=packet.tcp.has_flag(TcpFlags.ACK)):
-                return "rst-out-of-window"
+        if receiver.initialised and receiver.rcv_limit != 0 and not in_window(
+            sender, receiver, packet.tcp.seq, max(packet.sequence_span(), 1),
+            packet.tcp.ack, has_ack=packet.tcp.has_flag(TcpFlags.ACK),
+        ):
+            return "rst-out-of-window"
         return None
 
-    def _validate_timestamp(self, packet: Packet) -> Optional[str]:
+    def _validate_timestamp(self, packet: Packet) -> str | None:
         """PAWS-style check: timestamps must not run backwards."""
         option = packet.tcp.timestamp_option()
         if option is None:
@@ -309,7 +309,7 @@ class ConntrackMachine:
         option = packet.tcp.timestamp_option()
         if option is not None:
             if not hasattr(self, "_last_tsval"):
-                self._last_tsval: Dict[Direction, int] = {}
+                self._last_tsval: dict[Direction, int] = {}
             self._last_tsval[packet.direction] = option.tsval
 
 
@@ -321,16 +321,16 @@ class ConnectionLabeler:
     Stage-(a) RNN.
     """
 
-    def label_connection(self, packets: List[Packet]) -> List[StateLabel]:
+    def label_connection(self, packets: list[Packet]) -> list[StateLabel]:
         """Return one label per packet of a single connection."""
         machine = ConntrackMachine()
         return [machine.process(packet).label for packet in packets]
 
-    def observe_connection(self, packets: List[Packet]) -> List[PacketObservation]:
+    def observe_connection(self, packets: list[Packet]) -> list[PacketObservation]:
         """Like :meth:`label_connection` but returns full observations."""
         machine = ConntrackMachine()
         return [machine.process(packet) for packet in packets]
 
-    def label_class_indices(self, packets: List[Packet]) -> List[int]:
+    def label_class_indices(self, packets: list[Packet]) -> list[int]:
         """Dense class indices (``[0, 22)``) for RNN training targets."""
         return [label.class_index for label in self.label_connection(packets)]

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
 
 
 class MasterState(enum.IntEnum):
@@ -75,11 +74,11 @@ class StateLabel:
         return self.name
 
 
-def all_labels() -> List[StateLabel]:
+def all_labels() -> list[StateLabel]:
     """Every possible label, ordered by class index."""
     return [StateLabel.from_class_index(index) for index in range(NUM_LABEL_CLASSES)]
 
 
-def label_names() -> List[str]:
+def label_names() -> list[str]:
     """Human-readable names for every class index (used in Table 5 output)."""
     return [label.name for label in all_labels()]

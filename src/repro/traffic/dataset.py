@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
 
 from repro.netstack.flow import Connection, assemble_connections, split_connections
 from repro.netstack.pcap import read_pcap, write_pcap
@@ -29,7 +28,7 @@ class DatasetStatistics:
     testing_packets: int
     testing_connections: int
 
-    def as_rows(self) -> List[tuple]:
+    def as_rows(self) -> list[tuple]:
         """Rows suitable for printing a Table-4 style summary."""
         return [
             ("# TCP/IPv4 Packets", self.total_packets),
@@ -44,7 +43,7 @@ class DatasetStatistics:
 class BenignDataset:
     """A benign-traffic corpus with a train/test split."""
 
-    def __init__(self, train: List[Connection], test: List[Connection]) -> None:
+    def __init__(self, train: list[Connection], test: list[Connection]) -> None:
         self.train = train
         self.test = test
 
@@ -56,7 +55,7 @@ class BenignDataset:
         *,
         train_fraction: float = 0.83,
         seed: SeedLike = 0,
-        config: Optional[GeneratorConfig] = None,
+        config: GeneratorConfig | None = None,
     ) -> "BenignDataset":
         """Generate a synthetic corpus mirroring the paper's 83/17 split."""
         rng = ensure_rng(seed)
@@ -68,7 +67,7 @@ class BenignDataset:
     @classmethod
     def from_pcap(
         cls,
-        path: Union[str, Path],
+        path: str | Path,
         *,
         train_fraction: float = 0.83,
         seed: SeedLike = 0,
@@ -88,7 +87,7 @@ class BenignDataset:
         return cls(train=train, test=test)
 
     # ----------------------------------------------------------------- export
-    def save(self, directory: Union[str, Path]) -> Dict[str, Path]:
+    def save(self, directory: str | Path) -> dict[str, Path]:
         """Write ``train.pcap`` / ``test.pcap`` under ``directory``."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -102,7 +101,7 @@ class BenignDataset:
 
     # ------------------------------------------------------------- statistics
     @staticmethod
-    def _packet_count(connections: List[Connection]) -> int:
+    def _packet_count(connections: list[Connection]) -> int:
         return sum(len(connection) for connection in connections)
 
     def statistics(self) -> DatasetStatistics:
@@ -118,9 +117,9 @@ class BenignDataset:
             testing_connections=len(self.test),
         )
 
-    def scenario_coverage(self) -> Dict[str, int]:
+    def scenario_coverage(self) -> dict[str, int]:
         """Rough scenario histogram inferred from connection shape (debugging aid)."""
-        histogram: Dict[str, int] = {"with_handshake": 0, "reset": 0, "fin_closed": 0, "other": 0}
+        histogram: dict[str, int] = {"with_handshake": 0, "reset": 0, "fin_closed": 0, "other": 0}
         for connection in self.train + self.test:
             if any(p.tcp.is_rst for p in connection.packets):
                 histogram["reset"] += 1

@@ -9,7 +9,6 @@ initial sequence numbers, MSS, window scaling, TTLs, timestamps and timing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -40,13 +39,13 @@ class GeneratorConfig:
     wscale_probability: float = 0.9
     start_time: float = 1_600_000_000.0
     mean_inter_connection_gap: float = 0.01
-    scenario_weights: Optional[Dict[str, float]] = None
+    scenario_weights: dict[str, float] | None = None
 
 
 class TrafficGenerator:
     """Generate benign TCP connections from the scenario mixture."""
 
-    def __init__(self, seed: SeedLike = None, config: Optional[GeneratorConfig] = None) -> None:
+    def __init__(self, seed: SeedLike = None, config: GeneratorConfig | None = None) -> None:
         self.rng = ensure_rng(seed)
         self.config = config or GeneratorConfig()
         self._scenarios = registry()
@@ -99,7 +98,7 @@ class TrafficGenerator:
             base_rtt=float(self.rng.uniform(0.005, 0.12)),
         )
 
-    def generate_connection(self, scenario_name: Optional[str] = None) -> Connection:
+    def generate_connection(self, scenario_name: str | None = None) -> Connection:
         """Generate one benign connection, optionally forcing a scenario."""
         if scenario_name is None:
             scenario_name = str(self.rng.choice(self._scenario_names, p=self._scenario_probabilities))
@@ -114,14 +113,14 @@ class TrafficGenerator:
 
     # --------------------------------------------------------------- corpora
     def generate_connections(
-        self, count: int, scenario_name: Optional[str] = None
-    ) -> List[Connection]:
+        self, count: int, scenario_name: str | None = None
+    ) -> list[Connection]:
         """Generate ``count`` independent benign connections."""
         return [self.generate_connection(scenario_name) for _ in range(count)]
 
-    def generate_packets(self, connection_count: int) -> List[Packet]:
+    def generate_packets(self, connection_count: int) -> list[Packet]:
         """Generate connections and return the interleaved packet stream."""
-        packets: List[Packet] = []
+        packets: list[Packet] = []
         for connection in self.generate_connections(connection_count):
             packets.extend(connection.packets)
         packets.sort(key=lambda packet: packet.timestamp)
@@ -129,6 +128,6 @@ class TrafficGenerator:
 
 
 def generate_benign_connections(count: int, seed: SeedLike = 0,
-                                config: Optional[GeneratorConfig] = None) -> List[Connection]:
+                                config: GeneratorConfig | None = None) -> list[Connection]:
     """Convenience wrapper used by tests, examples and benchmarks."""
     return TrafficGenerator(seed=seed, config=config).generate_connections(count)

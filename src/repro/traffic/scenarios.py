@@ -17,16 +17,16 @@ transfers, a few aborted or unusual flows).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 import numpy as np
 
 from repro.netstack.packet import Direction, Packet
 from repro.traffic.session import TcpSessionBuilder
 
-ScenarioFunction = Callable[[TcpSessionBuilder, np.random.Generator], List[Packet]]
+ScenarioFunction = Callable[[TcpSessionBuilder, np.random.Generator], list[Packet]]
 
-_REGISTRY: Dict[str, "Scenario"] = {}
+_REGISTRY: dict[str, "Scenario"] = {}
 
 
 @dataclass(frozen=True)
@@ -38,7 +38,7 @@ class Scenario:
     build: ScenarioFunction
     description: str
 
-    def __call__(self, session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+    def __call__(self, session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
         self.build(session, rng)
         return session.packets
 
@@ -53,12 +53,12 @@ def scenario(name: str, weight: float, description: str):
     return decorator
 
 
-def registry() -> Dict[str, Scenario]:
+def registry() -> dict[str, Scenario]:
     """The full scenario registry (name -> scenario)."""
     return dict(_REGISTRY)
 
 
-def scenario_names() -> List[str]:
+def scenario_names() -> list[str]:
     return sorted(_REGISTRY)
 
 
@@ -74,7 +74,7 @@ def get_scenario(name: str) -> Scenario:
 # ---------------------------------------------------------------------------
 
 @scenario("web_request", weight=0.34, description="Short HTTP-like request/response then graceful close")
-def web_request(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def web_request(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(120, 900)))
     session.elapse_rtt()
@@ -89,7 +89,7 @@ def web_request(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Pa
 
 
 @scenario("bulk_download", weight=0.16, description="Large server-to-client transfer with periodic ACKs")
-def bulk_download(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def bulk_download(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(80, 400)))
     session.ack(Direction.SERVER_TO_CLIENT)
@@ -103,7 +103,7 @@ def bulk_download(session: TcpSessionBuilder, rng: np.random.Generator) -> List[
 
 
 @scenario("bulk_upload", weight=0.08, description="Large client-to-server transfer (e.g. POST upload)")
-def bulk_upload(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def bulk_upload(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     bursts = int(rng.integers(2, 6))
     for _ in range(bursts):
@@ -117,7 +117,7 @@ def bulk_upload(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Pa
 
 
 @scenario("interactive", weight=0.12, description="SSH/telnet-like alternating small segments")
-def interactive(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def interactive(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     exchanges = int(rng.integers(4, 15))
     for _ in range(exchanges):
@@ -129,7 +129,7 @@ def interactive(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Pa
 
 
 @scenario("persistent_with_keepalive", weight=0.06, description="Idle persistent connection with keep-alive probes")
-def persistent_with_keepalive(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def persistent_with_keepalive(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(100, 600)))
     session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(300, 3_000)))
@@ -147,7 +147,7 @@ def persistent_with_keepalive(session: TcpSessionBuilder, rng: np.random.Generat
 
 
 @scenario("retransmission", weight=0.07, description="Request/response with a retransmitted data segment")
-def retransmission(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def retransmission(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(100, 700)))
     session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(1_000, 5_000)))
@@ -160,7 +160,7 @@ def retransmission(session: TcpSessionBuilder, rng: np.random.Generator) -> List
 
 
 @scenario("client_abort", weight=0.05, description="Connection torn down by a client RST after some data")
-def client_abort(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def client_abort(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(80, 500)))
     session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(200, 2_000)))
@@ -170,7 +170,7 @@ def client_abort(session: TcpSessionBuilder, rng: np.random.Generator) -> List[P
 
 
 @scenario("server_reset", weight=0.04, description="Server refuses with RST right after the request")
-def server_reset(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def server_reset(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(60, 400)))
     session.rst(Direction.SERVER_TO_CLIENT, with_ack=True)
@@ -178,7 +178,7 @@ def server_reset(session: TcpSessionBuilder, rng: np.random.Generator) -> List[P
 
 
 @scenario("half_open", weight=0.03, description="SYN and SYN-ACK with no final ACK (handshake never completes)")
-def half_open(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def half_open(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.client_syn()
     session.server_synack()
     if rng.random() < 0.5:
@@ -188,7 +188,7 @@ def half_open(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Pack
 
 
 @scenario("syn_scan_like", weight=0.02, description="Lone SYN answered by server RST (benign scanner/misconfig)")
-def syn_scan_like(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def syn_scan_like(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.client_syn()
     session.elapse_rtt()
     session.rst(Direction.SERVER_TO_CLIENT, with_ack=True)
@@ -196,7 +196,7 @@ def syn_scan_like(session: TcpSessionBuilder, rng: np.random.Generator) -> List[
 
 
 @scenario("zero_window_stall", weight=0.03, description="Receiver advertises a zero window, then reopens it")
-def zero_window_stall(session: TcpSessionBuilder, rng: np.random.Generator) -> List[Packet]:
+def zero_window_stall(session: TcpSessionBuilder, rng: np.random.Generator) -> list[Packet]:
     session.handshake()
     session.send(Direction.CLIENT_TO_SERVER, int(rng.integers(100, 500)))
     session.send(Direction.SERVER_TO_CLIENT, int(rng.integers(1_000, 4_000)))

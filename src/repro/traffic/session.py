@@ -16,7 +16,6 @@ bookkeeping so scenario code reads like a conversation script::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.netstack.ip import Ipv4Header
 from repro.netstack.options import MaximumSegmentSize, SackPermitted, Timestamp, WindowScale
@@ -34,7 +33,7 @@ class _EndpointState:
     isn: int
     ttl: int
     window: int
-    wscale: Optional[int]
+    wscale: int | None
     ts_clock: int
     ip_id: int
     snd_nxt: int = 0
@@ -60,8 +59,8 @@ class TcpSessionBuilder:
         mss: int = 1460,
         use_timestamps: bool = True,
         use_sack: bool = True,
-        client_wscale: Optional[int] = 7,
-        server_wscale: Optional[int] = 7,
+        client_wscale: int | None = 7,
+        server_wscale: int | None = 7,
         client_window: int = 64240,
         server_window: int = 65160,
         client_ttl: int = 64,
@@ -73,7 +72,7 @@ class TcpSessionBuilder:
         self.use_sack = use_sack
         self.base_rtt = base_rtt
         self.now = start_time
-        self.packets: List[Packet] = []
+        self.packets: list[Packet] = []
         self._endpoints = {
             Direction.CLIENT_TO_SERVER: _EndpointState(
                 ip=client_ip,
@@ -112,7 +111,7 @@ class TcpSessionBuilder:
         """Advance the clock by a fraction of the base round-trip time."""
         self.advance_time(self.base_rtt * fraction)
 
-    def _timestamp_option(self, direction: Direction) -> Optional[Timestamp]:
+    def _timestamp_option(self, direction: Direction) -> Timestamp | None:
         if not self.use_timestamps:
             return None
         endpoint = self._endpoint(direction)
@@ -127,12 +126,12 @@ class TcpSessionBuilder:
         flags: int,
         payload: bytes,
         *,
-        seq: Optional[int] = None,
-        ack: Optional[int] = None,
-        options: Optional[List[object]] = None,
-        window: Optional[int] = None,
+        seq: int | None = None,
+        ack: int | None = None,
+        options: list[object] | None = None,
+        window: int | None = None,
         advance_seq: bool = True,
-        ttl: Optional[int] = None,
+        ttl: int | None = None,
     ) -> Packet:
         endpoint = self._endpoint(direction)
         peer = self._peer(direction)
@@ -175,7 +174,7 @@ class TcpSessionBuilder:
         """The connection-opening SYN with MSS/WScale/SACK/TS options."""
         direction = Direction.CLIENT_TO_SERVER
         endpoint = self._endpoint(direction)
-        options: List[object] = [MaximumSegmentSize(self.mss)]
+        options: list[object] = [MaximumSegmentSize(self.mss)]
         if endpoint.wscale is not None:
             options.append(WindowScale(endpoint.wscale))
         if self.use_sack:
@@ -190,7 +189,7 @@ class TcpSessionBuilder:
         self.elapse_rtt()
         direction = Direction.SERVER_TO_CLIENT
         endpoint = self._endpoint(direction)
-        options: List[object] = [MaximumSegmentSize(self.mss)]
+        options: list[object] = [MaximumSegmentSize(self.mss)]
         if endpoint.wscale is not None:
             options.append(WindowScale(endpoint.wscale))
         if self.use_sack:
@@ -205,7 +204,7 @@ class TcpSessionBuilder:
         self.elapse_rtt()
         return self.ack(Direction.CLIENT_TO_SERVER)
 
-    def handshake(self) -> List[Packet]:
+    def handshake(self) -> list[Packet]:
         """Convenience: full three-way handshake."""
         return [self.client_syn(), self.server_synack(), self.client_ack()]
 
@@ -216,21 +215,21 @@ class TcpSessionBuilder:
         payload_length: int,
         *,
         push: bool = True,
-        advance: Optional[float] = None,
-    ) -> List[Packet]:
+        advance: float | None = None,
+    ) -> list[Packet]:
         """Send ``payload_length`` bytes split into MSS-sized segments."""
         if advance is not None:
             self.advance_time(advance)
         else:
             self.elapse_rtt(0.25)
-        packets: List[Packet] = []
+        packets: list[Packet] = []
         remaining = payload_length
         while remaining > 0 or not packets:
             chunk = min(remaining, self.mss) if remaining > 0 else 0
             flags = TcpFlags.ACK
             if push and (remaining - chunk) <= 0:
                 flags |= TcpFlags.PSH
-            options: List[object] = []
+            options: list[object] = []
             ts = self._timestamp_option(direction)
             if ts is not None:
                 options.append(ts)
@@ -240,20 +239,20 @@ class TcpSessionBuilder:
                 self.advance_time(0.0002)
         return packets
 
-    def ack(self, direction: Direction, *, window: Optional[int] = None) -> Packet:
+    def ack(self, direction: Direction, *, window: int | None = None) -> Packet:
         """A bare acknowledgement from ``direction``."""
-        options: List[object] = []
+        options: list[object] = []
         ts = self._timestamp_option(direction)
         if ts is not None:
             options.append(ts)
         return self._emit(direction, TcpFlags.ACK, b"", options=options, window=window)
 
-    def retransmit_last_data(self, direction: Direction) -> Optional[Packet]:
+    def retransmit_last_data(self, direction: Direction) -> Packet | None:
         """Re-send the most recent data segment from ``direction`` (benign loss)."""
         for packet in reversed(self.packets):
             if packet.direction is direction and len(packet.payload) > 0:
                 self.elapse_rtt(2.0)
-                options: List[object] = []
+                options: list[object] = []
                 ts = self._timestamp_option(direction)
                 if ts is not None:
                     options.append(ts)
@@ -271,7 +270,7 @@ class TcpSessionBuilder:
     def keepalive(self, direction: Direction) -> Packet:
         """A keep-alive probe: zero-length ACK with seq one below snd_nxt."""
         endpoint = self._endpoint(direction)
-        options: List[object] = []
+        options: list[object] = []
         ts = self._timestamp_option(direction)
         if ts is not None:
             options.append(ts)
@@ -289,7 +288,7 @@ class TcpSessionBuilder:
     def fin(self, direction: Direction) -> Packet:
         """Send a FIN-ACK from ``direction``."""
         self.elapse_rtt(0.5)
-        options: List[object] = []
+        options: list[object] = []
         ts = self._timestamp_option(direction)
         if ts is not None:
             options.append(ts)
@@ -301,7 +300,7 @@ class TcpSessionBuilder:
         flags = TcpFlags.RST | (TcpFlags.ACK if with_ack else 0)
         return self._emit(direction, flags, b"")
 
-    def graceful_close(self, initiator: Direction = Direction.CLIENT_TO_SERVER) -> List[Packet]:
+    def graceful_close(self, initiator: Direction = Direction.CLIENT_TO_SERVER) -> list[Packet]:
         """Standard four-way close initiated by ``initiator``."""
         other = initiator.flipped()
         packets = [self.fin(initiator)]

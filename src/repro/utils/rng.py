@@ -8,11 +8,10 @@ experiments reproducible and avoids accidental use of the global numpy state.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator]
+SeedLike = None | int | np.random.Generator
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -41,7 +40,7 @@ class RngMixin:
     """Mixin giving a class a lazily-created, seedable ``self.rng``."""
 
     def __init__(self, seed: SeedLike = None) -> None:
-        self._rng: Optional[np.random.Generator] = None
+        self._rng: np.random.Generator | None = None
         self._seed = seed
 
     @property

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 
 @dataclass
@@ -20,7 +19,7 @@ class Stopwatch:
     True
     """
 
-    laps: Dict[str, List[float]] = field(default_factory=dict)
+    laps: dict[str, list[float]] = field(default_factory=dict)
 
     class _Lap:
         def __init__(self, watch: "Stopwatch", name: str) -> None:

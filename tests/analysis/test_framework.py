@@ -1,0 +1,237 @@
+"""Framework behaviour: suppressions, baseline round-trip, reporters, driver."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    analyze_source,
+    get_rule,
+    render_json,
+)
+from repro.analysis.core import META_RULE_ID, Finding, parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Built via concatenation so these test-source lines are not themselves
+# parsed as directives when the analysis suite scans tests/.
+DIRECTIVE = "# clap-lint" + ":"
+
+
+def _rl005(source: str, path: str = "src/repro/serve/fixture.py"):
+    return analyze_source(textwrap.dedent(source), path, rules=[get_rule("RL005")])
+
+
+BAD_HANDLER = """
+    def f():
+        try:
+            work()
+        except Exception:
+            pass
+"""
+
+
+class TestSuppressions:
+    def test_same_line_suppression_with_reason(self):
+        source = textwrap.dedent(
+            f"""
+            def f():
+                try:
+                    work()
+                except Exception:  {DIRECTIVE} allow[RL005] reason=fixture
+                    pass
+            """
+        )
+        result = analyze_source(source, "src/repro/serve/fixture.py", rules=[get_rule("RL005")])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "RL005"
+
+    def test_comment_line_suppression_covers_next_line(self):
+        source = textwrap.dedent(
+            f"""
+            def f():
+                try:
+                    work()
+                {DIRECTIVE} allow[RL005] reason=fixture
+                except Exception:
+                    pass
+            """
+        )
+        result = _rl005(source)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_suppression_without_reason_is_rl000_and_does_not_suppress(self):
+        source = textwrap.dedent(
+            f"""
+            def f():
+                try:
+                    work()
+                except Exception:  {DIRECTIVE} allow[RL005]
+                    pass
+            """
+        )
+        result = _rl005(source)
+        rules = sorted(finding.rule for finding in result.findings)
+        assert rules == [META_RULE_ID, "RL005"]
+        assert "reason" in next(
+            f.message for f in result.findings if f.rule == META_RULE_ID
+        )
+
+    def test_suppression_for_other_rule_does_not_apply(self):
+        source = textwrap.dedent(
+            f"""
+            def f():
+                try:
+                    work()
+                except Exception:  {DIRECTIVE} allow[RL001] reason=wrong rule
+                    pass
+            """
+        )
+        result = _rl005(source)
+        assert [f.rule for f in result.findings] == ["RL005"]
+
+    def test_multiple_rules_in_one_directive(self):
+        lines = [f"x = 1  {DIRECTIVE} allow[RL001, RL005] reason=fixture"]
+        suppressions = parse_suppressions(lines)
+        assert suppressions.allowed[1] == {"RL001", "RL005"}
+        assert suppressions.problems == []
+
+    def test_unknown_verb_is_a_problem(self):
+        suppressions = parse_suppressions([f"x = 1  {DIRECTIVE} deny[RL001] reason=r"])
+        assert len(suppressions.problems) == 1
+
+    def test_empty_rule_list_is_a_problem(self):
+        suppressions = parse_suppressions([f"x = 1  {DIRECTIVE} allow[] reason=r"])
+        assert len(suppressions.problems) == 1
+
+    def test_syntax_error_becomes_rl000(self):
+        result = analyze_source("def broken(:\n", "src/repro/serve/broken.py")
+        assert [f.rule for f in result.findings] == [META_RULE_ID]
+        assert "syntax error" in result.findings[0].message
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = _rl005(BAD_HANDLER).findings
+        assert len(findings) == 1
+        baseline = Baseline.from_findings(findings, reason="known debt")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        new, grandfathered = loaded.split(findings)
+        assert new == []
+        assert grandfathered == findings
+        assert loaded.entries[findings[0].key()].reason == "known debt"
+
+    def test_key_is_line_number_free(self):
+        shifted = "\n\n\n" + BAD_HANDLER
+        original = _rl005(BAD_HANDLER).findings[0]
+        moved = _rl005(shifted).findings[0]
+        assert original.line != moved.line
+        assert original.key() == moved.key()
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        baseline = Baseline([BaselineEntry("RL005::gone.py::x", "was fixed")])
+        assert baseline.stale_keys([]) == ["RL005::gone.py::x"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_reasonless_entry_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": [{"key": "RL001::a.py::x"}]})
+        )
+        with pytest.raises(ValueError, match="no reason"):
+            Baseline.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def test_json_report_shape(self):
+        result = _rl005(BAD_HANDLER)
+        baseline = Baseline()
+        new, grandfathered = baseline.split(result.findings)
+        payload = json.loads(
+            render_json(result, new, grandfathered, [], baseline)
+        )
+        assert payload["counts"]["new"] == 1
+        assert payload["counts_by_rule"] == {"RL005": 1}
+        finding = payload["findings"][0]
+        assert finding["rule"] == "RL005"
+        assert finding["path"] == "src/repro/serve/fixture.py"
+        assert finding["line"] > 0
+
+    def test_json_report_carries_baseline_reasons(self):
+        result = _rl005(BAD_HANDLER)
+        baseline = Baseline.from_findings(result.findings, reason="documented debt")
+        new, grandfathered = baseline.split(result.findings)
+        payload = json.loads(
+            render_json(result, new, grandfathered, [], baseline)
+        )
+        assert payload["counts"]["new"] == 0
+        assert payload["grandfathered"][0]["reason"] == "documented debt"
+
+
+class TestCli:
+    def _run(self, *argv: str, cwd: Path = REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "run_analysis.py"), *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+        )
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in proc.stdout
+
+    def test_dirty_tree_fails_and_baseline_write_quiets(self, tmp_path):
+        dirty = tmp_path / "src" / "repro" / "serve" / "dirty.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text('"""Fixture."""\ntry:\n    x = 1\nexcept Exception:\n    pass\n')
+        baseline = tmp_path / "baseline.json"
+
+        proc = self._run(str(dirty), "--baseline", str(baseline))
+        assert proc.returncode == 1
+        assert "RL005" in proc.stdout
+
+        proc = self._run(str(dirty), "--baseline", str(baseline), "--write-baseline")
+        assert proc.returncode == 0
+
+        proc = self._run(str(dirty), "--baseline", str(baseline))
+        assert proc.returncode == 0
+        assert "grandfathered" in proc.stdout
+
+    def test_json_format_on_repo_tree(self):
+        proc = self._run("src/repro/analysis", "--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["counts"]["new"] == 0
+
+    def test_unknown_rule_is_usage_error(self):
+        proc = self._run("--rules", "RL999")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+
+def test_finding_key_shape():
+    finding = Finding("RL001", "src/a.py", 10, "msg", anchor="C.m:attr")
+    assert finding.key() == "RL001::src/a.py::C.m:attr"

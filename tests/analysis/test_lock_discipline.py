@@ -1,0 +1,186 @@
+"""RL001 lock-discipline: fixtures, exemptions, and the PR 5 seeded regression."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULE = "RL001"
+
+
+def run(source: str, path: str = "src/repro/serve/fixture.py"):
+    result = analyze_source(textwrap.dedent(source), path, rules=[get_rule(RULE)])
+    return result.findings
+
+
+# The shape of the bug PR 5 fixed by hand: StreamingMetrics mutated its
+# counters and histogram under self._lock on the worker path, while render()
+# read the live structures without the lock on the reporting path.
+SEEDED_UNLOCKED_RENDER = """
+    import threading
+
+
+    class StreamingMetricsRegression:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.connections_scored = 0
+            self.flush_total = 0.0
+            self.bucket_counts = [0] * 8
+
+        def record_flush(self, connections, seconds):
+            with self._lock:
+                self.connections_scored += connections
+                self.flush_total += seconds
+                self.bucket_counts[0] += 1
+
+        def render(self):
+            # the regression: reporting reads the live counters unlocked
+            mean = self.flush_total / max(self.connections_scored, 1)
+            return f"scored={self.connections_scored} mean={mean}"
+"""
+
+
+class TestSeededRegression:
+    def test_unlocked_render_pattern_fires(self):
+        findings = run(SEEDED_UNLOCKED_RENDER)
+        assert findings, "RL001 must catch the PR 5 unlocked-render pattern"
+        assert all(f.rule == RULE for f in findings)
+        attrs = {f.anchor.rsplit(":", 1)[-1] for f in findings}
+        assert "connections_scored" in attrs
+        assert "flush_total" in attrs
+        assert all(".render:" in f.anchor for f in findings)
+
+    def test_locked_render_is_clean(self):
+        fixed = SEEDED_UNLOCKED_RENDER.replace(
+            """\
+        def render(self):
+            # the regression: reporting reads the live counters unlocked
+            mean = self.flush_total / max(self.connections_scored, 1)
+            return f"scored={self.connections_scored} mean={mean}"
+""",
+            """\
+        def render(self):
+            with self._lock:
+                mean = self.flush_total / max(self.connections_scored, 1)
+                return f"scored={self.connections_scored} mean={mean}"
+""",
+        )
+        assert fixed != SEEDED_UNLOCKED_RENDER
+        assert run(fixed) == []
+
+
+class TestRuleMechanics:
+    def test_unlocked_write_fires(self):
+        findings = run(
+            """
+            class C:
+                def locked(self):
+                    with self._lock:
+                        self.total = 1
+
+                def unlocked(self):
+                    self.total = 2
+            """
+        )
+        assert [f.anchor for f in findings] == ["C.unlocked:total"]
+
+    def test_subscript_write_under_lock_guards_the_attribute(self):
+        findings = run(
+            """
+            class C:
+                def locked(self, shard):
+                    with self._lock:
+                        self.per_shard[shard] += 1
+
+                def unlocked(self):
+                    return sum(self.per_shard)
+            """
+        )
+        assert [f.anchor for f in findings] == ["C.unlocked:per_shard"]
+
+    def test_init_is_exempt(self):
+        findings = run(
+            """
+            class C:
+                def __init__(self):
+                    self.total = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.total += 1
+            """
+        )
+        assert findings == []
+
+    def test_caller_locked_docstring_exempts_method(self):
+        findings = run(
+            '''
+            class C:
+                def bump(self):
+                    with self._lock:
+                        self.total += 1
+
+                def peek(self):
+                    """Caller-locked: snapshot() holds self._lock around this."""
+                    return self.total
+            '''
+        )
+        assert findings == []
+
+    def test_closure_inside_locked_region_is_unlocked(self):
+        findings = run(
+            """
+            class C:
+                def bump(self):
+                    with self._lock:
+                        self.total += 1
+
+                        def later():
+                            return self.total
+                        return later
+            """
+        )
+        assert [f.anchor for f in findings] == ["C.bump:total"]
+
+    def test_attribute_never_written_under_lock_is_free(self):
+        findings = run(
+            """
+            class C:
+                def locked(self):
+                    with self._lock:
+                        self.guarded = 1
+
+                def free(self):
+                    self.unguarded = 2
+                    return self.unguarded
+            """
+        )
+        assert findings == []
+
+    def test_class_without_lock_is_ignored(self):
+        findings = run(
+            """
+            class C:
+                def write(self):
+                    self.total = 1
+
+                def read(self):
+                    return self.total
+            """
+        )
+        assert findings == []
+
+    def test_any_lockish_with_attribute_counts(self):
+        findings = run(
+            """
+            class C:
+                def bump(self):
+                    with self._dispatch_lock:
+                        self.seen += 1
+
+                def peek(self):
+                    return self.seen
+            """
+        )
+        assert [f.anchor for f in findings] == ["C.peek:seen"]

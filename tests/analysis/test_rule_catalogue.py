@@ -1,0 +1,408 @@
+"""Per-rule good/bad fixtures for RL002-RL006, plus the self-check.
+
+Each rule gets a pair of fixtures: source that must fire and the minimally
+fixed variant that must not.  The self-check at the bottom is the
+acceptance gate: the analysis package itself, and the whole default tree,
+must be clean under the catalogue.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import all_rules, analyze_paths, analyze_source, get_rule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run(rule: str, source: str, path: str):
+    result = analyze_source(textwrap.dedent(source), path, rules=[get_rule(rule)])
+    return result.findings
+
+
+class TestAmbientRng:
+    PATH = "src/repro/core/fixture.py"
+
+    def test_module_level_np_random_fires(self):
+        findings = run(
+            "RL002",
+            """
+            import numpy as np
+
+            def jitter(x):
+                return x + np.random.rand()
+            """,
+            self.PATH,
+        )
+        assert [f.rule for f in findings] == ["RL002"]
+        assert "ambient:rand" in findings[0].anchor
+
+    def test_unseeded_default_rng_fires(self):
+        findings = run(
+            "RL002",
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "default_rng:unseeded" in findings[0].anchor
+
+    def test_seeded_generator_is_clean(self):
+        findings = run(
+            "RL002",
+            """
+            import numpy as np
+
+            def make(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal(size=4)
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_outside_src_is_ignored(self):
+        findings = run(
+            "RL002",
+            """
+            import numpy as np
+
+            def jitter(x):
+                return x + np.random.rand()
+            """,
+            "tools/fixture.py",
+        )
+        assert findings == []
+
+
+class TestDtypeDrift:
+    PATH = "src/repro/nn/fixture.py"
+
+    def test_missing_dtype_fires(self):
+        findings = run(
+            "RL003",
+            """
+            import numpy as np
+
+            def make(n):
+                return np.zeros(n)
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "missing-dtype:zeros" in findings[0].anchor
+
+    def test_explicit_dtype_is_clean(self):
+        findings = run(
+            "RL003",
+            """
+            import numpy as np
+
+            def make(n):
+                return np.zeros(n, dtype=np.float32)
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_scalar_math_on_literal_fires(self):
+        findings = run(
+            "RL003",
+            """
+            import numpy as np
+
+            SCALE = np.sqrt(2.0)
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "scalar-math:sqrt" in findings[0].anchor
+
+    def test_scalar_math_on_array_is_clean(self):
+        findings = run(
+            "RL003",
+            """
+            import numpy as np
+
+            def norm(x):
+                return np.sqrt(x)
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_asarray_and_like_constructors_exempt(self):
+        findings = run(
+            "RL003",
+            """
+            import numpy as np
+
+            def mirror(x):
+                return np.zeros_like(x), np.asarray(x)
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_unscoped_module_is_ignored(self):
+        findings = run(
+            "RL003",
+            """
+            import numpy as np
+
+            def make(n):
+                return np.zeros(n)
+            """,
+            "src/repro/utils/fixture.py",
+        )
+        assert findings == []
+
+
+class TestForkSafety:
+    PATH = "src/repro/serve/fixture.py"
+
+    def test_import_time_lock_fires(self):
+        findings = run(
+            "RL004",
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "import-time:threading.Lock" in findings[0].anchor
+
+    def test_instance_lock_is_clean(self):
+        findings = run(
+            "RL004",
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_lambda_to_process_pool_fires(self):
+        findings = run(
+            "RL004",
+            """
+            def start(pool, x):
+                return pool.submit(lambda: x + 1)
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "lambda-target" in findings[0].anchor
+
+    def test_nested_function_to_process_fires(self):
+        findings = run(
+            "RL004",
+            """
+            import multiprocessing
+
+            def start(x):
+                def worker():
+                    return x
+                return multiprocessing.Process(target=worker)
+            """,
+            self.PATH,
+        )
+        anchors = [f.anchor for f in findings]
+        assert any("closure-target:worker" in a for a in anchors)
+
+    def test_module_level_worker_is_clean(self):
+        findings = run(
+            "RL004",
+            """
+            import multiprocessing
+
+            def worker(x):
+                return x
+
+            def start(x):
+                return multiprocessing.Process(target=worker, args=(x,))
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_mp_primitive_after_thread_fires(self):
+        findings = run(
+            "RL004",
+            """
+            import multiprocessing
+            import threading
+
+            def start(fn):
+                t = threading.Thread(target=fn)
+                t.start()
+                q = multiprocessing.Queue()
+                return t, q
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "mp-after-thread:Queue" in findings[0].anchor
+
+    def test_mp_primitive_before_thread_is_clean(self):
+        findings = run(
+            "RL004",
+            """
+            import multiprocessing
+            import threading
+
+            def start(fn):
+                q = multiprocessing.Queue()
+                t = threading.Thread(target=fn, args=(q,))
+                t.start()
+                return t, q
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+
+class TestSwallowedException:
+    PATH = "src/repro/serve/fixture.py"
+
+    def test_bare_except_fires(self):
+        findings = run(
+            "RL005",
+            """
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "bare-except" in findings[0].anchor
+
+    def test_empty_broad_handler_fires(self):
+        findings = run(
+            "RL005",
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "swallow:Exception" in findings[0].anchor
+
+    def test_handler_that_translates_is_clean(self):
+        findings = run(
+            "RL005",
+            """
+            def f(log):
+                try:
+                    work()
+                except Exception as exc:
+                    log.warning("work failed: %s", exc)
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_narrow_handler_is_clean(self):
+        findings = run(
+            "RL005",
+            """
+            def f():
+                try:
+                    work()
+                except KeyError:
+                    pass
+            """,
+            self.PATH,
+        )
+        assert findings == []
+
+    def test_suppress_exception_fires(self):
+        findings = run(
+            "RL005",
+            """
+            import contextlib
+
+            def f():
+                with contextlib.suppress(Exception):
+                    work()
+            """,
+            self.PATH,
+        )
+        assert len(findings) == 1
+        assert "suppress:Exception" in findings[0].anchor
+
+    def test_outside_serve_is_ignored(self):
+        findings = run(
+            "RL005",
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            "src/repro/utils/fixture.py",
+        )
+        assert findings == []
+
+
+class TestDocstrings:
+    PATH = "src/repro/core/fixture.py"
+
+    def test_missing_module_docstring_fires(self):
+        findings = run("RL006", "x = 1\n", self.PATH)
+        assert len(findings) == 1
+        assert findings[0].anchor == "module-docstring"
+
+    def test_present_docstring_is_clean(self):
+        findings = run("RL006", '"""Documented."""\n\nx = 1\n', self.PATH)
+        assert findings == []
+
+    def test_empty_file_is_clean(self):
+        findings = run("RL006", "", self.PATH)
+        assert findings == []
+
+
+class TestSelfCheck:
+    def test_analysis_package_clean_under_own_rules(self):
+        result = analyze_paths(
+            [REPO_ROOT / "src" / "repro" / "analysis"],
+            rules=all_rules(),
+            root=REPO_ROOT,
+        )
+        assert result.findings == [], [f.key() for f in result.findings]
+        assert result.suppressed == []
+
+    def test_anchor_bases_are_line_number_free(self):
+        # A baseline key must not move when unrelated lines shift, so no
+        # rule may embed a raw line number in its anchor.
+        source = textwrap.dedent(
+            """
+            import contextlib
+
+            def f():
+                with contextlib.suppress(Exception):
+                    work()
+            """
+        )
+        first = analyze_source(source, "src/repro/serve/fixture.py")
+        shifted = analyze_source("\n\n\n" + source, "src/repro/serve/fixture.py")
+        assert [f.key() for f in first.findings] == [f.key() for f in shifted.findings]

@@ -113,9 +113,8 @@ class TestBlockStreaming:
         path.write_bytes(header + record)
         with PcapReader(path) as reader:
             assert len(reader.read_columns()) == 0
-        with PcapReader(path) as reader:
-            with pytest.raises(ValueError):
-                reader.read_columns(strict=True)
+        with PcapReader(path) as reader, pytest.raises(ValueError):
+            reader.read_columns(strict=True)
 
     def test_linux_sll_link_type(self, tmp_path):
         path = tmp_path / "sll.pcap"

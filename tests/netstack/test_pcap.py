@@ -104,13 +104,11 @@ class TestReaderRobustness:
         global_header = struct.pack("IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, link_type)
         record_header = struct.pack("IIII", 1, 0, len(data), len(data))
         path.write_bytes(global_header + record_header + data)
-        with PcapReader(path) as reader:
-            with pytest.raises(ValueError, match=f"link type {link_type}"):
-                list(reader.records())
+        with PcapReader(path) as reader, pytest.raises(ValueError, match=f"link type {link_type}"):
+            list(reader.records())
         # The columnar path rejects the same captures with the same error.
-        with PcapReader(path) as reader:
-            with pytest.raises(ValueError, match=f"link type {link_type}"):
-                reader.read_columns()
+        with PcapReader(path) as reader, pytest.raises(ValueError, match=f"link type {link_type}"):
+            reader.read_columns()
 
     def test_corrupt_record_length_is_dropped_by_both_paths(self, tmp_path):
         """A bogus captured-length must not hang or buffer the whole file.

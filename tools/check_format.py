@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Self-contained formatting gate for CI (no third-party formatter needed).
 
-Checks every ``.py`` file under the given paths for the invariants the
-codebase maintains by hand:
+Checks every ``.py`` file under the given paths for the byte-level
+invariants the codebase maintains by hand:
 
 * no tab characters in source lines,
 * no trailing whitespace,
@@ -10,39 +10,33 @@ codebase maintains by hand:
 * file ends with exactly one newline,
 * lines no longer than the hard ceiling of 120 characters (ruff.toml's
   ``line-length = 100`` remains the soft target for new code; the ceiling
-  only rejects genuinely unreadable lines),
-* every library module under ``src/`` opens with a module docstring (the
-  serving layer — ``repro/serve/`` — grew several modules; the gate keeps
-  each one self-describing).
+  only rejects genuinely unreadable lines).
+
+The module-docstring check this script used to carry now lives in the
+clap-lint framework as rule ``RL006`` (:mod:`repro.analysis.rules.docstrings`)
+— this script stays the CI entry point for formatting and simply runs that
+one rule on top of its own checks, so ``python tools/run_analysis.py``
+remains the single home of all AST-level analysis.
 
 Exit code 0 when clean; 1 with one ``path:line: message`` per violation.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import analyze_paths, get_rule  # noqa: E402  (path bootstrap)
+from repro.analysis.core import iter_python_files  # noqa: E402
 
 MAX_LINE_LENGTH = 120
 
 
-def iter_python_files(paths: List[str]) -> Iterator[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_file() and path.suffix == ".py":
-            yield path
-        elif path.is_dir():
-            yield from sorted(
-                candidate
-                for candidate in path.rglob("*.py")
-                if "__pycache__" not in candidate.parts
-            )
-
-
-def check_file(path: Path) -> List[Tuple[int, str]]:
-    problems: List[Tuple[int, str]] = []
+def check_file(path: Path) -> list[tuple[int, str]]:
+    problems: list[tuple[int, str]] = []
     data = path.read_bytes()
     if not data:
         return problems
@@ -60,18 +54,10 @@ def check_file(path: Path) -> List[Tuple[int, str]]:
             problems.append((number, "trailing whitespace"))
         if len(line) > MAX_LINE_LENGTH:
             problems.append((number, f"line longer than {MAX_LINE_LENGTH} characters"))
-    if "src" in path.parts:
-        try:
-            module = ast.parse(text)
-        except SyntaxError as error:
-            problems.append((error.lineno or 0, "syntax error"))
-        else:
-            if ast.get_docstring(module) is None:
-                problems.append((1, "library module without a module docstring"))
     return problems
 
 
-def main(argv: List[str]) -> int:
+def main(argv: list[str]) -> int:
     paths = argv or ["src", "tests", "benchmarks", "examples", "tools"]
     failures = 0
     for path in iter_python_files(paths):
@@ -79,6 +65,13 @@ def main(argv: List[str]) -> int:
             location = f"{path}:{number}" if number else str(path)
             print(f"{location}: {message}")
             failures += 1
+    # Docstring discipline, via the framework (rule RL006 scopes itself to
+    # src/, so handing it the full path list is fine).  RL000 findings ride
+    # along so a file that stopped parsing fails the formatting gate too.
+    docstrings = analyze_paths(paths, rules=[get_rule("RL006")], root=REPO_ROOT)
+    for finding in docstrings.sorted_findings():
+        print(f"{finding.path}:{finding.line}: {finding.message}")
+        failures += 1
     if failures:
         print(f"\n{failures} formatting problem(s) found", file=sys.stderr)
         return 1

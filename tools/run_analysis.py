@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Run the clap-lint static-analysis suite (the one analysis entry point).
+
+Usage::
+
+    python tools/run_analysis.py [paths...] [options]
+
+With no paths the suite runs over ``src tools benchmarks examples`` — the
+same tree CI's ``static-analysis`` job gates.  Exit codes: 0 when no new
+(non-baselined, non-suppressed) findings, 1 when there are new findings or
+the baseline file is invalid, 2 on usage errors.
+
+Options:
+    --format {human,json}   report style (default: human)
+    --baseline PATH         baseline file (default: tools/analysis_baseline.json)
+    --no-baseline           ignore the baseline: every finding is "new"
+    --write-baseline        rewrite the baseline to accept the current tree
+                            (new entries get a TODO reason to fill in)
+    --rules RL001,RL002     run only the listed rules
+    --show-baselined        list grandfathered findings in human output
+    --list-rules            print the rule catalogue and exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    Baseline,
+    all_rules,
+    analyze_paths,
+    get_rule,
+    render_human,
+    render_json,
+)
+from repro.analysis.baseline import BaselineEntry  # noqa: E402
+
+DEFAULT_PATHS = ("src", "tools", "benchmarks", "examples")
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "analysis_baseline.json"
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="run_analysis.py",
+        description="Project-specific static analysis (clap-lint).",
+    )
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS))
+    parser.add_argument("--format", choices=("human", "json"), default="human")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--no-baseline", action="store_true")
+    parser.add_argument("--write-baseline", action="store_true")
+    parser.add_argument("--rules", default=None)
+    parser.add_argument("--show-baselined", action="store_true")
+    parser.add_argument("--list-rules", action="store_true")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"       {rule.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [get_rule(rule_id.strip()) for rule_id in args.rules.split(",")]
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+
+    result = analyze_paths(args.paths, rules=rules, root=REPO_ROOT)
+    findings = result.sorted_findings()
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    new, grandfathered = baseline.split(findings)
+    stale = baseline.stale_keys(findings)
+
+    if args.write_baseline:
+        entries = []
+        for finding in findings:
+            existing = baseline.entries.get(finding.key())
+            entries.append(
+                existing
+                if existing is not None
+                else BaselineEntry(finding.key(), "grandfathered (TODO: justify)")
+            )
+        Baseline(entries).save(args.baseline)
+        print(
+            f"baseline rewritten: {len(entries)} entr(ies) "
+            f"({len(new)} added, {len(stale)} pruned) -> {args.baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        sys.stdout.write(render_json(result, new, grandfathered, stale, baseline))
+    else:
+        print(render_human(result, new, grandfathered, stale))
+        if args.show_baselined and grandfathered:
+            print("\ngrandfathered findings:")
+            for finding in grandfathered:
+                reason = baseline.entries[finding.key()].reason
+                print(
+                    f"  {finding.path}:{finding.line}: {finding.rule} "
+                    f"{finding.message} [reason: {reason}]"
+                )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
