@@ -17,7 +17,9 @@ live).
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -92,4 +94,49 @@ def write_result(name: str, content: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(content + "\n")
     print(f"\n----- {name} -----\n{content}\n")
+    return path
+
+
+def host_cores() -> int:
+    """Cores actually usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def git_sha() -> str:
+    """The commit the numbers were measured at (``unknown`` outside git)."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).parent,
+            check=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return probe.stdout.strip() or "unknown"
+
+
+def write_json_result(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result with host/commit provenance.
+
+    Every JSON artefact carries the usable core count, the measured commit
+    and the bench scale/seed, so downstream comparisons (CI trend lines,
+    cross-host tables) never have to guess what produced the numbers.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    record = {
+        "host_cores": host_cores(),
+        "git_sha": git_sha(),
+        "bench_scale": BENCH_SCALE,
+        "bench_seed": BENCH_SEED,
+        **payload,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\n----- {name} -----\n{json.dumps(record, sort_keys=True)[:400]}\n")
     return path

@@ -25,18 +25,13 @@ same model through the tolerance-gated fast paths (``gru-f32``,
 ``quantized-gru``) via ``measure_throughput(..., backend=...)``.
 """
 
-import os
-
-from benchmarks.conftest import write_result
+from benchmarks.conftest import host_cores, write_json_result, write_result
 from repro.evaluation.reporting import render_table3
 from repro.evaluation.runner import BASELINE2_NAME, CLAP_NAME
 
 
 def _available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
+    return host_cores()
 
 
 def test_table3_throughput(experiment, benchmark):
@@ -70,13 +65,20 @@ def test_table3_throughput(experiment, benchmark):
         ]
         return min(runs, key=lambda result: result.seconds)
 
+    def best_batched(name: str, backend: str = None):
+        # The batched rows score a small sample in tens of milliseconds, so
+        # a single scheduler hiccup can swing them by 20%+; use the same
+        # best-of-3 estimator as the streaming rows.
+        runs = [
+            runner.measure_throughput(name, sample, backend=backend) for _ in range(3)
+        ]
+        return min(runs, key=lambda result: result.seconds)
+
     throughput = {
-        CLAP_NAME: runner.measure_throughput(CLAP_NAME, sample),
-        "CLAP (gru-f32)": runner.measure_throughput(CLAP_NAME, sample, backend="gru-f32"),
-        "CLAP (quantized)": runner.measure_throughput(
-            CLAP_NAME, sample, backend="quantized-gru"
-        ),
-        BASELINE2_NAME: runner.measure_throughput(BASELINE2_NAME, sample),
+        CLAP_NAME: best_batched(CLAP_NAME),
+        "CLAP (gru-f32)": best_batched(CLAP_NAME, backend="gru-f32"),
+        "CLAP (quantized)": best_batched(CLAP_NAME, backend="quantized-gru"),
+        BASELINE2_NAME: best_batched(BASELINE2_NAME),
         "CLAP (streaming, 1 worker)": best_streaming(1, "columnar"),
         "CLAP (streaming, 1 worker, gru-f32)": best_streaming(
             1, "columnar", backend="gru-f32"
@@ -105,6 +107,32 @@ def test_table3_throughput(experiment, benchmark):
         f" (see tests/core/test_backend_equivalence.py)."
     )
     write_result("table3_throughput.txt", text)
+    # Machine-readable companion: one row per rendered table row, stamped
+    # with the measuring host's core count and commit so trend tooling can
+    # compare like with like.
+    write_json_result(
+        "BENCH_table3.json",
+        {
+            "table": "table3_throughput",
+            "rows": [
+                {
+                    "label": name,
+                    "mode": result.mode,
+                    "backend": result.backend,
+                    "ingest": result.ingest,
+                    "workers": result.workers,
+                    "worker_mode": result.worker_mode,
+                    "packets": result.packets,
+                    "connections": result.connections,
+                    "seconds": result.seconds,
+                    "setup_seconds": result.setup_seconds,
+                    "packets_per_second": result.packets_per_second,
+                    "connections_per_second": result.connections_per_second,
+                }
+                for name, result in throughput.items()
+            ],
+        },
+    )
 
     clap = throughput[CLAP_NAME]
     kitsune = throughput[BASELINE2_NAME]

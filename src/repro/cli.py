@@ -9,7 +9,10 @@ writing any Python:
 * ``repro-clap score``     — score a capture with a persisted model (forensic mode);
 * ``repro-clap stream``    — replay a capture (pcap or NDJSON) through the
   sharded streaming runtime (``--workers``), emitting one NDJSON event per
-  completed connection (online mode);
+  completed connection (online mode); ``--instances``/``--instance`` fan the
+  stream out to partitioned detector instances instead;
+* ``repro-clap serve-instance`` — run one partitioned-serving detector
+  instance: listen on a socket, serve one front-end connection;
 * ``repro-clap strategies``— list the attack catalogue.
 
 Every subcommand works on ordinary ``.pcap`` files, so captures produced by
@@ -34,11 +37,14 @@ from repro.netstack.flow import assemble_connections
 from repro.netstack.pcap import read_packet_columns, read_pcap, write_pcap
 from repro.serve import (
     DropPolicy,
+    FlowPartitioner,
     FlushPolicy,
+    InstanceConfig,
     ParallelStreamingDetector,
     ReplaySource,
     Tick,
     open_source,
+    run_instance,
 )
 from repro.traffic.dataset import BenignDataset
 from repro.traffic.generator import TrafficGenerator
@@ -127,9 +133,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="silence after FIN/RST before a connection completes")
     stream.add_argument("--max-flows", type=int, default=None,
                         help="bound on concurrently tracked connections (global budget)")
-    stream.add_argument("--drop-policy", choices=("score", "drop"), default="score",
+    stream.add_argument("--drop-policy", choices=("score", "drop", "sample"),
+                        default="score",
                         help="what to do with capacity-evicted flows: score them "
-                             "(default) or count and drop them unscored")
+                             "(default), count and drop them unscored, or sample "
+                             "a deterministic fraction for scoring")
+    stream.add_argument("--drop-sample-rate", type=float, default=0.1,
+                        help="fraction of capacity evictions scored under "
+                             "--drop-policy sample (handshaken flows always score)")
+    stream.add_argument("--drop-min-packets", type=int, default=0,
+                        help="capacity evictions shorter than this many packets "
+                             "are dropped unscored regardless of policy mode")
+    stream.add_argument("--subnet-budget", type=int, default=None,
+                        help="per-source-subnet budget of scored capacity "
+                             "evictions per window; a flooding subnet is dropped "
+                             "beyond it without evicting everyone else's budget")
+    stream.add_argument("--subnet-prefix", type=int, default=24,
+                        help="prefix length grouping sources for --subnet-budget")
+    stream.add_argument("--chunk-size", default="adaptive",
+                        help="packets per shard hand-off: an integer pins it, "
+                             "'adaptive' (default) grows under backpressure and "
+                             "shrinks when flush latency climbs")
+    stream.add_argument("--instances", type=int, default=None,
+                        help="fan the stream out to this many locally spawned "
+                             "partitioned detector instances instead of the "
+                             "in-process sharded runtime")
+    stream.add_argument("--instance", action="append", default=None,
+                        metavar="HOST:PORT",
+                        help="connect to an already-running detector instance "
+                             "(repeatable; see `serve-instance`)")
     stream.add_argument("--replay-rate", type=float, default=None,
                         help="pace the replay at this many packets per second")
     stream.add_argument("--alerts-only", action="store_true",
@@ -140,6 +172,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="serve through this sequence backend instead of the persisted "
                              "one (process workers receive the converted model via a "
                              "temporary artifact)")
+
+    serve = subparsers.add_parser(
+        "serve-instance",
+        help="run one partitioned-serving detector instance (socket back-end)")
+    serve.add_argument("model", type=Path, help="directory containing the trained model")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to listen on (default: loopback)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to listen on (default: OS-assigned; printed)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="flow-table shards / workers inside this instance")
+    serve.add_argument("--worker-mode", choices=("thread", "process"), default="thread",
+                       help="worker substrate inside this instance")
+    serve.add_argument("--threshold", type=float, default=None,
+                       help="override the persisted adversarial-score threshold")
+    serve.add_argument("--max-batch", type=int, default=128,
+                       help="micro-batch size: flush after this many completions")
+    serve.add_argument("--idle-timeout", type=float, default=60.0,
+                       help="evict connections idle for this many stream-seconds")
+    serve.add_argument("--close-grace", type=float, default=1.0,
+                       help="silence after FIN/RST before a connection completes")
+    serve.add_argument("--max-flows", type=int, default=None,
+                       help="bound on concurrently tracked connections")
+    serve.add_argument("--drop-policy", choices=("score", "drop", "sample"),
+                       default="score",
+                       help="what to do with capacity-evicted flows")
+    serve.add_argument("--drop-sample-rate", type=float, default=0.1,
+                       help="fraction of capacity evictions scored under "
+                            "--drop-policy sample")
+    serve.add_argument("--drop-min-packets", type=int, default=0,
+                       help="capacity evictions shorter than this are dropped unscored")
+    serve.add_argument("--subnet-budget", type=int, default=None,
+                       help="per-source-subnet budget of scored capacity evictions")
+    serve.add_argument("--subnet-prefix", type=int, default=24,
+                       help="prefix length grouping sources for --subnet-budget")
+    serve.add_argument("--chunk-size", default="adaptive",
+                       help="packets per shard hand-off inside this instance "
+                            "(integer or 'adaptive')")
+    serve.add_argument("--backend", choices=("gru", "gru-f32", "quantized-gru"),
+                       default=None,
+                       help="serve through this sequence backend instead of the "
+                            "persisted one")
 
     strategies = subparsers.add_parser("strategies", help="list the 73 evasion strategies")
     strategies.add_argument("--source", default=None,
@@ -301,12 +375,47 @@ def _close_quietly(detector) -> None:
         pass
 
 
+def _stream_drop_policy(args: argparse.Namespace) -> DropPolicy:
+    """The admission policy the stream/serve-instance knobs describe."""
+    return DropPolicy(
+        mode=args.drop_policy,
+        min_packets=args.drop_min_packets,
+        sample_rate=args.drop_sample_rate,
+        subnet_budget=args.subnet_budget,
+        subnet_prefix=args.subnet_prefix,
+    )
+
+
+def _parse_chunk_size(value: str | int) -> str | int:
+    """``--chunk-size``: 'adaptive' or a positive integer."""
+    if value == "adaptive":
+        return value
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"--chunk-size must be an integer or 'adaptive', got {value!r}"
+        ) from None
+
+
 def command_stream(args: argparse.Namespace) -> int:
     if args.max_batch < 1:
         print(f"error: --max-batch must be at least 1, got {args.max_batch}", file=sys.stderr)
         return 2
-    clap = _load_model(args.model, backend=getattr(args, "backend", None))
-    if clap is None:
+    endpoints = args.instance or None
+    if args.instances is not None and endpoints is not None:
+        print("error: --instances and --instance are mutually exclusive", file=sys.stderr)
+        return 2
+    partitioned = args.instances is not None or endpoints is not None
+    clap = None
+    if not partitioned:
+        clap = _load_model(args.model, backend=getattr(args, "backend", None))
+        if clap is None:
+            return 2
+    elif endpoints is None and not args.model.exists():
+        # Local instances load the artifact themselves; fail fast here
+        # instead of through N children's handshake timeouts.
+        print(f"error: no model found at {args.model}", file=sys.stderr)
         return 2
     if not args.pcap.exists():
         print(f"error: no capture found at {args.pcap}", file=sys.stderr)
@@ -319,6 +428,7 @@ def command_stream(args: argparse.Namespace) -> int:
             print(json.dumps(event.to_dict()))
 
     try:
+        chunk_size = _parse_chunk_size(args.chunk_size)
         source: object = open_source(args.pcap, args.source, ingest=args.ingest,
                                      strict=args.strict)
         if args.replay_rate is not None:
@@ -328,31 +438,58 @@ def command_stream(args: argparse.Namespace) -> int:
             tick_interval = args.close_grace if args.close_grace > 0 else None
             source = ReplaySource(source, rate=args.replay_rate,
                                   tick_interval=tick_interval)
-        detector = ParallelStreamingDetector(
-            clap,
-            workers=args.workers,
-            worker_mode=args.worker_mode,
-            flush_policy=FlushPolicy(max_batch=args.max_batch,
-                                     max_buffered=max(args.max_batch, 1024)),
-            threshold=args.threshold,
-            idle_timeout=args.idle_timeout,
-            close_grace=args.close_grace,
-            max_flows=args.max_flows,
-            drop_policy=DropPolicy(mode=args.drop_policy),
-            # Process workers mmap the artifact the CLI already has on disk;
-            # no temporary re-save of the model.  With a --backend override
-            # the on-disk artifact no longer matches the served pipeline, so
-            # let the runtime save the converted model to a temporary
-            # directory for the workers instead.
-            model_dir=(
-                args.model
-                if args.worker_mode == "process" and getattr(args, "backend", None) is None
-                else None
-            ),
-        )
+        flush_policy = FlushPolicy(max_batch=args.max_batch,
+                                   max_buffered=max(args.max_batch, 1024))
+        drop_policy = _stream_drop_policy(args)
+        if partitioned:
+            detector: object = FlowPartitioner(
+                args.model if endpoints is None else None,
+                instances=args.instances,
+                endpoints=endpoints,
+                config=InstanceConfig(
+                    workers=args.workers,
+                    worker_mode=args.worker_mode,
+                    flush_policy=flush_policy,
+                    threshold=args.threshold,
+                    idle_timeout=args.idle_timeout,
+                    close_grace=args.close_grace,
+                    max_flows=args.max_flows,
+                    drop_policy=drop_policy,
+                    chunk_size=chunk_size,
+                ),
+                backend=getattr(args, "backend", None),
+                chunk_size=chunk_size,
+            )
+        else:
+            detector = ParallelStreamingDetector(
+                clap,
+                workers=args.workers,
+                worker_mode=args.worker_mode,
+                flush_policy=flush_policy,
+                threshold=args.threshold,
+                idle_timeout=args.idle_timeout,
+                close_grace=args.close_grace,
+                max_flows=args.max_flows,
+                drop_policy=drop_policy,
+                chunk_size=chunk_size,
+                # Process workers mmap the artifact the CLI already has on
+                # disk; no temporary re-save of the model.  With a --backend
+                # override the on-disk artifact no longer matches the served
+                # pipeline, so let the runtime save the converted model to a
+                # temporary directory for the workers instead.
+                model_dir=(
+                    args.model
+                    if args.worker_mode == "process" and getattr(args, "backend", None) is None
+                    else None
+                ),
+            )
     except ValueError as error:
         # FlowTable/FlushPolicy/DropPolicy validate their knobs; render the
         # message (e.g. "idle_timeout must be positive") instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as error:
+        # A refused/dead --instance endpoint is an operational error, not a bug.
         print(f"error: {error}", file=sys.stderr)
         return 2
     streamed = 0
@@ -364,10 +501,11 @@ def command_stream(args: argparse.Namespace) -> int:
                 streamed += 1
                 detector.ingest(item)
             emit(detector.events())
-    except (ValueError, RuntimeError) as error:
-        # A strict-mode parse error (ValueError) or a shard-worker failure
-        # (RuntimeError) must not leak the worker pool: shut it down, then
-        # render the message instead of a traceback.
+    except (ValueError, RuntimeError, ConnectionError) as error:
+        # A strict-mode parse error (ValueError), a shard-worker failure
+        # (RuntimeError) or a lost instance (ConnectionError) must not leak
+        # the worker pool: shut it down, then render the message instead of
+        # a traceback.
         _close_quietly(detector)
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -391,6 +529,52 @@ def command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+class _AnnounceAddress:
+    """``ready`` sink for :func:`run_instance`: print the bound address."""
+
+    def put(self, address) -> None:
+        host, port = address
+        print(f"listening on {host}:{port}", flush=True)
+
+
+def command_serve_instance(args: argparse.Namespace) -> int:
+    if args.max_batch < 1:
+        print(f"error: --max-batch must be at least 1, got {args.max_batch}", file=sys.stderr)
+        return 2
+    if not args.model.exists():
+        print(f"error: no model found at {args.model}", file=sys.stderr)
+        return 2
+    try:
+        config = InstanceConfig(
+            workers=args.workers,
+            worker_mode=args.worker_mode,
+            flush_policy=FlushPolicy(max_batch=args.max_batch,
+                                     max_buffered=max(args.max_batch, 1024)),
+            threshold=args.threshold,
+            idle_timeout=args.idle_timeout,
+            close_grace=args.close_grace,
+            max_flows=args.max_flows,
+            drop_policy=_stream_drop_policy(args),
+            chunk_size=_parse_chunk_size(args.chunk_size),
+        )
+        return run_instance(
+            args.model,
+            host=args.host,
+            port=args.port,
+            config=config,
+            backend=args.backend,
+            ready=_AnnounceAddress(),
+        )
+    except ModelManifestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, RuntimeError, ConnectionError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
 def command_strategies(args: argparse.Namespace) -> int:
     wanted = (args.source or "").strip().lower()
     for strategy in all_strategies():
@@ -407,6 +591,7 @@ _COMMANDS = {
     "train": command_train,
     "score": command_score,
     "stream": command_stream,
+    "serve-instance": command_serve_instance,
     "strategies": command_strategies,
 }
 

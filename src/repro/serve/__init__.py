@@ -17,13 +17,25 @@ Figure 3, layered as a streaming runtime:
   packets to per-shard workers behind bounded queues and funnels events into
   one ordered stream, with :class:`DropPolicy` handling of capacity floods
   and :class:`StreamingMetrics` backpressure monitoring
-  (:mod:`repro.serve.metrics`).
+  (:mod:`repro.serve.metrics`);
+* :class:`FlowPartitioner` (:mod:`repro.serve.partition`) — the scale-out
+  layer above the runtime: hashes each flow once and fans packet blocks to N
+  :class:`~repro.serve.instance.DetectorInstance` back-ends over sockets
+  (local processes or remote hosts), speaking the :mod:`repro.serve.wire`
+  frame protocol and merging events back into one deterministic stream.
 """
 
 from repro.core.results import DetectionResult
 from repro.netstack.flow import CompletionReason, FlowTable, ShardedFlowTable
-from repro.serve.events import Alert, DetectionEvent, make_event
-from repro.serve.metrics import DropPolicy, LatencyHistogram, StreamingMetrics
+from repro.serve.events import Alert, DetectionEvent, event_from_dict, make_event
+from repro.serve.instance import DetectorInstance, InstanceConfig, run_instance
+from repro.serve.metrics import (
+    AdaptiveChunker,
+    DropPolicy,
+    LatencyHistogram,
+    StreamingMetrics,
+)
+from repro.serve.partition import FlowPartitioner
 from repro.serve.runtime import ParallelStreamingDetector
 from repro.serve.sources import (
     IterableSource,
@@ -37,13 +49,17 @@ from repro.serve.sources import (
 from repro.serve.streaming import FlushPolicy, StreamingDetector
 
 __all__ = [
+    "AdaptiveChunker",
     "Alert",
     "CompletionReason",
     "DetectionEvent",
     "DetectionResult",
+    "DetectorInstance",
     "DropPolicy",
+    "FlowPartitioner",
     "FlowTable",
     "FlushPolicy",
+    "InstanceConfig",
     "IterableSource",
     "LatencyHistogram",
     "NDJSONSource",
@@ -55,6 +71,8 @@ __all__ = [
     "StreamingDetector",
     "StreamingMetrics",
     "Tick",
+    "event_from_dict",
     "make_event",
     "open_source",
+    "run_instance",
 ]

@@ -59,3 +59,19 @@ def make_event(
         first_seen=first_seen,
         last_seen=last_seen,
     )
+
+
+def event_from_dict(payload: dict[str, object]) -> DetectionEvent:
+    """Inverse of :meth:`DetectionEvent.to_dict` (partitioner wire format).
+
+    The subtype is re-derived from the result (``make_event``), so a dict
+    whose ``event`` tag disagrees with its score/threshold still produces a
+    consistent event.
+    """
+    result = DetectionResult.from_dict(payload)
+    return make_event(
+        result,
+        CompletionReason(payload["completed_by"]),
+        float(payload["first_seen"]),  # type: ignore[arg-type]
+        float(payload["last_seen"]),  # type: ignore[arg-type]
+    )

@@ -8,11 +8,18 @@ scoring every evicted one-packet flow burns the inference budget exactly when
 the system is under attack.  This module makes both concerns first-class:
 
 * :class:`DropPolicy` decides what happens to capacity-evicted flows before
-  they reach the scoring engine (score them, or count and drop them);
+  they reach the scoring engine: score them all, drop them all, sample them
+  deterministically, or budget them per source subnet so one flooding subnet
+  cannot evict everyone else (the mutable budget counters live in
+  :class:`AdmissionState`, one per worker, keeping the policy itself frozen
+  and picklable);
+* :class:`AdaptiveChunker` closes the loop between the runtime's two load
+  signals — queue backpressure grows the ingest chunk size to amortise
+  dispatch, rising flush latency shrinks it back down;
 * :class:`StreamingMetrics` aggregates the runtime's operational signals —
   per-shard ingest/completion counters, drop counters, flush latency
-  histogram, queue/pending depth high-water marks — behind one lock so every
-  worker thread can record into it.
+  histogram, queue/pending depth high-water marks, shared-memory block
+  accounting — behind one lock so every worker thread can record into it.
 """
 
 from __future__ import annotations
@@ -69,6 +76,11 @@ class LatencyHistogram:
         }
 
 
+#: Resolution of the deterministic sampling draw: ``hash(FlowKey)`` is folded
+#: into this many buckets, so ``sample_rate`` is honoured to ~1e-6.
+_SAMPLE_BUCKETS = 1 << 20
+
+
 @dataclass(frozen=True)
 class DropPolicy:
     """What to do with :attr:`CompletionReason.CAPACITY` completions.
@@ -78,8 +90,27 @@ class DropPolicy:
     ``mode="drop"`` discards them unscored — under a flood the evicted flows
     are overwhelmingly attacker-created fragments, and dropping them keeps
     the engine budget for connections that completed organically.
-    ``min_packets`` refines ``"score"``: capacity evictions shorter than this
-    many packets (e.g. bare SYNs) are dropped, longer ones still scored.
+    ``mode="sample"`` sits between the two: each eviction is admitted by a
+    cheap admission score — a completed handshake always admits (the flow
+    progressed organically before the table filled), everything else is
+    admitted by a deterministic per-flow hash draw at ``sample_rate`` — so a
+    fixed, reproducible fraction of the flood tail is still scored (enough to
+    keep seeing what the flood *is*) without burning the inference budget on
+    all of it.  The draw hashes the canonical :class:`FlowKey`, so the same
+    flow gets the same verdict at any worker count, in any worker mode, and
+    on any partitioned instance.
+    ``min_packets`` refines ``"score"`` and ``"sample"``: capacity evictions
+    shorter than this many packets (e.g. bare SYNs) are dropped outright.
+
+    ``subnet_budget`` adds the per-source-subnet defense from Grashöfer et
+    al.'s monitor-state attacks: within each ``budget_window`` stream-seconds
+    at most this many capacity evictions per ``/subnet_prefix`` source subnet
+    are admitted to scoring; the rest are counted as ``subnet_drops``.  One
+    subnet flooding the flow table then costs bounded engine time instead of
+    crowding out every other source.  The budget needs mutable counters,
+    which live in :class:`AdmissionState` (one per worker, from
+    :meth:`new_state`) so the policy itself stays frozen and picklable across
+    the process-worker boundary.
 
     Only capacity evictions are ever dropped; CLOSED/IDLE/DRAIN completions
     always reach the engine regardless of policy.
@@ -87,8 +118,12 @@ class DropPolicy:
 
     mode: str = "score"
     min_packets: int = 0
+    sample_rate: float = 0.1
+    subnet_budget: int | None = None
+    subnet_prefix: int = 24
+    budget_window: float = 10.0
 
-    _MODES = ("score", "drop")
+    _MODES = ("score", "drop", "sample")
 
     def __post_init__(self) -> None:
         if self.mode not in self._MODES:
@@ -97,14 +132,217 @@ class DropPolicy:
             )
         if self.min_packets < 0:
             raise ValueError(f"min_packets must be non-negative, got {self.min_packets}")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {self.sample_rate}")
+        if self.subnet_budget is not None and self.subnet_budget < 1:
+            raise ValueError(
+                f"subnet_budget must be at least 1, got {self.subnet_budget}"
+            )
+        if not 0 <= self.subnet_prefix <= 32:
+            raise ValueError(
+                f"subnet_prefix must be in [0, 32], got {self.subnet_prefix}"
+            )
+        if self.budget_window <= 0:
+            raise ValueError(
+                f"budget_window must be positive, got {self.budget_window}"
+            )
+
+    def new_state(self) -> "AdmissionState | None":
+        """Per-worker mutable admission counters, or ``None`` if stateless."""
+        return AdmissionState(self) if self.subnet_budget is not None else None
+
+    def _sample_admits(self, connection: Connection) -> bool:
+        if connection.has_handshake:
+            return True
+        key = connection.key
+        draw = (hash(key) & (_SAMPLE_BUCKETS - 1)) if key is not None else 0
+        return draw < self.sample_rate * _SAMPLE_BUCKETS
+
+    def verdict(
+        self,
+        connection: Connection,
+        reason: CompletionReason,
+        state: "AdmissionState | None" = None,
+    ) -> str:
+        """``"score"``, ``"drop"`` or ``"subnet"`` for this completion."""
+        if reason is not CompletionReason.CAPACITY:
+            return "score"
+        if self.mode == "drop":
+            return "drop"
+        if len(connection) < self.min_packets:
+            return "drop"
+        if self.mode == "sample" and not self._sample_admits(connection):
+            return "drop"
+        if state is not None and not state.admit(connection):
+            return "subnet"
+        return "score"
 
     def drops(self, connection: Connection, reason: CompletionReason) -> bool:
-        """True if this completion should be discarded without scoring."""
-        if reason is not CompletionReason.CAPACITY:
-            return False
-        if self.mode == "drop":
+        """True if this completion should be discarded without scoring.
+
+        Stateless view of :meth:`verdict` — subnet budgets (which need an
+        :class:`AdmissionState`) never drop through this entry point.
+        """
+        return self.verdict(connection, reason) != "score"
+
+
+class AdmissionState:
+    """Mutable per-worker counters behind :class:`DropPolicy` subnet budgets.
+
+    One instance per shard worker (thread or process), created through
+    :meth:`DropPolicy.new_state`; the policy rides pickled worker specs while
+    this object never crosses a process boundary.  Budget windows roll on
+    stream time (the completing connection's last packet timestamp), so replay
+    and live traffic behave identically.
+    """
+
+    __slots__ = ("policy", "_counts", "_window_start")
+
+    def __init__(self, policy: DropPolicy) -> None:
+        self.policy = policy
+        self._counts: dict[int, int] = {}
+        self._window_start = float("-inf")
+
+    def _subnet(self, connection: Connection) -> int:
+        source = connection.client_ip
+        if source is None:
+            source = connection.key.ip_a if connection.key is not None else 0
+        shift = 32 - self.policy.subnet_prefix
+        return int(source) >> shift if shift else int(source)
+
+    def _stream_time(self, connection: Connection) -> float | None:
+        packets = connection.packets
+        return packets[-1].timestamp if packets else None
+
+    def admit(self, connection: Connection) -> bool:
+        """Charge this eviction against its source subnet's budget."""
+        budget = self.policy.subnet_budget
+        if budget is None:
             return True
-        return len(connection) < self.min_packets
+        now = self._stream_time(connection)
+        if now is not None and now - self._window_start >= self.policy.budget_window:
+            self._counts.clear()
+            self._window_start = now
+        subnet = self._subnet(connection)
+        used = self._counts.get(subnet, 0)
+        if used >= budget:
+            return False
+        self._counts[subnet] = used + 1
+        return True
+
+
+class AdaptiveChunker:
+    """Feedback controller for the runtime's ingest chunk size.
+
+    The chunk size trades dispatch overhead against latency: bigger chunks
+    amortise queue operations (and, in process mode, pickling), smaller
+    chunks keep flush latency down.  No fixed value suits both a drizzle and
+    a flood, so the runtime drives this controller with its two load signals:
+
+    * **backpressure** — a shard queue reported full while submitting.  The
+      workers are behind on per-chunk overhead, so the chunk size doubles
+      (up to ``maximum``).
+    * **flush latency** — the EWMA of engine flush time climbed past
+      ``target_flush_seconds``.  Batches have grown past the latency budget,
+      so the chunk size halves (down to ``minimum``).
+
+    ``cooldown`` submissions must pass between two resizes, so one burst
+    cannot slam the size across its whole range, and the two signals cannot
+    fight each other into oscillation within a single flush interval.
+    All methods are thread-safe (ingest thread + worker threads).
+    """
+
+    def __init__(
+        self,
+        initial: int = 64,
+        *,
+        minimum: int = 16,
+        maximum: int = 2048,
+        target_flush_seconds: float = 0.25,
+        ewma_alpha: float = 0.2,
+        cooldown: int = 4,
+    ) -> None:
+        if minimum < 1 or maximum < minimum:
+            raise ValueError(
+                f"need 1 <= minimum <= maximum, got [{minimum}, {maximum}]"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if target_flush_seconds <= 0:
+            raise ValueError(
+                f"target_flush_seconds must be positive, got {target_flush_seconds}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be non-negative, got {cooldown}")
+        self.minimum = int(minimum)
+        self.maximum = int(maximum)
+        self.target_flush_seconds = float(target_flush_seconds)
+        self.ewma_alpha = float(ewma_alpha)
+        self.cooldown = int(cooldown)
+        self._size = min(max(int(initial), self.minimum), self.maximum)
+        self._lock = threading.Lock()
+        self._cooldown_left = 0
+        self._ewma: float | None = None
+        self.grow_events = 0
+        self.shrink_events = 0
+        self.backpressure_events = 0
+
+    @property
+    def size(self) -> int:
+        """The current chunk size (a plain read; always in bounds)."""
+        # clap-lint: allow[RL001] reason=read per ingest chunk on the hot path; a torn read is impossible for a CPython int attribute and any momentarily stale size is still in [minimum, maximum]
+        return self._size
+
+    def record_submit(self) -> None:
+        """One chunk was submitted (advances the resize cooldown)."""
+        with self._lock:
+            if self._cooldown_left:
+                self._cooldown_left -= 1
+
+    def record_backpressure(self) -> None:
+        """A shard queue was full while submitting: grow, cooldown permitting."""
+        with self._lock:
+            self.backpressure_events += 1
+            if self._cooldown_left or self._size >= self.maximum:
+                return
+            self._size = min(self._size * 2, self.maximum)
+            self.grow_events += 1
+            self._cooldown_left = self.cooldown
+
+    def record_flush(self, seconds: float) -> None:
+        """Fold one flush latency into the EWMA; shrink if it runs hot."""
+        with self._lock:
+            alpha = self.ewma_alpha
+            self._ewma = (
+                seconds
+                if self._ewma is None
+                else alpha * seconds + (1.0 - alpha) * self._ewma
+            )
+            if self._cooldown_left or self._ewma <= self.target_flush_seconds:
+                return
+            if self._size <= self.minimum:
+                return
+            self._size = max(self._size // 2, self.minimum)
+            self.shrink_events += 1
+            self._cooldown_left = self.cooldown
+            # Halving the chunk roughly halves the work behind one flush;
+            # discount the EWMA the same way so the next flush is judged
+            # against the new regime instead of re-shrinking on stale history.
+            self._ewma *= 0.5
+
+    def state(self) -> dict[str, object]:
+        """JSON-friendly controller state for metrics snapshots."""
+        with self._lock:
+            return {
+                "size": self._size,
+                "minimum": self.minimum,
+                "maximum": self.maximum,
+                "grow_events": self.grow_events,
+                "shrink_events": self.shrink_events,
+                "backpressure_events": self.backpressure_events,
+                "flush_ewma_seconds": self._ewma if self._ewma is not None else 0.0,
+                "target_flush_seconds": self.target_flush_seconds,
+            }
 
 
 class StreamingMetrics:
@@ -132,12 +370,31 @@ class StreamingMetrics:
         self.events_emitted = 0
         self.alerts_emitted = 0
         self.capacity_drops = 0
+        self.subnet_drops = 0
         self.flush_latency = LatencyHistogram()
         self.max_pending_depth = 0
         self.max_queue_depth = 0
+        # Shared-memory block accounting (parent side): segments broadcast to
+        # the worker pool, payload bytes that crossed through them, and the
+        # most segments ever awaiting acks at once.
+        self.shm_segments_created = 0
+        self.shm_bytes_broadcast = 0
+        self.shm_segments_high_water = 0
+        # Worker side: payload bytes a worker had to *copy* to materialise a
+        # block (pipe-shipped small blocks); the shared-memory path maps
+        # instead of copying, so under load this staying at zero is the
+        # observable form of the zero-copy contract.
+        self.payload_bytes_copied = 0
         # Latest counter struct shipped by each external (process) worker,
         # keyed by worker id; folded into snapshot()/render().
         self._worker_states: dict[object, dict[str, object]] = {}
+        # Optional AdaptiveChunker fed from flush latencies (parent side).
+        self._chunker: AdaptiveChunker | None = None
+
+    def attach_chunker(self, chunker: AdaptiveChunker) -> None:
+        """Feed flush latencies (local and absorbed) into ``chunker``."""
+        with self._lock:
+            self._chunker = chunker
 
     # -------------------------------------------------------------- recording
     def record_ingest(self, shard: int, packets: int = 1) -> None:
@@ -161,10 +418,30 @@ class StreamingMetrics:
         with self._lock:
             self.capacity_drops += count
 
+    def record_subnet_drop(self, count: int = 1) -> None:
+        with self._lock:
+            self.subnet_drops += count
+
+    def record_shm_segment(self, nbytes: int, open_segments: int) -> None:
+        """One shared-memory block segment was created and broadcast."""
+        with self._lock:
+            self.shm_segments_created += 1
+            self.shm_bytes_broadcast += int(nbytes)
+            if open_segments > self.shm_segments_high_water:
+                self.shm_segments_high_water = int(open_segments)
+
+    def record_payload_copy(self, nbytes: int) -> None:
+        """A block payload was materialised by copy instead of mapping."""
+        with self._lock:
+            self.payload_bytes_copied += int(nbytes)
+
     def record_flush(self, connections: int, seconds: float) -> None:
         with self._lock:
             self.connections_scored += connections
             self.flush_latency.observe(seconds)
+            chunker = self._chunker
+        if chunker is not None:
+            chunker.record_flush(seconds)
 
     def record_events(self, events: int, alerts: int) -> None:
         with self._lock:
@@ -195,6 +472,8 @@ class StreamingMetrics:
                 "completions": dict(self.completions),
                 "connections_scored": self.connections_scored,
                 "capacity_drops": self.capacity_drops,
+                "subnet_drops": self.subnet_drops,
+                "payload_bytes_copied": self.payload_bytes_copied,
                 "flush_counts": list(self.flush_latency.counts),
                 "flush_total": self.flush_latency.total,
                 "flush_count": self.flush_latency.count,
@@ -203,9 +482,27 @@ class StreamingMetrics:
             }
 
     def absorb_worker_state(self, worker: object, state: dict[str, object]) -> None:
-        """Remember the latest counter struct shipped by ``worker``."""
+        """Remember the latest counter struct shipped by ``worker``.
+
+        With an attached :class:`AdaptiveChunker`, the flush-latency delta
+        between this struct and the worker's previous one is folded into the
+        controller — process workers flush in their own interpreter, so this
+        is the parent's only view of their latency.
+        """
+        flush_signal: float | None = None
         with self._lock:
+            previous = self._worker_states.get(worker)
             self._worker_states[worker] = dict(state)
+            chunker = self._chunker
+            if chunker is not None:
+                base_total = float(previous["flush_total"]) if previous else 0.0  # type: ignore[arg-type]
+                base_count = int(previous["flush_count"]) if previous else 0  # type: ignore[call-overload]
+                delta_count = int(state.get("flush_count", 0)) - base_count  # type: ignore[call-overload]
+                delta_total = float(state.get("flush_total", 0.0)) - base_total  # type: ignore[arg-type]
+                if delta_count > 0:
+                    flush_signal = delta_total / delta_count
+        if chunker is not None and flush_signal is not None:
+            chunker.record_flush(flush_signal)
 
     # -------------------------------------------------------------- reporting
     @property
@@ -228,6 +525,8 @@ class StreamingMetrics:
             completions = dict(self.completions)
             scored = self.connections_scored
             drops = self.capacity_drops
+            subnet_drops = self.subnet_drops
+            copied = self.payload_bytes_copied
             max_pending = self.max_pending_depth
             latency = LatencyHistogram(self.flush_latency.edges)
             latency.counts = list(self.flush_latency.counts)
@@ -239,12 +538,15 @@ class StreamingMetrics:
                     completions[reason] = completions.get(reason, 0) + count
                 scored += state["connections_scored"]  # type: ignore[operator]
                 drops += state["capacity_drops"]  # type: ignore[operator]
+                subnet_drops += state.get("subnet_drops", 0)  # type: ignore[operator]
+                copied += state.get("payload_bytes_copied", 0)  # type: ignore[operator]
                 max_pending = max(max_pending, state["max_pending_depth"])  # type: ignore[type-var]
                 for index, count in enumerate(state["flush_counts"]):  # type: ignore[arg-type]
                     latency.counts[index] += count
                 latency.total += state["flush_total"]  # type: ignore[operator]
                 latency.count += state["flush_count"]  # type: ignore[operator]
                 latency.max = max(latency.max, state["flush_max"])  # type: ignore[type-var]
+            chunker = self._chunker
             return {
                 "shards": self.shard_count,
                 "packets_ingested": list(self.packets_ingested),
@@ -253,9 +555,17 @@ class StreamingMetrics:
                 "events_emitted": self.events_emitted,
                 "alerts_emitted": self.alerts_emitted,
                 "capacity_drops": drops,
+                "subnet_drops": subnet_drops,
                 "flush_latency": latency.to_dict(),
                 "max_pending_depth": max_pending,
                 "max_queue_depth": self.max_queue_depth,
+                "shared_memory": {
+                    "segments_created": self.shm_segments_created,
+                    "bytes_broadcast": self.shm_bytes_broadcast,
+                    "segments_high_water": self.shm_segments_high_water,
+                    "payload_bytes_copied": copied,
+                },
+                "adaptive_chunking": chunker.state() if chunker is not None else None,
                 "shard_occupancy": list(occupancy) if occupancy is not None else None,
             }
 
@@ -273,16 +583,30 @@ class StreamingMetrics:
             if count
         )
         latency = snap["flush_latency"]
+        shm = snap["shared_memory"]
         lines = [
             f"shards={snap['shards']} packets={sum(snap['packets_ingested'])} "
             f"completions=[{reasons or 'none'}]",
             f"scored={snap['connections_scored']} events={snap['events_emitted']} "
-            f"alerts={snap['alerts_emitted']} capacity_drops={snap['capacity_drops']}",
+            f"alerts={snap['alerts_emitted']} capacity_drops={snap['capacity_drops']} "
+            f"subnet_drops={snap['subnet_drops']}",
             f"flush latency: n={latency['count']} "  # type: ignore[index]
             f"mean={latency['mean_seconds'] * 1e3:.2f}ms "  # type: ignore[index]
             f"max={latency['max_seconds'] * 1e3:.2f}ms; "  # type: ignore[index]
             f"max pending={snap['max_pending_depth']} max queue={snap['max_queue_depth']}",
+            f"shared memory: segments={shm['segments_created']} "  # type: ignore[index]
+            f"broadcast={shm['bytes_broadcast']}B "  # type: ignore[index]
+            f"high-water={shm['segments_high_water']} "  # type: ignore[index]
+            f"copied={shm['payload_bytes_copied']}B",  # type: ignore[index]
         ]
+        chunking = snap["adaptive_chunking"]
+        if chunking is not None:
+            lines.append(
+                f"chunking: size={chunking['size']} "  # type: ignore[index]
+                f"grow={chunking['grow_events']} "  # type: ignore[index]
+                f"shrink={chunking['shrink_events']} "  # type: ignore[index]
+                f"backpressure={chunking['backpressure_events']}"  # type: ignore[index]
+            )
         if occupancy is not None:
             lines.append(f"shard occupancy: {occupancy}")
         return "\n".join(lines)
@@ -292,18 +616,31 @@ def apply_drop_policy(
     completions: list[tuple[Connection, CompletionReason]],
     policy: DropPolicy | None,
     metrics: StreamingMetrics | None,
+    admission: AdmissionState | None = None,
 ) -> list[tuple[Connection, CompletionReason]]:
     """Filter ``completions`` through ``policy``, recording drops in ``metrics``.
 
-    With no policy (or nothing to drop) the input list is returned unchanged,
-    so the default streaming path stays allocation-free.
+    ``admission`` carries the worker's mutable subnet-budget counters (from
+    :meth:`DropPolicy.new_state`); budget rejections are counted separately
+    as ``subnet_drops`` on top of the ordinary capacity-drop counter.  With
+    no policy (or nothing to drop) the input list is returned unchanged, so
+    the default streaming path stays allocation-free.
     """
     if metrics is not None and completions:
         metrics.record_completions(completions)
     if policy is None:
         return completions
-    kept = [item for item in completions if not policy.drops(*item)]
+    kept = []
+    subnet_dropped = 0
+    for item in completions:
+        verdict = policy.verdict(item[0], item[1], admission)
+        if verdict == "score":
+            kept.append(item)
+        elif verdict == "subnet":
+            subnet_dropped += 1
     dropped = len(completions) - len(kept)
     if dropped and metrics is not None:
         metrics.record_drop(dropped)
+        if subnet_dropped:
+            metrics.record_subnet_drop(subnet_dropped)
     return kept if dropped else completions

@@ -1,0 +1,559 @@
+"""Flow-hash partitioned fan-out: one front-end, N detector instances.
+
+:class:`FlowPartitioner` is the scale-out layer above
+:class:`~repro.serve.runtime.ParallelStreamingDetector`: where the runtime
+fans packets to shard workers *inside* one host, the partitioner hashes each
+:class:`~repro.netstack.flow.FlowKey` once and fans packet blocks to N
+detector **instances** over sockets — local processes spawned on demand, or
+remote hosts reached by ``host:port`` endpoint.  The wire protocol
+(:mod:`repro.serve.wire`) reuses the NDJSON pipe formats for control,
+events and object packets, and a length-prefixed binary frame carrying
+:meth:`~repro.netstack.columns.PacketColumns.pack_block` payloads for
+columnar data, so a capture block crosses the socket packed exactly once
+per instance and is never re-parsed.
+
+The transport mirrors the process-mode runtime message for message: capture
+blocks are broadcast to every instance on first sight and re-broadcast when
+they leave the FIFO window, per-instance row slices ride ``ROWS`` frames
+with their routed stream clocks (so every instance's flow-table timers fire
+exactly as one unpartitioned detector's would), and buffered rows are
+chunked under the same :class:`~repro.serve.metrics.AdaptiveChunker` the
+runtime uses — a socket whose send buffer is full is the backpressure
+signal.  Interim events stream back as ``EVNT`` frames and are drained
+before every send, so the front-end never deadlocks against an instance
+that is itself blocked sending events.  :meth:`close` merges every
+instance's final drain into the deterministic ``(first_seen, key)`` order —
+on a time-ordered capture the merged event stream matches a
+single-instance detector's scores within 1e-9 at any instance count
+(``tests/serve/test_partition.py``, ``tools/partition_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import select
+import socket
+from collections import OrderedDict, deque
+from pathlib import Path
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.netstack.columns import ColumnPacketView, PacketColumns
+from repro.netstack.flow import flow_key_of
+from repro.netstack.packet import Packet
+from repro.serve.events import Alert, DetectionEvent, event_from_dict
+from repro.serve.instance import InstanceConfig, run_instance
+from repro.serve.metrics import AdaptiveChunker, StreamingMetrics
+from repro.serve.runtime import _BLOCK_CACHE_DEPTH, _event_order
+from repro.serve.sources import PacketSource, Tick
+from repro.serve.streaming import AlertCallback, EventCallback
+from repro.serve.wire import (
+    TAG_BLCK,
+    TAG_CTRL,
+    TAG_DONE,
+    TAG_EVNT,
+    TAG_PKTS,
+    TAG_ROWS,
+    WireError,
+    decode_control,
+    decode_events,
+    encode_block,
+    encode_control,
+    encode_packets,
+    encode_rows,
+    recv_frame,
+    send_frame,
+)
+
+_HANDSHAKE_TIMEOUT = 60.0
+
+
+def _local_instance_main(model_dir: str, config: InstanceConfig, ready) -> None:
+    """Entry point of one locally spawned instance process."""
+    run_instance(model_dir, host="127.0.0.1", port=0, config=config, ready=ready)
+
+
+def _parse_endpoint(endpoint: str | tuple[str, int]) -> tuple[str, int]:
+    if isinstance(endpoint, tuple):
+        return endpoint[0], int(endpoint[1])
+    host, _, port = endpoint.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"endpoint must be 'host:port', got {endpoint!r}")
+    return host, int(port)
+
+
+class _Instance:
+    """Front-end handle of one detector instance (socket + row buffer)."""
+
+    def __init__(self, index: int, sock: socket.socket, process=None) -> None:
+        self.index = index
+        self.sock = sock
+        self.process = process
+        self.buffer: list[tuple[Packet, float]] = []
+        self.report: dict[str, object] | None = None
+        self.ready: dict[str, object] | None = None
+
+
+class FlowPartitioner:
+    """Hash flows once, fan packet blocks out to N detector instances.
+
+    Exactly one of ``instances`` (spawn that many local instance processes
+    serving ``model_dir``) or ``endpoints`` (connect to already-running
+    instances, e.g. started with ``repro-clap serve-instance`` on other
+    hosts) must be provided.  The front-end itself never loads the model —
+    it only hashes, chunks and forwards.
+
+    The ingest surface mirrors the runtime: :meth:`ingest` /
+    :meth:`ingest_many` / :meth:`poll` / :meth:`run`, interim events through
+    :meth:`events` / ``on_event`` / ``on_alert``, and a :meth:`close` that
+    returns the merged final drain in deterministic ``(first_seen, key)``
+    order.  ``config`` sizes each instance's internal worker pool; a global
+    ``config.max_flows`` budget is split evenly across instances just as the
+    sharded runtime splits it across workers.
+    """
+
+    def __init__(
+        self,
+        model_dir: str | Path | None = None,
+        *,
+        instances: int | None = None,
+        endpoints: Sequence[str | tuple[str, int]] | None = None,
+        config: InstanceConfig | None = None,
+        backend: str | None = None,
+        chunk_size: int | str | AdaptiveChunker = "adaptive",
+        on_event: EventCallback | None = None,
+        on_alert: AlertCallback | None = None,
+        metrics: StreamingMetrics | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if (instances is None) == (endpoints is None):
+            raise ValueError("provide exactly one of instances= or endpoints=")
+        if instances is not None and instances < 1:
+            raise ValueError(f"instances must be at least 1, got {instances}")
+        if instances is not None and model_dir is None:
+            raise ValueError("local instances need a model_dir to serve")
+        if isinstance(chunk_size, AdaptiveChunker):
+            self._chunker: AdaptiveChunker | None = chunk_size
+            self._fixed_chunk = 0
+        elif chunk_size == "adaptive":
+            self._chunker = AdaptiveChunker()
+            self._fixed_chunk = 0
+        elif isinstance(chunk_size, str):
+            raise ValueError(
+                f"chunk_size must be an integer or 'adaptive', got {chunk_size!r}"
+            )
+        else:
+            if chunk_size < 1:
+                raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+            self._chunker = None
+            self._fixed_chunk = int(chunk_size)
+        self.config = config or InstanceConfig()
+        self.on_event = on_event
+        self.on_alert = on_alert
+        self._closed = False
+        self._clock = float("-inf")
+        self._events: deque[DetectionEvent] = deque()
+        self._connections_seen = 0
+        self._alerts_emitted = 0
+        self._live_blocks: "OrderedDict[int, PacketColumns]" = OrderedDict()
+        self._current_columns: PacketColumns | None = None
+        if endpoints is not None:
+            self._instances = self._connect_remote(endpoints)
+        else:
+            self._instances = self._spawn_local(
+                str(model_dir), int(instances), backend, start_method
+            )
+        self.instances = len(self._instances)
+        self.metrics = metrics or StreamingMetrics(shard_count=self.instances)
+        if self._chunker is not None:
+            self.metrics.attach_chunker(self._chunker)
+        self._handshake()
+
+    # ----------------------------------------------------------------- set-up
+    def _spawn_local(
+        self,
+        model_dir: str,
+        instances: int,
+        backend: str | None,
+        start_method: str | None,
+    ) -> list[_Instance]:
+        config = self.config
+        if config.max_flows is not None:
+            # Split the global flow budget evenly, exactly as the sharded
+            # runtime splits max_flows across its workers.
+            config = dataclasses.replace(
+                config, max_flows=-(-config.max_flows // instances)
+            )
+        method = start_method or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        ready = context.Queue()
+        processes = []
+        for index in range(instances):
+            process = context.Process(
+                target=_local_instance_main,
+                args=(model_dir, config, ready),
+                name=f"clap-instance-{index}",
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        handles: list[_Instance] = []
+        try:
+            addresses = [ready.get(timeout=_HANDSHAKE_TIMEOUT) for _ in processes]
+        except Exception:
+            for process in processes:
+                process.terminate()
+            raise RuntimeError(
+                "local detector instance failed to start (no address reported)"
+            ) from None
+        for index, (address, process) in enumerate(zip(addresses, processes, strict=True)):
+            sock = socket.create_connection(tuple(address))
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handles.append(_Instance(index, sock, process))
+        return handles
+
+    def _connect_remote(
+        self, endpoints: Sequence[str | tuple[str, int]]
+    ) -> list[_Instance]:
+        handles = []
+        for index, endpoint in enumerate(endpoints):
+            sock = socket.create_connection(_parse_endpoint(endpoint))
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handles.append(_Instance(index, sock))
+        return handles
+
+    def _handshake(self) -> None:
+        for instance in self._instances:
+            send_frame(instance.sock, TAG_CTRL, encode_control({"op": "hello"}))
+        for instance in self._instances:
+            frame = recv_frame(instance.sock)
+            if frame is None or frame[0] != TAG_CTRL:
+                raise WireError(f"instance {instance.index} failed the hello handshake")
+            instance.ready = decode_control(frame[1])
+
+    # -------------------------------------------------------------- ingestion
+    def ingest(self, packet: Packet) -> None:
+        """Route one packet to the instance owning its flow (may block)."""
+        if self._closed:
+            raise RuntimeError("ingest() after close()")
+        if (
+            type(packet) is ColumnPacketView
+            and packet.columns is not self._current_columns
+        ):
+            # New capture block: flush buffered rows first so queued slices
+            # always precede the broadcast that may evict their block from
+            # the instances' FIFO caches.
+            for instance in self._instances:
+                self._submit(instance)
+            self._ship_block(packet.columns)
+            self._current_columns = packet.columns
+        key = flow_key_of(packet)
+        instance = self._instances[hash(key) % self.instances]
+        instance.buffer.append((packet, self._clock))
+        if packet.timestamp > self._clock:
+            self._clock = packet.timestamp
+        if len(instance.buffer) >= self._chunk_target():
+            self._submit(instance)
+
+    def ingest_many(self, packets: Iterable[Packet]) -> None:
+        for packet in packets:
+            self.ingest(packet)
+
+    def poll(self, now: float | None = None) -> None:
+        """Advance stream time on every instance without a packet."""
+        if self._closed:
+            return
+        now = self._clock if now is None else float(now)
+        if now == float("-inf"):
+            return
+        if now > self._clock:
+            self._clock = now
+        payload = encode_control({"op": "poll", "now": now})
+        for instance in self._instances:
+            self._submit(instance)
+            self._send(instance, TAG_CTRL, payload)
+
+    def run(self, source: PacketSource) -> list[DetectionEvent]:
+        """Consume a packet source to exhaustion, then :meth:`close`."""
+        try:
+            for item in source:
+                if isinstance(item, Tick):
+                    self.poll(item.now)
+                else:
+                    self.ingest(item)
+        except BaseException:
+            try:
+                self.close()
+            # clap-lint: allow[RL005] reason=teardown must not mask the original stream error
+            except Exception:
+                pass
+            raise
+        return self.close()
+
+    # -------------------------------------------------------------- transport
+    def _chunk_target(self) -> int:
+        return self._fixed_chunk if self._chunker is None else self._chunker.size
+
+    def _send(self, instance: _Instance, tag: bytes, *chunks) -> None:
+        """One frame to one instance: pump events first, note backpressure."""
+        self._pump()
+        if self._chunker is not None:
+            _, writable, _ = select.select((), (instance.sock,), (), 0)
+            if not writable:
+                # The socket's send buffer is full — the instance is behind.
+                # sendall below then blocks, which is the backpressure
+                # contract; record it so the chunker grows the chunk.
+                self._chunker.record_backpressure()
+        send_frame(instance.sock, tag, *chunks)
+        if self._chunker is not None:
+            self._chunker.record_submit()
+
+    def _submit(self, instance: _Instance) -> None:
+        """Ship one instance's buffered rows as ROWS/PKTS runs (in order)."""
+        chunk = instance.buffer
+        if not chunk:
+            return
+        instance.buffer = []
+        run_columns: PacketColumns | None = None
+        run_indices: list[int] = []
+        run_clocks: list[float] = []
+        object_run: list[tuple[float, str, float]] = []
+
+        def close_column_run() -> None:
+            nonlocal run_columns
+            if run_columns is not None:
+                self._send(
+                    instance,
+                    TAG_ROWS,
+                    *encode_rows(
+                        id(run_columns),
+                        np.asarray(run_indices, dtype=np.int64).tobytes(),
+                        np.asarray(run_clocks, dtype=np.float64).tobytes(),
+                    ),
+                )
+                run_columns = None
+                run_indices.clear()
+                run_clocks.clear()
+
+        def close_object_run() -> None:
+            if object_run:
+                self._send(instance, TAG_PKTS, encode_packets(object_run))
+                object_run.clear()
+
+        for packet, clock in chunk:
+            if type(packet) is ColumnPacketView:
+                columns = packet.columns
+                if columns is not run_columns:
+                    close_column_run()
+                    close_object_run()
+                    if id(columns) not in self._live_blocks:
+                        # Block left the FIFO window (or was buffered before
+                        # first sight); re-broadcast to every instance.
+                        self._ship_block(columns)
+                    run_columns = columns
+                run_indices.append(packet.index)
+                run_clocks.append(clock)
+            else:
+                close_column_run()
+                object_run.append(
+                    (packet.timestamp, packet.to_bytes().hex(), clock)
+                )
+        close_column_run()
+        close_object_run()
+        self.metrics.record_ingest(instance.index, len(chunk))
+
+    def _ship_block(self, columns: PacketColumns) -> None:
+        """Broadcast one capture block to every instance (first sight only).
+
+        FIFO eviction by ship order, never refreshed on re-sight, for the
+        same reason as the process runtime: the instances evict their
+        unpacked caches in broadcast arrival order, and only identical FIFO
+        windows on both sides keep a queued row slice guaranteed to find its
+        block cached.
+        """
+        block_id = id(columns)
+        if block_id in self._live_blocks:
+            return
+        payload = columns.pack_block()
+        chunks = encode_block(block_id, payload)
+        for instance in self._instances:
+            self._send(instance, TAG_BLCK, *chunks)
+        self.metrics.record_shm_segment(len(payload), len(self._live_blocks) + 1)
+        self._live_blocks[block_id] = columns
+        while len(self._live_blocks) > _BLOCK_CACHE_DEPTH:
+            self._live_blocks.popitem(last=False)
+
+    def _pump(self) -> None:
+        """Drain every readable instance socket (interim EVNT frames)."""
+        while True:
+            readable, _, _ = select.select(
+                [instance.sock for instance in self._instances if instance.report is None],
+                (),
+                (),
+                0,
+            )
+            if not readable:
+                return
+            by_sock = {instance.sock: instance for instance in self._instances}
+            for sock in readable:
+                self._read_frame(by_sock[sock])
+
+    def _read_frame(self, instance: _Instance) -> bool:
+        """Read one frame from ``instance``; ``True`` once DONE arrived."""
+        frame = recv_frame(instance.sock)
+        if frame is None:
+            raise WireError(
+                f"instance {instance.index} closed its connection mid-stream"
+            )
+        tag, payload = frame
+        if tag == TAG_EVNT:
+            self._dispatch(decode_events(payload))
+            return False
+        if tag == TAG_DONE:
+            instance.report = json.loads(bytes(payload).decode("utf-8"))
+            return True
+        raise WireError(f"unexpected frame tag {bytes(tag)!r} at front-end")
+
+    def _dispatch(self, events: list[DetectionEvent]) -> None:
+        for event in events:
+            self._connections_seen += 1
+            is_alert = event.is_alert
+            if is_alert:
+                self._alerts_emitted += 1
+            self._events.append(event)
+            if self.on_event is not None:
+                self.on_event(event)
+            if is_alert and self.on_alert is not None:
+                self.on_alert(event)  # type: ignore[arg-type]
+        self.metrics.record_events(len(events), sum(1 for e in events if e.is_alert))
+
+    # ----------------------------------------------------------------- output
+    def events(self) -> Iterator[DetectionEvent]:
+        """Drain the events received since the last call (non-blocking)."""
+        if not self._closed:
+            self._pump()
+        while True:
+            try:
+                yield self._events.popleft()
+            except IndexError:
+                return
+
+    def alerts(self) -> Iterator[Alert]:
+        for event in self.events():
+            if isinstance(event, Alert):
+                yield event
+
+    def close(self) -> list[DetectionEvent]:
+        """End of stream: drain every instance, merge the final events.
+
+        Returns the merged final drains sorted by ``(first_seen, key)`` —
+        the same deterministic order a single unpartitioned detector's
+        :meth:`close` produces.  Local instance processes are joined; the
+        per-instance ``DONE`` reports (metrics, occupancy, peaks) stay
+        available as :attr:`instance_reports`.
+        """
+        if self._closed:
+            return []
+        self._closed = True
+        final_clock = self._clock
+        close_payload = encode_control({"op": "close"})
+        poll_payload = (
+            encode_control({"op": "poll", "now": final_clock})
+            if final_clock > float("-inf")
+            else None
+        )
+        for instance in self._instances:
+            self._submit(instance)
+            if poll_payload is not None:
+                self._send(instance, TAG_CTRL, poll_payload)
+            self._send(instance, TAG_CTRL, close_payload)
+        final: list[DetectionEvent] = []
+        for instance in self._instances:
+            while instance.report is None:
+                self._read_frame(instance)
+            final.extend(
+                event_from_dict(record)
+                for record in instance.report.get("events", ())
+            )
+        final.sort(key=_event_order)
+        self._dispatch(final)
+        for instance in self._instances:
+            instance.sock.close()
+            if instance.process is not None:
+                instance.process.join(timeout=30.0)
+                if instance.process.is_alive():  # pragma: no cover - hung child
+                    instance.process.terminate()
+        return final
+
+    # ------------------------------------------------------------- monitoring
+    @property
+    def connections_seen(self) -> int:
+        return self._connections_seen
+
+    @property
+    def alerts_emitted(self) -> int:
+        return self._alerts_emitted
+
+    @property
+    def threshold(self) -> float:
+        """The (shared) operating threshold reported by the instances."""
+        ready = self._instances[0].ready or {}
+        return float(ready.get("threshold", float("nan")))
+
+    @property
+    def instance_reports(self) -> list[dict[str, object]]:
+        """Each instance's DONE report (valid after :meth:`close`)."""
+        return [instance.report or {} for instance in self._instances]
+
+    def occupancy(self) -> list[int]:
+        """Final tracked connections per instance (from the DONE reports)."""
+        return [
+            sum(int(n) for n in (instance.report or {}).get("occupancy", ()))
+            for instance in self._instances
+        ]
+
+    def peak_occupancy(self) -> list[int]:
+        """Peak concurrently tracked connections per instance."""
+        return [
+            int((instance.report or {}).get("peak_occupancy", 0))
+            for instance in self._instances
+        ]
+
+    def metrics_snapshot(self) -> dict:
+        """Front-end metrics plus every instance's own snapshot."""
+        snapshot = self.metrics.snapshot(self.occupancy() if self._closed else None)
+        snapshot["instances"] = [
+            (instance.report or {}).get("metrics") for instance in self._instances
+        ]
+        return snapshot
+
+    def render_metrics(self) -> str:
+        """Human-readable front-end summary plus per-instance peaks."""
+        lines = [self.metrics.render(self.occupancy() if self._closed else None)]
+        for instance in self._instances:
+            report = instance.report
+            if report is None:
+                continue
+            lines.append(
+                f"instance[{instance.index}]: connections={report.get('connections_seen', 0)} "
+                f"alerts={report.get('alerts_emitted', 0)} "
+                f"peak-occupancy={report.get('peak_occupancy', 0)}"
+            )
+        return "\n".join(lines)
+
+
+def format_event_line(event: DetectionEvent) -> str:
+    """One NDJSON line per event — shared by the CLI and the smoke tests."""
+    return json.dumps(event.to_dict())
+
+
+__all__ = [
+    "FlowPartitioner",
+    "InstanceConfig",
+    "format_event_line",
+]

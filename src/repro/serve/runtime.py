@@ -49,6 +49,7 @@ moves scoring off the ingest thread, which is the point.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import queue
 import shutil
@@ -63,7 +64,12 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from repro.core.pipeline import Clap
-from repro.netstack.columns import ColumnPacketView, PacketColumns, unpack_block
+from repro.netstack.columns import (
+    BlockLease,
+    ColumnPacketView,
+    PacketColumns,
+    unpack_block,
+)
 from repro.netstack.flow import (
     CompletionReason,
     Connection,
@@ -74,7 +80,12 @@ from repro.netstack.flow import (
 )
 from repro.netstack.packet import Packet
 from repro.serve.events import Alert, DetectionEvent
-from repro.serve.metrics import DropPolicy, StreamingMetrics, apply_drop_policy
+from repro.serve.metrics import (
+    AdaptiveChunker,
+    DropPolicy,
+    StreamingMetrics,
+    apply_drop_policy,
+)
 from repro.serve.sources import PacketSource, Tick
 from repro.serve.streaming import (
     AlertCallback,
@@ -131,7 +142,13 @@ class _Poll:
 class _Shard:
     """One thread worker's private state: flow-table shard, pending, queue."""
 
-    def __init__(self, index: int, table: FlowTable, queue_depth: int) -> None:
+    def __init__(
+        self,
+        index: int,
+        table: FlowTable,
+        queue_depth: int,
+        admission=None,
+    ) -> None:
         self.index = index
         self.table = table
         self.queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
@@ -139,6 +156,8 @@ class _Shard:
         self.final_events: list[DetectionEvent] = []
         self.failure: BaseException | None = None
         self.thread: threading.Thread | None = None
+        # Per-worker mutable subnet-budget counters for the drop policy.
+        self.admission = admission
 
 
 # ---------------------------------------------------------------------------
@@ -163,20 +182,35 @@ class _WorkerSpec:
     block_cache: int = _BLOCK_CACHE_DEPTH
 
 
-def _read_block_payload(ref: Tuple) -> bytes | memoryview:
-    """Materialise a block reference shipped by the parent (worker side)."""
+def _attach_block(
+    ref: tuple, retired: list
+) -> tuple[bytes | memoryview, BlockLease | None, int]:
+    """Attach a block reference shipped by the parent (worker side).
+
+    Shared-memory refs are **mapped, not copied**: the returned payload is a
+    memoryview straight into the segment, and the returned
+    :class:`~repro.netstack.columns.BlockLease` keeps the segment mapped for
+    the block's whole lifetime — the parent is free to unlink the segment
+    after the ack (a POSIX mapping survives the unlink), and the worker
+    appends the segment to ``retired`` only once every column view on it has
+    been dropped (the lease's ``on_release``).  ``retired`` segments are then
+    closed by the worker loop, retrying while NumPy still exports the
+    mapping.
+
+    Pipe-shipped refs (small blocks) arrive as bytes the queue already
+    copied; the byte count is returned so the copy is visible in metrics.
+    Returns ``(payload, lease, copied_bytes)``.
+    """
     if ref[0] == "bytes":
-        return ref[1]
+        return ref[1], None, len(ref[1])
     name, size = ref[1], ref[2]
     # Attaching re-registers the segment with the resource tracker
     # (bpo-39959), but multiprocessing-spawned workers share the parent's
     # tracker process, whose registry is a set — the duplicate is harmless
     # and the parent's unlink() clears the single entry.
     segment = _shared_memory.SharedMemory(name=name)
-    try:
-        return bytes(segment.buf[:size])
-    finally:
-        segment.close()
+    lease = BlockLease(on_release=functools.partial(retired.append, segment))
+    return segment.buf[:size], lease, 0
 
 
 def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
@@ -188,6 +222,14 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
     shared dispatch.  A worker that failed keeps consuming its queue —
     acknowledging blocks and flush barriers — so the parent never deadlocks,
     and reports the failure alongside a clean ``closed`` handshake.
+
+    Shared-memory blocks are unpacked **in place** — every scalar column is a
+    read-only view straight into the mapped segment, held alive by a
+    :class:`~repro.netstack.columns.BlockLease` for exactly as long as some
+    connection still references a packet of the block.  Released segments
+    land on ``retired`` and are closed between messages; a close can fail
+    with :class:`BufferError` while a stray array still exports the mapping,
+    so it is retried rather than forced.
     """
     metrics = StreamingMetrics(shard_count=1)
     table = FlowTable(
@@ -196,9 +238,19 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
         max_flows=spec.max_flows,
         max_packets=spec.max_packets,
     )
+    admission = spec.drop_policy.new_state() if spec.drop_policy is not None else None
     pending: list[tuple[Connection, CompletionReason]] = []
     blocks: "OrderedDict[int, list[ColumnPacketView]]" = OrderedDict()
+    retired: list = []
     failed = False
+
+    def close_retired_segments() -> None:
+        for segment in retired[:]:
+            try:
+                segment.close()
+            except BufferError:
+                continue  # some view still exports the mapping; retry later
+            retired.remove(segment)
 
     def gauges() -> dict[str, object]:
         state = metrics.worker_state()
@@ -233,7 +285,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
     ) -> None:
         if not completions:
             return
-        completions = apply_drop_policy(completions, spec.drop_policy, metrics)
+        completions = apply_drop_policy(completions, spec.drop_policy, metrics, admission)
         pending.extend(completions)
         metrics.record_pending_depth(len(pending))
         if spec.policy.auto_flush and len(pending) >= spec.policy.max_batch:
@@ -244,23 +296,41 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
     while True:
         item = in_queue.get()
         kind = item[0]
+        close_retired_segments()
         try:
             if kind == "close":
                 final: list[DetectionEvent] = []
                 if not failed:
                     pending.extend(
-                        apply_drop_policy(table.drain(), spec.drop_policy, metrics)
+                        apply_drop_policy(
+                            table.drain(), spec.drop_policy, metrics, admission
+                        )
                     )
                     final = flush_pending(dispatch=False)
                 out_queue.put(("closed", spec.index, final, gauges()))
+                # The drain released every connection, so all block views are
+                # gone; one best-effort pass unmaps what the finalizers just
+                # retired (anything still exporting is reclaimed at exit).
+                blocks.clear()
+                close_retired_segments()
                 return
             if kind == "block":
-                payload = _read_block_payload(item[2])
+                payload, lease, copied = _attach_block(item[2], retired)
                 out_queue.put(("block_ack", spec.index, item[1]))
-                if not failed:
-                    blocks[item[1]] = unpack_block(payload).views()
-                    while len(blocks) > spec.block_cache:
-                        blocks.popitem(last=False)
+                if failed:
+                    if lease is not None:
+                        lease.release()
+                    continue
+                if copied:
+                    metrics.record_payload_copy(copied)
+                columns = unpack_block(payload, lease=lease)
+                if lease is not None:
+                    # Refcount-style release: once the last view of this
+                    # block is dropped, the lease retires the segment.
+                    weakref.finalize(columns, lease.release)
+                blocks[item[1]] = columns.views()
+                while len(blocks) > spec.block_cache:
+                    blocks.popitem(last=False)
                 continue
             if kind == "flush":
                 events = [] if failed else flush_pending()
@@ -341,7 +411,12 @@ class ParallelStreamingDetector:
         reach the engine (see :class:`~repro.serve.metrics.DropPolicy`).
     chunk_size:
         Packets handed to a shard per queue operation.  Larger chunks cut
-        queue overhead; smaller chunks cut event latency.
+        queue overhead; smaller chunks cut event latency.  The default
+        ``"adaptive"`` installs an :class:`~repro.serve.metrics.AdaptiveChunker`
+        that grows the chunk under queue backpressure and shrinks it when
+        flush latency climbs; an integer pins it (the historical behaviour
+        was ``64``).  Chunk size never changes *what* is scored — only how
+        packets are grouped in transit.
     queue_depth:
         Bounded per-shard queue length (in chunks).  When a shard falls this
         far behind, :meth:`ingest` blocks — backpressure instead of
@@ -367,7 +442,7 @@ class ParallelStreamingDetector:
         drop_policy: DropPolicy | None = None,
         on_event: EventCallback | None = None,
         on_alert: AlertCallback | None = None,
-        chunk_size: int = 64,
+        chunk_size: int | str | AdaptiveChunker = "adaptive",
         queue_depth: int = 8,
         metrics: StreamingMetrics | None = None,
         model_dir: str | Path | None = None,
@@ -379,8 +454,21 @@ class ParallelStreamingDetector:
             raise ValueError(
                 f"worker_mode must be 'thread' or 'process', got {worker_mode!r}"
             )
-        if chunk_size < 1:
-            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if isinstance(chunk_size, AdaptiveChunker):
+            self._chunker: AdaptiveChunker | None = chunk_size
+            self._fixed_chunk = 0
+        elif chunk_size == "adaptive":
+            self._chunker = AdaptiveChunker()
+            self._fixed_chunk = 0
+        elif isinstance(chunk_size, str):
+            raise ValueError(
+                f"chunk_size must be an integer or 'adaptive', got {chunk_size!r}"
+            )
+        else:
+            if chunk_size < 1:
+                raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+            self._chunker = None
+            self._fixed_chunk = int(chunk_size)
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be at least 1, got {queue_depth}")
         self.clap = clap
@@ -393,6 +481,8 @@ class ParallelStreamingDetector:
         self.on_event = on_event
         self.on_alert = on_alert
         self.metrics = metrics or StreamingMetrics(shard_count=self.workers)
+        if self._chunker is not None:
+            self.metrics.attach_chunker(self._chunker)
         self._closed = False
         self._single: StreamingDetector | None = None
         self._process_mode = worker_mode == "process"
@@ -412,7 +502,6 @@ class ParallelStreamingDetector:
                 metrics=self.metrics,
             )
             return
-        self._chunk_size = int(chunk_size)
         self._events: deque[DetectionEvent] = deque()
         # Reentrant so an on_event/on_alert callback (invoked while the lock
         # is held) may read the counter properties without deadlocking.
@@ -448,7 +537,12 @@ class ParallelStreamingDetector:
             [] for _ in range(self.workers)
         ]
         self._shards = [
-            _Shard(index, self.sharded.tables[index], queue_depth)
+            _Shard(
+                index,
+                self.sharded.tables[index],
+                queue_depth,
+                drop_policy.new_state() if drop_policy is not None else None,
+            )
             for index in range(self.workers)
         ]
         for shard in self._shards:
@@ -563,7 +657,7 @@ class ParallelStreamingDetector:
         buffer.append((packet, key, self._clock))
         if packet.timestamp > self._clock:
             self._clock = packet.timestamp
-        if len(buffer) >= self._chunk_size:
+        if len(buffer) >= self._chunk_target():
             self._submit(index)
 
     def _ingest_process(self, packet: Packet) -> None:
@@ -581,7 +675,7 @@ class ParallelStreamingDetector:
         buffer.append((packet, self._clock))  # type: ignore[arg-type]
         if packet.timestamp > self._clock:
             self._clock = packet.timestamp
-        if len(buffer) >= self._chunk_size:
+        if len(buffer) >= self._chunk_target():
             self._submit_process(index)
 
     def ingest_many(self, packets: Iterable[Packet]) -> None:
@@ -646,6 +740,10 @@ class ParallelStreamingDetector:
             raise
         return self.close()
 
+    def _chunk_target(self) -> int:
+        """Current ingest chunk size (adaptive or pinned)."""
+        return self._fixed_chunk if self._chunker is None else self._chunker.size
+
     def _submit(self, index: int) -> None:
         chunk = self._buffers[index]
         if not chunk:
@@ -653,7 +751,14 @@ class ParallelStreamingDetector:
         self._buffers[index] = []
         shard = self._shards[index]
         self.metrics.record_queue_depth(shard.queue.qsize() + 1)
-        shard.queue.put(chunk)  # blocks when the shard is too far behind
+        try:
+            shard.queue.put_nowait(chunk)
+        except queue.Full:
+            if self._chunker is not None:
+                self._chunker.record_backpressure()
+            shard.queue.put(chunk)  # blocks when the shard is too far behind
+        if self._chunker is not None:
+            self._chunker.record_submit()
         self.metrics.record_ingest(index, len(chunk))
 
     # ------------------------------------------------- process-mode transport
@@ -730,11 +835,18 @@ class ParallelStreamingDetector:
         dead worker is recorded as failed and the message dropped (the
         failure surfaces on the next ingest/flush/close).
         """
+        stalled = False
         while True:
             try:
                 shard.queue.put(message, timeout=0.2)
+                if self._chunker is not None:
+                    self._chunker.record_submit()
                 return True
             except queue.Full:
+                if not stalled:
+                    stalled = True
+                    if self._chunker is not None:
+                        self._chunker.record_backpressure()
                 if shard.process.is_alive():
                     continue
                 if shard.failure is None:
@@ -772,6 +884,7 @@ class ParallelStreamingDetector:
             return ("bytes", payload)
         segment.buf[: len(payload)] = payload
         self._block_shm[block_id] = (segment, set(range(self.workers)))
+        self.metrics.record_shm_segment(len(payload), len(self._block_shm))
         return ("shm", segment.name, len(payload))
 
     def _release_block_shm(self, block_id: int, shard_index: int) -> None:
@@ -975,7 +1088,7 @@ class ParallelStreamingDetector:
                     # shards, so the final events come out in deterministic
                     # order.
                     drained = apply_drop_policy(
-                        table.drain(), self.drop_policy, self.metrics
+                        table.drain(), self.drop_policy, self.metrics, shard.admission
                     )
                     shard.pending.extend(drained)
                     shard.final_events = self._flush_shard(shard, dispatch=False)
@@ -1022,7 +1135,9 @@ class ParallelStreamingDetector:
     ) -> None:
         if not completions:
             return
-        completions = apply_drop_policy(completions, self.drop_policy, self.metrics)
+        completions = apply_drop_policy(
+            completions, self.drop_policy, self.metrics, shard.admission
+        )
         shard.pending.extend(completions)
         self.metrics.record_pending_depth(len(shard.pending))
         if self.policy.auto_flush and len(shard.pending) >= self.policy.max_batch:

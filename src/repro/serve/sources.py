@@ -49,6 +49,25 @@ def _none_stamp() -> float | None:
     return None
 
 
+def parse_packet_line(line: str, *, strict: bool = False) -> Packet | None:
+    """Parse one NDJSON packet line (``{"ts": <float>, "data": "<hex>"}``).
+
+    The single line-level decoder shared by :class:`NDJSONSource` and the
+    partitioned serving wire protocol (``repro.serve.wire``).  Malformed
+    lines return ``None`` unless ``strict`` is set, in which case they raise
+    ``ValueError``.
+    """
+    try:
+        record = json.loads(line)
+        return Packet.from_bytes(
+            bytes.fromhex(record["data"]), timestamp=float(record.get("ts", 0.0))
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        if strict:
+            raise ValueError(f"malformed NDJSON packet line: {line[:80]!r}") from exc
+        return None
+
+
 @runtime_checkable
 class PacketSource(Protocol):
     """Anything that yields packets (and optional ticks) in stream order."""
@@ -133,15 +152,7 @@ class NDJSONSource:
         return json.dumps({"ts": packet.timestamp, "data": packet.to_bytes().hex()})
 
     def _parse_line(self, line: str) -> Packet | None:
-        try:
-            record = json.loads(line)
-            return Packet.from_bytes(
-                bytes.fromhex(record["data"]), timestamp=float(record.get("ts", 0.0))
-            )
-        except (ValueError, KeyError, TypeError) as exc:
-            if self.strict:
-                raise ValueError(f"malformed NDJSON packet line: {line[:80]!r}") from exc
-            return None
+        return parse_packet_line(line, strict=self.strict)
 
     def __iter__(self) -> Iterator[StreamItem]:
         if isinstance(self._source, (str, Path)):

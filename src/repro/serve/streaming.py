@@ -153,6 +153,7 @@ class StreamingDetector:
         self.on_event = on_event
         self.on_alert = on_alert
         self.drop_policy = drop_policy
+        self._admission = drop_policy.new_state() if drop_policy is not None else None
         self.metrics = metrics
         self.flow_table = FlowTable(
             idle_timeout=idle_timeout,
@@ -193,7 +194,9 @@ class StreamingDetector:
 
     def _buffer(self, completions: list[tuple[Connection, CompletionReason]]) -> None:
         if completions and (self.drop_policy is not None or self.metrics is not None):
-            completions = apply_drop_policy(completions, self.drop_policy, self.metrics)
+            completions = apply_drop_policy(
+                completions, self.drop_policy, self.metrics, self._admission
+            )
         self._pending.extend(completions)
         if self.metrics is not None:
             self.metrics.record_pending_depth(len(self._pending))
@@ -263,7 +266,9 @@ class StreamingDetector:
         """
         drained = self.flow_table.drain()
         if drained and (self.drop_policy is not None or self.metrics is not None):
-            drained = apply_drop_policy(drained, self.drop_policy, self.metrics)
+            drained = apply_drop_policy(
+                drained, self.drop_policy, self.metrics, self._admission
+            )
         self._pending.extend(drained)
         if self.metrics is not None and drained:
             self.metrics.record_pending_depth(len(self._pending))

@@ -1,0 +1,194 @@
+"""Length-prefixed socket frames for partitioned serving.
+
+The :class:`~repro.serve.partition.FlowPartitioner` front-end and its
+:class:`~repro.serve.instance.DetectorInstance` back-ends speak a small framed
+protocol over one TCP connection per instance.  Every frame is::
+
+    <4-byte tag> <u32 little-endian payload length> <payload>
+
+Control, events and plain packets reuse the existing NDJSON text formats
+(one JSON document, or one NDJSON line per record), so the payloads stay
+debuggable with ``tcpdump``/``xxd`` and interoperable with the pipe-based
+CLI.  Columnar data rides two binary frames built on
+:meth:`~repro.netstack.columns.PacketColumns.pack_block`:
+
+===========  ==============================================================
+``CTRL``     One JSON object: ``{"op": "hello" | "ready" | "poll" | "close"}``
+             plus op-specific fields.
+``BLCK``     ``u64 block id`` + a packed column block (broadcast once per
+             capture block; instances cache a FIFO window of unpacked blocks).
+``ROWS``     ``u64 block id, u32 count`` + ``int64[count]`` row indices +
+             ``float64[count]`` per-row ingest clocks — the per-instance row
+             slice of a broadcast block.
+``PKTS``     NDJSON, one ``{"ts", "data", "clock"}`` line per object packet
+             (the :class:`~repro.serve.sources.NDJSONSource` line format plus
+             the routed stream clock).
+``EVNT``     NDJSON, one :meth:`DetectionEvent.to_dict` document per line —
+             interim events flowing back to the front-end mid-stream.
+``DONE``     One JSON object closing the stream: the final drain's events,
+             the instance's metrics snapshot and flow-table occupancy.
+===========  ==============================================================
+
+Framing is symmetric: either side sends with :func:`send_frame` and receives
+with :func:`recv_frame`.  A clean EOF between frames returns ``None``; a
+truncated frame raises :class:`WireError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+from repro.serve.events import DetectionEvent, event_from_dict
+
+FRAME_HEADER = struct.Struct("<4sI")
+
+TAG_CTRL = b"CTRL"
+TAG_BLCK = b"BLCK"
+TAG_ROWS = b"ROWS"
+TAG_PKTS = b"PKTS"
+TAG_EVNT = b"EVNT"
+TAG_DONE = b"DONE"
+
+_TAGS = frozenset((TAG_CTRL, TAG_BLCK, TAG_ROWS, TAG_PKTS, TAG_EVNT, TAG_DONE))
+
+#: Hard per-frame ceiling: a corrupted length field must not allocate the
+#: machine away.  Generously above any packed capture block the runtime ships.
+MAX_FRAME_BYTES = 1 << 31
+
+_BLOCK_PREFIX = struct.Struct("<Q")
+_ROWS_PREFIX = struct.Struct("<QI")
+
+
+class WireError(ConnectionError):
+    """A malformed or truncated frame on a partition socket."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, tag: bytes, *chunks: bytes | memoryview) -> None:
+    """Send one frame; ``chunks`` are concatenated without copying."""
+    total = sum(len(chunk) for chunk in chunks)
+    if total > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {total} bytes exceeds MAX_FRAME_BYTES")
+    sock.sendall(FRAME_HEADER.pack(tag, total))
+    for chunk in chunks:
+        sock.sendall(chunk)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> memoryview | None:
+    """Read exactly ``count`` bytes; ``None`` on EOF at a frame boundary."""
+    buffer = bytearray(count)
+    view = memoryview(buffer)
+    received = 0
+    while received < count:
+        read = sock.recv_into(view[received:])
+        if read == 0:
+            if received == 0:
+                return None
+            raise WireError(f"connection closed mid-frame ({received}/{count} bytes)")
+        received += read
+    return view
+
+
+def recv_frame(sock: socket.socket) -> tuple[bytes, memoryview] | None:
+    """Receive one ``(tag, payload)`` frame; ``None`` on clean EOF."""
+    header = _recv_exact(sock, FRAME_HEADER.size)
+    if header is None:
+        return None
+    tag, length = FRAME_HEADER.unpack(header)
+    if tag not in _TAGS:
+        raise WireError(f"unknown frame tag {bytes(tag)!r}")
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    if length == 0:
+        return tag, memoryview(b"")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise WireError("connection closed before frame payload")
+    return tag, payload
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_control(record: dict[str, object]) -> bytes:
+    return json.dumps(record).encode("utf-8")
+
+
+def decode_control(payload: memoryview | bytes) -> dict[str, object]:
+    record = json.loads(bytes(payload).decode("utf-8"))
+    if not isinstance(record, dict) or "op" not in record:
+        raise WireError(f"malformed control frame: {record!r}")
+    return record
+
+
+def encode_block(block_id: int, payload: bytes) -> tuple[bytes, bytes]:
+    """``BLCK`` chunks: the id prefix and the packed block, uncopied."""
+    return _BLOCK_PREFIX.pack(block_id), payload
+
+
+def decode_block(payload: memoryview) -> tuple[int, memoryview]:
+    if len(payload) < _BLOCK_PREFIX.size:
+        raise WireError("truncated BLCK frame")
+    (block_id,) = _BLOCK_PREFIX.unpack_from(payload, 0)
+    return block_id, payload[_BLOCK_PREFIX.size :]
+
+
+def encode_rows(
+    block_id: int, indices: bytes, clocks: bytes
+) -> tuple[bytes, bytes, bytes]:
+    """``ROWS`` chunks for ``int64`` index / ``float64`` clock arrays."""
+    count = len(indices) // 8
+    if len(clocks) != count * 8:
+        raise WireError("ROWS index/clock arrays disagree on row count")
+    return _ROWS_PREFIX.pack(block_id, count), indices, clocks
+
+
+def decode_rows(payload: memoryview) -> tuple[int, np.ndarray, np.ndarray]:
+    if len(payload) < _ROWS_PREFIX.size:
+        raise WireError("truncated ROWS frame")
+    block_id, count = _ROWS_PREFIX.unpack_from(payload, 0)
+    expected = _ROWS_PREFIX.size + count * 16
+    if len(payload) != expected:
+        raise WireError(f"ROWS frame of {len(payload)} bytes, expected {expected}")
+    offset = _ROWS_PREFIX.size
+    indices = np.frombuffer(payload, dtype=np.int64, count=count, offset=offset)
+    clocks = np.frombuffer(
+        payload, dtype=np.float64, count=count, offset=offset + count * 8
+    )
+    return block_id, indices, clocks
+
+
+def encode_packets(records: list[tuple[float, str, float]]) -> bytes:
+    """``PKTS`` payload from ``(timestamp, hex payload, clock)`` records."""
+    lines = [
+        json.dumps({"ts": timestamp, "data": data, "clock": clock})
+        for timestamp, data, clock in records
+    ]
+    return ("\n".join(lines)).encode("utf-8")
+
+
+def iter_ndjson(payload: memoryview | bytes):
+    """Yield the parsed JSON documents of an NDJSON payload."""
+    for line in bytes(payload).decode("utf-8").splitlines():
+        line = line.strip()
+        if line:
+            yield json.loads(line)
+
+
+def encode_events(events: list[DetectionEvent]) -> bytes:
+    """``EVNT`` payload: one ``to_dict`` NDJSON line per event."""
+    return ("\n".join(json.dumps(event.to_dict()) for event in events)).encode("utf-8")
+
+
+def decode_events(payload: memoryview | bytes) -> list[DetectionEvent]:
+    return [event_from_dict(record) for record in iter_ndjson(payload)]

@@ -1,0 +1,134 @@
+"""Vectorised SYN-flood synthesis for capacity/eviction benchmarks.
+
+The flood workloads of Grashöfer et al. (and our Table-3 scale-out replay)
+need *millions* of single-SYN flows; building that many :class:`Packet`
+objects dominates the benchmark runtime before a single packet reaches the
+detector.  :func:`syn_flood_columns` instead writes the flood directly into
+:class:`~repro.netstack.columns.PacketColumns` arrays — one NumPy
+assignment per column — producing rows that are field-for-field identical
+to ``PacketColumns.from_packets`` over the equivalent bare-SYN packets
+(``tests/traffic/test_flood_columns.py`` asserts this), at a rate of
+millions of rows per second.
+
+:func:`syn_flood_blocks` chunks a large flood into bounded capture blocks
+so a replay can stream it through the serving layer without materialising
+every row's view objects at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.netstack.columns import PacketColumns
+from repro.netstack.ip import IPV4_BASE_HEADER_LENGTH
+from repro.netstack.tcp import TCP_BASE_HEADER_LENGTH, TcpFlags
+
+#: Distinct client source ports cycled by the flood (the usual ephemeral
+#: range size, matching the object-packet flood helper in the test suite).
+_PORT_SPAN = 60_000
+
+
+def syn_flood_columns(
+    count: int,
+    *,
+    start: float = 1_000.0,
+    interval: float = 0.001,
+    src_base: int = 0x0A000001,
+    server_ip: int = 0xC0A80001,
+    server_port: int = 80,
+    first_index: int = 0,
+) -> PacketColumns:
+    """``count`` bare SYNs from distinct spoofed sources, as one block.
+
+    Every packet opens a new flow (source addresses increment from
+    ``src_base``) and none ever completes — the canonical flow-table
+    capacity attack.  All scalar columns carry the well-formed defaults a
+    ``Packet(ip=Ipv4Header(...), tcp=TcpHeader(..., flags=SYN))`` would
+    produce: option-less 20-byte headers, valid checksums, TTL 64.
+
+    ``first_index`` offsets the packet index the timestamps, addresses and
+    sequence numbers derive from, so :func:`syn_flood_blocks` yields blocks
+    bit-identical to slices of one big :func:`syn_flood_columns` call.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    n = int(count)
+    index = int(first_index) + np.arange(n, dtype=np.int64)
+    zeros = np.zeros(n, dtype=np.int64)
+
+    src = src_base + index
+    dst = np.full(n, server_ip, dtype=np.int64)
+    src_port = 1024 + index % _PORT_SPAN
+    dst_port = np.full(n, server_port, dtype=np.int64)
+    # Canonical flow key: lower (ip, port) endpoint first.
+    swap = (src > dst) | ((src == dst) & (src_port > dst_port))
+    total_length = IPV4_BASE_HEADER_LENGTH + TCP_BASE_HEADER_LENGTH
+    return PacketColumns(
+        timestamp=start + index * float(interval),
+        src=src,
+        dst=dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=index.copy(),
+        ack=zeros,
+        flags=np.full(n, TcpFlags.SYN, dtype=np.int64),
+        window=np.full(n, 65535, dtype=np.int64),
+        urgent=zeros,
+        data_offset=np.full(n, TCP_BASE_HEADER_LENGTH // 4, dtype=np.int64),
+        payload_len=zeros,
+        ihl=np.full(n, IPV4_BASE_HEADER_LENGTH // 4, dtype=np.int64),
+        version=np.full(n, 4, dtype=np.int64),
+        tos=zeros,
+        ttl=np.full(n, 64, dtype=np.int64),
+        total_length=np.full(n, total_length, dtype=np.int64),
+        ip_options=np.zeros(n, dtype=bool),
+        ip_ok=np.ones(n, dtype=bool),
+        tcp_ok=np.ones(n, dtype=bool),
+        mss=np.zeros(n, dtype=np.float64),
+        ws_shift=np.zeros(n, dtype=np.float64),
+        ut_timeout=np.zeros(n, dtype=np.float64),
+        md5_ok=np.ones(n, dtype=np.float64),
+        ts_present=np.zeros(n, dtype=bool),
+        tsval=zeros,
+        tsecr=zeros,
+        key_ip_a=np.where(swap, dst, src),
+        key_port_a=np.where(swap, dst_port, src_port),
+        key_ip_b=np.where(swap, src, dst),
+        key_port_b=np.where(swap, src_port, dst_port),
+    )
+
+
+def syn_flood_blocks(
+    count: int,
+    *,
+    block_rows: int = 32_768,
+    start: float = 1_000.0,
+    interval: float = 0.001,
+    src_base: int = 0x0A000001,
+    server_ip: int = 0xC0A80001,
+    server_port: int = 80,
+) -> Iterator[PacketColumns]:
+    """The same flood as bounded capture blocks of ``block_rows`` packets.
+
+    Blocks are yielded lazily so a million-flow replay never holds more
+    than one generator-side block of arrays (plus whatever FIFO window the
+    serving layer keeps) in memory at a time.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be at least 1, got {block_rows}")
+    for offset in range(0, int(count), int(block_rows)):
+        rows = min(int(block_rows), int(count) - offset)
+        yield syn_flood_columns(
+            rows,
+            start=start,
+            interval=interval,
+            src_base=src_base,
+            server_ip=server_ip,
+            server_port=server_port,
+            first_index=offset,
+        )
+
+
+__all__ = ["syn_flood_blocks", "syn_flood_columns"]

@@ -1,0 +1,144 @@
+"""View safety of ``unpack_block``: read-only columns, revocable lifetimes.
+
+The zero-copy contract has two halves.  First, unpacked scalar columns are
+``frombuffer`` views over the wire payload and must be **read-only** — a
+worker scribbling on a shared mapping would corrupt every other reader.
+Second, when the payload is a borrowed mapping (a POSIX shared-memory
+segment, a recycled socket buffer), the owner's :class:`BlockLease` must be
+able to revoke the views *deterministically*: after ``close()`` every
+column read raises :class:`BlockLeaseClosedError` instead of touching
+unmapped (or recycled) memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netstack.columns import (
+    BlockLease,
+    BlockLeaseClosedError,
+    PacketColumns,
+    unpack_block,
+)
+from repro.traffic.flood import syn_flood_columns
+
+
+def _packed(count: int = 64) -> bytes:
+    return syn_flood_columns(count).pack_block()
+
+
+class TestReadOnlyColumns:
+    def test_unpacked_columns_are_read_only_views(self):
+        columns = unpack_block(_packed())
+        assert columns.timestamp.flags.writeable is False
+        assert columns.src.flags.writeable is False
+        with pytest.raises(ValueError):
+            columns.timestamp[0] = 0.0
+        with pytest.raises(ValueError):
+            columns.flags[:] = 0
+
+    def test_read_only_even_over_a_writable_buffer(self):
+        payload = bytearray(_packed())
+        columns = unpack_block(payload)
+        assert columns.seq.flags.writeable is False
+        with pytest.raises(ValueError):
+            columns.seq[3] = 99
+
+    def test_columns_view_the_wire_payload_zero_copy(self):
+        payload = bytearray(_packed(16))
+        columns = unpack_block(payload)
+        raw = np.frombuffer(payload, dtype=np.uint8)
+        # Every scalar column maps the wire payload in place — no copies.
+        for name in ("timestamp", "src", "seq", "key_port_b"):
+            assert np.shares_memory(getattr(columns, name), raw), name
+
+
+class TestBlockLease:
+    def test_close_invalidates_every_column_deterministically(self):
+        released = []
+        lease = BlockLease(on_release=lambda: released.append(True))
+        columns = unpack_block(_packed(), lease=lease)
+        assert columns.lease is lease
+        assert float(columns.timestamp[0]) == 1_000.0  # valid before close
+        lease.close()
+        assert lease.closed
+        for name in ("timestamp", "src", "flags", "key_ip_a"):
+            column = getattr(columns, name)
+            with pytest.raises(BlockLeaseClosedError):
+                column[0]
+            with pytest.raises(BlockLeaseClosedError):
+                list(column)
+            with pytest.raises(BlockLeaseClosedError):
+                np.asarray(column)
+            with pytest.raises(BlockLeaseClosedError):
+                column.shape
+        assert released == [True]
+
+    def test_close_is_idempotent_and_release_fires_once(self):
+        released = []
+        lease = BlockLease(on_release=lambda: released.append(True))
+        unpack_block(_packed(), lease=lease)
+        lease.close()
+        lease.close()
+        lease.release()
+        assert released == [True]
+
+    def test_release_drops_the_hold_without_invalidating(self):
+        released = []
+        lease = BlockLease(on_release=lambda: released.append(True))
+        columns = unpack_block(_packed(), lease=lease)
+        lease.release()
+        assert released == [True]
+        # release() is the refcount path for already-unreachable columns;
+        # it does not install sentinels.
+        assert int(columns.seq[0]) == 0
+
+    def test_adopting_into_a_closed_lease_raises(self):
+        lease = BlockLease()
+        lease.close()
+        with pytest.raises(BlockLeaseClosedError):
+            unpack_block(_packed(), lease=lease)
+
+    def test_context_manager_revokes_on_exit(self):
+        with BlockLease() as lease:
+            columns = unpack_block(_packed(), lease=lease)
+            assert int(columns.src[0]) == 0x0A000001
+        with pytest.raises(BlockLeaseClosedError):
+            columns.src[0]
+
+    def test_views_of_a_closed_block_fail_on_deep_reads(self):
+        lease = BlockLease()
+        columns = unpack_block(_packed(8), lease=lease)
+        views = columns.views()
+        lease.close()
+        # The hot-path scalars were copied out at view construction...
+        assert views[0].timestamp == 1_000.0
+        # ...but anything that goes back to the arrays fails loudly.
+        with pytest.raises(BlockLeaseClosedError):
+            views[0].seq
+
+    def test_error_message_names_the_column(self):
+        lease = BlockLease()
+        columns = unpack_block(_packed(4), lease=lease)
+        lease.close()
+        with pytest.raises(BlockLeaseClosedError, match="timestamp"):
+            columns.timestamp[0]
+
+    def test_multiple_blocks_on_one_lease_all_revoke(self):
+        lease = BlockLease()
+        first = unpack_block(_packed(4), lease=lease)
+        second = unpack_block(_packed(4), lease=lease)
+        lease.close()
+        for columns in (first, second):
+            with pytest.raises(BlockLeaseClosedError):
+                columns.timestamp[0]
+
+    def test_round_trip_matches_source_before_close(self):
+        source = syn_flood_columns(32)
+        lease = BlockLease()
+        columns = unpack_block(source.pack_block(), lease=lease)
+        assert np.array_equal(columns.src, source.src)
+        assert np.array_equal(columns.timestamp, source.timestamp)
+        assert isinstance(columns, PacketColumns)
+        lease.close()

@@ -1,0 +1,96 @@
+"""The vectorised flood generator must match the object-packet reference.
+
+:func:`repro.traffic.flood.syn_flood_columns` promises rows field-for-field
+identical to ``PacketColumns.from_packets`` over the equivalent bare-SYN
+:class:`Packet` list — that identity is what lets the million-flow replay
+benchmark trust that its vectorised flood scores exactly like object
+packets would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netstack.columns import _ARRAY_FIELDS, PacketColumns
+from repro.netstack.ip import Ipv4Header
+from repro.netstack.packet import Packet
+from repro.netstack.tcp import TcpFlags, TcpHeader
+from repro.traffic.flood import syn_flood_blocks, syn_flood_columns
+
+
+def _object_flood(count, start=1_000.0, interval=0.001):
+    """The object-packet reference (mirrors tests/serve/test_flood.py)."""
+    return [
+        Packet(
+            ip=Ipv4Header(src=0x0A000000 + index + 1, dst=0xC0A80001),
+            tcp=TcpHeader(
+                src_port=1024 + (index % 60_000),
+                dst_port=80,
+                seq=index,
+                flags=TcpFlags.SYN,
+            ),
+            timestamp=start + index * interval,
+        )
+        for index in range(count)
+    ]
+
+
+class TestSynFloodColumns:
+    def test_matches_from_packets_field_for_field(self):
+        reference = PacketColumns.from_packets(_object_flood(512))
+        fast = syn_flood_columns(512)
+        for name in _ARRAY_FIELDS:
+            expected = getattr(reference, name)
+            actual = getattr(fast, name)
+            assert actual.dtype == expected.dtype, name
+            assert np.array_equal(actual, expected), name
+
+    def test_one_unique_flow_per_packet(self):
+        columns = syn_flood_columns(10_000)
+        quads = set(
+            zip(
+                columns.key_ip_a.tolist(),
+                columns.key_port_a.tolist(),
+                columns.key_ip_b.tolist(),
+                columns.key_port_b.tolist(),
+                strict=True,
+            )
+        )
+        assert len(quads) == 10_000
+        assert np.all(columns.flags == TcpFlags.SYN)
+        assert np.all(columns.payload_len == 0)
+
+    def test_views_duck_type_like_packets(self):
+        views = syn_flood_columns(4).views()
+        assert views[0].tcp.is_syn
+        assert views[0].ip.src == 0x0A000001
+        assert views[3].timestamp == pytest.approx(1_000.003)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            syn_flood_columns(-1)
+        assert len(syn_flood_columns(0)) == 0
+
+
+class TestSynFloodBlocks:
+    def test_blocks_are_slices_of_the_whole_flood(self):
+        whole = syn_flood_columns(500)
+        stitched = PacketColumns.concatenate(list(syn_flood_blocks(500, block_rows=128)))
+        for name in _ARRAY_FIELDS:
+            assert np.array_equal(getattr(stitched, name), getattr(whole, name)), name
+
+    def test_block_sizes_and_laziness(self):
+        blocks = syn_flood_blocks(300, block_rows=128)
+        sizes = [len(block) for block in blocks]
+        assert sizes == [128, 128, 44]
+
+    def test_block_rows_validation(self):
+        with pytest.raises(ValueError):
+            list(syn_flood_blocks(10, block_rows=0))
+
+    def test_timestamps_continue_across_blocks(self):
+        blocks = list(syn_flood_blocks(256, block_rows=100, start=5.0, interval=0.5))
+        last = blocks[0].timestamp[-1]
+        first_of_next = blocks[1].timestamp[0]
+        assert first_of_next == last + 0.5

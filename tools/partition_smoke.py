@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Partitioned-serving smoke test for CI.
+
+Exercises the scale-out path with no fixtures: synthesise a capture, train a
+deliberately tiny model, replay the capture through ``repro stream`` once
+with the in-process runtime and once fanned out to **two locally spawned
+detector instances** (``--instances 2``: flow-hash partitioned, fed over
+sockets), and fail on a non-zero exit code, zero emitted events, or the two
+runs disagreeing on any connection's score.  The point is not accuracy — it
+is that the partitioner's hash/route/merge pipeline reproduces the single
+detector's output bit-for-bit (well, to 1e-9) as a process would run it.
+
+Run with:  PYTHONPATH=src python tools/partition_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+CONNECTIONS = 30
+INSTANCES = 2
+
+
+def run(argv: list, capture: bool = False) -> tuple:
+    """Invoke the CLI in-process, optionally capturing stdout."""
+    print(f"$ repro-clap {' '.join(argv)}", file=sys.stderr)
+    if not capture:
+        return cli_main(argv), ""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(argv)
+    return code, buffer.getvalue()
+
+
+def _events(out: str) -> list[dict]:
+    return [json.loads(line) for line in out.splitlines() if line.strip()]
+
+
+def _rows(events: list[dict]) -> list[tuple]:
+    return sorted((e["connection"], round(e["score"], 9)) for e in events)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        work = Path(workdir)
+        capture_path = work / "smoke.pcap"
+        model_dir = work / "model"
+
+        code, _ = run(["generate", str(capture_path),
+                       "--connections", str(CONNECTIONS), "--seed", "7"])
+        if code != 0:
+            print("smoke FAILED: generate exited non-zero", file=sys.stderr)
+            return 1
+
+        code, _ = run(["train", str(model_dir), "--pcap", str(capture_path),
+                       "--fast", "--rnn-epochs", "3", "--ae-epochs", "10", "--seed", "7"])
+        if code != 0:
+            print("smoke FAILED: train exited non-zero", file=sys.stderr)
+            return 1
+
+        code, out = run(["stream", str(model_dir), str(capture_path),
+                         "--metrics"], capture=True)
+        if code != 0:
+            print("smoke FAILED: single-runtime stream exited non-zero",
+                  file=sys.stderr)
+            return 1
+        single = _events(out)
+        if len(single) != CONNECTIONS:
+            print(
+                f"smoke FAILED: expected {CONNECTIONS} events, got {len(single)}",
+                file=sys.stderr,
+            )
+            return 1
+
+        code, out = run(["stream", str(model_dir), str(capture_path),
+                         "--instances", str(INSTANCES), "--metrics"],
+                        capture=True)
+        if code != 0:
+            print("smoke FAILED: partitioned stream exited non-zero",
+                  file=sys.stderr)
+            return 1
+        partitioned = _events(out)
+        if len(partitioned) != CONNECTIONS:
+            print(
+                f"smoke FAILED: partitioned mode expected {CONNECTIONS} events, "
+                f"got {len(partitioned)}",
+                file=sys.stderr,
+            )
+            return 1
+        if _rows(single) != _rows(partitioned):
+            print("smoke FAILED: partitioned events diverge from the "
+                  "in-process runtime", file=sys.stderr)
+            return 1
+
+    print(f"smoke OK: {len(single)} events from {CONNECTIONS} connections, "
+          f"reproduced score-identically by {INSTANCES} flow-hash "
+          f"partitioned detector instances", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
