@@ -15,11 +15,15 @@ Importing this package registers every rule with the framework registry:
 * ``RL005`` swallowed-exception — no bare/empty exception handlers in the
   serving layer (:mod:`.swallowed_exception`);
 * ``RL006`` module-docstring — every library module under ``src/`` opens
-  with a docstring (:mod:`.docstrings`).
+  with a docstring (:mod:`.docstrings`);
+* ``RL007`` blocking-call-no-deadline — blocking socket/queue calls in
+  ``serve/`` must carry a timeout or a documented deadline, or they wedge
+  the stream under faults (:mod:`.blocking_call`).
 """
 
 from repro.analysis.rules import (  # noqa: F401  (import == registration)
     ambient_rng,
+    blocking_call,
     docstrings,
     dtype_drift,
     fork_safety,

@@ -24,7 +24,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 from pathlib import Path
 from collections.abc import Sequence
 
@@ -37,6 +39,7 @@ from repro.netstack.flow import assemble_connections
 from repro.netstack.pcap import read_packet_columns, read_pcap, write_pcap
 from repro.serve import (
     DropPolicy,
+    FaultSpecError,
     FlowPartitioner,
     FlushPolicy,
     InstanceConfig,
@@ -44,6 +47,7 @@ from repro.serve import (
     ReplaySource,
     Tick,
     open_source,
+    parse_fault_specs,
     run_instance,
 )
 from repro.traffic.dataset import BenignDataset
@@ -162,6 +166,29 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="HOST:PORT",
                         help="connect to an already-running detector instance "
                              "(repeatable; see `serve-instance`)")
+    stream.add_argument("--on-instance-failure", choices=("fail", "respawn", "degrade"),
+                        default="fail",
+                        help="what to do when a detector instance (or process "
+                             "shard worker) is lost mid-stream: fail loudly "
+                             "(default), respawn it, or degrade — rehash its "
+                             "future flows onto the survivors and flag their "
+                             "events")
+    stream.add_argument("--max-respawns", type=int, default=2,
+                        help="per-instance respawn budget before a loss "
+                             "degrades instead (--on-instance-failure respawn)")
+    stream.add_argument("--io-deadline", type=float, default=30.0,
+                        help="deadline (seconds) on instance socket reads and "
+                             "writes, and on worker stall detection under a "
+                             "non-fail failure policy; 0 disables")
+    stream.add_argument("--inject-fault", action="append", default=None,
+                        metavar="SPEC",
+                        help="inject a deterministic fault (repeatable): "
+                             "kill-instance:IDX@N, wedge-instance:IDX@N, "
+                             "kill-worker:IDX@N, wedge-worker:IDX@N, "
+                             "refuse-connect:IDX[*K], drop-frame:TAG#K, "
+                             "corrupt-frame:TAG#K, delay-frame:TAG#K@SECS")
+    stream.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for fault-plan randomness (corruption bytes)")
     stream.add_argument("--replay-rate", type=float, default=None,
                         help="pace the replay at this many packets per second")
     stream.add_argument("--alerts-only", action="store_true",
@@ -375,6 +402,28 @@ def _close_quietly(detector) -> None:
         pass
 
 
+class _GracefulShutdown(BaseException):
+    """Raised by the stream signal handlers: drain, report, exit 128+signum.
+
+    A :class:`BaseException` so the ``except (ValueError, ...)`` operational
+    handlers never swallow a shutdown request.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"received signal {signum}")
+        self.signum = signum
+
+
+def _print_degradation(detector) -> None:
+    """One machine-readable stderr line summarising known stream loss."""
+    report_method = getattr(detector, "degradation_report", None)
+    if report_method is None:
+        return
+    report = report_method()
+    if report:
+        print(f"degradation: {json.dumps(report.to_dict())}", file=sys.stderr)
+
+
 def _stream_drop_policy(args: argparse.Namespace) -> DropPolicy:
     """The admission policy the stream/serve-instance knobs describe."""
     return DropPolicy(
@@ -427,6 +476,18 @@ def command_stream(args: argparse.Namespace) -> int:
                 continue
             print(json.dumps(event.to_dict()))
 
+    def emit_service(detector) -> None:
+        # InstanceLost / DegradedMode announcements, inline with detections.
+        for event in getattr(detector, "service_events", list)():
+            print(json.dumps(event.to_dict()))
+
+    fault_plan = None
+    if args.inject_fault:
+        try:
+            fault_plan = parse_fault_specs(args.inject_fault, seed=args.fault_seed)
+        except FaultSpecError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     try:
         chunk_size = _parse_chunk_size(args.chunk_size)
         source: object = open_source(args.pcap, args.source, ingest=args.ingest,
@@ -459,6 +520,10 @@ def command_stream(args: argparse.Namespace) -> int:
                 ),
                 backend=getattr(args, "backend", None),
                 chunk_size=chunk_size,
+                on_instance_failure=args.on_instance_failure,
+                max_respawns=args.max_respawns,
+                io_deadline=args.io_deadline,
+                fault_plan=fault_plan,
             )
         else:
             detector = ParallelStreamingDetector(
@@ -482,6 +547,16 @@ def command_stream(args: argparse.Namespace) -> int:
                     if args.worker_mode == "process" and getattr(args, "backend", None) is None
                     else None
                 ),
+                on_worker_failure=args.on_instance_failure,
+                max_worker_respawns=args.max_respawns,
+                # Stall detection only under a non-fail policy or active fault
+                # injection: the historical fail path never timed a barrier.
+                stall_deadline=(
+                    (args.io_deadline or None)
+                    if args.on_instance_failure != "fail" or fault_plan is not None
+                    else None
+                ),
+                fault_plan=fault_plan,
             )
     except ValueError as error:
         # FlowTable/FlushPolicy/DropPolicy validate their knobs; render the
@@ -492,30 +567,60 @@ def command_stream(args: argparse.Namespace) -> int:
         # A refused/dead --instance endpoint is an operational error, not a bug.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    def _request_shutdown(signum, frame) -> None:
+        raise _GracefulShutdown(signum)
+
+    previous_handlers: dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _request_shutdown)
     streamed = 0
     try:
-        for item in source:
-            if isinstance(item, Tick):
-                detector.poll(item.now)
-            else:
-                streamed += 1
-                detector.ingest(item)
-            emit(detector.events())
-    except (ValueError, RuntimeError, ConnectionError) as error:
-        # A strict-mode parse error (ValueError), a shard-worker failure
-        # (RuntimeError) or a lost instance (ConnectionError) must not leak
-        # the worker pool: shut it down, then render the message instead of
-        # a traceback.
-        _close_quietly(detector)
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except BaseException:
-        _close_quietly(detector)
-        raise
+        try:
+            for item in source:
+                if isinstance(item, Tick):
+                    detector.poll(item.now)
+                else:
+                    streamed += 1
+                    detector.ingest(item)
+                emit(detector.events())
+                emit_service(detector)
+        except _GracefulShutdown as stop:
+            # Hardened shutdown: drain what completed, report partial
+            # results and known loss, exit with the conventional code.
+            try:
+                detector.close()
+                emit(detector.events())
+                emit_service(detector)
+                _print_degradation(detector)
+            except Exception as error:
+                print(f"error: {error}", file=sys.stderr)
+            print(
+                f"interrupted by signal {stop.signum} after {streamed} packets; "
+                "partial results above",
+                file=sys.stderr,
+            )
+            return 128 + stop.signum
+        except (ValueError, RuntimeError, ConnectionError) as error:
+            # A strict-mode parse error (ValueError), a shard-worker failure
+            # (RuntimeError) or a lost instance (ConnectionError) must not leak
+            # the worker pool: shut it down, then render the message instead of
+            # a traceback.
+            _close_quietly(detector)
+            _print_degradation(detector)
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except BaseException:
+            _close_quietly(detector)
+            raise
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     # close() also queues the final-drain events, so the events() drain below
     # delivers them exactly once, in the deterministic close ordering.
     detector.close()
     emit(detector.events())
+    emit_service(detector)
     if streamed == 0:
         print(f"error: no TCP packets found in {args.pcap}", file=sys.stderr)
         return 2
@@ -524,6 +629,7 @@ def command_stream(args: argparse.Namespace) -> int:
         f"threshold {detector.threshold:.5f}",
         file=sys.stderr,
     )
+    _print_degradation(detector)
     if args.metrics:
         print(detector.render_metrics(), file=sys.stderr)
     return 0

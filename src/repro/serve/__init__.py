@@ -23,11 +23,27 @@ Figure 3, layered as a streaming runtime:
   :class:`~repro.serve.instance.DetectorInstance` back-ends over sockets
   (local processes or remote hosts), speaking the :mod:`repro.serve.wire`
   frame protocol and merging events back into one deterministic stream.
+
+The fault-tolerance layer rides across all of it: :class:`FaultPlan`
+(:mod:`repro.serve.faults`) injects deterministic, seedable failures;
+:class:`Backoff` / :class:`InstanceFailure` / :class:`DegradationReport`
+(:mod:`repro.serve.supervise`) implement the ``fail`` / ``respawn`` /
+``degrade`` policies; :class:`InstanceLost` / :class:`DegradedMode` service
+events announce what happened; and :class:`~repro.serve.wire.WireTimeout`
+bounds every frame read and write with a deadline.
 """
 
 from repro.core.results import DetectionResult
 from repro.netstack.flow import CompletionReason, FlowTable, ShardedFlowTable
-from repro.serve.events import Alert, DetectionEvent, event_from_dict, make_event
+from repro.serve.events import (
+    Alert,
+    DegradedMode,
+    DetectionEvent,
+    InstanceLost,
+    event_from_dict,
+    make_event,
+)
+from repro.serve.faults import FaultPlan, FaultSpecError, parse_fault_specs
 from repro.serve.instance import DetectorInstance, InstanceConfig, run_instance
 from repro.serve.metrics import (
     AdaptiveChunker,
@@ -37,6 +53,13 @@ from repro.serve.metrics import (
 )
 from repro.serve.partition import FlowPartitioner
 from repro.serve.runtime import ParallelStreamingDetector
+from repro.serve.supervise import (
+    Backoff,
+    DegradationReport,
+    FailurePolicy,
+    InstanceFailure,
+    InstanceLossRecord,
+)
 from repro.serve.sources import (
     IterableSource,
     NDJSONSource,
@@ -47,19 +70,29 @@ from repro.serve.sources import (
     open_source,
 )
 from repro.serve.streaming import FlushPolicy, StreamingDetector
+from repro.serve.wire import WireError, WireTimeout
 
 __all__ = [
     "AdaptiveChunker",
     "Alert",
+    "Backoff",
     "CompletionReason",
+    "DegradationReport",
+    "DegradedMode",
     "DetectionEvent",
     "DetectionResult",
     "DetectorInstance",
     "DropPolicy",
+    "FailurePolicy",
+    "FaultPlan",
+    "FaultSpecError",
     "FlowPartitioner",
     "FlowTable",
     "FlushPolicy",
     "InstanceConfig",
+    "InstanceFailure",
+    "InstanceLossRecord",
+    "InstanceLost",
     "IterableSource",
     "LatencyHistogram",
     "NDJSONSource",
@@ -71,8 +104,11 @@ __all__ = [
     "StreamingDetector",
     "StreamingMetrics",
     "Tick",
+    "WireError",
+    "WireTimeout",
     "event_from_dict",
     "make_event",
     "open_source",
+    "parse_fault_specs",
     "run_instance",
 ]

@@ -7,6 +7,13 @@ the flow table considered the connection complete, when it was first/last
 seen).  Connections whose score exceeds the operating threshold are emitted as
 the :class:`Alert` subtype, so callers can dispatch on the event class or on
 :attr:`DetectionEvent.is_alert` interchangeably.
+
+The fault-tolerance layer adds *service events* — :class:`InstanceLost` and
+:class:`DegradedMode` — which describe the serving fleet rather than a
+connection.  They share the ``to_dict`` NDJSON surface (tagged ``"event":
+"instance_lost"`` / ``"degraded_mode"``) so operators see them inline with
+detections, but they are delivered through the partitioner's
+``service_events`` channel, never mixed into the scored-event merge.
 """
 
 from __future__ import annotations
@@ -43,6 +50,42 @@ class DetectionEvent:
 @dataclass(frozen=True)
 class Alert(DetectionEvent):
     """A :class:`DetectionEvent` whose connection exceeded the threshold."""
+
+
+@dataclass(frozen=True)
+class InstanceLost:
+    """A detector instance or shard worker died or was declared dead."""
+
+    index: int
+    kind: str  # "instance" | "worker"
+    reason: str
+    policy: str  # how the failure policy handled it
+    packets_lost_inflight: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "event": "instance_lost",
+            "index": self.index,
+            "kind": self.kind,
+            "reason": self.reason,
+            "policy": self.policy,
+            "packets_lost_inflight": self.packets_lost_inflight,
+        }
+
+
+@dataclass(frozen=True)
+class DegradedMode:
+    """The stream entered degraded mode: lost capacity rehashed to survivors."""
+
+    survivors: tuple[int, ...]
+    lost: tuple[int, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "event": "degraded_mode",
+            "survivors": list(self.survivors),
+            "lost": list(self.lost),
+        }
 
 
 def make_event(

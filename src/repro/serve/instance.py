@@ -27,8 +27,12 @@ kind at a time:
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import signal
 import socket
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,6 +51,7 @@ from repro.serve.wire import (
     TAG_PKTS,
     TAG_ROWS,
     WireError,
+    WireTimeout,
     decode_block,
     decode_control,
     decode_rows,
@@ -56,6 +61,15 @@ from repro.serve.wire import (
     recv_frame,
     send_frame,
 )
+
+#: Bound on waiting for the front-end to connect; a spawned instance whose
+#: partitioner died before connecting exits instead of listening forever.
+_ACCEPT_TIMEOUT = 60.0
+
+#: Budget for completing one frame once its first byte arrived, and for
+#: writing EVNT/DONE frames back.  An idle front-end is fine (reads retry);
+#: a torn frame or a wedged reader is not.
+_IO_DEADLINE = 30.0
 
 
 @dataclass(frozen=True)
@@ -114,25 +128,79 @@ class DetectorInstance:
         self._block_cache = int(block_cache)
         self._clock = float("-inf")
         self._peak_occupancy = 0
-        self._listener = socket.create_server((host, port))
+        self._conn: socket.socket | None = None
+        self._closed = False
+        self.teardown_errors: list[str] = []
+        self._listener: socket.socket | None = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
 
     # ------------------------------------------------------------------ serve
     def serve(self) -> None:
-        """Accept one front-end connection and serve it to completion."""
+        """Accept one front-end connection and serve it to completion.
+
+        The accept itself runs under a deadline (``_ACCEPT_TIMEOUT``), so an
+        instance whose front-end died before connecting exits instead of
+        listening forever; :meth:`close` runs on every exit path.
+        """
         try:
-            conn, _ = self._listener.accept()
-        finally:
-            self._listener.close()
-        try:
+            listener = self._listener
+            if listener is None:
+                raise RuntimeError("serve() after close()")
+            listener.settimeout(_ACCEPT_TIMEOUT)
+            try:
+                conn, _ = listener.accept()
+            except TimeoutError:
+                raise WireTimeout(
+                    f"no front-end connected within {_ACCEPT_TIMEOUT}s"
+                ) from None
+            finally:
+                listener.close()
+                self._listener = None
+            self._conn = conn
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._serve_connection(conn)
         finally:
-            conn.close()
+            self.close()
+
+    def close(self) -> None:
+        """Release the listener, connection and detector (idempotent).
+
+        Safe on a half-open socket (front-end died mid-handshake) and safe
+        to call twice; it never raises, so teardown in an ``except`` path
+        cannot mask the original error — anything that goes wrong here is
+        recorded on :attr:`teardown_errors` instead.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError as error:  # pragma: no cover - close rarely fails
+                self.teardown_errors.append(f"listener close: {error}")
+            self._listener = None
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError as error:  # pragma: no cover - close rarely fails
+                self.teardown_errors.append(f"connection close: {error}")
+            self._conn = None
+        try:
+            self._detector.close()
+        except Exception as error:
+            # A worker that died mid-stream surfaces here; the front-end is
+            # already gone, so record rather than raise from teardown.
+            self.teardown_errors.append(f"detector close: {error}")
 
     def _serve_connection(self, conn: socket.socket) -> None:
         while True:
-            frame = recv_frame(conn)
+            try:
+                frame = recv_frame(conn, time.monotonic() + _IO_DEADLINE)
+            except WireTimeout as error:
+                if not error.partial:
+                    # Idle front-end between frames: keep serving.
+                    continue
+                raise
             if frame is None:
                 # Front-end vanished without a close op: drain for the logs'
                 # sake, but there is nobody left to send DONE to.
@@ -169,8 +237,17 @@ class DetectorInstance:
                         "threshold": self._detector.threshold,
                     }
                 ),
+                deadline=time.monotonic() + _IO_DEADLINE,
             )
             return False
+        if op == "wedge":
+            # Fault injection: stop reading the socket without dying, so the
+            # front-end's deadlines (not a crash) must detect the stall.
+            # Exits once the parent process is gone (or on SIGTERM).
+            parent = multiprocessing.parent_process()
+            while parent is None or parent.is_alive():
+                time.sleep(0.2)
+            return True
         if op == "poll":
             self._advance(float(record["now"]))
             self._after_data(conn)
@@ -195,6 +272,7 @@ class DetectorInstance:
                         "alerts_emitted": self._detector.alerts_emitted,
                     }
                 ).encode("utf-8"),
+                deadline=time.monotonic() + _IO_DEADLINE,
             )
             return True
         raise WireError(f"unknown control op {op!r}")
@@ -244,7 +322,12 @@ class DetectorInstance:
     def _flush_events(self, conn: socket.socket) -> None:
         events = list(self._detector.events())
         if events:
-            send_frame(conn, TAG_EVNT, encode_events(events))
+            send_frame(
+                conn,
+                TAG_EVNT,
+                encode_events(events),
+                deadline=time.monotonic() + _IO_DEADLINE,
+            )
 
 
 def run_instance(
@@ -262,7 +345,20 @@ def run_instance(
     the listener exists — the local-spawn handshake of
     :class:`~repro.serve.partition.FlowPartitioner`.  Returns a process exit
     code so the CLI can call it directly.
+
+    SIGTERM/SIGINT are translated into a graceful shutdown: the detector
+    drains through :meth:`DetectorInstance.close` (via ``serve``'s finally)
+    and the process exits ``128 + signum`` instead of printing a traceback.
     """
+
+    def _graceful_exit(signum, _frame):
+        raise SystemExit(128 + signum)
+
+    if threading.current_thread() is threading.main_thread():
+        # Embedded callers (tests driving run_instance from a worker thread)
+        # own their signal handling; only a real process entry installs ours.
+        signal.signal(signal.SIGTERM, _graceful_exit)
+        signal.signal(signal.SIGINT, _graceful_exit)
     clap = Clap.load(model_dir, mmap_mode="r")
     if backend is not None:
         clap = clap.with_backend(backend)

@@ -290,7 +290,7 @@ class AdaptiveChunker:
     @property
     def size(self) -> int:
         """The current chunk size (a plain read; always in bounds)."""
-        # clap-lint: allow[RL001] reason=read per ingest chunk on the hot path; a torn read is impossible for a CPython int attribute and any momentarily stale size is still in [minimum, maximum]
+        # clap-lint: allow[RL001] reason=hot-path read; int reads never tear, a stale size stays in bounds
         return self._size
 
     def record_submit(self) -> None:
@@ -385,6 +385,14 @@ class StreamingMetrics:
         # instead of copying, so under load this staying at zero is the
         # observable form of the zero-copy contract.
         self.payload_bytes_copied = 0
+        # Degradation accounting (parent side): losses, respawns and the
+        # in-flight packets attributed to each loss.  Non-zero only after a
+        # fault; the accounting identity packets_routed = packets_scored +
+        # packets_lost_inflight is asserted by the fault-matrix tests.
+        self.instances_lost = 0
+        self.instance_respawns = 0
+        self.packets_lost_inflight = 0
+        self.flows_degraded = 0
         # Latest counter struct shipped by each external (process) worker,
         # keyed by worker id; folded into snapshot()/render().
         self._worker_states: dict[object, dict[str, object]] = {}
@@ -457,6 +465,21 @@ class StreamingMetrics:
         with self._lock:
             if depth > self.max_queue_depth:
                 self.max_queue_depth = depth
+
+    def record_instance_lost(self, packets_lost_inflight: int = 0) -> None:
+        """One instance/worker incarnation was lost, with its in-flight loss."""
+        with self._lock:
+            self.instances_lost += 1
+            self.packets_lost_inflight += int(packets_lost_inflight)
+
+    def record_respawn(self) -> None:
+        with self._lock:
+            self.instance_respawns += 1
+
+    def record_degraded_flows(self, count: int = 1) -> None:
+        """``count`` flows were scored by a survivor after their home was lost."""
+        with self._lock:
+            self.flows_degraded += count
 
     # ------------------------------------------------ cross-process aggregation
     def worker_state(self) -> dict[str, object]:
@@ -567,6 +590,12 @@ class StreamingMetrics:
                 },
                 "adaptive_chunking": chunker.state() if chunker is not None else None,
                 "shard_occupancy": list(occupancy) if occupancy is not None else None,
+                "degradation": {
+                    "instances_lost": self.instances_lost,
+                    "respawns": self.instance_respawns,
+                    "packets_lost_inflight": self.packets_lost_inflight,
+                    "flows_degraded": self.flows_degraded,
+                },
             }
 
     def render(self, occupancy: list[int] | None = None) -> str:
@@ -606,6 +635,14 @@ class StreamingMetrics:
                 f"grow={chunking['grow_events']} "  # type: ignore[index]
                 f"shrink={chunking['shrink_events']} "  # type: ignore[index]
                 f"backpressure={chunking['backpressure_events']}"  # type: ignore[index]
+            )
+        degradation = snap["degradation"]
+        if any(degradation.values()):  # type: ignore[union-attr]
+            lines.append(
+                f"degradation: lost={degradation['instances_lost']} "  # type: ignore[index]
+                f"respawns={degradation['respawns']} "  # type: ignore[index]
+                f"lost_inflight={degradation['packets_lost_inflight']} "  # type: ignore[index]
+                f"degraded_flows={degradation['flows_degraded']}"  # type: ignore[index]
             )
         if occupancy is not None:
             lines.append(f"shard occupancy: {occupancy}")

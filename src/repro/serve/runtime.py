@@ -45,19 +45,36 @@ no workers are spawned at all: the runtime delegates to a plain
 ``StreamingDetector``, keeping today's single-threaded behaviour
 bit-identical.  Process mode always spawns its workers — even ``workers=1``
 moves scoring off the ingest thread, which is the point.
+
+Fault tolerance (process mode): ``on_worker_failure`` selects what happens
+when a shard worker process dies, wedges past ``stall_deadline``, or reports
+an internal failure — ``"fail"`` (the historical behaviour: the failure is
+raised on the next ingest/flush/close, every worker still joined), ``"respawn"``
+(the dead worker is replaced from its :class:`_WorkerSpec`, live blocks are
+re-broadcast to the new incarnation, and work that was in flight through the
+dead queue is recorded as a known loss), or ``"degrade"`` (the dead shard's
+future flows are rehashed onto the survivors and their events carry
+``DetectionResult.degraded=True``).  Every loss is recorded as an
+:class:`~repro.serve.supervise.InstanceLossRecord` with ``kind="worker"`` and
+counted into the metrics degradation section.  Thread mode is fail-only:
+threads cannot be killed or respawned, so any other policy is rejected at
+construction.
 """
 
 from __future__ import annotations
 
 import functools
 import multiprocessing
+import os
 import queue
 import shutil
+import signal
 import tempfile
 import threading
+import time
 import weakref
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from collections.abc import Iterable, Iterator
 
@@ -86,7 +103,13 @@ from repro.serve.metrics import (
     StreamingMetrics,
     apply_drop_policy,
 )
+from repro.serve.faults import FaultPlan
 from repro.serve.sources import PacketSource, Tick
+from repro.serve.supervise import (
+    DegradationReport,
+    FailurePolicy,
+    InstanceLossRecord,
+)
 from repro.serve.streaming import (
     AlertCallback,
     EventCallback,
@@ -180,6 +203,9 @@ class _WorkerSpec:
     max_flows: int | None
     max_packets: int | None
     block_cache: int = _BLOCK_CACHE_DEPTH
+    #: Incarnation counter: bumped on every respawn so the parent can drop
+    #: stale result-queue messages posted by a dead predecessor.
+    generation: int = 0
 
 
 def _attach_block(
@@ -211,6 +237,30 @@ def _attach_block(
     segment = _shared_memory.SharedMemory(name=name)
     lease = BlockLease(on_release=functools.partial(retired.append, segment))
     return segment.buf[:size], lease, 0
+
+
+def _post(out_queue, message: tuple) -> None:
+    """Report a worker result to the parent over the (unbounded) result queue.
+
+    An unbounded ``multiprocessing.Queue`` put never blocks on capacity, so
+    this is the one audited place a queue call may omit a deadline.
+    """
+    # clap-lint: allow[RL007] reason=result queue is unbounded; put cannot block on capacity
+    out_queue.put(message)
+
+
+def _take(work_queue: queue.Queue) -> object:
+    """Bounded get on an in-process shard queue, looped to a chopped deadline.
+
+    The producer is the ingest thread in this very process — it cannot die
+    independently of the consumer — so the chopped timeout never changes
+    behaviour; it only keeps every wait in the serving layer bounded.
+    """
+    while True:
+        try:
+            return work_queue.get(timeout=5.0)
+        except queue.Empty:
+            continue
 
 
 def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
@@ -259,7 +309,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
         return state
 
     def emit(events: list[DetectionEvent]) -> None:
-        out_queue.put(("events", spec.index, events, gauges()))
+        _post(out_queue, ("events", spec.index, events, gauges(), spec.generation))
 
     clap: Clap | None = None
     try:
@@ -267,7 +317,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
         clap.engine  # build once, before the first flush
     except BaseException as error:
         failed = True
-        out_queue.put(("failed", spec.index, f"{type(error).__name__}: {error}"))
+        _post(out_queue, ("failed", spec.index, f"{type(error).__name__}: {error}", spec.generation))
 
     def flush_pending(dispatch: bool = True) -> list[DetectionEvent]:
         return drain_pending(
@@ -294,10 +344,26 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
             flush_pending()
 
     while True:
-        item = in_queue.get()
+        try:
+            item = in_queue.get(timeout=5.0)
+        except queue.Empty:
+            # Deadline discipline: never block forever on the work queue.  A
+            # parent that died without the close handshake leaves an orphan
+            # worker; detect it between polls and exit instead of lingering.
+            parent = multiprocessing.parent_process()
+            if parent is not None and not parent.is_alive():
+                return
+            continue
         kind = item[0]
         close_retired_segments()
         try:
+            if kind == "wedge":
+                # Injected fault: stop servicing the queue without exiting.
+                # The parent's stall deadline is what must detect this.
+                parent = multiprocessing.parent_process()
+                while parent is None or parent.is_alive():
+                    time.sleep(0.2)
+                return
             if kind == "close":
                 final: list[DetectionEvent] = []
                 if not failed:
@@ -307,7 +373,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                         )
                     )
                     final = flush_pending(dispatch=False)
-                out_queue.put(("closed", spec.index, final, gauges()))
+                _post(out_queue, ("closed", spec.index, final, gauges(), spec.generation))
                 # The drain released every connection, so all block views are
                 # gone; one best-effort pass unmaps what the finalizers just
                 # retired (anything still exporting is reclaimed at exit).
@@ -316,7 +382,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                 return
             if kind == "block":
                 payload, lease, copied = _attach_block(item[2], retired)
-                out_queue.put(("block_ack", spec.index, item[1]))
+                _post(out_queue, ("block_ack", spec.index, item[1], spec.generation))
                 if failed:
                     if lease is not None:
                         lease.release()
@@ -334,7 +400,7 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                 continue
             if kind == "flush":
                 events = [] if failed else flush_pending()
-                out_queue.put(("flush_done", spec.index, item[1], events, gauges()))
+                _post(out_queue, ("flush_done", spec.index, item[1], events, gauges(), spec.generation))
                 continue
             if failed:
                 continue
@@ -363,24 +429,32 @@ def _process_worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                 continue
         except BaseException as error:  # noqa: BLE001 - forwarded to parent
             failed = True
-            out_queue.put(("failed", spec.index, f"{type(error).__name__}: {error}"))
+            _post(out_queue, ("failed", spec.index, f"{type(error).__name__}: {error}", spec.generation))
             if kind == "flush":
-                out_queue.put(("flush_done", spec.index, item[1], [], gauges()))
+                _post(out_queue, ("flush_done", spec.index, item[1], [], gauges(), spec.generation))
             elif kind == "close":
-                out_queue.put(("closed", spec.index, [], gauges()))
+                _post(out_queue, ("closed", spec.index, [], gauges(), spec.generation))
                 return
 
 
 class _ProcessShard:
     """Parent-side handle of one process shard worker."""
 
-    def __init__(self, index: int, in_queue, process) -> None:
+    def __init__(self, index: int, in_queue, process, spec: _WorkerSpec) -> None:
         self.index = index
         self.queue = in_queue
         self.process = process
+        self.spec = spec
         self.final_events: list[DetectionEvent] = []
         self.failure: str | None = None
         self.closed = False
+        self.lost = False
+        self.respawns = 0
+        # Per-incarnation accounting: packets handed to this worker's queue
+        # and packets that came back scored inside events.  The difference at
+        # loss time is the known in-flight loss.
+        self.routed_packets = 0
+        self.scored_packets = 0
         self.state: dict[str, object] = {}
         # Consecutive empty result-queue polls observed with the process
         # dead; guards against declaring a worker lost while its final
@@ -447,12 +521,25 @@ class ParallelStreamingDetector:
         metrics: StreamingMetrics | None = None,
         model_dir: str | Path | None = None,
         start_method: str | None = None,
+        on_worker_failure: str = "fail",
+        max_worker_respawns: int = 2,
+        stall_deadline: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         if worker_mode not in ("thread", "process"):
             raise ValueError(
                 f"worker_mode must be 'thread' or 'process', got {worker_mode!r}"
+            )
+        if on_worker_failure not in FailurePolicy:
+            raise ValueError(
+                f"on_worker_failure must be one of {FailurePolicy}, got {on_worker_failure!r}"
+            )
+        if on_worker_failure != "fail" and worker_mode != "process":
+            raise ValueError(
+                "worker failure policies beyond 'fail' require worker_mode='process' "
+                "(threads cannot be killed or respawned)"
             )
         if isinstance(chunk_size, AdaptiveChunker):
             self._chunker: AdaptiveChunker | None = chunk_size
@@ -486,6 +573,20 @@ class ParallelStreamingDetector:
         self._closed = False
         self._single: StreamingDetector | None = None
         self._process_mode = worker_mode == "process"
+        self.on_worker_failure = on_worker_failure
+        self.max_worker_respawns = int(max_worker_respawns)
+        self._stall_deadline = stall_deadline if stall_deadline else None
+        self._fault_plan = fault_plan
+        #: Every shard-worker loss recorded this stream (``kind="worker"``).
+        self.worker_losses: list[InstanceLossRecord] = []
+        #: Secondary errors swallowed during error-path teardown (see run()).
+        self.teardown_errors: list[str] = []
+        self._worker_respawns = 0
+        self._degraded_flows = 0
+        # Route table for degrade mode: slot -> surviving shard index.  The
+        # identity mapping until a worker is lost under the degrade policy.
+        self._proc_route = list(range(self.workers))
+        self._degraded_slots: set[int] = set()
         if self.workers == 1 and not self._process_mode:
             self._single = StreamingDetector(
                 clap,
@@ -581,6 +682,8 @@ class ParallelStreamingDetector:
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
         context = multiprocessing.get_context(method)
+        self._mp_context = context
+        self._queue_depth = queue_depth
         if _shared_memory is not None:
             try:
                 # Start the resource tracker *before* the workers exist, so
@@ -632,7 +735,7 @@ class ParallelStreamingDetector:
                 name=f"clap-shard-{index}",
                 daemon=True,
             )
-            shard = _ProcessShard(index, in_queue, process)
+            shard = _ProcessShard(index, in_queue, process, spec)
             self._shards.append(shard)
             process.start()
 
@@ -670,11 +773,13 @@ class ParallelStreamingDetector:
             self._ship_block(packet.columns)
             self._current_columns = packet.columns
         key = flow_key_of(packet)
-        index = hash(key) % self.workers
+        index = self._proc_route[hash(key) % self.workers]
         buffer = self._buffers[index]
         buffer.append((packet, self._clock))  # type: ignore[arg-type]
         if packet.timestamp > self._clock:
             self._clock = packet.timestamp
+        if self._fault_plan is not None:
+            self._apply_worker_faults(1)
         if len(buffer) >= self._chunk_target():
             self._submit_process(index)
 
@@ -707,7 +812,7 @@ class ParallelStreamingDetector:
             return
         for index, shard in enumerate(self._shards):
             self._submit(index)
-            shard.queue.put(_Poll(now))
+            self._put_thread_shard(shard, _Poll(now))
 
     def run(self, source: PacketSource) -> list[DetectionEvent]:
         """Consume a packet source to exhaustion, then :meth:`close`.
@@ -731,12 +836,14 @@ class ParallelStreamingDetector:
         except BaseException:
             try:
                 self.close()
-            # clap-lint: allow[RL005] reason=teardown must not mask the original stream error; workers already joined
-            except Exception:
+            except Exception as teardown_error:
                 # Surfacing the source error matters more than a secondary
                 # failure discovered while tearing the pool down; close()
-                # has already joined the workers either way.
-                pass
+                # has already joined the workers either way — record the
+                # swallowed error instead of losing it.
+                self.teardown_errors.append(
+                    f"close during error teardown: {teardown_error!r}"
+                )
             raise
         return self.close()
 
@@ -756,10 +863,28 @@ class ParallelStreamingDetector:
         except queue.Full:
             if self._chunker is not None:
                 self._chunker.record_backpressure()
-            shard.queue.put(chunk)  # blocks when the shard is too far behind
+            self._put_thread_shard(shard, chunk)  # blocks under backpressure
         if self._chunker is not None:
             self._chunker.record_submit()
         self.metrics.record_ingest(index, len(chunk))
+
+    def _put_thread_shard(self, shard: _Shard, item: object) -> None:
+        """Backpressure put on a thread shard's bounded queue.
+
+        Chopped into short timeouts so a worker thread that died with a
+        recorded failure surfaces it instead of wedging the ingest thread
+        forever (a healthy worker merely behind keeps this blocking — that is
+        the backpressure contract; thread workers drain their queue even
+        after a failure, so the wait always ends).
+        """
+        while True:
+            try:
+                shard.queue.put(item, timeout=0.2)
+                return
+            except queue.Full:
+                if shard.failure is not None and shard.thread is not None:
+                    if not shard.thread.is_alive():
+                        self._raise_worker_failure()
 
     # ------------------------------------------------- process-mode transport
     def _submit_process(self, index: int) -> None:
@@ -768,10 +893,17 @@ class ParallelStreamingDetector:
             return
         self._buffers[index] = []
         shard = self._shards[index]
+        if shard.lost:
+            # The shard was lost while this buffer sat unrouted; its packets
+            # were never in flight, so they simply follow the rehashed route.
+            self._rehome_packets(chunk)  # type: ignore[arg-type]
+            return
         messages: list[tuple] = []
+        covered: list[list[tuple[Packet, float]]] = []
         run_columns: PacketColumns | None = None
         run_indices: list[int] = []
         run_clocks: list[float] = []
+        run_pairs: list[tuple[Packet, float]] = []
         object_run: list[tuple[Packet, float]] = []
 
         def close_column_run() -> None:
@@ -785,13 +917,16 @@ class ParallelStreamingDetector:
                         np.asarray(run_clocks, dtype=np.float64).tobytes(),
                     )
                 )
+                covered.append(list(run_pairs))
                 run_columns = None
                 run_indices.clear()
                 run_clocks.clear()
+                run_pairs.clear()
 
         def close_object_run() -> None:
             if object_run:
                 messages.append(("packets", list(object_run)))
+                covered.append(list(object_run))
                 object_run.clear()
 
         for packet, clock in chunk:  # type: ignore[misc]
@@ -807,6 +942,7 @@ class ParallelStreamingDetector:
                     run_columns = columns
                 run_indices.append(packet.index)
                 run_clocks.append(clock)
+                run_pairs.append((packet, clock))
             else:
                 close_column_run()
                 object_run.append((packet, clock))
@@ -817,13 +953,28 @@ class ParallelStreamingDetector:
         except NotImplementedError:  # pragma: no cover - macOS qsize
             depth = len(messages)
         self.metrics.record_queue_depth(depth)
-        for message in messages:
+        for position, message in enumerate(messages):
             # Blocks while the shard is merely behind (backpressure), but
-            # never wedges on a dead worker.
-            if not self._put_shard(shard, message):
-                break
+            # never wedges on a dead or wedged worker.
+            if self._put_shard(shard, message):
+                shard.routed_packets += len(covered[position])
+                continue
+            if shard.lost:
+                # Degraded: this message and the rest of the chunk never
+                # reached a worker, so they were never in flight — reroute
+                # them instead of counting them lost.
+                self._rehome_packets(
+                    [pair for pairs in covered[position:] for pair in pairs]
+                )
+            break
         self.metrics.record_ingest(index, len(chunk))
         self._drain_results()
+
+    def _rehome_packets(self, pairs: list[tuple[Packet, float]]) -> None:
+        """Re-buffer packets whose shard was lost before they were routed."""
+        for packet, clock in pairs:
+            index = self._proc_route[hash(flow_key_of(packet)) % self.workers]
+            self._buffers[index].append((packet, clock))
 
     def _put_shard(self, shard: "_ProcessShard", message: tuple) -> bool:
         """Put on a shard's bounded queue without wedging on a dead worker.
@@ -832,26 +983,40 @@ class ParallelStreamingDetector:
         is the backpressure contract.  A worker that died without draining
         its queue (kill -9, OOM) would block the put forever, so the wait is
         chopped into short timeouts with a liveness check between them; a
-        dead worker is recorded as failed and the message dropped (the
-        failure surfaces on the next ingest/flush/close).
+        worker that stays alive but makes no progress past ``stall_deadline``
+        is declared wedged.  Either way the failure policy runs: after a
+        successful respawn the put is retried against the new incarnation,
+        otherwise the message is dropped and ``False`` returned (under
+        ``fail`` the recorded failure surfaces on the next
+        ingest/flush/close; under ``degrade`` the caller reroutes).
         """
-        stalled = False
+        stalled_since: float | None = None
         while True:
+            if shard.lost or shard.closed:
+                return False
             try:
                 shard.queue.put(message, timeout=0.2)
                 if self._chunker is not None:
                     self._chunker.record_submit()
                 return True
             except queue.Full:
-                if not stalled:
-                    stalled = True
+                if stalled_since is None:
+                    stalled_since = time.monotonic()
                     if self._chunker is not None:
                         self._chunker.record_backpressure()
-                if shard.process.is_alive():
+                if not shard.process.is_alive():
+                    self._on_worker_down(shard, "worker process died unexpectedly")
                     continue
-                if shard.failure is None:
-                    shard.failure = "worker process died unexpectedly"
-                return False
+                if (
+                    self._stall_deadline is not None
+                    and time.monotonic() - stalled_since > self._stall_deadline
+                ):
+                    self._on_worker_down(
+                        shard,
+                        "worker wedged: queue made no progress for "
+                        f"{self._stall_deadline:.1f}s",
+                    )
+                    continue
 
     def _ship_block(self, columns: PacketColumns) -> None:
         """Broadcast one capture block to every worker (first sight only).
@@ -883,7 +1048,8 @@ class ParallelStreamingDetector:
         except OSError:  # pragma: no cover - /dev/shm unavailable or full
             return ("bytes", payload)
         segment.buf[: len(payload)] = payload
-        self._block_shm[block_id] = (segment, set(range(self.workers)))
+        waiting = {shard.index for shard in self._shards if not shard.lost}
+        self._block_shm[block_id] = (segment, waiting)
         self.metrics.record_shm_segment(len(payload), len(self._block_shm))
         return ("shm", segment.name, len(payload))
 
@@ -900,30 +1066,37 @@ class ParallelStreamingDetector:
 
     def _handle_result(self, message: tuple) -> None:
         kind = message[0]
+        shard = self._shards[message[1]]
+        if message[-1] != shard.spec.generation:
+            return  # stale message from a dead incarnation (pre-respawn)
         if kind == "events":
-            _, shard_index, events, state = message
+            _, shard_index, events, state, _gen = message
             self.metrics.absorb_worker_state(shard_index, state)
-            self._shards[shard_index].state = state
-            self._dispatch_many(events)
+            shard.state = state
+            shard.scored_packets += sum(e.result.packet_count for e in events)
+            self._dispatch_many(self._mark_degraded(events))
         elif kind == "block_ack":
             self._release_block_shm(message[2], message[1])
         elif kind == "flush_done":
-            _, shard_index, flush_id, events, state = message
+            _, shard_index, flush_id, events, state, _gen = message
             self.metrics.absorb_worker_state(shard_index, state)
-            self._shards[shard_index].state = state
+            shard.state = state
+            shard.scored_packets += sum(e.result.packet_count for e in events)
             waiting = self._flush_results.get(flush_id)
             if waiting is not None:
-                waiting[shard_index] = events
+                waiting[shard_index] = self._mark_degraded(events)
         elif kind == "failed":
-            shard = self._shards[message[1]]
-            if shard.failure is None:
-                shard.failure = message[2]
+            if self.on_worker_failure == "fail":
+                if shard.failure is None:
+                    shard.failure = message[2]
+            else:
+                self._on_worker_down(shard, f"worker reported failure: {message[2]}")
         elif kind == "closed":
-            _, shard_index, final_events, state = message
+            _, shard_index, final_events, state, _gen = message
             self.metrics.absorb_worker_state(shard_index, state)
-            shard = self._shards[shard_index]
             shard.state = state
-            shard.final_events = final_events
+            shard.scored_packets += sum(e.result.packet_count for e in final_events)
+            shard.final_events = self._mark_degraded(final_events)
             shard.closed = True
 
     def _drain_results(self) -> None:
@@ -941,26 +1114,210 @@ class ParallelStreamingDetector:
         A worker that died without its final handshake (kill -9, interpreter
         abort) is declared failed after a few consecutive empty polls with
         the process gone, so barriers and close() terminate instead of
-        waiting forever.
+        waiting forever.  When a ``stall_deadline`` is configured, a worker
+        that is alive but has produced nothing for that long while a barrier
+        waits on it is declared wedged and handed to the failure policy the
+        same way.
         """
+        last_progress = time.monotonic()
         while not done():
             try:
                 message = self._result_queue.get(timeout=0.05)
             except queue.Empty:
                 for shard in self._shards:
-                    if shard.closed or shard.process.is_alive():
+                    if shard.closed or shard.lost or shard.process.is_alive():
                         shard.dead_polls = 0
                         continue
                     shard.dead_polls += 1
                     if shard.dead_polls < 3:
                         continue
-                    if shard.failure is None:
-                        shard.failure = "worker process died unexpectedly"
-                    shard.closed = True
-                    for waiting in self._flush_results.values():
-                        waiting.setdefault(shard.index, [])
+                    self._on_worker_down(shard, "worker process died unexpectedly")
+                if (
+                    self._stall_deadline is not None
+                    and time.monotonic() - last_progress > self._stall_deadline
+                ):
+                    for shard in self._shards:
+                        if shard.closed or shard.lost:
+                            continue
+                        # A wedged worker stops consuming, so its input
+                        # queue retains items; an alive worker with an empty
+                        # queue is merely busy (e.g. a slow close drain) and
+                        # must not be shot — that would cascade respawns.
+                        try:
+                            consumed = shard.queue.qsize() == 0
+                        except (NotImplementedError, OSError):
+                            consumed = False
+                        if consumed and shard.process.is_alive():
+                            continue
+                        self._on_worker_down(
+                            shard,
+                            "worker wedged: no results for "
+                            f"{self._stall_deadline:.1f}s while a barrier waited",
+                        )
+                    last_progress = time.monotonic()
                 continue
+            last_progress = time.monotonic()
             self._handle_result(message)
+
+    # ------------------------------------------------------- worker supervision
+    def _apply_worker_faults(self, count: int) -> None:
+        """Fire due injected worker faults from the :class:`FaultPlan`.
+
+        Only ``kill-worker`` / ``wedge-worker`` faults apply at this layer
+        (and only in process mode — threads cannot be killed); instance-level
+        kinds belong to the partitioner and are ignored here.
+        """
+        if not self._process_mode:
+            return
+        for kind, index in self._fault_plan.packet_routed(count):
+            if kind not in ("kill-worker", "wedge-worker"):
+                continue
+            shard = self._shards[index % self.workers]
+            if shard.lost or shard.closed:
+                continue
+            if kind == "kill-worker":
+                if shard.process.is_alive():
+                    os.kill(shard.process.pid, signal.SIGKILL)
+            else:
+                self._put_shard(shard, ("wedge",))
+
+    def _on_worker_down(self, shard: "_ProcessShard", reason: str) -> None:
+        """Central worker-loss handler: reap, account, then apply the policy.
+
+        Safe to call from any parent-side path that discovers the loss (a
+        stalled put, an empty result poll, a worker-reported failure); the
+        first caller wins, later calls see ``lost``/``closed`` and return.
+        """
+        if shard.lost or shard.closed:
+            return
+        policy = self.on_worker_failure
+        if self._closed and policy == "respawn":
+            # Mid-close there is no future work to respawn for; record the
+            # loss and let the drain complete with what the survivors hold.
+            policy = "degrade"
+        routed, scored = shard.routed_packets, shard.scored_packets
+        if shard.process.is_alive():
+            shard.process.kill()
+        shard.process.join(timeout=_WORKER_JOIN_TIMEOUT)
+        # The dead incarnation's queue is abandoned (respawn replaces it,
+        # degrade/fail never touch it again).  Without this, its feeder
+        # thread can sit blocked on a full pipe nobody reads, and the
+        # interpreter's atexit join on that feeder hangs shutdown.
+        shard.queue.cancel_join_thread()
+        shard.queue.close()
+        shard.state = {}
+        # The dead worker will never ack its shm blocks; release its claims
+        # so segments are unlinked as soon as the survivors are done.
+        for block_id in list(self._block_shm):
+            self._release_block_shm(block_id, shard.index)
+        # Nor will it answer outstanding flush barriers.
+        for waiting in self._flush_results.values():
+            waiting.setdefault(shard.index, [])
+        if policy == "respawn" and shard.respawns >= self.max_worker_respawns:
+            reason = f"{reason}; respawn budget ({self.max_worker_respawns}) exhausted"
+            policy = "degrade"
+        if policy == "respawn":
+            try:
+                self._respawn_worker(shard)
+            except (OSError, RuntimeError, ValueError) as error:
+                reason = f"{reason}; respawn failed: {error}"
+                policy = "degrade"
+        record = InstanceLossRecord(
+            index=shard.index,
+            kind="worker",
+            reason=reason,
+            policy=policy,
+            packets_routed=routed,
+            packets_scored=scored,
+        )
+        self.worker_losses.append(record)
+        self.metrics.record_instance_lost(record.packets_lost_inflight)
+        if policy == "respawn":
+            return
+        if policy == "fail":
+            if shard.failure is None:
+                shard.failure = reason
+            shard.closed = True
+            return
+        shard.lost = True
+        shard.closed = True
+        pending = self._buffers[shard.index]
+        self._buffers[shard.index] = []
+        self._apply_worker_degrade(shard)
+        if pending:
+            self._rehome_packets(pending)  # type: ignore[arg-type]
+
+    def _respawn_worker(self, shard: "_ProcessShard") -> None:
+        """Replace a dead worker with a fresh incarnation of its spec.
+
+        The new worker re-registers all state a shard needs that outlives an
+        incarnation: every live capture block is re-broadcast (pipe-shipped;
+        the old shm claims were already released) in FIFO ship order so
+        queued row slices still find their blocks cached.  Work that was in
+        flight through the dead queue is gone — the caller records it as a
+        known loss before the counters reset.
+        """
+        spec = replace(shard.spec, generation=shard.spec.generation + 1)
+        in_queue = self._mp_context.Queue(maxsize=self._queue_depth)
+        process = self._mp_context.Process(
+            target=_process_worker_main,
+            args=(spec, in_queue, self._result_queue),
+            name=f"clap-shard-{shard.index}r{shard.respawns + 1}",
+            daemon=True,
+        )
+        process.start()
+        shard.spec = spec
+        shard.queue = in_queue
+        shard.process = process
+        shard.respawns += 1
+        shard.dead_polls = 0
+        shard.failure = None
+        shard.routed_packets = 0
+        shard.scored_packets = 0
+        for block_id, columns in self._live_blocks.items():
+            payload = columns.pack_block()
+            if not self._put_shard(shard, ("block", block_id, ("bytes", payload))):
+                raise RuntimeError("respawned worker died before re-registration")
+        self._worker_respawns += 1
+        self.metrics.record_respawn()
+
+    def _apply_worker_degrade(self, shard: "_ProcessShard") -> None:
+        """Rehash the lost shard's future flows onto the survivors."""
+        survivors = [s.index for s in self._shards if not s.lost]
+        if not survivors:
+            shard.failure = "every shard worker has been lost"
+            raise RuntimeError("every shard worker has been lost")
+        for slot, target in enumerate(self._proc_route):
+            if target == shard.index:
+                self._proc_route[slot] = survivors[slot % len(survivors)]
+                self._degraded_slots.add(slot)
+
+    def _mark_degraded(self, events: list[DetectionEvent]) -> list[DetectionEvent]:
+        """Flag events whose home shard was lost (scored by a survivor)."""
+        if not self._degraded_slots:
+            return events
+        out: list[DetectionEvent] = []
+        for event in events:
+            key = event.result.key
+            if (
+                key is not None
+                and hash(key) % self.workers in self._degraded_slots
+                and not event.result.degraded
+            ):
+                event = replace(event, result=replace(event.result, degraded=True))
+                self._degraded_flows += 1
+                self.metrics.record_degraded_flows()
+            out.append(event)
+        return out
+
+    def degradation_report(self) -> DegradationReport:
+        """What this stream lost: worker losses, respawns, degraded flows."""
+        return DegradationReport(
+            losses=list(self.worker_losses),
+            respawns=self._worker_respawns,
+            degraded_flows=self._degraded_flows,
+            teardown_errors=list(self.teardown_errors),
+        )
 
     # ---------------------------------------------------------------- scoring
     def flush(self) -> list[DetectionEvent]:
@@ -982,7 +1339,9 @@ class ParallelStreamingDetector:
             self._flush_results[flush_id] = waiting
             for index, shard in enumerate(self._shards):
                 self._submit_process(index)
-                self._put_shard(shard, ("flush", flush_id))
+                if not self._put_shard(shard, ("flush", flush_id)):
+                    # Lost (or failed) shards answer no barriers.
+                    waiting.setdefault(index, [])
             self._await_results(lambda: len(waiting) == self.workers)
             del self._flush_results[flush_id]
             self._raise_worker_failure()
@@ -994,10 +1353,13 @@ class ParallelStreamingDetector:
         for index, shard in enumerate(self._shards):
             self._submit(index)
             token = _Flush()
-            shard.queue.put(token)
+            self._put_thread_shard(shard, token)
             tokens.append(token)
         for token in tokens:
-            token.done.wait()
+            # Deadline discipline: a worker that raised releases its barrier
+            # from the drain loop, but never wait unbounded on it.
+            while not token.done.wait(1.0):
+                self._raise_worker_failure()
         self._raise_worker_failure()
         flushed = [event for token in tokens for event in token.events]
         flushed.sort(key=_event_order)
@@ -1029,11 +1391,13 @@ class ParallelStreamingDetector:
             # quiet shard still reports CLOSED/IDLE exactly as a single
             # table would have mid-stream.
             if final_clock > float("-inf"):
-                shard.queue.put(_Poll(final_clock))
-            shard.queue.put(_CLOSE)
+                self._put_thread_shard(shard, _Poll(final_clock))
+            self._put_thread_shard(shard, _CLOSE)
         for shard in self._shards:
             if shard.thread is not None:
-                shard.thread.join()
+                # Deadline discipline: bounded joins, looped while alive.
+                while shard.thread.is_alive():
+                    shard.thread.join(timeout=5.0)
         self._raise_worker_failure()
         final = [event for shard in self._shards for event in shard.final_events]
         final.sort(key=_event_order)
@@ -1043,9 +1407,14 @@ class ParallelStreamingDetector:
     def _close_process_pool(self, final_clock: float) -> list[DetectionEvent]:
         # Submit every leftover buffer before the first close message: a
         # submit may re-broadcast a block to *all* queues, which must never
-        # land behind a worker's close.
-        for index in range(self.workers):
-            self._submit_process(index)
+        # land behind a worker's close.  Repeat until quiescent — a shard
+        # lost during this drain rehomes its buffer onto survivors whose own
+        # buffers may already have been submitted this pass.
+        for _ in range(self.workers + 2):
+            if not any(self._buffers):
+                break
+            for index in range(self.workers):
+                self._submit_process(index)
         for shard in self._shards:
             if final_clock > float("-inf"):
                 self._put_shard(shard, ("poll", final_clock))
@@ -1078,7 +1447,7 @@ class ParallelStreamingDetector:
     def _worker_loop(self, shard: _Shard) -> None:
         table = shard.table
         while True:
-            item = shard.queue.get()
+            item = _take(shard.queue)
             try:
                 if item is _CLOSE:
                     # Bypass _buffer_completions: its auto-flush would
@@ -1122,7 +1491,7 @@ class ParallelStreamingDetector:
         # Failed: keep consuming so the ingest thread never deadlocks on a
         # full queue and pending flush()/close() barriers are released.
         while True:
-            item = shard.queue.get()
+            item = _take(shard.queue)
             if item is _CLOSE:
                 return
             if isinstance(item, _Flush):

@@ -32,6 +32,12 @@ CLI.  Columnar data rides two binary frames built on
 Framing is symmetric: either side sends with :func:`send_frame` and receives
 with :func:`recv_frame`.  A clean EOF between frames returns ``None``; a
 truncated frame raises :class:`WireError`.
+
+Both functions accept ``deadline`` — a **monotonic** absolute limit
+(``time.monotonic() + budget``).  Past the deadline they raise
+:class:`WireTimeout`, whose ``partial`` flag distinguishes an idle peer
+(nothing read yet — the receiver may keep serving) from a slow-loris torn
+frame (bytes arrived, then stalled mid-frame — a protocol fault).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 
 import numpy as np
 
@@ -67,28 +74,88 @@ class WireError(ConnectionError):
     """A malformed or truncated frame on a partition socket."""
 
 
+class WireTimeout(WireError):
+    """A frame read/write exceeded its deadline.
+
+    ``partial`` is True when bytes had already moved for the current frame
+    (a torn frame / slow-loris peer) and False when the deadline expired
+    between frames (an idle peer — often recoverable by the caller).
+    """
+
+    def __init__(self, message: str, *, partial: bool = False) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+def _arm(sock: socket.socket, limit: float | None, context: str, partial: bool) -> None:
+    """Set the socket timeout to the time remaining before ``limit``."""
+    if limit is None:
+        sock.settimeout(None)
+        return
+    remaining = limit - time.monotonic()
+    if remaining <= 0:
+        raise WireTimeout(f"{context}: deadline exceeded", partial=partial)
+    sock.settimeout(remaining)
+
+
 # ---------------------------------------------------------------------------
 # Framing
 # ---------------------------------------------------------------------------
 
 
-def send_frame(sock: socket.socket, tag: bytes, *chunks: bytes | memoryview) -> None:
-    """Send one frame; ``chunks`` are concatenated without copying."""
+def send_frame(
+    sock: socket.socket,
+    tag: bytes,
+    *chunks: bytes | memoryview,
+    deadline: float | None = None,
+) -> None:
+    """Send one frame; ``chunks`` are concatenated without copying.
+
+    ``deadline`` is an absolute ``time.monotonic()`` limit for the whole
+    frame; past it :class:`WireTimeout` is raised with ``partial=True`` if
+    any bytes may already be on the wire.
+    """
     total = sum(len(chunk) for chunk in chunks)
     if total > MAX_FRAME_BYTES:
         raise WireError(f"frame of {total} bytes exceeds MAX_FRAME_BYTES")
-    sock.sendall(FRAME_HEADER.pack(tag, total))
-    for chunk in chunks:
-        sock.sendall(chunk)
+    limit = None if deadline is None else deadline
+    started = False
+    try:
+        _arm(sock, limit, "send_frame header", partial=False)
+        sock.sendall(FRAME_HEADER.pack(tag, total))
+        started = True
+        for chunk in chunks:
+            _arm(sock, limit, "send_frame payload", partial=True)
+            sock.sendall(chunk)
+    except TimeoutError as error:
+        raise WireTimeout(
+            f"send of {bytes(tag)!r} frame timed out", partial=started
+        ) from error
+    finally:
+        if limit is not None:
+            sock.settimeout(None)
 
 
-def _recv_exact(sock: socket.socket, count: int) -> memoryview | None:
-    """Read exactly ``count`` bytes; ``None`` on EOF at a frame boundary."""
+def _recv_exact(
+    sock: socket.socket, count: int, limit: float | None = None, *, started: bool = False
+) -> memoryview | None:
+    """Read exactly ``count`` bytes; ``None`` on EOF at a frame boundary.
+
+    ``limit`` is an absolute monotonic deadline; ``started`` seeds the
+    torn-frame flag (True once any earlier bytes of this frame arrived).
+    """
     buffer = bytearray(count)
     view = memoryview(buffer)
     received = 0
     while received < count:
-        read = sock.recv_into(view[received:])
+        partial = started or received > 0
+        _arm(sock, limit, f"recv ({received}/{count} bytes)", partial)
+        try:
+            read = sock.recv_into(view[received:])
+        except TimeoutError as error:
+            raise WireTimeout(
+                f"recv timed out ({received}/{count} bytes)", partial=partial
+            ) from error
         if read == 0:
             if received == 0:
                 return None
@@ -97,22 +164,34 @@ def _recv_exact(sock: socket.socket, count: int) -> memoryview | None:
     return view
 
 
-def recv_frame(sock: socket.socket) -> tuple[bytes, memoryview] | None:
-    """Receive one ``(tag, payload)`` frame; ``None`` on clean EOF."""
-    header = _recv_exact(sock, FRAME_HEADER.size)
-    if header is None:
-        return None
-    tag, length = FRAME_HEADER.unpack(header)
-    if tag not in _TAGS:
-        raise WireError(f"unknown frame tag {bytes(tag)!r}")
-    if length > MAX_FRAME_BYTES:
-        raise WireError(f"frame length {length} exceeds MAX_FRAME_BYTES")
-    if length == 0:
-        return tag, memoryview(b"")
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        raise WireError("connection closed before frame payload")
-    return tag, payload
+def recv_frame(
+    sock: socket.socket, deadline: float | None = None
+) -> tuple[bytes, memoryview] | None:
+    """Receive one ``(tag, payload)`` frame; ``None`` on clean EOF.
+
+    ``deadline`` is an absolute ``time.monotonic()`` limit for the whole
+    frame.  A deadline that expires with zero bytes read raises
+    :class:`WireTimeout` with ``partial=False`` (idle peer); once any byte
+    of the frame has arrived the timeout is ``partial=True`` (torn frame).
+    """
+    try:
+        header = _recv_exact(sock, FRAME_HEADER.size, deadline)
+        if header is None:
+            return None
+        tag, length = FRAME_HEADER.unpack(header)
+        if tag not in _TAGS:
+            raise WireError(f"unknown frame tag {bytes(tag)!r}")
+        if length > MAX_FRAME_BYTES:
+            raise WireError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+        if length == 0:
+            return tag, memoryview(b"")
+        payload = _recv_exact(sock, length, deadline, started=True)
+        if payload is None:
+            raise WireError("connection closed before frame payload")
+        return tag, payload
+    finally:
+        if deadline is not None:
+            sock.settimeout(None)
 
 
 # ---------------------------------------------------------------------------

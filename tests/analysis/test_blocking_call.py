@@ -1,0 +1,200 @@
+"""RL007 blocking-call-no-deadline: fixtures, exemptions, seeded regression."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+RULE = "RL007"
+
+
+def run(source: str, path: str = "src/repro/serve/fixture.py"):
+    result = analyze_source(textwrap.dedent(source), path, rules=[get_rule(RULE)])
+    return result.findings
+
+
+# The shape of the wedge PR 9 fixed by hand: the shard worker loop sat in a
+# bare Queue.get() forever after its producer died, and the result pump
+# blocked in recv() on a peer that would never speak again.
+SEEDED_WEDGED_WORKER = """
+    import socket
+
+
+    class ShardWorkerRegression:
+        def loop(self, in_queue, out_queue):
+            while True:
+                item = in_queue.get()
+                out_queue.put(("events", item))
+
+        def pump(self, sock):
+            header = sock.recv(8)
+            return header
+"""
+
+
+class TestSeededRegression:
+    def test_wedged_worker_pattern_fires(self):
+        findings = run(SEEDED_WEDGED_WORKER)
+        assert findings, "RL007 must catch the PR 9 wedged-worker pattern"
+        assert all(f.rule == RULE for f in findings)
+        bases = {f.anchor.split("@", 1)[0] for f in findings}
+        assert "queue-get" in bases
+        assert "queue-put" in bases
+        assert "socket-recv" in bases
+
+    def test_bounded_worker_is_clean(self):
+        fixed = SEEDED_WEDGED_WORKER.replace(
+            "item = in_queue.get()", "item = in_queue.get(timeout=5.0)"
+        ).replace(
+            'out_queue.put(("events", item))',
+            'out_queue.put(("events", item), timeout=5.0)',
+        ).replace(
+            '''def pump(self, sock):
+            header = sock.recv(8)''',
+            '''def pump(self, sock):
+            """Caller arms sock.settimeout() from the read deadline."""
+            header = sock.recv(8)''',
+        )
+        assert fixed != SEEDED_WEDGED_WORKER
+        assert run(fixed) == []
+
+
+class TestRuleMechanics:
+    def test_accept_without_deadline_fires(self):
+        findings = run(
+            """
+            def serve_one(listener):
+                conn, _ = listener.accept()
+                return conn
+            """
+        )
+        assert [f.anchor.split("@", 1)[0] for f in findings] == ["socket-accept"]
+
+    def test_deadline_docstring_exempts_function(self):
+        findings = run(
+            '''
+            def serve_one(listener):
+                """Accept the front-end; listener deadline armed by caller."""
+                conn, _ = listener.accept()
+                return conn
+            '''
+        )
+        assert findings == []
+
+    def test_queue_get_with_positional_timeout_is_clean(self):
+        findings = run(
+            """
+            def drain(work_queue):
+                return work_queue.get(True, 0.5)
+            """
+        )
+        assert findings == []
+
+    def test_queue_put_nonblocking_is_clean(self):
+        findings = run(
+            """
+            def offer(ready_queue, item):
+                ready_queue.put(item, block=False)
+            """
+        )
+        assert findings == []
+
+    def test_non_queue_receiver_get_is_ignored(self):
+        findings = run(
+            """
+            def lookup(mapping, key):
+                return mapping.get(key)
+            """
+        )
+        assert findings == []
+
+    def test_bare_event_wait_fires(self):
+        findings = run(
+            """
+            def await_flush(token):
+                token.done.wait()
+            """
+        )
+        assert [f.anchor.split("@", 1)[0] for f in findings] == ["wait-no-timeout"]
+
+    def test_bounded_event_wait_is_clean(self):
+        findings = run(
+            """
+            def await_flush(token):
+                while not token.done.wait(1.0):
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_worker_join_without_timeout_fires(self):
+        findings = run(
+            """
+            def reap(shard):
+                shard.process.join()
+            """
+        )
+        assert [f.anchor.split("@", 1)[0] for f in findings] == ["join-no-timeout"]
+
+    def test_path_join_is_ignored(self):
+        findings = run(
+            """
+            def render(parts):
+                return ", ".join(parts)
+            """
+        )
+        assert findings == []
+
+    def test_select_without_timeout_fires(self):
+        findings = run(
+            """
+            import select
+
+            def poll(socks):
+                return select.select(socks, [], [])
+            """
+        )
+        assert [f.anchor.split("@", 1)[0] for f in findings] == ["select-no-timeout"]
+
+    def test_create_connection_without_timeout_fires(self):
+        findings = run(
+            """
+            import socket
+
+            def dial(address):
+                return socket.create_connection(address)
+            """
+        )
+        assert [f.anchor.split("@", 1)[0] for f in findings] == ["connect-no-timeout"]
+
+    def test_create_connection_with_timeout_is_clean(self):
+        findings = run(
+            """
+            import socket
+
+            def dial(address):
+                return socket.create_connection(address, timeout=5.0)
+            """
+        )
+        assert findings == []
+
+    def test_allow_comment_suppresses(self):
+        findings = run(
+            """
+            def offer(ready_queue, item):
+                # clap-lint: allow[RL007] reason=unbounded queue never blocks
+                ready_queue.put(item)
+            """
+        )
+        assert findings == []
+
+    def test_rule_only_applies_to_serve(self):
+        findings = run(
+            """
+            def drain(work_queue):
+                return work_queue.get()
+            """,
+            path="src/repro/core/fixture.py",
+        )
+        assert findings == []

@@ -361,3 +361,69 @@ class TestPartitionedEquivalence:
         partitioner.close()
         with pytest.raises(RuntimeError, match="close"):
             partitioner.ingest(replay_packets[0])
+
+
+# ------------------------------------------------------------- startup faults
+def _refused_port() -> int:
+    """A localhost port that was bound a moment ago and is now closed."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestStartupFailure:
+    def test_refused_endpoint_does_not_leak_connected_peers(self, trained_clap):
+        # PR 9 regression: when a later endpoint refuses the connection, the
+        # instances that already connected must be torn down, not leaked as
+        # half-open peers waiting on a front-end that will never speak.
+        instance = DetectorInstance(trained_clap, config=_instance_config())
+        server = threading.Thread(target=instance.serve, daemon=True)
+        server.start()
+        with pytest.raises(OSError):
+            FlowPartitioner(
+                endpoints=[instance.address, ("127.0.0.1", _refused_port())]
+            )
+        server.join(timeout=30.0)
+        assert not server.is_alive(), "connected peer was leaked half-open"
+        instance.close()
+        assert instance.teardown_errors == []
+
+    def test_refused_single_endpoint_raises(self):
+        with pytest.raises(OSError):
+            FlowPartitioner(endpoints=[("127.0.0.1", _refused_port())])
+
+
+class TestInstanceTeardown:
+    def test_close_survives_half_open_socket(self, trained_clap):
+        # The front-end dies mid-handshake leaving the socket half-open; the
+        # torn-frame error must surface from serve() while close() runs on
+        # the exit path without masking it.
+        instance = DetectorInstance(trained_clap, config=_instance_config())
+        failures = []
+
+        def serve():
+            try:
+                instance.serve()
+            except WireError as error:
+                failures.append(error)
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        sock = socket.create_connection(instance.address, timeout=5.0)
+        sock.sendall(b"CTRL")  # four of the eight header bytes, then vanish
+        sock.close()
+        server.join(timeout=30.0)
+        assert not server.is_alive()
+        assert failures and "mid-frame" in str(failures[0])
+        # serve() already closed on its way out; more closes are no-ops.
+        instance.close()
+        instance.close()
+        assert instance.teardown_errors == []
+
+    def test_close_without_serving_is_idempotent(self, trained_clap):
+        instance = DetectorInstance(trained_clap, config=_instance_config())
+        instance.close()
+        instance.close()
+        assert instance.teardown_errors == []

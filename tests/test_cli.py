@@ -167,6 +167,7 @@ class TestTrainAndScore:
             assert set(entry) == {
                 "connection", "score", "threshold", "adversarial",
                 "localized_window", "localized_packets", "packet_count",
+                "degraded",
             }
 
     def test_score_backend_override_stays_within_tolerance(

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Chaos smoke test for CI: kill an instance mid-stream, finish anyway.
+
+Synthesise a capture, train a deliberately tiny model, then replay the
+capture through ``repro stream --instances 2`` while a deterministic fault
+plan SIGKILLs one of the two detector instances mid-stream.  Under
+``--on-instance-failure degrade`` the run must still exit 0, emit events
+for the surviving (and rehashed) flows, and print a machine-readable
+``degradation:`` line whose accounting satisfies the identity
+
+    packets_routed = packets_scored + packets_lost_inflight
+
+for every recorded loss.  Under ``--on-instance-failure fail`` the same
+fault must exit non-zero — with the degradation report still printed — so
+operators can choose loud failure over silent loss.
+
+Run with:  PYTHONPATH=src python tools/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+CONNECTIONS = 30
+INSTANCES = 2
+KILL_SPEC = "kill-instance:1@40"
+
+
+def run(argv: list) -> tuple:
+    """Invoke the CLI in-process, capturing stdout and stderr."""
+    print(f"$ repro-clap {' '.join(argv)}", file=sys.stderr)
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = cli_main(argv)
+    sys.stderr.write(err.getvalue())
+    return code, out.getvalue(), err.getvalue()
+
+
+def _events(out: str) -> list[dict]:
+    return [json.loads(line) for line in out.splitlines() if line.strip()]
+
+
+def _degradation(err: str) -> dict | None:
+    for line in err.splitlines():
+        if line.startswith("degradation: "):
+            return json.loads(line[len("degradation: "):])
+    return None
+
+
+def _check_identity(report: dict) -> str | None:
+    if not report.get("losses"):
+        return "degradation report records no losses"
+    for loss in report["losses"]:
+        routed, scored = loss["packets_routed"], loss["packets_scored"]
+        lost = loss["packets_lost_inflight"]
+        if routed != scored + lost:
+            return (
+                f"accounting identity violated for instance {loss['index']}: "
+                f"routed={routed} scored={scored} lost_inflight={lost}"
+            )
+        if lost < 0:
+            return f"negative in-flight loss for instance {loss['index']}"
+    return None
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        work = Path(workdir)
+        capture_path = work / "chaos.pcap"
+        model_dir = work / "model"
+
+        code, _, _ = run(["generate", str(capture_path),
+                          "--connections", str(CONNECTIONS), "--seed", "11"])
+        if code != 0:
+            print("chaos smoke FAILED: generate exited non-zero", file=sys.stderr)
+            return 1
+
+        code, _, _ = run(["train", str(model_dir), "--pcap", str(capture_path),
+                          "--fast", "--rnn-epochs", "3", "--ae-epochs", "10",
+                          "--seed", "11"])
+        if code != 0:
+            print("chaos smoke FAILED: train exited non-zero", file=sys.stderr)
+            return 1
+
+        # Degrade mode: one instance SIGKILLed mid-stream must still be a
+        # clean exit with every lost packet attributed.
+        code, out, err = run(["stream", str(model_dir), str(capture_path),
+                              "--instances", str(INSTANCES),
+                              "--on-instance-failure", "degrade",
+                              "--inject-fault", KILL_SPEC,
+                              "--fault-seed", "11"])
+        if code != 0:
+            print(f"chaos smoke FAILED: degrade-mode stream exited {code} "
+                  "(must survive a single instance kill)", file=sys.stderr)
+            return 1
+        events = _events(out)
+        if not events:
+            print("chaos smoke FAILED: degrade-mode stream emitted no events",
+                  file=sys.stderr)
+            return 1
+        report = _degradation(err)
+        if report is None:
+            print("chaos smoke FAILED: no degradation report on stderr",
+                  file=sys.stderr)
+            return 1
+        problem = _check_identity(report)
+        if problem is not None:
+            print(f"chaos smoke FAILED: {problem}", file=sys.stderr)
+            return 1
+        kinds = {loss["kind"] for loss in report["losses"]}
+        if "instance" not in kinds:
+            print(f"chaos smoke FAILED: expected an instance loss, got {kinds}",
+                  file=sys.stderr)
+            return 1
+
+        # Fail mode: the same fault must be loud — non-zero exit, report
+        # still printed, nothing wedged.
+        code, _, err = run(["stream", str(model_dir), str(capture_path),
+                            "--instances", str(INSTANCES),
+                            "--on-instance-failure", "fail",
+                            "--inject-fault", KILL_SPEC,
+                            "--fault-seed", "11"])
+        if code == 0:
+            print("chaos smoke FAILED: fail-mode stream exited 0 despite a "
+                  "killed instance", file=sys.stderr)
+            return 1
+        if _degradation(err) is None:
+            print("chaos smoke FAILED: fail-mode exit carried no degradation "
+                  "report", file=sys.stderr)
+            return 1
+
+    lost = report["packets_lost_inflight"]
+    print(f"chaos smoke OK: survived {KILL_SPEC} in degrade mode with "
+          f"{len(events)} events, {lost} in-flight packets lost and "
+          f"attributed; fail mode refused loudly", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
